@@ -1,0 +1,97 @@
+// Ablation — which stage of the thin-cloud/shadow filter buys the accuracy
+// (DESIGN.md §4.2): auto-label agreement with ground truth on cloudy scenes
+// under variants of the filter pipeline.
+
+#include <cstdio>
+
+#include "core/autolabel.h"
+#include "metrics/metrics.h"
+#include "metrics/ssim.h"
+#include "s2/scene.h"
+#include "support.h"
+
+using namespace polarice;
+
+namespace {
+struct Variant {
+  const char* name;
+  bool use_filter;
+  core::CloudFilterConfig config;
+};
+
+double mean_accuracy(const Variant& v, int scenes, double ice_feature_scale,
+                     double* ssim_out) {
+  core::AutoLabelConfig cfg;
+  cfg.apply_filter = v.use_filter;
+  cfg.filter = v.config;
+  const core::AutoLabeler labeler(cfg);
+  double acc_sum = 0, ssim_sum = 0;
+  for (int s = 0; s < scenes; ++s) {
+    s2::SceneConfig sc;
+    sc.width = sc.height = 256;
+    sc.seed = 7100 + static_cast<std::uint64_t>(s);
+    sc.cloudy = true;
+    sc.ice_feature_scale = ice_feature_scale;
+    const auto scene = s2::SceneGenerator(sc).generate();
+    const auto result = labeler.label(scene.rgb);
+    std::vector<int> truth, pred;
+    for (const auto x : scene.labels) truth.push_back(x);
+    for (const auto x : result.labels) pred.push_back(x);
+    acc_sum += metrics::pixel_accuracy(truth, pred);
+    ssim_sum += metrics::ssim_rgb(result.colorized,
+                                  s2::colorize_labels(scene.labels));
+  }
+  *ssim_out = ssim_sum / scenes;
+  return acc_sum / scenes;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  bench::banner("Ablation: thin-cloud/shadow filter stages");
+  const int scenes = static_cast<int>(args.get_int("scenes", 4));
+
+  std::vector<Variant> variants;
+  variants.push_back({"no filter at all", false, {}});
+  {
+    core::CloudFilterConfig c;
+    c.max_beta = 1e-3;  // shadow inversion disabled
+    variants.push_back({"haze removal only (no shadow term)", true, c});
+  }
+  {
+    core::CloudFilterConfig c;
+    c.max_alpha = 1e-3;  // haze inversion disabled
+    variants.push_back({"shadow removal only (no haze term)", true, c});
+  }
+  {
+    core::CloudFilterConfig c;
+    c.estimate_smooth_kernel = 1;  // raw pointwise estimates
+    variants.push_back({"full filter, no estimate smoothing", true, c});
+  }
+  {
+    core::CloudFilterConfig c;
+    c.envelope_kernel = 31;  // window smaller than floe features
+    variants.push_back({"full filter, small envelope window", true, c});
+  }
+  variants.push_back({"full filter (default)", true, {}});
+
+  // Two floe regimes: fine floes (default, every window sees anchors) and
+  // coarse floes (windows can sit inside one floe — where a too-small
+  // envelope window breaks down).
+  for (const double floe_scale : {32.0, 96.0}) {
+    std::printf("\nice feature scale %.0f px (%s floes):\n", floe_scale,
+                floe_scale < 50 ? "fine" : "coarse");
+    util::Table table({"variant", "auto-label accuracy", "label SSIM"});
+    for (const auto& v : variants) {
+      double ssim = 0.0;
+      const double acc = mean_accuracy(v, scenes, floe_scale, &ssim);
+      table.add_row({v.name, bench::pct(acc), bench::pct(ssim)});
+    }
+    table.print();
+  }
+  std::printf("\nreading: both atmosphere terms contribute; estimate "
+              "smoothing stabilizes the pointwise inversion; the envelope "
+              "window must span dark+bright anchors, which is exactly what "
+              "the coarse-floe rows punish for the small-window variant.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig 10 — parallel execution speedup curve for color-segmentation-based
+// auto-labeling (the plot form of Table I, plus parallel efficiency).
+//
+//   --tiles=256 --tile_size=128
+
+#include <cstdio>
+
+#include "core/parallel_autolabel.h"
+#include "s2/acquisition.h"
+#include "support.h"
+
+using namespace polarice;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int tile_count = static_cast<int>(args.get_int("tiles", 256));
+  const int tile_size = static_cast<int>(args.get_int("tile_size", 128));
+
+  bench::banner("Fig 10: auto-labeling speedup curve");
+
+  s2::AcquisitionConfig acq;
+  acq.tile_size = tile_size;
+  acq.scene_size = 512;
+  acq.cloudy_scene_fraction = 1.0;
+  acq.num_scenes =
+      (tile_count + acq.tiles_per_scene() - 1) / acq.tiles_per_scene();
+  auto source = s2::acquire_tiles(acq);
+  source.resize(static_cast<std::size_t>(tile_count));
+  std::vector<img::ImageU8> tiles;
+  for (const auto& t : source) tiles.push_back(t.rgb);
+
+  const core::ParallelAutoLabeler labeler;
+  core::ParallelAutoLabelStats base;
+  (void)labeler.run(tiles, 1, &base);
+
+  util::Table table({"workers", "speedup", "efficiency", "tiles/s"});
+  std::printf("series (x = workers, y = speedup):\n");
+  for (const int workers : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    core::ParallelAutoLabelStats stats;
+    (void)labeler.run(tiles, static_cast<std::size_t>(workers), &stats);
+    const double speedup = base.seconds / stats.seconds;
+    table.add_row({std::to_string(workers), util::Table::num(speedup, 2),
+                   util::Table::num(speedup / workers, 2),
+                   util::Table::num(stats.tiles_per_second, 1)});
+  }
+  table.print();
+  std::printf("paper series: 1.0 @1, 2.0 @2, 3.7 @4, 4.2 @6, 4.5 @8 "
+              "(4-core host)\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig 12 — the four distributed-training series: (a) speedup, (b) images/s,
+// (c) total training time, (d) time per epoch, as functions of GPU count.
+// Emitted as aligned series from the calibrated DGX model, with the paper's
+// five published points marked.
+
+#include <cstdio>
+
+#include "ddp/device_model.h"
+#include "support.h"
+
+using namespace polarice;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  (void)args;
+  bench::banner("Fig 12: distributed training curves (simulated DGX A100)");
+
+  util::Table table({"GPUs", "(a) speedup", "(b) data/s", "(c) total (s)",
+                     "(d) s/epoch", "paper point?"});
+  for (int gpus = 1; gpus <= 8; ++gpus) {
+    const auto t = ddp::simulate_training(ddp::DeviceModelConfig{}, gpus);
+    const bool published =
+        gpus == 1 || gpus == 2 || gpus == 4 || gpus == 6 || gpus == 8;
+    table.add_row({std::to_string(gpus), util::Table::num(t.speedup, 2),
+                   util::Table::num(t.images_per_s, 1),
+                   util::Table::num(t.total_s, 1),
+                   util::Table::num(t.epoch_s, 3),
+                   published ? "yes" : "-"});
+  }
+  table.print();
+  std::printf("paper anchors: speedup 1.96 @2, 3.79 @4, 5.44 @6, 7.21 @8; "
+              "throughput 585.88 -> 4248.56 img/s.\n");
+  std::printf("curve shape: near-linear speedup with a mild droop from the "
+              "allreduce volume term and input-pipeline pressure, matching "
+              "the paper's observation of GPU starvation at high counts.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig 14 — qualitative comparison: original S2 tile, ground truth, and the
+// predictions of U-Net-Man and U-Net-Auto, written as PPM panels, plus
+// per-panel accuracy rows.
+//
+//   --scenes=5 --epochs=8 --out=bench_fig14_out --panels=3
+
+#include <cstdio>
+#include <filesystem>
+
+#include "img/io.h"
+#include "metrics/metrics.h"
+#include "nn/trainer.h"
+#include "par/thread_pool.h"
+#include "s2/scene.h"
+#include "support.h"
+
+using namespace polarice;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  bench::banner("Fig 14: qualitative predictions");
+  const std::string out_dir = args.get_string("out", "bench_fig14_out");
+  const int panels = static_cast<int>(args.get_int("panels", 3));
+  std::filesystem::create_directories(out_dir);
+
+  par::ThreadPool pool(par::ThreadPool::hardware());
+  auto wf_config = bench::default_workflow(args);
+  wf_config.training.epochs = static_cast<int>(args.get_int("epochs", 8));
+  wf_config.acquisition.num_scenes =
+      static_cast<int>(args.get_int("scenes", 5));
+  core::TrainingWorkflow workflow(wf_config);
+  std::printf("training both models...\n");
+  const auto result = workflow.run(&pool);
+
+  // Fresh tiles (unseen seed) for the qualitative panels.
+  core::CorpusConfig corpus_cfg;
+  corpus_cfg.acquisition = wf_config.acquisition;
+  corpus_cfg.acquisition.num_scenes = 1;
+  corpus_cfg.acquisition.seed = 555000;
+  corpus_cfg.acquisition.cloudy_scene_fraction = 1.0;
+  const auto tiles = core::prepare_corpus(corpus_cfg, &pool);
+
+  util::Table table({"panel", "cloud cover", "U-Net-Man acc",
+                     "U-Net-Auto acc"});
+  int written = 0;
+  for (const auto& tile : tiles) {
+    if (written >= panels) break;
+    if (tile.cloud_fraction < 0.05) continue;  // pick interesting tiles
+    const auto sample = core::tile_to_sample(tile.rgb_filtered, tile.truth);
+    const auto man_pred = nn::Trainer::predict(*result.unet_man, sample);
+    const auto auto_pred = nn::Trainer::predict(*result.unet_auto, sample);
+
+    const int w = tile.rgb.width(), h = tile.rgb.height();
+    img::ImageU8 man_plane(w, h, 1), auto_plane(w, h, 1);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        man_plane.at(x, y) =
+            static_cast<std::uint8_t>(man_pred[y * w + x]);
+        auto_plane.at(x, y) =
+            static_cast<std::uint8_t>(auto_pred[y * w + x]);
+      }
+    }
+    const std::string stem = out_dir + "/panel" + std::to_string(written);
+    img::write_ppm(stem + "_a_original.ppm", tile.rgb);
+    img::write_ppm(stem + "_b_ground_truth.ppm",
+                   s2::colorize_labels(tile.truth));
+    img::write_ppm(stem + "_c_unet_man.ppm", s2::colorize_labels(man_plane));
+    img::write_ppm(stem + "_d_unet_auto.ppm",
+                   s2::colorize_labels(auto_plane));
+
+    table.add_row(
+        {std::to_string(written), bench::pct(tile.cloud_fraction, 1),
+         bench::pct(metrics::pixel_accuracy(sample.labels, man_pred)),
+         bench::pct(metrics::pixel_accuracy(sample.labels, auto_pred))});
+    ++written;
+  }
+  table.print();
+  std::printf("wrote %d panels (original / truth / U-Net-Man / U-Net-Auto) "
+              "to %s/\n",
+              written, out_dir.c_str());
+  return 0;
+}

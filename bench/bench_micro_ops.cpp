@@ -1,0 +1,211 @@
+// Micro-benchmarks (google-benchmark) for the hot operators underneath the
+// workflow: GEMM, conv2d, HSV conversion, thresholds, filters, morphology,
+// ring allreduce, thread-pool dispatch, tile auto-labeling, U-Net forward.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+
+#include "core/autolabel.h"
+#include "core/cloud_filter.h"
+#include "ddp/communicator.h"
+#include "img/color.h"
+#include "img/filter.h"
+#include "img/morphology.h"
+#include "img/threshold.h"
+#include "nn/unet.h"
+#include "par/parallel_for.h"
+#include "s2/scene.h"
+#include "tensor/conv.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+using namespace polarice;
+
+namespace {
+img::ImageU8 bench_scene_rgb(int size) {
+  s2::SceneConfig cfg;
+  cfg.width = cfg.height = size;
+  cfg.seed = 12;
+  cfg.cloudy = true;
+  return s2::SceneGenerator(cfg).generate().rgb;
+}
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniform_f();
+  return v;
+}
+}  // namespace
+
+static void BM_GemmNN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = random_floats(static_cast<std::size_t>(n) * n, 1);
+  const auto b = random_floats(static_cast<std::size_t>(n) * n, 2);
+  std::vector<float> c(static_cast<std::size_t>(n) * n);
+  for (auto _ : state) {
+    tensor::gemm_nn(n, n, n, a.data(), b.data(), c.data(), false, nullptr);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_GemmNNPooled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = random_floats(static_cast<std::size_t>(n) * n, 1);
+  const auto b = random_floats(static_cast<std::size_t>(n) * n, 2);
+  std::vector<float> c(static_cast<std::size_t>(n) * n);
+  par::ThreadPool pool(8);
+  for (auto _ : state) {
+    tensor::gemm_nn(n, n, n, a.data(), b.data(), c.data(), false, &pool);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmNNPooled)->Arg(256)->Arg(512);
+
+static void BM_Conv2dForward(benchmark::State& state) {
+  const auto spec = tensor::Conv2dSpec::same(16, 16, 3);
+  tensor::Tensor x({4, 16, 64, 64}), w({16, 16, 3, 3}), b({16}), y;
+  util::Rng rng(3);
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f();
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform_f();
+  std::vector<float> scratch;
+  for (auto _ : state) {
+    tensor::conv2d_forward(x, w, b, y, spec, nullptr, scratch);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+static void BM_RgbToHsv(benchmark::State& state) {
+  const auto rgb = bench_scene_rgb(256);
+  for (auto _ : state) {
+    auto hsv = img::rgb_to_hsv(rgb);
+    benchmark::DoNotOptimize(hsv.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rgb.pixel_count()));
+}
+BENCHMARK(BM_RgbToHsv);
+
+static void BM_OtsuThreshold(benchmark::State& state) {
+  const auto gray = img::rgb_to_gray(bench_scene_rgb(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img::otsu_threshold(gray));
+  }
+}
+BENCHMARK(BM_OtsuThreshold);
+
+static void BM_GaussianBlur(benchmark::State& state) {
+  const auto gray = img::rgb_to_gray(bench_scene_rgb(256));
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto out = img::gaussian_blur(gray, k);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GaussianBlur)->Arg(5)->Arg(31);
+
+static void BM_MedianFilter(benchmark::State& state) {
+  const auto gray = img::rgb_to_gray(bench_scene_rgb(256));
+  for (auto _ : state) {
+    auto out = img::median_filter(gray, 5);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MedianFilter);
+
+static void BM_MorphOpen(benchmark::State& state) {
+  const auto gray = img::rgb_to_gray(bench_scene_rgb(256));
+  for (auto _ : state) {
+    auto out = img::morph_open(gray, 97);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MorphOpen);
+
+static void BM_CloudFilter(benchmark::State& state) {
+  const auto rgb = bench_scene_rgb(256);
+  const core::CloudShadowFilter filter;
+  for (auto _ : state) {
+    auto out = filter.apply(rgb);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CloudFilter);
+
+static void BM_AutoLabelTile(benchmark::State& state) {
+  const auto rgb = bench_scene_rgb(256);
+  const core::AutoLabeler labeler;  // filter + segmentation
+  for (auto _ : state) {
+    auto out = labeler.label(rgb);
+    benchmark::DoNotOptimize(out.labels.data());
+  }
+}
+BENCHMARK(BM_AutoLabelTile);
+
+static void BM_SceneGeneration(benchmark::State& state) {
+  s2::SceneConfig cfg;
+  cfg.width = cfg.height = static_cast<int>(state.range(0));
+  cfg.cloudy = true;
+  for (auto _ : state) {
+    cfg.seed += 1;  // avoid any memoization effects
+    auto scene = s2::SceneGenerator(cfg).generate();
+    benchmark::DoNotOptimize(scene.rgb.data());
+  }
+}
+BENCHMARK(BM_SceneGeneration)->Arg(128)->Arg(256);
+
+static void BM_RingAllreduce(benchmark::State& state) {
+  const int world_size = static_cast<int>(state.range(0));
+  const std::size_t count = 1 << 20;  // 4 MiB of gradients
+  for (auto _ : state) {
+    auto world = std::make_shared<ddp::World>(world_size);
+    std::vector<std::vector<float>> buffers(world_size);
+    for (auto& b : buffers) b.assign(count, 1.0f);
+    std::vector<std::jthread> threads;
+    for (int r = 0; r < world_size; ++r) {
+      threads.emplace_back([&, r] {
+        ddp::Communicator comm(world, r);
+        comm.ring_allreduce_average(buffers[r].data(), count);
+      });
+    }
+    threads.clear();
+    benchmark::DoNotOptimize(buffers[0].data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count) * 4 * world_size);
+}
+BENCHMARK(BM_RingAllreduce)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_ThreadPoolDispatch(benchmark::State& state) {
+  par::ThreadPool pool(4);
+  for (auto _ : state) {
+    par::parallel_for(&pool, 0, 256, [](std::size_t i) {
+      benchmark::DoNotOptimize(i * i);
+    });
+  }
+}
+BENCHMARK(BM_ThreadPoolDispatch);
+
+static void BM_UNetForward(benchmark::State& state) {
+  nn::UNetConfig cfg;
+  cfg.depth = 2;
+  cfg.base_channels = 8;
+  cfg.use_dropout = false;
+  nn::UNet model(cfg);
+  tensor::Tensor x({1, 3, 64, 64}), logits;
+  util::Rng rng(5);
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f();
+  for (auto _ : state) {
+    model.forward(x, logits, false);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_UNetForward);
+
+BENCHMARK_MAIN();

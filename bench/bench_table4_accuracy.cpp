@@ -1,0 +1,68 @@
+// Table IV — U-Net sea-ice classification accuracy over the Antarctic
+// summer dataset: U-Net-Man vs U-Net-Auto, evaluated on original imagery
+// and on thin-cloud/shadow-filtered imagery.
+//
+// Paper: original 91.39% / 90.18%; filtered 98.40% / 98.97% — i.e. the
+// filter buys ~7-9 points for both models and U-Net-Auto matches (slightly
+// beats) U-Net-Man after filtering. Those orderings are the target.
+//
+//   --scenes=6 --epochs=10 --batch=4 --depth=2 --base=8
+
+#include <cstdio>
+
+#include "par/thread_pool.h"
+#include "support.h"
+
+using namespace polarice;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  bench::banner("Table IV: U-Net accuracy, original vs filtered imagery");
+
+  par::ThreadPool pool(par::ThreadPool::hardware());
+  core::TrainingWorkflow workflow(bench::default_workflow(args));
+  std::printf("running the Fig 2 workflow (%d scenes, %d epochs)...\n",
+              workflow.config().acquisition.num_scenes,
+              workflow.config().training.epochs);
+  util::WallTimer timer;
+  const auto result = workflow.run(&pool);
+  std::printf("workflow completed in %.1fs\n\n", timer.seconds());
+
+  util::Table table({"Dataset", "U-Net-Man", "U-Net-Auto",
+                     "paper Man/Auto"});
+  table.add_row({"Original S2 images", bench::pct(result.man_original.accuracy),
+                 bench::pct(result.auto_original.accuracy),
+                 "91.39% / 90.18%"});
+  table.add_row({"S2 images with thin cloud and shadow filtered",
+                 bench::pct(result.man_filtered.accuracy),
+                 bench::pct(result.auto_filtered.accuracy),
+                 "98.40% / 98.97%"});
+  table.print();
+
+  std::printf("\nprecision / recall / F1 (macro), filtered imagery:\n");
+  util::Table prf({"model", "precision", "recall", "F1", "paper P/R/F1"});
+  prf.add_row({"U-Net-Man", bench::pct(result.man_filtered.precision),
+               bench::pct(result.man_filtered.recall),
+               bench::pct(result.man_filtered.f1),
+               "98.35% / 98.35% / 98.38%"});
+  prf.add_row({"U-Net-Auto", bench::pct(result.auto_filtered.precision),
+               bench::pct(result.auto_filtered.recall),
+               bench::pct(result.auto_filtered.f1),
+               "98.88% / 98.35%* / 98.89%*"});
+  prf.print();
+  std::printf("(*paper prints 91.87/91.89 for U-Net-Auto's filtered R/F1 — "
+              "inconsistent with its own accuracy row; we report the "
+              "consistent interpretation.)\n");
+
+  std::printf("\nshape checks:\n");
+  std::printf("  filter helps U-Net-Man:  %+0.2f points\n",
+              100 * (result.man_filtered.accuracy -
+                     result.man_original.accuracy));
+  std::printf("  filter helps U-Net-Auto: %+0.2f points\n",
+              100 * (result.auto_filtered.accuracy -
+                     result.auto_original.accuracy));
+  std::printf("  Auto - Man (filtered):   %+0.2f points (paper: +0.57)\n",
+              100 * (result.auto_filtered.accuracy -
+                     result.man_filtered.accuracy));
+  return 0;
+}

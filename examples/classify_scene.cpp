@@ -1,0 +1,78 @@
+// Fig 9 inference workflow end-to-end: train a compact U-Net on auto-labeled
+// data, then classify a brand-new (never seen) cloudy scene — filter, tile,
+// infer, stitch — and write the colorized classification next to the truth.
+//
+//   ./classify_scene [--scene_size=256] [--epochs=6] [--out=classified]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/corpus.h"
+#include "core/dataset_builder.h"
+#include "core/workflow.h"
+#include "img/io.h"
+#include "metrics/metrics.h"
+#include "nn/trainer.h"
+#include "par/thread_pool.h"
+#include "s2/scene.h"
+#include "util/args.h"
+
+using namespace polarice;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int scene_size = static_cast<int>(args.get_int("scene_size", 256));
+  const std::string out_dir = args.get_string("out", "classified");
+  std::filesystem::create_directories(out_dir);
+  par::ThreadPool pool(par::ThreadPool::hardware());
+
+  // 1. Prepare auto-labeled training data (no human labels anywhere).
+  core::CorpusConfig corpus_cfg;
+  corpus_cfg.acquisition.num_scenes = 4;
+  corpus_cfg.acquisition.scene_size = 256;
+  corpus_cfg.acquisition.tile_size = 64;
+  const auto tiles = core::prepare_corpus(corpus_cfg, &pool);
+  const auto data = core::build_dataset(tiles, core::LabelSource::kAuto,
+                                        core::ImageVariant::kFiltered);
+
+  // 2. Train U-Net-Auto.
+  nn::UNetConfig model_cfg;
+  model_cfg.depth = 2;
+  model_cfg.base_channels = 8;
+  model_cfg.use_dropout = false;
+  nn::UNet model(model_cfg);
+  model.set_pool(&pool);
+  nn::TrainConfig tc;
+  tc.epochs = static_cast<int>(args.get_int("epochs", 6));
+  tc.batch_size = 4;
+  tc.learning_rate = 2e-3f;
+  std::printf("training U-Net-Auto on %zu auto-labeled tiles...\n",
+              data.size());
+  const auto history = nn::Trainer(model, tc).fit(data);
+  std::printf("final train loss %.4f, pixel accuracy %.2f%%\n",
+              history.back().mean_loss,
+              100 * history.back().pixel_accuracy);
+
+  // 3. Classify a fresh cloudy scene (unseen seed).
+  s2::SceneConfig sc;
+  sc.width = sc.height = scene_size;
+  sc.seed = 31337;
+  sc.cloudy = true;
+  const auto scene = s2::SceneGenerator(sc).generate();
+  core::InferenceWorkflow inference(model, core::CloudFilterConfig{}, 64);
+  const auto prediction = inference.classify_scene(scene.rgb, &pool);
+
+  std::vector<int> truth, pred;
+  for (const auto v : scene.labels) truth.push_back(v);
+  for (const auto v : prediction) pred.push_back(v);
+  std::printf("scene classification accuracy: %.2f%% (cloud cover %.1f%%)\n",
+              100 * metrics::pixel_accuracy(truth, pred),
+              100 * scene.cloud_cover_fraction());
+
+  img::write_ppm(out_dir + "/scene.ppm", scene.rgb);
+  img::write_ppm(out_dir + "/truth.ppm", s2::colorize_labels(scene.labels));
+  img::write_ppm(out_dir + "/prediction.ppm",
+                 s2::colorize_labels(prediction));
+  std::printf("wrote scene/truth/prediction panels to %s/\n", out_dir.c_str());
+  return 0;
+}

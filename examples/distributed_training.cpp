@@ -1,0 +1,73 @@
+// Horovod-style synchronous data-parallel training demo: trains the same
+// U-Net on 1, 2, and 4 simulated GPUs (rank threads + ring allreduce) and
+// prints measured speedups plus the calibrated DGX A100 projection.
+//
+//   ./distributed_training [--scenes=4] [--epochs=3] [--max_ranks=4]
+
+#include <cstdio>
+
+#include "core/corpus.h"
+#include "core/dataset_builder.h"
+#include "ddp/device_model.h"
+#include "ddp/distributed_trainer.h"
+#include "par/thread_pool.h"
+#include "util/args.h"
+#include "util/table.h"
+
+using namespace polarice;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int epochs = static_cast<int>(args.get_int("epochs", 3));
+  const int max_ranks = static_cast<int>(args.get_int("max_ranks", 4));
+
+  core::CorpusConfig corpus_cfg;
+  corpus_cfg.acquisition.num_scenes =
+      static_cast<int>(args.get_int("scenes", 4));
+  corpus_cfg.acquisition.scene_size = 256;
+  corpus_cfg.acquisition.tile_size = 32;
+  par::ThreadPool pool(par::ThreadPool::hardware());
+  const auto tiles = core::prepare_corpus(corpus_cfg, &pool);
+  const auto data =
+      core::build_dataset(tiles, core::LabelSource::kAuto,
+                          core::ImageVariant::kFiltered);
+  std::printf("dataset: %zu tiles of %dx%d\n", data.size(), data.width(),
+              data.height());
+
+  nn::UNetConfig model_cfg;
+  model_cfg.depth = 2;
+  model_cfg.base_channels = 6;
+  model_cfg.use_dropout = false;
+
+  util::Table table({"ranks", "total (s)", "s/epoch", "img/s", "speedup",
+                     "final loss"});
+  double t1 = 0.0;
+  for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
+    nn::UNet model(model_cfg);
+    ddp::DistributedTrainConfig cfg;
+    cfg.world_size = ranks;
+    cfg.epochs = epochs;
+    cfg.batch_per_device = 4;
+    const auto stats = ddp::train_distributed(model, data, cfg);
+    if (ranks == 1) t1 = stats.total_s;
+    table.add_row({std::to_string(ranks), util::Table::num(stats.total_s, 2),
+                   util::Table::num(stats.epoch_s, 3),
+                   util::Table::num(stats.images_per_s, 1),
+                   util::Table::num(t1 / stats.total_s, 2),
+                   util::Table::num(stats.epoch_loss.back(), 4)});
+  }
+  std::printf("measured on this host (ring allreduce over rank threads):\n");
+  table.print();
+
+  std::printf("\ncalibrated DGX A100 projection (paper Table III):\n");
+  util::Table dgx({"GPUs", "total (s)", "s/epoch", "img/s", "speedup"});
+  for (const int gpus : {1, 2, 4, 6, 8}) {
+    const auto sim = ddp::simulate_training(ddp::DeviceModelConfig{}, gpus);
+    dgx.add_row({std::to_string(gpus), util::Table::num(sim.total_s, 2),
+                 util::Table::num(sim.epoch_s, 3),
+                 util::Table::num(sim.images_per_s, 1),
+                 util::Table::num(sim.speedup, 2)});
+  }
+  dgx.print();
+  return 0;
+}

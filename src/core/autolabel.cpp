@@ -1,0 +1,52 @@
+#include "core/autolabel.h"
+
+#include <stdexcept>
+
+#include "img/color.h"
+#include "img/ops.h"
+#include "s2/scene.h"
+
+namespace polarice::core {
+
+AutoLabeler::AutoLabeler(AutoLabelConfig config)
+    : config_(std::move(config)), filter_(config_.filter) {}
+
+AutoLabelResult AutoLabeler::label(const img::ImageU8& rgb) const {
+  if (rgb.channels() != 3) {
+    throw std::invalid_argument("AutoLabeler: expected RGB input");
+  }
+  AutoLabelResult result;
+  result.used_image = config_.apply_filter ? filter_.apply(rgb) : rgb;
+
+  const img::ImageU8 hsv = img::rgb_to_hsv(result.used_image);
+  const int w = hsv.width(), h = hsv.height();
+
+  // One mask per class (paper: three masks merged with distinct colors).
+  std::array<img::ImageU8, s2::kNumClasses> masks;
+  for (int cls = 0; cls < s2::kNumClasses; ++cls) {
+    masks[cls] =
+        img::in_range(hsv, config_.ranges[cls].lower, config_.ranges[cls].upper);
+  }
+
+  result.labels = img::ImageU8(w, h, 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // The paper's bands partition V, so exactly one mask fires; if ranges
+      // were customized to overlap, the highest class wins (thick > thin >
+      // water), and uncovered pixels fall back to thin ice (the middle band).
+      int label = static_cast<int>(s2::SeaIceClass::kThinIce);
+      for (int cls = s2::kNumClasses - 1; cls >= 0; --cls) {
+        if (masks[cls].at(x, y) != 0) {
+          label = cls;
+          break;
+        }
+      }
+      result.labels.at(x, y) = static_cast<std::uint8_t>(label);
+      ++result.class_counts[static_cast<std::size_t>(label)];
+    }
+  }
+  result.colorized = s2::colorize_labels(result.labels);
+  return result;
+}
+
+}  // namespace polarice::core

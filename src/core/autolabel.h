@@ -1,0 +1,45 @@
+#pragma once
+// Color-segmentation auto-labeler (paper §III.B, Fig 6): optional thin-cloud
+// /shadow filtering, HSV conversion, one in-range mask per class with the
+// paper's thresholds, and a merge into a single class-id plane plus the
+// paper's color-coded label image.
+
+#include <array>
+#include <cstddef>
+
+#include "core/cloud_filter.h"
+#include "img/image.h"
+#include "s2/classes.h"
+
+namespace polarice::core {
+
+struct AutoLabelConfig {
+  bool apply_filter = true;  // run CloudShadowFilter before segmenting
+  CloudFilterConfig filter;
+  std::array<s2::HsvRange, s2::kNumClasses> ranges = s2::kPaperHsvRanges;
+};
+
+struct AutoLabelResult {
+  img::ImageU8 labels;      // single-channel class ids
+  img::ImageU8 colorized;   // paper color coding (green/blue/red)
+  img::ImageU8 used_image;  // the image that was segmented (filtered or raw)
+  std::array<std::size_t, s2::kNumClasses> class_counts{};
+};
+
+class AutoLabeler {
+ public:
+  explicit AutoLabeler(AutoLabelConfig config = {});
+
+  /// Runs the Fig 6 pipeline on one RGB tile or scene.
+  [[nodiscard]] AutoLabelResult label(const img::ImageU8& rgb) const;
+
+  [[nodiscard]] const AutoLabelConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  AutoLabelConfig config_;
+  CloudShadowFilter filter_;
+};
+
+}  // namespace polarice::core

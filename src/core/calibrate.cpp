@@ -1,0 +1,114 @@
+#include "core/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+#include <stdexcept>
+
+#include "img/color.h"
+#include "img/threshold.h"
+
+namespace polarice::core {
+
+namespace {
+/// Snaps an Otsu cut to the nearest histogram valley: between-class
+/// variance has broad near-ties around class boundaries (it barely
+/// penalizes leaking a sliver of a far-away class), while the true
+/// inter-mode valley is where the smoothed density bottoms out. Searches a
+/// +-radius window and returns the center of the minimal-density run.
+int snap_to_valley(const double* smoothed, int cut, int lo, int hi,
+                   int radius) {
+  const int from = std::max(lo, cut - radius);
+  const int to = std::min(hi, cut + radius);
+  // Collect contiguous runs of the minimal density; several distinct
+  // valleys can tie (e.g., multiple stretches of empty bins), in which case
+  // the one nearest the Otsu cut is the boundary Otsu was approximating.
+  double best = std::numeric_limits<double>::max();
+  struct Run { int start, end; };
+  std::vector<Run> runs;
+  for (int i = from; i <= to; ++i) {
+    if (smoothed[i] < best - 1e-12) {
+      best = smoothed[i];
+      runs.clear();
+      runs.push_back({i, i});
+    } else if (smoothed[i] <= best + 1e-12) {
+      if (!runs.empty() && runs.back().end == i - 1) {
+        runs.back().end = i;  // extend the contiguous run
+      } else {
+        runs.push_back({i, i});  // a separate valley at the same depth
+      }
+    }
+  }
+  if (runs.empty()) return cut;
+  int best_center = cut;
+  int best_distance = std::numeric_limits<int>::max();
+  for (const auto& run : runs) {
+    const int center = (run.start + run.end) / 2;
+    const int distance = std::abs(center - cut);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best_center = center;
+    }
+  }
+  return best_center;
+}
+}  // namespace
+
+CalibratedThresholds calibrate_thresholds_from_v(const img::ImageU8& v_plane) {
+  if (v_plane.channels() != 1) {
+    throw std::invalid_argument(
+        "calibrate_thresholds_from_v: expected V plane");
+  }
+  std::uint64_t hist[256];
+  img::histogram256(v_plane, hist);
+  int occupied = 0;
+  for (int i = 0; i < 256; ++i) occupied += hist[i] != 0;
+  if (occupied < 3) {
+    throw std::invalid_argument(
+        "calibrate_thresholds: histogram too degenerate (need >= 3 levels)");
+  }
+
+  auto [t1, t2] = img::otsu_two_level(v_plane);
+
+  // Valley refinement on a lightly smoothed histogram.
+  double smoothed[256] = {};
+  for (int i = 0; i < 256; ++i) {
+    double acc = 0.0, norm = 0.0;
+    for (int d = -2; d <= 2; ++d) {
+      const int j = i + d;
+      if (j < 0 || j > 255) continue;
+      const double w = 3.0 - std::abs(d);
+      acc += w * static_cast<double>(hist[j]);
+      norm += w;
+    }
+    smoothed[i] = acc / norm;
+  }
+  constexpr int kValleyRadius = 40;
+  t1 = static_cast<std::uint8_t>(
+      snap_to_valley(smoothed, t1, 1, t2 - 1, kValleyRadius));
+  t2 = static_cast<std::uint8_t>(
+      snap_to_valley(smoothed, t2, t1 + 1, 254, kValleyRadius));
+
+  CalibratedThresholds out;
+  out.cut_low = t1;
+  out.cut_high = t2;
+  out.ranges = {{
+      {{0, 0, 0}, {180, 255, t1}},  // open water: V <= t1
+      {{0, 0, static_cast<std::uint8_t>(t1 + 1)},
+       {180, 255, t2}},             // thin ice: t1 < V <= t2
+      {{0, 0, static_cast<std::uint8_t>(t2 + 1)},
+       {180, 255, 255}},            // thick ice: V > t2
+  }};
+  return out;
+}
+
+CalibratedThresholds calibrate_thresholds(const img::ImageU8& rgb) {
+  if (rgb.channels() != 3) {
+    throw std::invalid_argument("calibrate_thresholds: expected RGB scene");
+  }
+  return calibrate_thresholds_from_v(
+      img::extract_channel(img::rgb_to_hsv(rgb), 2));
+}
+
+}  // namespace polarice::core

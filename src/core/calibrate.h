@@ -1,0 +1,32 @@
+#pragma once
+// Automatic HSV threshold calibration — the paper's §V future work, where
+// the authors note the summer Ross Sea thresholds had to be retuned by hand
+// for the partial-night season and for other regions.
+//
+// The calibrator replaces the hand-tuning: it computes the V histogram of a
+// (filtered) scene and finds the two cuts that maximize three-class
+// between-class variance (exact two-level Otsu), yielding a drop-in
+// replacement for the per-class HSV ranges of AutoLabelConfig.
+
+#include <array>
+
+#include "img/image.h"
+#include "s2/classes.h"
+
+namespace polarice::core {
+
+struct CalibratedThresholds {
+  std::uint8_t cut_low = 0;   // water | thin-ice boundary (V)
+  std::uint8_t cut_high = 0;  // thin-ice | thick-ice boundary (V)
+  std::array<s2::HsvRange, s2::kNumClasses> ranges;
+};
+
+/// Calibrates class thresholds from a representative RGB scene (apply the
+/// cloud/shadow filter first for cloudy scenes). Throws if the scene's V
+/// histogram is too degenerate to split (fewer than 3 occupied levels).
+CalibratedThresholds calibrate_thresholds(const img::ImageU8& rgb);
+
+/// Same, from an already-extracted V plane.
+CalibratedThresholds calibrate_thresholds_from_v(const img::ImageU8& v_plane);
+
+}  // namespace polarice::core

@@ -1,0 +1,74 @@
+#pragma once
+// Thin-cloud & cloud-shadow filter (paper §III.A, Fig 5).
+//
+// Physics: the generator (and, to first order, the real atmosphere over sea
+// ice) distorts a clean value V as
+//     V_obs = (V_clean * (1 - alpha) + 255 * alpha) * (1 - beta)
+// where alpha is thin-cloud opacity (additive white haze) and beta the
+// shadow attenuation, both spatially smooth.
+//
+// The filter estimates alpha(x) and beta(x) from local brightness envelopes
+// anchored on the season's class color constants — the same premise the
+// paper's color segmentation rests on (summer Ross Sea colors are nearly
+// constant):
+//     m(x) = blur(erode(V, K))   — local dark envelope (~open water)
+//     M(x) = blur(dilate(V, K))  — local bright envelope (~thick ice)
+// With reference anchors v_dark / v_bright,
+//     (1-a)(1-b) = (M - m) / (v_bright - v_dark)
+//     a (1-b)    = (m - v_dark * (1-a)(1-b)) / 255
+// which pins down alpha and beta pointwise; inverting the distortion yields
+// the filtered V. The pipeline is composed of the OpenCV-style primitives
+// the paper lists: HSV conversion, morphology, Gaussian smoothing, absolute
+// difference, Otsu thresholding (for the reported cloud mask), truncation
+// and min-max handling on the output.
+//
+// Estimates are exact only where a window sees both dark and bright classes
+// and the atmosphere is locally constant; elsewhere the heavy smoothing
+// dilutes the error. That residual imperfection is intentional — the paper
+// itself reports 99.64% (not 100%) label SSIM after filtering.
+
+#include "img/image.h"
+
+namespace polarice::core {
+
+struct CloudFilterConfig {
+  int envelope_kernel = 97;    // erode/dilate window K (odd)
+  int smooth_kernel = 31;      // Gaussian smoothing of the envelopes (odd)
+  int estimate_smooth_kernel = 81;  // smoothing of alpha/beta maps (odd)
+  double v_dark_ref = 10.0;    // seasonal open-water V anchor (envelope min)
+  double v_bright_ref = 245.0; // seasonal thick-ice V anchor (envelope max)
+  double max_alpha = 0.75;     // clamp for the haze estimate
+  double max_beta = 0.75;      // clamp for the shadow estimate
+  double activation = 0.02;    // estimates below this are treated as clear
+
+  void validate() const;
+};
+
+struct CloudFilterResult {
+  img::ImageU8 filtered;       // atmosphere-corrected RGB
+  img::ImageF32 alpha;         // estimated thin-cloud opacity per pixel
+  img::ImageF32 beta;          // estimated shadow attenuation per pixel
+  img::ImageU8 cloud_mask;     // Otsu-binarized |V_obs - V_filtered|
+};
+
+/// Stateless filter; all behaviour in the config.
+class CloudShadowFilter {
+ public:
+  explicit CloudShadowFilter(CloudFilterConfig config = {});
+
+  /// Full diagnostics (filtered image + estimated fields + mask).
+  [[nodiscard]] CloudFilterResult apply_with_diagnostics(
+      const img::ImageU8& rgb) const;
+
+  /// Just the filtered image.
+  [[nodiscard]] img::ImageU8 apply(const img::ImageU8& rgb) const;
+
+  [[nodiscard]] const CloudFilterConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  CloudFilterConfig config_;
+};
+
+}  // namespace polarice::core

@@ -1,0 +1,43 @@
+#pragma once
+// Corpus preparation — the paper's data-prep order of operations
+// (§IV.B.2): the thin-cloud/shadow filter and the color-segmentation
+// auto-labeler run on the 66 LARGE SCENES, and only then is everything
+// split into 256x256 tiles. Scene-level filtering matters: the brightness
+// envelopes need enough spatial context to see both dark (water) and
+// bright (thick ice) anchors, which small tiles cannot guarantee.
+
+#include <vector>
+
+#include "core/autolabel.h"
+#include "par/thread_pool.h"
+#include "s2/acquisition.h"
+#include "s2/manual_label.h"
+
+namespace polarice::core {
+
+/// One tile with every label/imagery variant the workflows need.
+struct LabeledTile {
+  img::ImageU8 rgb;            // observed (atmosphere included)
+  img::ImageU8 rgb_filtered;   // scene-level CloudShadowFilter output
+  img::ImageU8 rgb_clean;      // generator's atmosphere-free reference
+  img::ImageU8 truth;          // ground-truth class ids
+  img::ImageU8 auto_labels;    // scene-level color segmentation of filtered
+  img::ImageU8 manual_labels;  // simulated human annotation
+  double cloud_fraction = 0.0;
+  int scene_index = 0;
+  int tile_x = 0, tile_y = 0;
+};
+
+struct CorpusConfig {
+  s2::AcquisitionConfig acquisition;
+  AutoLabelConfig autolabel;       // filter config rides inside
+  s2::ManualLabelConfig manual;
+};
+
+/// Generates all scenes, applies scene-level filtering / auto-labeling /
+/// manual annotation, and splits into tiles. Scenes are processed in
+/// parallel on `pool`. Deterministic for a fixed config.
+std::vector<LabeledTile> prepare_corpus(const CorpusConfig& config,
+                                        par::ThreadPool* pool = nullptr);
+
+}  // namespace polarice::core

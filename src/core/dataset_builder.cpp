@@ -1,0 +1,98 @@
+#include "core/dataset_builder.h"
+
+#include <stdexcept>
+
+#include "core/corpus.h"
+#include "par/parallel_for.h"
+
+namespace polarice::core {
+
+nn::SegSample tile_to_sample(const img::ImageU8& rgb,
+                             const img::ImageU8& labels) {
+  if (rgb.channels() != 3 || labels.channels() != 1 ||
+      rgb.width() != labels.width() || rgb.height() != labels.height()) {
+    throw std::invalid_argument("tile_to_sample: shape mismatch");
+  }
+  const int w = rgb.width(), h = rgb.height();
+  nn::SegSample sample;
+  sample.image = tensor::Tensor({3, h, w});
+  sample.labels.resize(static_cast<std::size_t>(h) * w);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        sample.image[(static_cast<std::int64_t>(c) * h + y) * w + x] =
+            rgb.at(x, y, c) / 255.0f;
+      }
+      sample.labels[static_cast<std::size_t>(y) * w + x] = labels.at(x, y);
+    }
+  }
+  return sample;
+}
+
+nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
+                             const DatasetBuildConfig& config,
+                             par::ThreadPool* pool) {
+  const CloudShadowFilter filter(config.autolabel.filter);
+  const AutoLabeler labeler(config.autolabel);
+
+  std::vector<nn::SegSample> samples(tiles.size());
+  par::parallel_for(
+      pool, 0, tiles.size(),
+      [&](std::size_t i) {
+        const auto& tile = tiles[i];
+        img::ImageU8 image;
+        switch (config.images) {
+          case ImageVariant::kOriginal: image = tile.rgb; break;
+          case ImageVariant::kFiltered: image = filter.apply(tile.rgb); break;
+          case ImageVariant::kClean: image = tile.rgb_clean; break;
+        }
+        img::ImageU8 labels;
+        switch (config.labels) {
+          case LabelSource::kGroundTruth:
+            labels = tile.labels;
+            break;
+          case LabelSource::kManual: {
+            auto manual_cfg = config.manual;
+            // Annotator streams differ per tile but stay deterministic.
+            manual_cfg.seed += static_cast<std::uint64_t>(
+                tile.scene_index * 1009 + tile.tile_y * 31 + tile.tile_x);
+            labels = s2::simulate_manual_labels(tile.labels, manual_cfg);
+            break;
+          }
+          case LabelSource::kAuto:
+            // The auto-labeler runs its own filter stage on the observed
+            // imagery, exactly like the paper's Fig 6 pipeline.
+            labels = labeler.label(tile.rgb).labels;
+            break;
+        }
+        samples[i] = tile_to_sample(image, labels);
+      },
+      /*grain=*/1);
+
+  nn::SegDataset dataset;
+  for (auto& sample : samples) dataset.add(std::move(sample));
+  return dataset;
+}
+
+nn::SegDataset build_dataset(const std::vector<LabeledTile>& tiles,
+                             LabelSource labels, ImageVariant images) {
+  nn::SegDataset dataset;
+  for (const auto& tile : tiles) {
+    const img::ImageU8* image = nullptr;
+    switch (images) {
+      case ImageVariant::kOriginal: image = &tile.rgb; break;
+      case ImageVariant::kFiltered: image = &tile.rgb_filtered; break;
+      case ImageVariant::kClean: image = &tile.rgb_clean; break;
+    }
+    const img::ImageU8* label_plane = nullptr;
+    switch (labels) {
+      case LabelSource::kGroundTruth: label_plane = &tile.truth; break;
+      case LabelSource::kManual: label_plane = &tile.manual_labels; break;
+      case LabelSource::kAuto: label_plane = &tile.auto_labels; break;
+    }
+    dataset.add(tile_to_sample(*image, *label_plane));
+  }
+  return dataset;
+}
+
+}  // namespace polarice::core

@@ -1,0 +1,56 @@
+#pragma once
+// Bridges the s2 tile corpus to the nn training set (Fig 2's "training and
+// test data preparation"): choose which labels supervise the model (ground
+// truth, simulated-manual, or auto-generated) and which image variant the
+// model sees (original, cloud/shadow-filtered, or the atmosphere-free clean
+// reference).
+
+#include <vector>
+
+#include "core/autolabel.h"
+#include "nn/data.h"
+#include "par/thread_pool.h"
+#include "s2/manual_label.h"
+#include "s2/tiles.h"
+
+namespace polarice::core {
+
+enum class LabelSource {
+  kGroundTruth,  // generator truth (evaluation only — unavailable in reality)
+  kManual,       // simulated human annotation -> U-Net-Man
+  kAuto,         // filter + color segmentation -> U-Net-Auto
+};
+
+enum class ImageVariant {
+  kOriginal,  // as observed (clouds and shadows included)
+  kFiltered,  // CloudShadowFilter output
+  kClean,     // generator's atmosphere-free reference (diagnostics only)
+};
+
+struct DatasetBuildConfig {
+  LabelSource labels = LabelSource::kAuto;
+  ImageVariant images = ImageVariant::kFiltered;
+  AutoLabelConfig autolabel;          // used when labels == kAuto
+  s2::ManualLabelConfig manual;       // used when labels == kManual
+};
+
+/// Converts one RGB image + label plane into an nn sample ([3,H,W] floats
+/// in [0,1], one class id per pixel).
+nn::SegSample tile_to_sample(const img::ImageU8& rgb,
+                             const img::ImageU8& labels);
+
+/// Builds a SegDataset from raw tiles, running the per-tile filter /
+/// auto-label / manual-label paths on demand. Prefer the LabeledTile
+/// overload for training workflows — it reuses scene-level processing.
+nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
+                             const DatasetBuildConfig& config,
+                             par::ThreadPool* pool = nullptr);
+
+struct LabeledTile;  // core/corpus.h
+
+/// Builds a SegDataset from a prepared corpus (no recomputation: all label
+/// and imagery variants were produced at scene level by prepare_corpus).
+nn::SegDataset build_dataset(const std::vector<LabeledTile>& tiles,
+                             LabelSource labels, ImageVariant images);
+
+}  // namespace polarice::core

@@ -1,0 +1,73 @@
+#include "core/leads.h"
+
+#include <stdexcept>
+
+#include "img/morphology.h"
+#include "img/ops.h"
+
+namespace polarice::core {
+
+LeadDetector::LeadDetector(LeadDetectorConfig config) : config_(config) {
+  if (config_.max_lead_width < 1 || config_.max_lead_width % 2 == 0) {
+    throw std::invalid_argument("LeadDetector: max_lead_width must be odd >= 1");
+  }
+  if (config_.min_elongation < 1.0) {
+    throw std::invalid_argument("LeadDetector: min_elongation must be >= 1");
+  }
+}
+
+LeadAnalysis LeadDetector::detect(const img::ImageU8& labels) const {
+  if (labels.channels() != 1) {
+    throw std::invalid_argument("LeadDetector: expected class-id plane");
+  }
+  const int w = labels.width(), h = labels.height();
+
+  // 1. Water mask.
+  img::ImageU8 water(w, h, 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      water.at(x, y) =
+          labels.at(x, y) == config_.open_water_class ? 255 : 0;
+    }
+  }
+
+  // 2. Wide water bodies survive an opening with the max-lead-width kernel;
+  // the top-hat residual (water minus opened water) keeps only structures
+  // narrower than the kernel — leads and shoreline slivers.
+  const img::ImageU8 wide = img::morph_open(water, config_.max_lead_width);
+  const img::ImageU8 narrow = img::subtract_saturate(water, wide);
+
+  // 3. Components + geometry filters.
+  std::vector<std::int32_t> component_ids;
+  const auto components =
+      img::label_components(narrow, component_ids, /*connectivity=*/8);
+
+  LeadAnalysis analysis;
+  analysis.lead_mask = img::ImageU8(w, h, 1, 0);
+  std::vector<bool> keep(components.size() + 1, false);
+  for (const auto& cs : components) {
+    if (cs.area < config_.min_area) continue;
+    if (cs.elongation() < config_.min_elongation) continue;
+    Lead lead;
+    lead.component = cs;
+    lead.length = std::max(cs.bbox_width(), cs.bbox_height());
+    lead.mean_width = static_cast<double>(cs.area) / lead.length;
+    keep[static_cast<std::size_t>(cs.label)] = true;
+    analysis.leads.push_back(lead);
+  }
+  std::size_t lead_pixels = 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const auto id = component_ids[static_cast<std::size_t>(y) * w + x];
+      if (id > 0 && keep[static_cast<std::size_t>(id)]) {
+        analysis.lead_mask.at(x, y) = 255;
+        ++lead_pixels;
+      }
+    }
+  }
+  analysis.lead_area_fraction =
+      static_cast<double>(lead_pixels) / (static_cast<double>(w) * h);
+  return analysis;
+}
+
+}  // namespace polarice::core

@@ -1,0 +1,53 @@
+#pragma once
+// Lead detection — the application the paper's introduction and related
+// work (Muchow et al., lead-width distributions from Sentinel-2) motivate.
+//
+// A lead is a narrow, elongated crack of open water inside the ice sheet.
+// Given a class-id label map (from the auto-labeler or a U-Net), the
+// detector isolates open-water components, removes wide-open water bodies
+// by morphological opening, keeps elongated components, and reports
+// per-lead geometry including the mean width estimate
+// (area / skeleton-ish length ~ area / max(bbox side)).
+
+#include <vector>
+
+#include "img/components.h"
+#include "img/image.h"
+
+namespace polarice::core {
+
+struct LeadDetectorConfig {
+  int open_water_class = 0;     // class id treated as water
+  int max_lead_width = 9;       // opening kernel: wider water is "ocean"
+  double min_elongation = 3.0;  // bbox aspect ratio cutoff
+  std::size_t min_area = 30;    // ignore speckles
+};
+
+struct Lead {
+  img::ComponentStats component;
+  double length = 0.0;      // approximated by the longer bbox side
+  double mean_width = 0.0;  // area / length
+};
+
+struct LeadAnalysis {
+  std::vector<Lead> leads;
+  img::ImageU8 lead_mask;       // 255 where a detected lead lies
+  double lead_area_fraction = 0.0;  // lead pixels / image pixels
+};
+
+class LeadDetector {
+ public:
+  explicit LeadDetector(LeadDetectorConfig config = {});
+
+  /// Analyzes a class-id label plane (single channel).
+  [[nodiscard]] LeadAnalysis detect(const img::ImageU8& labels) const;
+
+  [[nodiscard]] const LeadDetectorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  LeadDetectorConfig config_;
+};
+
+}  // namespace polarice::core

@@ -1,0 +1,34 @@
+#pragma once
+// Single-node scaling of the auto-labeling pipeline (paper §III.B "Python
+// Multiprocessing", Table I / Fig 10): the tile list is processed by a
+// worker pool; each worker runs the full filter + color-segmentation
+// pipeline on its tiles.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/autolabel.h"
+
+namespace polarice::core {
+
+struct ParallelAutoLabelStats {
+  double seconds = 0.0;          // wall time for the whole batch
+  std::size_t tiles = 0;
+  double tiles_per_second = 0.0;
+};
+
+class ParallelAutoLabeler {
+ public:
+  explicit ParallelAutoLabeler(AutoLabelConfig config = {});
+
+  /// Labels every tile with `workers` threads (1 = sequential) and reports
+  /// wall time. Results are in input order regardless of worker count.
+  std::vector<AutoLabelResult> run(const std::vector<img::ImageU8>& tiles,
+                                   std::size_t workers,
+                                   ParallelAutoLabelStats* stats = nullptr) const;
+
+ private:
+  AutoLabelConfig config_;
+};
+
+}  // namespace polarice::core

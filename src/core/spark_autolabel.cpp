@@ -1,0 +1,26 @@
+#include "core/spark_autolabel.h"
+
+namespace polarice::core {
+
+SparkAutoLabeler::SparkAutoLabeler(mr::ClusterConfig cluster,
+                                   AutoLabelConfig config)
+    : cluster_(cluster), config_(std::move(config)) {
+  cluster_.validate();
+}
+
+SparkAutoLabelOutput SparkAutoLabeler::run(std::vector<img::ImageU8> tiles) {
+  mr::SparkContext context(cluster_);
+  // Load: partition the tile collection across the cluster.
+  auto rdd = context.parallelize(std::move(tiles));
+  // Map: lazy — attaches the auto-labeling UDF to the lineage.
+  const AutoLabeler labeler(config_);
+  auto labeled = rdd.map(
+      [labeler](const img::ImageU8& tile) { return labeler.label(tile).labels; });
+  // Reduce/collect: triggers the distributed computation.
+  SparkAutoLabelOutput output;
+  output.labels = labeled.collect();
+  output.times = context.last_job();
+  return output;
+}
+
+}  // namespace polarice::core

@@ -1,0 +1,33 @@
+#pragma once
+// Map-reduce scaling of the auto-labeling pipeline (paper §III.B "PySpark
+// Map-Reduce", Table II): load the tiles into an RDD, apply the
+// auto-labeling UDF as a lazy map transformation, and collect. The returned
+// JobTimes carries both measured wall times and the calibrated Dataproc
+// simulation for the configured executors x cores.
+
+#include <vector>
+
+#include "core/autolabel.h"
+#include "mr/rdd.h"
+#include "mr/spark_context.h"
+
+namespace polarice::core {
+
+struct SparkAutoLabelOutput {
+  std::vector<img::ImageU8> labels;  // per-tile class-id planes, input order
+  mr::JobTimes times;
+};
+
+class SparkAutoLabeler {
+ public:
+  SparkAutoLabeler(mr::ClusterConfig cluster, AutoLabelConfig config = {});
+
+  /// Runs the full load -> map(UDF) -> collect job.
+  SparkAutoLabelOutput run(std::vector<img::ImageU8> tiles);
+
+ private:
+  mr::ClusterConfig cluster_;
+  AutoLabelConfig config_;
+};
+
+}  // namespace polarice::core

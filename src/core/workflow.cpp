@@ -1,0 +1,204 @@
+#include "core/workflow.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "img/ops.h"
+#include "tensor/conv.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace polarice::core {
+
+void WorkflowConfig::validate() const {
+  acquisition.validate();
+  model.validate();
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("WorkflowConfig: train_fraction in (0,1)");
+  }
+  if (acquisition.tile_size % model.spatial_divisor() != 0) {
+    throw std::invalid_argument(
+        "WorkflowConfig: tile_size must be divisible by the model's 2^depth");
+  }
+  if (cloud_split_threshold < 0.0 || cloud_split_threshold > 1.0) {
+    throw std::invalid_argument("WorkflowConfig: bad cloud_split_threshold");
+  }
+}
+
+TrainingWorkflow::TrainingWorkflow(WorkflowConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+Evaluation TrainingWorkflow::evaluate(nn::UNet& model,
+                                      const std::vector<LabeledTile>& tiles,
+                                      ImageVariant variant,
+                                      par::ThreadPool* pool) {
+  Evaluation eval;
+  if (tiles.empty()) return eval;
+  const nn::SegDataset dataset =
+      build_dataset(tiles, LabelSource::kGroundTruth, variant);
+
+  model.set_pool(pool);
+  nn::DataLoader loader(dataset, /*batch_size=*/8, /*seed=*/0,
+                        /*shuffle=*/false);
+  loader.start_epoch();
+  tensor::Tensor logits, probs;
+  nn::Batch batch;
+  while (loader.next(batch)) {
+    model.forward(batch.x, logits, /*training=*/false);
+    tensor::softmax_channel(logits, probs);
+    const auto pred = tensor::argmax_channel(probs);
+    eval.confusion.add_all(batch.targets, pred);
+  }
+  eval.accuracy = eval.confusion.accuracy();
+  eval.precision = eval.confusion.macro_precision();
+  eval.recall = eval.confusion.macro_recall();
+  eval.f1 = eval.confusion.macro_f1();
+  return eval;
+}
+
+TrainingWorkflowResult TrainingWorkflow::run(par::ThreadPool* pool) {
+  const auto& cfg = config_;
+
+  // 1. Acquire and prepare the corpus (scene-level filter + labels), then
+  // shuffle tiles and split 80/20.
+  LOG_INFO() << "workflow: preparing " << cfg.acquisition.total_tiles()
+             << " tiles from " << cfg.acquisition.num_scenes << " scenes";
+  CorpusConfig corpus_cfg;
+  corpus_cfg.acquisition = cfg.acquisition;
+  corpus_cfg.autolabel = cfg.autolabel;
+  corpus_cfg.manual = cfg.manual;
+  std::vector<LabeledTile> tiles = prepare_corpus(corpus_cfg, pool);
+  util::Rng split_rng(cfg.split_seed);
+  std::shuffle(tiles.begin(), tiles.end(), split_rng);
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(tiles.size()) * cfg.train_fraction);
+  const std::vector<LabeledTile> train_tiles(tiles.begin(),
+                                             tiles.begin() + cut);
+  const std::vector<LabeledTile> test_tiles(tiles.begin() + cut, tiles.end());
+  if (train_tiles.empty() || test_tiles.empty()) {
+    throw std::invalid_argument("TrainingWorkflow: split produced empty set");
+  }
+
+  // 2. Training sets: both models see the filtered imagery (the filter is
+  // part of the paper's pipeline); only the supervision differs.
+  const nn::SegDataset man_data =
+      build_dataset(train_tiles, LabelSource::kManual, ImageVariant::kFiltered);
+  const nn::SegDataset auto_data =
+      build_dataset(train_tiles, LabelSource::kAuto, ImageVariant::kFiltered);
+
+  // 3. Train the two models.
+  TrainingWorkflowResult result;
+  result.unet_man = std::make_shared<nn::UNet>(cfg.model);
+  auto auto_model_cfg = cfg.model;
+  auto_model_cfg.seed += 1;  // independent init, as two separate trainings
+  result.unet_auto = std::make_shared<nn::UNet>(auto_model_cfg);
+
+  result.unet_man->set_pool(pool);
+  result.unet_auto->set_pool(pool);
+  LOG_INFO() << "workflow: training U-Net-Man";
+  result.man_history = nn::Trainer(*result.unet_man, cfg.training).fit(man_data);
+  LOG_INFO() << "workflow: training U-Net-Auto";
+  result.auto_history =
+      nn::Trainer(*result.unet_auto, cfg.training).fit(auto_data);
+
+  // 4. Table IV evaluations (whole test split).
+  result.man_original = evaluate(*result.unet_man, test_tiles,
+                                 ImageVariant::kOriginal, pool);
+  result.man_filtered = evaluate(*result.unet_man, test_tiles,
+                                 ImageVariant::kFiltered, pool);
+  result.auto_original = evaluate(*result.unet_auto, test_tiles,
+                                  ImageVariant::kOriginal, pool);
+  result.auto_filtered = evaluate(*result.unet_auto, test_tiles,
+                                  ImageVariant::kFiltered, pool);
+
+  // 5. Table V / Fig 13: bucket the test split by cloud cover.
+  std::vector<LabeledTile> cloudy, clear;
+  for (const auto& tile : test_tiles) {
+    (tile.cloud_fraction > cfg.cloud_split_threshold ? cloudy : clear)
+        .push_back(tile);
+  }
+  result.test_tiles_cloudy = cloudy.size();
+  result.test_tiles_clear = clear.size();
+  result.man_cloudy_original =
+      evaluate(*result.unet_man, cloudy, ImageVariant::kOriginal, pool);
+  result.man_cloudy_filtered =
+      evaluate(*result.unet_man, cloudy, ImageVariant::kFiltered, pool);
+  result.auto_cloudy_original =
+      evaluate(*result.unet_auto, cloudy, ImageVariant::kOriginal, pool);
+  result.auto_cloudy_filtered =
+      evaluate(*result.unet_auto, cloudy, ImageVariant::kFiltered, pool);
+  result.man_clear_original =
+      evaluate(*result.unet_man, clear, ImageVariant::kOriginal, pool);
+  result.man_clear_filtered =
+      evaluate(*result.unet_man, clear, ImageVariant::kFiltered, pool);
+  result.auto_clear_original =
+      evaluate(*result.unet_auto, clear, ImageVariant::kOriginal, pool);
+  result.auto_clear_filtered =
+      evaluate(*result.unet_auto, clear, ImageVariant::kFiltered, pool);
+  return result;
+}
+
+InferenceWorkflow::InferenceWorkflow(nn::UNet& model,
+                                     CloudFilterConfig filter_config,
+                                     int tile_size)
+    : model_(model), filter_(filter_config), tile_size_(tile_size) {
+  if (tile_size <= 0 || tile_size % model.config().spatial_divisor() != 0) {
+    throw std::invalid_argument(
+        "InferenceWorkflow: tile_size incompatible with model depth");
+  }
+}
+
+img::ImageU8 InferenceWorkflow::classify_scene(const img::ImageU8& scene_rgb,
+                                               par::ThreadPool* pool) {
+  if (scene_rgb.channels() != 3) {
+    throw std::invalid_argument("InferenceWorkflow: expected RGB scene");
+  }
+  if (scene_rgb.width() % tile_size_ != 0 ||
+      scene_rgb.height() % tile_size_ != 0) {
+    throw std::invalid_argument(
+        "InferenceWorkflow: scene size must be a tile multiple");
+  }
+  const int tiles_x = scene_rgb.width() / tile_size_;
+  const int tiles_y = scene_rgb.height() / tile_size_;
+
+  // Fig 9, with the corpus lesson applied: filter the big scene once, then
+  // split and infer per tile.
+  const img::ImageU8 filtered = filter_.apply(scene_rgb);
+
+  model_.set_pool(pool);
+  std::vector<img::ImageU8> predictions(
+      static_cast<std::size_t>(tiles_x) * tiles_y);
+  tensor::Tensor x({1, 3, tile_size_, tile_size_});
+  tensor::Tensor logits, probs;
+  for (int ty = 0; ty < tiles_y; ++ty) {
+    for (int tx = 0; tx < tiles_x; ++tx) {
+      const img::ImageU8 tile = img::crop(filtered, tx * tile_size_,
+                                          ty * tile_size_, tile_size_,
+                                          tile_size_);
+      for (int y = 0; y < tile_size_; ++y) {
+        for (int xx = 0; xx < tile_size_; ++xx) {
+          for (int c = 0; c < 3; ++c) {
+            x.at4(0, c, y, xx) = tile.at(xx, y, c) / 255.0f;
+          }
+        }
+      }
+      model_.forward(x, logits, /*training=*/false);
+      tensor::softmax_channel(logits, probs);
+      const auto pred = tensor::argmax_channel(probs);
+      img::ImageU8 plane(tile_size_, tile_size_, 1);
+      for (int y = 0; y < tile_size_; ++y) {
+        for (int xx = 0; xx < tile_size_; ++xx) {
+          plane.at(xx, y) = static_cast<std::uint8_t>(
+              pred[static_cast<std::size_t>(y) * tile_size_ + xx]);
+        }
+      }
+      predictions[static_cast<std::size_t>(ty) * tiles_x + tx] =
+          std::move(plane);
+    }
+  }
+  return s2::stitch_labels(predictions, tiles_x, tiles_y);
+}
+
+}  // namespace polarice::core

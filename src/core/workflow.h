@@ -1,0 +1,107 @@
+#pragma once
+// End-to-end workflows gluing the substrates together.
+//
+// TrainingWorkflow = the paper's Fig 2: acquire tiles, derive manual and
+// auto labels, train U-Net-Man and U-Net-Auto, and evaluate both on the
+// held-out split against ground truth, on original and filtered imagery,
+// overall (Table IV) and bucketed by cloud cover (Table V, Fig 13).
+//
+// InferenceWorkflow = Fig 9: big scene -> 256x256 tiles -> thin-cloud/
+// shadow filter -> U-Net inference -> stitched scene-level classification.
+
+#include <memory>
+#include <vector>
+
+#include "core/corpus.h"
+#include "core/dataset_builder.h"
+#include "metrics/metrics.h"
+#include "nn/trainer.h"
+#include "nn/unet.h"
+#include "s2/acquisition.h"
+
+namespace polarice::core {
+
+struct WorkflowConfig {
+  s2::AcquisitionConfig acquisition;   // data source
+  nn::UNetConfig model;                // architecture family member
+  nn::TrainConfig training;            // epochs / batch / lr
+  AutoLabelConfig autolabel;           // auto-label pipeline (with filter)
+  s2::ManualLabelConfig manual;        // simulated annotator
+  double train_fraction = 0.8;         // paper: 80/20 split
+  std::uint64_t split_seed = 77;       // tile shuffle before splitting
+  double cloud_split_threshold = 0.10; // Table V bucket boundary
+
+  void validate() const;
+};
+
+/// Metrics of one model on one image variant, against ground truth.
+struct Evaluation {
+  double accuracy = 0.0;
+  double precision = 0.0;  // macro
+  double recall = 0.0;     // macro
+  double f1 = 0.0;         // macro
+  metrics::ConfusionMatrix confusion{s2::kNumClasses};
+};
+
+struct TrainingWorkflowResult {
+  std::shared_ptr<nn::UNet> unet_man;
+  std::shared_ptr<nn::UNet> unet_auto;
+  std::vector<nn::EpochStats> man_history;
+  std::vector<nn::EpochStats> auto_history;
+
+  // Table IV: overall test accuracy.
+  Evaluation man_original, man_filtered;
+  Evaluation auto_original, auto_filtered;
+
+  // Table V / Fig 13: split by cloud cover (> / <= threshold).
+  Evaluation man_cloudy_original, man_cloudy_filtered;
+  Evaluation auto_cloudy_original, auto_cloudy_filtered;
+  Evaluation man_clear_original, man_clear_filtered;
+  Evaluation auto_clear_original, auto_clear_filtered;
+
+  std::size_t test_tiles_cloudy = 0;
+  std::size_t test_tiles_clear = 0;
+};
+
+class TrainingWorkflow {
+ public:
+  explicit TrainingWorkflow(WorkflowConfig config);
+
+  /// Runs the whole Fig 2 pipeline. `pool` parallelizes data preparation
+  /// and evaluation (training itself uses the model's configured pool).
+  TrainingWorkflowResult run(par::ThreadPool* pool = nullptr);
+
+  /// Evaluates an already-trained model on prepared tiles against ground
+  /// truth. Exposed for the benches (Table V / Fig 13 sweeps re-use the
+  /// models trained once).
+  static Evaluation evaluate(nn::UNet& model,
+                             const std::vector<LabeledTile>& tiles,
+                             ImageVariant variant,
+                             par::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] const WorkflowConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  WorkflowConfig config_;
+};
+
+class InferenceWorkflow {
+ public:
+  /// `model` must outlive the workflow. tile_size must be compatible with
+  /// the model's spatial divisor.
+  InferenceWorkflow(nn::UNet& model, CloudFilterConfig filter_config,
+                    int tile_size);
+
+  /// Classifies a full scene; returns a scene-sized class-id plane.
+  img::ImageU8 classify_scene(const img::ImageU8& scene_rgb,
+                              par::ThreadPool* pool = nullptr);
+
+ private:
+  nn::UNet& model_;
+  CloudShadowFilter filter_;
+  int tile_size_;
+};
+
+}  // namespace polarice::core

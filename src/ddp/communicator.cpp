@@ -1,0 +1,141 @@
+#include "ddp/communicator.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace polarice::ddp {
+
+void Channel::send(std::vector<float> message) {
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_one();
+}
+
+std::vector<float> Channel::recv() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return !queue_.empty(); });
+  std::vector<float> message = std::move(queue_.front());
+  queue_.pop_front();
+  return message;
+}
+
+World::World(int size) : size_(size) {
+  if (size < 1) throw std::invalid_argument("World: size must be >= 1");
+  channels_.resize(static_cast<std::size_t>(size) * size);
+  for (auto& ch : channels_) ch = std::make_unique<Channel>();
+}
+
+Channel& World::channel(int from, int to) {
+  if (from < 0 || from >= size_ || to < 0 || to >= size_) {
+    throw std::out_of_range("World::channel: bad rank");
+  }
+  return *channels_[static_cast<std::size_t>(from) * size_ + to];
+}
+
+void World::barrier() {
+  std::unique_lock lock(barrier_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_count_ == size_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock,
+                   [&] { return barrier_generation_ != generation; });
+}
+
+Communicator::Communicator(std::shared_ptr<World> world, int rank)
+    : world_(std::move(world)), rank_(rank) {
+  if (rank < 0 || rank >= world_->size()) {
+    throw std::out_of_range("Communicator: bad rank");
+  }
+}
+
+void Communicator::send(int to, std::vector<float> message) {
+  world_->channel(rank_, to).send(std::move(message));
+}
+
+std::vector<float> Communicator::recv(int from) {
+  return world_->channel(from, rank_).recv();
+}
+
+void Communicator::ring_allreduce_sum(float* data, std::size_t count) {
+  const int n = world_size();
+  if (n == 1 || count == 0) return;
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+
+  // Chunk boundaries: chunk c covers [offset(c), offset(c+1)).
+  const auto offset = [&](int c) {
+    return count * static_cast<std::size_t>(c) / static_cast<std::size_t>(n);
+  };
+  const auto chunk_span = [&](int c) {
+    const std::size_t lo = offset(c), hi = offset(c + 1);
+    return std::pair<std::size_t, std::size_t>(lo, hi - lo);
+  };
+
+  // Phase 1: scatter-reduce. After N-1 steps rank r holds the fully reduced
+  // chunk (r+1) mod N.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_chunk = ((rank_ - step) % n + n) % n;
+    const int recv_chunk = ((rank_ - step - 1) % n + n) % n;
+    const auto [send_lo, send_len] = chunk_span(send_chunk);
+    std::vector<float> outgoing(data + send_lo, data + send_lo + send_len);
+    send(right, std::move(outgoing));
+    const std::vector<float> incoming = recv(left);
+    const auto [recv_lo, recv_len] = chunk_span(recv_chunk);
+    if (incoming.size() != recv_len) {
+      throw std::runtime_error("ring_allreduce: chunk size mismatch");
+    }
+    for (std::size_t i = 0; i < recv_len; ++i) data[recv_lo + i] += incoming[i];
+  }
+
+  // Phase 2: allgather. Each rank forwards the reduced chunks around the
+  // ring, overwriting local data.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_chunk = ((rank_ - step + 1) % n + n) % n;
+    const int recv_chunk = ((rank_ - step) % n + n) % n;
+    const auto [send_lo, send_len] = chunk_span(send_chunk);
+    std::vector<float> outgoing(data + send_lo, data + send_lo + send_len);
+    send(right, std::move(outgoing));
+    const std::vector<float> incoming = recv(left);
+    const auto [recv_lo, recv_len] = chunk_span(recv_chunk);
+    if (incoming.size() != recv_len) {
+      throw std::runtime_error("ring_allreduce: chunk size mismatch");
+    }
+    std::memcpy(data + recv_lo, incoming.data(), recv_len * sizeof(float));
+  }
+}
+
+void Communicator::ring_allreduce_average(float* data, std::size_t count) {
+  ring_allreduce_sum(data, count);
+  const float inv = 1.0f / static_cast<float>(world_size());
+  for (std::size_t i = 0; i < count; ++i) data[i] *= inv;
+}
+
+void Communicator::broadcast(float* data, std::size_t count, int root) {
+  const int n = world_size();
+  if (n == 1 || count == 0) return;
+  if (root < 0 || root >= n) {
+    throw std::out_of_range("broadcast: bad root");
+  }
+  // Ring pipeline: root sends to its right neighbour; everyone except the
+  // rank left of root forwards.
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+  if (rank_ == root) {
+    send(right, std::vector<float>(data, data + count));
+  } else {
+    std::vector<float> incoming = recv(left);
+    if (incoming.size() != count) {
+      throw std::runtime_error("broadcast: size mismatch");
+    }
+    std::memcpy(data, incoming.data(), count * sizeof(float));
+    if (right != root) send(right, std::move(incoming));
+  }
+}
+
+}  // namespace polarice::ddp

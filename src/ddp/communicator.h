@@ -1,0 +1,78 @@
+#pragma once
+// In-memory communicator for the Horovod substitute: N ranks (threads)
+// exchanging float buffers over blocking mailbox channels, with a real
+// chunked ring allreduce (Patarasuk & Yuan 2009 — the algorithm Horovod
+// uses via NCCL) and a rank-0 broadcast.
+//
+// Message passing follows CP.mess: values are moved through a mutex+condvar
+// mailbox per directed pair; no shared mutable tensors between ranks.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace polarice::ddp {
+
+/// Blocking FIFO mailbox for one directed rank pair.
+class Channel {
+ public:
+  void send(std::vector<float> message);
+  std::vector<float> recv();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::vector<float>> queue_;
+};
+
+/// Shared state of one communicator world (create once, hand to all ranks).
+class World {
+ public:
+  explicit World(int size);
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] Channel& channel(int from, int to);
+
+  /// Blocks until all `size` ranks arrive (reusable).
+  void barrier();
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<Channel>> channels_;  // size x size mesh
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+/// Per-rank handle. Thread-compatible: each rank thread owns exactly one.
+class Communicator {
+ public:
+  Communicator(std::shared_ptr<World> world, int rank);
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int world_size() const noexcept { return world_->size(); }
+
+  void send(int to, std::vector<float> message);
+  [[nodiscard]] std::vector<float> recv(int from);
+  void barrier() { world_->barrier(); }
+
+  /// In-place ring allreduce (sum): after the call every rank holds the
+  /// element-wise sum over all ranks. 2(N-1) chunk transfers per rank.
+  void ring_allreduce_sum(float* data, std::size_t count);
+
+  /// Convenience: sum then scale by 1/world_size (gradient averaging).
+  void ring_allreduce_average(float* data, std::size_t count);
+
+  /// Copies `data` from `root` to every rank (ring pipeline).
+  void broadcast(float* data, std::size_t count, int root);
+
+ private:
+  std::shared_ptr<World> world_;
+  int rank_;
+};
+
+}  // namespace polarice::ddp

@@ -1,0 +1,34 @@
+#include "ddp/device_model.h"
+
+#include <stdexcept>
+
+namespace polarice::ddp {
+
+void DeviceModelConfig::validate() const {
+  if (epoch_1gpu_s <= 0 || images_per_epoch <= 0 || epochs <= 0) {
+    throw std::invalid_argument("DeviceModelConfig: non-positive workload");
+  }
+  if (ring_s < 0 || per_rank_s < 0) {
+    throw std::invalid_argument("DeviceModelConfig: negative overheads");
+  }
+}
+
+SimulatedTraining simulate_training(const DeviceModelConfig& config,
+                                    int gpus) {
+  config.validate();
+  if (gpus < 1) throw std::invalid_argument("simulate_training: gpus < 1");
+  const auto epoch_of = [&](int n) {
+    return config.epoch_1gpu_s / n + config.ring_s * (n - 1) / n +
+           config.per_rank_s * (n - 1);
+  };
+  SimulatedTraining out;
+  out.gpus = gpus;
+  out.epoch_s = epoch_of(gpus);
+  out.total_s = out.epoch_s * config.epochs;
+  out.images_per_s =
+      static_cast<double>(config.images_per_epoch) / out.epoch_s;
+  out.speedup = epoch_of(1) / out.epoch_s;
+  return out;
+}
+
+}  // namespace polarice::ddp

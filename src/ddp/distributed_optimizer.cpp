@@ -1,0 +1,60 @@
+#include "ddp/distributed_optimizer.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace polarice::ddp {
+
+DistributedOptimizer::DistributedOptimizer(
+    std::unique_ptr<nn::Optimizer> local, Communicator* comm)
+    : local_(std::move(local)), comm_(comm) {
+  if (!local_) throw std::invalid_argument("DistributedOptimizer: null opt");
+  if (comm_ == nullptr) {
+    throw std::invalid_argument("DistributedOptimizer: null communicator");
+  }
+  std::size_t total = 0;
+  for (const auto& p : local_->params()) {
+    total += static_cast<std::size_t>(p.grad->numel());
+  }
+  flat_.resize(total);
+}
+
+void DistributedOptimizer::step() {
+  if (comm_->world_size() > 1) {
+    // Flatten all gradients into one buffer: a single large ring allreduce
+    // amortizes per-message latency exactly like Horovod's tensor fusion.
+    std::size_t cursor = 0;
+    for (const auto& p : local_->params()) {
+      const auto n = static_cast<std::size_t>(p.grad->numel());
+      std::memcpy(flat_.data() + cursor, p.grad->data(), n * sizeof(float));
+      cursor += n;
+    }
+    comm_->ring_allreduce_average(flat_.data(), flat_.size());
+    cursor = 0;
+    for (const auto& p : local_->params()) {
+      const auto n = static_cast<std::size_t>(p.grad->numel());
+      std::memcpy(p.grad->data(), flat_.data() + cursor, n * sizeof(float));
+      cursor += n;
+    }
+  }
+  local_->step();
+}
+
+void DistributedOptimizer::broadcast_parameters(int root) {
+  if (comm_->world_size() == 1) return;
+  std::size_t cursor = 0;
+  for (const auto& p : local_->params()) {
+    const auto n = static_cast<std::size_t>(p.value->numel());
+    std::memcpy(flat_.data() + cursor, p.value->data(), n * sizeof(float));
+    cursor += n;
+  }
+  comm_->broadcast(flat_.data(), flat_.size(), root);
+  cursor = 0;
+  for (const auto& p : local_->params()) {
+    const auto n = static_cast<std::size_t>(p.value->numel());
+    std::memcpy(p.value->data(), flat_.data() + cursor, n * sizeof(float));
+    cursor += n;
+  }
+}
+
+}  // namespace polarice::ddp

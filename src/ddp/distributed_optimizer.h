@@ -1,0 +1,41 @@
+#pragma once
+// Horovod-style DistributedOptimizer: wraps a local optimizer and averages
+// gradients across ranks with a single ring allreduce over one flattened
+// buffer before every step — the opt = hvd.DistributedOptimizer(opt) step
+// of the paper's Fig 8 pseudo-code.
+
+#include <memory>
+#include <vector>
+
+#include "ddp/communicator.h"
+#include "nn/optimizer.h"
+
+namespace polarice::ddp {
+
+class DistributedOptimizer {
+ public:
+  /// Takes ownership of the local optimizer (one per rank). All ranks must
+  /// construct with identically-structured parameter lists.
+  DistributedOptimizer(std::unique_ptr<nn::Optimizer> local,
+                       Communicator* comm);
+
+  /// Averages all parameter gradients across ranks, then steps locally.
+  /// Because every rank sees identical averaged gradients (the ring sums in
+  /// a fixed order), replicas stay bit-identical without a parameter server.
+  void step();
+
+  void zero_grad() { local_->zero_grad(); }
+
+  /// Broadcasts parameter *values* from `root` to all ranks — the
+  /// hvd.BroadcastGlobalVariables(0) of Fig 8.
+  void broadcast_parameters(int root = 0);
+
+  [[nodiscard]] nn::Optimizer& local() noexcept { return *local_; }
+
+ private:
+  std::unique_ptr<nn::Optimizer> local_;
+  Communicator* comm_;
+  std::vector<float> flat_;  // reused flatten/unflatten scratch
+};
+
+}  // namespace polarice::ddp

@@ -1,0 +1,115 @@
+#include "ddp/distributed_trainer.h"
+
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "ddp/communicator.h"
+#include "ddp/distributed_optimizer.h"
+#include "nn/optimizer.h"
+#include "tensor/conv.h"
+#include "util/timer.h"
+
+namespace polarice::ddp {
+
+namespace {
+/// Round-robin shard of a dataset for one rank.
+nn::SegDataset shard_dataset(const nn::SegDataset& data, int rank,
+                             int world_size) {
+  nn::SegDataset shard;
+  for (std::size_t i = static_cast<std::size_t>(rank); i < data.size();
+       i += static_cast<std::size_t>(world_size)) {
+    shard.add(data[i]);
+  }
+  return shard;
+}
+}  // namespace
+
+DistributedTrainStats train_distributed(nn::UNet& model,
+                                        const nn::SegDataset& data,
+                                        const DistributedTrainConfig& config) {
+  if (config.world_size < 1) {
+    throw std::invalid_argument("train_distributed: world_size < 1");
+  }
+  if (config.epochs < 1 || config.batch_per_device < 1) {
+    throw std::invalid_argument("train_distributed: bad epochs/batch");
+  }
+  if (data.size() < static_cast<std::size_t>(config.world_size)) {
+    throw std::invalid_argument("train_distributed: fewer samples than ranks");
+  }
+  const int n = config.world_size;
+  auto world = std::make_shared<World>(n);
+
+  // Rank replicas. Rank 0 uses the caller's model directly; others copy.
+  std::vector<std::unique_ptr<nn::UNet>> replicas;
+  for (int r = 1; r < n; ++r) {
+    auto replica = std::make_unique<nn::UNet>(model.config());
+    replica->copy_parameters_from(model);
+    replicas.push_back(std::move(replica));
+  }
+
+  DistributedTrainStats stats;
+  std::vector<float> rank0_epoch_loss;
+  std::vector<std::int64_t> rank_images(n, 0);
+  util::WallTimer wall;
+
+  auto rank_body = [&](int rank, nn::UNet& replica) {
+    // One rank == one GPU: all layer math stays on this thread.
+    replica.set_pool(nullptr);
+    Communicator comm(world, rank);
+    DistributedOptimizer optimizer(
+        std::make_unique<nn::Adam>(replica.params(), config.learning_rate),
+        &comm);
+    optimizer.broadcast_parameters(0);
+
+    const nn::SegDataset shard = shard_dataset(data, rank, n);
+    // Same shuffle seed on every rank: shards stay step-aligned, so each
+    // global step sees a coherent global batch. drop_last keeps every rank
+    // at the same step count (collective calls must match).
+    nn::DataLoader loader(shard, config.batch_per_device, config.shuffle_seed,
+                          config.shuffle, /*drop_last=*/true);
+    tensor::Tensor logits, probs, dlogits;
+    nn::Batch batch;
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      loader.start_epoch();
+      double loss_sum = 0.0;
+      std::size_t batches = 0;
+      while (loader.next(batch)) {
+        optimizer.zero_grad();
+        replica.forward(batch.x, logits, /*training=*/true);
+        const float loss = tensor::softmax_cross_entropy(logits, batch.targets,
+                                                         probs, dlogits);
+        replica.backward(dlogits);
+        optimizer.step();  // ring allreduce + local Adam
+        loss_sum += loss;
+        ++batches;
+        rank_images[rank] += batch.x.dim(0);
+      }
+      if (rank == 0) {
+        rank0_epoch_loss.push_back(
+            batches ? static_cast<float>(loss_sum / batches) : 0.0f);
+      }
+      comm.barrier();  // epoch boundary, keeps loaders aligned
+    }
+  };
+
+  std::vector<std::jthread> threads;
+  threads.reserve(static_cast<std::size_t>(n) - 1);
+  for (int r = 1; r < n; ++r) {
+    threads.emplace_back([&, r] { rank_body(r, *replicas[r - 1]); });
+  }
+  rank_body(0, model);
+  threads.clear();  // join
+
+  stats.total_s = wall.seconds();
+  stats.epoch_s = stats.total_s / config.epochs;
+  for (const auto count : rank_images) stats.images_processed += count;
+  stats.images_per_s =
+      stats.total_s > 0
+          ? static_cast<double>(stats.images_processed) / stats.total_s
+          : 0.0;
+  stats.epoch_loss = std::move(rank0_epoch_loss);
+  return stats;
+}
+
+}  // namespace polarice::ddp

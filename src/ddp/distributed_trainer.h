@@ -1,0 +1,47 @@
+#pragma once
+// Synchronous data-parallel U-Net training over N simulated GPUs (paper
+// §III.C.1, Fig 8 right column):
+//   hvd.init()             -> World + one rank thread per device
+//   one GPU per process    -> each rank owns a full UNet replica and runs
+//                             its math sequentially (no intra-op pool)
+//   DistributedOptimizer   -> ring allreduce-averaged gradients
+//   BroadcastGlobalVariables(0) -> rank-0 parameter broadcast before epoch 0
+//
+// The dataset is sharded round-robin across ranks; each rank steps through
+// its shard with the global batch = batch_per_device x world_size. With
+// averaged gradients the replicas stay numerically identical, so rank 0's
+// model is THE model.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/data.h"
+#include "nn/unet.h"
+
+namespace polarice::ddp {
+
+struct DistributedTrainConfig {
+  int world_size = 2;
+  int epochs = 3;
+  int batch_per_device = 8;  // paper: batch size 32 per device
+  float learning_rate = 1e-3f;
+  std::uint64_t shuffle_seed = 7;
+  bool shuffle = true;
+};
+
+struct DistributedTrainStats {
+  double total_s = 0.0;          // measured wall time, all epochs
+  double epoch_s = 0.0;          // measured mean epoch time
+  double images_per_s = 0.0;     // measured training throughput
+  std::vector<float> epoch_loss; // rank-0 mean loss per epoch
+  std::int64_t images_processed = 0;
+};
+
+/// Trains `model` (used as rank 0's replica; other replicas are internal
+/// copies) and returns measured stats. On return `model` holds the trained
+/// parameters.
+DistributedTrainStats train_distributed(nn::UNet& model,
+                                        const nn::SegDataset& data,
+                                        const DistributedTrainConfig& config);
+
+}  // namespace polarice::ddp

@@ -1,0 +1,138 @@
+#include "img/color.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace polarice::img {
+
+namespace {
+std::uint8_t round_u8(float v) noexcept {
+  return static_cast<std::uint8_t>(
+      std::clamp(std::lround(v), 0L, 255L));
+}
+}  // namespace
+
+std::array<std::uint8_t, 3> rgb_to_hsv_pixel(std::uint8_t r, std::uint8_t g,
+                                             std::uint8_t b) noexcept {
+  const float rf = r, gf = g, bf = b;
+  const float vmax = std::max({rf, gf, bf});
+  const float vmin = std::min({rf, gf, bf});
+  const float delta = vmax - vmin;
+
+  float h = 0.0f;
+  if (delta > 0.0f) {
+    if (vmax == rf) {
+      h = 60.0f * (gf - bf) / delta;
+    } else if (vmax == gf) {
+      h = 120.0f + 60.0f * (bf - rf) / delta;
+    } else {
+      h = 240.0f + 60.0f * (rf - gf) / delta;
+    }
+    if (h < 0.0f) h += 360.0f;
+  }
+  const float s = vmax > 0.0f ? 255.0f * delta / vmax : 0.0f;
+  return {round_u8(h * 0.5f), round_u8(s), round_u8(vmax)};
+}
+
+std::array<std::uint8_t, 3> hsv_to_rgb_pixel(std::uint8_t h, std::uint8_t s,
+                                             std::uint8_t v) noexcept {
+  if (s == 0) return {v, v, v};
+  const float hdeg = 2.0f * h;            // [0, 360)
+  const float sf = s / 255.0f;
+  const float vf = v;
+  const float c = vf * sf;                // chroma
+  const float hp = hdeg / 60.0f;          // sector [0, 6)
+  const float x = c * (1.0f - std::fabs(std::fmod(hp, 2.0f) - 1.0f));
+  float r1 = 0, g1 = 0, b1 = 0;
+  switch (static_cast<int>(hp) % 6) {
+    case 0: r1 = c; g1 = x; break;
+    case 1: r1 = x; g1 = c; break;
+    case 2: g1 = c; b1 = x; break;
+    case 3: g1 = x; b1 = c; break;
+    case 4: r1 = x; b1 = c; break;
+    default: r1 = c; b1 = x; break;
+  }
+  const float m = vf - c;
+  return {round_u8(r1 + m), round_u8(g1 + m), round_u8(b1 + m)};
+}
+
+ImageU8 rgb_to_hsv(const ImageU8& rgb) {
+  if (rgb.channels() != 3) {
+    throw std::invalid_argument("rgb_to_hsv: expected 3 channels");
+  }
+  ImageU8 out(rgb.width(), rgb.height(), 3);
+  const std::uint8_t* src = rgb.data();
+  std::uint8_t* dst = out.data();
+  const std::size_t pixels = rgb.pixel_count();
+  for (std::size_t i = 0; i < pixels; ++i) {
+    const auto hsv = rgb_to_hsv_pixel(src[3 * i], src[3 * i + 1], src[3 * i + 2]);
+    dst[3 * i] = hsv[0];
+    dst[3 * i + 1] = hsv[1];
+    dst[3 * i + 2] = hsv[2];
+  }
+  return out;
+}
+
+ImageU8 hsv_to_rgb(const ImageU8& hsv) {
+  if (hsv.channels() != 3) {
+    throw std::invalid_argument("hsv_to_rgb: expected 3 channels");
+  }
+  ImageU8 out(hsv.width(), hsv.height(), 3);
+  const std::uint8_t* src = hsv.data();
+  std::uint8_t* dst = out.data();
+  const std::size_t pixels = hsv.pixel_count();
+  for (std::size_t i = 0; i < pixels; ++i) {
+    const auto rgb = hsv_to_rgb_pixel(src[3 * i], src[3 * i + 1], src[3 * i + 2]);
+    dst[3 * i] = rgb[0];
+    dst[3 * i + 1] = rgb[1];
+    dst[3 * i + 2] = rgb[2];
+  }
+  return out;
+}
+
+ImageU8 rgb_to_gray(const ImageU8& rgb) {
+  if (rgb.channels() != 3) {
+    throw std::invalid_argument("rgb_to_gray: expected 3 channels");
+  }
+  ImageU8 out(rgb.width(), rgb.height(), 1);
+  const std::uint8_t* src = rgb.data();
+  std::uint8_t* dst = out.data();
+  const std::size_t pixels = rgb.pixel_count();
+  for (std::size_t i = 0; i < pixels; ++i) {
+    const float y = 0.299f * src[3 * i] + 0.587f * src[3 * i + 1] +
+                    0.114f * src[3 * i + 2];
+    dst[i] = round_u8(y);
+  }
+  return out;
+}
+
+ImageU8 extract_channel(const ImageU8& src, int c) {
+  if (c < 0 || c >= src.channels()) {
+    throw std::invalid_argument("extract_channel: bad channel");
+  }
+  ImageU8 out(src.width(), src.height(), 1);
+  const int nc = src.channels();
+  const std::uint8_t* s = src.data();
+  std::uint8_t* d = out.data();
+  const std::size_t pixels = src.pixel_count();
+  for (std::size_t i = 0; i < pixels; ++i) d[i] = s[i * nc + c];
+  return out;
+}
+
+void insert_channel(ImageU8& dst, const ImageU8& plane, int c) {
+  if (c < 0 || c >= dst.channels()) {
+    throw std::invalid_argument("insert_channel: bad channel");
+  }
+  if (plane.channels() != 1 || plane.width() != dst.width() ||
+      plane.height() != dst.height()) {
+    throw std::invalid_argument("insert_channel: plane shape mismatch");
+  }
+  const int nc = dst.channels();
+  std::uint8_t* d = dst.data();
+  const std::uint8_t* s = plane.data();
+  const std::size_t pixels = dst.pixel_count();
+  for (std::size_t i = 0; i < pixels; ++i) d[i * nc + c] = s[i];
+}
+
+}  // namespace polarice::img

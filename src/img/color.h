@@ -1,0 +1,41 @@
+#pragma once
+// Color-space conversions, OpenCV-compatible conventions:
+//  * 8-bit HSV stores H in [0,180) (degrees / 2), S and V in [0,255].
+//  * Grayscale uses the Rec.601 luma weights OpenCV uses for CV_RGB2GRAY.
+//
+// The paper's auto-labeling thresholds (thick ice V>=205, thin ice
+// 31<=V<=204, open water V<=30 at any H/S) are expressed in exactly this
+// convention, so matching it keeps the published numbers meaningful.
+
+#include <array>
+#include <cstdint>
+
+#include "img/image.h"
+
+namespace polarice::img {
+
+/// One RGB pixel -> OpenCV-style 8-bit HSV.
+std::array<std::uint8_t, 3> rgb_to_hsv_pixel(std::uint8_t r, std::uint8_t g,
+                                             std::uint8_t b) noexcept;
+
+/// One OpenCV-style 8-bit HSV pixel -> RGB.
+std::array<std::uint8_t, 3> hsv_to_rgb_pixel(std::uint8_t h, std::uint8_t s,
+                                             std::uint8_t v) noexcept;
+
+/// Whole-image RGB (3ch) -> HSV (3ch). Throws on non-3-channel input.
+ImageU8 rgb_to_hsv(const ImageU8& rgb);
+
+/// Whole-image HSV (3ch) -> RGB (3ch). Throws on non-3-channel input.
+ImageU8 hsv_to_rgb(const ImageU8& hsv);
+
+/// RGB (3ch) -> single-channel gray with Rec.601 weights
+/// (0.299 R + 0.587 G + 0.114 B, rounded).
+ImageU8 rgb_to_gray(const ImageU8& rgb);
+
+/// Extracts channel `c` as a single-channel image.
+ImageU8 extract_channel(const ImageU8& src, int c);
+
+/// Replaces channel `c` of `dst` with the single-channel `plane`.
+void insert_channel(ImageU8& dst, const ImageU8& plane, int c);
+
+}  // namespace polarice::img

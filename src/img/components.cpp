@@ -1,0 +1,68 @@
+#include "img/components.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace polarice::img {
+
+std::vector<ComponentStats> label_components(
+    const ImageU8& mask, std::vector<std::int32_t>& labels_out,
+    int connectivity) {
+  if (mask.channels() != 1) {
+    throw std::invalid_argument("label_components: expected single channel");
+  }
+  if (connectivity != 4 && connectivity != 8) {
+    throw std::invalid_argument("label_components: connectivity must be 4 or 8");
+  }
+  const int w = mask.width(), h = mask.height();
+  labels_out.assign(static_cast<std::size_t>(w) * h, 0);
+
+  static constexpr int dx8[] = {1, -1, 0, 0, 1, 1, -1, -1};
+  static constexpr int dy8[] = {0, 0, 1, -1, 1, -1, 1, -1};
+  const int neighbours = connectivity == 4 ? 4 : 8;
+
+  std::vector<ComponentStats> stats;
+  std::deque<std::pair<int, int>> frontier;  // BFS flood fill
+  std::int32_t next_label = 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::size_t idx = static_cast<std::size_t>(y) * w + x;
+      if (mask.at(x, y) == 0 || labels_out[idx] != 0) continue;
+      ++next_label;
+      ComponentStats cs;
+      cs.label = next_label;
+      cs.min_x = cs.max_x = x;
+      cs.min_y = cs.max_y = y;
+      double sum_x = 0.0, sum_y = 0.0;
+      labels_out[idx] = next_label;
+      frontier.clear();
+      frontier.emplace_back(x, y);
+      while (!frontier.empty()) {
+        const auto [cx, cy] = frontier.front();
+        frontier.pop_front();
+        ++cs.area;
+        sum_x += cx;
+        sum_y += cy;
+        cs.min_x = std::min(cs.min_x, cx);
+        cs.max_x = std::max(cs.max_x, cx);
+        cs.min_y = std::min(cs.min_y, cy);
+        cs.max_y = std::max(cs.max_y, cy);
+        for (int n = 0; n < neighbours; ++n) {
+          const int nx = cx + dx8[n];
+          const int ny = cy + dy8[n];
+          if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+          const std::size_t nidx = static_cast<std::size_t>(ny) * w + nx;
+          if (mask.at(nx, ny) == 0 || labels_out[nidx] != 0) continue;
+          labels_out[nidx] = next_label;
+          frontier.emplace_back(nx, ny);
+        }
+      }
+      cs.centroid_x = sum_x / static_cast<double>(cs.area);
+      cs.centroid_y = sum_y / static_cast<double>(cs.area);
+      stats.push_back(cs);
+    }
+  }
+  return stats;
+}
+
+}  // namespace polarice::img

@@ -1,0 +1,39 @@
+#pragma once
+// Connected-component labeling on binary masks — substrate for the lead
+// (narrow open-water crack) analysis the paper's introduction motivates.
+
+#include <cstdint>
+#include <vector>
+
+#include "img/image.h"
+
+namespace polarice::img {
+
+/// Per-component statistics from label_components().
+struct ComponentStats {
+  int label = 0;            // component id (1-based; 0 is background)
+  std::size_t area = 0;     // pixel count
+  int min_x = 0, min_y = 0; // bounding box
+  int max_x = 0, max_y = 0;
+  double centroid_x = 0.0;
+  double centroid_y = 0.0;
+
+  [[nodiscard]] int bbox_width() const noexcept { return max_x - min_x + 1; }
+  [[nodiscard]] int bbox_height() const noexcept { return max_y - min_y + 1; }
+  /// Longest bbox side / shortest side — a cheap elongation measure.
+  [[nodiscard]] double elongation() const noexcept {
+    const int longer = std::max(bbox_width(), bbox_height());
+    const int shorter = std::min(bbox_width(), bbox_height());
+    return shorter > 0 ? static_cast<double>(longer) / shorter : 0.0;
+  }
+};
+
+/// Labels 4- or 8-connected components of the non-zero pixels of `mask`
+/// (single channel). Writes component ids (1-based) into `labels_out`
+/// (int32 per pixel, 0 = background) and returns per-component stats in
+/// label order.
+std::vector<ComponentStats> label_components(const ImageU8& mask,
+                                             std::vector<std::int32_t>& labels_out,
+                                             int connectivity = 8);
+
+}  // namespace polarice::img

@@ -1,0 +1,129 @@
+#include "img/filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace polarice::img {
+
+namespace {
+void require_odd(int ksize, const char* what) {
+  if (ksize < 1 || ksize % 2 == 0) {
+    throw std::invalid_argument(std::string(what) + ": ksize must be odd >= 1");
+  }
+}
+
+std::uint8_t round_u8(float v) noexcept {
+  return static_cast<std::uint8_t>(std::clamp(std::lround(v), 0L, 255L));
+}
+
+/// Separable convolution with a symmetric 1-D kernel, replicated borders.
+template <typename T>
+Image<T> separable(const Image<T>& src, const std::vector<float>& k) {
+  const int radius = static_cast<int>(k.size()) / 2;
+  const int w = src.width(), h = src.height(), nc = src.channels();
+  Image<float> tmp(w, h, nc);
+  // Horizontal pass.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < nc; ++c) {
+        float acc = 0.0f;
+        for (int i = -radius; i <= radius; ++i) {
+          acc += k[i + radius] *
+                 static_cast<float>(src.at_clamped(x + i, y, c));
+        }
+        tmp.at(x, y, c) = acc;
+      }
+    }
+  }
+  // Vertical pass.
+  Image<T> out(w, h, nc);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < nc; ++c) {
+        float acc = 0.0f;
+        for (int i = -radius; i <= radius; ++i) {
+          acc += k[i + radius] * tmp.at_clamped(x, y + i, c);
+        }
+        if constexpr (std::is_same_v<T, std::uint8_t>) {
+          out.at(x, y, c) = round_u8(acc);
+        } else {
+          out.at(x, y, c) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<float> gaussian_kernel_1d(int ksize, double sigma) {
+  require_odd(ksize, "gaussian_kernel_1d");
+  if (sigma <= 0.0) sigma = 0.3 * ((ksize - 1) * 0.5 - 1) + 0.8;
+  const int radius = ksize / 2;
+  std::vector<float> k(ksize);
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-(i * i) / (2.0 * sigma * sigma));
+    k[i + radius] = static_cast<float>(v);
+    sum += v;
+  }
+  for (auto& v : k) v = static_cast<float>(v / sum);
+  return k;
+}
+
+ImageU8 box_filter(const ImageU8& src, int ksize) {
+  require_odd(ksize, "box_filter");
+  const std::vector<float> k(ksize, 1.0f / static_cast<float>(ksize));
+  return separable(src, k);
+}
+
+ImageU8 gaussian_blur(const ImageU8& src, int ksize, double sigma) {
+  return separable(src, gaussian_kernel_1d(ksize, sigma));
+}
+
+ImageF32 gaussian_blur(const ImageF32& src, int ksize, double sigma) {
+  return separable(src, gaussian_kernel_1d(ksize, sigma));
+}
+
+ImageU8 median_filter(const ImageU8& src, int ksize) {
+  require_odd(ksize, "median_filter");
+  if (src.channels() != 1) {
+    throw std::invalid_argument("median_filter: expected single channel");
+  }
+  const int w = src.width(), h = src.height();
+  const int radius = ksize / 2;
+  const int window = ksize * ksize;
+  const int median_rank = window / 2;  // 0-based rank of the median
+  ImageU8 out(w, h, 1);
+
+  // Sliding histogram per row: O(ksize) update per pixel.
+  for (int y = 0; y < h; ++y) {
+    int hist[256] = {0};
+    // Seed histogram for x = 0.
+    for (int dy = -radius; dy <= radius; ++dy) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        ++hist[src.at_clamped(dx, y + dy)];
+      }
+    }
+    for (int x = 0; x < w; ++x) {
+      if (x > 0) {
+        for (int dy = -radius; dy <= radius; ++dy) {
+          --hist[src.at_clamped(x - radius - 1, y + dy)];
+          ++hist[src.at_clamped(x + radius, y + dy)];
+        }
+      }
+      int count = 0;
+      for (int v = 0; v < 256; ++v) {
+        count += hist[v];
+        if (count > median_rank) {
+          out.at(x, y) = static_cast<std::uint8_t>(v);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace polarice::img

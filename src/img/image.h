@@ -1,0 +1,126 @@
+#pragma once
+// Core image container for the OpenCV-substitute library (polarice::img).
+//
+// Interleaved row-major HWC storage; dynamic width/height/channels. The two
+// instantiations used throughout the project are Image<std::uint8_t> (8-bit
+// RGB / HSV / masks, OpenCV-style value ranges) and Image<float>
+// (intermediate filter math).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace polarice::img {
+
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+
+  /// Allocates a width x height image with `channels` interleaved channels,
+  /// zero-initialized.
+  Image(int width, int height, int channels)
+      : width_(width), height_(height), channels_(channels) {
+    if (width <= 0 || height <= 0 || channels <= 0) {
+      throw std::invalid_argument("Image: non-positive dimensions");
+    }
+    data_.assign(static_cast<std::size_t>(width) * height * channels, T{});
+  }
+
+  /// Allocates and fills with a constant value.
+  Image(int width, int height, int channels, T fill_value)
+      : Image(width, height, channels) {
+    fill(fill_value);
+  }
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] int channels() const noexcept { return channels_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Total scalar elements (width * height * channels).
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  /// Total pixels (width * height).
+  [[nodiscard]] std::size_t pixel_count() const noexcept {
+    return static_cast<std::size_t>(width_) * height_;
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  /// Unchecked element access; (x, y) are column/row, c the channel.
+  [[nodiscard]] T& at(int x, int y, int c = 0) noexcept {
+    return data_[index(x, y, c)];
+  }
+  [[nodiscard]] const T& at(int x, int y, int c = 0) const noexcept {
+    return data_[index(x, y, c)];
+  }
+
+  /// Bounds-checked access (throws std::out_of_range).
+  [[nodiscard]] T& at_checked(int x, int y, int c = 0) {
+    check(x, y, c);
+    return data_[index(x, y, c)];
+  }
+  [[nodiscard]] const T& at_checked(int x, int y, int c = 0) const {
+    check(x, y, c);
+    return data_[index(x, y, c)];
+  }
+
+  /// Border-replicating access: out-of-range coordinates clamp to the edge.
+  [[nodiscard]] T at_clamped(int x, int y, int c = 0) const noexcept {
+    x = x < 0 ? 0 : (x >= width_ ? width_ - 1 : x);
+    y = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
+    return data_[index(x, y, c)];
+  }
+
+  void fill(T value) noexcept { data_.assign(data_.size(), value); }
+
+  [[nodiscard]] Image clone() const { return *this; }
+
+  [[nodiscard]] bool same_shape(const Image& other) const noexcept {
+    return width_ == other.width_ && height_ == other.height_ &&
+           channels_ == other.channels_;
+  }
+
+  [[nodiscard]] bool operator==(const Image& other) const noexcept {
+    return same_shape(other) && data_ == other.data_;
+  }
+
+  auto begin() noexcept { return data_.begin(); }
+  auto end() noexcept { return data_.end(); }
+  auto begin() const noexcept { return data_.begin(); }
+  auto end() const noexcept { return data_.end(); }
+
+  [[nodiscard]] std::size_t index(int x, int y, int c) const noexcept {
+    return (static_cast<std::size_t>(y) * width_ + x) * channels_ + c;
+  }
+
+ private:
+  void check(int x, int y, int c) const {
+    if (x < 0 || x >= width_ || y < 0 || y >= height_ || c < 0 ||
+        c >= channels_) {
+      throw std::out_of_range("Image: access out of range");
+    }
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<T> data_;
+};
+
+using ImageU8 = Image<std::uint8_t>;
+using ImageF32 = Image<float>;
+
+/// Throws unless a and b have identical shape — shared precondition of the
+/// binary pixel ops.
+template <typename T>
+void require_same_shape(const Image<T>& a, const Image<T>& b,
+                        const char* what) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch");
+  }
+}
+
+}  // namespace polarice::img

@@ -1,0 +1,25 @@
+#pragma once
+// Minimal Netpbm I/O: binary PPM (P6, 3-channel) and PGM (P5, 1-channel).
+// Examples and figure benches write their panels with these; tests
+// round-trip them. Parsing is strict and fails loudly on truncation.
+
+#include <string>
+
+#include "img/image.h"
+
+namespace polarice::img {
+
+/// Writes a 3-channel image as binary PPM (P6). Throws on I/O failure or if
+/// the image is not 3-channel.
+void write_ppm(const std::string& path, const ImageU8& rgb);
+
+/// Writes a single-channel image as binary PGM (P5).
+void write_pgm(const std::string& path, const ImageU8& gray);
+
+/// Reads a binary PPM (P6); throws std::runtime_error on malformed input.
+ImageU8 read_ppm(const std::string& path);
+
+/// Reads a binary PGM (P5); throws std::runtime_error on malformed input.
+ImageU8 read_pgm(const std::string& path);
+
+}  // namespace polarice::img

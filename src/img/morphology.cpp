@@ -1,0 +1,67 @@
+#include "img/morphology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace polarice::img {
+
+namespace {
+enum class Op { kMin, kMax };
+
+/// 1-D sliding min/max pass along rows (horizontal = true) or columns.
+/// Rectangular structuring elements are separable, so erode/dilate are two
+/// 1-D passes instead of an O(k^2) window scan.
+ImageU8 pass(const ImageU8& src, int radius, bool horizontal, Op op) {
+  const int w = src.width(), h = src.height();
+  ImageU8 out(w, h, 1);
+  const int outer = horizontal ? h : w;
+  const int inner = horizontal ? w : h;
+  for (int o = 0; o < outer; ++o) {
+    for (int i = 0; i < inner; ++i) {
+      std::uint8_t best = op == Op::kMin ? 255 : 0;
+      for (int d = -radius; d <= radius; ++d) {
+        const int j = std::clamp(i + d, 0, inner - 1);
+        const std::uint8_t v =
+            horizontal ? src.at(j, o) : src.at(o, j);
+        best = op == Op::kMin ? std::min(best, v) : std::max(best, v);
+      }
+      if (horizontal) {
+        out.at(i, o) = best;
+      } else {
+        out.at(o, i) = best;
+      }
+    }
+  }
+  return out;
+}
+
+ImageU8 morph(const ImageU8& src, int ksize, Op op) {
+  if (ksize < 1 || ksize % 2 == 0) {
+    throw std::invalid_argument("morphology: ksize must be odd >= 1");
+  }
+  if (src.channels() != 1) {
+    throw std::invalid_argument("morphology: expected single channel");
+  }
+  const int radius = ksize / 2;
+  return pass(pass(src, radius, /*horizontal=*/true, op), radius,
+              /*horizontal=*/false, op);
+}
+}  // namespace
+
+ImageU8 erode(const ImageU8& src, int ksize) {
+  return morph(src, ksize, Op::kMin);
+}
+
+ImageU8 dilate(const ImageU8& src, int ksize) {
+  return morph(src, ksize, Op::kMax);
+}
+
+ImageU8 morph_open(const ImageU8& src, int ksize) {
+  return dilate(erode(src, ksize), ksize);
+}
+
+ImageU8 morph_close(const ImageU8& src, int ksize) {
+  return erode(dilate(src, ksize), ksize);
+}
+
+}  // namespace polarice::img

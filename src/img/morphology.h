@@ -1,0 +1,22 @@
+#pragma once
+// Grayscale morphology with rectangular structuring elements. Used for
+// illumination estimation in the cloud/shadow filter and for the boundary
+// jitter in the synthetic "manual" labeler.
+
+#include "img/image.h"
+
+namespace polarice::img {
+
+/// Minimum filter over an odd ksize x ksize rectangle (single channel).
+ImageU8 erode(const ImageU8& src, int ksize);
+
+/// Maximum filter over an odd ksize x ksize rectangle (single channel).
+ImageU8 dilate(const ImageU8& src, int ksize);
+
+/// Erosion then dilation (removes bright specks smaller than the kernel).
+ImageU8 morph_open(const ImageU8& src, int ksize);
+
+/// Dilation then erosion (fills dark specks smaller than the kernel).
+ImageU8 morph_close(const ImageU8& src, int ksize);
+
+}  // namespace polarice::img

@@ -1,0 +1,205 @@
+#include "img/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace polarice::img {
+
+namespace {
+template <typename F>
+ImageU8 zip(const ImageU8& a, const ImageU8& b, const char* what, F&& fn) {
+  require_same_shape(a, b, what);
+  ImageU8 out(a.width(), a.height(), a.channels());
+  const std::uint8_t* pa = a.data();
+  const std::uint8_t* pb = b.data();
+  std::uint8_t* pd = out.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) pd[i] = fn(pa[i], pb[i]);
+  return out;
+}
+}  // namespace
+
+ImageU8 absdiff(const ImageU8& a, const ImageU8& b) {
+  return zip(a, b, "absdiff", [](std::uint8_t x, std::uint8_t y) {
+    return static_cast<std::uint8_t>(x > y ? x - y : y - x);
+  });
+}
+
+ImageU8 add_saturate(const ImageU8& a, const ImageU8& b) {
+  return zip(a, b, "add_saturate", [](std::uint8_t x, std::uint8_t y) {
+    return static_cast<std::uint8_t>(std::min<int>(255, int(x) + int(y)));
+  });
+}
+
+ImageU8 subtract_saturate(const ImageU8& a, const ImageU8& b) {
+  return zip(a, b, "subtract_saturate", [](std::uint8_t x, std::uint8_t y) {
+    return static_cast<std::uint8_t>(std::max<int>(0, int(x) - int(y)));
+  });
+}
+
+ImageU8 bitwise_and(const ImageU8& a, const ImageU8& b) {
+  return zip(a, b, "bitwise_and",
+             [](std::uint8_t x, std::uint8_t y) { return x & y; });
+}
+
+ImageU8 bitwise_or(const ImageU8& a, const ImageU8& b) {
+  return zip(a, b, "bitwise_or",
+             [](std::uint8_t x, std::uint8_t y) { return x | y; });
+}
+
+ImageU8 bitwise_not(const ImageU8& a) {
+  ImageU8 out(a.width(), a.height(), a.channels());
+  const std::uint8_t* pa = a.data();
+  std::uint8_t* pd = out.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) pd[i] = static_cast<std::uint8_t>(~pa[i]);
+  return out;
+}
+
+ImageU8 apply_mask(const ImageU8& src, const ImageU8& mask, std::uint8_t fill) {
+  if (mask.channels() != 1 || mask.width() != src.width() ||
+      mask.height() != src.height()) {
+    throw std::invalid_argument("apply_mask: mask shape mismatch");
+  }
+  ImageU8 out(src.width(), src.height(), src.channels());
+  const int nc = src.channels();
+  const std::uint8_t* s = src.data();
+  const std::uint8_t* m = mask.data();
+  std::uint8_t* d = out.data();
+  const std::size_t pixels = src.pixel_count();
+  for (std::size_t i = 0; i < pixels; ++i) {
+    for (int c = 0; c < nc; ++c) {
+      d[i * nc + c] = m[i] != 0 ? s[i * nc + c] : fill;
+    }
+  }
+  return out;
+}
+
+ImageU8 in_range(const ImageU8& src, const std::array<std::uint8_t, 3>& lower,
+                 const std::array<std::uint8_t, 3>& upper) {
+  if (src.channels() != 3) {
+    throw std::invalid_argument("in_range: expected 3 channels");
+  }
+  ImageU8 out(src.width(), src.height(), 1);
+  const std::uint8_t* s = src.data();
+  std::uint8_t* d = out.data();
+  const std::size_t pixels = src.pixel_count();
+  for (std::size_t i = 0; i < pixels; ++i) {
+    bool inside = true;
+    for (int c = 0; c < 3; ++c) {
+      const std::uint8_t v = s[i * 3 + c];
+      inside = inside && v >= lower[c] && v <= upper[c];
+    }
+    d[i] = inside ? 255 : 0;
+  }
+  return out;
+}
+
+ImageU8 minmax_normalize(const ImageU8& src, std::uint8_t lo, std::uint8_t hi) {
+  if (src.channels() != 1) {
+    throw std::invalid_argument("minmax_normalize: expected single channel");
+  }
+  if (lo > hi) throw std::invalid_argument("minmax_normalize: lo > hi");
+  const std::uint8_t* s = src.data();
+  const std::size_t n = src.size();
+  std::uint8_t mn = 255, mx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mn = std::min(mn, s[i]);
+    mx = std::max(mx, s[i]);
+  }
+  ImageU8 out(src.width(), src.height(), 1);
+  std::uint8_t* d = out.data();
+  if (mx == mn) {
+    out.fill(lo);
+    return out;
+  }
+  const float scale = static_cast<float>(hi - lo) / (mx - mn);
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = static_cast<std::uint8_t>(
+        std::clamp(std::lround(lo + (s[i] - mn) * scale), long(lo), long(hi)));
+  }
+  return out;
+}
+
+std::size_t count_nonzero(const ImageU8& src) {
+  std::size_t count = 0;
+  for (const auto v : src) count += v != 0;
+  return count;
+}
+
+double mean(const ImageU8& src) {
+  if (src.size() == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto v : src) sum += v;
+  return sum / static_cast<double>(src.size());
+}
+
+ImageU8 blend(const ImageU8& a, const ImageU8& b, float alpha) {
+  return zip(a, b, "blend", [alpha](std::uint8_t x, std::uint8_t y) {
+    const float v = alpha * x + (1.0f - alpha) * y;
+    return static_cast<std::uint8_t>(std::clamp(std::lround(v), 0L, 255L));
+  });
+}
+
+ImageU8 resize_nearest(const ImageU8& src, int new_width, int new_height) {
+  if (new_width <= 0 || new_height <= 0) {
+    throw std::invalid_argument("resize_nearest: non-positive size");
+  }
+  ImageU8 out(new_width, new_height, src.channels());
+  const int nc = src.channels();
+  for (int y = 0; y < new_height; ++y) {
+    const int sy = std::min(
+        src.height() - 1,
+        static_cast<int>(static_cast<std::int64_t>(y) * src.height() /
+                         new_height));
+    for (int x = 0; x < new_width; ++x) {
+      const int sx = std::min(
+          src.width() - 1,
+          static_cast<int>(static_cast<std::int64_t>(x) * src.width() /
+                           new_width));
+      for (int c = 0; c < nc; ++c) out.at(x, y, c) = src.at(sx, sy, c);
+    }
+  }
+  return out;
+}
+
+ImageU8 crop(const ImageU8& src, int x, int y, int w, int h) {
+  if (x < 0 || y < 0 || w <= 0 || h <= 0 || x + w > src.width() ||
+      y + h > src.height()) {
+    throw std::invalid_argument("crop: rectangle out of bounds");
+  }
+  ImageU8 out(w, h, src.channels());
+  const int nc = src.channels();
+  for (int yy = 0; yy < h; ++yy) {
+    for (int xx = 0; xx < w; ++xx) {
+      for (int c = 0; c < nc; ++c) {
+        out.at(xx, yy, c) = src.at(x + xx, y + yy, c);
+      }
+    }
+  }
+  return out;
+}
+
+ImageF32 to_float(const ImageU8& src) {
+  ImageF32 out(src.width(), src.height(), src.channels());
+  const std::uint8_t* s = src.data();
+  float* d = out.data();
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] = s[i] / 255.0f;
+  return out;
+}
+
+ImageU8 to_u8(const ImageF32& src) {
+  ImageU8 out(src.width(), src.height(), src.channels());
+  const float* s = src.data();
+  std::uint8_t* d = out.data();
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = static_cast<std::uint8_t>(
+        std::clamp(std::lround(s[i] * 255.0f), 0L, 255L));
+  }
+  return out;
+}
+
+}  // namespace polarice::img

@@ -1,0 +1,63 @@
+#pragma once
+// Pixel-wise operations mirroring the OpenCV calls used by the paper's
+// filter pipeline: absdiff, bitwise ops with masks, in-range masks, min-max
+// normalization, and a few arithmetic helpers.
+
+#include <array>
+#include <cstdint>
+
+#include "img/image.h"
+
+namespace polarice::img {
+
+/// |a - b| per element; shapes must match.
+ImageU8 absdiff(const ImageU8& a, const ImageU8& b);
+
+/// Saturating a + b per element; shapes must match.
+ImageU8 add_saturate(const ImageU8& a, const ImageU8& b);
+
+/// Saturating a - b per element; shapes must match.
+ImageU8 subtract_saturate(const ImageU8& a, const ImageU8& b);
+
+/// Bitwise AND / OR / NOT. `mask`, when non-null, must be single-channel and
+/// selects which pixels are written (zero mask -> dst pixel = 0 for and/or).
+ImageU8 bitwise_and(const ImageU8& a, const ImageU8& b);
+ImageU8 bitwise_or(const ImageU8& a, const ImageU8& b);
+ImageU8 bitwise_not(const ImageU8& a);
+
+/// Copies `src` pixels where mask != 0, leaves `fill` elsewhere.
+ImageU8 apply_mask(const ImageU8& src, const ImageU8& mask,
+                   std::uint8_t fill = 0);
+
+/// cv::inRange for 3-channel images: dst = 255 where lower[c] <= src[c] <=
+/// upper[c] for every channel, else 0. Single-channel output.
+ImageU8 in_range(const ImageU8& src, const std::array<std::uint8_t, 3>& lower,
+                 const std::array<std::uint8_t, 3>& upper);
+
+/// Min-max normalization of a single-channel image to [lo, hi]. A constant
+/// image maps to lo.
+ImageU8 minmax_normalize(const ImageU8& src, std::uint8_t lo = 0,
+                         std::uint8_t hi = 255);
+
+/// Number of non-zero elements.
+std::size_t count_nonzero(const ImageU8& src);
+
+/// Mean of all elements (across channels).
+double mean(const ImageU8& src);
+
+/// Per-channel weighted blend: dst = alpha * a + (1 - alpha) * b, rounded.
+ImageU8 blend(const ImageU8& a, const ImageU8& b, float alpha);
+
+/// Nearest-neighbour resize (any channel count).
+ImageU8 resize_nearest(const ImageU8& src, int new_width, int new_height);
+
+/// Crops the rectangle [x, x+w) x [y, y+h); throws if out of bounds.
+ImageU8 crop(const ImageU8& src, int x, int y, int w, int h);
+
+/// Converts u8 -> float in [0,1].
+ImageF32 to_float(const ImageU8& src);
+
+/// Converts float (clamped to [0,1]) -> u8.
+ImageU8 to_u8(const ImageF32& src);
+
+}  // namespace polarice::img

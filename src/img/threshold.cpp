@@ -1,0 +1,135 @@
+#include "img/threshold.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace polarice::img {
+
+namespace {
+void require_gray(const ImageU8& src, const char* what) {
+  if (src.channels() != 1) {
+    throw std::invalid_argument(std::string(what) +
+                                ": expected single-channel image");
+  }
+}
+}  // namespace
+
+ImageU8 threshold(const ImageU8& src, std::uint8_t thresh, std::uint8_t maxval,
+                  ThresholdType type) {
+  require_gray(src, "threshold");
+  ImageU8 out(src.width(), src.height(), 1);
+  const std::uint8_t* s = src.data();
+  std::uint8_t* d = out.data();
+  const std::size_t n = src.size();
+  switch (type) {
+    case ThresholdType::kBinary:
+      for (std::size_t i = 0; i < n; ++i) d[i] = s[i] > thresh ? maxval : 0;
+      break;
+    case ThresholdType::kBinaryInv:
+      for (std::size_t i = 0; i < n; ++i) d[i] = s[i] > thresh ? 0 : maxval;
+      break;
+    case ThresholdType::kTrunc:
+      for (std::size_t i = 0; i < n; ++i) d[i] = s[i] > thresh ? thresh : s[i];
+      break;
+    case ThresholdType::kToZero:
+      for (std::size_t i = 0; i < n; ++i) d[i] = s[i] > thresh ? s[i] : 0;
+      break;
+    case ThresholdType::kToZeroInv:
+      for (std::size_t i = 0; i < n; ++i) d[i] = s[i] > thresh ? 0 : s[i];
+      break;
+  }
+  return out;
+}
+
+void histogram256(const ImageU8& src, std::uint64_t out[256]) {
+  require_gray(src, "histogram256");
+  std::memset(out, 0, 256 * sizeof(std::uint64_t));
+  const std::uint8_t* s = src.data();
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) ++out[s[i]];
+}
+
+std::uint8_t otsu_threshold(const ImageU8& src) {
+  std::uint64_t hist[256];
+  histogram256(src, hist);
+  const double total = static_cast<double>(src.size());
+
+  double sum_all = 0.0;
+  for (int i = 0; i < 256; ++i) sum_all += i * static_cast<double>(hist[i]);
+
+  double sum_bg = 0.0;
+  double weight_bg = 0.0;
+  double best_sigma = -1.0;
+  int best_t = 0;
+  for (int t = 0; t < 256; ++t) {
+    weight_bg += static_cast<double>(hist[t]);
+    if (weight_bg == 0.0) continue;
+    const double weight_fg = total - weight_bg;
+    if (weight_fg == 0.0) break;
+    sum_bg += t * static_cast<double>(hist[t]);
+    const double mean_bg = sum_bg / weight_bg;
+    const double mean_fg = (sum_all - sum_bg) / weight_fg;
+    const double diff = mean_bg - mean_fg;
+    const double sigma = weight_bg * weight_fg * diff * diff;
+    if (sigma > best_sigma) {
+      best_sigma = sigma;
+      best_t = t;
+    }
+  }
+  return static_cast<std::uint8_t>(best_t);
+}
+
+ImageU8 threshold_otsu(const ImageU8& src, std::uint8_t maxval,
+                       ThresholdType type, std::uint8_t* chosen) {
+  const std::uint8_t t = otsu_threshold(src);
+  if (chosen != nullptr) *chosen = t;
+  return threshold(src, t, maxval, type);
+}
+
+std::pair<std::uint8_t, std::uint8_t> otsu_two_level(const ImageU8& src) {
+  std::uint64_t hist[256];
+  histogram256(src, hist);
+
+  // Prefix sums of mass and of value*mass let any segment's weight and mean
+  // be read in O(1).
+  double weight_prefix[257], mean_prefix[257];
+  weight_prefix[0] = 0.0;
+  mean_prefix[0] = 0.0;
+  for (int i = 0; i < 256; ++i) {
+    weight_prefix[i + 1] = weight_prefix[i] + static_cast<double>(hist[i]);
+    mean_prefix[i + 1] = mean_prefix[i] + i * static_cast<double>(hist[i]);
+  }
+  const auto segment = [&](int lo, int hi, double* weight, double* mean) {
+    // [lo, hi] inclusive bins
+    *weight = weight_prefix[hi + 1] - weight_prefix[lo];
+    *mean = *weight > 0
+                ? (mean_prefix[hi + 1] - mean_prefix[lo]) / *weight
+                : 0.0;
+  };
+
+  double best = -1.0;
+  int best_t1 = 85, best_t2 = 170;
+  for (int t1 = 0; t1 < 255; ++t1) {
+    for (int t2 = t1 + 1; t2 < 256; ++t2) {
+      double w0, m0, w1, m1, w2, m2;
+      segment(0, t1, &w0, &m0);
+      segment(t1 + 1, t2, &w1, &m1);
+      segment(t2 + 1, 255, &w2, &m2);
+      const double total = w0 + w1 + w2;
+      if (total == 0.0) continue;
+      const double grand_mean = (m0 * w0 + m1 * w1 + m2 * w2) / total;
+      const double sigma = w0 * (m0 - grand_mean) * (m0 - grand_mean) +
+                           w1 * (m1 - grand_mean) * (m1 - grand_mean) +
+                           w2 * (m2 - grand_mean) * (m2 - grand_mean);
+      if (sigma > best) {
+        best = sigma;
+        best_t1 = t1;
+        best_t2 = t2;
+      }
+    }
+  }
+  return {static_cast<std::uint8_t>(best_t1),
+          static_cast<std::uint8_t>(best_t2)};
+}
+
+}  // namespace polarice::img

@@ -1,0 +1,43 @@
+#pragma once
+// Thresholding primitives used by the cloud/shadow filter (paper §III.A lists
+// Otsu, truncated, and binary thresholding among the OpenCV transforms).
+// Semantics match cv::threshold on single-channel 8-bit images.
+
+#include <cstdint>
+#include <utility>
+
+#include "img/image.h"
+
+namespace polarice::img {
+
+enum class ThresholdType {
+  kBinary,      // dst = src > t ? maxval : 0
+  kBinaryInv,   // dst = src > t ? 0 : maxval
+  kTrunc,       // dst = src > t ? t : src
+  kToZero,      // dst = src > t ? src : 0
+  kToZeroInv,   // dst = src > t ? 0 : src
+};
+
+/// Applies a fixed threshold to a single-channel 8-bit image.
+ImageU8 threshold(const ImageU8& src, std::uint8_t thresh, std::uint8_t maxval,
+                  ThresholdType type);
+
+/// Computes the Otsu threshold (maximizing between-class variance) of a
+/// single-channel 8-bit image. Returns the threshold in [0, 255].
+std::uint8_t otsu_threshold(const ImageU8& src);
+
+/// cv::threshold(..., THRESH_OTSU | type): picks the Otsu threshold, applies
+/// it, and (optionally) reports the chosen value through `chosen`.
+ImageU8 threshold_otsu(const ImageU8& src, std::uint8_t maxval,
+                       ThresholdType type, std::uint8_t* chosen = nullptr);
+
+/// 256-bin histogram of a single-channel 8-bit image.
+void histogram256(const ImageU8& src, std::uint64_t out[256]);
+
+/// Two-level (multi-)Otsu: finds thresholds t1 < t2 maximizing the
+/// between-class variance of the three induced classes. Exhaustive
+/// O(256^2) search over the histogram — exact, not the iterative
+/// approximation. Returns {t1, t2}.
+std::pair<std::uint8_t, std::uint8_t> otsu_two_level(const ImageU8& src);
+
+}  // namespace polarice::img

@@ -1,0 +1,159 @@
+#include "metrics/metrics.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace polarice::metrics {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes) : k_(num_classes) {
+  if (num_classes < 2) {
+    throw std::invalid_argument("ConfusionMatrix: need >= 2 classes");
+  }
+  counts_.assign(static_cast<std::size_t>(k_) * k_, 0);
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if (truth < 0) return;  // ignore label
+  if (truth >= k_ || predicted < 0 || predicted >= k_) {
+    throw std::out_of_range("ConfusionMatrix::add: class out of range");
+  }
+  ++counts_[static_cast<std::size_t>(predicted) * k_ + truth];
+}
+
+void ConfusionMatrix::add_all(const std::vector<int>& truth,
+                              const std::vector<int>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("ConfusionMatrix::add_all: size mismatch");
+  }
+  for (std::size_t i = 0; i < truth.size(); ++i) add(truth[i], predicted[i]);
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  if (other.k_ != k_) {
+    throw std::invalid_argument("ConfusionMatrix::merge: class count mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+std::uint64_t ConfusionMatrix::count(int truth, int predicted) const {
+  if (truth < 0 || truth >= k_ || predicted < 0 || predicted >= k_) {
+    throw std::out_of_range("ConfusionMatrix::count: class out of range");
+  }
+  return counts_[static_cast<std::size_t>(predicted) * k_ + truth];
+}
+
+std::uint64_t ConfusionMatrix::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto c : counts_) sum += c;
+  return sum;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const auto all = total();
+  if (all == 0) return 0.0;
+  std::uint64_t diag = 0;
+  for (int c = 0; c < k_; ++c) {
+    diag += counts_[static_cast<std::size_t>(c) * k_ + c];
+  }
+  return static_cast<double>(diag) / static_cast<double>(all);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  std::uint64_t tp = count(cls, cls), row = 0;
+  for (int t = 0; t < k_; ++t) row += count(t, cls);
+  return row == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  std::uint64_t tp = count(cls, cls), col = 0;
+  for (int p = 0; p < k_; ++p) col += count(cls, p);
+  return col == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(col);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const double p = precision(cls), r = recall(cls);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+namespace {
+template <typename Fn>
+double macro_over_present(int k, const ConfusionMatrix& cm, Fn&& fn) {
+  double sum = 0.0;
+  int present = 0;
+  for (int c = 0; c < k; ++c) {
+    std::uint64_t truth_total = 0;
+    for (int p = 0; p < k; ++p) truth_total += cm.count(c, p);
+    if (truth_total == 0) continue;
+    sum += fn(c);
+    ++present;
+  }
+  return present == 0 ? 0.0 : sum / present;
+}
+}  // namespace
+
+double ConfusionMatrix::macro_precision() const {
+  return macro_over_present(k_, *this, [this](int c) { return precision(c); });
+}
+
+double ConfusionMatrix::macro_recall() const {
+  return macro_over_present(k_, *this, [this](int c) { return recall(c); });
+}
+
+double ConfusionMatrix::macro_f1() const {
+  return macro_over_present(k_, *this, [this](int c) { return f1(c); });
+}
+
+std::vector<double> ConfusionMatrix::column_normalized() const {
+  std::vector<double> out(static_cast<std::size_t>(k_) * k_, 0.0);
+  for (int t = 0; t < k_; ++t) {
+    std::uint64_t col = 0;
+    for (int p = 0; p < k_; ++p) col += count(t, p);
+    if (col == 0) continue;
+    for (int p = 0; p < k_; ++p) {
+      out[static_cast<std::size_t>(p) * k_ + t] =
+          100.0 * static_cast<double>(count(t, p)) / static_cast<double>(col);
+    }
+  }
+  return out;
+}
+
+std::string ConfusionMatrix::to_string(
+    const std::vector<std::string>& class_names) const {
+  if (static_cast<int>(class_names.size()) != k_) {
+    throw std::invalid_argument("ConfusionMatrix::to_string: name count");
+  }
+  const auto norm = column_normalized();
+  std::ostringstream out;
+  out << "pred \\ true";
+  for (const auto& name : class_names) out << '\t' << name;
+  out << '\n';
+  for (int p = 0; p < k_; ++p) {
+    out << class_names[p];
+    for (int t = 0; t < k_; ++t) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "\t%6.2f%%",
+                    norm[static_cast<std::size_t>(p) * k_ + t]);
+      out << buf;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+double pixel_accuracy(const std::vector<int>& truth,
+                      const std::vector<int>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("pixel_accuracy: size mismatch");
+  }
+  std::uint64_t correct = 0, counted = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0) continue;
+    ++counted;
+    correct += truth[i] == predicted[i];
+  }
+  return counted == 0
+             ? 0.0
+             : static_cast<double>(correct) / static_cast<double>(counted);
+}
+
+}  // namespace polarice::metrics

@@ -1,0 +1,64 @@
+#pragma once
+// Evaluation metrics (paper §IV.A): classification accuracy, macro
+// precision/recall/F1, and the column-normalized confusion matrix of Fig 13.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polarice::metrics {
+
+/// KxK confusion matrix over class-index sequences. Convention follows the
+/// paper: entry (row A, column B) counts samples of true class B predicted
+/// as class A, so each *column* sums to that class's ground-truth total and
+/// the column-normalized matrix has per-class recall on the diagonal.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Accumulates one prediction/truth pair. Negative truth = ignored.
+  void add(int truth, int predicted);
+
+  /// Accumulates aligned sequences (sizes must match).
+  void add_all(const std::vector<int>& truth, const std::vector<int>& predicted);
+
+  /// Merges another matrix (same K) into this one.
+  void merge(const ConfusionMatrix& other);
+
+  [[nodiscard]] int num_classes() const noexcept { return k_; }
+  [[nodiscard]] std::uint64_t count(int truth, int predicted) const;
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  /// Overall accuracy: trace / total.
+  [[nodiscard]] double accuracy() const;
+
+  /// Per-class precision: tp / (tp + fp) over predictions of that class.
+  [[nodiscard]] double precision(int cls) const;
+  /// Per-class recall: tp / (tp + fn) over truths of that class.
+  [[nodiscard]] double recall(int cls) const;
+  /// Per-class F1 (harmonic mean of precision and recall).
+  [[nodiscard]] double f1(int cls) const;
+
+  /// Macro averages over classes (classes absent from the data excluded).
+  [[nodiscard]] double macro_precision() const;
+  [[nodiscard]] double macro_recall() const;
+  [[nodiscard]] double macro_f1() const;
+
+  /// Column-normalized percentages like the paper's Fig 13 (each column
+  /// sums to 100). Returns K*K values, row-major.
+  [[nodiscard]] std::vector<double> column_normalized() const;
+
+  /// Renders the column-normalized matrix with class names for the benches.
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>& class_names) const;
+
+ private:
+  int k_;
+  std::vector<std::uint64_t> counts_;  // row-major [predicted][truth]
+};
+
+/// Plain accuracy between two label sequences (negative truths ignored).
+double pixel_accuracy(const std::vector<int>& truth,
+                      const std::vector<int>& predicted);
+
+}  // namespace polarice::metrics

@@ -1,0 +1,82 @@
+#include "metrics/ssim.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "img/color.h"
+#include "img/filter.h"
+#include "img/ops.h"
+
+namespace polarice::metrics {
+
+namespace {
+// Gaussian-weighted local mean of a float image.
+img::ImageF32 local_mean(const img::ImageF32& x, int window, double sigma) {
+  return img::gaussian_blur(x, window, sigma);
+}
+}  // namespace
+
+double ssim(const img::ImageU8& a, const img::ImageU8& b,
+            const SsimOptions& options) {
+  if (!a.same_shape(b)) throw std::invalid_argument("ssim: shape mismatch");
+  if (a.channels() != 1) throw std::invalid_argument("ssim: expected 1 channel");
+  if (options.window < 3 || options.window % 2 == 0) {
+    throw std::invalid_argument("ssim: window must be odd >= 3");
+  }
+
+  const double L = 255.0;
+  const double c1 = (options.k1 * L) * (options.k1 * L);
+  const double c2 = (options.k2 * L) * (options.k2 * L);
+
+  const int w = a.width(), h = a.height();
+  img::ImageF32 fa(w, h, 1), fb(w, h, 1), faa(w, h, 1), fbb(w, h, 1),
+      fab(w, h, 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float va = a.at(x, y);
+      const float vb = b.at(x, y);
+      fa.at(x, y) = va;
+      fb.at(x, y) = vb;
+      faa.at(x, y) = va * va;
+      fbb.at(x, y) = vb * vb;
+      fab.at(x, y) = va * vb;
+    }
+  }
+  const auto mu_a = local_mean(fa, options.window, options.sigma);
+  const auto mu_b = local_mean(fb, options.window, options.sigma);
+  const auto m_aa = local_mean(faa, options.window, options.sigma);
+  const auto m_bb = local_mean(fbb, options.window, options.sigma);
+  const auto m_ab = local_mean(fab, options.window, options.sigma);
+
+  double total = 0.0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double ma = mu_a.at(x, y);
+      const double mb = mu_b.at(x, y);
+      const double var_a = m_aa.at(x, y) - ma * ma;
+      const double var_b = m_bb.at(x, y) - mb * mb;
+      const double cov = m_ab.at(x, y) - ma * mb;
+      const double num = (2 * ma * mb + c1) * (2 * cov + c2);
+      const double den = (ma * ma + mb * mb + c1) * (var_a + var_b + c2);
+      total += num / den;
+    }
+  }
+  return total / (static_cast<double>(w) * h);
+}
+
+double ssim_rgb(const img::ImageU8& a, const img::ImageU8& b,
+                const SsimOptions& options) {
+  if (!a.same_shape(b)) throw std::invalid_argument("ssim_rgb: shape mismatch");
+  if (a.channels() != 3) {
+    throw std::invalid_argument("ssim_rgb: expected 3 channels");
+  }
+  double total = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    total += ssim(img::extract_channel(a, c), img::extract_channel(b, c),
+                  options);
+  }
+  return total / 3.0;
+}
+
+}  // namespace polarice::metrics

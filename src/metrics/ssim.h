@@ -1,0 +1,27 @@
+#pragma once
+// Structural Similarity Index (Wang et al. 2004), used by the paper to score
+// auto-labels against manual labels (89% on original S2, 99.64% after the
+// thin-cloud/shadow filter).
+
+#include "img/image.h"
+
+namespace polarice::metrics {
+
+struct SsimOptions {
+  int window = 11;       // Gaussian window size (odd)
+  double sigma = 1.5;    // Gaussian window sigma
+  double k1 = 0.01;      // stabilization constants over dynamic range L=255
+  double k2 = 0.03;
+};
+
+/// Mean SSIM between two single-channel 8-bit images (same shape). Returns a
+/// value in [-1, 1]; 1 means identical structure.
+double ssim(const img::ImageU8& a, const img::ImageU8& b,
+            const SsimOptions& options = {});
+
+/// Mean SSIM between two RGB images: the average of per-channel SSIM. This
+/// is how we score colorized label maps (one color per class).
+double ssim_rgb(const img::ImageU8& a, const img::ImageU8& b,
+                const SsimOptions& options = {});
+
+}  // namespace polarice::metrics

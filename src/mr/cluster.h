@@ -1,0 +1,56 @@
+#pragma once
+// Cluster model for the PySpark/Dataproc substitute (paper §III.B, Table II).
+//
+// Two clocks run side by side:
+//  * a REAL clock — collect() genuinely executes the lineage on a thread
+//    pool with executors x cores lanes, so results and speedups are real;
+//  * a SIMULATED clock — a discrete-event model of the paper's 4-node
+//    Google Cloud Dataproc cluster (shared per-node disk, driver-side
+//    collect over the NIC, per-core memory pressure), calibrated so the
+//    published Table II is reproduced on any host.
+//
+// Calibration: the published load times fit T_load(E,C) = f + Wc/(E*C) +
+// Wd/E almost exactly (within ~1s on all 9 rows), and the reduce times fit
+// T_reduce(E,C) = Wr/(E*C) + G/(E*C)^2 + n*(1 - 1/E) — the quadratic term
+// captures the superlinear relief the paper saw when per-core data shrinks.
+// Constants below are those fits; they scale linearly with workload size
+// relative to the paper's 4224 tiles.
+
+#include <cstdint>
+
+namespace polarice::mr {
+
+struct ClusterConfig {
+  int executors = 1;           // paper grid: 1, 2, 4
+  int cores_per_executor = 1;  // paper grid: 1, 2, 4
+
+  // Calibrated model constants (seconds, for the 4224-tile reference job).
+  double job_setup_s = 5.33;    // driver/job fixed overhead (load phase)
+  double load_cpu_s = 100.0;    // total image decode work
+  double load_disk_s = 2.67;    // total disk work, striped across nodes
+  double map_base_s = 0.15;     // lineage/closure bookkeeping floor
+  double map_decay_s = 0.25;    // task-serialization share that parallelizes
+  double reduce_cpu_s = 254.0;  // total auto-label compute
+  double reduce_mem_s = 136.0;  // memory-pressure term (relieved quadratically)
+  double collect_net_s = 8.0;   // driver collect of remote partitions
+  std::int64_t reference_items = 4224;  // workload the constants refer to
+
+  [[nodiscard]] int lanes() const noexcept {
+    return executors * cores_per_executor;
+  }
+  void validate() const;
+};
+
+/// Simulated phase durations for one job of `items` elements.
+struct SimPhaseTimes {
+  double load_s = 0.0;
+  double map_s = 0.0;
+  double reduce_s = 0.0;
+};
+
+/// Runs the discrete-event model (ResourceTimelines for cores, disks, and
+/// the driver NIC) and returns deterministic virtual-clock durations.
+SimPhaseTimes simulate_phases(const ClusterConfig& config, std::int64_t items,
+                              int partitions);
+
+}  // namespace polarice::mr

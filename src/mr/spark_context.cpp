@@ -1,0 +1,36 @@
+#include "mr/spark_context.h"
+
+#include "par/parallel_for.h"
+#include "util/timer.h"
+
+namespace polarice::mr {
+
+SparkContext::SparkContext(ClusterConfig config) : config_(config) {
+  config_.validate();
+  state_ = std::make_shared<State>();
+  state_->config = config_;
+  state_->pool = std::make_unique<par::ThreadPool>(
+      static_cast<std::size_t>(config_.lanes()));
+}
+
+JobTimes SparkContext::last_job() const {
+  const std::scoped_lock lock(state_->mutex);
+  return state_->job;
+}
+
+void SparkContext::note_map(State& state) {
+  util::WallTimer timer;
+  // Lazy transformation: only lineage bookkeeping happens here.
+  const std::scoped_lock lock(state.mutex);
+  state.job.measured_map_s += timer.seconds();
+}
+
+void SparkContext::run_action(State& state, std::size_t partitions,
+                              const std::function<void(std::size_t)>& body) {
+  util::WallTimer timer;
+  par::parallel_for(state.pool.get(), 0, partitions, body, /*grain=*/1);
+  const std::scoped_lock lock(state.mutex);
+  state.job.measured_reduce_s = timer.seconds();
+}
+
+}  // namespace polarice::mr

@@ -1,0 +1,90 @@
+#pragma once
+// Driver-side entry point of the map-reduce substrate. Owns the lane pool
+// (executors x cores real worker threads) and the per-job time accounting,
+// both measured (wall clock) and simulated (calibrated Dataproc model).
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mr/cluster.h"
+#include "par/thread_pool.h"
+#include "util/timer.h"
+
+namespace polarice::mr {
+
+template <typename T>
+class RDD;
+
+/// Per-job time report: both clocks, same phases as the paper's Table II.
+struct JobTimes {
+  double measured_load_s = 0.0;
+  double measured_map_s = 0.0;     // lazy: microseconds in practice
+  double measured_reduce_s = 0.0;  // collect wall time
+  SimPhaseTimes simulated;         // deterministic cluster model
+  std::int64_t items = 0;
+  int partitions = 0;
+};
+
+class SparkContext {
+ public:
+  explicit SparkContext(ClusterConfig config);
+
+  /// Splits `items` into `partitions` chunks (round-robin by block) and
+  /// returns the source RDD. Records the (measured) load time and seeds the
+  /// simulated times for this job. `partitions` defaults to 2x lanes.
+  template <typename T>
+  RDD<T> parallelize(std::vector<T> items, int partitions = 0);
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+
+  /// Times of the most recent job (parallelize -> ... -> action).
+  [[nodiscard]] JobTimes last_job() const;
+
+  // ---- internal plumbing shared with RDD (public for the template) ----
+  struct State {
+    ClusterConfig config;
+    std::unique_ptr<par::ThreadPool> pool;
+    mutable std::mutex mutex;
+    JobTimes job;
+  };
+  static void note_map(State& state);
+  static void run_action(State& state, std::size_t partitions,
+                         const std::function<void(std::size_t)>& body);
+
+ private:
+  ClusterConfig config_;
+  std::shared_ptr<State> state_;
+};
+
+template <typename T>
+RDD<T> SparkContext::parallelize(std::vector<T> items, int partitions) {
+  if (partitions <= 0) partitions = 2 * config_.lanes();
+  partitions = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(partitions),
+                            std::max<std::size_t>(items.size(), 1)));
+
+  util::WallTimer timer;
+  auto data = std::make_shared<std::vector<std::vector<T>>>(
+      static_cast<std::size_t>(partitions));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    (*data)[i % static_cast<std::size_t>(partitions)].push_back(
+        std::move(items[i]));
+  }
+  {
+    const std::scoped_lock lock(state_->mutex);
+    state_->job = JobTimes{};
+    state_->job.items = static_cast<std::int64_t>(items.size());
+    state_->job.partitions = partitions;
+    state_->job.measured_load_s = timer.seconds();
+    state_->job.simulated = simulate_phases(config_, state_->job.items,
+                                            partitions);
+  }
+  return RDD<T>(state_, partitions,
+                [data](std::size_t p) { return (*data)[p]; });
+}
+
+}  // namespace polarice::mr

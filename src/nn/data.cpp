@@ -1,0 +1,100 @@
+#include "nn/data.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace polarice::nn {
+
+void SegDataset::add(SegSample sample) {
+  if (sample.image.ndim() != 3) {
+    throw std::invalid_argument("SegDataset::add: image must be [C,H,W]");
+  }
+  const int c = sample.image.dim(0);
+  const int h = sample.image.dim(1);
+  const int w = sample.image.dim(2);
+  if (sample.labels.size() != static_cast<std::size_t>(h) * w) {
+    throw std::invalid_argument("SegDataset::add: label size mismatch");
+  }
+  if (samples_.empty()) {
+    channels_ = c;
+    height_ = h;
+    width_ = w;
+  } else if (c != channels_ || h != height_ || w != width_) {
+    throw std::invalid_argument("SegDataset::add: geometry mismatch");
+  }
+  samples_.push_back(std::move(sample));
+}
+
+std::pair<SegDataset, SegDataset> SegDataset::split(double fraction) const {
+  if (fraction <= 0.0 || fraction >= 1.0) {
+    throw std::invalid_argument("SegDataset::split: fraction must be in (0,1)");
+  }
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(samples_.size()) * fraction);
+  SegDataset train, test;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    (i < cut ? train : test).add(samples_[i]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+void SegDataset::shuffle(util::Rng& rng) {
+  std::shuffle(samples_.begin(), samples_.end(), rng);
+}
+
+DataLoader::DataLoader(const SegDataset& dataset, int batch_size,
+                       std::uint64_t seed, bool shuffle, bool drop_last)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      drop_last_(drop_last),
+      rng_(seed) {
+  if (batch_size <= 0) {
+    throw std::invalid_argument("DataLoader: batch_size must be positive");
+  }
+  if (dataset.empty()) {
+    throw std::invalid_argument("DataLoader: empty dataset");
+  }
+  order_.resize(dataset.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+}
+
+std::size_t DataLoader::batches_per_epoch() const noexcept {
+  const std::size_t n = dataset_.size();
+  const auto bs = static_cast<std::size_t>(batch_size_);
+  return drop_last_ ? n / bs : (n + bs - 1) / bs;
+}
+
+void DataLoader::start_epoch() {
+  if (shuffle_) std::shuffle(order_.begin(), order_.end(), rng_);
+  cursor_ = 0;
+}
+
+bool DataLoader::next(Batch& batch) {
+  const std::size_t remaining = dataset_.size() - cursor_;
+  const auto bs = static_cast<std::size_t>(batch_size_);
+  if (remaining == 0 || (drop_last_ && remaining < bs)) return false;
+  const std::size_t count = std::min(bs, remaining);
+
+  const int c = dataset_.channels(), h = dataset_.height(),
+            w = dataset_.width();
+  const std::int64_t chw = static_cast<std::int64_t>(c) * h * w;
+  const std::int64_t hw = static_cast<std::int64_t>(h) * w;
+  batch.x = tensor::Tensor({static_cast<int>(count), c, h, w});
+  batch.targets.resize(count * hw);
+  batch.indices.assign(order_.begin() + cursor_,
+                       order_.begin() + cursor_ + count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& sample = dataset_[batch.indices[i]];
+    std::copy(sample.image.data(), sample.image.data() + chw,
+              batch.x.data() + static_cast<std::int64_t>(i) * chw);
+    std::copy(sample.labels.begin(), sample.labels.end(),
+              batch.targets.begin() + static_cast<std::int64_t>(i) * hw);
+  }
+  cursor_ += count;
+  return true;
+}
+
+}  // namespace polarice::nn

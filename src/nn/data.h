@@ -1,0 +1,85 @@
+#pragma once
+// Segmentation dataset + mini-batch loader.
+//
+// A sample is an image tensor [C,H,W] plus one class index per pixel. The
+// loader shuffles per epoch with its own RNG stream and materializes NCHW
+// batches for the trainer. Kept independent of the s2 module so the nn
+// substrate stays generic; s2::SeaIceDataset converts into this form.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace polarice::nn {
+
+struct SegSample {
+  tensor::Tensor image;     // [C, H, W], float
+  std::vector<int> labels;  // H*W class indices (>= 0; < 0 = ignore)
+};
+
+/// Owning collection of samples with uniform geometry.
+class SegDataset {
+ public:
+  SegDataset() = default;
+
+  /// Adds a sample; all samples must share C/H/W (checked).
+  void add(SegSample sample);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const SegSample& operator[](std::size_t i) const {
+    return samples_[i];
+  }
+
+  [[nodiscard]] int channels() const noexcept { return channels_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] int width() const noexcept { return width_; }
+
+  /// Splits off the first `fraction` of samples as train, rest as test
+  /// (deterministic; shuffle first for a random split).
+  [[nodiscard]] std::pair<SegDataset, SegDataset> split(double fraction) const;
+
+  /// Deterministically shuffles sample order.
+  void shuffle(util::Rng& rng);
+
+ private:
+  std::vector<SegSample> samples_;
+  int channels_ = 0, height_ = 0, width_ = 0;
+};
+
+struct Batch {
+  tensor::Tensor x;          // [N, C, H, W]
+  std::vector<int> targets;  // N*H*W
+  std::vector<std::size_t> indices;  // dataset indices in batch order
+};
+
+/// Iterates a dataset in shuffled mini-batches.
+class DataLoader {
+ public:
+  /// `drop_last` discards a trailing partial batch (keeps per-step cost
+  /// uniform, which the throughput benches rely on).
+  DataLoader(const SegDataset& dataset, int batch_size, std::uint64_t seed,
+             bool shuffle = true, bool drop_last = false);
+
+  /// Number of batches per epoch.
+  [[nodiscard]] std::size_t batches_per_epoch() const noexcept;
+
+  /// Reshuffles (if enabled) and resets the cursor.
+  void start_epoch();
+
+  /// Fills `batch` with the next mini-batch; returns false at epoch end.
+  bool next(Batch& batch);
+
+ private:
+  const SegDataset& dataset_;
+  int batch_size_;
+  bool shuffle_;
+  bool drop_last_;
+  util::Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace polarice::nn

@@ -1,0 +1,50 @@
+#pragma once
+// Layer abstraction for the from-scratch deep-learning substrate.
+//
+// Layers own their parameters and parameter gradients and cache whatever
+// they need between forward and backward. The explicit forward/backward
+// design (no autograd tape) keeps the memory profile predictable, which
+// matters when eight ddp ranks each hold a full model replica.
+
+#include <string>
+#include <vector>
+
+#include "par/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace polarice::nn {
+
+/// A named view of one trainable tensor and its gradient. The optimizer and
+/// the ddp allreduce both operate on flat lists of these.
+struct Param {
+  std::string name;
+  tensor::Tensor* value = nullptr;
+  tensor::Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes y = f(x). `training` toggles stochastic behaviour (dropout).
+  virtual void forward(const tensor::Tensor& x, tensor::Tensor& y,
+                       bool training) = 0;
+
+  /// Given dL/dy, computes dL/dx and accumulates parameter gradients.
+  /// Must be called after a forward() with training == true.
+  virtual void backward(const tensor::Tensor& dy, tensor::Tensor& dx) = 0;
+
+  /// Appends this layer's parameters (if any) to `out`.
+  virtual void collect_params(std::vector<Param>& out) { (void)out; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Intra-op thread pool; nullptr = sequential (one ddp rank == one "GPU").
+  void set_pool(par::ThreadPool* pool) noexcept { pool_ = pool; }
+  [[nodiscard]] par::ThreadPool* pool() const noexcept { return pool_; }
+
+ protected:
+  par::ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace polarice::nn

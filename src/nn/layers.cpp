@@ -1,0 +1,141 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace polarice::nn {
+
+using tensor::Tensor;
+
+Conv2d::Conv2d(tensor::Conv2dSpec spec, util::Rng& rng, std::string name)
+    : spec_(spec),
+      name_(std::move(name)),
+      w_({spec.out_ch, spec.in_ch, spec.kh, spec.kw}),
+      b_({spec.out_ch}),
+      dw_({spec.out_ch, spec.in_ch, spec.kh, spec.kw}),
+      db_({spec.out_ch}) {
+  // He-normal: std = sqrt(2 / fan_in) — appropriate for ReLU networks.
+  const double fan_in =
+      static_cast<double>(spec.in_ch) * spec.kh * spec.kw;
+  const double stddev = std::sqrt(2.0 / fan_in);
+  for (std::int64_t i = 0; i < w_.numel(); ++i) {
+    w_[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  // Bias starts at zero.
+}
+
+void Conv2d::forward(const Tensor& x, Tensor& y, bool training) {
+  if (training) cached_x_ = x;
+  tensor::conv2d_forward(x, w_, b_, y, spec_, pool_, col_scratch_);
+}
+
+void Conv2d::backward(const Tensor& dy, Tensor& dx) {
+  if (cached_x_.empty()) {
+    throw std::logic_error(name_ + ": backward before training forward");
+  }
+  tensor::conv2d_backward(cached_x_, w_, dy, skip_input_grad_ ? nullptr : &dx,
+                          dw_, db_, spec_, pool_, col_scratch_, dcol_scratch_);
+}
+
+void Conv2d::collect_params(std::vector<Param>& out) {
+  out.push_back({name_ + ".weight", &w_, &dw_});
+  out.push_back({name_ + ".bias", &b_, &db_});
+}
+
+void ReLU::forward(const Tensor& x, Tensor& y, bool training) {
+  if (!y.same_shape(x)) y = Tensor(x.shape());
+  const std::int64_t n = x.numel();
+  if (training) {
+    mask_.assign(static_cast<std::size_t>(n), 0);
+    in_shape_ = x.shape();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const bool pos = x[i] > 0.0f;
+      mask_[i] = pos;
+      y[i] = pos ? x[i] : 0.0f;
+    }
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+}
+
+void ReLU::backward(const Tensor& dy, Tensor& dx) {
+  if (mask_.size() != static_cast<std::size_t>(dy.numel())) {
+    throw std::logic_error(name_ + ": backward before training forward");
+  }
+  if (!dx.same_shape(dy)) dx = Tensor(in_shape_);
+  const std::int64_t n = dy.numel();
+  for (std::int64_t i = 0; i < n; ++i) dx[i] = mask_[i] ? dy[i] : 0.0f;
+}
+
+Dropout::Dropout(float rate, util::Rng& rng, std::string name)
+    : rate_(rate), rng_(rng.fork()), name_(std::move(name)) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+void Dropout::forward(const Tensor& x, Tensor& y, bool training) {
+  if (!y.same_shape(x)) y = Tensor(x.shape());
+  last_training_ = training;
+  const std::int64_t n = x.numel();
+  if (!training || rate_ == 0.0f) {
+    for (std::int64_t i = 0; i < n; ++i) y[i] = x[i];
+    return;
+  }
+  in_shape_ = x.shape();
+  mask_.assign(static_cast<std::size_t>(n), 0.0f);
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float m = rng_.uniform_f() >= rate_ ? keep_scale : 0.0f;
+    mask_[i] = m;
+    y[i] = x[i] * m;
+  }
+}
+
+void Dropout::backward(const Tensor& dy, Tensor& dx) {
+  if (!dx.same_shape(dy)) dx = Tensor(dy.shape());
+  const std::int64_t n = dy.numel();
+  if (!last_training_ || rate_ == 0.0f) {
+    for (std::int64_t i = 0; i < n; ++i) dx[i] = dy[i];
+    return;
+  }
+  if (mask_.size() != static_cast<std::size_t>(n)) {
+    throw std::logic_error(name_ + ": backward before training forward");
+  }
+  for (std::int64_t i = 0; i < n; ++i) dx[i] = dy[i] * mask_[i];
+}
+
+void MaxPool2x2::forward(const Tensor& x, Tensor& y, bool training) {
+  (void)training;
+  in_shape_ = x.shape();
+  tensor::maxpool2x2_forward(x, y, argmax_, pool_);
+}
+
+void MaxPool2x2::backward(const Tensor& dy, Tensor& dx) {
+  if (argmax_.empty()) {
+    throw std::logic_error(name_ + ": backward before forward");
+  }
+  tensor::maxpool2x2_backward(dy, argmax_, dx, pool_);
+}
+
+UpConv2x::UpConv2x(int in_ch, int out_ch, util::Rng& rng, std::string name)
+    : name_(std::move(name)),
+      conv_(tensor::Conv2dSpec::same(in_ch, out_ch, 2), rng, name_ + ".conv") {}
+
+void UpConv2x::forward(const Tensor& x, Tensor& y, bool training) {
+  conv_.set_pool(pool_);
+  tensor::upsample2x_forward(x, upsampled_, pool_);
+  conv_.forward(upsampled_, y, training);
+}
+
+void UpConv2x::backward(const Tensor& dy, Tensor& dx) {
+  conv_.set_pool(pool_);
+  conv_.backward(dy, dupsampled_);
+  tensor::upsample2x_backward(dupsampled_, dx, pool_);
+}
+
+void UpConv2x::collect_params(std::vector<Param>& out) {
+  conv_.collect_params(out);
+}
+
+}  // namespace polarice::nn

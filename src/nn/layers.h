@@ -1,0 +1,109 @@
+#pragma once
+// Concrete layers: Conv2d, ReLU, Dropout, MaxPool2x2, UpConv2x (nearest
+// upsample + 2x2 'same' conv — the paper's "up-convolution").
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/conv.h"
+#include "util/rng.h"
+
+namespace polarice::nn {
+
+/// 2-D convolution with He-normal initialized weights.
+class Conv2d final : public Layer {
+ public:
+  /// `spec` fixes geometry; `rng` seeds the He initialization.
+  Conv2d(tensor::Conv2dSpec spec, util::Rng& rng, std::string name);
+
+  void forward(const tensor::Tensor& x, tensor::Tensor& y,
+               bool training) override;
+  void backward(const tensor::Tensor& dy, tensor::Tensor& dx) override;
+  void collect_params(std::vector<Param>& out) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  /// Skip computing dL/dx in backward (valid only for the first layer).
+  void set_skip_input_grad(bool skip) noexcept { skip_input_grad_ = skip; }
+
+  [[nodiscard]] const tensor::Conv2dSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] tensor::Tensor& weights() noexcept { return w_; }
+  [[nodiscard]] tensor::Tensor& bias() noexcept { return b_; }
+
+ private:
+  tensor::Conv2dSpec spec_;
+  std::string name_;
+  tensor::Tensor w_, b_, dw_, db_;
+  tensor::Tensor cached_x_;
+  std::vector<float> col_scratch_, dcol_scratch_;
+  bool skip_input_grad_ = false;
+};
+
+/// Elementwise max(0, x).
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::string name) : name_(std::move(name)) {}
+  void forward(const tensor::Tensor& x, tensor::Tensor& y,
+               bool training) override;
+  void backward(const tensor::Tensor& dy, tensor::Tensor& dx) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::uint8_t> mask_;
+  std::vector<int> in_shape_;
+};
+
+/// Inverted dropout: scales kept units by 1/(1-rate) at training time so
+/// evaluation is a pure identity.
+class Dropout final : public Layer {
+ public:
+  Dropout(float rate, util::Rng& rng, std::string name);
+  void forward(const tensor::Tensor& x, tensor::Tensor& y,
+               bool training) override;
+  void backward(const tensor::Tensor& dy, tensor::Tensor& dx) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] float rate() const noexcept { return rate_; }
+
+ private:
+  float rate_;
+  util::Rng rng_;
+  std::string name_;
+  std::vector<float> mask_;
+  bool last_training_ = false;
+  std::vector<int> in_shape_;
+};
+
+/// 2x2 stride-2 max pooling.
+class MaxPool2x2 final : public Layer {
+ public:
+  explicit MaxPool2x2(std::string name) : name_(std::move(name)) {}
+  void forward(const tensor::Tensor& x, tensor::Tensor& y,
+               bool training) override;
+  void backward(const tensor::Tensor& dy, tensor::Tensor& dx) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::uint8_t> argmax_;
+  std::vector<int> in_shape_;
+};
+
+/// The paper's "up-convolution": nearest-neighbour 2x upsample followed by a
+/// 2x2 'same' convolution that halves the channel count.
+class UpConv2x final : public Layer {
+ public:
+  UpConv2x(int in_ch, int out_ch, util::Rng& rng, std::string name);
+  void forward(const tensor::Tensor& x, tensor::Tensor& y,
+               bool training) override;
+  void backward(const tensor::Tensor& dy, tensor::Tensor& dx) override;
+  void collect_params(std::vector<Param>& out) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Conv2d conv_;
+  tensor::Tensor upsampled_, dupsampled_;
+};
+
+}  // namespace polarice::nn

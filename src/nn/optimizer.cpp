@@ -1,0 +1,84 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace polarice::nn {
+
+Optimizer::Optimizer(std::vector<Param> params) : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    if (p.value == nullptr || p.grad == nullptr) {
+      throw std::invalid_argument("Optimizer: null parameter pointers");
+    }
+    if (!p.value->same_shape(*p.grad)) {
+      throw std::invalid_argument("Optimizer: value/grad shape mismatch for " +
+                                  p.name);
+    }
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.grad->zero();
+}
+
+Sgd::Sgd(std::vector<Param> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) velocity_.emplace_back(p.value->shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& value = *params_[i].value;
+    const auto& grad = *params_[i].grad;
+    if (momentum_ != 0.0f) {
+      auto& vel = velocity_[i];
+      const std::int64_t n = value.numel();
+      for (std::int64_t j = 0; j < n; ++j) {
+        vel[j] = momentum_ * vel[j] + grad[j];
+        value[j] -= lr_ * vel[j];
+      }
+    } else {
+      value.axpy_(-lr_, grad);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const float alpha = lr_ * std::sqrt(bias2) / bias1;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& value = *params_[i].value;
+    const auto& grad = *params_[i].grad;
+    auto& m = m_[i];
+    auto& v = v_[i];
+    const std::int64_t n = value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float g = grad[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      value[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps_);
+    }
+  }
+}
+
+}  // namespace polarice::nn

@@ -1,0 +1,111 @@
+#include "nn/trainer.h"
+
+#include <stdexcept>
+
+#include "tensor/conv.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace polarice::nn {
+
+Trainer::Trainer(UNet& model, TrainConfig config)
+    : model_(model), config_(config) {
+  if (config_.epochs <= 0) throw std::invalid_argument("Trainer: epochs <= 0");
+  if (config_.batch_size <= 0) {
+    throw std::invalid_argument("Trainer: batch_size <= 0");
+  }
+  if (config_.learning_rate <= 0.0f) {
+    throw std::invalid_argument("Trainer: learning_rate <= 0");
+  }
+}
+
+std::vector<EpochStats> Trainer::fit(const SegDataset& train_data) {
+  Adam optimizer(model_.params(), config_.learning_rate);
+  DataLoader loader(train_data, config_.batch_size, config_.seed,
+                    /*shuffle=*/true, config_.drop_last);
+
+  std::vector<EpochStats> history;
+  tensor::Tensor logits, probs, dlogits;
+  Batch batch;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    util::WallTimer timer;
+    loader.start_epoch();
+    double loss_sum = 0.0;
+    std::int64_t correct = 0, counted = 0, images = 0;
+    std::size_t batches = 0;
+    while (loader.next(batch)) {
+      optimizer.zero_grad();
+      model_.forward(batch.x, logits, /*training=*/true);
+      const float loss =
+          tensor::softmax_cross_entropy(logits, batch.targets, probs, dlogits);
+      if (!std::isfinite(loss)) {
+        throw std::runtime_error("Trainer: loss diverged (NaN/inf) at epoch " +
+                                 std::to_string(epoch));
+      }
+      model_.backward(dlogits);
+      optimizer.step();
+
+      loss_sum += loss;
+      ++batches;
+      images += batch.x.dim(0);
+      const auto pred = tensor::argmax_channel(probs);
+      for (std::size_t i = 0; i < pred.size(); ++i) {
+        if (batch.targets[i] < 0) continue;
+        ++counted;
+        correct += pred[i] == batch.targets[i];
+      }
+      if (on_batch) on_batch(epoch, batches - 1, loss);
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.mean_loss = batches ? static_cast<float>(loss_sum / batches) : 0.0f;
+    stats.pixel_accuracy =
+        counted ? static_cast<double>(correct) / static_cast<double>(counted)
+                : 0.0;
+    stats.seconds = timer.seconds();
+    stats.images_per_second =
+        stats.seconds > 0 ? static_cast<double>(images) / stats.seconds : 0.0;
+    if (config_.verbose) {
+      LOG_INFO() << "epoch " << epoch << ": loss " << stats.mean_loss
+                 << ", acc " << stats.pixel_accuracy << ", " << stats.seconds
+                 << "s";
+    }
+    history.push_back(stats);
+  }
+  return history;
+}
+
+double Trainer::evaluate_accuracy(UNet& model, const SegDataset& data,
+                                  int batch_size) {
+  DataLoader loader(data, batch_size, /*seed=*/0, /*shuffle=*/false);
+  loader.start_epoch();
+  tensor::Tensor logits, probs;
+  Batch batch;
+  std::int64_t correct = 0, counted = 0;
+  while (loader.next(batch)) {
+    model.forward(batch.x, logits, /*training=*/false);
+    tensor::softmax_channel(logits, probs);
+    const auto pred = tensor::argmax_channel(probs);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      if (batch.targets[i] < 0) continue;
+      ++counted;
+      correct += pred[i] == batch.targets[i];
+    }
+  }
+  return counted ? static_cast<double>(correct) / static_cast<double>(counted)
+                 : 0.0;
+}
+
+std::vector<int> Trainer::predict(UNet& model, const SegSample& sample) {
+  const int c = sample.image.dim(0), h = sample.image.dim(1),
+            w = sample.image.dim(2);
+  tensor::Tensor x({1, c, h, w});
+  std::copy(sample.image.data(), sample.image.data() + sample.image.numel(),
+            x.data());
+  tensor::Tensor logits, probs;
+  model.forward(x, logits, /*training=*/false);
+  tensor::softmax_channel(logits, probs);
+  return tensor::argmax_channel(probs);
+}
+
+}  // namespace polarice::nn

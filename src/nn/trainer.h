@@ -1,0 +1,57 @@
+#pragma once
+// Single-device training loop (paper §III.C.1): Adam + categorical
+// cross-entropy over shuffled mini-batches, with a divergence guard and
+// per-epoch metrics. The distributed variant lives in ddp/.
+
+#include <functional>
+#include <vector>
+
+#include "nn/data.h"
+#include "nn/optimizer.h"
+#include "nn/unet.h"
+
+namespace polarice::nn {
+
+struct TrainConfig {
+  int epochs = 5;
+  int batch_size = 32;       // paper default
+  float learning_rate = 1e-3f;
+  std::uint64_t seed = 99;   // shuffling
+  bool drop_last = false;
+  bool verbose = false;      // log per-epoch lines
+};
+
+struct EpochStats {
+  int epoch = 0;
+  float mean_loss = 0.0f;
+  double pixel_accuracy = 0.0;  // on the training batches
+  double seconds = 0.0;
+  double images_per_second = 0.0;
+};
+
+/// Trains a UNet on a SegDataset. Exposes per-batch hooks so the ddp layer
+/// and the benches can instrument the loop without duplicating it.
+class Trainer {
+ public:
+  Trainer(UNet& model, TrainConfig config);
+
+  /// Runs the configured number of epochs; returns per-epoch stats.
+  /// Throws std::runtime_error if the loss turns NaN/inf (divergence guard).
+  std::vector<EpochStats> fit(const SegDataset& train_data);
+
+  /// Mean pixel accuracy of the model on a dataset (inference mode).
+  static double evaluate_accuracy(UNet& model, const SegDataset& data,
+                                  int batch_size = 16);
+
+  /// Per-pixel predictions for one sample (inference mode).
+  static std::vector<int> predict(UNet& model, const SegSample& sample);
+
+  /// Optional hook invoked after every optimizer step with the batch loss.
+  std::function<void(int epoch, std::size_t batch, float loss)> on_batch;
+
+ private:
+  UNet& model_;
+  TrainConfig config_;
+};
+
+}  // namespace polarice::nn

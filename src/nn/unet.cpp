@@ -1,0 +1,291 @@
+#include "nn/unet.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace polarice::nn {
+
+using tensor::Conv2dSpec;
+using tensor::Tensor;
+
+void UNetConfig::validate() const {
+  if (in_channels <= 0) throw std::invalid_argument("UNet: in_channels <= 0");
+  if (num_classes < 2) throw std::invalid_argument("UNet: num_classes < 2");
+  if (depth < 1 || depth > 8) {
+    throw std::invalid_argument("UNet: depth must be in [1, 8]");
+  }
+  if (base_channels < 1) throw std::invalid_argument("UNet: base_channels < 1");
+  if (use_dropout && (dropout_rate < 0.0f || dropout_rate >= 1.0f)) {
+    throw std::invalid_argument("UNet: dropout_rate must be in [0, 1)");
+  }
+}
+
+ConvBlock::ConvBlock(int in_ch, int out_ch, std::optional<float> dropout_rate,
+                     util::Rng& rng, const std::string& name)
+    : conv1_(Conv2dSpec::same(in_ch, out_ch, 3), rng, name + ".conv1"),
+      relu1_(name + ".relu1"),
+      conv2_(Conv2dSpec::same(out_ch, out_ch, 3), rng, name + ".conv2"),
+      relu2_(name + ".relu2") {
+  if (dropout_rate.has_value()) {
+    dropout_ = std::make_unique<Dropout>(*dropout_rate, rng, name + ".drop");
+  }
+}
+
+void ConvBlock::forward(const Tensor& x, Tensor& y, bool training) {
+  conv1_.forward(x, a1_, training);
+  relu1_.forward(a1_, a2_, training);
+  if (dropout_) {
+    dropout_->forward(a2_, a3_, training);
+    conv2_.forward(a3_, a4_, training);
+  } else {
+    conv2_.forward(a2_, a4_, training);
+  }
+  relu2_.forward(a4_, y, training);
+}
+
+void ConvBlock::backward(const Tensor& dy, Tensor& dx) {
+  relu2_.backward(dy, g4_);
+  conv2_.backward(g4_, g3_);
+  if (dropout_) {
+    dropout_->backward(g3_, g2_);
+    relu1_.backward(g2_, g1_);
+  } else {
+    relu1_.backward(g3_, g1_);
+  }
+  conv1_.backward(g1_, dx);
+}
+
+void ConvBlock::collect_params(std::vector<Param>& out) {
+  conv1_.collect_params(out);
+  conv2_.collect_params(out);
+}
+
+void ConvBlock::set_pool(par::ThreadPool* pool) {
+  conv1_.set_pool(pool);
+  relu1_.set_pool(pool);
+  if (dropout_) dropout_->set_pool(pool);
+  conv2_.set_pool(pool);
+  relu2_.set_pool(pool);
+}
+
+UNet::UNet(UNetConfig config) : config_(config) {
+  config_.validate();
+  util::Rng rng(config_.seed);
+  const std::optional<float> drop =
+      config_.use_dropout ? std::optional<float>(config_.dropout_rate)
+                          : std::nullopt;
+
+  int ch = config_.base_channels;
+  int in_ch = config_.in_channels;
+  for (int level = 0; level < config_.depth; ++level) {
+    enc_blocks_.emplace_back(in_ch, ch, drop, rng,
+                             "enc" + std::to_string(level));
+    pools_.emplace_back("pool" + std::to_string(level));
+    in_ch = ch;
+    ch *= 2;
+  }
+  // Bottleneck doubles once more: in_ch = base * 2^(depth-1), out = 2x that.
+  bottleneck_ = std::make_unique<ConvBlock>(in_ch, ch, drop, rng, "bottleneck");
+
+  for (int level = config_.depth - 1; level >= 0; --level) {
+    const int skip_ch = config_.base_channels << level;  // encoder output
+    const int deep_ch = skip_ch * 2;                     // layer below
+    upconvs_.emplace_back(deep_ch, skip_ch, rng,
+                          "up" + std::to_string(level));
+    dec_blocks_.emplace_back(skip_ch * 2, skip_ch, drop, rng,
+                             "dec" + std::to_string(level));
+  }
+  final_conv_ = std::make_unique<Conv2d>(
+      Conv2dSpec::same(config_.base_channels, config_.num_classes, 1), rng,
+      "head");
+
+  enc_out_.resize(config_.depth);
+  pooled_.resize(config_.depth);
+  up_out_.resize(config_.depth);
+  cat_.resize(config_.depth);
+  dec_out_.resize(config_.depth);
+  scratch_.resize(config_.depth * 4 + 8);
+}
+
+void UNet::forward(const Tensor& x, Tensor& logits, bool training) {
+  if (x.ndim() != 4 || x.dim(1) != config_.in_channels) {
+    throw std::invalid_argument("UNet::forward: expected [N," +
+                                std::to_string(config_.in_channels) +
+                                ",H,W], got " + x.shape_str());
+  }
+  const int div = config_.spatial_divisor();
+  if (x.dim(2) % div != 0 || x.dim(3) % div != 0) {
+    throw std::invalid_argument(
+        "UNet::forward: H and W must be divisible by 2^depth = " +
+        std::to_string(div));
+  }
+
+  const Tensor* cur = &x;
+  for (int level = 0; level < config_.depth; ++level) {
+    enc_blocks_[level].forward(*cur, enc_out_[level], training);
+    pools_[level].forward(enc_out_[level], pooled_[level], training);
+    cur = &pooled_[level];
+  }
+  bottleneck_->forward(*cur, bottleneck_out_, training);
+  cur = &bottleneck_out_;
+  for (int i = 0; i < config_.depth; ++i) {
+    const int level = config_.depth - 1 - i;  // upconvs_[i] serves `level`
+    upconvs_[i].forward(*cur, up_out_[i], training);
+    tensor::concat_channels(up_out_[i], enc_out_[level], cat_[i]);
+    dec_blocks_[i].forward(cat_[i], dec_out_[i], training);
+    cur = &dec_out_[i];
+  }
+  final_conv_->forward(*cur, logits, training);
+}
+
+void UNet::backward(const Tensor& dlogits) {
+  Tensor& d_dec = scratch_[0];
+  final_conv_->backward(dlogits, d_dec);
+
+  Tensor* cur = &d_dec;
+  // Decoder in reverse.
+  for (int i = config_.depth - 1; i >= 0; --i) {
+    const int level = config_.depth - 1 - i;
+    Tensor& d_cat = scratch_[1];
+    dec_blocks_[i].backward(*cur, d_cat);
+    Tensor& d_up = scratch_[2];
+    Tensor& d_skip = scratch_[3 + i];  // kept until the encoder pass
+    tensor::split_channels(d_cat, up_out_[i].dim(1), d_up, d_skip);
+    Tensor& d_below = scratch_[3 + config_.depth + i];
+    upconvs_[i].backward(d_up, d_below);
+    cur = &d_below;
+    (void)level;
+  }
+  // Bottleneck.
+  Tensor& d_pooled = scratch_[1];
+  bottleneck_->backward(*cur, d_pooled);
+  cur = &d_pooled;
+  // Encoder in reverse; add the skip gradients saved by the decoder.
+  for (int level = config_.depth - 1; level >= 0; --level) {
+    const int i = config_.depth - 1 - level;  // index used by the decoder
+    Tensor& d_enc = scratch_[2];
+    pools_[level].backward(*cur, d_enc);
+    d_enc.add_(scratch_[3 + i]);  // skip-connection gradient
+    if (level == 0) {
+      // First encoder block: no input gradient needed.
+      Tensor unused;
+      enc_blocks_[level].backward(d_enc, unused);
+      return;
+    }
+    Tensor& d_prev = scratch_[3 + 2 * config_.depth + level];
+    enc_blocks_[level].backward(d_enc, d_prev);
+    cur = &d_prev;
+  }
+}
+
+std::vector<Param> UNet::params() {
+  std::vector<Param> out;
+  for (auto& block : enc_blocks_) block.collect_params(out);
+  bottleneck_->collect_params(out);
+  for (auto& up : upconvs_) up.collect_params(out);
+  for (auto& block : dec_blocks_) block.collect_params(out);
+  final_conv_->collect_params(out);
+  return out;
+}
+
+std::int64_t UNet::parameter_count() {
+  std::int64_t total = 0;
+  for (const auto& p : params()) total += p.value->numel();
+  return total;
+}
+
+void UNet::set_pool(par::ThreadPool* pool) {
+  for (auto& block : enc_blocks_) block.set_pool(pool);
+  for (auto& p : pools_) p.set_pool(pool);
+  bottleneck_->set_pool(pool);
+  for (auto& up : upconvs_) up.set_pool(pool);
+  for (auto& block : dec_blocks_) block.set_pool(pool);
+  final_conv_->set_pool(pool);
+}
+
+namespace {
+constexpr char kWeightsMagic[8] = {'P', 'L', 'R', 'I', 'C', 'E', 'W', '1'};
+}  // namespace
+
+void UNet::save(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("UNet::save: cannot open " + path);
+  out.write(kWeightsMagic, sizeof(kWeightsMagic));
+  const auto ps = params();
+  const std::uint32_t count = static_cast<std::uint32_t>(ps.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : ps) {
+    const std::uint32_t name_len = static_cast<std::uint32_t>(p.name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p.name.data(), name_len);
+    const std::uint32_t ndim = static_cast<std::uint32_t>(p.value->ndim());
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (const int d : p.value->shape()) {
+      const std::int32_t d32 = d;
+      out.write(reinterpret_cast<const char*>(&d32), sizeof(d32));
+    }
+    out.write(reinterpret_cast<const char*>(p.value->data()),
+              static_cast<std::streamsize>(p.value->numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("UNet::save: short write to " + path);
+}
+
+void UNet::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("UNet::load: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kWeightsMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("UNet::load: bad magic in " + path);
+  }
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  auto ps = params();
+  if (!in || count != ps.size()) {
+    throw std::runtime_error("UNet::load: parameter count mismatch in " + path);
+  }
+  for (auto& p : ps) {
+    std::uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len > 4096) {
+      throw std::runtime_error("UNet::load: corrupt name length");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (name != p.name) {
+      throw std::runtime_error("UNet::load: parameter order mismatch: " +
+                               name + " vs " + p.name);
+    }
+    std::uint32_t ndim = 0;
+    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    if (!in || ndim != static_cast<std::uint32_t>(p.value->ndim())) {
+      throw std::runtime_error("UNet::load: rank mismatch for " + name);
+    }
+    for (const int d : p.value->shape()) {
+      std::int32_t d32 = 0;
+      in.read(reinterpret_cast<char*>(&d32), sizeof(d32));
+      if (!in || d32 != d) {
+        throw std::runtime_error("UNet::load: shape mismatch for " + name);
+      }
+    }
+    in.read(reinterpret_cast<char*>(p.value->data()),
+            static_cast<std::streamsize>(p.value->numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("UNet::load: truncated data for " + name);
+  }
+}
+
+void UNet::copy_parameters_from(UNet& other) {
+  auto dst = params();
+  auto src = other.params();
+  if (dst.size() != src.size()) {
+    throw std::invalid_argument("copy_parameters_from: structure mismatch");
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    tensor::require_same_shape(*dst[i].value, *src[i].value,
+                               "copy_parameters_from");
+    *dst[i].value = *src[i].value;
+  }
+}
+
+}  // namespace polarice::nn

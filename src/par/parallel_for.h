@@ -1,0 +1,95 @@
+#pragma once
+// Index-range parallel loops over a ThreadPool.
+//
+// parallel_for splits [begin, end) into contiguous chunks (one per worker by
+// default, or smaller with an explicit grain) and blocks until every chunk
+// has run. A null pool means "run sequentially" — layers use that to stay
+// single-threaded inside a ddp rank (one rank == one simulated GPU).
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "par/thread_pool.h"
+
+namespace polarice::par {
+
+/// Calls body(i) for every i in [begin, end), distributing chunks over the
+/// pool. Exceptions from any chunk are rethrown (first one wins).
+///
+/// `grain` is the minimum number of iterations per task; 0 picks
+/// ceil(range / workers) so each worker gets exactly one contiguous chunk.
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  const Body& body, std::size_t grain = 0) {
+  if (begin >= end) return;
+  const std::size_t range = end - begin;
+  if (pool == nullptr || pool->size() == 1 || range == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::size_t chunk = grain;
+  if (chunk == 0) chunk = (range + pool->size() - 1) / pool->size();
+  chunk = std::max<std::size_t>(chunk, 1);
+
+  std::vector<std::future<void>> futures;
+  futures.reserve((range + chunk - 1) / chunk);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(pool->submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Map [begin,end) through `body` with results collected in order.
+template <typename Result, typename Body>
+std::vector<Result> parallel_map(ThreadPool* pool, std::size_t begin,
+                                 std::size_t end, const Body& body) {
+  std::vector<Result> results(end > begin ? end - begin : 0);
+  parallel_for(pool, begin, end,
+               [&](std::size_t i) { results[i - begin] = body(i); });
+  return results;
+}
+
+/// Parallel reduction: combine(body(i)...) with a commutative-associative
+/// combiner. Deterministic: chunk partials are combined in chunk order.
+template <typename Result, typename Body, typename Combine>
+Result parallel_reduce(ThreadPool* pool, std::size_t begin, std::size_t end,
+                       Result init, const Body& body, const Combine& combine) {
+  if (begin >= end) return init;
+  if (pool == nullptr || pool->size() == 1) {
+    Result acc = std::move(init);
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, body(i));
+    return acc;
+  }
+  const std::size_t range = end - begin;
+  const std::size_t chunk =
+      std::max<std::size_t>(1, (range + pool->size() - 1) / pool->size());
+  std::vector<std::future<Result>> futures;
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(pool->submit([lo, hi, &body, &combine, &init] {
+      Result acc = init;
+      for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, body(i));
+      return acc;
+    }));
+  }
+  Result acc = std::move(init);
+  for (auto& f : futures) acc = combine(acc, f.get());
+  return acc;
+}
+
+}  // namespace polarice::par

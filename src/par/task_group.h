@@ -1,0 +1,61 @@
+#pragma once
+// Structured fork-join helper: spawn heterogeneous tasks, wait for all.
+
+#include <exception>
+#include <future>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "par/thread_pool.h"
+
+namespace polarice::par {
+
+/// Groups futures so a scope can fork several tasks and join them all before
+/// returning (structured concurrency; think OpenMP `taskgroup`).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Joins outstanding tasks; swallows exceptions (call wait() to observe).
+  ~TaskGroup() {
+    try {
+      wait();
+    } catch (...) {
+    }
+  }
+
+  /// Forks a task onto the pool.
+  template <typename F>
+  void run(F&& fn) {
+    const std::scoped_lock lock(mutex_);
+    futures_.push_back(pool_.submit(std::forward<F>(fn)));
+  }
+
+  /// Blocks until every forked task finished; rethrows the first exception.
+  void wait() {
+    std::vector<std::future<void>> taken;
+    {
+      const std::scoped_lock lock(mutex_);
+      taken.swap(futures_);
+    }
+    std::exception_ptr first_error;
+    for (auto& f : taken) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::vector<std::future<void>> futures_;
+};
+
+}  // namespace polarice::par

@@ -1,0 +1,88 @@
+#pragma once
+// Work-queue thread pool — the single-node parallel substrate standing in for
+// the paper's Python multiprocessing stage (Table I / Fig 10).
+//
+// Design follows the C++ Core Guidelines concurrency rules: jthread workers
+// joined by RAII (CP.25/CP.26), condition-variable waits with predicates
+// (CP.42), scoped_lock everywhere (CP.20), tasks not threads (CP.4).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace polarice::par {
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+///
+/// Tasks are arbitrary callables; submit() returns a std::future carrying the
+/// callable's result (exceptions propagate through the future). The
+/// destructor drains outstanding tasks and joins all workers.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. `threads == 0` is invalid (use
+  /// ThreadPool::hardware() for a sensible default).
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Signals shutdown, waits for queued tasks to finish, joins workers.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Hardware concurrency clamped to at least 1.
+  static std::size_t hardware() noexcept {
+    const auto n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+  }
+
+  /// Enqueues a callable; the returned future yields its result.
+  template <typename F, typename... Params>
+  auto submit(F&& fn, Params&&... params)
+      -> std::future<std::invoke_result_t<F, Params...>> {
+    using Result = std::invoke_result_t<F, Params...>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        [fn = std::forward<F>(fn),
+         ... params = std::forward<Params>(params)]() mutable {
+          return std::invoke(std::move(fn), std::move(params)...);
+        });
+    std::future<Result> result = task->get_future();
+    {
+      const std::scoped_lock lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Blocks until the queue is empty and all in-flight tasks completed.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+/// Global pool shared by the tensor/nn layers for intra-op parallelism.
+/// Created lazily with hardware() threads; never destroyed before exit.
+ThreadPool& global_pool();
+
+}  // namespace polarice::par

@@ -1,0 +1,42 @@
+#include "s2/acquisition.h"
+
+#include <stdexcept>
+
+namespace polarice::s2 {
+
+void AcquisitionConfig::validate() const {
+  if (num_scenes <= 0) {
+    throw std::invalid_argument("AcquisitionConfig: num_scenes <= 0");
+  }
+  if (scene_size <= 0 || tile_size <= 0 || scene_size % tile_size != 0) {
+    throw std::invalid_argument(
+        "AcquisitionConfig: scene_size must be a positive multiple of "
+        "tile_size");
+  }
+  if (cloudy_scene_fraction < 0.0 || cloudy_scene_fraction > 1.0) {
+    throw std::invalid_argument(
+        "AcquisitionConfig: cloudy_scene_fraction out of [0,1]");
+  }
+}
+
+std::vector<Tile> acquire_tiles(const AcquisitionConfig& config) {
+  config.validate();
+  std::vector<Tile> tiles;
+  tiles.reserve(static_cast<std::size_t>(config.total_tiles()));
+  const int cloudy_scenes = static_cast<int>(
+      config.cloudy_scene_fraction * static_cast<double>(config.num_scenes) +
+      0.5);
+  for (int i = 0; i < config.num_scenes; ++i) {
+    SceneConfig sc = config.scene_template;
+    sc.width = config.scene_size;
+    sc.height = config.scene_size;
+    sc.seed = config.seed + static_cast<std::uint64_t>(i);
+    sc.cloudy = i < cloudy_scenes;
+    const Scene scene = SceneGenerator(sc).generate();
+    auto scene_tiles = split_scene(scene, config.tile_size, i);
+    for (auto& t : scene_tiles) tiles.push_back(std::move(t));
+  }
+  return tiles;
+}
+
+}  // namespace polarice::s2

@@ -1,0 +1,47 @@
+#pragma once
+// Sea-ice class taxonomy, label colors, and the paper's HSV thresholds.
+//
+// Class ids are fixed project-wide: 0 = open water, 1 = thin/young ice,
+// 2 = thick/snow-covered ice. The label colors match the paper's manual
+// annotation convention (green = water, blue = thin ice, red = thick ice),
+// and the HSV ranges are quoted verbatim from §III.B (OpenCV convention,
+// H in [0,180], S and V in [0,255]).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace polarice::s2 {
+
+enum class SeaIceClass : int {
+  kOpenWater = 0,
+  kThinIce = 1,
+  kThickIce = 2,
+};
+
+inline constexpr int kNumClasses = 3;
+
+/// Human-readable class names, indexed by class id.
+inline const std::array<std::string, kNumClasses> kClassNames = {
+    "open water", "thin ice", "thick ice"};
+
+/// RGB label colors, indexed by class id (paper Fig 4: green/blue/red).
+inline constexpr std::array<std::array<std::uint8_t, 3>, kNumClasses>
+    kClassColors = {{{0, 255, 0}, {0, 0, 255}, {255, 0, 0}}};
+
+/// One HSV threshold band (inclusive bounds, OpenCV 8-bit convention).
+struct HsvRange {
+  std::array<std::uint8_t, 3> lower;
+  std::array<std::uint8_t, 3> upper;
+};
+
+/// Paper §III.B: per-class HSV bands for the Ross Sea summer dataset.
+/// The published upper H bound of 185 exceeds the encodable maximum of 180,
+/// i.e. "any hue" — we clamp to 180 with identical semantics.
+inline constexpr std::array<HsvRange, kNumClasses> kPaperHsvRanges = {{
+    {{0, 0, 0}, {180, 255, 30}},     // open water:   V <= 30
+    {{0, 0, 31}, {180, 255, 204}},   // thin ice:     31 <= V <= 204
+    {{0, 0, 205}, {180, 255, 255}},  // thick ice:    V >= 205
+}};
+
+}  // namespace polarice::s2

@@ -1,0 +1,42 @@
+#include "s2/manual_label.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "s2/noise.h"
+
+namespace polarice::s2 {
+
+img::ImageU8 simulate_manual_labels(const img::ImageU8& truth,
+                                    const ManualLabelConfig& config) {
+  if (truth.channels() != 1) {
+    throw std::invalid_argument("simulate_manual_labels: expected 1 channel");
+  }
+  if (config.displacement_px < 0 || config.wobble_scale <= 0) {
+    throw std::invalid_argument("simulate_manual_labels: bad config");
+  }
+  // Smooth displacement field: the annotator's boundary is the true boundary
+  // seen through a wobbly lens. Sampling the truth at displaced coordinates
+  // moves boundaries without creating speckle noise inside regions.
+  PerlinNoise dx_noise(config.seed * 2654435761ULL + 1);
+  PerlinNoise dy_noise(config.seed * 2654435761ULL + 2);
+  const int w = truth.width(), h = truth.height();
+  img::ImageU8 out(w, h, 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double dx = config.displacement_px *
+                        dx_noise.fbm(x / config.wobble_scale,
+                                     y / config.wobble_scale, 2);
+      const double dy = config.displacement_px *
+                        dy_noise.fbm(x / config.wobble_scale,
+                                     y / config.wobble_scale, 2);
+      const int sx = std::clamp(static_cast<int>(std::lround(x + dx)), 0, w - 1);
+      const int sy = std::clamp(static_cast<int>(std::lround(y + dy)), 0, h - 1);
+      out.at(x, y) = truth.at(sx, sy);
+    }
+  }
+  return out;
+}
+
+}  // namespace polarice::s2

@@ -1,0 +1,27 @@
+#pragma once
+// Simulated human annotation ("U-Net-Man" training labels).
+//
+// Earth scientists trace class boundaries by eye; their labels are accurate
+// in region interiors but wobble along boundaries. We reproduce that error
+// profile by jittering the ground-truth class boundaries with a smooth
+// random displacement field, so manual labels agree with ground truth on
+// ~98-99% of pixels — enough to make the paper's U-Net-Man vs U-Net-Auto
+// comparison meaningful.
+
+#include <cstdint>
+
+#include "img/image.h"
+
+namespace polarice::s2 {
+
+struct ManualLabelConfig {
+  double displacement_px = 1.5;   // max boundary displacement
+  double wobble_scale = 32.0;     // spatial scale of the displacement field
+  std::uint64_t seed = 42;        // annotator idiosyncrasy
+};
+
+/// Produces a "manually labeled" plane from ground truth class ids.
+img::ImageU8 simulate_manual_labels(const img::ImageU8& truth,
+                                    const ManualLabelConfig& config = {});
+
+}  // namespace polarice::s2

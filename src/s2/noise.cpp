@@ -1,0 +1,52 @@
+#include "s2/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace polarice::s2 {
+
+PerlinNoise::PerlinNoise(std::uint64_t seed) {
+  std::iota(perm_.begin(), perm_.end(), 0);
+  util::Rng rng(seed);
+  std::shuffle(perm_.begin(), perm_.end(), rng);
+}
+
+double PerlinNoise::at(double x, double y) const noexcept {
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const double dx = x - x0;
+  const double dy = y - y0;
+  const double u = fade(dx);
+  const double v = fade(dy);
+
+  const double n00 = grad(hash(x0, y0), dx, dy);
+  const double n10 = grad(hash(x0 + 1, y0), dx - 1, dy);
+  const double n01 = grad(hash(x0, y0 + 1), dx, dy - 1);
+  const double n11 = grad(hash(x0 + 1, y0 + 1), dx - 1, dy - 1);
+
+  const double nx0 = n00 + u * (n10 - n00);
+  const double nx1 = n01 + u * (n11 - n01);
+  // Scale: gradient noise with these gradients spans ~[-1.5, 1.5]; 0.7071
+  // normalizes the typical range close to [-1, 1].
+  return (nx0 + v * (nx1 - nx0)) * 0.7071;
+}
+
+double PerlinNoise::fbm(double x, double y, int octaves, double lacunarity,
+                        double gain) const noexcept {
+  double amplitude = 1.0;
+  double frequency = 1.0;
+  double total = 0.0;
+  double norm = 0.0;
+  for (int o = 0; o < octaves; ++o) {
+    total += amplitude * at(x * frequency, y * frequency);
+    norm += amplitude;
+    amplitude *= gain;
+    frequency *= lacunarity;
+  }
+  return norm > 0.0 ? total / norm : 0.0;
+}
+
+}  // namespace polarice::s2

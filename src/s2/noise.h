@@ -1,0 +1,49 @@
+#pragma once
+// 2-D gradient (Perlin) noise and fractional Brownian motion — the terrain
+// engine behind the synthetic Sentinel-2 scenes. Deterministic per seed.
+
+#include <array>
+#include <cstdint>
+
+namespace polarice::s2 {
+
+/// Classic Perlin gradient noise over a 256-cell permutation lattice.
+class PerlinNoise {
+ public:
+  explicit PerlinNoise(std::uint64_t seed);
+
+  /// Noise value at (x, y), approximately in [-1, 1].
+  [[nodiscard]] double at(double x, double y) const noexcept;
+
+  /// Fractional Brownian motion: `octaves` noise layers, each with
+  /// `lacunarity`x the frequency and `gain`x the amplitude of the previous.
+  /// Result roughly in [-1, 1].
+  [[nodiscard]] double fbm(double x, double y, int octaves,
+                           double lacunarity = 2.0,
+                           double gain = 0.5) const noexcept;
+
+ private:
+  [[nodiscard]] int hash(int x, int y) const noexcept {
+    return perm_[(perm_[x & 255] + y) & 255];
+  }
+  static double fade(double t) noexcept {
+    return t * t * t * (t * (t * 6 - 15) + 10);
+  }
+  static double grad(int h, double dx, double dy) noexcept {
+    // 8 gradient directions.
+    switch (h & 7) {
+      case 0: return dx + dy;
+      case 1: return dx - dy;
+      case 2: return -dx + dy;
+      case 3: return -dx - dy;
+      case 4: return dx;
+      case 5: return -dx;
+      case 6: return dy;
+      default: return -dy;
+    }
+  }
+
+  std::array<std::uint8_t, 256> perm_;
+};
+
+}  // namespace polarice::s2

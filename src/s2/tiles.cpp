@@ -1,0 +1,71 @@
+#include "s2/tiles.h"
+
+#include <stdexcept>
+
+#include "img/ops.h"
+
+namespace polarice::s2 {
+
+std::vector<Tile> split_scene(const Scene& scene, int tile_size,
+                              int scene_index, double cloud_threshold) {
+  if (tile_size <= 0) {
+    throw std::invalid_argument("split_scene: tile_size must be positive");
+  }
+  const int tiles_x = scene.rgb.width() / tile_size;
+  const int tiles_y = scene.rgb.height() / tile_size;
+  std::vector<Tile> tiles;
+  tiles.reserve(static_cast<std::size_t>(tiles_x) * tiles_y);
+  for (int ty = 0; ty < tiles_y; ++ty) {
+    for (int tx = 0; tx < tiles_x; ++tx) {
+      Tile tile;
+      const int x0 = tx * tile_size, y0 = ty * tile_size;
+      tile.rgb = img::crop(scene.rgb, x0, y0, tile_size, tile_size);
+      tile.rgb_clean =
+          img::crop(scene.rgb_clean, x0, y0, tile_size, tile_size);
+      tile.labels = img::crop(scene.labels, x0, y0, tile_size, tile_size);
+      std::size_t covered = 0;
+      for (int y = 0; y < tile_size; ++y) {
+        for (int x = 0; x < tile_size; ++x) {
+          if (scene.cloud_opacity.at(x0 + x, y0 + y) > cloud_threshold ||
+              scene.shadow_strength.at(x0 + x, y0 + y) > cloud_threshold) {
+            ++covered;
+          }
+        }
+      }
+      tile.cloud_fraction = static_cast<double>(covered) /
+                            (static_cast<double>(tile_size) * tile_size);
+      tile.scene_index = scene_index;
+      tile.tile_x = tx;
+      tile.tile_y = ty;
+      tiles.push_back(std::move(tile));
+    }
+  }
+  return tiles;
+}
+
+img::ImageU8 stitch_labels(const std::vector<img::ImageU8>& tile_labels,
+                           int tiles_x, int tiles_y) {
+  if (tiles_x <= 0 || tiles_y <= 0 ||
+      tile_labels.size() != static_cast<std::size_t>(tiles_x) * tiles_y) {
+    throw std::invalid_argument("stitch_labels: grid/count mismatch");
+  }
+  const int tw = tile_labels.front().width();
+  const int th = tile_labels.front().height();
+  img::ImageU8 out(tiles_x * tw, tiles_y * th, 1);
+  for (int ty = 0; ty < tiles_y; ++ty) {
+    for (int tx = 0; tx < tiles_x; ++tx) {
+      const auto& tile = tile_labels[static_cast<std::size_t>(ty) * tiles_x + tx];
+      if (tile.width() != tw || tile.height() != th || tile.channels() != 1) {
+        throw std::invalid_argument("stitch_labels: tile shape mismatch");
+      }
+      for (int y = 0; y < th; ++y) {
+        for (int x = 0; x < tw; ++x) {
+          out.at(tx * tw + x, ty * th + y) = tile.at(x, y);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace polarice::s2

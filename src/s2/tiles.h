@@ -1,0 +1,34 @@
+#pragma once
+// Scene -> 256x256 (configurable) tiling, mirroring the paper's split of 66
+// large scenes into 4224 training tiles, plus stitching predictions back
+// into scene-sized label maps for the inference workflow (Fig 9).
+
+#include <vector>
+
+#include "img/image.h"
+#include "s2/scene.h"
+
+namespace polarice::s2 {
+
+/// One training/inference unit cut from a scene.
+struct Tile {
+  img::ImageU8 rgb;        // observed imagery (with atmosphere)
+  img::ImageU8 rgb_clean;  // atmosphere-free reference
+  img::ImageU8 labels;     // ground-truth class ids, single channel
+  double cloud_fraction = 0.0;  // fraction of pixels with cloud or shadow
+  int scene_index = 0;
+  int tile_x = 0, tile_y = 0;   // tile grid coordinates within the scene
+};
+
+/// Cuts a scene into non-overlapping tile_size x tile_size tiles (partial
+/// edge tiles are discarded, as in the paper's 2048 -> 8x8 grid).
+std::vector<Tile> split_scene(const Scene& scene, int tile_size,
+                              int scene_index = 0,
+                              double cloud_threshold = 0.05);
+
+/// Reassembles per-tile label planes into a scene-sized label image.
+/// `tiles_x` * tile width must cover the target width (ditto height).
+img::ImageU8 stitch_labels(const std::vector<img::ImageU8>& tile_labels,
+                           int tiles_x, int tiles_y);
+
+}  // namespace polarice::s2

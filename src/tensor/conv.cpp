@@ -1,0 +1,429 @@
+#include "tensor/conv.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "par/parallel_for.h"
+#include "tensor/gemm.h"
+
+namespace polarice::tensor {
+
+namespace {
+void require_4d(const Tensor& t, const char* what) {
+  if (t.ndim() != 4) {
+    throw std::invalid_argument(std::string(what) + ": expected 4-D tensor, got " +
+                                t.shape_str());
+  }
+}
+}  // namespace
+
+Conv2dSpec Conv2dSpec::same(int in_ch, int out_ch, int k) {
+  Conv2dSpec s;
+  s.in_ch = in_ch;
+  s.out_ch = out_ch;
+  s.kh = s.kw = k;
+  s.stride = 1;
+  // Keras 'same': total pad = k - 1; extra goes bottom/right for even k.
+  s.pad_top = s.pad_left = (k - 1) / 2;
+  s.pad_bottom = s.pad_right = k / 2;
+  return s;
+}
+
+Conv2dSpec Conv2dSpec::valid(int in_ch, int out_ch, int k) {
+  Conv2dSpec s;
+  s.in_ch = in_ch;
+  s.out_ch = out_ch;
+  s.kh = s.kw = k;
+  return s;
+}
+
+void im2col(const float* x, int in_h, int in_w, const Conv2dSpec& spec,
+            float* col) {
+  const int oh = spec.out_h(in_h);
+  const int ow = spec.out_w(in_w);
+  const std::int64_t plane = static_cast<std::int64_t>(oh) * ow;
+  for (int c = 0; c < spec.in_ch; ++c) {
+    const float* xc = x + static_cast<std::int64_t>(c) * in_h * in_w;
+    for (int ki = 0; ki < spec.kh; ++ki) {
+      for (int kj = 0; kj < spec.kw; ++kj) {
+        float* dst =
+            col + (((static_cast<std::int64_t>(c) * spec.kh) + ki) * spec.kw +
+                   kj) * plane;
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * spec.stride - spec.pad_top + ki;
+          float* row = dst + static_cast<std::int64_t>(oy) * ow;
+          if (iy < 0 || iy >= in_h) {
+            std::memset(row, 0, sizeof(float) * ow);
+            continue;
+          }
+          const float* src_row = xc + static_cast<std::int64_t>(iy) * in_w;
+          for (int ox = 0; ox < ow; ++ox) {
+            const int ix = ox * spec.stride - spec.pad_left + kj;
+            row[ox] = (ix >= 0 && ix < in_w) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, int in_h, int in_w, const Conv2dSpec& spec,
+            float* dx) {
+  const int oh = spec.out_h(in_h);
+  const int ow = spec.out_w(in_w);
+  const std::int64_t plane = static_cast<std::int64_t>(oh) * ow;
+  for (int c = 0; c < spec.in_ch; ++c) {
+    float* xc = dx + static_cast<std::int64_t>(c) * in_h * in_w;
+    for (int ki = 0; ki < spec.kh; ++ki) {
+      for (int kj = 0; kj < spec.kw; ++kj) {
+        const float* src =
+            col + (((static_cast<std::int64_t>(c) * spec.kh) + ki) * spec.kw +
+                   kj) * plane;
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * spec.stride - spec.pad_top + ki;
+          if (iy < 0 || iy >= in_h) continue;
+          const float* row = src + static_cast<std::int64_t>(oy) * ow;
+          float* dst_row = xc + static_cast<std::int64_t>(iy) * in_w;
+          for (int ox = 0; ox < ow; ++ox) {
+            const int ix = ox * spec.stride - spec.pad_left + kj;
+            if (ix >= 0 && ix < in_w) dst_row[ix] += row[ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                    Tensor& y, const Conv2dSpec& spec, par::ThreadPool* pool,
+                    std::vector<float>& col_scratch) {
+  require_4d(x, "conv2d_forward(x)");
+  const int batch = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
+  if (x.dim(1) != spec.in_ch) {
+    throw std::invalid_argument("conv2d_forward: channel mismatch");
+  }
+  const int oh = spec.out_h(in_h), ow = spec.out_w(in_w);
+  if (y.ndim() != 4 || y.dim(0) != batch || y.dim(1) != spec.out_ch ||
+      y.dim(2) != oh || y.dim(3) != ow) {
+    y = Tensor({batch, spec.out_ch, oh, ow});
+  }
+  const std::int64_t plane = static_cast<std::int64_t>(oh) * ow;
+  col_scratch.resize(static_cast<std::size_t>(spec.col_rows()) * plane);
+
+  for (int n = 0; n < batch; ++n) {
+    const float* xn = x.data() + x.offset4(n, 0, 0, 0);
+    float* yn = y.data() + y.offset4(n, 0, 0, 0);
+    im2col(xn, in_h, in_w, spec, col_scratch.data());
+    gemm_nn(spec.out_ch, static_cast<int>(plane), spec.col_rows(), w.data(),
+            col_scratch.data(), yn, /*accumulate=*/false, pool);
+    for (int oc = 0; oc < spec.out_ch; ++oc) {
+      const float bias = b[oc];
+      float* row = yn + static_cast<std::int64_t>(oc) * plane;
+      for (std::int64_t i = 0; i < plane; ++i) row[i] += bias;
+    }
+  }
+}
+
+void conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                     Tensor* dx, Tensor& dw, Tensor& db,
+                     const Conv2dSpec& spec, par::ThreadPool* pool,
+                     std::vector<float>& col_scratch,
+                     std::vector<float>& dcol_scratch) {
+  require_4d(x, "conv2d_backward(x)");
+  require_4d(dy, "conv2d_backward(dy)");
+  const int batch = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
+  const int oh = spec.out_h(in_h), ow = spec.out_w(in_w);
+  const std::int64_t plane = static_cast<std::int64_t>(oh) * ow;
+  col_scratch.resize(static_cast<std::size_t>(spec.col_rows()) * plane);
+  if (dx != nullptr) {
+    dcol_scratch.resize(static_cast<std::size_t>(spec.col_rows()) * plane);
+    if (!dx->same_shape(x)) *dx = Tensor(x.shape());
+  }
+
+  for (int n = 0; n < batch; ++n) {
+    const float* xn = x.data() + x.offset4(n, 0, 0, 0);
+    const float* dyn = dy.data() + dy.offset4(n, 0, 0, 0);
+    im2col(xn, in_h, in_w, spec, col_scratch.data());
+    // dW[OC, CKK] += dY_n[OC, plane] * col[CKK, plane]^T
+    gemm_nt(spec.out_ch, spec.col_rows(), static_cast<int>(plane), dyn,
+            col_scratch.data(), dw.data(), /*accumulate=*/true, pool);
+    // db[oc] += sum of dY_n over the spatial plane
+    for (int oc = 0; oc < spec.out_ch; ++oc) {
+      const float* row = dyn + static_cast<std::int64_t>(oc) * plane;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < plane; ++i) acc += row[i];
+      db[oc] += static_cast<float>(acc);
+    }
+    if (dx != nullptr) {
+      // dcol[CKK, plane] = W[OC, CKK]^T * dY_n[OC, plane]
+      gemm_tn(spec.col_rows(), static_cast<int>(plane), spec.out_ch, w.data(),
+              dyn, dcol_scratch.data(), /*accumulate=*/false, pool);
+      float* dxn = dx->data() + dx->offset4(n, 0, 0, 0);
+      std::memset(dxn, 0,
+                  sizeof(float) * static_cast<std::size_t>(spec.in_ch) * in_h *
+                      in_w);
+      col2im(dcol_scratch.data(), in_h, in_w, spec, dxn);
+    }
+  }
+}
+
+void maxpool2x2_forward(const Tensor& x, Tensor& y,
+                        std::vector<std::uint8_t>& argmax,
+                        par::ThreadPool* pool) {
+  require_4d(x, "maxpool2x2_forward");
+  const int batch = x.dim(0), ch = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (h % 2 != 0 || w % 2 != 0) {
+    throw std::invalid_argument("maxpool2x2: H and W must be even");
+  }
+  const int oh = h / 2, ow = w / 2;
+  if (y.ndim() != 4 || y.dim(0) != batch || y.dim(1) != ch || y.dim(2) != oh ||
+      y.dim(3) != ow) {
+    y = Tensor({batch, ch, oh, ow});
+  }
+  argmax.resize(static_cast<std::size_t>(y.numel()));
+
+  const std::size_t planes = static_cast<std::size_t>(batch) * ch;
+  par::parallel_for(pool, 0, planes, [&](std::size_t p) {
+    const float* xp = x.data() + static_cast<std::int64_t>(p) * h * w;
+    float* yp = y.data() + static_cast<std::int64_t>(p) * oh * ow;
+    std::uint8_t* ap = argmax.data() + static_cast<std::int64_t>(p) * oh * ow;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        const int iy = oy * 2, ix = ox * 2;
+        const float v00 = xp[iy * w + ix];
+        const float v01 = xp[iy * w + ix + 1];
+        const float v10 = xp[(iy + 1) * w + ix];
+        const float v11 = xp[(iy + 1) * w + ix + 1];
+        float best = v00;
+        std::uint8_t which = 0;
+        if (v01 > best) { best = v01; which = 1; }
+        if (v10 > best) { best = v10; which = 2; }
+        if (v11 > best) { best = v11; which = 3; }
+        yp[oy * ow + ox] = best;
+        ap[oy * ow + ox] = which;
+      }
+    }
+  });
+}
+
+void maxpool2x2_backward(const Tensor& dy,
+                         const std::vector<std::uint8_t>& argmax, Tensor& dx,
+                         par::ThreadPool* pool) {
+  require_4d(dy, "maxpool2x2_backward");
+  const int batch = dy.dim(0), ch = dy.dim(1), oh = dy.dim(2), ow = dy.dim(3);
+  const int h = oh * 2, w = ow * 2;
+  if (dx.ndim() != 4 || dx.dim(0) != batch || dx.dim(1) != ch ||
+      dx.dim(2) != h || dx.dim(3) != w) {
+    dx = Tensor({batch, ch, h, w});
+  }
+  dx.zero();
+  const std::size_t planes = static_cast<std::size_t>(batch) * ch;
+  par::parallel_for(pool, 0, planes, [&](std::size_t p) {
+    const float* dyp = dy.data() + static_cast<std::int64_t>(p) * oh * ow;
+    const std::uint8_t* ap =
+        argmax.data() + static_cast<std::int64_t>(p) * oh * ow;
+    float* dxp = dx.data() + static_cast<std::int64_t>(p) * h * w;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        const std::uint8_t which = ap[oy * ow + ox];
+        const int iy = oy * 2 + (which >> 1);
+        const int ix = ox * 2 + (which & 1);
+        dxp[iy * w + ix] += dyp[oy * ow + ox];
+      }
+    }
+  });
+}
+
+void upsample2x_forward(const Tensor& x, Tensor& y, par::ThreadPool* pool) {
+  require_4d(x, "upsample2x_forward");
+  const int batch = x.dim(0), ch = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = h * 2, ow = w * 2;
+  if (y.ndim() != 4 || y.dim(0) != batch || y.dim(1) != ch || y.dim(2) != oh ||
+      y.dim(3) != ow) {
+    y = Tensor({batch, ch, oh, ow});
+  }
+  const std::size_t planes = static_cast<std::size_t>(batch) * ch;
+  par::parallel_for(pool, 0, planes, [&](std::size_t p) {
+    const float* xp = x.data() + static_cast<std::int64_t>(p) * h * w;
+    float* yp = y.data() + static_cast<std::int64_t>(p) * oh * ow;
+    for (int iy = 0; iy < h; ++iy) {
+      for (int ix = 0; ix < w; ++ix) {
+        const float v = xp[iy * w + ix];
+        float* base = yp + (iy * 2) * ow + ix * 2;
+        base[0] = v;
+        base[1] = v;
+        base[ow] = v;
+        base[ow + 1] = v;
+      }
+    }
+  });
+}
+
+void upsample2x_backward(const Tensor& dy, Tensor& dx, par::ThreadPool* pool) {
+  require_4d(dy, "upsample2x_backward");
+  const int batch = dy.dim(0), ch = dy.dim(1), oh = dy.dim(2), ow = dy.dim(3);
+  if (oh % 2 != 0 || ow % 2 != 0) {
+    throw std::invalid_argument("upsample2x_backward: odd upstream size");
+  }
+  const int h = oh / 2, w = ow / 2;
+  if (dx.ndim() != 4 || dx.dim(0) != batch || dx.dim(1) != ch ||
+      dx.dim(2) != h || dx.dim(3) != w) {
+    dx = Tensor({batch, ch, h, w});
+  }
+  const std::size_t planes = static_cast<std::size_t>(batch) * ch;
+  par::parallel_for(pool, 0, planes, [&](std::size_t p) {
+    const float* dyp = dy.data() + static_cast<std::int64_t>(p) * oh * ow;
+    float* dxp = dx.data() + static_cast<std::int64_t>(p) * h * w;
+    for (int iy = 0; iy < h; ++iy) {
+      for (int ix = 0; ix < w; ++ix) {
+        const float* base = dyp + (iy * 2) * ow + ix * 2;
+        dxp[iy * w + ix] = base[0] + base[1] + base[ow] + base[ow + 1];
+      }
+    }
+  });
+}
+
+void concat_channels(const Tensor& a, const Tensor& b, Tensor& y) {
+  require_4d(a, "concat_channels(a)");
+  require_4d(b, "concat_channels(b)");
+  if (a.dim(0) != b.dim(0) || a.dim(2) != b.dim(2) || a.dim(3) != b.dim(3)) {
+    throw std::invalid_argument("concat_channels: spatial/batch mismatch");
+  }
+  const int batch = a.dim(0), ca = a.dim(1), cb = b.dim(1);
+  const int h = a.dim(2), w = a.dim(3);
+  if (y.ndim() != 4 || y.dim(0) != batch || y.dim(1) != ca + cb ||
+      y.dim(2) != h || y.dim(3) != w) {
+    y = Tensor({batch, ca + cb, h, w});
+  }
+  const std::int64_t plane = static_cast<std::int64_t>(h) * w;
+  for (int n = 0; n < batch; ++n) {
+    std::memcpy(y.data() + y.offset4(n, 0, 0, 0),
+                a.data() + a.offset4(n, 0, 0, 0),
+                sizeof(float) * static_cast<std::size_t>(ca) * plane);
+    std::memcpy(y.data() + y.offset4(n, ca, 0, 0),
+                b.data() + b.offset4(n, 0, 0, 0),
+                sizeof(float) * static_cast<std::size_t>(cb) * plane);
+  }
+}
+
+void split_channels(const Tensor& dy, int a_channels, Tensor& da, Tensor& db) {
+  require_4d(dy, "split_channels");
+  const int batch = dy.dim(0), total = dy.dim(1);
+  if (a_channels <= 0 || a_channels >= total) {
+    throw std::invalid_argument("split_channels: bad split point");
+  }
+  const int h = dy.dim(2), w = dy.dim(3);
+  const int b_channels = total - a_channels;
+  if (da.ndim() != 4 || da.dim(0) != batch || da.dim(1) != a_channels ||
+      da.dim(2) != h || da.dim(3) != w) {
+    da = Tensor({batch, a_channels, h, w});
+  }
+  if (db.ndim() != 4 || db.dim(0) != batch || db.dim(1) != b_channels ||
+      db.dim(2) != h || db.dim(3) != w) {
+    db = Tensor({batch, b_channels, h, w});
+  }
+  const std::int64_t plane = static_cast<std::int64_t>(h) * w;
+  for (int n = 0; n < batch; ++n) {
+    std::memcpy(da.data() + da.offset4(n, 0, 0, 0),
+                dy.data() + dy.offset4(n, 0, 0, 0),
+                sizeof(float) * static_cast<std::size_t>(a_channels) * plane);
+    std::memcpy(db.data() + db.offset4(n, 0, 0, 0),
+                dy.data() + dy.offset4(n, a_channels, 0, 0),
+                sizeof(float) * static_cast<std::size_t>(b_channels) * plane);
+  }
+}
+
+void softmax_channel(const Tensor& logits, Tensor& probs) {
+  require_4d(logits, "softmax_channel");
+  if (!probs.same_shape(logits)) probs = Tensor(logits.shape());
+  const int batch = logits.dim(0), ch = logits.dim(1);
+  const std::int64_t plane =
+      static_cast<std::int64_t>(logits.dim(2)) * logits.dim(3);
+  for (int n = 0; n < batch; ++n) {
+    const float* ln = logits.data() + logits.offset4(n, 0, 0, 0);
+    float* pn = probs.data() + probs.offset4(n, 0, 0, 0);
+    for (std::int64_t i = 0; i < plane; ++i) {
+      float mx = ln[i];
+      for (int c = 1; c < ch; ++c) mx = std::max(mx, ln[c * plane + i]);
+      float denom = 0.0f;
+      for (int c = 0; c < ch; ++c) {
+        const float e = std::exp(ln[c * plane + i] - mx);
+        pn[c * plane + i] = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      for (int c = 0; c < ch; ++c) pn[c * plane + i] *= inv;
+    }
+  }
+}
+
+float softmax_cross_entropy(const Tensor& logits,
+                            const std::vector<int>& targets, Tensor& probs,
+                            Tensor& dlogits) {
+  require_4d(logits, "softmax_cross_entropy");
+  const int batch = logits.dim(0), ch = logits.dim(1);
+  const std::int64_t plane =
+      static_cast<std::int64_t>(logits.dim(2)) * logits.dim(3);
+  if (static_cast<std::int64_t>(targets.size()) != batch * plane) {
+    throw std::invalid_argument("softmax_cross_entropy: target size mismatch");
+  }
+  softmax_channel(logits, probs);
+  if (!dlogits.same_shape(logits)) dlogits = Tensor(logits.shape());
+  dlogits.zero();
+
+  // First pass: count contributing pixels so the gradient is scaled by the
+  // same normalizer as the loss.
+  std::int64_t counted = 0;
+  for (const int t : targets) counted += t >= 0;
+  if (counted == 0) return 0.0f;
+  const float inv_count = 1.0f / static_cast<float>(counted);
+
+  double loss = 0.0;
+  constexpr float kEps = 1e-12f;
+  for (int n = 0; n < batch; ++n) {
+    const float* pn = probs.data() + probs.offset4(n, 0, 0, 0);
+    float* dn = dlogits.data() + dlogits.offset4(n, 0, 0, 0);
+    const int* tn = targets.data() + static_cast<std::int64_t>(n) * plane;
+    for (std::int64_t i = 0; i < plane; ++i) {
+      const int t = tn[i];
+      if (t < 0) continue;
+      if (t >= ch) {
+        throw std::invalid_argument("softmax_cross_entropy: target >= classes");
+      }
+      loss -= std::log(std::max(pn[t * plane + i], kEps));
+      for (int c = 0; c < ch; ++c) {
+        const float grad = pn[c * plane + i] - (c == t ? 1.0f : 0.0f);
+        dn[c * plane + i] = grad * inv_count;
+      }
+    }
+  }
+  return static_cast<float>(loss * inv_count);
+}
+
+std::vector<int> argmax_channel(const Tensor& probs) {
+  require_4d(probs, "argmax_channel");
+  const int batch = probs.dim(0), ch = probs.dim(1);
+  const std::int64_t plane =
+      static_cast<std::int64_t>(probs.dim(2)) * probs.dim(3);
+  std::vector<int> out(static_cast<std::size_t>(batch * plane));
+  for (int n = 0; n < batch; ++n) {
+    const float* pn = probs.data() + probs.offset4(n, 0, 0, 0);
+    int* on = out.data() + static_cast<std::int64_t>(n) * plane;
+    for (std::int64_t i = 0; i < plane; ++i) {
+      int best = 0;
+      float best_v = pn[i];
+      for (int c = 1; c < ch; ++c) {
+        const float v = pn[c * plane + i];
+        if (v > best_v) {
+          best_v = v;
+          best = c;
+        }
+      }
+      on[i] = best;
+    }
+  }
+  return out;
+}
+
+}  // namespace polarice::tensor

@@ -1,0 +1,104 @@
+#pragma once
+// Convolution & friends on NCHW tensors: im2col / col2im, conv2d forward and
+// backward, 2x2 max-pooling, nearest 2x upsampling, channel concat, softmax
+// and fused softmax-cross-entropy. These are the primitives the U-Net layers
+// (nn/) are built from.
+
+#include <cstdint>
+#include <vector>
+
+#include "par/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace polarice::tensor {
+
+/// Static geometry of a conv2d. Supports asymmetric padding so even kernels
+/// (the paper's 2x2 "up-convolution") can keep 'same' output size
+/// (Keras-style: the extra pad goes to bottom/right).
+struct Conv2dSpec {
+  int in_ch = 0;
+  int out_ch = 0;
+  int kh = 0;
+  int kw = 0;
+  int stride = 1;
+  int pad_top = 0, pad_left = 0, pad_bottom = 0, pad_right = 0;
+
+  /// 'same' padding for stride 1: output spatial size == input size.
+  static Conv2dSpec same(int in_ch, int out_ch, int k);
+
+  /// No padding ('valid').
+  static Conv2dSpec valid(int in_ch, int out_ch, int k);
+
+  [[nodiscard]] int out_h(int in_h) const noexcept {
+    return (in_h + pad_top + pad_bottom - kh) / stride + 1;
+  }
+  [[nodiscard]] int out_w(int in_w) const noexcept {
+    return (in_w + pad_left + pad_right - kw) / stride + 1;
+  }
+  /// Rows of the im2col matrix: in_ch * kh * kw.
+  [[nodiscard]] int col_rows() const noexcept { return in_ch * kh * kw; }
+};
+
+/// Expands one sample x[C,H,W] into col[C*kh*kw, OH*OW] (zero padding).
+void im2col(const float* x, int in_h, int in_w, const Conv2dSpec& spec,
+            float* col);
+
+/// Scatters col[C*kh*kw, OH*OW] gradients back into dx[C,H,W] (accumulating;
+/// caller zeroes dx first).
+void col2im(const float* col, int in_h, int in_w, const Conv2dSpec& spec,
+            float* dx);
+
+/// y[N,OC,OH,OW] = conv(x[N,C,H,W], w[OC,C,kh,kw]) + b[OC].
+/// `col_scratch` is resized as needed and reused across calls.
+void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                    Tensor& y, const Conv2dSpec& spec, par::ThreadPool* pool,
+                    std::vector<float>& col_scratch);
+
+/// Gradients of conv2d. dw/db are accumulated into (caller zeroes at the
+/// start of a batch); dx is overwritten. Pass dx == nullptr to skip input
+/// gradients (first layer).
+void conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                     Tensor* dx, Tensor& dw, Tensor& db,
+                     const Conv2dSpec& spec, par::ThreadPool* pool,
+                     std::vector<float>& col_scratch,
+                     std::vector<float>& dcol_scratch);
+
+/// 2x2/stride-2 max pooling; requires even H and W. `argmax` records the
+/// winning corner (0..3) per output element for the backward pass.
+void maxpool2x2_forward(const Tensor& x, Tensor& y,
+                        std::vector<std::uint8_t>& argmax,
+                        par::ThreadPool* pool);
+
+/// Routes dy back to the argmax positions; dx is overwritten.
+void maxpool2x2_backward(const Tensor& dy,
+                         const std::vector<std::uint8_t>& argmax, Tensor& dx,
+                         par::ThreadPool* pool);
+
+/// Nearest-neighbour 2x upsample: y[N,C,2H,2W].
+void upsample2x_forward(const Tensor& x, Tensor& y, par::ThreadPool* pool);
+
+/// Backward of nearest 2x upsample: dx = sum of each 2x2 block of dy.
+void upsample2x_backward(const Tensor& dy, Tensor& dx, par::ThreadPool* pool);
+
+/// y = concat(a, b) along the channel axis.
+void concat_channels(const Tensor& a, const Tensor& b, Tensor& y);
+
+/// Splits dy along channels into da (first a_channels) and db (rest).
+void split_channels(const Tensor& dy, int a_channels, Tensor& da, Tensor& db);
+
+/// Per-pixel softmax over the channel axis (numerically stabilized).
+void softmax_channel(const Tensor& logits, Tensor& probs);
+
+/// Fused softmax + categorical cross-entropy.
+/// `targets` holds one class index per pixel, laid out [N, H, W]; entries
+/// < 0 are "ignore" pixels (excluded from loss and gradient).
+/// Returns mean loss over non-ignored pixels; writes dlogits = (p - onehot)
+/// / count into `dlogits` (zeroed at ignored pixels).
+float softmax_cross_entropy(const Tensor& logits,
+                            const std::vector<int>& targets, Tensor& probs,
+                            Tensor& dlogits);
+
+/// Per-pixel argmax over channels -> class indices laid out [N, H, W].
+std::vector<int> argmax_channel(const Tensor& probs);
+
+}  // namespace polarice::tensor

@@ -1,0 +1,89 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "par/parallel_for.h"
+
+namespace polarice::tensor {
+
+namespace {
+// Minimum columns of C per task; keeps task overhead negligible relative to
+// the O(M*K) work per column block.
+constexpr int kMinColsPerTask = 64;
+
+int column_chunk(int n, par::ThreadPool* pool) {
+  if (pool == nullptr) return n;
+  const int per_worker = (n + static_cast<int>(pool->size()) - 1) /
+                         static_cast<int>(pool->size());
+  return std::max(per_worker, kMinColsPerTask);
+}
+}  // namespace
+
+void gemm_nn(int m, int n, int k, const float* a, const float* b, float* c,
+             bool accumulate, par::ThreadPool* pool) {
+  const int chunk = column_chunk(n, pool);
+  const std::size_t tasks = (n + chunk - 1) / chunk;
+  par::parallel_for(
+      tasks > 1 ? pool : nullptr, 0, tasks,
+      [&](std::size_t t) {
+        const int n0 = static_cast<int>(t) * chunk;
+        const int n1 = std::min(n, n0 + chunk);
+        const int cols = n1 - n0;
+        for (int i = 0; i < m; ++i) {
+          float* crow = c + static_cast<std::int64_t>(i) * n + n0;
+          if (!accumulate) std::memset(crow, 0, sizeof(float) * cols);
+          const float* arow = a + static_cast<std::int64_t>(i) * k;
+          for (int p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            const float* brow = b + static_cast<std::int64_t>(p) * n + n0;
+            for (int j = 0; j < cols; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      1);
+}
+
+void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c,
+             bool accumulate, par::ThreadPool* pool) {
+  const int chunk = column_chunk(n, pool);
+  const std::size_t tasks = (n + chunk - 1) / chunk;
+  par::parallel_for(
+      tasks > 1 ? pool : nullptr, 0, tasks,
+      [&](std::size_t t) {
+        const int n0 = static_cast<int>(t) * chunk;
+        const int n1 = std::min(n, n0 + chunk);
+        const int cols = n1 - n0;
+        for (int i = 0; i < m; ++i) {
+          float* crow = c + static_cast<std::int64_t>(i) * n + n0;
+          if (!accumulate) std::memset(crow, 0, sizeof(float) * cols);
+          for (int p = 0; p < k; ++p) {
+            const float av = a[static_cast<std::int64_t>(p) * m + i];
+            if (av == 0.0f) continue;
+            const float* brow = b + static_cast<std::int64_t>(p) * n + n0;
+            for (int j = 0; j < cols; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      1);
+}
+
+void gemm_nt(int m, int n, int k, const float* a, const float* b, float* c,
+             bool accumulate, par::ThreadPool* pool) {
+  // Parallelize over rows of C here: the dot-product kernel walks contiguous
+  // rows of both A and B, so row blocks are cache-friendly.
+  const std::size_t rows = static_cast<std::size_t>(m);
+  par::parallel_for(pool, 0, rows, [&](std::size_t i) {
+    const float* arow = a + static_cast<std::int64_t>(i) * k;
+    float* crow = c + static_cast<std::int64_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::int64_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = accumulate ? crow[j] + acc : acc;
+    }
+  });
+}
+
+}  // namespace polarice::tensor

@@ -1,0 +1,32 @@
+#pragma once
+// Single-precision GEMM kernels for the conv2d im2col path.
+//
+// All matrices are dense row-major. Three layout variants cover the three
+// products a convolution layer needs:
+//   NN:  C[M,N] (+)= A[M,K]   * B[K,N]      (forward: W * col)
+//   NT:  C[M,N] (+)= A[M,K]   * B[N,K]^T    (backward: dY * col^T -> dW)
+//   TN:  C[M,N] (+)= A[K,M]^T * B[K,N]      (backward: W^T * dY -> dcol)
+//
+// Work is split over column blocks of C and run on the optional thread pool;
+// pool == nullptr executes sequentially (one ddp rank == one "GPU", which
+// must not steal the host's cores from its peers).
+
+#include <cstdint>
+
+#include "par/thread_pool.h"
+
+namespace polarice::tensor {
+
+/// C[M,N] = (accumulate ? C : 0) + A[M,K] * B[K,N].
+void gemm_nn(int m, int n, int k, const float* a, const float* b, float* c,
+             bool accumulate, par::ThreadPool* pool);
+
+/// C[M,N] = (accumulate ? C : 0) + A[M,K] * B[N,K]^T.
+void gemm_nt(int m, int n, int k, const float* a, const float* b, float* c,
+             bool accumulate, par::ThreadPool* pool);
+
+/// C[M,N] = (accumulate ? C : 0) + A[K,M]^T * B[K,N].
+void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c,
+             bool accumulate, par::ThreadPool* pool);
+
+}  // namespace polarice::tensor

@@ -1,0 +1,123 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace polarice::tensor {
+
+namespace {
+std::int64_t checked_numel(const std::vector<int>& shape) {
+  if (shape.empty()) throw std::invalid_argument("Tensor: empty shape");
+  std::int64_t n = 1;
+  for (const int d : shape) {
+    if (d <= 0) throw std::invalid_argument("Tensor: non-positive extent");
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(checked_numel(shape_)), 0.0f);
+}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from_values(std::vector<int> shape, std::vector<float> values) {
+  const auto n = checked_numel(shape);
+  if (static_cast<std::int64_t>(values.size()) != n) {
+    throw std::invalid_argument("Tensor::from_values: size mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  if (i < 0 || i >= ndim()) throw std::out_of_range("Tensor::dim: bad axis");
+  return shape_[i];
+}
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  if (checked_numel(new_shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::add_(const Tensor& other) {
+  require_same_shape(*this, other, "Tensor::add_");
+  const float* src = other.data();
+  float* dst = data();
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void Tensor::scale_(float s) noexcept {
+  for (auto& v : data_) v *= s;
+}
+
+void Tensor::axpy_(float alpha, const Tensor& other) {
+  require_same_shape(*this, other, "Tensor::axpy_");
+  const float* src = other.data();
+  float* dst = data();
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+float Tensor::sum() const noexcept {
+  double acc = 0.0;
+  for (const auto v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const noexcept {
+  return data_.empty() ? 0.0f : sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::max_abs() const noexcept {
+  float m = 0.0f;
+  for (const auto v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool Tensor::has_non_finite() const noexcept {
+  for (const auto v : data_) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) out << ", ";
+    out << shape_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                a.shape_str() + " vs " + b.shape_str());
+  }
+}
+
+}  // namespace polarice::tensor

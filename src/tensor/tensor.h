@@ -1,0 +1,90 @@
+#pragma once
+// Dense float tensor with dynamic shape — the storage type of the neural
+// network substrate. Layout is row-major over the shape vector; network code
+// uses NCHW ordering by convention.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polarice::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape. Every extent
+  /// must be positive.
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float value);
+
+  /// Wraps existing values (size must equal the shape's element count).
+  static Tensor from_values(std::vector<int> shape, std::vector<float> values);
+
+  [[nodiscard]] int ndim() const noexcept { return static_cast<int>(shape_.size()); }
+  [[nodiscard]] int dim(int i) const;
+  [[nodiscard]] const std::vector<int>& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] float& operator[](std::int64_t i) noexcept { return data_[i]; }
+  [[nodiscard]] float operator[](std::int64_t i) const noexcept { return data_[i]; }
+
+  /// NCHW accessor for 4-D tensors (unchecked beyond debug asserts).
+  [[nodiscard]] float& at4(int n, int c, int h, int w) noexcept {
+    return data_[offset4(n, c, h, w)];
+  }
+  [[nodiscard]] float at4(int n, int c, int h, int w) const noexcept {
+    return data_[offset4(n, c, h, w)];
+  }
+
+  [[nodiscard]] std::int64_t offset4(int n, int c, int h, int w) const noexcept {
+    return ((static_cast<std::int64_t>(n) * shape_[1] + c) * shape_[2] + h) *
+               shape_[3] + w;
+  }
+
+  /// Checks shape equality.
+  [[nodiscard]] bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+  /// Returns a tensor sharing no storage with this one but reinterpreted to
+  /// `new_shape` (element counts must match).
+  [[nodiscard]] Tensor reshaped(std::vector<int> new_shape) const;
+
+  void fill(float value) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// this += other (shapes must match).
+  void add_(const Tensor& other);
+  /// this *= scalar.
+  void scale_(float s) noexcept;
+  /// this += alpha * other (axpy; shapes must match).
+  void axpy_(float alpha, const Tensor& other);
+
+  [[nodiscard]] float sum() const noexcept;
+  [[nodiscard]] float mean() const noexcept;
+  [[nodiscard]] float max_abs() const noexcept;
+
+  /// True if any element is NaN or infinite — used by the trainer's loss
+  /// guard to fail fast on divergence.
+  [[nodiscard]] bool has_non_finite() const noexcept;
+
+  [[nodiscard]] std::string shape_str() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Throws std::invalid_argument unless shapes match.
+void require_same_shape(const Tensor& a, const Tensor& b, const char* what);
+
+}  // namespace polarice::tensor

@@ -1,0 +1,64 @@
+#include "util/args.h"
+
+#include <stdexcept>
+
+namespace polarice::util {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) throw std::invalid_argument("bare '--' argument");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "";  // boolean flag
+    }
+  }
+}
+
+std::optional<std::string> Args::find(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Args::has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::string Args::get_string(const std::string& name,
+                             const std::string& fallback) const {
+  return find(name).value_or(fallback);
+}
+
+std::int64_t Args::get_int(const std::string& name,
+                           std::int64_t fallback) const {
+  const auto v = find(name);
+  if (!v || v->empty()) return fallback;
+  return std::stoll(*v);
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto v = find(name);
+  if (!v || v->empty()) return fallback;
+  return std::stod(*v);
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  const auto v = find(name);
+  if (!v) return fallback;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes") return true;
+  if (*v == "0" || *v == "false" || *v == "no") return false;
+  throw std::invalid_argument("bad boolean for --" + name + ": " + *v);
+}
+
+}  // namespace polarice::util

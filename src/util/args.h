@@ -1,0 +1,48 @@
+#pragma once
+// Tiny command-line argument parser for examples and benches.
+//
+// Supports --key=value, --key value, and boolean --flag forms. Unknown
+// arguments raise, so typos fail fast.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace polarice::util {
+
+/// Parsed command line. Construct from main's argc/argv, then query typed
+/// options with defaults.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non --option) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> find(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace polarice::util

@@ -1,0 +1,54 @@
+#pragma once
+// Minimal thread-safe leveled logger.
+//
+// The library itself logs sparingly (workflow milestones, warnings); benches
+// and examples use it for progress lines. Output goes to stderr so bench
+// tables on stdout stay clean.
+
+#include <sstream>
+#include <string>
+
+namespace polarice::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (default: kInfo).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line (thread-safe; a single OS write per message).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// Usage: LOG_INFO() << "trained " << n << " batches";
+#define POLARICE_LOG(level)                                  \
+  if (static_cast<int>(level) <                              \
+      static_cast<int>(::polarice::util::log_level())) {     \
+  } else                                                     \
+    ::polarice::util::detail::LogLine(level)
+
+#define LOG_DEBUG() POLARICE_LOG(::polarice::util::LogLevel::kDebug)
+#define LOG_INFO() POLARICE_LOG(::polarice::util::LogLevel::kInfo)
+#define LOG_WARN() POLARICE_LOG(::polarice::util::LogLevel::kWarn)
+#define LOG_ERROR() POLARICE_LOG(::polarice::util::LogLevel::kError)
+
+}  // namespace polarice::util

@@ -1,0 +1,36 @@
+#pragma once
+// Console table printer used by the bench harness to emit paper-style tables
+// (Table I, II, III, IV, V) with aligned columns.
+
+#include <string>
+#include <vector>
+
+namespace polarice::util {
+
+/// Collects rows of strings and prints them with per-column alignment.
+///
+///   Table t({"GPUs", "Time (s)", "Speedup"});
+///   t.add_row({"1", "280.72", "1.00"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table (header, rule, rows) to a string.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience: prints to stdout.
+  void print() const;
+
+  /// Formats a double with the given number of decimals.
+  static std::string num(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace polarice::util

@@ -1,0 +1,29 @@
+#pragma once
+// Wall-clock timing utilities used by the benches and the trainer.
+
+#include <chrono>
+
+namespace polarice::util {
+
+/// Simple steady-clock stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last reset().
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace polarice::util

@@ -1,0 +1,39 @@
+#pragma once
+// Deterministic virtual time for the cluster / device simulators.
+//
+// The map-reduce engine (mr::) and the distributed-training device model
+// (ddp::) report *simulated* wall-clock numbers so that the paper's tables
+// reproduce identically on any host. A VirtualClock is just a monotonically
+// advancing double; the discrete-event scheduler in mr/sim_cluster.cpp owns
+// one per simulated executor core.
+
+#include <algorithm>
+#include <cassert>
+
+namespace polarice::util {
+
+/// A resource timeline: tracks the time at which a serially-used resource
+/// (a core, a disk, a NIC) becomes free, and lets callers book work on it.
+class ResourceTimeline {
+ public:
+  ResourceTimeline() = default;
+
+  /// Books `duration` seconds of exclusive use starting no earlier than
+  /// `earliest_start`. Returns the completion time.
+  double book(double earliest_start, double duration) noexcept {
+    assert(duration >= 0.0);
+    const double start = std::max(earliest_start, free_at_);
+    free_at_ = start + duration;
+    return free_at_;
+  }
+
+  /// Time at which the resource next becomes free.
+  [[nodiscard]] double free_at() const noexcept { return free_at_; }
+
+  void reset() noexcept { free_at_ = 0.0; }
+
+ private:
+  double free_at_ = 0.0;
+};
+
+}  // namespace polarice::util

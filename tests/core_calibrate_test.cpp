@@ -1,0 +1,152 @@
+// Threshold-calibration extension tests (paper §V): two-level Otsu math and
+// season-shift recovery.
+
+#include <gtest/gtest.h>
+
+#include "core/autolabel.h"
+#include "core/calibrate.h"
+#include "img/threshold.h"
+#include "metrics/metrics.h"
+#include "s2/scene.h"
+#include "util/rng.h"
+
+namespace pc = polarice::core;
+namespace pi = polarice::img;
+namespace ps = polarice::s2;
+
+namespace {
+double autolabel_accuracy(const pc::AutoLabelConfig& cfg,
+                          const ps::Scene& scene) {
+  const auto result = pc::AutoLabeler(cfg).label(scene.rgb);
+  std::vector<int> truth, pred;
+  for (const auto v : scene.labels) truth.push_back(v);
+  for (const auto v : result.labels) pred.push_back(v);
+  return polarice::metrics::pixel_accuracy(truth, pred);
+}
+}  // namespace
+
+TEST(OtsuTwoLevel, SeparatesCleanTrimodalHistogram) {
+  pi::ImageU8 im(300, 1, 1);
+  for (int x = 0; x < 100; ++x) im.at(x, 0) = 20;
+  for (int x = 100; x < 200; ++x) im.at(x, 0) = 120;
+  for (int x = 200; x < 300; ++x) im.at(x, 0) = 230;
+  const auto [t1, t2] = pi::otsu_two_level(im);
+  EXPECT_GE(int(t1), 20);
+  EXPECT_LT(int(t1), 120);
+  EXPECT_GE(int(t2), 120);
+  EXPECT_LT(int(t2), 230);
+}
+
+TEST(OtsuTwoLevel, NoisyTrimodalLandsBetweenModes) {
+  polarice::util::Rng rng(5);
+  pi::ImageU8 im(128, 128, 1);
+  for (int y = 0; y < 128; ++y) {
+    for (int x = 0; x < 128; ++x) {
+      const double mode = x < 43 ? 30.0 : (x < 86 ? 128.0 : 220.0);
+      im.at(x, y) = static_cast<std::uint8_t>(
+          std::clamp(rng.normal(mode, 10.0), 0.0, 255.0));
+    }
+  }
+  const auto [t1, t2] = pi::otsu_two_level(im);
+  EXPECT_GT(int(t1), 50);
+  EXPECT_LT(int(t1), 110);
+  EXPECT_GT(int(t2), 150);
+  EXPECT_LT(int(t2), 205);
+}
+
+TEST(OtsuTwoLevel, OrderedThresholds) {
+  polarice::util::Rng rng(6);
+  pi::ImageU8 im(64, 64, 1);
+  for (auto& v : im) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const auto [t1, t2] = pi::otsu_two_level(im);
+  EXPECT_LT(int(t1), int(t2));
+}
+
+TEST(Calibrate, RecoversPaperCutsOnSummerScene) {
+  ps::SceneConfig sc;
+  sc.width = sc.height = 256;
+  sc.seed = 71;
+  sc.cloudy = false;
+  const auto scene = ps::SceneGenerator(sc).generate();
+  const auto cal = pc::calibrate_thresholds(scene.rgb);
+  // Summer bands: water <= 24, thin 42..190, thick >= 216. The calibrated
+  // cuts must fall in the gaps (the paper picked 30 and 204, also in the
+  // gaps).
+  EXPECT_GT(int(cal.cut_low), 20);
+  EXPECT_LT(int(cal.cut_low), 45);
+  EXPECT_GT(int(cal.cut_high), 185);
+  EXPECT_LT(int(cal.cut_high), 220);
+}
+
+TEST(Calibrate, PartialNightSeasonRecovery) {
+  // The central §V scenario: darkened season breaks the published
+  // thresholds; calibration restores near-perfect segmentation.
+  ps::SceneConfig sc;
+  sc.width = sc.height = 256;
+  sc.seed = 72;
+  sc.cloudy = false;
+  sc.season_brightness = 0.55;
+  const auto night = ps::SceneGenerator(sc).generate();
+
+  pc::AutoLabelConfig paper_cfg;
+  paper_cfg.apply_filter = false;
+  const double paper_acc = autolabel_accuracy(paper_cfg, night);
+
+  pc::AutoLabelConfig cal_cfg;
+  cal_cfg.apply_filter = false;
+  cal_cfg.ranges = pc::calibrate_thresholds(night.rgb).ranges;
+  const double cal_acc = autolabel_accuracy(cal_cfg, night);
+
+  EXPECT_LT(paper_acc, 0.8);  // summer constants genuinely fail
+  EXPECT_GT(cal_acc, 0.99);   // calibration recovers
+}
+
+TEST(Calibrate, CalibratedRangesPartitionColorSpace) {
+  ps::SceneConfig sc;
+  sc.width = sc.height = 128;
+  sc.seed = 73;
+  sc.cloudy = false;
+  const auto cal =
+      pc::calibrate_thresholds(ps::SceneGenerator(sc).generate().rgb);
+  for (int v = 0; v < 256; ++v) {
+    int matches = 0;
+    for (const auto& range : cal.ranges) {
+      matches += v >= range.lower[2] && v <= range.upper[2];
+    }
+    ASSERT_EQ(matches, 1) << "v = " << v;
+  }
+}
+
+TEST(Calibrate, GuardsDegenerateInput) {
+  pi::ImageU8 constant(32, 32, 1, 128);
+  EXPECT_THROW(pc::calibrate_thresholds_from_v(constant),
+               std::invalid_argument);
+  pi::ImageU8 rgb(8, 8, 3);
+  EXPECT_THROW(pc::calibrate_thresholds_from_v(rgb), std::invalid_argument);
+  pi::ImageU8 gray(8, 8, 1);
+  EXPECT_THROW(pc::calibrate_thresholds(gray), std::invalid_argument);
+}
+
+TEST(SceneSeason, BrightnessScalesValues) {
+  ps::SceneConfig sc;
+  sc.width = sc.height = 64;
+  sc.seed = 74;
+  sc.cloudy = false;
+  const auto summer = ps::SceneGenerator(sc).generate();
+  sc.season_brightness = 0.5;
+  const auto night = ps::SceneGenerator(sc).generate();
+  // Labels are season-invariant; brightness is not.
+  EXPECT_EQ(summer.labels, night.labels);
+  double summer_mean = 0, night_mean = 0;
+  for (const auto v : summer.rgb) summer_mean += v;
+  for (const auto v : night.rgb) night_mean += v;
+  EXPECT_NEAR(night_mean / summer_mean, 0.5, 0.05);
+}
+
+TEST(SceneSeason, ValidatesBrightness) {
+  ps::SceneConfig sc;
+  sc.season_brightness = 0.0;
+  EXPECT_THROW(ps::SceneGenerator{sc}, std::invalid_argument);
+  sc.season_brightness = 1.5;
+  EXPECT_THROW(ps::SceneGenerator{sc}, std::invalid_argument);
+}

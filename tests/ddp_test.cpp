@@ -1,0 +1,305 @@
+// Distributed-training substrate tests: channels, ring allreduce
+// correctness for all world sizes, broadcast, distributed optimizer
+// equivalence with single-device training, and the DGX device model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "ddp/communicator.h"
+#include "ddp/device_model.h"
+#include "ddp/distributed_optimizer.h"
+#include "ddp/distributed_trainer.h"
+#include "nn/trainer.h"
+#include "util/rng.h"
+
+namespace pd = polarice::ddp;
+namespace pn = polarice::nn;
+namespace pt = polarice::tensor;
+
+namespace {
+/// Runs `body(rank, comm)` on `n` rank threads and joins.
+template <typename Body>
+void run_world(int n, Body&& body) {
+  auto world = std::make_shared<pd::World>(n);
+  std::vector<std::jthread> threads;
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      pd::Communicator comm(world, r);
+      body(r, comm);
+    });
+  }
+}
+}  // namespace
+
+TEST(Channel, FifoDelivery) {
+  pd::Channel ch;
+  ch.send({1.0f});
+  ch.send({2.0f});
+  EXPECT_EQ(ch.recv()[0], 1.0f);
+  EXPECT_EQ(ch.recv()[0], 2.0f);
+}
+
+TEST(World, RejectsBadConstruction) {
+  EXPECT_THROW(pd::World(0), std::invalid_argument);
+  pd::World world(2);
+  EXPECT_THROW(world.channel(2, 0), std::out_of_range);
+  EXPECT_THROW(world.channel(0, -1), std::out_of_range);
+}
+
+TEST(World, BarrierSynchronizesAllRanks) {
+  const int n = 4;
+  std::atomic<int> arrived{0};
+  std::atomic<bool> violated{false};
+  run_world(n, [&](int, pd::Communicator& comm) {
+    for (int round = 0; round < 10; ++round) {
+      ++arrived;
+      comm.barrier();
+      // After the barrier, all n ranks of this round must have arrived.
+      if (arrived.load() < n * (round + 1)) violated = true;
+      comm.barrier();
+    }
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Communicator, SendRecvPointToPoint) {
+  run_world(2, [](int rank, pd::Communicator& comm) {
+    if (rank == 0) {
+      comm.send(1, {3.5f, 4.5f});
+      const auto echo = comm.recv(1);
+      EXPECT_EQ(echo.size(), 1u);
+      EXPECT_FLOAT_EQ(echo[0], 8.0f);
+    } else {
+      const auto msg = comm.recv(0);
+      comm.send(0, {msg[0] + msg[1]});
+    }
+  });
+}
+
+// Property: ring allreduce equals the per-element sum for all world sizes
+// and buffer lengths (including lengths not divisible by the world size).
+class AllreduceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AllreduceSweep, SumMatchesReference) {
+  const auto [world_size, count] = GetParam();
+  std::vector<std::vector<float>> buffers(world_size);
+  std::vector<float> expected(count, 0.0f);
+  polarice::util::Rng rng(1234 + world_size * 100 + count);
+  for (int r = 0; r < world_size; ++r) {
+    buffers[r].resize(count);
+    for (int i = 0; i < count; ++i) {
+      buffers[r][i] = static_cast<float>(rng.uniform(-1, 1));
+      expected[i] += buffers[r][i];
+    }
+  }
+  run_world(world_size, [&](int rank, pd::Communicator& comm) {
+    comm.ring_allreduce_sum(buffers[rank].data(), buffers[rank].size());
+  });
+  for (int r = 0; r < world_size; ++r) {
+    for (int i = 0; i < count; ++i) {
+      ASSERT_NEAR(buffers[r][i], expected[i], 1e-4f)
+          << "rank " << r << " index " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldsAndSizes, AllreduceSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8),
+                       ::testing::Values(1, 7, 64, 1000)));
+
+TEST(Allreduce, AverageDividesByWorldSize) {
+  const int n = 4;
+  std::vector<std::vector<float>> buffers(n, std::vector<float>{8.0f});
+  run_world(n, [&](int rank, pd::Communicator& comm) {
+    comm.ring_allreduce_average(buffers[rank].data(), 1);
+  });
+  for (int r = 0; r < n; ++r) EXPECT_FLOAT_EQ(buffers[r][0], 8.0f);
+}
+
+TEST(Allreduce, AllRanksBitwiseIdentical) {
+  // The ring applies additions in the same order on every rank, so the
+  // results must agree bitwise, not just approximately.
+  const int n = 5, count = 333;
+  std::vector<std::vector<float>> buffers(n);
+  polarice::util::Rng rng(9);
+  for (auto& b : buffers) {
+    b.resize(count);
+    for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  }
+  run_world(n, [&](int rank, pd::Communicator& comm) {
+    comm.ring_allreduce_sum(buffers[rank].data(), count);
+  });
+  for (int r = 1; r < n; ++r) EXPECT_EQ(buffers[r], buffers[0]);
+}
+
+TEST(Broadcast, CopiesRootToAllRanks) {
+  const int n = 4;
+  std::vector<std::vector<float>> buffers(n);
+  for (int r = 0; r < n; ++r) buffers[r] = {float(r), float(r * 10)};
+  run_world(n, [&](int rank, pd::Communicator& comm) {
+    comm.broadcast(buffers[rank].data(), 2, /*root=*/2);
+  });
+  for (int r = 0; r < n; ++r) {
+    EXPECT_FLOAT_EQ(buffers[r][0], 2.0f);
+    EXPECT_FLOAT_EQ(buffers[r][1], 20.0f);
+  }
+}
+
+TEST(DeviceModel, ReproducesTable3Shape) {
+  pd::DeviceModelConfig cfg;  // defaults = fit to the paper
+  const auto t1 = pd::simulate_training(cfg, 1);
+  EXPECT_NEAR(t1.epoch_s, 5.5, 0.01);
+  EXPECT_NEAR(t1.images_per_s, 585.9, 5.0);
+  EXPECT_NEAR(t1.total_s, 275.0, 10.0);  // paper: 280.72 (incl. warmup)
+  const auto t8 = pd::simulate_training(cfg, 8);
+  EXPECT_NEAR(t8.speedup, 7.21, 0.35);   // paper: 7.21x
+  EXPECT_NEAR(t8.epoch_s, 0.79, 0.05);
+  EXPECT_NEAR(t8.images_per_s, 4248.0, 300.0);
+  // Near-linear but sub-ideal, monotone increasing speedup.
+  double last = 0.0;
+  for (const int gpus : {1, 2, 4, 6, 8}) {
+    const auto t = pd::simulate_training(cfg, gpus);
+    EXPECT_GT(t.speedup, last);
+    EXPECT_LE(t.speedup, gpus + 1e-9);
+    last = t.speedup;
+  }
+}
+
+TEST(DeviceModel, Validation) {
+  pd::DeviceModelConfig cfg;
+  cfg.epoch_1gpu_s = 0;
+  EXPECT_THROW(pd::simulate_training(cfg, 1), std::invalid_argument);
+  cfg = pd::DeviceModelConfig{};
+  EXPECT_THROW(pd::simulate_training(cfg, 0), std::invalid_argument);
+}
+
+namespace {
+pn::UNetConfig tiny_config() {
+  pn::UNetConfig cfg;
+  cfg.depth = 1;
+  cfg.base_channels = 4;
+  cfg.use_dropout = false;  // determinism for the equivalence test
+  cfg.seed = 5;
+  return cfg;
+}
+
+pn::SegDataset striped_dataset(int n_samples, int size, std::uint64_t seed) {
+  polarice::util::Rng rng(seed);
+  pn::SegDataset data;
+  for (int s = 0; s < n_samples; ++s) {
+    pn::SegSample sample;
+    sample.image = pt::Tensor({3, size, size});
+    sample.labels.resize(static_cast<std::size_t>(size) * size);
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        const int cls = x * 3 / size;
+        sample.labels[y * size + x] = cls;
+        for (int c = 0; c < 3; ++c) {
+          sample.image[(c * size + y) * size + x] =
+              (c == cls ? 0.8f : 0.1f) +
+              static_cast<float>(rng.uniform(-0.05, 0.05));
+        }
+      }
+    }
+    data.add(std::move(sample));
+  }
+  return data;
+}
+}  // namespace
+
+TEST(DistributedOptimizer, GuardsNulls) {
+  auto world = std::make_shared<pd::World>(1);
+  pd::Communicator comm(world, 0);
+  EXPECT_THROW(pd::DistributedOptimizer(nullptr, &comm),
+               std::invalid_argument);
+  pt::Tensor v({2}), g({2});
+  auto opt = std::make_unique<pn::Sgd>(
+      std::vector<pn::Param>{{"p", &v, &g}}, 0.1f);
+  EXPECT_THROW(pd::DistributedOptimizer(std::move(opt), nullptr),
+               std::invalid_argument);
+}
+
+TEST(DistributedTrainer, TwoRanksMatchSingleDeviceWithDoubleBatch) {
+  // Gradient averaging across 2 ranks with per-device batch B must equal a
+  // single device with batch 2B (same init, shuffle off, no dropout).
+  const auto data = striped_dataset(8, 8, 77);
+
+  pn::UNet single(tiny_config());
+  pn::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 8;  // global batch
+  tc.learning_rate = 1e-3f;
+  // Trainer shuffles; replicate its exact stream via shuffle-off distributed
+  // run, so train single-device manually without shuffling:
+  {
+    pn::DataLoader loader(data, tc.batch_size, 0, /*shuffle=*/false);
+    pn::Adam opt(single.params(), tc.learning_rate);
+    pt::Tensor logits, probs, dlogits;
+    pn::Batch batch;
+    for (int e = 0; e < tc.epochs; ++e) {
+      loader.start_epoch();
+      while (loader.next(batch)) {
+        opt.zero_grad();
+        single.forward(batch.x, logits, true);
+        pt::softmax_cross_entropy(logits, batch.targets, probs, dlogits);
+        single.backward(dlogits);
+        opt.step();
+      }
+    }
+  }
+
+  pn::UNet distributed(tiny_config());
+  pd::DistributedTrainConfig dc;
+  dc.world_size = 2;
+  dc.epochs = 2;
+  dc.batch_per_device = 4;  // 2 x 4 = global batch 8
+  dc.learning_rate = 1e-3f;
+  dc.shuffle = false;
+  pd::train_distributed(distributed, data, dc);
+
+  // Compare parameters. Note: gradient averaging = mean over the global
+  // batch only when both halves contribute equally — with round-robin
+  // sharding and batch 4 vs global batch 8 they do (pixel counts match).
+  auto sp = single.params();
+  auto dp = distributed.params();
+  ASSERT_EQ(sp.size(), dp.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    for (std::int64_t j = 0; j < sp[i].value->numel(); ++j) {
+      max_diff = std::max(
+          max_diff, std::abs(double((*sp[i].value)[j]) - (*dp[i].value)[j]));
+    }
+  }
+  EXPECT_LT(max_diff, 5e-4);  // float summation-order differences only
+}
+
+TEST(DistributedTrainer, LossDecreasesAcrossEpochs) {
+  const auto data = striped_dataset(8, 8, 88);
+  pn::UNet model(tiny_config());
+  pd::DistributedTrainConfig dc;
+  dc.world_size = 4;
+  dc.epochs = 6;
+  dc.batch_per_device = 2;
+  dc.learning_rate = 3e-3f;
+  const auto stats = pd::train_distributed(model, data, dc);
+  ASSERT_EQ(stats.epoch_loss.size(), 6u);
+  EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+  EXPECT_GT(stats.images_per_s, 0.0);
+  EXPECT_EQ(stats.images_processed, 8 * 6);  // all samples, every epoch
+}
+
+TEST(DistributedTrainer, Validation) {
+  const auto data = striped_dataset(2, 8, 99);
+  pn::UNet model(tiny_config());
+  pd::DistributedTrainConfig dc;
+  dc.world_size = 0;
+  EXPECT_THROW(pd::train_distributed(model, data, dc), std::invalid_argument);
+  dc = pd::DistributedTrainConfig{};
+  dc.world_size = 4;  // more ranks than samples
+  EXPECT_THROW(pd::train_distributed(model, data, dc), std::invalid_argument);
+}

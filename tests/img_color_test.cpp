@@ -1,0 +1,170 @@
+// Color conversion tests: OpenCV-convention HSV, grayscale, channel ops.
+
+#include <gtest/gtest.h>
+
+#include "img/color.h"
+
+namespace pi = polarice::img;
+
+TEST(RgbToHsvPixel, PureRed) {
+  const auto hsv = pi::rgb_to_hsv_pixel(255, 0, 0);
+  EXPECT_EQ(hsv[0], 0);
+  EXPECT_EQ(hsv[1], 255);
+  EXPECT_EQ(hsv[2], 255);
+}
+
+TEST(RgbToHsvPixel, PureGreen) {
+  const auto hsv = pi::rgb_to_hsv_pixel(0, 255, 0);
+  EXPECT_EQ(hsv[0], 60);  // 120 deg / 2
+  EXPECT_EQ(hsv[1], 255);
+  EXPECT_EQ(hsv[2], 255);
+}
+
+TEST(RgbToHsvPixel, PureBlue) {
+  const auto hsv = pi::rgb_to_hsv_pixel(0, 0, 255);
+  EXPECT_EQ(hsv[0], 120);  // 240 deg / 2
+  EXPECT_EQ(hsv[1], 255);
+  EXPECT_EQ(hsv[2], 255);
+}
+
+TEST(RgbToHsvPixel, WhiteHasZeroSaturation) {
+  const auto hsv = pi::rgb_to_hsv_pixel(255, 255, 255);
+  EXPECT_EQ(hsv[1], 0);
+  EXPECT_EQ(hsv[2], 255);
+}
+
+TEST(RgbToHsvPixel, BlackHasZeroValue) {
+  const auto hsv = pi::rgb_to_hsv_pixel(0, 0, 0);
+  EXPECT_EQ(hsv[0], 0);
+  EXPECT_EQ(hsv[1], 0);
+  EXPECT_EQ(hsv[2], 0);
+}
+
+TEST(RgbToHsvPixel, GrayKeepsValueOnly) {
+  const auto hsv = pi::rgb_to_hsv_pixel(128, 128, 128);
+  EXPECT_EQ(hsv[1], 0);
+  EXPECT_EQ(hsv[2], 128);
+}
+
+TEST(HsvToRgbPixel, ZeroSaturationIsGray) {
+  const auto rgb = pi::hsv_to_rgb_pixel(90, 0, 200);
+  EXPECT_EQ(rgb[0], 200);
+  EXPECT_EQ(rgb[1], 200);
+  EXPECT_EQ(rgb[2], 200);
+}
+
+// Property: RGB -> HSV -> RGB round-trips within quantization error over a
+// broad color grid.
+class HsvRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HsvRoundTrip, RoundTripWithinQuantization) {
+  const int step = 17;
+  const int base = GetParam();
+  for (int r = base; r < 256; r += step) {
+    for (int g = 0; g < 256; g += step) {
+      for (int b = 0; b < 256; b += step) {
+        const auto hsv = pi::rgb_to_hsv_pixel(
+            static_cast<std::uint8_t>(r), static_cast<std::uint8_t>(g),
+            static_cast<std::uint8_t>(b));
+        const auto rgb = pi::hsv_to_rgb_pixel(hsv[0], hsv[1], hsv[2]);
+        // 8-bit H is degrees/2 so hue quantization can move channels by a
+        // few counts; value (max channel) must be nearly exact.
+        EXPECT_NEAR(int(rgb[0]), r, 6);
+        EXPECT_NEAR(int(rgb[1]), g, 6);
+        EXPECT_NEAR(int(rgb[2]), b, 6);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ColorGrid, HsvRoundTrip, ::testing::Values(0, 5, 11));
+
+TEST(RgbToHsvImage, ValueChannelIsMaxChannel) {
+  pi::ImageU8 rgb(4, 3, 3);
+  rgb.at(1, 2, 0) = 10;
+  rgb.at(1, 2, 1) = 200;
+  rgb.at(1, 2, 2) = 55;
+  const auto hsv = pi::rgb_to_hsv(rgb);
+  EXPECT_EQ(hsv.at(1, 2, 2), 200);
+}
+
+TEST(RgbToHsvImage, RejectsWrongChannelCount) {
+  pi::ImageU8 gray(4, 4, 1);
+  EXPECT_THROW(pi::rgb_to_hsv(gray), std::invalid_argument);
+  EXPECT_THROW(pi::hsv_to_rgb(gray), std::invalid_argument);
+  EXPECT_THROW(pi::rgb_to_gray(gray), std::invalid_argument);
+}
+
+TEST(RgbToGray, UsesRec601Weights) {
+  pi::ImageU8 rgb(1, 1, 3);
+  rgb.at(0, 0, 0) = 255;  // pure red
+  auto gray = pi::rgb_to_gray(rgb);
+  EXPECT_NEAR(int(gray.at(0, 0)), 76, 1);  // 0.299 * 255
+
+  rgb.fill(0);
+  rgb.at(0, 0, 1) = 255;  // pure green
+  gray = pi::rgb_to_gray(rgb);
+  EXPECT_NEAR(int(gray.at(0, 0)), 150, 1);  // 0.587 * 255
+}
+
+TEST(RgbToGray, GrayInputIsIdentity) {
+  pi::ImageU8 rgb(2, 2, 3);
+  for (int c = 0; c < 3; ++c) rgb.at(1, 1, c) = 99;
+  const auto gray = pi::rgb_to_gray(rgb);
+  EXPECT_EQ(gray.at(1, 1), 99);
+}
+
+TEST(ChannelOps, ExtractInsertRoundTrip) {
+  pi::ImageU8 rgb(3, 2, 3);
+  rgb.at(2, 1, 1) = 77;
+  const auto plane = pi::extract_channel(rgb, 1);
+  EXPECT_EQ(plane.channels(), 1);
+  EXPECT_EQ(plane.at(2, 1), 77);
+
+  pi::ImageU8 dst(3, 2, 3);
+  pi::insert_channel(dst, plane, 1);
+  EXPECT_EQ(dst.at(2, 1, 1), 77);
+  EXPECT_EQ(dst.at(2, 1, 0), 0);
+}
+
+TEST(ChannelOps, ExtractRejectsBadChannel) {
+  pi::ImageU8 rgb(2, 2, 3);
+  EXPECT_THROW(pi::extract_channel(rgb, 3), std::invalid_argument);
+  EXPECT_THROW(pi::extract_channel(rgb, -1), std::invalid_argument);
+}
+
+TEST(ChannelOps, InsertRejectsShapeMismatch) {
+  pi::ImageU8 rgb(2, 2, 3);
+  pi::ImageU8 plane(3, 2, 1);
+  EXPECT_THROW(pi::insert_channel(rgb, plane, 0), std::invalid_argument);
+}
+
+TEST(Image, ConstructorRejectsNonPositiveDims) {
+  EXPECT_THROW(pi::ImageU8(0, 4, 3), std::invalid_argument);
+  EXPECT_THROW(pi::ImageU8(4, -1, 3), std::invalid_argument);
+  EXPECT_THROW(pi::ImageU8(4, 4, 0), std::invalid_argument);
+}
+
+TEST(Image, CheckedAccessThrowsOutOfRange) {
+  pi::ImageU8 im(4, 4, 1);
+  EXPECT_THROW(static_cast<void>(im.at_checked(4, 0)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(im.at_checked(0, 4)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(im.at_checked(0, 0, 1)), std::out_of_range);
+  EXPECT_NO_THROW(static_cast<void>(im.at_checked(3, 3, 0)));
+}
+
+TEST(Image, ClampedAccessReplicatesBorder) {
+  pi::ImageU8 im(2, 2, 1);
+  im.at(0, 0) = 1;
+  im.at(1, 1) = 9;
+  EXPECT_EQ(im.at_clamped(-5, -5), 1);
+  EXPECT_EQ(im.at_clamped(10, 10), 9);
+}
+
+TEST(Image, EqualityAndClone) {
+  pi::ImageU8 a(2, 2, 1, 7);
+  auto b = a.clone();
+  EXPECT_EQ(a, b);
+  b.at(0, 0) = 8;
+  EXPECT_FALSE(a == b);
+}

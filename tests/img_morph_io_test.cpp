@@ -1,0 +1,173 @@
+// Morphology behaviour + Netpbm I/O round-trips and failure injection.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "img/io.h"
+#include "img/morphology.h"
+#include "img/ops.h"
+#include "util/rng.h"
+
+namespace pi = polarice::img;
+namespace fs = std::filesystem;
+
+namespace {
+pi::ImageU8 spot_image() {
+  pi::ImageU8 im(9, 9, 1, 0);
+  im.at(4, 4) = 255;
+  return im;
+}
+
+fs::path temp_file(const char* name) {
+  return fs::temp_directory_path() / name;
+}
+}  // namespace
+
+TEST(Morphology, ErodeRemovesIsolatedSpot) {
+  const auto out = pi::erode(spot_image(), 3);
+  for (const auto v : out) EXPECT_EQ(v, 0);
+}
+
+TEST(Morphology, DilateGrowsSpotToKernelSize) {
+  const auto out = pi::dilate(spot_image(), 3);
+  int lit = 0;
+  for (const auto v : out) lit += v == 255;
+  EXPECT_EQ(lit, 9);  // 3x3 block
+  EXPECT_EQ(out.at(3, 3), 255);
+  EXPECT_EQ(out.at(5, 5), 255);
+  EXPECT_EQ(out.at(2, 4), 0);
+}
+
+TEST(Morphology, OpenRemovesSpeckleClosesKeepsIt) {
+  const auto opened = pi::morph_open(spot_image(), 3);
+  for (const auto v : opened) EXPECT_EQ(v, 0);
+  // A 3x3 solid block survives opening.
+  pi::ImageU8 block(9, 9, 1, 0);
+  for (int y = 3; y <= 5; ++y) {
+    for (int x = 3; x <= 5; ++x) block.at(x, y) = 255;
+  }
+  const auto kept = pi::morph_open(block, 3);
+  EXPECT_EQ(kept.at(4, 4), 255);
+}
+
+TEST(Morphology, CloseFillsHole) {
+  pi::ImageU8 im(9, 9, 1, 255);
+  im.at(4, 4) = 0;  // pinhole
+  const auto closed = pi::morph_close(im, 3);
+  EXPECT_EQ(closed.at(4, 4), 255);
+}
+
+TEST(Morphology, DualityErodeDilate) {
+  polarice::util::Rng rng(17);
+  pi::ImageU8 im(24, 18, 1);
+  for (auto& v : im) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  // erode(not x) == not(dilate x)
+  EXPECT_EQ(pi::erode(pi::bitwise_not(im), 5),
+            pi::bitwise_not(pi::dilate(im, 5)));
+}
+
+TEST(Morphology, Ksize1IsIdentity) {
+  polarice::util::Rng rng(18);
+  pi::ImageU8 im(12, 12, 1);
+  for (auto& v : im) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  EXPECT_EQ(pi::erode(im, 1), im);
+  EXPECT_EQ(pi::dilate(im, 1), im);
+}
+
+TEST(Morphology, OpeningIsIdempotent) {
+  polarice::util::Rng rng(19);
+  pi::ImageU8 im(20, 20, 1);
+  for (auto& v : im) v = rng.bernoulli(0.4) ? 255 : 0;
+  const auto once = pi::morph_open(im, 3);
+  const auto twice = pi::morph_open(once, 3);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Morphology, RejectsBadInputs) {
+  pi::ImageU8 rgb(4, 4, 3);
+  EXPECT_THROW(pi::erode(rgb, 3), std::invalid_argument);
+  pi::ImageU8 gray(4, 4, 1);
+  EXPECT_THROW(pi::dilate(gray, 4), std::invalid_argument);
+}
+
+TEST(NetpbmIo, PpmRoundTrip) {
+  polarice::util::Rng rng(20);
+  pi::ImageU8 im(31, 17, 3);
+  for (auto& v : im) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const auto path = temp_file("polarice_roundtrip.ppm");
+  pi::write_ppm(path.string(), im);
+  const auto back = pi::read_ppm(path.string());
+  EXPECT_EQ(back, im);
+  fs::remove(path);
+}
+
+TEST(NetpbmIo, PgmRoundTrip) {
+  polarice::util::Rng rng(21);
+  pi::ImageU8 im(13, 29, 1);
+  for (auto& v : im) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const auto path = temp_file("polarice_roundtrip.pgm");
+  pi::write_pgm(path.string(), im);
+  const auto back = pi::read_pgm(path.string());
+  EXPECT_EQ(back, im);
+  fs::remove(path);
+}
+
+TEST(NetpbmIo, WriteRejectsWrongChannelCount) {
+  pi::ImageU8 gray(4, 4, 1);
+  EXPECT_THROW(pi::write_ppm("/tmp/x.ppm", gray), std::invalid_argument);
+  pi::ImageU8 rgb(4, 4, 3);
+  EXPECT_THROW(pi::write_pgm("/tmp/x.pgm", rgb), std::invalid_argument);
+}
+
+TEST(NetpbmIo, ReadRejectsMissingFile) {
+  EXPECT_THROW(pi::read_ppm("/nonexistent/path/img.ppm"), std::runtime_error);
+}
+
+TEST(NetpbmIo, ReadRejectsTruncatedPixelData) {
+  const auto path = temp_file("polarice_truncated.ppm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P6\n100 100\n255\n";
+    out << "short";  // far fewer than 100*100*3 bytes
+  }
+  EXPECT_THROW(pi::read_ppm(path.string()), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(NetpbmIo, ReadRejectsBadMagic) {
+  const auto path = temp_file("polarice_badmagic.ppm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n2 2\n255\n";
+    out.write("\0\0\0\0", 4);
+  }
+  EXPECT_THROW(pi::read_ppm(path.string()), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(NetpbmIo, ReadHandlesComments) {
+  const auto path = temp_file("polarice_comment.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n# a comment line\n2 1\n255\n";
+    out.write("\x07\x09", 2);
+  }
+  const auto im = pi::read_pgm(path.string());
+  EXPECT_EQ(im.at(0, 0), 7);
+  EXPECT_EQ(im.at(1, 0), 9);
+  fs::remove(path);
+}
+
+TEST(NetpbmIo, ReadRejectsBadMaxval) {
+  const auto path = temp_file("polarice_maxval.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n2 1\n65535\n";
+    out.write("\0\0\0\0", 4);
+  }
+  EXPECT_THROW(pi::read_pgm(path.string()), std::runtime_error);
+  fs::remove(path);
+}

@@ -1,0 +1,191 @@
+// Pixel-op tests: absdiff, saturating arithmetic, bitwise, masks, in_range,
+// min-max normalization, crop/resize, float conversion.
+
+#include <gtest/gtest.h>
+
+#include "img/ops.h"
+#include "util/rng.h"
+
+namespace pi = polarice::img;
+
+namespace {
+pi::ImageU8 random_image(int w, int h, int c, std::uint64_t seed) {
+  polarice::util::Rng rng(seed);
+  pi::ImageU8 im(w, h, c);
+  for (auto& v : im) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return im;
+}
+}  // namespace
+
+TEST(AbsDiff, SymmetricAndZeroOnSelf) {
+  const auto a = random_image(8, 8, 3, 1);
+  const auto b = random_image(8, 8, 3, 2);
+  EXPECT_EQ(pi::absdiff(a, b), pi::absdiff(b, a));
+  const auto self = pi::absdiff(a, a);
+  for (const auto v : self) EXPECT_EQ(v, 0);
+}
+
+TEST(AbsDiff, RejectsShapeMismatch) {
+  pi::ImageU8 a(4, 4, 1), b(4, 5, 1);
+  EXPECT_THROW(pi::absdiff(a, b), std::invalid_argument);
+}
+
+TEST(SaturatingArithmetic, ClampsAtBounds) {
+  pi::ImageU8 a(1, 1, 1, 200), b(1, 1, 1, 100);
+  EXPECT_EQ(pi::add_saturate(a, b).at(0, 0), 255);
+  EXPECT_EQ(pi::subtract_saturate(b, a).at(0, 0), 0);
+  EXPECT_EQ(pi::subtract_saturate(a, b).at(0, 0), 100);
+}
+
+TEST(Bitwise, AndOrNotSemantics) {
+  pi::ImageU8 a(1, 1, 1, 0b11001100), b(1, 1, 1, 0b10101010);
+  EXPECT_EQ(pi::bitwise_and(a, b).at(0, 0), 0b10001000);
+  EXPECT_EQ(pi::bitwise_or(a, b).at(0, 0), 0b11101110);
+  EXPECT_EQ(pi::bitwise_not(a).at(0, 0), 0b00110011);
+}
+
+TEST(Bitwise, DeMorganProperty) {
+  const auto a = random_image(16, 16, 1, 3);
+  const auto b = random_image(16, 16, 1, 4);
+  // not(a and b) == not(a) or not(b)
+  EXPECT_EQ(pi::bitwise_not(pi::bitwise_and(a, b)),
+            pi::bitwise_or(pi::bitwise_not(a), pi::bitwise_not(b)));
+}
+
+TEST(ApplyMask, SelectsPixelsAndFillsRest) {
+  pi::ImageU8 src(2, 1, 3, 9);
+  pi::ImageU8 mask(2, 1, 1);
+  mask.at(0, 0) = 255;
+  const auto out = pi::apply_mask(src, mask, 7);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(out.at(0, 0, c), 9);
+    EXPECT_EQ(out.at(1, 0, c), 7);
+  }
+}
+
+TEST(ApplyMask, RejectsBadMaskShape) {
+  pi::ImageU8 src(2, 2, 3);
+  pi::ImageU8 mask3(2, 2, 3);
+  EXPECT_THROW(pi::apply_mask(src, mask3), std::invalid_argument);
+}
+
+TEST(InRange, InclusiveBoundsAllChannels) {
+  pi::ImageU8 hsv(3, 1, 3);
+  // Pixel 0: inside. Pixel 1: one channel below. Pixel 2: one channel above.
+  const std::uint8_t pix[3][3] = {{90, 128, 210}, {90, 9, 210}, {90, 128, 251}};
+  for (int x = 0; x < 3; ++x) {
+    for (int c = 0; c < 3; ++c) hsv.at(x, 0, c) = pix[x][c];
+  }
+  const auto mask = pi::in_range(hsv, {0, 10, 205}, {185, 255, 250});
+  EXPECT_EQ(mask.at(0, 0), 255);
+  EXPECT_EQ(mask.at(1, 0), 0);
+  EXPECT_EQ(mask.at(2, 0), 0);
+}
+
+TEST(InRange, BoundaryValuesAreInside) {
+  pi::ImageU8 hsv(2, 1, 3);
+  for (int c = 0; c < 3; ++c) {
+    hsv.at(0, 0, c) = 10;   // exactly lower
+    hsv.at(1, 0, c) = 200;  // exactly upper
+  }
+  const auto mask = pi::in_range(hsv, {10, 10, 10}, {200, 200, 200});
+  EXPECT_EQ(mask.at(0, 0), 255);
+  EXPECT_EQ(mask.at(1, 0), 255);
+}
+
+TEST(MinMaxNormalize, StretchesToFullRange) {
+  pi::ImageU8 im(3, 1, 1);
+  im.at(0, 0) = 50;
+  im.at(1, 0) = 100;
+  im.at(2, 0) = 150;
+  const auto out = pi::minmax_normalize(im, 0, 255);
+  EXPECT_EQ(out.at(0, 0), 0);
+  EXPECT_NEAR(int(out.at(1, 0)), 128, 1);
+  EXPECT_EQ(out.at(2, 0), 255);
+}
+
+TEST(MinMaxNormalize, ConstantImageMapsToLo) {
+  pi::ImageU8 im(4, 4, 1, 88);
+  const auto out = pi::minmax_normalize(im, 10, 250);
+  for (const auto v : out) EXPECT_EQ(v, 10);
+}
+
+TEST(MinMaxNormalize, CustomTargetRange) {
+  pi::ImageU8 im(2, 1, 1);
+  im.at(0, 0) = 0;
+  im.at(1, 0) = 255;
+  const auto out = pi::minmax_normalize(im, 100, 200);
+  EXPECT_EQ(out.at(0, 0), 100);
+  EXPECT_EQ(out.at(1, 0), 200);
+}
+
+TEST(MinMaxNormalize, RejectsInvertedRangeOrMultiChannel) {
+  pi::ImageU8 im(2, 2, 1);
+  EXPECT_THROW(pi::minmax_normalize(im, 200, 100), std::invalid_argument);
+  pi::ImageU8 rgb(2, 2, 3);
+  EXPECT_THROW(pi::minmax_normalize(rgb), std::invalid_argument);
+}
+
+TEST(CountNonzeroAndMean, BasicAccounting) {
+  pi::ImageU8 im(4, 1, 1);
+  im.at(0, 0) = 0;
+  im.at(1, 0) = 10;
+  im.at(2, 0) = 20;
+  im.at(3, 0) = 30;
+  EXPECT_EQ(pi::count_nonzero(im), 3u);
+  EXPECT_DOUBLE_EQ(pi::mean(im), 15.0);
+}
+
+TEST(Blend, AlphaWeights) {
+  pi::ImageU8 a(1, 1, 1, 200), b(1, 1, 1, 100);
+  EXPECT_EQ(pi::blend(a, b, 1.0f).at(0, 0), 200);
+  EXPECT_EQ(pi::blend(a, b, 0.0f).at(0, 0), 100);
+  EXPECT_EQ(pi::blend(a, b, 0.5f).at(0, 0), 150);
+}
+
+TEST(Crop, ExtractsExactRectangle) {
+  auto im = random_image(10, 8, 3, 5);
+  const auto sub = pi::crop(im, 2, 3, 4, 5);
+  EXPECT_EQ(sub.width(), 4);
+  EXPECT_EQ(sub.height(), 5);
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        EXPECT_EQ(sub.at(x, y, c), im.at(x + 2, y + 3, c));
+      }
+    }
+  }
+}
+
+TEST(Crop, RejectsOutOfBounds) {
+  pi::ImageU8 im(10, 10, 1);
+  EXPECT_THROW(pi::crop(im, 8, 8, 4, 4), std::invalid_argument);
+  EXPECT_THROW(pi::crop(im, -1, 0, 2, 2), std::invalid_argument);
+  EXPECT_THROW(pi::crop(im, 0, 0, 0, 2), std::invalid_argument);
+}
+
+TEST(ResizeNearest, UpscaleDoublesPixels) {
+  pi::ImageU8 im(2, 2, 1);
+  im.at(0, 0) = 1;
+  im.at(1, 0) = 2;
+  im.at(0, 1) = 3;
+  im.at(1, 1) = 4;
+  const auto big = pi::resize_nearest(im, 4, 4);
+  EXPECT_EQ(big.at(0, 0), 1);
+  EXPECT_EQ(big.at(1, 1), 1);
+  EXPECT_EQ(big.at(3, 3), 4);
+  EXPECT_EQ(big.at(2, 0), 2);
+}
+
+TEST(ResizeNearest, IdentityWhenSameSize) {
+  const auto im = random_image(7, 5, 3, 6);
+  EXPECT_EQ(pi::resize_nearest(im, 7, 5), im);
+}
+
+TEST(FloatConversion, RoundTripsWithinOneCount) {
+  const auto im = random_image(16, 16, 3, 7);
+  const auto back = pi::to_u8(pi::to_float(im));
+  for (std::size_t i = 0; i < im.size(); ++i) {
+    EXPECT_NEAR(int(back.data()[i]), int(im.data()[i]), 1);
+  }
+}

@@ -1,0 +1,168 @@
+// Threshold semantics (cv::threshold parity) and Otsu behaviour.
+
+#include <gtest/gtest.h>
+
+#include "img/threshold.h"
+#include "util/rng.h"
+
+namespace pi = polarice::img;
+
+namespace {
+pi::ImageU8 ramp256() {
+  pi::ImageU8 im(16, 16, 1);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      im.at(x, y) = static_cast<std::uint8_t>(y * 16 + x);
+    }
+  }
+  return im;
+}
+}  // namespace
+
+TEST(Threshold, Binary) {
+  const auto out = pi::threshold(ramp256(), 100, 255, pi::ThresholdType::kBinary);
+  EXPECT_EQ(out.at(0, 0), 0);       // value 0
+  EXPECT_EQ(out.at(4, 6), 0);       // value 100 == threshold -> 0
+  EXPECT_EQ(out.at(5, 6), 255);     // value 101 > 100
+}
+
+TEST(Threshold, BinaryBoundaryIsStrict) {
+  pi::ImageU8 im(2, 1, 1);
+  im.at(0, 0) = 100;
+  im.at(1, 0) = 101;
+  const auto out = pi::threshold(im, 100, 200, pi::ThresholdType::kBinary);
+  EXPECT_EQ(out.at(0, 0), 0);    // == threshold stays 0 (cv semantics: src > t)
+  EXPECT_EQ(out.at(1, 0), 200);
+}
+
+TEST(Threshold, BinaryInv) {
+  pi::ImageU8 im(2, 1, 1);
+  im.at(0, 0) = 50;
+  im.at(1, 0) = 200;
+  const auto out = pi::threshold(im, 100, 255, pi::ThresholdType::kBinaryInv);
+  EXPECT_EQ(out.at(0, 0), 255);
+  EXPECT_EQ(out.at(1, 0), 0);
+}
+
+TEST(Threshold, TruncCapsAboveThreshold) {
+  const auto out = pi::threshold(ramp256(), 128, 255, pi::ThresholdType::kTrunc);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      const int v = y * 16 + x;
+      EXPECT_EQ(int(out.at(x, y)), std::min(v, 128));
+    }
+  }
+}
+
+TEST(Threshold, ToZeroAndToZeroInvPartitionTheImage) {
+  const auto src = ramp256();
+  const auto hi = pi::threshold(src, 90, 255, pi::ThresholdType::kToZero);
+  const auto lo = pi::threshold(src, 90, 255, pi::ThresholdType::kToZeroInv);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_EQ(int(hi.at(x, y)) + int(lo.at(x, y)), int(src.at(x, y)));
+    }
+  }
+}
+
+TEST(Threshold, RejectsMultiChannel) {
+  pi::ImageU8 rgb(2, 2, 3);
+  EXPECT_THROW(pi::threshold(rgb, 10, 255, pi::ThresholdType::kBinary),
+               std::invalid_argument);
+}
+
+TEST(Histogram256, CountsSumToPixelCount) {
+  const auto src = ramp256();
+  std::uint64_t hist[256];
+  pi::histogram256(src, hist);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(hist[i], 1u);  // ramp hits each value exactly once
+    total += hist[i];
+  }
+  EXPECT_EQ(total, 256u);
+}
+
+TEST(Otsu, SeparatesCleanBimodalHistogram) {
+  pi::ImageU8 im(100, 2, 1);
+  for (int x = 0; x < 100; ++x) {
+    im.at(x, 0) = 40;
+    im.at(x, 1) = 210;
+  }
+  const auto t = pi::otsu_threshold(im);
+  EXPECT_GE(int(t), 40);
+  EXPECT_LT(int(t), 210);
+}
+
+TEST(Otsu, NoisyBimodalLandsBetweenModes) {
+  polarice::util::Rng rng(5);
+  pi::ImageU8 im(64, 64, 1);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      const double mode = (x < 32) ? 60.0 : 190.0;
+      const double v = std::clamp(rng.normal(mode, 12.0), 0.0, 255.0);
+      im.at(x, y) = static_cast<std::uint8_t>(v);
+    }
+  }
+  const auto t = pi::otsu_threshold(im);
+  EXPECT_GT(int(t), 90);
+  EXPECT_LT(int(t), 170);
+}
+
+TEST(Otsu, ConstantImageReturnsItsValueOrBelow) {
+  pi::ImageU8 im(8, 8, 1, 123);
+  // Degenerate case: no between-class variance anywhere; implementation must
+  // not crash and must return a valid threshold.
+  const auto t = pi::otsu_threshold(im);
+  EXPECT_LE(int(t), 255);
+}
+
+TEST(OtsuApply, ReportsChosenThresholdAndBinarizes) {
+  pi::ImageU8 im(100, 2, 1);
+  for (int x = 0; x < 100; ++x) {
+    im.at(x, 0) = 30;
+    im.at(x, 1) = 220;
+  }
+  std::uint8_t chosen = 0;
+  const auto out =
+      pi::threshold_otsu(im, 255, pi::ThresholdType::kBinary, &chosen);
+  EXPECT_GE(int(chosen), 30);
+  EXPECT_LT(int(chosen), 220);
+  EXPECT_EQ(out.at(0, 0), 0);
+  EXPECT_EQ(out.at(0, 1), 255);
+}
+
+// Property: for every threshold type, output only depends on the input value
+// (pointwise), verified against a scalar reference on random images.
+class ThresholdTypeSweep
+    : public ::testing::TestWithParam<pi::ThresholdType> {};
+
+TEST_P(ThresholdTypeSweep, MatchesScalarReference) {
+  const auto type = GetParam();
+  polarice::util::Rng rng(9);
+  pi::ImageU8 im(33, 17, 1);
+  for (auto& v : im) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const std::uint8_t t = 77, maxval = 201;
+  const auto out = pi::threshold(im, t, maxval, type);
+  for (int y = 0; y < im.height(); ++y) {
+    for (int x = 0; x < im.width(); ++x) {
+      const std::uint8_t s = im.at(x, y);
+      std::uint8_t expected = 0;
+      switch (type) {
+        case pi::ThresholdType::kBinary: expected = s > t ? maxval : 0; break;
+        case pi::ThresholdType::kBinaryInv: expected = s > t ? 0 : maxval; break;
+        case pi::ThresholdType::kTrunc: expected = s > t ? t : s; break;
+        case pi::ThresholdType::kToZero: expected = s > t ? s : 0; break;
+        case pi::ThresholdType::kToZeroInv: expected = s > t ? 0 : s; break;
+      }
+      ASSERT_EQ(out.at(x, y), expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, ThresholdTypeSweep,
+                         ::testing::Values(pi::ThresholdType::kBinary,
+                                           pi::ThresholdType::kBinaryInv,
+                                           pi::ThresholdType::kTrunc,
+                                           pi::ThresholdType::kToZero,
+                                           pi::ThresholdType::kToZeroInv));

@@ -1,0 +1,196 @@
+// Cross-module integration and property tests that don't belong to any one
+// substrate: HSV band partition properties, pool-invariance of the U-Net,
+// end-to-end auto-label quality sweeps across seeds, weight determinism.
+
+#include <gtest/gtest.h>
+
+#include "core/autolabel.h"
+#include "img/color.h"
+#include "img/ops.h"
+#include "metrics/metrics.h"
+#include "nn/optimizer.h"
+#include "nn/unet.h"
+#include "par/thread_pool.h"
+#include "s2/classes.h"
+#include "s2/scene.h"
+#include "util/rng.h"
+
+namespace pc = polarice::core;
+namespace ps = polarice::s2;
+namespace pi = polarice::img;
+namespace pn = polarice::nn;
+namespace pt = polarice::tensor;
+
+// Property: the paper's three HSV bands partition the whole V axis — every
+// possible HSV pixel matches exactly one class range.
+TEST(PaperThresholds, BandsPartitionTheColorSpace) {
+  for (int v = 0; v < 256; v += 1) {
+    for (int s = 0; s < 256; s += 51) {
+      for (int h = 0; h <= 180; h += 45) {
+        int matches = 0;
+        for (const auto& range : ps::kPaperHsvRanges) {
+          const bool in = h >= range.lower[0] && h <= range.upper[0] &&
+                          s >= range.lower[1] && s <= range.upper[1] &&
+                          v >= range.lower[2] && v <= range.upper[2];
+          matches += in;
+        }
+        ASSERT_EQ(matches, 1) << "h=" << h << " s=" << s << " v=" << v;
+      }
+    }
+  }
+}
+
+// Property: in_range with the paper thresholds agrees with direct V-band
+// classification on arbitrary images.
+TEST(PaperThresholds, InRangeMatchesVBandClassification) {
+  polarice::util::Rng rng(41);
+  pi::ImageU8 hsv(64, 64, 3);
+  for (auto& px : hsv) px = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  // Clamp H to the encodable range.
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      hsv.at(x, y, 0) = static_cast<std::uint8_t>(hsv.at(x, y, 0) % 181);
+    }
+  }
+  for (int cls = 0; cls < ps::kNumClasses; ++cls) {
+    const auto mask = pi::in_range(hsv, ps::kPaperHsvRanges[cls].lower,
+                                   ps::kPaperHsvRanges[cls].upper);
+    for (int y = 0; y < 64; ++y) {
+      for (int x = 0; x < 64; ++x) {
+        const int v = hsv.at(x, y, 2);
+        const bool want = cls == 0 ? v <= 30 : cls == 1 ? v >= 31 && v <= 204
+                                                        : v >= 205;
+        ASSERT_EQ(mask.at(x, y) != 0, want) << "cls " << cls;
+      }
+    }
+  }
+}
+
+// Property sweep: auto-labeling on clean scenes is near-perfect for many
+// seeds, and the filter never makes clean scenes materially worse.
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, CleanSceneAutolabelQuality) {
+  ps::SceneConfig sc;
+  sc.width = sc.height = 192;
+  sc.seed = GetParam();
+  sc.cloudy = false;
+  const auto scene = ps::SceneGenerator(sc).generate();
+
+  pc::AutoLabelConfig raw_cfg;
+  raw_cfg.apply_filter = false;
+  std::vector<int> truth;
+  for (const auto v : scene.labels) truth.push_back(v);
+
+  const auto raw = pc::AutoLabeler(raw_cfg).label(scene.rgb);
+  std::vector<int> raw_pred;
+  for (const auto v : raw.labels) raw_pred.push_back(v);
+  EXPECT_GT(polarice::metrics::pixel_accuracy(truth, raw_pred), 0.999);
+
+  const auto filtered = pc::AutoLabeler().label(scene.rgb);
+  std::vector<int> filt_pred;
+  for (const auto v : filtered.labels) filt_pred.push_back(v);
+  EXPECT_GT(polarice::metrics::pixel_accuracy(truth, filt_pred), 0.97);
+}
+
+TEST_P(SeedSweep, CloudySceneFilterAlwaysHelps) {
+  ps::SceneConfig sc;
+  sc.width = sc.height = 192;
+  sc.seed = GetParam();
+  sc.cloudy = true;
+  const auto scene = ps::SceneGenerator(sc).generate();
+  std::vector<int> truth;
+  for (const auto v : scene.labels) truth.push_back(v);
+
+  pc::AutoLabelConfig raw_cfg;
+  raw_cfg.apply_filter = false;
+  const auto raw = pc::AutoLabeler(raw_cfg).label(scene.rgb);
+  const auto filtered = pc::AutoLabeler().label(scene.rgb);
+  std::vector<int> raw_pred, filt_pred;
+  for (const auto v : raw.labels) raw_pred.push_back(v);
+  for (const auto v : filtered.labels) filt_pred.push_back(v);
+  const double raw_acc = polarice::metrics::pixel_accuracy(truth, raw_pred);
+  const double filt_acc = polarice::metrics::pixel_accuracy(truth, filt_pred);
+  EXPECT_GT(filt_acc, raw_acc) << "seed " << GetParam();
+  EXPECT_GT(filt_acc, 0.93) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// The intra-op pool must not change U-Net outputs (GEMM column partitioning
+// preserves summation order).
+TEST(UNetDeterminism, PooledForwardMatchesSequential) {
+  pn::UNetConfig cfg;
+  cfg.depth = 2;
+  cfg.base_channels = 8;
+  cfg.use_dropout = false;
+  pn::UNet model(cfg);
+
+  polarice::util::Rng rng(17);
+  pt::Tensor x({2, 3, 32, 32});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f();
+
+  pt::Tensor seq_logits;
+  model.set_pool(nullptr);
+  model.forward(x, seq_logits, false);
+
+  polarice::par::ThreadPool pool(8);
+  pt::Tensor par_logits;
+  model.set_pool(&pool);
+  model.forward(x, par_logits, false);
+
+  ASSERT_TRUE(seq_logits.same_shape(par_logits));
+  for (std::int64_t i = 0; i < seq_logits.numel(); ++i) {
+    ASSERT_EQ(seq_logits[i], par_logits[i]) << "index " << i;
+  }
+}
+
+// Two UNets with the same seed must agree after identical training steps
+// (full determinism of init + forward + backward + Adam).
+TEST(UNetDeterminism, TrainingIsReproducible) {
+  const auto make_and_train = [] {
+    pn::UNetConfig cfg;
+    cfg.depth = 1;
+    cfg.base_channels = 4;
+    cfg.use_dropout = true;  // dropout stream must be reproducible too
+    cfg.dropout_rate = 0.2f;
+    auto model = std::make_unique<pn::UNet>(cfg);
+    polarice::util::Rng rng(3);
+    pt::Tensor x({2, 3, 8, 8});
+    for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f();
+    std::vector<int> targets(2 * 64);
+    for (std::size_t i = 0; i < targets.size(); ++i) targets[i] = i % 3;
+    pn::Adam opt(model->params(), 1e-3f);
+    pt::Tensor logits, probs, dlogits;
+    for (int step = 0; step < 5; ++step) {
+      opt.zero_grad();
+      model->forward(x, logits, true);
+      pt::softmax_cross_entropy(logits, targets, probs, dlogits);
+      model->backward(dlogits);
+      opt.step();
+    }
+    return model;
+  };
+  auto a = make_and_train();
+  auto b = make_and_train();
+  auto pa = a->params();
+  auto pb = b->params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::int64_t j = 0; j < pa[i].value->numel(); ++j) {
+      ASSERT_EQ((*pa[i].value)[j], (*pb[i].value)[j])
+          << pa[i].name << "[" << j << "]";
+    }
+  }
+}
+
+// Colorize/labels round trip composed with the auto-labeler output.
+TEST(LabelRoundTrip, AutolabelColorizedDecodesToSameIds) {
+  ps::SceneConfig sc;
+  sc.width = sc.height = 96;
+  sc.seed = 9;
+  sc.cloudy = true;
+  const auto scene = ps::SceneGenerator(sc).generate();
+  const auto result = pc::AutoLabeler().label(scene.rgb);
+  EXPECT_EQ(ps::labels_from_colors(result.colorized), result.labels);
+}

@@ -1,0 +1,164 @@
+// Metric tests: confusion matrix accounting, macro P/R/F1, SSIM properties.
+
+#include <gtest/gtest.h>
+
+#include "img/ops.h"
+#include "metrics/metrics.h"
+#include "metrics/ssim.h"
+#include "util/rng.h"
+
+namespace pm = polarice::metrics;
+namespace pi = polarice::img;
+
+TEST(ConfusionMatrix, PerfectPredictionsAreDiagonal) {
+  pm::ConfusionMatrix cm(3);
+  cm.add_all({0, 1, 2, 0, 1, 2}, {0, 1, 2, 0, 1, 2});
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+  const auto norm = cm.column_normalized();
+  EXPECT_DOUBLE_EQ(norm[0], 100.0);
+  EXPECT_DOUBLE_EQ(norm[1], 0.0);
+}
+
+TEST(ConfusionMatrix, KnownMixedCase) {
+  // truths:      0 0 0 0 1 1 1 2
+  // predictions: 0 0 1 2 1 1 0 2
+  pm::ConfusionMatrix cm(3);
+  cm.add_all({0, 0, 0, 0, 1, 1, 1, 2}, {0, 0, 1, 2, 1, 1, 0, 2});
+  EXPECT_EQ(cm.total(), 8u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 5.0 / 8.0);
+  // Class 0: tp=2, predicted-as-0 = 3 (two true 0s + one true 1).
+  EXPECT_DOUBLE_EQ(cm.precision(0), 2.0 / 3.0);
+  // Class 0 recall: 2 of 4 true zeros.
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.5);
+  // Column normalization: column 0 sums to 100.
+  const auto norm = cm.column_normalized();
+  EXPECT_NEAR(norm[0 * 3 + 0] + norm[1 * 3 + 0] + norm[2 * 3 + 0], 100.0,
+              1e-9);
+}
+
+TEST(ConfusionMatrix, IgnoresNegativeTruth) {
+  pm::ConfusionMatrix cm(2);
+  cm.add(-1, 0);
+  cm.add(1, 1);
+  EXPECT_EQ(cm.total(), 1u);
+}
+
+TEST(ConfusionMatrix, MergeAddsCounts) {
+  pm::ConfusionMatrix a(2), b(2);
+  a.add(0, 0);
+  b.add(0, 1);
+  b.add(1, 1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(0, 1), 1u);
+}
+
+TEST(ConfusionMatrix, GuardsBadInput) {
+  pm::ConfusionMatrix cm(2);
+  EXPECT_THROW(pm::ConfusionMatrix(1), std::invalid_argument);
+  EXPECT_THROW(cm.add(0, 5), std::out_of_range);
+  EXPECT_THROW(cm.add(3, 0), std::out_of_range);
+  EXPECT_THROW(cm.add_all({0}, {0, 1}), std::invalid_argument);
+  pm::ConfusionMatrix other(3);
+  EXPECT_THROW(cm.merge(other), std::invalid_argument);
+  EXPECT_THROW(cm.to_string({"just one"}), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, MacroAveragesSkipAbsentClasses) {
+  pm::ConfusionMatrix cm(3);
+  cm.add_all({0, 0, 1, 1}, {0, 0, 1, 0});  // class 2 never appears as truth
+  // Macro recall over classes {0, 1}: (1.0 + 0.5) / 2.
+  EXPECT_DOUBLE_EQ(cm.macro_recall(), 0.75);
+}
+
+TEST(ConfusionMatrix, ToStringContainsClassNames) {
+  pm::ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  const auto s = cm.to_string({"water", "ice"});
+  EXPECT_NE(s.find("water"), std::string::npos);
+  EXPECT_NE(s.find("ice"), std::string::npos);
+  EXPECT_NE(s.find("100.00%"), std::string::npos);
+}
+
+TEST(PixelAccuracy, CountsIgnoredPixels) {
+  EXPECT_DOUBLE_EQ(pm::pixel_accuracy({0, 1, -1, 1}, {0, 0, 1, 1}), 2.0 / 3.0);
+  EXPECT_THROW(pm::pixel_accuracy({0}, {0, 1}), std::invalid_argument);
+}
+
+namespace {
+pi::ImageU8 random_gray(int w, int h, std::uint64_t seed) {
+  polarice::util::Rng rng(seed);
+  pi::ImageU8 im(w, h, 1);
+  for (auto& v : im) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return im;
+}
+}  // namespace
+
+TEST(Ssim, IdenticalImagesScoreOne) {
+  const auto im = random_gray(64, 64, 1);
+  EXPECT_NEAR(pm::ssim(im, im), 1.0, 1e-9);
+}
+
+TEST(Ssim, Symmetric) {
+  const auto a = random_gray(48, 48, 2);
+  const auto b = random_gray(48, 48, 3);
+  EXPECT_NEAR(pm::ssim(a, b), pm::ssim(b, a), 1e-12);
+}
+
+TEST(Ssim, UnrelatedImagesScoreLow) {
+  const auto a = random_gray(64, 64, 4);
+  const auto b = random_gray(64, 64, 5);
+  EXPECT_LT(pm::ssim(a, b), 0.1);
+}
+
+TEST(Ssim, DegradesMonotonicallyWithNoise) {
+  pi::ImageU8 base(64, 64, 1);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      base.at(x, y) = static_cast<std::uint8_t>((x * 4 + y * 2) % 256);
+    }
+  }
+  polarice::util::Rng rng(6);
+  auto corrupt = [&](int magnitude) {
+    auto im = base.clone();
+    for (auto& v : im) {
+      const int delta = static_cast<int>(rng.uniform_int(-magnitude, magnitude));
+      v = static_cast<std::uint8_t>(std::clamp(int(v) + delta, 0, 255));
+    }
+    return pm::ssim(base, im);
+  };
+  const double s_small = corrupt(8);
+  const double s_large = corrupt(60);
+  EXPECT_GT(s_small, s_large);
+  EXPECT_GT(s_small, 0.8);
+}
+
+TEST(Ssim, ConstantShiftScoresBelowOne) {
+  const auto a = random_gray(32, 32, 7);
+  pi::ImageU8 b = a.clone();
+  for (auto& v : b) v = static_cast<std::uint8_t>(std::min(255, v + 40));
+  const double s = pm::ssim(a, b);
+  EXPECT_LT(s, 0.99);
+  EXPECT_GT(s, 0.3);  // structure intact, luminance shifted
+}
+
+TEST(Ssim, GuardsBadInput) {
+  pi::ImageU8 a(8, 8, 1), b(9, 8, 1), rgb(8, 8, 3);
+  EXPECT_THROW(pm::ssim(a, b), std::invalid_argument);
+  EXPECT_THROW(pm::ssim(rgb, rgb), std::invalid_argument);
+  pm::SsimOptions opts;
+  opts.window = 4;
+  EXPECT_THROW(pm::ssim(a, a, opts), std::invalid_argument);
+}
+
+TEST(SsimRgb, AveragesChannelsAndScoresIdentityOne) {
+  polarice::util::Rng rng(8);
+  pi::ImageU8 im(32, 32, 3);
+  for (auto& v : im) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  EXPECT_NEAR(pm::ssim_rgb(im, im), 1.0, 1e-9);
+  pi::ImageU8 gray(32, 32, 1);
+  EXPECT_THROW(pm::ssim_rgb(gray, gray), std::invalid_argument);
+}

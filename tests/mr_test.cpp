@@ -1,0 +1,190 @@
+// Map-reduce substrate tests: Spark semantics (lazy map, eager collect),
+// result correctness independent of cluster shape, and the calibrated
+// Dataproc simulation's Table II invariants.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "mr/rdd.h"
+#include "mr/spark_context.h"
+
+namespace pm = polarice::mr;
+
+TEST(SparkContext, ParallelizeSplitsAllItems) {
+  pm::ClusterConfig cfg;
+  cfg.executors = 2;
+  cfg.cores_per_executor = 2;
+  pm::SparkContext ctx(cfg);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  auto rdd = ctx.parallelize(items, 7);
+  EXPECT_EQ(rdd.partitions(), 7);
+  EXPECT_EQ(rdd.count(), 100u);
+}
+
+TEST(SparkContext, CollectPreservesOrder) {
+  pm::SparkContext ctx(pm::ClusterConfig{});
+  std::vector<int> items = {5, 3, 9, 1, 7};
+  const auto out = ctx.parallelize(items, 2).collect();
+  // Round-robin partitioning: partition 0 = {5,9,7}, partition 1 = {3,1};
+  // collect concatenates partitions in order.
+  EXPECT_EQ(out, (std::vector<int>{5, 9, 7, 3, 1}));
+}
+
+TEST(Rdd, MapTransformsEveryElement) {
+  pm::SparkContext ctx(pm::ClusterConfig{});
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  const auto out = ctx.parallelize(items)
+                       .map([](const int& v) { return v * v; })
+                       .collect();
+  long sum = 0;
+  for (const auto v : out) sum += v;
+  EXPECT_EQ(sum, 49L * 50 * 99 / 6);  // sum of squares 0..49
+}
+
+TEST(Rdd, MapChainsAndChangesType) {
+  pm::SparkContext ctx(pm::ClusterConfig{});
+  const auto out = ctx.parallelize(std::vector<int>{1, 2, 3})
+                       .map([](const int& v) { return v + 1; })
+                       .map([](const int& v) { return std::to_string(v * 10); })
+                       .collect();
+  ASSERT_EQ(out.size(), 3u);
+  // Partitioning is round-robin over 2 partitions by default config (lanes=1
+  // -> 2 partitions): p0={1,3}, p1={2} -> mapped {20,40},{30}.
+  std::vector<std::string> sorted = out;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::string>{"20", "30", "40"}));
+}
+
+TEST(Rdd, MapIsLazyCollectDoesTheWork) {
+  pm::SparkContext ctx(pm::ClusterConfig{});
+  std::vector<int> items(1000);
+  std::iota(items.begin(), items.end(), 0);
+  auto rdd = ctx.parallelize(items);
+  auto mapped = rdd.map([](const int& v) {
+    // Non-trivial per-element work.
+    double acc = v;
+    for (int i = 0; i < 2000; ++i) acc = acc * 1.0000001 + 0.1;
+    return static_cast<int>(acc) % 7;
+  });
+  const auto before = ctx.last_job();
+  EXPECT_LT(before.measured_map_s, 0.01);      // lazy: ~nothing happened
+  EXPECT_EQ(before.measured_reduce_s, 0.0);
+  (void)mapped.collect();
+  const auto after = ctx.last_job();
+  EXPECT_GT(after.measured_reduce_s, before.measured_map_s);  // work in collect
+}
+
+// Property: results identical for every cluster shape.
+class ClusterShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ClusterShapeSweep, CollectMatchesSequentialReference) {
+  const auto [executors, cores] = GetParam();
+  pm::ClusterConfig cfg;
+  cfg.executors = executors;
+  cfg.cores_per_executor = cores;
+  pm::SparkContext ctx(cfg);
+  std::vector<int> items(257);
+  std::iota(items.begin(), items.end(), -100);
+  const auto udf = [](const int& v) { return 3 * v - 1; };
+  auto out = ctx.parallelize(items).map(udf).collect();
+  std::sort(out.begin(), out.end());
+  std::vector<int> want;
+  want.reserve(items.size());
+  for (const auto v : items) want.push_back(udf(v));
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(out, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ClusterShapeSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2, 4)));
+
+TEST(ClusterConfig, Validation) {
+  pm::ClusterConfig cfg;
+  cfg.executors = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = pm::ClusterConfig{};
+  cfg.load_cpu_s = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = pm::ClusterConfig{};
+  EXPECT_EQ(cfg.lanes(), 1);
+  cfg.executors = 4;
+  cfg.cores_per_executor = 4;
+  EXPECT_EQ(cfg.lanes(), 16);
+}
+
+TEST(Simulation, ReproducesTable2ReferenceRow) {
+  // 1 executor x 1 core on the reference 4224-tile workload must land near
+  // the paper's 108s load / 0.4s map / 390s reduce.
+  pm::ClusterConfig cfg;
+  const auto t = pm::simulate_phases(cfg, 4224, 2);
+  EXPECT_NEAR(t.load_s, 108.0, 5.0);
+  EXPECT_NEAR(t.map_s, 0.4, 0.1);
+  EXPECT_NEAR(t.reduce_s, 390.0, 10.0);
+}
+
+TEST(Simulation, ReproducesTable2FullGridShape) {
+  // Paper: 4x4 reaches ~9x load and ~16.25x reduce speedup over 1x1.
+  pm::ClusterConfig base;
+  const auto t11 = pm::simulate_phases(base, 4224, 2);
+  pm::ClusterConfig grid;
+  grid.executors = 4;
+  grid.cores_per_executor = 4;
+  const auto t44 = pm::simulate_phases(grid, 4224, 32);
+  EXPECT_NEAR(t11.load_s / t44.load_s, 9.0, 1.0);
+  EXPECT_NEAR(t11.reduce_s / t44.reduce_s, 16.25, 2.0);
+}
+
+TEST(Simulation, MonotoneInResources) {
+  // More lanes never slow any phase down.
+  pm::ClusterConfig prev;
+  double last_load = 1e18, last_reduce = 1e18;
+  for (const int lanes : {1, 2, 4, 8, 16}) {
+    pm::ClusterConfig cfg;
+    cfg.executors = lanes >= 4 ? 4 : lanes;
+    cfg.cores_per_executor = lanes / cfg.executors;
+    const auto t = pm::simulate_phases(cfg, 4224, 2 * lanes);
+    EXPECT_LE(t.load_s, last_load + 1e-9);
+    EXPECT_LE(t.reduce_s, last_reduce + 1e-9);
+    last_load = t.load_s;
+    last_reduce = t.reduce_s;
+  }
+}
+
+TEST(Simulation, ScalesLinearlyWithWorkload) {
+  pm::ClusterConfig cfg;
+  cfg.executors = 2;
+  cfg.cores_per_executor = 2;
+  const auto t1 = pm::simulate_phases(cfg, 1000, 8);
+  const auto t2 = pm::simulate_phases(cfg, 2000, 8);
+  // Load carries a fixed setup; subtract it for the proportionality check.
+  EXPECT_NEAR((t2.load_s - cfg.job_setup_s) / (t1.load_s - cfg.job_setup_s),
+              2.0, 0.05);
+  EXPECT_NEAR(t2.reduce_s / t1.reduce_s, 2.0, 0.05);
+}
+
+TEST(Simulation, RejectsBadWorkload) {
+  pm::ClusterConfig cfg;
+  EXPECT_THROW(pm::simulate_phases(cfg, -1, 2), std::invalid_argument);
+  EXPECT_THROW(pm::simulate_phases(cfg, 10, 0), std::invalid_argument);
+}
+
+TEST(SparkContext, JobTimesPopulatedAfterRun) {
+  pm::ClusterConfig cfg;
+  cfg.executors = 2;
+  cfg.cores_per_executor = 2;
+  pm::SparkContext ctx(cfg);
+  std::vector<int> items(64, 1);
+  (void)ctx.parallelize(items).map([](const int& v) { return v + 1; }).collect();
+  const auto job = ctx.last_job();
+  EXPECT_EQ(job.items, 64);
+  EXPECT_GT(job.partitions, 0);
+  EXPECT_GT(job.simulated.load_s, 0.0);
+  EXPECT_GT(job.simulated.reduce_s, 0.0);
+  EXPECT_GE(job.measured_reduce_s, 0.0);
+}

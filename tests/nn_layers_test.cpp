@@ -1,0 +1,252 @@
+// Layer-level tests: gradient checks through Conv2d/ReLU/Dropout/MaxPool/
+// UpConv, optimizer math, parameter plumbing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace pn = polarice::nn;
+namespace pt = polarice::tensor;
+
+namespace {
+pt::Tensor random_tensor(std::vector<int> shape, std::uint64_t seed) {
+  polarice::util::Rng rng(seed);
+  pt::Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+float probe_loss(const pt::Tensor& y, const pt::Tensor& probe) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) acc += double(y[i]) * probe[i];
+  return static_cast<float>(acc);
+}
+
+// Finite-difference check of dL/dx through an arbitrary layer, where
+// L = <layer(x), probe>.
+void check_input_gradient(pn::Layer& layer, const pt::Tensor& x,
+                          float tolerance) {
+  const auto run = [&](const pt::Tensor& input) {
+    pt::Tensor y;
+    layer.forward(input, y, /*training=*/true);
+    return y;
+  };
+  pt::Tensor y = run(x);
+  const auto probe = random_tensor(y.shape(), 999);
+  // One more training forward so the cached state matches `x`.
+  y = run(x);
+  pt::Tensor dx;
+  layer.backward(probe, dx);
+
+  const float eps = 1e-2f;
+  for (const std::int64_t idx :
+       {std::int64_t{0}, x.numel() / 3, x.numel() - 1}) {
+    auto xp = x;
+    xp[idx] += eps;
+    auto xm = x;
+    xm[idx] -= eps;
+    pt::Tensor yp, ym;
+    layer.forward(xp, yp, /*training=*/false);
+    layer.forward(xm, ym, /*training=*/false);
+    const float numeric =
+        (probe_loss(yp, probe) - probe_loss(ym, probe)) / (2 * eps);
+    EXPECT_NEAR(dx[idx], numeric, tolerance) << "input index " << idx;
+  }
+}
+}  // namespace
+
+TEST(Conv2dLayer, HeInitializationScale) {
+  polarice::util::Rng rng(1);
+  pn::Conv2d conv(pt::Conv2dSpec::same(8, 16, 3), rng, "c");
+  // Empirical std should be near sqrt(2 / (8*9)) ~= 0.1667.
+  const auto& w = conv.weights();
+  double sum = 0, sum_sq = 0;
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    sum += w[i];
+    sum_sq += double(w[i]) * w[i];
+  }
+  const double mean = sum / w.numel();
+  const double std = std::sqrt(sum_sq / w.numel() - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(std, std::sqrt(2.0 / 72.0), 0.02);
+  // Bias starts at zero.
+  for (std::int64_t i = 0; i < conv.bias().numel(); ++i) {
+    EXPECT_EQ(conv.bias()[i], 0.0f);
+  }
+}
+
+TEST(Conv2dLayer, InputGradientMatchesFiniteDifference) {
+  polarice::util::Rng rng(2);
+  pn::Conv2d conv(pt::Conv2dSpec::same(2, 3, 3), rng, "c");
+  check_input_gradient(conv, random_tensor({1, 2, 6, 6}, 3), 5e-2f);
+}
+
+TEST(Conv2dLayer, BackwardBeforeForwardThrows) {
+  polarice::util::Rng rng(4);
+  pn::Conv2d conv(pt::Conv2dSpec::same(1, 1, 3), rng, "c");
+  pt::Tensor dy({1, 1, 4, 4}), dx;
+  EXPECT_THROW(conv.backward(dy, dx), std::logic_error);
+}
+
+TEST(Conv2dLayer, CollectParamsExposesWeightAndBias) {
+  polarice::util::Rng rng(5);
+  pn::Conv2d conv(pt::Conv2dSpec::same(2, 4, 3), rng, "myconv");
+  std::vector<pn::Param> params;
+  conv.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "myconv.weight");
+  EXPECT_EQ(params[1].name, "myconv.bias");
+  EXPECT_EQ(params[0].value->numel(), 4 * 2 * 3 * 3);
+  EXPECT_EQ(params[1].value->numel(), 4);
+}
+
+TEST(ReLULayer, ForwardClampsNegatives) {
+  pn::ReLU relu("r");
+  auto x = pt::Tensor::from_values({1, 1, 1, 4}, {-2, -0.5f, 0, 3});
+  pt::Tensor y;
+  relu.forward(x, y, true);
+  EXPECT_FLOAT_EQ(y[0], 0);
+  EXPECT_FLOAT_EQ(y[1], 0);
+  EXPECT_FLOAT_EQ(y[2], 0);
+  EXPECT_FLOAT_EQ(y[3], 3);
+}
+
+TEST(ReLULayer, BackwardMasksGradient) {
+  pn::ReLU relu("r");
+  auto x = pt::Tensor::from_values({1, 1, 1, 3}, {-1, 2, -3});
+  pt::Tensor y;
+  relu.forward(x, y, true);
+  auto dy = pt::Tensor::from_values({1, 1, 1, 3}, {10, 20, 30});
+  pt::Tensor dx;
+  relu.backward(dy, dx);
+  EXPECT_FLOAT_EQ(dx[0], 0);
+  EXPECT_FLOAT_EQ(dx[1], 20);
+  EXPECT_FLOAT_EQ(dx[2], 0);
+}
+
+TEST(DropoutLayer, EvalIsIdentity) {
+  polarice::util::Rng rng(6);
+  pn::Dropout drop(0.5f, rng, "d");
+  const auto x = random_tensor({1, 2, 4, 4}, 7);
+  pt::Tensor y;
+  drop.forward(x, y, /*training=*/false);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(DropoutLayer, TrainingPreservesExpectation) {
+  polarice::util::Rng rng(8);
+  pn::Dropout drop(0.3f, rng, "d");
+  pt::Tensor x = pt::Tensor::full({1, 1, 100, 100}, 1.0f);
+  pt::Tensor y;
+  drop.forward(x, y, /*training=*/true);
+  // Inverted dropout: E[y] == x. With 10k elements the mean is tight.
+  EXPECT_NEAR(y.mean(), 1.0f, 0.05f);
+  // Surviving values are scaled by 1/(1-rate).
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(y[i] == 0.0f || std::fabs(y[i] - 1.0f / 0.7f) < 1e-5f);
+  }
+}
+
+TEST(DropoutLayer, BackwardUsesSameMask) {
+  polarice::util::Rng rng(9);
+  pn::Dropout drop(0.5f, rng, "d");
+  const auto x = pt::Tensor::full({1, 1, 8, 8}, 1.0f);
+  pt::Tensor y;
+  drop.forward(x, y, true);
+  const auto dy = pt::Tensor::full({1, 1, 8, 8}, 1.0f);
+  pt::Tensor dx;
+  drop.backward(dy, dx);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(dx[i], y[i]);  // same mask, same scaling
+  }
+}
+
+TEST(DropoutLayer, RejectsBadRate) {
+  polarice::util::Rng rng(10);
+  EXPECT_THROW(pn::Dropout(-0.1f, rng, "d"), std::invalid_argument);
+  EXPECT_THROW(pn::Dropout(1.0f, rng, "d"), std::invalid_argument);
+}
+
+TEST(MaxPoolLayer, GradCheck) {
+  pn::MaxPool2x2 pool("p");
+  check_input_gradient(pool, random_tensor({1, 2, 6, 6}, 11), 5e-2f);
+}
+
+TEST(UpConvLayer, OutputShapeDoublesSpatialHalvesChannels) {
+  polarice::util::Rng rng(12);
+  pn::UpConv2x up(8, 4, rng, "u");
+  const auto x = random_tensor({2, 8, 5, 5}, 13);
+  pt::Tensor y;
+  up.forward(x, y, true);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 4);
+  EXPECT_EQ(y.dim(2), 10);
+  EXPECT_EQ(y.dim(3), 10);
+}
+
+TEST(UpConvLayer, InputGradientMatchesFiniteDifference) {
+  polarice::util::Rng rng(14);
+  pn::UpConv2x up(2, 1, rng, "u");
+  check_input_gradient(up, random_tensor({1, 2, 3, 3}, 15), 5e-2f);
+}
+
+TEST(Optimizer, ZeroGradClearsGradients) {
+  pt::Tensor v({4}), g = pt::Tensor::full({4}, 3.0f);
+  pn::Sgd opt({{"p", &v, &g}}, 0.1f);
+  opt.zero_grad();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(g[i], 0.0f);
+}
+
+TEST(Optimizer, RejectsNullOrMismatchedParams) {
+  pt::Tensor v({4}), g({3});
+  EXPECT_THROW(pn::Sgd({{"p", &v, nullptr}}, 0.1f), std::invalid_argument);
+  EXPECT_THROW(pn::Sgd({{"p", &v, &g}}, 0.1f), std::invalid_argument);
+}
+
+TEST(Sgd, PlainStepIsAxpy) {
+  auto v = pt::Tensor::from_values({2}, {1.0f, 2.0f});
+  auto g = pt::Tensor::from_values({2}, {0.5f, -1.0f});
+  pn::Sgd opt({{"p", &v, &g}}, 0.1f);
+  opt.step();
+  EXPECT_FLOAT_EQ(v[0], 1.0f - 0.05f);
+  EXPECT_FLOAT_EQ(v[1], 2.0f + 0.1f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  auto v = pt::Tensor::from_values({1}, {0.0f});
+  auto g = pt::Tensor::from_values({1}, {1.0f});
+  pn::Sgd opt({{"p", &v, &g}}, 1.0f, 0.9f);
+  opt.step();  // vel = 1, v = -1
+  EXPECT_FLOAT_EQ(v[0], -1.0f);
+  opt.step();  // vel = 1.9, v = -2.9
+  EXPECT_FLOAT_EQ(v[0], -2.9f);
+}
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With bias correction, the very first Adam step is ~lr * sign(grad).
+  auto v = pt::Tensor::from_values({2}, {0.0f, 0.0f});
+  auto g = pt::Tensor::from_values({2}, {0.5f, -3.0f});
+  pn::Adam opt({{"p", &v, &g}}, 0.01f);
+  opt.step();
+  EXPECT_NEAR(v[0], -0.01f, 1e-4f);
+  EXPECT_NEAR(v[1], 0.01f, 1e-4f);
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2; gradient = 2(w - 3).
+  auto v = pt::Tensor::from_values({1}, {0.0f});
+  pt::Tensor g({1});
+  pn::Adam opt({{"p", &v, &g}}, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    g[0] = 2.0f * (v[0] - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(v[0], 3.0f, 1e-2f);
+}

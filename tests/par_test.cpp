@@ -1,0 +1,189 @@
+// Unit and property tests for the thread-pool substrate (polarice::par).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "par/parallel_for.h"
+#include "par/task_group.h"
+#include "par/thread_pool.h"
+
+namespace pp = polarice::par;
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(pp::ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  pp::ThreadPool pool(4);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitWithArguments) {
+  pp::ThreadPool pool(2);
+  auto f = pool.submit([](int a, int b) { return a + b; }, 40, 2);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFuture) {
+  pp::ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllExecute) {
+  pp::ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  pp::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    pp::ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) pool.submit([&counter] { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, HardwareAtLeastOne) {
+  EXPECT_GE(pp::ThreadPool::hardware(), 1u);
+}
+
+TEST(ParallelFor, NullPoolRunsSequentially) {
+  std::vector<int> hits(100, 0);
+  pp::parallel_for(nullptr, 0, 100, [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  pp::ThreadPool pool(2);
+  int calls = 0;
+  pp::parallel_for(&pool, 5, 5, [&](std::size_t) { ++calls; });
+  pp::parallel_for(&pool, 7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  pp::ThreadPool pool(4);
+  EXPECT_THROW(pp::parallel_for(&pool, 0, 100,
+                                [](std::size_t i) {
+                                  if (i == 50) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+}
+
+// Property: parallel_for touches every index exactly once, for a sweep of
+// worker counts and grain sizes.
+class ParallelForSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParallelForSweep, CoversEveryIndexExactlyOnce) {
+  const auto [workers, grain] = GetParam();
+  pp::ThreadPool pool(workers);
+  std::vector<std::atomic<int>> hits(1234);
+  pp::parallel_for(
+      &pool, 0, hits.size(), [&](std::size_t i) { ++hits[i]; },
+      static_cast<std::size_t>(grain));
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersAndGrains, ParallelForSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(0, 1, 7, 100, 5000)));
+
+TEST(ParallelMap, ResultsInOrder) {
+  pp::ThreadPool pool(4);
+  const auto out = pp::parallel_map<int>(
+      &pool, 10, 20, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], (i + 10) * (i + 10));
+}
+
+TEST(ParallelReduce, MatchesSequentialSum) {
+  pp::ThreadPool pool(8);
+  const auto sum = pp::parallel_reduce<long>(
+      &pool, 0, 100000, 0L, [](std::size_t i) { return long(i); },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(sum, 100000L * 99999L / 2);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  pp::ThreadPool pool(2);
+  const auto v = pp::parallel_reduce<int>(
+      &pool, 3, 3, 99, [](std::size_t) { return 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(v, 99);
+}
+
+TEST(TaskGroup, JoinsAllForkedTasks) {
+  pp::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  {
+    pp::TaskGroup group(pool);
+    for (int i = 0; i < 50; ++i) group.run([&counter] { ++counter; });
+    group.wait();
+    EXPECT_EQ(counter.load(), 50);
+  }
+}
+
+TEST(TaskGroup, WaitRethrowsFirstException) {
+  pp::ThreadPool pool(2);
+  pp::TaskGroup group(pool);
+  group.run([] { throw std::logic_error("first"); });
+  EXPECT_THROW(group.wait(), std::logic_error);
+}
+
+TEST(TaskGroup, DestructorJoinsWithoutThrowing) {
+  pp::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  {
+    pp::TaskGroup group(pool);
+    group.run([&counter] { ++counter; });
+    group.run([] { throw std::runtime_error("swallowed"); });
+  }  // must not terminate
+  EXPECT_EQ(counter.load(), 1);
+}
+
+// Scaling smoke test: with real work, more threads must not be slower than
+// one thread by more than bookkeeping noise. (Not a strict speedup assert to
+// stay robust on loaded CI machines.)
+TEST(ThreadPool, ParallelNotSlowerThanSequentialOnRealWork) {
+  const std::size_t n = 1 << 22;
+  std::vector<double> data(n, 1.000001);
+  auto work = [&](std::size_t i) {
+    double x = data[i];
+    for (int k = 0; k < 8; ++k) x = x * x - 0.5;
+    data[i] = x;
+  };
+  const auto run = [&](pp::ThreadPool* pool) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pp::parallel_for(pool, 0, n, work);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  const double seq = run(nullptr);
+  pp::ThreadPool pool(4);
+  const double par = run(&pool);
+  EXPECT_LT(par, seq * 1.5);
+}

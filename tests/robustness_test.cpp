@@ -1,0 +1,195 @@
+// Failure-injection and edge-case robustness across modules: corrupted
+// weight files, degenerate datasets/partitions, extreme imagery, and
+// overlapping custom threshold ranges.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/autolabel.h"
+#include "core/cloud_filter.h"
+#include "mr/rdd.h"
+#include "mr/spark_context.h"
+#include "nn/data.h"
+#include "nn/unet.h"
+#include "img/color.h"
+#include "s2/scene.h"
+#include "s2/tiles.h"
+
+namespace pc = polarice::core;
+namespace pi = polarice::img;
+namespace pn = polarice::nn;
+namespace pm = polarice::mr;
+namespace ps = polarice::s2;
+namespace fs = std::filesystem;
+
+namespace {
+pn::UNetConfig tiny_config() {
+  pn::UNetConfig cfg;
+  cfg.depth = 1;
+  cfg.base_channels = 2;
+  cfg.use_dropout = false;
+  return cfg;
+}
+}  // namespace
+
+TEST(Robustness, UNetLoadRejectsTruncatedFile) {
+  pn::UNet model(tiny_config());
+  const auto path =
+      (fs::temp_directory_path() / "polarice_truncated_weights.bin").string();
+  model.save(path);
+  // Truncate to half size.
+  const auto full_size = fs::file_size(path);
+  fs::resize_file(path, full_size / 2);
+  pn::UNet victim(tiny_config());
+  EXPECT_THROW(victim.load(path), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(Robustness, UNetLoadRejectsGarbageFile) {
+  const auto path =
+      (fs::temp_directory_path() / "polarice_garbage_weights.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a weights file at all, not even close";
+  }
+  pn::UNet model(tiny_config());
+  EXPECT_THROW(model.load(path), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(Robustness, UNetLoadRejectsMissingFile) {
+  pn::UNet model(tiny_config());
+  EXPECT_THROW(model.load("/nonexistent/dir/weights.bin"), std::runtime_error);
+}
+
+TEST(Robustness, DataLoaderBatchLargerThanDataset) {
+  pn::SegDataset data;
+  for (int i = 0; i < 3; ++i) {
+    pn::SegSample s{polarice::tensor::Tensor({3, 4, 4}),
+                    std::vector<int>(16, 0)};
+    data.add(std::move(s));
+  }
+  pn::DataLoader loader(data, /*batch_size=*/10, 0, false);
+  loader.start_epoch();
+  pn::Batch batch;
+  ASSERT_TRUE(loader.next(batch));
+  EXPECT_EQ(batch.x.dim(0), 3);  // one partial batch with everything
+  EXPECT_FALSE(loader.next(batch));
+  // With drop_last, the same situation yields zero batches.
+  pn::DataLoader dropper(data, 10, 0, false, /*drop_last=*/true);
+  dropper.start_epoch();
+  EXPECT_FALSE(dropper.next(batch));
+  EXPECT_EQ(dropper.batches_per_epoch(), 0u);
+}
+
+TEST(Robustness, RddMorePartitionsThanItems) {
+  pm::ClusterConfig cfg;
+  cfg.executors = 4;
+  cfg.cores_per_executor = 4;
+  pm::SparkContext ctx(cfg);
+  // 3 items, default partitioning would ask for 32.
+  auto rdd = ctx.parallelize(std::vector<int>{1, 2, 3});
+  EXPECT_LE(rdd.partitions(), 3);
+  const auto out = rdd.map([](const int& v) { return v * 2; }).collect();
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Robustness, RddSingleItem) {
+  pm::SparkContext ctx(pm::ClusterConfig{});
+  const auto out = ctx.parallelize(std::vector<int>{42}).collect();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42);
+}
+
+TEST(Robustness, CloudFilterOnExtremeImages) {
+  const pc::CloudShadowFilter filter;
+  pi::ImageU8 black(64, 64, 3, 0);
+  pi::ImageU8 white(64, 64, 3, 255);
+  // Must not crash or produce out-of-range pixels.
+  for (const auto* image : {&black, &white}) {
+    const auto out = filter.apply(*image);
+    EXPECT_TRUE(out.same_shape(*image));
+  }
+}
+
+TEST(Robustness, CloudFilterOutputAlwaysValidRgb) {
+  ps::SceneConfig sc;
+  sc.width = sc.height = 96;
+  sc.seed = 31;
+  sc.cloudy = true;
+  sc.cloud_max_opacity = 0.9;   // far beyond the "thin" regime
+  sc.shadow_strength = 0.9;
+  const auto scene = ps::SceneGenerator(sc).generate();
+  const auto result =
+      pc::CloudShadowFilter().apply_with_diagnostics(scene.rgb);
+  EXPECT_TRUE(result.filtered.same_shape(scene.rgb));
+  for (std::size_t i = 0; i < result.alpha.size(); ++i) {
+    EXPECT_GE(result.alpha.data()[i], 0.0f);
+    EXPECT_LE(result.alpha.data()[i], 1.0f);
+    EXPECT_GE(result.beta.data()[i], 0.0f);
+    EXPECT_LE(result.beta.data()[i], 1.0f);
+  }
+}
+
+TEST(Robustness, AutoLabelerOverlappingRangesPrioritizeThickest) {
+  // Custom (non-paper) ranges that overlap: the labeler must resolve by
+  // class priority thick > thin > water, documented in autolabel.cpp.
+  pc::AutoLabelConfig cfg;
+  cfg.apply_filter = false;
+  cfg.ranges = {{
+      {{0, 0, 0}, {180, 255, 255}},   // water claims everything
+      {{0, 0, 100}, {180, 255, 255}}, // thin claims V >= 100
+      {{0, 0, 200}, {180, 255, 255}}, // thick claims V >= 200
+  }};
+  pi::ImageU8 rgb(3, 1, 3);
+  for (int c = 0; c < 3; ++c) {
+    rgb.at(0, 0, c) = 50;
+    rgb.at(1, 0, c) = 150;
+    rgb.at(2, 0, c) = 250;
+  }
+  const auto result = pc::AutoLabeler(cfg).label(rgb);
+  EXPECT_EQ(result.labels.at(0, 0), 0);
+  EXPECT_EQ(result.labels.at(1, 0), 1);
+  EXPECT_EQ(result.labels.at(2, 0), 2);
+}
+
+TEST(Robustness, SplitSceneTileLargerThanScene) {
+  ps::SceneConfig sc;
+  sc.width = sc.height = 64;
+  sc.seed = 1;
+  sc.cloudy = false;
+  const auto scene = ps::SceneGenerator(sc).generate();
+  const auto tiles = ps::split_scene(scene, 128);
+  EXPECT_TRUE(tiles.empty());  // no full tile fits
+}
+
+TEST(Robustness, SceneGeneratorOnePixelBands) {
+  // Degenerate-but-legal configuration: zero-width class brightness bands.
+  ps::SceneConfig sc;
+  sc.width = sc.height = 32;
+  sc.seed = 3;
+  sc.cloudy = false;
+  sc.water_v_lo = sc.water_v_hi = 20;
+  sc.thin_v_lo = sc.thin_v_hi = 120;
+  sc.thick_v_lo = sc.thick_v_hi = 230;
+  sc.pixel_noise = 0.0;
+  const auto scene = ps::SceneGenerator(sc).generate();
+  // Every water pixel renders at exactly V=20, etc.
+  const auto hsv = polarice::img::rgb_to_hsv(scene.rgb);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      const int cls = scene.labels.at(x, y);
+      const int v = hsv.at(x, y, 2);
+      EXPECT_EQ(v, cls == 0 ? 20 : cls == 1 ? 120 : 230);
+    }
+  }
+}
+
+TEST(Robustness, SegDatasetRejectsWrongRankImage) {
+  pn::SegDataset data;
+  pn::SegSample bad{polarice::tensor::Tensor({3, 4, 4, 1}),
+                    std::vector<int>(16, 0)};
+  EXPECT_THROW(data.add(std::move(bad)), std::invalid_argument);
+}

@@ -1,0 +1,372 @@
+// Convolution-primitive tests: conv2d vs a direct reference, finite
+// difference gradient checks, pooling/upsampling adjoint properties, concat
+// round-trips, softmax/cross-entropy math.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "par/thread_pool.h"
+#include "tensor/conv.h"
+#include "util/rng.h"
+
+namespace pt = polarice::tensor;
+namespace pp = polarice::par;
+
+namespace {
+pt::Tensor random_tensor(std::vector<int> shape, std::uint64_t seed,
+                         double scale = 1.0) {
+  polarice::util::Rng rng(seed);
+  pt::Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-scale, scale));
+  }
+  return t;
+}
+
+// Direct convolution reference (no im2col).
+pt::Tensor ref_conv2d(const pt::Tensor& x, const pt::Tensor& w,
+                      const pt::Tensor& b, const pt::Conv2dSpec& s) {
+  const int batch = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
+  const int oh = s.out_h(in_h), ow = s.out_w(in_w);
+  pt::Tensor y({batch, s.out_ch, oh, ow});
+  for (int n = 0; n < batch; ++n) {
+    for (int oc = 0; oc < s.out_ch; ++oc) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          double acc = b[oc];
+          for (int ic = 0; ic < s.in_ch; ++ic) {
+            for (int ki = 0; ki < s.kh; ++ki) {
+              for (int kj = 0; kj < s.kw; ++kj) {
+                const int iy = oy * s.stride - s.pad_top + ki;
+                const int ix = ox * s.stride - s.pad_left + kj;
+                if (iy < 0 || iy >= in_h || ix < 0 || ix >= in_w) continue;
+                const float wv =
+                    w[((static_cast<std::int64_t>(oc) * s.in_ch + ic) * s.kh +
+                       ki) * s.kw + kj];
+                acc += double(wv) * x.at4(n, ic, iy, ix);
+              }
+            }
+          }
+          y.at4(n, oc, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+// Loss used by the finite-difference checks: weighted sum of outputs with
+// fixed pseudo-random weights (exposes every output element).
+float probe_loss(const pt::Tensor& y, const pt::Tensor& probe) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) acc += double(y[i]) * probe[i];
+  return static_cast<float>(acc);
+}
+}  // namespace
+
+struct ConvCase {
+  int batch, in_ch, out_ch, h, w, k;
+  bool same;
+  int stride;
+};
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvSweep, ForwardMatchesDirectReference) {
+  const auto c = GetParam();
+  const auto spec = c.same ? pt::Conv2dSpec::same(c.in_ch, c.out_ch, c.k)
+                           : pt::Conv2dSpec::valid(c.in_ch, c.out_ch, c.k);
+  auto spec2 = spec;
+  spec2.stride = c.stride;
+  const auto x = random_tensor({c.batch, c.in_ch, c.h, c.w}, 1);
+  const auto w =
+      random_tensor({c.out_ch, c.in_ch, c.k, c.k}, 2, 0.5);
+  const auto b = random_tensor({c.out_ch}, 3, 0.1);
+  pt::Tensor y;
+  std::vector<float> scratch;
+  pp::ThreadPool pool(4);
+  pt::conv2d_forward(x, w, b, y, spec2, &pool, scratch);
+  const auto want = ref_conv2d(x, w, b, spec2);
+  ASSERT_TRUE(y.same_shape(want)) << y.shape_str() << " vs " << want.shape_str();
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    ASSERT_NEAR(y[i], want[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvSweep,
+    ::testing::Values(ConvCase{1, 1, 1, 5, 5, 3, true, 1},
+                      ConvCase{2, 3, 4, 8, 8, 3, true, 1},
+                      ConvCase{1, 2, 3, 6, 10, 5, true, 1},
+                      ConvCase{2, 2, 2, 8, 8, 2, true, 1},   // even kernel
+                      ConvCase{1, 3, 2, 7, 7, 3, false, 1},  // valid
+                      ConvCase{1, 2, 2, 8, 8, 3, false, 2},  // stride 2
+                      ConvCase{3, 1, 8, 4, 4, 1, true, 1})); // 1x1
+
+TEST(Conv2dBackward, FiniteDifferenceGradients) {
+  const auto spec = pt::Conv2dSpec::same(2, 3, 3);
+  const auto x = random_tensor({2, 2, 5, 5}, 10);
+  const auto w = random_tensor({3, 2, 3, 3}, 11, 0.5);
+  const auto b = random_tensor({3}, 12, 0.1);
+  const auto probe = random_tensor({2, 3, 5, 5}, 13);
+
+  std::vector<float> scratch, dscratch;
+  pt::Tensor y;
+  pt::conv2d_forward(x, w, b, y, spec, nullptr, scratch);
+
+  // Analytic gradients with dy = probe.
+  pt::Tensor dx, dw(w.shape()), db(b.shape());
+  pt::conv2d_backward(x, w, probe, &dx, dw, db, spec, nullptr, scratch,
+                      dscratch);
+
+  const float eps = 1e-2f;
+  // Check dw on a sample of coordinates.
+  for (const std::int64_t idx : {0L, 7L, 23L, 53L}) {
+    auto wp = w;
+    wp[idx] += eps;
+    auto wm = w;
+    wm[idx] -= eps;
+    pt::Tensor yp, ym;
+    pt::conv2d_forward(x, wp, b, yp, spec, nullptr, scratch);
+    pt::conv2d_forward(x, wm, b, ym, spec, nullptr, scratch);
+    const float numeric =
+        (probe_loss(yp, probe) - probe_loss(ym, probe)) / (2 * eps);
+    EXPECT_NEAR(dw[idx], numeric, 5e-2f) << "dw index " << idx;
+  }
+  // Check db.
+  for (int oc = 0; oc < 3; ++oc) {
+    auto bp = b;
+    bp[oc] += eps;
+    auto bm = b;
+    bm[oc] -= eps;
+    pt::Tensor yp, ym;
+    pt::conv2d_forward(x, w, bp, yp, spec, nullptr, scratch);
+    pt::conv2d_forward(x, w, bm, ym, spec, nullptr, scratch);
+    const float numeric =
+        (probe_loss(yp, probe) - probe_loss(ym, probe)) / (2 * eps);
+    EXPECT_NEAR(db[oc], numeric, 5e-2f) << "db index " << oc;
+  }
+  // Check dx on a sample of coordinates.
+  for (const std::int64_t idx : {0L, 13L, 49L, 99L}) {
+    auto xp = x;
+    xp[idx] += eps;
+    auto xm = x;
+    xm[idx] -= eps;
+    pt::Tensor yp, ym;
+    pt::conv2d_forward(xp, w, b, yp, spec, nullptr, scratch);
+    pt::conv2d_forward(xm, w, b, ym, spec, nullptr, scratch);
+    const float numeric =
+        (probe_loss(yp, probe) - probe_loss(ym, probe)) / (2 * eps);
+    EXPECT_NEAR(dx[idx], numeric, 5e-2f) << "dx index " << idx;
+  }
+}
+
+TEST(Conv2dBackward, NullDxSkipsInputGradient) {
+  const auto spec = pt::Conv2dSpec::same(1, 2, 3);
+  const auto x = random_tensor({1, 1, 4, 4}, 20);
+  const auto w = random_tensor({2, 1, 3, 3}, 21);
+  const auto dy = random_tensor({1, 2, 4, 4}, 22);
+  pt::Tensor dw(w.shape()), db({2});
+  std::vector<float> s1, s2;
+  EXPECT_NO_THROW(
+      pt::conv2d_backward(x, w, dy, nullptr, dw, db, spec, nullptr, s1, s2));
+  EXPECT_GT(dw.max_abs(), 0.0f);
+}
+
+TEST(MaxPool, ForwardPicksMaximaAndRecordsArgmax) {
+  pt::Tensor x({1, 1, 4, 4});
+  // Quadrants with distinct maxima in distinct corners.
+  const float vals[16] = {9, 1, 2, 8,
+                          1, 1, 1, 1,
+                          1, 1, 3, 1,
+                          1, 5, 1, 7};
+  for (int i = 0; i < 16; ++i) x[i] = vals[i];
+  pt::Tensor y;
+  std::vector<std::uint8_t> argmax;
+  pt::maxpool2x2_forward(x, y, argmax, nullptr);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 9);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 8);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 0), 5);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 7);
+  EXPECT_EQ(argmax[0], 0);  // top-left
+  EXPECT_EQ(argmax[1], 1);  // top-right
+  EXPECT_EQ(argmax[2], 3);  // bottom-right... (5 at bottom-left)
+  EXPECT_EQ(argmax[2], 3);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  auto x = random_tensor({2, 3, 6, 6}, 30);
+  pt::Tensor y;
+  std::vector<std::uint8_t> argmax;
+  pt::maxpool2x2_forward(x, y, argmax, nullptr);
+  auto dy = random_tensor(y.shape(), 31);
+  pt::Tensor dx;
+  pt::maxpool2x2_backward(dy, argmax, dx, nullptr);
+  // Sum preserved (each dy value goes to exactly one dx slot).
+  EXPECT_NEAR(dx.sum(), dy.sum(), 1e-4f);
+  // Nonzero entries count <= number of pooled outputs.
+  std::int64_t nonzero = 0;
+  for (std::int64_t i = 0; i < dx.numel(); ++i) nonzero += dx[i] != 0.0f;
+  EXPECT_LE(nonzero, dy.numel());
+}
+
+TEST(MaxPool, RejectsOddSpatialSize) {
+  pt::Tensor x({1, 1, 5, 4});
+  pt::Tensor y;
+  std::vector<std::uint8_t> argmax;
+  EXPECT_THROW(pt::maxpool2x2_forward(x, y, argmax, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Upsample, ForwardReplicates2x2Blocks) {
+  pt::Tensor x({1, 1, 2, 2});
+  x[0] = 1; x[1] = 2; x[2] = 3; x[3] = 4;
+  pt::Tensor y;
+  pt::upsample2x_forward(x, y, nullptr);
+  EXPECT_EQ(y.dim(2), 4);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 1);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 1);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 3, 3), 4);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 2), 2);
+}
+
+TEST(Upsample, BackwardIsAdjointOfForward) {
+  // <up(x), y> == <x, up_backward(y)> — the defining adjoint identity.
+  const auto x = random_tensor({2, 2, 3, 3}, 40);
+  const auto y = random_tensor({2, 2, 6, 6}, 41);
+  pt::Tensor up;
+  pt::upsample2x_forward(x, up, nullptr);
+  pt::Tensor down;
+  pt::upsample2x_backward(y, down, nullptr);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < up.numel(); ++i) lhs += double(up[i]) * y[i];
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += double(x[i]) * down[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(ConcatSplit, RoundTrip) {
+  const auto a = random_tensor({2, 3, 4, 4}, 50);
+  const auto b = random_tensor({2, 5, 4, 4}, 51);
+  pt::Tensor y;
+  pt::concat_channels(a, b, y);
+  EXPECT_EQ(y.dim(1), 8);
+  EXPECT_FLOAT_EQ(y.at4(1, 2, 3, 3), a.at4(1, 2, 3, 3));
+  EXPECT_FLOAT_EQ(y.at4(1, 4, 0, 0), b.at4(1, 1, 0, 0));
+  pt::Tensor da, db;
+  pt::split_channels(y, 3, da, db);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(da[i], a[i]);
+  for (std::int64_t i = 0; i < b.numel(); ++i) EXPECT_FLOAT_EQ(db[i], b[i]);
+}
+
+TEST(ConcatSplit, RejectsMismatchedShapes) {
+  pt::Tensor a({1, 2, 4, 4}), b({1, 2, 5, 4}), y;
+  EXPECT_THROW(pt::concat_channels(a, b, y), std::invalid_argument);
+  pt::Tensor da, db;
+  pt::Tensor c({1, 4, 4, 4});
+  EXPECT_THROW(pt::split_channels(c, 0, da, db), std::invalid_argument);
+  EXPECT_THROW(pt::split_channels(c, 4, da, db), std::invalid_argument);
+}
+
+TEST(Softmax, SumsToOnePerPixel) {
+  const auto logits = random_tensor({2, 4, 3, 3}, 60, 3.0);
+  pt::Tensor probs;
+  pt::softmax_channel(logits, probs);
+  for (int n = 0; n < 2; ++n) {
+    for (int y = 0; y < 3; ++y) {
+      for (int x = 0; x < 3; ++x) {
+        double sum = 0.0;
+        for (int c = 0; c < 4; ++c) {
+          const float p = probs.at4(n, c, y, x);
+          EXPECT_GE(p, 0.0f);
+          sum += p;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+      }
+    }
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  auto logits = pt::Tensor({1, 3, 1, 1});
+  logits[0] = 1000.0f;
+  logits[1] = 1001.0f;
+  logits[2] = 999.0f;
+  pt::Tensor probs;
+  pt::softmax_channel(logits, probs);
+  EXPECT_FALSE(probs.has_non_finite());
+  EXPECT_GT(probs[1], probs[0]);
+  EXPECT_GT(probs[0], probs[2]);
+}
+
+TEST(CrossEntropy, KnownValueForUniformLogits) {
+  pt::Tensor logits({1, 3, 2, 2});  // all-zero logits -> uniform probs
+  std::vector<int> targets = {0, 1, 2, 0};
+  pt::Tensor probs, dlogits;
+  const float loss = pt::softmax_cross_entropy(logits, targets, probs, dlogits);
+  EXPECT_NEAR(loss, std::log(3.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  auto logits = random_tensor({1, 3, 2, 2}, 70, 2.0);
+  const std::vector<int> targets = {0, 2, 1, 1};
+  pt::Tensor probs, dlogits;
+  pt::softmax_cross_entropy(logits, targets, probs, dlogits);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    auto lp = logits;
+    lp[i] += eps;
+    auto lm = logits;
+    lm[i] -= eps;
+    pt::Tensor p2, d2;
+    const float up = pt::softmax_cross_entropy(lp, targets, p2, d2);
+    const float dn = pt::softmax_cross_entropy(lm, targets, p2, d2);
+    EXPECT_NEAR(dlogits[i], (up - dn) / (2 * eps), 1e-3f) << "logit " << i;
+  }
+}
+
+TEST(CrossEntropy, IgnoreIndexExcludesPixels) {
+  pt::Tensor logits({1, 2, 1, 2});
+  logits.at4(0, 0, 0, 0) = 5.0f;  // pixel 0 strongly class 0
+  logits.at4(0, 1, 0, 1) = 5.0f;  // pixel 1 strongly class 1
+  pt::Tensor probs, dlogits;
+  // Ignore pixel 1; only pixel 0 (correct) contributes -> small loss.
+  const float loss =
+      pt::softmax_cross_entropy(logits, {0, -1}, probs, dlogits);
+  EXPECT_LT(loss, 0.1f);
+  // Gradient at ignored pixel must be exactly zero.
+  EXPECT_FLOAT_EQ(dlogits.at4(0, 0, 0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(dlogits.at4(0, 1, 0, 1), 0.0f);
+}
+
+TEST(CrossEntropy, AllIgnoredReturnsZero) {
+  pt::Tensor logits({1, 2, 1, 2});
+  pt::Tensor probs, dlogits;
+  EXPECT_FLOAT_EQ(
+      pt::softmax_cross_entropy(logits, {-1, -1}, probs, dlogits), 0.0f);
+}
+
+TEST(CrossEntropy, RejectsBadTargets) {
+  pt::Tensor logits({1, 2, 1, 2});
+  pt::Tensor probs, dlogits;
+  EXPECT_THROW(pt::softmax_cross_entropy(logits, {0}, probs, dlogits),
+               std::invalid_argument);
+  EXPECT_THROW(pt::softmax_cross_entropy(logits, {0, 2}, probs, dlogits),
+               std::invalid_argument);
+}
+
+TEST(ArgmaxChannel, PicksMostLikelyClass) {
+  pt::Tensor probs({1, 3, 1, 2});
+  probs.at4(0, 0, 0, 0) = 0.2f;
+  probs.at4(0, 1, 0, 0) = 0.7f;
+  probs.at4(0, 2, 0, 0) = 0.1f;
+  probs.at4(0, 0, 0, 1) = 0.5f;
+  probs.at4(0, 1, 0, 1) = 0.2f;
+  probs.at4(0, 2, 0, 1) = 0.3f;
+  const auto pred = pt::argmax_channel(probs);
+  ASSERT_EQ(pred.size(), 2u);
+  EXPECT_EQ(pred[0], 1);
+  EXPECT_EQ(pred[1], 0);
+}

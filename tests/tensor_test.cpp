@@ -1,0 +1,169 @@
+// Tensor container + GEMM kernel tests (reference-checked) and shape/guard
+// behaviour.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "par/thread_pool.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace pt = polarice::tensor;
+namespace pp = polarice::par;
+
+namespace {
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  polarice::util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+// Naive reference: C = A(MxK) * B(KxN), both row-major, optional transposes
+// interpreted as in gemm.h.
+std::vector<float> ref_gemm(char mode, int m, int n, int k,
+                            const std::vector<float>& a,
+                            const std::vector<float>& b) {
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) {
+        float av = 0, bv = 0;
+        switch (mode) {
+          case 'n': av = a[i * k + p]; bv = b[p * n + j]; break;  // NN
+          case 't': av = a[i * k + p]; bv = b[j * k + p]; break;  // NT
+          case 'T': av = a[p * m + i]; bv = b[p * n + j]; break;  // TN
+        }
+        acc += double(av) * bv;
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void expect_close(const std::vector<float>& got, const std::vector<float>& want,
+                   float tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], tol) << "index " << i;
+  }
+}
+}  // namespace
+
+TEST(Tensor, ConstructsZeroInitialized) {
+  pt::Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.numel(), 120);
+  EXPECT_EQ(t.ndim(), 4);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, RejectsBadShapes) {
+  EXPECT_THROW(pt::Tensor(std::vector<int>{}), std::invalid_argument);
+  EXPECT_THROW(pt::Tensor({2, 0, 3}), std::invalid_argument);
+  EXPECT_THROW(pt::Tensor({-1}), std::invalid_argument);
+}
+
+TEST(Tensor, FromValuesAndReshape) {
+  auto t = pt::Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_FLOAT_EQ(t[5], 6.0f);
+  const auto r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_FLOAT_EQ(r[5], 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+  EXPECT_THROW(pt::Tensor::from_values({2, 2}, {1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, At4MatchesLinearIndexing) {
+  pt::Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 42.0f;
+  EXPECT_FLOAT_EQ(t[1 * 60 + 2 * 20 + 3 * 5 + 4], 42.0f);
+}
+
+TEST(Tensor, ArithmeticHelpers) {
+  auto a = pt::Tensor::from_values({3}, {1, 2, 3});
+  const auto b = pt::Tensor::from_values({3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_FLOAT_EQ(a[2], 33.0f);
+  a.scale_(0.5f);
+  EXPECT_FLOAT_EQ(a[0], 5.5f);
+  a.axpy_(2.0f, b);
+  EXPECT_FLOAT_EQ(a[1], 51.0f);
+  EXPECT_FLOAT_EQ(a.sum(), 25.5f + 51.0f + 76.5f);
+  EXPECT_FLOAT_EQ(a.max_abs(), 76.5f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  pt::Tensor a({2, 2}), b({4});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+  EXPECT_THROW(a.axpy_(1.0f, b), std::invalid_argument);
+}
+
+TEST(Tensor, DetectsNonFinite) {
+  auto t = pt::Tensor::from_values({2}, {1.0f, 2.0f});
+  EXPECT_FALSE(t.has_non_finite());
+  t[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(t.has_non_finite());
+  t[1] = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(t.has_non_finite());
+}
+
+// Property sweep: all three GEMM variants match the reference for a grid of
+// shapes, with and without a thread pool.
+class GemmSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(GemmSweep, MatchesReference) {
+  const auto [m, n, k, use_pool] = GetParam();
+  pp::ThreadPool pool(4);
+  pp::ThreadPool* p = use_pool ? &pool : nullptr;
+
+  const auto a_nn = random_vec(static_cast<std::size_t>(m) * k, 1);
+  const auto b_nn = random_vec(static_cast<std::size_t>(k) * n, 2);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 7.0f);
+  pt::gemm_nn(m, n, k, a_nn.data(), b_nn.data(), c.data(), false, p);
+  expect_close(c, ref_gemm('n', m, n, k, a_nn, b_nn), 1e-4f);
+
+  const auto b_nt = random_vec(static_cast<std::size_t>(n) * k, 3);
+  pt::gemm_nt(m, n, k, a_nn.data(), b_nt.data(), c.data(), false, p);
+  expect_close(c, ref_gemm('t', m, n, k, a_nn, b_nt), 1e-4f);
+
+  const auto a_tn = random_vec(static_cast<std::size_t>(k) * m, 4);
+  pt::gemm_tn(m, n, k, a_tn.data(), b_nn.data(), c.data(), false, p);
+  expect_close(c, ref_gemm('T', m, n, k, a_tn, b_nn), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Combine(::testing::Values(1, 3, 8, 17),
+                       ::testing::Values(1, 5, 64, 200),
+                       ::testing::Values(1, 9, 72),
+                       ::testing::Bool()));
+
+TEST(Gemm, AccumulateAddsOntoExistingC) {
+  const int m = 4, n = 6, k = 5;
+  const auto a = random_vec(m * k, 10);
+  const auto b = random_vec(k * n, 11);
+  std::vector<float> c(m * n, 1.0f);
+  pt::gemm_nn(m, n, k, a.data(), b.data(), c.data(), true, nullptr);
+  auto want = ref_gemm('n', m, n, k, a, b);
+  for (auto& w : want) w += 1.0f;
+  expect_close(c, want, 1e-4f);
+}
+
+TEST(Gemm, PoolAndSequentialBitwiseIdentical) {
+  // Chunked column partitioning must not change the summation order within a
+  // row, so pooled and sequential runs agree exactly.
+  const int m = 8, n = 300, k = 40;
+  const auto a = random_vec(m * k, 20);
+  const auto b = random_vec(k * n, 21);
+  std::vector<float> c_seq(m * n), c_par(m * n);
+  pt::gemm_nn(m, n, k, a.data(), b.data(), c_seq.data(), false, nullptr);
+  pp::ThreadPool pool(8);
+  pt::gemm_nn(m, n, k, a.data(), b.data(), c_par.data(), false, &pool);
+  EXPECT_EQ(c_seq, c_par);
+}

@@ -1,0 +1,193 @@
+// Unit tests for polarice::util — RNG, timers, resource timeline, table
+// printer, and CLI argument parsing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/args.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "util/virtual_clock.h"
+
+namespace pu = polarice::util;
+
+TEST(Rng, SameSeedSameStream) {
+  pu::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  pu::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  pu::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  pu::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  pu::Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  pu::Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesProbability) {
+  pu::Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / double(n), 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  pu::Rng parent(23);
+  pu::Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += parent() == child();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  const auto original = v;
+  pu::Rng rng(3);
+  std::shuffle(v.begin(), v.end(), rng);
+  EXPECT_NE(v, original);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(WallTimer, MeasuresNonNegativeMonotonicTime) {
+  pu::WallTimer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(ResourceTimeline, SerializesBookings) {
+  pu::ResourceTimeline r;
+  EXPECT_DOUBLE_EQ(r.book(0.0, 2.0), 2.0);
+  // Arrives at t=1 but the resource is busy until t=2.
+  EXPECT_DOUBLE_EQ(r.book(1.0, 3.0), 5.0);
+  // Arrives after the resource is free.
+  EXPECT_DOUBLE_EQ(r.book(10.0, 1.0), 11.0);
+  EXPECT_DOUBLE_EQ(r.free_at(), 11.0);
+}
+
+TEST(ResourceTimeline, ResetClearsTimeline) {
+  pu::ResourceTimeline r;
+  r.book(0.0, 5.0);
+  r.reset();
+  EXPECT_DOUBLE_EQ(r.free_at(), 0.0);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  pu::Table t({"A", "Long header"});
+  t.add_row({"12345", "x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("A    "), std::string::npos);
+  EXPECT_NE(s.find("Long header"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  pu::Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(pu::Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsDecimals) {
+  EXPECT_EQ(pu::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(pu::Table::num(2.0, 0), "2");
+}
+
+TEST(Args, ParsesKeyEqualsValue) {
+  const char* argv[] = {"prog", "--epochs=50", "--lr=0.001"};
+  pu::Args args(3, argv);
+  EXPECT_EQ(args.get_int("epochs", 0), 50);
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.0), 0.001);
+}
+
+TEST(Args, ParsesKeySpaceValue) {
+  const char* argv[] = {"prog", "--name", "unet"};
+  pu::Args args(3, argv);
+  EXPECT_EQ(args.get_string("name", ""), "unet");
+}
+
+TEST(Args, BooleanFlagForms) {
+  const char* argv[] = {"prog", "--verbose", "--filter=false"};
+  pu::Args args(3, argv);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("filter", true));
+  EXPECT_TRUE(args.get_bool("absent", true));
+}
+
+TEST(Args, PositionalArguments) {
+  const char* argv[] = {"prog", "input.ppm", "--k=1", "output.ppm"};
+  pu::Args args(4, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.ppm");
+  EXPECT_EQ(args.positional()[1], "output.ppm");
+}
+
+TEST(Args, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  pu::Args args(1, argv);
+  EXPECT_EQ(args.get_int("n", 42), 42);
+  EXPECT_EQ(args.get_string("s", "dflt"), "dflt");
+  EXPECT_FALSE(args.has("n"));
+}
+
+TEST(Args, RejectsBadBoolean) {
+  const char* argv[] = {"prog", "--flag=maybe"};
+  pu::Args args(2, argv);
+  EXPECT_THROW(args.get_bool("flag", false), std::invalid_argument);
+}
