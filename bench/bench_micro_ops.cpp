@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
 #include <thread>
 
@@ -53,6 +54,93 @@ static void BM_GemmNN(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
 
+// The seed's scalar triple-loop kernel (gemm_nn_ref) on the same shapes —
+// the "before" row of the blocked-kernel speedup table.
+static void BM_GemmNNRef(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = random_floats(static_cast<std::size_t>(n) * n, 1);
+  const auto b = random_floats(static_cast<std::size_t>(n) * n, 2);
+  std::vector<float> c(static_cast<std::size_t>(n) * n);
+  for (auto _ : state) {
+    tensor::gemm_nn_ref(n, n, n, a.data(), b.data(), c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmNNRef)->Arg(64)->Arg(128)->Arg(256);
+
+// U-Net-realistic im2col shapes: M = out channels, K = in_ch * kh * kw,
+// N = output plane. Args are {M, N, K}.
+static void BM_GemmNNShape(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  const auto a = random_floats(static_cast<std::size_t>(m) * k, 1);
+  const auto b = random_floats(static_cast<std::size_t>(k) * n, 2);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  for (auto _ : state) {
+    tensor::gemm_nn(m, n, k, a.data(), b.data(), c.data(), false, nullptr);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * n * k);
+}
+BENCHMARK(BM_GemmNNShape)
+    ->Args({64, 4096, 9})
+    ->Args({64, 4096, 576})
+    ->Args({128, 1024, 1152});
+
+static void BM_GemmNNShapeRef(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  const auto a = random_floats(static_cast<std::size_t>(m) * k, 1);
+  const auto b = random_floats(static_cast<std::size_t>(k) * n, 2);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  for (auto _ : state) {
+    tensor::gemm_nn_ref(m, n, k, a.data(), b.data(), c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * n * k);
+}
+BENCHMARK(BM_GemmNNShapeRef)
+    ->Args({64, 4096, 9})
+    ->Args({64, 4096, 576})
+    ->Args({128, 1024, 1152});
+
+// The weight-gradient GEMM (dW = dY * col^T): M = out channels, N = col
+// rows, K = output plane — the 64x9x4096 shape of a first conv layer on a
+// 64x64 tile. The deep-K reduction is where the seed's serial float
+// dot-product chain was latency-bound. Args are {M, N, K}.
+static void BM_GemmNTShape(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  const auto a = random_floats(static_cast<std::size_t>(m) * k, 1);
+  const auto b = random_floats(static_cast<std::size_t>(n) * k, 2);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  for (auto _ : state) {
+    tensor::gemm_nt(m, n, k, a.data(), b.data(), c.data(), true, nullptr);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * n * k);
+}
+BENCHMARK(BM_GemmNTShape)->Args({64, 9, 4096})->Args({64, 576, 4096});
+
+static void BM_GemmNTShapeRef(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  const auto a = random_floats(static_cast<std::size_t>(m) * k, 1);
+  const auto b = random_floats(static_cast<std::size_t>(n) * k, 2);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  for (auto _ : state) {
+    tensor::gemm_nt_ref(m, n, k, a.data(), b.data(), c.data(), true);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * n * k);
+}
+BENCHMARK(BM_GemmNTShapeRef)->Args({64, 9, 4096})->Args({64, 576, 4096});
+
 static void BM_GemmNNPooled(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const auto a = random_floats(static_cast<std::size_t>(n) * n, 1);
@@ -73,13 +161,77 @@ static void BM_Conv2dForward(benchmark::State& state) {
   util::Rng rng(3);
   for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f();
   for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform_f();
-  std::vector<float> scratch;
+  tensor::ConvScratch scratch;
   for (auto _ : state) {
     tensor::conv2d_forward(x, w, b, y, spec, nullptr, scratch);
     benchmark::DoNotOptimize(y.data());
   }
 }
 BENCHMARK(BM_Conv2dForward);
+
+// The seed's per-element im2col (branchy scalar copies, sequential) — kept
+// verbatim here so BM_Conv2dForwardRef measures the seed pipeline, not the
+// current memcpy-fast-path im2col.
+static void seed_im2col(const float* x, int in_h, int in_w,
+                        const tensor::Conv2dSpec& spec, float* col) {
+  const int oh = spec.out_h(in_h);
+  const int ow = spec.out_w(in_w);
+  const std::int64_t plane = static_cast<std::int64_t>(oh) * ow;
+  for (int c = 0; c < spec.in_ch; ++c) {
+    const float* xc = x + static_cast<std::int64_t>(c) * in_h * in_w;
+    for (int ki = 0; ki < spec.kh; ++ki) {
+      for (int kj = 0; kj < spec.kw; ++kj) {
+        float* dst =
+            col + (((static_cast<std::int64_t>(c) * spec.kh) + ki) * spec.kw +
+                   kj) * plane;
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * spec.stride - spec.pad_top + ki;
+          float* row = dst + static_cast<std::int64_t>(oy) * ow;
+          if (iy < 0 || iy >= in_h) {
+            std::memset(row, 0, sizeof(float) * ow);
+            continue;
+          }
+          const float* src_row = xc + static_cast<std::int64_t>(iy) * in_w;
+          for (int ox = 0; ox < ow; ++ox) {
+            const int ix = ox * spec.stride - spec.pad_left + kj;
+            row[ox] = (ix >= 0 && ix < in_w) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The same convolution with the seed's scalar GEMM under the seed's im2col —
+// the "before" row of the conv2d speedup table.
+static void BM_Conv2dForwardRef(benchmark::State& state) {
+  const auto spec = tensor::Conv2dSpec::same(16, 16, 3);
+  tensor::Tensor x({4, 16, 64, 64}), w({16, 16, 3, 3}), b({16});
+  util::Rng rng(3);
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f();
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform_f();
+  const int batch = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
+  const int oh = spec.out_h(in_h), ow = spec.out_w(in_w);
+  const std::int64_t plane = static_cast<std::int64_t>(oh) * ow;
+  tensor::Tensor y({batch, spec.out_ch, oh, ow});
+  std::vector<float> col(static_cast<std::size_t>(spec.col_rows()) * plane);
+  for (auto _ : state) {
+    for (int n = 0; n < batch; ++n) {
+      const float* xn = x.data() + x.offset4(n, 0, 0, 0);
+      float* yn = y.data() + y.offset4(n, 0, 0, 0);
+      seed_im2col(xn, in_h, in_w, spec, col.data());
+      tensor::gemm_nn_ref(spec.out_ch, static_cast<int>(plane),
+                          spec.col_rows(), w.data(), col.data(), yn, false);
+      for (int oc = 0; oc < spec.out_ch; ++oc) {
+        const float bias = b[oc];
+        float* row = yn + static_cast<std::int64_t>(oc) * plane;
+        for (std::int64_t i = 0; i < plane; ++i) row[i] += bias;
+      }
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForwardRef);
 
 static void BM_RgbToHsv(benchmark::State& state) {
   const auto rgb = bench_scene_rgb(256);
@@ -148,6 +300,58 @@ static void BM_AutoLabelTile(benchmark::State& state) {
 }
 BENCHMARK(BM_AutoLabelTile);
 
+// Fused single-pass segmentation vs the multi-pass reference (whole-image
+// HSV + per-class masks + merge + colorize) on a full 512x512 scene. Filter
+// off so the numbers isolate the pixel pipeline itself.
+static void BM_AutoLabelFused(benchmark::State& state) {
+  const auto rgb = bench_scene_rgb(static_cast<int>(state.range(0)));
+  core::AutoLabelConfig cfg;
+  cfg.apply_filter = false;
+  const core::AutoLabeler labeler(cfg);
+  for (auto _ : state) {
+    auto out = labeler.label(rgb);
+    benchmark::DoNotOptimize(out.labels.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rgb.pixel_count()));
+}
+BENCHMARK(BM_AutoLabelFused)->Arg(512);
+
+static void BM_AutoLabelMultiPass(benchmark::State& state) {
+  const auto rgb = bench_scene_rgb(static_cast<int>(state.range(0)));
+  core::AutoLabelConfig cfg;
+  cfg.apply_filter = false;
+  const core::AutoLabeler labeler(cfg);
+  for (auto _ : state) {
+    auto out = labeler.label_reference(rgb);
+    benchmark::DoNotOptimize(out.labels.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rgb.pixel_count()));
+}
+BENCHMARK(BM_AutoLabelMultiPass)->Arg(512);
+
+// Full-pipeline (filter + segmentation) fused-vs-reference on 512x512.
+static void BM_AutoLabelFusedFull(benchmark::State& state) {
+  const auto rgb = bench_scene_rgb(static_cast<int>(state.range(0)));
+  const core::AutoLabeler labeler;
+  for (auto _ : state) {
+    auto out = labeler.label(rgb);
+    benchmark::DoNotOptimize(out.labels.data());
+  }
+}
+BENCHMARK(BM_AutoLabelFusedFull)->Arg(512);
+
+static void BM_AutoLabelMultiPassFull(benchmark::State& state) {
+  const auto rgb = bench_scene_rgb(static_cast<int>(state.range(0)));
+  const core::AutoLabeler labeler;
+  for (auto _ : state) {
+    auto out = labeler.label_reference(rgb);
+    benchmark::DoNotOptimize(out.labels.data());
+  }
+}
+BENCHMARK(BM_AutoLabelMultiPassFull)->Arg(512);
+
 static void BM_SceneGeneration(benchmark::State& state) {
   s2::SceneConfig cfg;
   cfg.width = cfg.height = static_cast<int>(state.range(0));
@@ -191,6 +395,27 @@ static void BM_ThreadPoolDispatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ThreadPoolDispatch);
+
+// Join overhead of one near-empty parallel loop — what a small GEMM pays
+// per dispatch under the latch/atomic path.
+static void BM_ParallelForSmallLoop(benchmark::State& state) {
+  par::ThreadPool pool(4);
+  for (auto _ : state) {
+    par::parallel_for(
+        &pool, 0, 8, [](std::size_t i) { benchmark::DoNotOptimize(i); }, 1);
+  }
+}
+BENCHMARK(BM_ParallelForSmallLoop);
+
+static void BM_ParallelFor2DDispatch(benchmark::State& state) {
+  par::ThreadPool pool(4);
+  for (auto _ : state) {
+    par::parallel_for_2d(&pool, 16, 16, [](std::size_t i, std::size_t j) {
+      benchmark::DoNotOptimize(i * j);
+    });
+  }
+}
+BENCHMARK(BM_ParallelFor2DDispatch);
 
 static void BM_UNetForward(benchmark::State& state) {
   nn::UNetConfig cfg;

@@ -1,17 +1,88 @@
 #include "core/autolabel.h"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "img/color.h"
 #include "img/ops.h"
+#include "par/parallel_for.h"
 #include "s2/scene.h"
 
 namespace polarice::core {
 
+namespace {
+
+// True when `hsv` falls inside `range` on every channel — exactly
+// img::in_range's per-pixel predicate.
+inline bool hsv_in_range(const std::array<std::uint8_t, 3>& hsv,
+                         const s2::HsvRange& range) noexcept {
+  for (int c = 0; c < 3; ++c) {
+    if (hsv[c] < range.lower[c] || hsv[c] > range.upper[c]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 AutoLabeler::AutoLabeler(AutoLabelConfig config)
     : config_(std::move(config)), filter_(config_.filter) {}
 
-AutoLabelResult AutoLabeler::label(const img::ImageU8& rgb) const {
+AutoLabelResult AutoLabeler::label(const img::ImageU8& rgb,
+                                   par::ThreadPool* pool) const {
+  if (rgb.channels() != 3) {
+    throw std::invalid_argument("AutoLabeler: expected RGB input");
+  }
+  AutoLabelResult result;
+  result.used_image = config_.apply_filter ? filter_.apply(rgb, pool) : rgb;
+
+  const int w = result.used_image.width(), h = result.used_image.height();
+  result.labels = img::ImageU8(w, h, 1);
+  result.colorized = img::ImageU8(w, h, 3);
+
+  const std::uint8_t* src = result.used_image.data();
+  std::uint8_t* labels = result.labels.data();
+  std::uint8_t* colors = result.colorized.data();
+  std::array<std::atomic<std::size_t>, s2::kNumClasses> counts{};
+
+  // One pass, parallel over rows: convert the pixel to HSV, test the class
+  // bands from the highest class down (thick > thin > water; uncovered
+  // pixels fall back to thin ice, the middle band — the paper's bands
+  // partition V, so with default ranges exactly one band fires), and emit
+  // the class id plus its label color in place. No HSV plane, no per-class
+  // mask, no separate colorize pass.
+  par::parallel_for(pool, 0, static_cast<std::size_t>(h), [&](std::size_t y) {
+    const std::uint8_t* row = src + y * 3 * static_cast<std::size_t>(w);
+    std::uint8_t* lrow = labels + y * static_cast<std::size_t>(w);
+    std::uint8_t* crow = colors + y * 3 * static_cast<std::size_t>(w);
+    std::array<std::size_t, s2::kNumClasses> row_counts{};
+    for (int x = 0; x < w; ++x) {
+      const auto hsv =
+          img::rgb_to_hsv_pixel(row[3 * x], row[3 * x + 1], row[3 * x + 2]);
+      int label = static_cast<int>(s2::SeaIceClass::kThinIce);
+      for (int cls = s2::kNumClasses - 1; cls >= 0; --cls) {
+        if (hsv_in_range(hsv, config_.ranges[cls])) {
+          label = cls;
+          break;
+        }
+      }
+      lrow[x] = static_cast<std::uint8_t>(label);
+      const auto& color = s2::kClassColors[static_cast<std::size_t>(label)];
+      crow[3 * x] = color[0];
+      crow[3 * x + 1] = color[1];
+      crow[3 * x + 2] = color[2];
+      ++row_counts[static_cast<std::size_t>(label)];
+    }
+    for (std::size_t cls = 0; cls < s2::kNumClasses; ++cls) {
+      counts[cls].fetch_add(row_counts[cls], std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t cls = 0; cls < s2::kNumClasses; ++cls) {
+    result.class_counts[cls] = counts[cls].load(std::memory_order_relaxed);
+  }
+  return result;
+}
+
+AutoLabelResult AutoLabeler::label_reference(const img::ImageU8& rgb) const {
   if (rgb.channels() != 3) {
     throw std::invalid_argument("AutoLabeler: expected RGB input");
   }

@@ -3,12 +3,22 @@
 // /shadow filtering, HSV conversion, one in-range mask per class with the
 // paper's thresholds, and a merge into a single class-id plane plus the
 // paper's color-coded label image.
+//
+// Two implementations produce bit-identical output:
+//  * label() — the production path. One fused, row-parallel pass per pixel:
+//    RGB -> HSV -> per-class band test -> class id + label color + count,
+//    materializing no intermediate HSV image and no per-class masks.
+//  * label_reference() — the original multi-pass pipeline (whole-image HSV,
+//    kNumClasses in_range masks, merge, colorize). Kept as the ground truth
+//    the fused path is tested against, and as the readable description of
+//    the algorithm.
 
 #include <array>
 #include <cstddef>
 
 #include "core/cloud_filter.h"
 #include "img/image.h"
+#include "par/thread_pool.h"
 #include "s2/classes.h"
 
 namespace polarice::core {
@@ -30,8 +40,16 @@ class AutoLabeler {
  public:
   explicit AutoLabeler(AutoLabelConfig config = {});
 
-  /// Runs the Fig 6 pipeline on one RGB tile or scene.
-  [[nodiscard]] AutoLabelResult label(const img::ImageU8& rgb) const;
+  /// Runs the Fig 6 pipeline on one RGB tile or scene — fused single-pass
+  /// segmentation. `pool` parallelizes over rows; nullptr runs sequentially
+  /// (per-tile callers parallelize over tiles instead).
+  [[nodiscard]] AutoLabelResult label(const img::ImageU8& rgb,
+                                      par::ThreadPool* pool = nullptr) const;
+
+  /// Reference multi-pass implementation (HSV image + per-class masks).
+  /// Bit-identical to label(); quadratically slower in passes over the
+  /// scene. Tests compare the two.
+  [[nodiscard]] AutoLabelResult label_reference(const img::ImageU8& rgb) const;
 
   [[nodiscard]] const AutoLabelConfig& config() const noexcept {
     return config_;

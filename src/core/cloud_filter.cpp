@@ -9,6 +9,7 @@
 #include "img/morphology.h"
 #include "img/ops.h"
 #include "img/threshold.h"
+#include "par/parallel_for.h"
 
 namespace polarice::core {
 
@@ -31,8 +32,9 @@ CloudShadowFilter::CloudShadowFilter(CloudFilterConfig config)
   config_.validate();
 }
 
-CloudFilterResult CloudShadowFilter::apply_with_diagnostics(
-    const img::ImageU8& rgb) const {
+CloudFilterResult CloudShadowFilter::filter_impl(const img::ImageU8& rgb,
+                                                 par::ThreadPool* pool,
+                                                 bool want_mask) const {
   if (rgb.channels() != 3) {
     throw std::invalid_argument("CloudShadowFilter: expected RGB input");
   }
@@ -48,7 +50,7 @@ CloudFilterResult CloudShadowFilter::apply_with_diagnostics(
   const int est_k = clamp_odd(cfg.estimate_smooth_kernel, std::min(w, h));
 
   // 1. HSV decomposition; all physics happens on V.
-  const img::ImageU8 hsv = img::rgb_to_hsv(rgb);
+  const img::ImageU8 hsv = img::rgb_to_hsv(rgb, pool);
   const img::ImageU8 v_obs = img::extract_channel(hsv, 2);
 
   // 2. Brightness envelopes. Opening (erode+dilate) hugs the signal from
@@ -61,15 +63,16 @@ CloudFilterResult CloudShadowFilter::apply_with_diagnostics(
   const img::ImageU8 bright_env =
       img::gaussian_blur(img::morph_close(v_obs, env_k), smooth_k);
 
-  // 3. Pointwise atmosphere estimation.
+  // 3. Pointwise atmosphere estimation — one fused row-parallel pass.
   CloudFilterResult result;
   result.alpha = img::ImageF32(w, h, 1);
   result.beta = img::ImageF32(w, h, 1);
   const double band = cfg.v_bright_ref - cfg.v_dark_ref;
-  for (int y = 0; y < h; ++y) {
+  par::parallel_for(pool, 0, static_cast<std::size_t>(h), [&](std::size_t y) {
     for (int x = 0; x < w; ++x) {
-      const double m = dark_env.at(x, y);
-      const double M = bright_env.at(x, y);
+      const int yi = static_cast<int>(y);
+      const double m = dark_env.at(x, yi);
+      const double M = bright_env.at(x, yi);
       // (1-a)(1-b): contrast of the local envelope vs the seasonal band.
       const double g = std::clamp((M - m) / band, 0.05, 1.0);
       // a(1-b): dark-envelope lift above the attenuated water anchor.
@@ -82,42 +85,68 @@ CloudFilterResult CloudShadowFilter::apply_with_diagnostics(
       beta = std::clamp(beta, 0.0, cfg.max_beta);
       if (alpha < cfg.activation) alpha = 0.0;
       if (beta < cfg.activation) beta = 0.0;
-      result.alpha.at(x, y) = static_cast<float>(alpha);
-      result.beta.at(x, y) = static_cast<float>(beta);
+      result.alpha.at(x, yi) = static_cast<float>(alpha);
+      result.beta.at(x, yi) = static_cast<float>(beta);
     }
-  }
+  });
   // Smooth the estimates: atmosphere varies slowly, estimation noise does
   // not — the blur keeps the former and suppresses the latter.
   result.alpha = img::gaussian_blur(result.alpha, est_k);
   result.beta = img::gaussian_blur(result.beta, est_k);
 
-  // 4. Invert the distortion on V; rebuild RGB with the observed H and S.
-  img::ImageU8 v_clean(w, h, 1);
-  for (int y = 0; y < h; ++y) {
+  // 4. Invert the distortion on V and rebuild RGB with the observed H and S,
+  // fused into a single row-parallel pass: per pixel, compute the clean V,
+  // convert (H, S, V_clean) straight to output RGB, and record the
+  // correction magnitude |V_obs - V_clean| for the diagnostic mask. The
+  // reference formulation materialized a V_clean plane, a cloned HSV image,
+  // an insert_channel pass, a whole-image hsv_to_rgb, and an absdiff — five
+  // full-resolution intermediates this pass does not allocate.
+  result.filtered = img::ImageU8(w, h, 3);
+  img::ImageU8 delta;
+  if (want_mask) delta = img::ImageU8(w, h, 1);
+  const std::uint8_t* hsv_data = hsv.data();
+  std::uint8_t* out_data = result.filtered.data();
+  par::parallel_for(pool, 0, static_cast<std::size_t>(h), [&](std::size_t y) {
+    const std::uint8_t* hrow = hsv_data + y * 3 * static_cast<std::size_t>(w);
+    std::uint8_t* orow = out_data + y * 3 * static_cast<std::size_t>(w);
     for (int x = 0; x < w; ++x) {
-      const double alpha = result.alpha.at(x, y);
-      const double beta = result.beta.at(x, y);
-      const double v = v_obs.at(x, y);
+      const int yi = static_cast<int>(y);
+      const double alpha = result.alpha.at(x, yi);
+      const double beta = result.beta.at(x, yi);
+      const std::uint8_t v = hrow[3 * x + 2];
       const double unshaded = v / std::max(1e-6, 1.0 - beta);
       const double dehazed =
           (unshaded - 255.0 * alpha) / std::max(1e-6, 1.0 - alpha);
-      v_clean.at(x, y) = static_cast<std::uint8_t>(
+      const std::uint8_t v_clean = static_cast<std::uint8_t>(
           std::clamp(std::lround(dehazed), 0L, 255L));
+      const auto out_rgb =
+          img::hsv_to_rgb_pixel(hrow[3 * x], hrow[3 * x + 1], v_clean);
+      orow[3 * x] = out_rgb[0];
+      orow[3 * x + 1] = out_rgb[1];
+      orow[3 * x + 2] = out_rgb[2];
+      if (want_mask) {
+        delta.at(x, yi) = static_cast<std::uint8_t>(
+            v > v_clean ? v - v_clean : v_clean - v);
+      }
     }
-  }
-  img::ImageU8 hsv_clean = hsv.clone();
-  img::insert_channel(hsv_clean, v_clean, 2);
-  result.filtered = img::hsv_to_rgb(hsv_clean);
+  });
 
   // 5. Diagnostic cloud/shadow mask: Otsu over the correction magnitude.
-  const img::ImageU8 delta = img::absdiff(v_obs, v_clean);
-  result.cloud_mask =
-      img::threshold_otsu(delta, 255, img::ThresholdType::kBinary);
+  if (want_mask) {
+    result.cloud_mask =
+        img::threshold_otsu(delta, 255, img::ThresholdType::kBinary);
+  }
   return result;
 }
 
-img::ImageU8 CloudShadowFilter::apply(const img::ImageU8& rgb) const {
-  return apply_with_diagnostics(rgb).filtered;
+CloudFilterResult CloudShadowFilter::apply_with_diagnostics(
+    const img::ImageU8& rgb, par::ThreadPool* pool) const {
+  return filter_impl(rgb, pool, /*want_mask=*/true);
+}
+
+img::ImageU8 CloudShadowFilter::apply(const img::ImageU8& rgb,
+                                      par::ThreadPool* pool) const {
+  return filter_impl(rgb, pool, /*want_mask=*/false).filtered;
 }
 
 }  // namespace polarice::core

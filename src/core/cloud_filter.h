@@ -28,6 +28,7 @@
 // itself reports 99.64% (not 100%) label SSIM after filtering.
 
 #include "img/image.h"
+#include "par/thread_pool.h"
 
 namespace polarice::core {
 
@@ -56,18 +57,26 @@ class CloudShadowFilter {
  public:
   explicit CloudShadowFilter(CloudFilterConfig config = {});
 
-  /// Full diagnostics (filtered image + estimated fields + mask).
+  /// Full diagnostics (filtered image + estimated fields + mask). `pool`
+  /// parallelizes the pointwise stages over rows; output is identical with
+  /// and without it.
   [[nodiscard]] CloudFilterResult apply_with_diagnostics(
-      const img::ImageU8& rgb) const;
+      const img::ImageU8& rgb, par::ThreadPool* pool = nullptr) const;
 
-  /// Just the filtered image.
-  [[nodiscard]] img::ImageU8 apply(const img::ImageU8& rgb) const;
+  /// Just the filtered image. Skips the diagnostic Otsu cloud-mask pass.
+  [[nodiscard]] img::ImageU8 apply(const img::ImageU8& rgb,
+                                   par::ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] const CloudFilterConfig& config() const noexcept {
     return config_;
   }
 
  private:
+  /// Shared pipeline; `want_mask` gates the diagnostic Otsu pass.
+  [[nodiscard]] CloudFilterResult filter_impl(const img::ImageU8& rgb,
+                                              par::ThreadPool* pool,
+                                              bool want_mask) const;
+
   CloudFilterConfig config_;
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "par/parallel_for.h"
+
 namespace polarice::img {
 
 namespace {
@@ -57,37 +59,57 @@ std::array<std::uint8_t, 3> hsv_to_rgb_pixel(std::uint8_t h, std::uint8_t s,
   return {round_u8(r1 + m), round_u8(g1 + m), round_u8(b1 + m)};
 }
 
-ImageU8 rgb_to_hsv(const ImageU8& rgb) {
+void rgb_to_hsv_row(const std::uint8_t* src, std::uint8_t* dst,
+                    std::size_t count) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto hsv =
+        rgb_to_hsv_pixel(src[3 * i], src[3 * i + 1], src[3 * i + 2]);
+    dst[3 * i] = hsv[0];
+    dst[3 * i + 1] = hsv[1];
+    dst[3 * i + 2] = hsv[2];
+  }
+}
+
+void hsv_to_rgb_row(const std::uint8_t* src, std::uint8_t* dst,
+                    std::size_t count) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto rgb =
+        hsv_to_rgb_pixel(src[3 * i], src[3 * i + 1], src[3 * i + 2]);
+    dst[3 * i] = rgb[0];
+    dst[3 * i + 1] = rgb[1];
+    dst[3 * i + 2] = rgb[2];
+  }
+}
+
+ImageU8 rgb_to_hsv(const ImageU8& rgb, par::ThreadPool* pool) {
   if (rgb.channels() != 3) {
     throw std::invalid_argument("rgb_to_hsv: expected 3 channels");
   }
   ImageU8 out(rgb.width(), rgb.height(), 3);
   const std::uint8_t* src = rgb.data();
   std::uint8_t* dst = out.data();
-  const std::size_t pixels = rgb.pixel_count();
-  for (std::size_t i = 0; i < pixels; ++i) {
-    const auto hsv = rgb_to_hsv_pixel(src[3 * i], src[3 * i + 1], src[3 * i + 2]);
-    dst[3 * i] = hsv[0];
-    dst[3 * i + 1] = hsv[1];
-    dst[3 * i + 2] = hsv[2];
-  }
+  const std::size_t row = 3 * static_cast<std::size_t>(rgb.width());
+  par::parallel_for(pool, 0, static_cast<std::size_t>(rgb.height()),
+                    [&](std::size_t y) {
+                      rgb_to_hsv_row(src + y * row, dst + y * row,
+                                     static_cast<std::size_t>(rgb.width()));
+                    });
   return out;
 }
 
-ImageU8 hsv_to_rgb(const ImageU8& hsv) {
+ImageU8 hsv_to_rgb(const ImageU8& hsv, par::ThreadPool* pool) {
   if (hsv.channels() != 3) {
     throw std::invalid_argument("hsv_to_rgb: expected 3 channels");
   }
   ImageU8 out(hsv.width(), hsv.height(), 3);
   const std::uint8_t* src = hsv.data();
   std::uint8_t* dst = out.data();
-  const std::size_t pixels = hsv.pixel_count();
-  for (std::size_t i = 0; i < pixels; ++i) {
-    const auto rgb = hsv_to_rgb_pixel(src[3 * i], src[3 * i + 1], src[3 * i + 2]);
-    dst[3 * i] = rgb[0];
-    dst[3 * i + 1] = rgb[1];
-    dst[3 * i + 2] = rgb[2];
-  }
+  const std::size_t row = 3 * static_cast<std::size_t>(hsv.width());
+  par::parallel_for(pool, 0, static_cast<std::size_t>(hsv.height()),
+                    [&](std::size_t y) {
+                      hsv_to_rgb_row(src + y * row, dst + y * row,
+                                     static_cast<std::size_t>(hsv.width()));
+                    });
   return out;
 }
 

@@ -6,11 +6,19 @@
 // The paper's auto-labeling thresholds (thick ice V>=205, thin ice
 // 31<=V<=204, open water V<=30 at any H/S) are expressed in exactly this
 // convention, so matching it keeps the published numbers meaningful.
+//
+// Row-wise variants operate on raw interleaved pointers so fused pipelines
+// (core/autolabel.cpp, core/cloud_filter.cpp) can convert pixels in the same
+// pass that consumes them, without materializing intermediate images. The
+// whole-image functions take an optional thread pool and parallelize over
+// rows; results are identical (bit-exact) with and without a pool.
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "img/image.h"
+#include "par/thread_pool.h"
 
 namespace polarice::img {
 
@@ -22,11 +30,19 @@ std::array<std::uint8_t, 3> rgb_to_hsv_pixel(std::uint8_t r, std::uint8_t g,
 std::array<std::uint8_t, 3> hsv_to_rgb_pixel(std::uint8_t h, std::uint8_t s,
                                              std::uint8_t v) noexcept;
 
+/// `count` interleaved RGB pixels -> interleaved HSV. src and dst may alias.
+void rgb_to_hsv_row(const std::uint8_t* src, std::uint8_t* dst,
+                    std::size_t count) noexcept;
+
+/// `count` interleaved HSV pixels -> interleaved RGB. src and dst may alias.
+void hsv_to_rgb_row(const std::uint8_t* src, std::uint8_t* dst,
+                    std::size_t count) noexcept;
+
 /// Whole-image RGB (3ch) -> HSV (3ch). Throws on non-3-channel input.
-ImageU8 rgb_to_hsv(const ImageU8& rgb);
+ImageU8 rgb_to_hsv(const ImageU8& rgb, par::ThreadPool* pool = nullptr);
 
 /// Whole-image HSV (3ch) -> RGB (3ch). Throws on non-3-channel input.
-ImageU8 hsv_to_rgb(const ImageU8& hsv);
+ImageU8 hsv_to_rgb(const ImageU8& hsv, par::ThreadPool* pool = nullptr);
 
 /// RGB (3ch) -> single-channel gray with Rec.601 weights
 /// (0.299 R + 0.587 G + 0.114 B, rounded).

@@ -12,6 +12,10 @@
 #include "par/thread_pool.h"
 #include "tensor/tensor.h"
 
+namespace polarice::tensor {
+struct ConvScratch;
+}  // namespace polarice::tensor
+
 namespace polarice::nn {
 
 /// A named view of one trainable tensor and its gradient. The optimizer and
@@ -42,6 +46,14 @@ class Layer {
   /// Intra-op thread pool; nullptr = sequential (one ddp rank == one "GPU").
   void set_pool(par::ThreadPool* pool) noexcept { pool_ = pool; }
   [[nodiscard]] par::ThreadPool* pool() const noexcept { return pool_; }
+
+  /// Shares an im2col scratch arena across layers (models wire all their
+  /// conv layers to one arena so the buffers are sized once, for the
+  /// largest layer, instead of once per layer). nullptr reverts to the
+  /// layer's own scratch. No-op for layers without conv panels.
+  virtual void set_scratch(tensor::ConvScratch* scratch) noexcept {
+    (void)scratch;
+  }
 
  protected:
   par::ThreadPool* pool_ = nullptr;

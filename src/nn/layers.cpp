@@ -26,7 +26,7 @@ Conv2d::Conv2d(tensor::Conv2dSpec spec, util::Rng& rng, std::string name)
 
 void Conv2d::forward(const Tensor& x, Tensor& y, bool training) {
   if (training) cached_x_ = x;
-  tensor::conv2d_forward(x, w_, b_, y, spec_, pool_, col_scratch_);
+  tensor::conv2d_forward(x, w_, b_, y, spec_, pool_, scratch());
 }
 
 void Conv2d::backward(const Tensor& dy, Tensor& dx) {
@@ -34,7 +34,7 @@ void Conv2d::backward(const Tensor& dy, Tensor& dx) {
     throw std::logic_error(name_ + ": backward before training forward");
   }
   tensor::conv2d_backward(cached_x_, w_, dy, skip_input_grad_ ? nullptr : &dx,
-                          dw_, db_, spec_, pool_, col_scratch_, dcol_scratch_);
+                          dw_, db_, spec_, pool_, scratch());
 }
 
 void Conv2d::collect_params(std::vector<Param>& out) {

@@ -26,16 +26,26 @@ class Conv2d final : public Layer {
   /// Skip computing dL/dx in backward (valid only for the first layer).
   void set_skip_input_grad(bool skip) noexcept { skip_input_grad_ = skip; }
 
+  /// Use a shared im2col arena instead of this layer's own buffers.
+  void set_scratch(tensor::ConvScratch* scratch) noexcept override {
+    shared_scratch_ = scratch;
+  }
+
   [[nodiscard]] const tensor::Conv2dSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] tensor::Tensor& weights() noexcept { return w_; }
   [[nodiscard]] tensor::Tensor& bias() noexcept { return b_; }
 
  private:
+  [[nodiscard]] tensor::ConvScratch& scratch() noexcept {
+    return shared_scratch_ != nullptr ? *shared_scratch_ : own_scratch_;
+  }
+
   tensor::Conv2dSpec spec_;
   std::string name_;
   tensor::Tensor w_, b_, dw_, db_;
   tensor::Tensor cached_x_;
-  std::vector<float> col_scratch_, dcol_scratch_;
+  tensor::ConvScratch own_scratch_;
+  tensor::ConvScratch* shared_scratch_ = nullptr;
   bool skip_input_grad_ = false;
 };
 
@@ -98,6 +108,9 @@ class UpConv2x final : public Layer {
                bool training) override;
   void backward(const tensor::Tensor& dy, tensor::Tensor& dx) override;
   void collect_params(std::vector<Param>& out) override;
+  void set_scratch(tensor::ConvScratch* scratch) noexcept override {
+    conv_.set_scratch(scratch);
+  }
   [[nodiscard]] std::string name() const override { return name_; }
 
  private:

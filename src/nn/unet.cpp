@@ -69,6 +69,11 @@ void ConvBlock::set_pool(par::ThreadPool* pool) {
   relu2_.set_pool(pool);
 }
 
+void ConvBlock::set_scratch(tensor::ConvScratch* scratch) {
+  conv1_.set_scratch(scratch);
+  conv2_.set_scratch(scratch);
+}
+
 UNet::UNet(UNetConfig config) : config_(config) {
   config_.validate();
   util::Rng rng(config_.seed);
@@ -108,7 +113,16 @@ UNet::UNet(UNetConfig config) : config_(config) {
   scratch_.resize(config_.depth * 4 + 8);
 }
 
+void UNet::wire_scratch() {
+  for (auto& block : enc_blocks_) block.set_scratch(&conv_scratch_);
+  bottleneck_->set_scratch(&conv_scratch_);
+  for (auto& up : upconvs_) up.set_scratch(&conv_scratch_);
+  for (auto& block : dec_blocks_) block.set_scratch(&conv_scratch_);
+  final_conv_->set_scratch(&conv_scratch_);
+}
+
 void UNet::forward(const Tensor& x, Tensor& logits, bool training) {
+  wire_scratch();
   if (x.ndim() != 4 || x.dim(1) != config_.in_channels) {
     throw std::invalid_argument("UNet::forward: expected [N," +
                                 std::to_string(config_.in_channels) +
@@ -140,6 +154,7 @@ void UNet::forward(const Tensor& x, Tensor& logits, bool training) {
 }
 
 void UNet::backward(const Tensor& dlogits) {
+  wire_scratch();
   Tensor& d_dec = scratch_[0];
   final_conv_->backward(dlogits, d_dec);
 

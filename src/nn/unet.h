@@ -51,6 +51,7 @@ class ConvBlock {
   void backward(const tensor::Tensor& dy, tensor::Tensor& dx);
   void collect_params(std::vector<Param>& out);
   void set_pool(par::ThreadPool* pool);
+  void set_scratch(tensor::ConvScratch* scratch);
 
  private:
   Conv2d conv1_;
@@ -102,11 +103,19 @@ class UNet {
   std::vector<ConvBlock> dec_blocks_;
   std::unique_ptr<Conv2d> final_conv_;
 
+  /// Points every conv layer at the shared im2col arena. Called before each
+  /// forward/backward so the wiring survives moves of the UNet object.
+  void wire_scratch();
+
   // Forward caches, one slot per level.
   std::vector<tensor::Tensor> enc_out_, pooled_, up_out_, cat_, dec_out_;
   tensor::Tensor bottleneck_out_;
   // Backward scratch.
   std::vector<tensor::Tensor> scratch_;
+  // One im2col arena shared by all conv layers: sized once to the largest
+  // layer's panel instead of once per layer (the seed's per-layer buffers
+  // peaked at ~conv_layer_count x the largest panel across a train step).
+  tensor::ConvScratch conv_scratch_;
 };
 
 }  // namespace polarice::nn

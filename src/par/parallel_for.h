@@ -1,27 +1,141 @@
 #pragma once
 // Index-range parallel loops over a ThreadPool.
 //
-// parallel_for splits [begin, end) into contiguous chunks (one per worker by
-// default, or smaller with an explicit grain) and blocks until every chunk
-// has run. A null pool means "run sequentially" — layers use that to stay
+// parallel_for splits [begin, end) into contiguous chunks that workers claim
+// dynamically from a shared atomic cursor and blocks until every chunk has
+// run. A null pool means "run sequentially" — layers use that to stay
 // single-threaded inside a ddp rank (one rank == one simulated GPU).
+//
+// Dispatch is a latch/atomic-counter design rather than one promise/future
+// per chunk: the loop state lives in a single stack object, the pool queue
+// holds at most `workers` small detached entries (no heap allocation per
+// task), and the calling thread both executes chunks itself and helps drain
+// the pool queue while joining. Small loops — the common case under the
+// GEMM micro-kernels and row-parallel image ops — therefore pay a handful
+// of atomic operations instead of workers × (packaged_task + promise +
+// future) allocations.
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
-#include <future>
+#include <mutex>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "par/thread_pool.h"
 
 namespace polarice::par {
 
+namespace detail {
+
+/// Shared state of one parallel_for call. Lives on the caller's stack; the
+/// caller must not return before every queue entry has retired (enforced by
+/// the `entries` counter in the join predicate), since workers hold raw
+/// pointers to this object.
+class ParallelForJob {
+ public:
+  template <typename Body>
+  ParallelForJob(std::size_t begin, std::size_t end, std::size_t chunk,
+                 const Body& body)
+      : begin_(begin),
+        end_(end),
+        chunk_(chunk),
+        body_(&body),
+        invoke_([](const void* b, std::size_t lo, std::size_t hi) {
+          const Body& fn = *static_cast<const Body*>(b);
+          for (std::size_t i = lo; i < hi; ++i) fn(i);
+        }),
+        next_(begin) {}
+
+  /// Claims and runs chunks until the cursor is exhausted. Called by the
+  /// owning thread and by every pool worker that dequeues an entry.
+  void drain() noexcept {
+    for (;;) {
+      const std::size_t lo = next_.fetch_add(chunk_, std::memory_order_relaxed);
+      if (lo >= end_) return;
+      const std::size_t hi = std::min(end_, lo + chunk_);
+      try {
+        if (!cancelled_.load(std::memory_order_relaxed)) invoke_(body_, lo, hi);
+      } catch (...) {
+        const std::scoped_lock lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+        cancelled_.store(true, std::memory_order_relaxed);
+      }
+      const std::size_t done =
+          completed_.fetch_add(hi - lo, std::memory_order_acq_rel) + (hi - lo);
+      if (done == end_ - begin_) {
+        const std::scoped_lock lock(mutex_);
+        cv_.notify_all();
+      }
+    }
+  }
+
+  /// Runs the loop over `pool`: enqueues up to `workers` detached entries,
+  /// participates in the drain, then helps run queued tasks until both all
+  /// iterations completed and all entries retired. Rethrows the first body
+  /// exception.
+  void run(ThreadPool& pool) {
+    const std::size_t chunks = (end_ - begin_ + chunk_ - 1) / chunk_;
+    const std::size_t entries = std::min(pool.size(), chunks);
+    entries_.store(entries, std::memory_order_relaxed);
+    pool.submit_detached_n(entries, [this] {
+      drain();
+      // Retire under the mutex: the owner cannot observe entries_ == 0 and
+      // then pass its lifetime barrier below until this critical section —
+      // the worker's last touch of the job — has been exited.
+      const std::scoped_lock lock(mutex_);
+      entries_.fetch_sub(1, std::memory_order_acq_rel);
+      cv_.notify_all();
+    });
+    drain();
+    for (;;) {
+      if (finished()) break;
+      if (pool.try_run_one()) continue;
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return finished(); });
+      break;
+    }
+    // Lifetime barrier: every retirement decrement happens while holding
+    // mutex_, so acquiring it once after observing entries_ == 0 guarantees
+    // the last worker has left the job for good — only then may this stack
+    // object be destroyed. (Entries still queued keep entries_ > 0, so the
+    // loop above cannot exit early for them.)
+    { const std::scoped_lock lock(mutex_); }
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  [[nodiscard]] bool finished() const noexcept {
+    return completed_.load(std::memory_order_acquire) == end_ - begin_ &&
+           entries_.load(std::memory_order_acquire) == 0;
+  }
+
+  const std::size_t begin_;
+  const std::size_t end_;
+  const std::size_t chunk_;
+  const void* body_;
+  void (*invoke_)(const void*, std::size_t, std::size_t);
+  std::atomic<std::size_t> next_;
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> entries_{0};
+  std::atomic<bool> cancelled_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::exception_ptr error_;  // guarded by mutex_
+};
+
+}  // namespace detail
+
 /// Calls body(i) for every i in [begin, end), distributing chunks over the
-/// pool. Exceptions from any chunk are rethrown (first one wins).
+/// pool. Exceptions from any chunk are rethrown (first one wins); once a
+/// chunk throws, not-yet-claimed chunks are skipped.
 ///
-/// `grain` is the minimum number of iterations per task; 0 picks
-/// ceil(range / workers) so each worker gets exactly one contiguous chunk.
+/// `grain` is the minimum number of iterations per claimed chunk; 0 picks
+/// a chunk size that subdivides the range into a few chunks per worker so
+/// dynamic claiming can balance uneven bodies.
 template <typename Body>
 void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
                   const Body& body, std::size_t grain = 0) {
@@ -32,26 +146,47 @@ void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
     return;
   }
   std::size_t chunk = grain;
-  if (chunk == 0) chunk = (range + pool->size() - 1) / pool->size();
+  if (chunk == 0) {
+    const std::size_t slots = pool->size() * 4;
+    chunk = (range + slots - 1) / slots;
+  }
   chunk = std::max<std::size_t>(chunk, 1);
+  detail::ParallelForJob job(begin, end, chunk, body);
+  job.run(*pool);
+}
 
-  std::vector<std::future<void>> futures;
-  futures.reserve((range + chunk - 1) / chunk);
-  for (std::size_t lo = begin; lo < end; lo += chunk) {
-    const std::size_t hi = std::min(end, lo + chunk);
-    futures.push_back(pool->submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
+/// Calls body(i, j) for every (i, j) in [0, rows) x [0, cols), parallelizing
+/// over rectangular tiles of the 2-D grid. Tiles are claimed dynamically, so
+/// uneven per-tile cost (edge tiles, data-dependent work) still balances.
+///
+/// `tile_rows`/`tile_cols` fix the tile shape; 0 picks full-width row bands
+/// (`tile_cols = cols`, a few bands per worker) — the right default for
+/// row-major images. GEMM passes explicit 1x1 tiles over its macro-block
+/// grid instead.
+template <typename Body2D>
+void parallel_for_2d(ThreadPool* pool, std::size_t rows, std::size_t cols,
+                     const Body2D& body, std::size_t tile_rows = 0,
+                     std::size_t tile_cols = 0) {
+  if (rows == 0 || cols == 0) return;
+  if (tile_cols == 0) tile_cols = cols;
+  if (tile_rows == 0) {
+    const std::size_t slots = pool == nullptr ? 1 : pool->size() * 4;
+    tile_rows = std::max<std::size_t>(1, (rows + slots - 1) / slots);
   }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  const std::size_t grid_rows = (rows + tile_rows - 1) / tile_rows;
+  const std::size_t grid_cols = (cols + tile_cols - 1) / tile_cols;
+  parallel_for(
+      pool, 0, grid_rows * grid_cols,
+      [&](std::size_t t) {
+        const std::size_t r0 = (t / grid_cols) * tile_rows;
+        const std::size_t c0 = (t % grid_cols) * tile_cols;
+        const std::size_t r1 = std::min(rows, r0 + tile_rows);
+        const std::size_t c1 = std::min(cols, c0 + tile_cols);
+        for (std::size_t i = r0; i < r1; ++i) {
+          for (std::size_t j = c0; j < c1; ++j) body(i, j);
+        }
+      },
+      /*grain=*/1);
 }
 
 /// Map [begin,end) through `body` with results collected in order.
@@ -64,31 +199,40 @@ std::vector<Result> parallel_map(ThreadPool* pool, std::size_t begin,
   return results;
 }
 
-/// Parallel reduction: combine(body(i)...) with a commutative-associative
-/// combiner. Deterministic: chunk partials are combined in chunk order.
+/// Parallel reduction: `init` folded with body(begin..end) through a
+/// commutative-associative combiner. body(i) must return a value convertible
+/// to Result. `init` is folded exactly once regardless of how the range is
+/// chunked, and chunk partials are combined in chunk order, so the result is
+/// deterministic for a given worker count.
 template <typename Result, typename Body, typename Combine>
 Result parallel_reduce(ThreadPool* pool, std::size_t begin, std::size_t end,
                        Result init, const Body& body, const Combine& combine) {
   if (begin >= end) return init;
-  if (pool == nullptr || pool->size() == 1) {
+  const std::size_t range = end - begin;
+  if (pool == nullptr || pool->size() == 1 || range == 1) {
     Result acc = std::move(init);
     for (std::size_t i = begin; i < end; ++i) acc = combine(acc, body(i));
     return acc;
   }
-  const std::size_t range = end - begin;
   const std::size_t chunk =
       std::max<std::size_t>(1, (range + pool->size() - 1) / pool->size());
-  std::vector<std::future<Result>> futures;
-  for (std::size_t lo = begin; lo < end; lo += chunk) {
-    const std::size_t hi = std::min(end, lo + chunk);
-    futures.push_back(pool->submit([lo, hi, &body, &combine, &init] {
-      Result acc = init;
-      for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, body(i));
-      return acc;
-    }));
-  }
+  const std::size_t chunks = (range + chunk - 1) / chunk;
+  // Each chunk seeds its partial from its own first element — never from
+  // `init`, which previously leaked into every chunk and was combined once
+  // more in the final fold.
+  std::vector<std::optional<Result>> partials(chunks);
+  parallel_for(
+      pool, 0, chunks,
+      [&](std::size_t t) {
+        const std::size_t lo = begin + t * chunk;
+        const std::size_t hi = std::min(end, lo + chunk);
+        Result acc(body(lo));
+        for (std::size_t i = lo + 1; i < hi; ++i) acc = combine(acc, body(i));
+        partials[t] = std::move(acc);
+      },
+      /*grain=*/1);
   Result acc = std::move(init);
-  for (auto& f : futures) acc = combine(acc, f.get());
+  for (auto& partial : partials) acc = combine(acc, std::move(*partial));
   return acc;
 }
 

@@ -41,6 +41,39 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::submit_detached_n(std::size_t count,
+                                   const std::function<void()>& fn) {
+  if (count == 0) return;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+    for (std::size_t i = 0; i < count; ++i) queue_.emplace_back(fn);
+  }
+  if (count == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+  }
+  task();
+  {
+    const std::scoped_lock lock(mutex_);
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });

@@ -66,6 +66,20 @@ class ThreadPool {
     return result;
   }
 
+  /// Enqueues `count` copies of a fire-and-forget callable with no
+  /// promise/future machinery — one lock acquisition, no per-task heap
+  /// allocation when `fn` fits std::function's small-object buffer (a single
+  /// captured pointer does). This is the low-overhead dispatch path under
+  /// parallel_for; completion is the caller's responsibility (the callable
+  /// must signal it, e.g. via an atomic counter). `fn` must not throw.
+  void submit_detached_n(std::size_t count, const std::function<void()>& fn);
+
+  /// Pops and runs one queued task on the calling thread, if any is pending.
+  /// Lets a thread blocked on a join "help" drain the queue instead of
+  /// sleeping — which also makes nested parallel_for calls from inside pool
+  /// tasks deadlock-free. Returns false when the queue was empty.
+  bool try_run_one();
+
   /// Blocks until the queue is empty and all in-flight tasks completed.
   void wait_idle();
 

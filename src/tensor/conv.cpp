@@ -1,5 +1,6 @@
 #include "tensor/conv.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -16,6 +17,63 @@ void require_4d(const Tensor& t, const char* what) {
                                 t.shape_str());
   }
 }
+
+// Implicit-GEMM B packer: serves im2col columns straight from the input
+// image, so the forward pass never materializes the [C*kh*kw, OH*OW] col
+// matrix (the GEMM's packed panels are the only copy that ever exists).
+// Values and panel layout are identical to packing from a materialized col.
+struct ConvColSource {
+  const float* x;
+  int in_h, in_w, oh, ow;
+  const Conv2dSpec* spec;
+
+  static void pack(void* vctx, int k0, int kc, int j0, int cols, float* dst) {
+    const auto& ctx = *static_cast<const ConvColSource*>(vctx);
+    const Conv2dSpec& spec = *ctx.spec;
+    for (int p = k0; p < k0 + kc; ++p) {
+      float* row = dst + static_cast<std::int64_t>(p - k0) * kGemmNR;
+      const int kj = p % spec.kw;
+      const int ki = (p / spec.kw) % spec.kh;
+      const int c = p / (spec.kw * spec.kh);
+      const float* xc =
+          ctx.x + static_cast<std::int64_t>(c) * ctx.in_h * ctx.in_w;
+      // Columns j map to output pixels (oy, ox); fill runs that stay on one
+      // output row, memcpy-ing the in-image span when stride == 1.
+      int t = 0;
+      while (t < cols) {
+        const int j = j0 + t;
+        const int oy = j / ctx.ow;
+        const int ox = j % ctx.ow;
+        const int run = std::min(ctx.ow - ox, cols - t);
+        const int iy = oy * spec.stride - spec.pad_top + ki;
+        float* out = row + t;
+        if (iy < 0 || iy >= ctx.in_h) {
+          for (int q = 0; q < run; ++q) out[q] = 0.0f;
+        } else if (spec.stride == 1) {
+          const int shift = spec.pad_left - kj;  // ix = ox' - shift
+          const int lo = std::clamp(shift, ox, ox + run);
+          const int hi = std::clamp(ctx.in_w + shift, ox, ox + run);
+          for (int q = ox; q < lo; ++q) out[q - ox] = 0.0f;
+          if (hi > lo) {
+            std::memcpy(out + (lo - ox),
+                        xc + static_cast<std::int64_t>(iy) * ctx.in_w +
+                            (lo - shift),
+                        sizeof(float) * (hi - lo));
+          }
+          for (int q = hi; q < ox + run; ++q) out[q - ox] = 0.0f;
+        } else {
+          const float* src_row = xc + static_cast<std::int64_t>(iy) * ctx.in_w;
+          for (int q = 0; q < run; ++q) {
+            const int ix = (ox + q) * spec.stride - spec.pad_left + kj;
+            out[q] = (ix >= 0 && ix < ctx.in_w) ? src_row[ix] : 0.0f;
+          }
+        }
+        t += run;
+      }
+      for (int q = cols; q < kGemmNR; ++q) row[q] = 0.0f;
+    }
+  }
+};
 }  // namespace
 
 Conv2dSpec Conv2dSpec::same(int in_ch, int out_ch, int k) {
@@ -39,17 +97,20 @@ Conv2dSpec Conv2dSpec::valid(int in_ch, int out_ch, int k) {
 }
 
 void im2col(const float* x, int in_h, int in_w, const Conv2dSpec& spec,
-            float* col) {
+            float* col, par::ThreadPool* pool) {
   const int oh = spec.out_h(in_h);
   const int ow = spec.out_w(in_w);
   const std::int64_t plane = static_cast<std::int64_t>(oh) * ow;
-  for (int c = 0; c < spec.in_ch; ++c) {
-    const float* xc = x + static_cast<std::int64_t>(c) * in_h * in_w;
-    for (int ki = 0; ki < spec.kh; ++ki) {
-      for (int kj = 0; kj < spec.kw; ++kj) {
-        float* dst =
-            col + (((static_cast<std::int64_t>(c) * spec.kh) + ki) * spec.kw +
-                   kj) * plane;
+  // Each (c, ki, kj) triple owns one disjoint panel row-group, so the
+  // col_rows() iterations parallelize without coordination.
+  par::parallel_for(
+      pool, 0, static_cast<std::size_t>(spec.col_rows()),
+      [&](std::size_t row_id) {
+        const int kj = static_cast<int>(row_id) % spec.kw;
+        const int ki = (static_cast<int>(row_id) / spec.kw) % spec.kh;
+        const int c = static_cast<int>(row_id) / (spec.kw * spec.kh);
+        const float* xc = x + static_cast<std::int64_t>(c) * in_h * in_w;
+        float* dst = col + static_cast<std::int64_t>(row_id) * plane;
         for (int oy = 0; oy < oh; ++oy) {
           const int iy = oy * spec.stride - spec.pad_top + ki;
           float* row = dst + static_cast<std::int64_t>(oy) * ow;
@@ -58,14 +119,28 @@ void im2col(const float* x, int in_h, int in_w, const Conv2dSpec& spec,
             continue;
           }
           const float* src_row = xc + static_cast<std::int64_t>(iy) * in_w;
-          for (int ox = 0; ox < ow; ++ox) {
-            const int ix = ox * spec.stride - spec.pad_left + kj;
-            row[ox] = (ix >= 0 && ix < in_w) ? src_row[ix] : 0.0f;
+          if (spec.stride == 1) {
+            // ix = ox - shift: zero the out-of-image edges, memcpy the rest.
+            // Both bounds clamp into [0, ow]: with a wide kernel on a tiny
+            // image, shift itself can exceed ow (then the whole row is
+            // padding and the fill must not spill into the next panel).
+            const int shift = spec.pad_left - kj;
+            const int ox0 = std::clamp(shift, 0, ow);
+            const int ox1 = std::clamp(in_w + shift, ox0, ow);
+            for (int ox = 0; ox < ox0; ++ox) row[ox] = 0.0f;
+            if (ox1 > ox0) {
+              std::memcpy(row + ox0, src_row + ox0 - shift,
+                          sizeof(float) * (ox1 - ox0));
+            }
+            for (int ox = ox1; ox < ow; ++ox) row[ox] = 0.0f;
+          } else {
+            for (int ox = 0; ox < ow; ++ox) {
+              const int ix = ox * spec.stride - spec.pad_left + kj;
+              row[ox] = (ix >= 0 && ix < in_w) ? src_row[ix] : 0.0f;
+            }
           }
         }
-      }
-    }
-  }
+      });
 }
 
 void col2im(const float* col, int in_h, int in_w, const Conv2dSpec& spec,
@@ -85,9 +160,18 @@ void col2im(const float* col, int in_h, int in_w, const Conv2dSpec& spec,
           if (iy < 0 || iy >= in_h) continue;
           const float* row = src + static_cast<std::int64_t>(oy) * ow;
           float* dst_row = xc + static_cast<std::int64_t>(iy) * in_w;
-          for (int ox = 0; ox < ow; ++ox) {
-            const int ix = ox * spec.stride - spec.pad_left + kj;
-            if (ix >= 0 && ix < in_w) dst_row[ix] += row[ox];
+          if (spec.stride == 1) {
+            // ix = ox - shift: the in-image span accumulates contiguously.
+            const int shift = spec.pad_left - kj;
+            const int ox0 = std::max(0, shift);
+            const int ox1 = std::min(ow, in_w + shift);
+            float* base = dst_row - shift;
+            for (int ox = ox0; ox < ox1; ++ox) base[ox] += row[ox];
+          } else {
+            for (int ox = 0; ox < ow; ++ox) {
+              const int ix = ox * spec.stride - spec.pad_left + kj;
+              if (ix >= 0 && ix < in_w) dst_row[ix] += row[ox];
+            }
           }
         }
       }
@@ -97,7 +181,10 @@ void col2im(const float* col, int in_h, int in_w, const Conv2dSpec& spec,
 
 void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
                     Tensor& y, const Conv2dSpec& spec, par::ThreadPool* pool,
-                    std::vector<float>& col_scratch) {
+                    ConvScratch& scratch) {
+  // The implicit-GEMM forward no longer touches scratch.col; the parameter
+  // stays so forward/backward share one arena-passing call shape.
+  (void)scratch;
   require_4d(x, "conv2d_forward(x)");
   const int batch = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
   if (x.dim(1) != spec.in_ch) {
@@ -109,14 +196,16 @@ void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
     y = Tensor({batch, spec.out_ch, oh, ow});
   }
   const std::int64_t plane = static_cast<std::int64_t>(oh) * ow;
-  col_scratch.resize(static_cast<std::size_t>(spec.col_rows()) * plane);
 
   for (int n = 0; n < batch; ++n) {
     const float* xn = x.data() + x.offset4(n, 0, 0, 0);
     float* yn = y.data() + y.offset4(n, 0, 0, 0);
-    im2col(xn, in_h, in_w, spec, col_scratch.data());
-    gemm_nn(spec.out_ch, static_cast<int>(plane), spec.col_rows(), w.data(),
-            col_scratch.data(), yn, /*accumulate=*/false, pool);
+    // Implicit GEMM: the B operand is packed straight from xn, so no col
+    // matrix is materialized on the forward path.
+    ConvColSource src{xn, in_h, in_w, oh, ow, &spec};
+    gemm_nn_virtual_b(spec.out_ch, static_cast<int>(plane), spec.col_rows(),
+                      w.data(), BPacker{&src, &ConvColSource::pack}, yn,
+                      /*accumulate=*/false, pool);
     for (int oc = 0; oc < spec.out_ch; ++oc) {
       const float bias = b[oc];
       float* row = yn + static_cast<std::int64_t>(oc) * plane;
@@ -128,26 +217,25 @@ void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
 void conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
                      Tensor* dx, Tensor& dw, Tensor& db,
                      const Conv2dSpec& spec, par::ThreadPool* pool,
-                     std::vector<float>& col_scratch,
-                     std::vector<float>& dcol_scratch) {
+                     ConvScratch& scratch) {
   require_4d(x, "conv2d_backward(x)");
   require_4d(dy, "conv2d_backward(dy)");
   const int batch = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
   const int oh = spec.out_h(in_h), ow = spec.out_w(in_w);
   const std::int64_t plane = static_cast<std::int64_t>(oh) * ow;
-  col_scratch.resize(static_cast<std::size_t>(spec.col_rows()) * plane);
+  scratch.col.resize(static_cast<std::size_t>(spec.col_rows()) * plane);
   if (dx != nullptr) {
-    dcol_scratch.resize(static_cast<std::size_t>(spec.col_rows()) * plane);
+    scratch.dcol.resize(static_cast<std::size_t>(spec.col_rows()) * plane);
     if (!dx->same_shape(x)) *dx = Tensor(x.shape());
   }
 
   for (int n = 0; n < batch; ++n) {
     const float* xn = x.data() + x.offset4(n, 0, 0, 0);
     const float* dyn = dy.data() + dy.offset4(n, 0, 0, 0);
-    im2col(xn, in_h, in_w, spec, col_scratch.data());
+    im2col(xn, in_h, in_w, spec, scratch.col.data(), pool);
     // dW[OC, CKK] += dY_n[OC, plane] * col[CKK, plane]^T
     gemm_nt(spec.out_ch, spec.col_rows(), static_cast<int>(plane), dyn,
-            col_scratch.data(), dw.data(), /*accumulate=*/true, pool);
+            scratch.col.data(), dw.data(), /*accumulate=*/true, pool);
     // db[oc] += sum of dY_n over the spatial plane
     for (int oc = 0; oc < spec.out_ch; ++oc) {
       const float* row = dyn + static_cast<std::int64_t>(oc) * plane;
@@ -158,12 +246,12 @@ void conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
     if (dx != nullptr) {
       // dcol[CKK, plane] = W[OC, CKK]^T * dY_n[OC, plane]
       gemm_tn(spec.col_rows(), static_cast<int>(plane), spec.out_ch, w.data(),
-              dyn, dcol_scratch.data(), /*accumulate=*/false, pool);
+              dyn, scratch.dcol.data(), /*accumulate=*/false, pool);
       float* dxn = dx->data() + dx->offset4(n, 0, 0, 0);
       std::memset(dxn, 0,
                   sizeof(float) * static_cast<std::size_t>(spec.in_ch) * in_h *
                       in_w);
-      col2im(dcol_scratch.data(), in_h, in_w, spec, dxn);
+      col2im(scratch.dcol.data(), in_h, in_w, spec, dxn);
     }
   }
 }

@@ -39,9 +39,20 @@ struct Conv2dSpec {
   [[nodiscard]] int col_rows() const noexcept { return in_ch * kh * kw; }
 };
 
+/// Reusable im2col scratch. One arena can serve every conv layer of a model
+/// (plumbed through nn::Layer::set_scratch): the buffers grow once to the
+/// largest layer's panel and are reused by all of them, instead of every
+/// layer carrying its own peak-sized copy.
+struct ConvScratch {
+  std::vector<float> col;   // im2col panel [C*kh*kw, OH*OW]
+  std::vector<float> dcol;  // gradient panel of the same shape (backward)
+};
+
 /// Expands one sample x[C,H,W] into col[C*kh*kw, OH*OW] (zero padding).
+/// `pool` parallelizes over the C*kh*kw panel rows; output is identical
+/// with and without it.
 void im2col(const float* x, int in_h, int in_w, const Conv2dSpec& spec,
-            float* col);
+            float* col, par::ThreadPool* pool = nullptr);
 
 /// Scatters col[C*kh*kw, OH*OW] gradients back into dx[C,H,W] (accumulating;
 /// caller zeroes dx first).
@@ -49,10 +60,10 @@ void col2im(const float* col, int in_h, int in_w, const Conv2dSpec& spec,
             float* dx);
 
 /// y[N,OC,OH,OW] = conv(x[N,C,H,W], w[OC,C,kh,kw]) + b[OC].
-/// `col_scratch` is resized as needed and reused across calls.
+/// `scratch.col` is resized as needed and reused across calls.
 void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
                     Tensor& y, const Conv2dSpec& spec, par::ThreadPool* pool,
-                    std::vector<float>& col_scratch);
+                    ConvScratch& scratch);
 
 /// Gradients of conv2d. dw/db are accumulated into (caller zeroes at the
 /// start of a batch); dx is overwritten. Pass dx == nullptr to skip input
@@ -60,8 +71,7 @@ void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
 void conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
                      Tensor* dx, Tensor& dw, Tensor& db,
                      const Conv2dSpec& spec, par::ThreadPool* pool,
-                     std::vector<float>& col_scratch,
-                     std::vector<float>& dcol_scratch);
+                     ConvScratch& scratch);
 
 /// 2x2/stride-2 max pooling; requires even H and W. `argmax` records the
 /// winning corner (0..3) per output element for the backward pass.

@@ -2,79 +2,373 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 #include "par/parallel_for.h"
+#include "tensor/pack_arena.h"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#define POLARICE_GEMM_AVX512 1
+#elif defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define POLARICE_GEMM_AVX2 1
+#endif
 
 namespace polarice::tensor {
 
 namespace {
-// Minimum columns of C per task; keeps task overhead negligible relative to
-// the O(M*K) work per column block.
-constexpr int kMinColsPerTask = 64;
 
-int column_chunk(int n, par::ThreadPool* pool) {
-  if (pool == nullptr) return n;
-  const int per_worker = (n + static_cast<int>(pool->size()) - 1) /
-                         static_cast<int>(pool->size());
-  return std::max(per_worker, kMinColsPerTask);
+// Register tile: the micro-kernel computes an kMR x kNR block of C entirely
+// in registers — kMR rows by two vector registers of columns. With AVX2
+// (kNR = 16) that is 12 fp accumulators + 2 B vectors + 1 A broadcast = 15
+// of the 16 ymm registers; AVX-512 doubles the column width (kNR = 32) with
+// register room to spare.
+constexpr int kMR = 6;
+constexpr int kNR = kGemmNR;
+
+// k-panel depth: one packed B strip (kKC * kNR floats = 16 KiB) stays
+// resident in L1 while the micro-kernel sweeps the m-strips of a macro-tile.
+constexpr int kKC = 256;
+
+// Packed B panel budget: the kc x nc panel a compute pass sweeps must stay
+// L2-resident (with headroom for the A panel and C tiles), so the column
+// blocking nc is derived as kNCBudgetBytes / (4 * kc), strip-aligned.
+constexpr int kNCBudgetBytes = 768 * 1024;
+
+// Macro-tile: one parallel task owns kMBlock x kNBlock strips of C
+// (72 x 256 scalars), streaming its packed A strips (<= 72 KiB) from L2.
+constexpr int kMBlock = 12;
+constexpr int kNBlock = 16;
+
+// Below this many multiply-adds, parallel dispatch costs more than it buys;
+// the packed kernel runs the whole product on the calling thread.
+constexpr std::int64_t kMinFlopsForPool = 64 * 1024;
+
+constexpr int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+// Tracks how many gemm_driver frames are live on this thread. A thread
+// blocked in a join may help-run another queued task that starts a GEMM
+// (par helping join); the nested frame leases the next PackArena level so
+// it cannot realloc the outer frame's live panels.
+struct GemmDepthLease {
+  GemmDepthLease() : arena(PackArena::local(depth()++)) {}
+  ~GemmDepthLease() { --depth(); }
+  GemmDepthLease(const GemmDepthLease&) = delete;
+  GemmDepthLease& operator=(const GemmDepthLease&) = delete;
+  static std::size_t& depth() {
+    thread_local std::size_t d = 0;
+    return d;
+  }
+  PackArena& arena;
+};
+
+// ---------------------------------------------------------------------------
+// Packing. Operand layouts are described by (row stride, column stride) so a
+// single packer covers the N and T variants. Edge strips are zero-padded to
+// full kMR/kNR width: the micro-kernel never branches, padded lanes compute
+// against 0.0f, and the copy-out discards them.
+
+// One strip of A: `rows` (<= kMR) live rows, k-major: dst[p*kMR + r].
+void pack_a_strip(int rows, int kc, const float* a, std::int64_t rs,
+                  std::int64_t cs, float* dst) {
+  for (int p = 0; p < kc; ++p) {
+    float* col = dst + static_cast<std::int64_t>(p) * kMR;
+    for (int r = 0; r < rows; ++r) col[r] = a[r * rs + p * cs];
+    for (int r = rows; r < kMR; ++r) col[r] = 0.0f;
+  }
 }
+
+// One strip of B: `cols` (<= kNR) live columns, k-major: dst[p*kNR + j].
+void pack_b_strip(int cols, int kc, const float* b, std::int64_t rs,
+                  std::int64_t cs, float* dst) {
+  for (int p = 0; p < kc; ++p) {
+    float* row = dst + static_cast<std::int64_t>(p) * kNR;
+    for (int j = 0; j < cols; ++j) row[j] = b[p * rs + j * cs];
+    for (int j = cols; j < kNR; ++j) row[j] = 0.0f;
+  }
+}
+
+void pack_a_panel(int mc, int kc, const float* a, std::int64_t rs,
+                  std::int64_t cs, float* dst, par::ThreadPool* pool) {
+  const int strips = ceil_div(mc, kMR);
+  par::parallel_for(
+      pool, 0, static_cast<std::size_t>(strips),
+      [&](std::size_t s) {
+        const int row0 = static_cast<int>(s) * kMR;
+        pack_a_strip(std::min(kMR, mc - row0), kc, a + row0 * rs, rs, cs,
+                     dst + s * static_cast<std::size_t>(kc) * kMR);
+      },
+      /*grain=*/8);
+}
+
+// ---------------------------------------------------------------------------
+// Micro-kernel: C[kMR x kNR] (+)= packed_A_strip * packed_B_strip.
+
+#ifdef POLARICE_GEMM_AVX512
+
+void micro_kernel(int kc, const float* ap, const float* bp, float* c,
+                  std::int64_t ldc, bool accumulate) {
+  __m512 acc[kMR][2];
+  for (int r = 0; r < kMR; ++r) {
+    acc[r][0] = _mm512_setzero_ps();
+    acc[r][1] = _mm512_setzero_ps();
+  }
+  for (int p = 0; p < kc; ++p) {
+    // Packed strips are 64-byte aligned with 128-byte row pitch.
+    const __m512 b0 = _mm512_load_ps(bp + static_cast<std::int64_t>(p) * kNR);
+    const __m512 b1 =
+        _mm512_load_ps(bp + static_cast<std::int64_t>(p) * kNR + 16);
+    const float* acol = ap + static_cast<std::int64_t>(p) * kMR;
+    for (int r = 0; r < kMR; ++r) {
+      const __m512 av = _mm512_set1_ps(acol[r]);
+      acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < kMR; ++r) {
+    float* crow = c + r * ldc;
+    if (accumulate) {
+      _mm512_storeu_ps(crow,
+                       _mm512_add_ps(_mm512_loadu_ps(crow), acc[r][0]));
+      _mm512_storeu_ps(crow + 16,
+                       _mm512_add_ps(_mm512_loadu_ps(crow + 16), acc[r][1]));
+    } else {
+      _mm512_storeu_ps(crow, acc[r][0]);
+      _mm512_storeu_ps(crow + 16, acc[r][1]);
+    }
+  }
+}
+
+#elif defined(POLARICE_GEMM_AVX2)
+
+void micro_kernel(int kc, const float* ap, const float* bp, float* c,
+                  std::int64_t ldc, bool accumulate) {
+  __m256 acc[kMR][2];
+  for (int r = 0; r < kMR; ++r) {
+    acc[r][0] = _mm256_setzero_ps();
+    acc[r][1] = _mm256_setzero_ps();
+  }
+  for (int p = 0; p < kc; ++p) {
+    // Packed strips are 64-byte aligned with 64-byte row pitch.
+    const __m256 b0 = _mm256_load_ps(bp + static_cast<std::int64_t>(p) * kNR);
+    const __m256 b1 =
+        _mm256_load_ps(bp + static_cast<std::int64_t>(p) * kNR + 8);
+    const float* acol = ap + static_cast<std::int64_t>(p) * kMR;
+    for (int r = 0; r < kMR; ++r) {
+      const __m256 av = _mm256_broadcast_ss(acol + r);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < kMR; ++r) {
+    float* crow = c + r * ldc;
+    if (accumulate) {
+      _mm256_storeu_ps(crow,
+                       _mm256_add_ps(_mm256_loadu_ps(crow), acc[r][0]));
+      _mm256_storeu_ps(crow + 8,
+                       _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[r][1]));
+    } else {
+      _mm256_storeu_ps(crow, acc[r][0]);
+      _mm256_storeu_ps(crow + 8, acc[r][1]);
+    }
+  }
+}
+
+#else  // portable fallback: fixed-trip-count tile the compiler vectorizes
+
+void micro_kernel(int kc, const float* ap, const float* bp, float* c,
+                  std::int64_t ldc, bool accumulate) {
+  float acc[kMR][kNR] = {};
+  for (int p = 0; p < kc; ++p) {
+    const float* brow = bp + static_cast<std::int64_t>(p) * kNR;
+    const float* acol = ap + static_cast<std::int64_t>(p) * kMR;
+    for (int r = 0; r < kMR; ++r) {
+      const float av = acol[r];
+      for (int j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int r = 0; r < kMR; ++r) {
+    float* crow = c + r * ldc;
+    if (accumulate) {
+      for (int j = 0; j < kNR; ++j) crow[j] += acc[r][j];
+    } else {
+      for (int j = 0; j < kNR; ++j) crow[j] = acc[r][j];
+    }
+  }
+}
+
+#endif  // POLARICE_GEMM_AVX2
+
+// ---------------------------------------------------------------------------
+// Blocked driver: loop over k-panels; per panel, pack both operands into the
+// caller's thread-local arena (packing itself is parallel over strips), then
+// sweep the 2-D macro-tile grid of C in parallel. Within a task, B strips
+// are the inner-cache-resident operand: the js loop is outer so one packed B
+// strip serves every m-strip of the block from L1.
+
+template <typename PackBStripFn>
+void gemm_driver(int m, int n, int k, const float* a, std::int64_t ars,
+                 std::int64_t acs, const PackBStripFn& pack_b, float* c,
+                 bool accumulate, par::ThreadPool* pool) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) {
+      std::memset(c, 0,
+                  sizeof(float) * static_cast<std::size_t>(m) * n);
+    }
+    return;
+  }
+  if (pool != nullptr &&
+      (pool->size() == 1 ||
+       static_cast<std::int64_t>(m) * n * k < kMinFlopsForPool)) {
+    pool = nullptr;
+  }
+  const int m_strips = ceil_div(m, kMR);
+  const int kc_max = std::min(k, kKC);
+  // Column blocking: nc is the widest strip-aligned block whose packed
+  // kc_max x nc panel fits the L2 budget (but at least one macro-tile).
+  int nc = (kNCBudgetBytes / static_cast<int>(sizeof(float)) / kc_max) / kNR *
+           kNR;
+  nc = std::max(nc, kNBlock * kNR);
+  nc = std::min(nc, ceil_div(n, kNR) * kNR);
+  const int nc_strips = nc / kNR;
+
+  const GemmDepthLease lease;
+  PackArena& arena = lease.arena;
+  float* packa = arena.a_panel.ensure(static_cast<std::size_t>(m_strips) *
+                                      kMR * kc_max);
+  float* packb =
+      arena.b_panel.ensure(static_cast<std::size_t>(nc_strips) * kNR * kc_max);
+  const int mblocks = ceil_div(m_strips, kMBlock);
+
+  for (int pc = 0; pc < k; pc += kKC) {
+    const int kc = std::min(kKC, k - pc);
+    pack_a_panel(m, kc, a + pc * acs, ars, acs, packa, pool);
+    // Panels beyond the first always accumulate into the partial C.
+    const bool acc_panel = accumulate || pc > 0;
+    for (int jc = 0; jc < n; jc += nc) {
+      const int ncols = std::min(nc, n - jc);
+      const int panel_strips = ceil_div(ncols, kNR);
+      par::parallel_for(
+          pool, 0, static_cast<std::size_t>(panel_strips),
+          [&](std::size_t s) {
+            const int col0 = jc + static_cast<int>(s) * kNR;
+            pack_b(pc, kc, col0, std::min(kNR, n - col0),
+                   packb + s * static_cast<std::size_t>(kc) * kNR);
+          },
+          /*grain=*/8);
+      const int nblocks = ceil_div(panel_strips, kNBlock);
+      par::parallel_for_2d(
+          pool, static_cast<std::size_t>(mblocks),
+          static_cast<std::size_t>(nblocks),
+          [&](std::size_t bi, std::size_t bj) {
+            const int is0 = static_cast<int>(bi) * kMBlock;
+            const int is1 = std::min(m_strips, is0 + kMBlock);
+            const int js0 = static_cast<int>(bj) * kNBlock;
+            const int js1 = std::min(panel_strips, js0 + kNBlock);
+            alignas(64) float buf[kMR * kNR];
+            for (int js = js0; js < js1; ++js) {
+              const float* bp =
+                  packb + static_cast<std::size_t>(js) * kc * kNR;
+              const int j0 = jc + js * kNR;
+              const int nr = std::min(kNR, n - j0);
+              for (int is = is0; is < is1; ++is) {
+                const float* ap =
+                    packa + static_cast<std::size_t>(is) * kc * kMR;
+                const int i0 = is * kMR;
+                const int mr = std::min(kMR, m - i0);
+                float* ctile = c + static_cast<std::int64_t>(i0) * n + j0;
+                if (mr == kMR && nr == kNR) {
+                  micro_kernel(kc, ap, bp, ctile, n, acc_panel);
+                } else {
+                  micro_kernel(kc, ap, bp, buf, kNR, /*accumulate=*/false);
+                  for (int r = 0; r < mr; ++r) {
+                    float* crow = ctile + static_cast<std::int64_t>(r) * n;
+                    const float* srow = buf + r * kNR;
+                    if (acc_panel) {
+                      for (int j = 0; j < nr; ++j) crow[j] += srow[j];
+                    } else {
+                      for (int j = 0; j < nr; ++j) crow[j] = srow[j];
+                    }
+                  }
+                }
+              }
+            }
+          },
+          /*tile_rows=*/1, /*tile_cols=*/1);
+    }
+  }
+}
+
+// Strided-source B packer for the three dense layout variants.
+struct StridedB {
+  const float* b;
+  std::int64_t brs, bcs;
+  void operator()(int k0, int kc, int j0, int cols, float* dst) const {
+    pack_b_strip(cols, kc, b + k0 * brs + j0 * bcs, brs, bcs, dst);
+  }
+};
+
 }  // namespace
 
 void gemm_nn(int m, int n, int k, const float* a, const float* b, float* c,
              bool accumulate, par::ThreadPool* pool) {
-  const int chunk = column_chunk(n, pool);
-  const std::size_t tasks = (n + chunk - 1) / chunk;
-  par::parallel_for(
-      tasks > 1 ? pool : nullptr, 0, tasks,
-      [&](std::size_t t) {
-        const int n0 = static_cast<int>(t) * chunk;
-        const int n1 = std::min(n, n0 + chunk);
-        const int cols = n1 - n0;
-        for (int i = 0; i < m; ++i) {
-          float* crow = c + static_cast<std::int64_t>(i) * n + n0;
-          if (!accumulate) std::memset(crow, 0, sizeof(float) * cols);
-          const float* arow = a + static_cast<std::int64_t>(i) * k;
-          for (int p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f) continue;
-            const float* brow = b + static_cast<std::int64_t>(p) * n + n0;
-            for (int j = 0; j < cols; ++j) crow[j] += av * brow[j];
-          }
-        }
-      },
-      1);
-}
-
-void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c,
-             bool accumulate, par::ThreadPool* pool) {
-  const int chunk = column_chunk(n, pool);
-  const std::size_t tasks = (n + chunk - 1) / chunk;
-  par::parallel_for(
-      tasks > 1 ? pool : nullptr, 0, tasks,
-      [&](std::size_t t) {
-        const int n0 = static_cast<int>(t) * chunk;
-        const int n1 = std::min(n, n0 + chunk);
-        const int cols = n1 - n0;
-        for (int i = 0; i < m; ++i) {
-          float* crow = c + static_cast<std::int64_t>(i) * n + n0;
-          if (!accumulate) std::memset(crow, 0, sizeof(float) * cols);
-          for (int p = 0; p < k; ++p) {
-            const float av = a[static_cast<std::int64_t>(p) * m + i];
-            if (av == 0.0f) continue;
-            const float* brow = b + static_cast<std::int64_t>(p) * n + n0;
-            for (int j = 0; j < cols; ++j) crow[j] += av * brow[j];
-          }
-        }
-      },
-      1);
+  gemm_driver(m, n, k, a, /*ars=*/k, /*acs=*/1, StridedB{b, n, 1}, c,
+              accumulate, pool);
 }
 
 void gemm_nt(int m, int n, int k, const float* a, const float* b, float* c,
              bool accumulate, par::ThreadPool* pool) {
-  // Parallelize over rows of C here: the dot-product kernel walks contiguous
-  // rows of both A and B, so row blocks are cache-friendly.
-  const std::size_t rows = static_cast<std::size_t>(m);
-  par::parallel_for(pool, 0, rows, [&](std::size_t i) {
+  gemm_driver(m, n, k, a, /*ars=*/k, /*acs=*/1, StridedB{b, 1, k}, c,
+              accumulate, pool);
+}
+
+void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c,
+             bool accumulate, par::ThreadPool* pool) {
+  gemm_driver(m, n, k, a, /*ars=*/1, /*acs=*/m, StridedB{b, n, 1}, c,
+              accumulate, pool);
+}
+
+void gemm_nn_virtual_b(int m, int n, int k, const float* a, BPacker b,
+                       float* c, bool accumulate, par::ThreadPool* pool) {
+  static_assert(kNR == kGemmNR, "BPacker contract mirrors the micro-tile");
+  if (b.nr != kNR) {
+    throw std::logic_error(
+        "gemm_nn_virtual_b: BPacker panel pitch " + std::to_string(b.nr) +
+        " != library micro-tile width " + std::to_string(kNR) +
+        " — caller TU compiled with different SIMD arch flags?");
+  }
+  gemm_driver(
+      m, n, k, a, /*ars=*/k, /*acs=*/1,
+      [&b](int k0, int kc, int j0, int cols, float* dst) {
+        b.fn(b.ctx, k0, kc, j0, cols, dst);
+      },
+      c, accumulate, pool);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar references: the seed's triple loops, branch-free (the seed skipped
+// av == 0.0f, which also skipped -0.0 sign and NaN propagation).
+
+void gemm_nn_ref(int m, int n, int k, const float* a, const float* b, float* c,
+                 bool accumulate) {
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::int64_t>(i) * n;
+    if (!accumulate) std::memset(crow, 0, sizeof(float) * n);
+    const float* arow = a + static_cast<std::int64_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + static_cast<std::int64_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt_ref(int m, int n, int k, const float* a, const float* b, float* c,
+                 bool accumulate) {
+  for (int i = 0; i < m; ++i) {
     const float* arow = a + static_cast<std::int64_t>(i) * k;
     float* crow = c + static_cast<std::int64_t>(i) * n;
     for (int j = 0; j < n; ++j) {
@@ -83,7 +377,20 @@ void gemm_nt(int m, int n, int k, const float* a, const float* b, float* c,
       for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
       crow[j] = accumulate ? crow[j] + acc : acc;
     }
-  });
+  }
+}
+
+void gemm_tn_ref(int m, int n, int k, const float* a, const float* b, float* c,
+                 bool accumulate) {
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::int64_t>(i) * n;
+    if (!accumulate) std::memset(crow, 0, sizeof(float) * n);
+    for (int p = 0; p < k; ++p) {
+      const float av = a[static_cast<std::int64_t>(p) * m + i];
+      const float* brow = b + static_cast<std::int64_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
 }
 
 }  // namespace polarice::tensor

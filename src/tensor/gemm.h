@@ -7,9 +7,20 @@
 //   NT:  C[M,N] (+)= A[M,K]   * B[N,K]^T    (backward: dY * col^T -> dW)
 //   TN:  C[M,N] (+)= A[K,M]^T * B[K,N]      (backward: W^T * dY -> dcol)
 //
-// Work is split over column blocks of C and run on the optional thread pool;
-// pool == nullptr executes sequentially (one ddp rank == one "GPU", which
-// must not steal the host's cores from its peers).
+// The production kernels are cache-blocked and panel-packed: A and B are
+// repacked per k-panel into MR-row / NR-column strips held in a per-thread
+// scratch arena (tensor/pack_arena.h), and an unrolled register-tiled
+// micro-kernel (AVX2+FMA intrinsics when available, an auto-vectorizable
+// portable tile otherwise) computes MR x NR tiles of C. Work is distributed
+// over the 2-D macro-tile grid of C via par::parallel_for_2d; pool ==
+// nullptr executes sequentially (one ddp rank == one "GPU", which must not
+// steal the host's cores from its peers). Blocking parameters and the
+// packing layout are documented in docs/PERF.md.
+//
+// The *_ref variants are the seed's scalar triple loops (kept branch-free:
+// no zero-skip, so -0.0 and NaN propagate IEEE-correctly). They are the
+// ground truth the tests and micro-benchmarks compare the blocked kernels
+// against, and are sequential by design.
 
 #include <cstdint>
 
@@ -28,5 +39,42 @@ void gemm_nt(int m, int n, int k, const float* a, const float* b, float* c,
 /// C[M,N] = (accumulate ? C : 0) + A[K,M]^T * B[K,N].
 void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c,
              bool accumulate, par::ThreadPool* pool);
+
+/// Width of the packed-B strips the blocked driver consumes (columns per
+/// micro-tile — two vector registers wide). Custom B packers write panels
+/// of kc x kGemmNR floats.
+#if defined(__AVX512F__)
+inline constexpr int kGemmNR = 32;
+#else
+inline constexpr int kGemmNR = 16;
+#endif
+
+/// Supplies the B operand by packing panels directly from a custom source —
+/// e.g. conv2d packs im2col columns straight out of the input image
+/// (implicit GEMM), never materializing the col matrix on the forward path.
+struct BPacker {
+  void* ctx;
+  /// fn(ctx, k0, kc, j0, cols, dst): write rows [k0, k0+kc) x columns
+  /// [j0, j0+cols) of the virtual B[K,N] into dst (kc x kGemmNR floats,
+  /// zero-padded on the right when cols < kGemmNR).
+  void (*fn)(void* ctx, int k0, int kc, int j0, int cols, float* dst);
+  /// Panel pitch the packer writes. Leave at the default: the library
+  /// validates it against its own compiled-in micro-tile width and throws
+  /// on mismatch, catching TUs built with different arch flags (kGemmNR is
+  /// 32 under AVX-512, 16 otherwise) before they produce garbage C.
+  int nr = kGemmNR;
+};
+
+/// C[M,N] = (accumulate ? C : 0) + A[M,K] * B_virtual[K,N].
+void gemm_nn_virtual_b(int m, int n, int k, const float* a, BPacker b,
+                       float* c, bool accumulate, par::ThreadPool* pool);
+
+/// Scalar reference kernels (sequential, unblocked, branch-free).
+void gemm_nn_ref(int m, int n, int k, const float* a, const float* b, float* c,
+                 bool accumulate);
+void gemm_nt_ref(int m, int n, int k, const float* a, const float* b, float* c,
+                 bool accumulate);
+void gemm_tn_ref(int m, int n, int k, const float* a, const float* b, float* c,
+                 bool accumulate);
 
 }  // namespace polarice::tensor

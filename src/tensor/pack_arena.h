@@ -1,0 +1,80 @@
+#pragma once
+// Per-thread scratch arena for the GEMM panel-packing buffers.
+//
+// The blocked GEMM packs A and B panels into contiguous, cache-aligned
+// scratch before running the micro-kernels. Those panels are pure scratch —
+// their contents never outlive one k-panel iteration — so the arena hands
+// out reusable buffers that only ever grow, amortizing allocation to zero
+// across the thousands of GEMM calls a training run makes. One arena per
+// thread and nesting level (thread_local) keeps concurrent callers (ddp
+// ranks, parallel tile pipelines) isolated without locking; pool workers
+// only *read* the packed panels of the calling thread. Nesting levels
+// exist because a thread blocked in a GEMM's join can "help" run another
+// queued task (par helping join) that itself starts a GEMM on the same
+// thread — that inner call must not grow/realloc the outer call's live
+// panels, so it leases the next level instead.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace polarice::tensor {
+
+/// Growable 64-byte-aligned float buffer. Grows geometrically and never
+/// shrinks; contents are undefined after ensure().
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  ~AlignedBuffer() { release(); }
+
+  /// Returns a buffer of at least `floats` elements, aligned to 64 bytes
+  /// (one cache line / one AVX-512 lane; also a whole number of the
+  /// 16-float micro-kernel panels).
+  float* ensure(std::size_t floats) {
+    if (floats > capacity_) {
+      std::size_t grown = capacity_ == 0 ? 1024 : capacity_;
+      while (grown < floats) grown *= 2;
+      release();
+      data_ = static_cast<float*>(
+          ::operator new(grown * sizeof(float), std::align_val_t(64)));
+      capacity_ = grown;
+    }
+    return data_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  void release() noexcept {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t(64));
+      data_ = nullptr;
+    }
+  }
+
+  float* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+/// The two panel buffers one in-flight GEMM needs.
+struct PackArena {
+  AlignedBuffer a_panel;  // packed A: MR-row strips, k-major within a strip
+  AlignedBuffer b_panel;  // packed B: NR-column strips, k-major within a strip
+
+  /// The calling thread's arena for GEMM nesting depth `level` (created on
+  /// first use, reused for the thread's lifetime). Level 0 is the common
+  /// case; deeper levels are leased by re-entrant GEMMs on the same thread
+  /// (see file comment).
+  static PackArena& local(std::size_t level = 0) {
+    thread_local std::vector<std::unique_ptr<PackArena>> arenas;
+    while (arenas.size() <= level) {
+      arenas.push_back(std::make_unique<PackArena>());
+    }
+    return *arenas[level];
+  }
+};
+
+}  // namespace polarice::tensor

@@ -187,3 +187,82 @@ TEST(ThreadPool, ParallelNotSlowerThanSequentialOnRealWork) {
   const double par = run(&pool);
   EXPECT_LT(par, seq * 1.5);
 }
+
+// Regression: a non-identity init must be folded exactly once, not once per
+// chunk (the seed seeded every chunk's accumulator with init and then folded
+// init again in the final combine).
+TEST(ParallelReduce, NonZeroInitCountedExactlyOnce) {
+  pp::ThreadPool pool(8);
+  const auto sum = pp::parallel_reduce<long>(
+      &pool, 0, 10000, 1000L, [](std::size_t i) { return long(i); },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(sum, 1000L + 10000L * 9999L / 2);
+}
+
+TEST(ParallelReduce, NonZeroInitMatchesSequentialForAnyWorkerCount) {
+  for (const int workers : {1, 2, 3, 8}) {
+    pp::ThreadPool pool(workers);
+    const auto sum = pp::parallel_reduce<long>(
+        &pool, 5, 777, 42L, [](std::size_t i) { return long(i * i); },
+        [](long a, long b) { return a + b; });
+    long want = 42;
+    for (std::size_t i = 5; i < 777; ++i) want += long(i * i);
+    EXPECT_EQ(sum, want) << "workers=" << workers;
+  }
+}
+
+TEST(ParallelFor2D, CoversEveryCellExactlyOnce) {
+  pp::ThreadPool pool(4);
+  constexpr std::size_t kRows = 37, kCols = 53;
+  std::vector<std::atomic<int>> hits(kRows * kCols);
+  pp::parallel_for_2d(&pool, kRows, kCols, [&](std::size_t i, std::size_t j) {
+    ++hits[i * kCols + j];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor2D, ExplicitTilesCoverRaggedEdges) {
+  pp::ThreadPool pool(4);
+  constexpr std::size_t kRows = 10, kCols = 23;
+  std::vector<std::atomic<int>> hits(kRows * kCols);
+  pp::parallel_for_2d(
+      &pool, kRows, kCols,
+      [&](std::size_t i, std::size_t j) { ++hits[i * kCols + j]; },
+      /*tile_rows=*/3, /*tile_cols=*/7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor2D, NullPoolAndEmptyGrid) {
+  int calls = 0;
+  pp::parallel_for_2d(nullptr, 4, 4, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 16);
+  pp::parallel_for_2d(nullptr, 0, 9, [&](std::size_t, std::size_t) { ++calls; });
+  pp::parallel_for_2d(nullptr, 9, 0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 16);
+}
+
+TEST(ParallelFor2D, PropagatesBodyException) {
+  pp::ThreadPool pool(4);
+  EXPECT_THROW(
+      pp::parallel_for_2d(&pool, 16, 16,
+                          [](std::size_t i, std::size_t j) {
+                            if (i == 7 && j == 7)
+                              throw std::runtime_error("tile");
+                          }),
+      std::runtime_error);
+}
+
+// The latch-based join must allow nested parallel_for from inside pool tasks
+// (the caller helps drain the queue instead of sleeping on a future).
+TEST(ParallelFor, NestedFromPoolTaskDoesNotDeadlock) {
+  pp::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pp::parallel_for(
+      &pool, 0, 4,
+      [&](std::size_t) {
+        pp::parallel_for(
+            &pool, 0, 8, [&](std::size_t) { ++counter; }, 1);
+      },
+      1);
+  EXPECT_EQ(counter.load(), 32);
+}

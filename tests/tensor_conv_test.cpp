@@ -85,7 +85,7 @@ TEST_P(ConvSweep, ForwardMatchesDirectReference) {
       random_tensor({c.out_ch, c.in_ch, c.k, c.k}, 2, 0.5);
   const auto b = random_tensor({c.out_ch}, 3, 0.1);
   pt::Tensor y;
-  std::vector<float> scratch;
+  pt::ConvScratch scratch;
   pp::ThreadPool pool(4);
   pt::conv2d_forward(x, w, b, y, spec2, &pool, scratch);
   const auto want = ref_conv2d(x, w, b, spec2);
@@ -112,14 +112,13 @@ TEST(Conv2dBackward, FiniteDifferenceGradients) {
   const auto b = random_tensor({3}, 12, 0.1);
   const auto probe = random_tensor({2, 3, 5, 5}, 13);
 
-  std::vector<float> scratch, dscratch;
+  pt::ConvScratch scratch;
   pt::Tensor y;
   pt::conv2d_forward(x, w, b, y, spec, nullptr, scratch);
 
   // Analytic gradients with dy = probe.
   pt::Tensor dx, dw(w.shape()), db(b.shape());
-  pt::conv2d_backward(x, w, probe, &dx, dw, db, spec, nullptr, scratch,
-                      dscratch);
+  pt::conv2d_backward(x, w, probe, &dx, dw, db, spec, nullptr, scratch);
 
   const float eps = 1e-2f;
   // Check dw on a sample of coordinates.
@@ -169,9 +168,9 @@ TEST(Conv2dBackward, NullDxSkipsInputGradient) {
   const auto w = random_tensor({2, 1, 3, 3}, 21);
   const auto dy = random_tensor({1, 2, 4, 4}, 22);
   pt::Tensor dw(w.shape()), db({2});
-  std::vector<float> s1, s2;
+  pt::ConvScratch s1;
   EXPECT_NO_THROW(
-      pt::conv2d_backward(x, w, dy, nullptr, dw, db, spec, nullptr, s1, s2));
+      pt::conv2d_backward(x, w, dy, nullptr, dw, db, spec, nullptr, s1));
   EXPECT_GT(dw.max_abs(), 0.0f);
 }
 
@@ -369,4 +368,51 @@ TEST(ArgmaxChannel, PicksMostLikelyClass) {
   ASSERT_EQ(pred.size(), 2u);
   EXPECT_EQ(pred[0], 1);
   EXPECT_EQ(pred[1], 0);
+}
+
+// Regression: the stride-1 im2col fast path must clamp its zero-fill to the
+// output row even when the kernel is wider than the padded image (shift >
+// ow). Unclamped, the leading fill spilled into the next (c,ki,kj) panel —
+// a cross-thread write now that im2col is row-parallel.
+TEST(Im2col, WideKernelTinyImageStaysInRowBounds) {
+  pt::Conv2dSpec spec;
+  spec.in_ch = 1;
+  spec.out_ch = 1;
+  spec.kh = 1;
+  spec.kw = 4;
+  spec.stride = 1;
+  spec.pad_top = 0;
+  spec.pad_bottom = 0;
+  spec.pad_left = 3;
+  spec.pad_right = 0;
+  const int in_h = 2, in_w = 1;
+  const int oh = spec.out_h(in_h), ow = spec.out_w(in_w);
+  ASSERT_EQ(oh, 2);
+  ASSERT_EQ(ow, 1);
+  const std::vector<float> x = {1.5f, -2.5f};
+
+  // Reference: col[(c,ki,kj)][oy,ox] per the im2col definition.
+  std::vector<float> want(static_cast<std::size_t>(spec.col_rows()) * oh * ow);
+  for (int row = 0; row < spec.col_rows(); ++row) {
+    const int kj = row % spec.kw;
+    const int ki = (row / spec.kw) % spec.kh;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        const int iy = oy * spec.stride - spec.pad_top + ki;
+        const int ix = ox * spec.stride - spec.pad_left + kj;
+        const bool in = iy >= 0 && iy < in_h && ix >= 0 && ix < in_w;
+        want[(static_cast<std::size_t>(row) * oh + oy) * ow + ox] =
+            in ? x[static_cast<std::size_t>(iy) * in_w + ix] : 0.0f;
+      }
+    }
+  }
+
+  std::vector<float> col(want.size(), 99.0f);
+  pt::im2col(x.data(), in_h, in_w, spec, col.data());
+  EXPECT_EQ(col, want);
+
+  pp::ThreadPool pool(4);
+  std::vector<float> col_par(want.size(), 99.0f);
+  pt::im2col(x.data(), in_h, in_w, spec, col_par.data(), &pool);
+  EXPECT_EQ(col_par, want);
 }

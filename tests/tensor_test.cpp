@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "par/parallel_for.h"
 #include "par/thread_pool.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor.h"
@@ -166,4 +167,114 @@ TEST(Gemm, PoolAndSequentialBitwiseIdentical) {
   pp::ThreadPool pool(8);
   pt::gemm_nn(m, n, k, a.data(), b.data(), c_par.data(), false, &pool);
   EXPECT_EQ(c_seq, c_par);
+}
+
+// Satellite coverage for the blocked/packed kernels: odd shapes that exercise
+// edge tiles in both dimensions and K spans crossing multiple k-panels
+// (kKC = 256), with accumulate on/off and pool on/off, validated against the
+// scalar reference kernels within 1e-4 relative tolerance.
+class GemmBlockedSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool, bool>> {};
+
+TEST_P(GemmBlockedSweep, MatchesScalarReference) {
+  const auto [m, n, k, accumulate, use_pool] = GetParam();
+  pp::ThreadPool pool(4);
+  pp::ThreadPool* p = use_pool ? &pool : nullptr;
+  const auto expect_rel_close = [](const std::vector<float>& got,
+                                   const std::vector<float>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      const float tol = 1e-4f * std::max(1.0f, std::fabs(want[i]));
+      ASSERT_NEAR(got[i], want[i], tol) << "index " << i;
+    }
+  };
+
+  const auto c0 = random_vec(static_cast<std::size_t>(m) * n, 99);
+
+  const auto a_nn = random_vec(static_cast<std::size_t>(m) * k, 31);
+  const auto b_nn = random_vec(static_cast<std::size_t>(k) * n, 32);
+  std::vector<float> got = c0, want = c0;
+  pt::gemm_nn(m, n, k, a_nn.data(), b_nn.data(), got.data(), accumulate, p);
+  pt::gemm_nn_ref(m, n, k, a_nn.data(), b_nn.data(), want.data(), accumulate);
+  expect_rel_close(got, want);
+
+  const auto b_nt = random_vec(static_cast<std::size_t>(n) * k, 33);
+  got = c0;
+  want = c0;
+  pt::gemm_nt(m, n, k, a_nn.data(), b_nt.data(), got.data(), accumulate, p);
+  pt::gemm_nt_ref(m, n, k, a_nn.data(), b_nt.data(), want.data(), accumulate);
+  expect_rel_close(got, want);
+
+  const auto a_tn = random_vec(static_cast<std::size_t>(k) * m, 34);
+  got = c0;
+  want = c0;
+  pt::gemm_tn(m, n, k, a_tn.data(), b_nn.data(), got.data(), accumulate, p);
+  pt::gemm_tn_ref(m, n, k, a_tn.data(), b_nn.data(), want.data(), accumulate);
+  expect_rel_close(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapesAndPanels, GemmBlockedSweep,
+    ::testing::Combine(::testing::Values(1, 6, 23), ::testing::Values(16, 21, 253),
+                       ::testing::Values(9, 257, 513), ::testing::Bool(),
+                       ::testing::Bool()));
+
+// Regression for the seed's `if (av == 0.0f) continue;` inner-loop branch:
+// a zero in A multiplied by a NaN in B must produce NaN (0 * NaN = NaN), not
+// silently skip the column. Covers all three variants, pooled and not.
+TEST(Gemm, ZeroTimesNaNPropagates) {
+  const int m = 4, n = 20, k = 3;
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> a(static_cast<std::size_t>(m) * k, 0.0f);
+  std::vector<float> b_nn(static_cast<std::size_t>(k) * n, 1.0f);
+  for (int j = 0; j < n; ++j) b_nn[1 * n + j] = qnan;  // row k=1 all NaN
+  std::vector<float> b_nt(static_cast<std::size_t>(n) * k, 1.0f);
+  for (int j = 0; j < n; ++j) b_nt[j * k + 1] = qnan;
+  std::vector<float> a_tn(static_cast<std::size_t>(k) * m, 0.0f);
+
+  pp::ThreadPool pool(4);
+  for (pp::ThreadPool* p : {static_cast<pp::ThreadPool*>(nullptr), &pool}) {
+    std::vector<float> c(static_cast<std::size_t>(m) * n, 7.0f);
+    pt::gemm_nn(m, n, k, a.data(), b_nn.data(), c.data(), false, p);
+    for (const float v : c) EXPECT_TRUE(std::isnan(v));
+
+    c.assign(c.size(), 7.0f);
+    pt::gemm_nt(m, n, k, a.data(), b_nt.data(), c.data(), false, p);
+    for (const float v : c) EXPECT_TRUE(std::isnan(v));
+
+    c.assign(c.size(), 7.0f);
+    pt::gemm_tn(m, n, k, a_tn.data(), b_nn.data(), c.data(), false, p);
+    for (const float v : c) EXPECT_TRUE(std::isnan(v));
+  }
+}
+
+// The scalar references themselves must also propagate NaN (they dropped the
+// zero-skip branch the seed kernels had).
+TEST(Gemm, ReferenceKernelsPropagateNaN) {
+  const int m = 2, n = 3, k = 2;
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> a(static_cast<std::size_t>(m) * k, 0.0f);
+  std::vector<float> b(static_cast<std::size_t>(k) * n, qnan);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  pt::gemm_nn_ref(m, n, k, a.data(), b.data(), c.data(), false);
+  for (const float v : c) EXPECT_TRUE(std::isnan(v));
+}
+
+// A GEMM started from inside a pool task (the helping-join pattern) must
+// lease a deeper PackArena level, not realloc the outer call's live panels.
+TEST(Gemm, NestedUnderPoolTaskIsSafeAndCorrect) {
+  pp::ThreadPool pool(4);
+  const int m = 32, n = 64, k = 64;
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, 70);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, 71);
+  const auto want = ref_gemm('n', m, n, k, a, b);
+  std::vector<std::vector<float>> outs(
+      8, std::vector<float>(static_cast<std::size_t>(m) * n));
+  pp::parallel_for(
+      &pool, 0, outs.size(),
+      [&](std::size_t t) {
+        pt::gemm_nn(m, n, k, a.data(), b.data(), outs[t].data(), false, &pool);
+      },
+      /*grain=*/1);
+  for (const auto& out : outs) expect_close(out, want, 1e-4f);
 }
