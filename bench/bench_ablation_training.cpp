@@ -15,14 +15,14 @@ namespace {
 double train_and_eval(const std::vector<core::LabeledTile>& train_tiles,
                       const std::vector<core::LabeledTile>& test_tiles,
                       int batch, float dropout, int epochs,
-                      par::ThreadPool* pool) {
+                      const par::ExecutionContext& ctx) {
   nn::UNetConfig mc;
   mc.depth = 2;
   mc.base_channels = 8;
   mc.use_dropout = dropout > 0.0f;
   mc.dropout_rate = dropout;
   nn::UNet model(mc);
-  model.set_pool(pool);
+  model.bind(ctx);
   const auto data = core::build_dataset(train_tiles, core::LabelSource::kAuto,
                                         core::ImageVariant::kFiltered);
   nn::TrainConfig tc;
@@ -31,7 +31,7 @@ double train_and_eval(const std::vector<core::LabeledTile>& train_tiles,
   tc.learning_rate = 2e-3f;
   nn::Trainer(model, tc).fit(data);
   return core::TrainingWorkflow::evaluate(model, test_tiles,
-                                          core::ImageVariant::kFiltered, pool)
+                                          core::ImageVariant::kFiltered, ctx)
       .accuracy;
 }
 }  // namespace
@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
   auto corpus_cfg = bench::default_corpus(args);
   corpus_cfg.acquisition.num_scenes =
       static_cast<int>(args.get_int("scenes", 4));
-  auto tiles = core::prepare_corpus(corpus_cfg, &pool);
+  const par::ExecutionContext ctx(&pool);
+  auto tiles = core::prepare_corpus(corpus_cfg, ctx);
   const std::size_t cut = tiles.size() * 8 / 10;
   const std::vector<core::LabeledTile> train(tiles.begin(),
                                              tiles.begin() + cut);
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
   for (const int batch : {2, 4, 8}) {  // paper's 16/32/64 scaled to corpus
     batch_table.add_row({std::to_string(batch),
                          bench::pct(train_and_eval(train, test, batch, 0.2f,
-                                                   epochs, &pool))});
+                                                   epochs, ctx))});
   }
   batch_table.print();
 
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
   for (const float dropout : {0.1f, 0.2f, 0.3f}) {  // the paper's grid
     drop_table.add_row({util::Table::num(dropout, 1),
                         bench::pct(train_and_eval(train, test, 4, dropout,
-                                                  epochs, &pool))});
+                                                  epochs, ctx))});
   }
   drop_table.print();
   std::printf("\npaper's choice: batch 32, dropout 0.2, epochs 50 — a flat "

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   std::printf("running the Fig 2 workflow (%d scenes, %d epochs)...\n",
               workflow.config().acquisition.num_scenes,
               workflow.config().training.epochs);
-  const auto result = workflow.run(&pool);
+  const auto result = workflow.run(par::ExecutionContext(&pool));
 
   print_matrix("U-Net-Man | >10% cover | original",
                result.man_cloudy_original);

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("scenes", 5));
   core::TrainingWorkflow workflow(wf_config);
   std::printf("training both models...\n");
-  const auto result = workflow.run(&pool);
+  const auto result = workflow.run(par::ExecutionContext(&pool));
 
   // Fresh tiles (unseen seed) for the qualitative panels.
   core::CorpusConfig corpus_cfg;
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   corpus_cfg.acquisition.num_scenes = 1;
   corpus_cfg.acquisition.seed = 555000;
   corpus_cfg.acquisition.cloudy_scene_fraction = 1.0;
-  const auto tiles = core::prepare_corpus(corpus_cfg, &pool);
+  const auto tiles = core::prepare_corpus(corpus_cfg, par::ExecutionContext(&pool));
 
   util::Table table({"panel", "cloud cover", "U-Net-Man acc",
                      "U-Net-Auto acc"});

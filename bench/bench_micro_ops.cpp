@@ -280,6 +280,17 @@ static void BM_MorphOpen(benchmark::State& state) {
 }
 BENCHMARK(BM_MorphOpen);
 
+static void BM_MorphOpenRef(benchmark::State& state) {
+  // Seed O(K) window scan, kept for the trajectory comparison against the
+  // van Herk/Gil-Werman production path above.
+  const auto gray = img::rgb_to_gray(bench_scene_rgb(256));
+  for (auto _ : state) {
+    auto out = img::dilate_ref(img::erode_ref(gray, 97), 97);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MorphOpenRef);
+
 static void BM_CloudFilter(benchmark::State& state) {
   const auto rgb = bench_scene_rgb(256);
   const core::CloudShadowFilter filter;

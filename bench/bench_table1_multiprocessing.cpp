@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   const util::Args no_args(0, nullptr);
   auto corpus_cfg = bench::default_corpus(no_args);
   util::WallTimer prep_timer;
-  const auto corpus = core::prepare_corpus(corpus_cfg, nullptr);
+  const auto corpus = core::prepare_corpus(corpus_cfg);
   std::printf("\nscene-level auto-label prep (sequential): %zu tiles from %d "
               "scenes of %d^2 in %.2fs (paper: 4224 tiles / 66 scenes of "
               "2048^2 in 349.26s)\n",

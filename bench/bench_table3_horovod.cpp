@@ -56,7 +56,8 @@ int main(int argc, char** argv) {
   corpus_cfg.acquisition.scene_size = 256;
   corpus_cfg.acquisition.tile_size = 32;
   par::ThreadPool prep_pool(par::ThreadPool::hardware());
-  const auto tiles = core::prepare_corpus(corpus_cfg, &prep_pool);
+  const auto tiles =
+      core::prepare_corpus(corpus_cfg, par::ExecutionContext(&prep_pool));
   const auto data = core::build_dataset(tiles, core::LabelSource::kAuto,
                                         core::ImageVariant::kFiltered);
 

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
               workflow.config().acquisition.num_scenes,
               workflow.config().training.epochs);
   util::WallTimer timer;
-  const auto result = workflow.run(&pool);
+  const auto result = workflow.run(par::ExecutionContext(&pool));
   std::printf("workflow completed in %.1fs\n\n", timer.seconds());
 
   util::Table table({"Dataset", "U-Net-Man", "U-Net-Auto",

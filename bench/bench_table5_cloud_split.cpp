@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   std::printf("running the Fig 2 workflow (%d scenes, %d epochs)...\n",
               workflow.config().acquisition.num_scenes,
               workflow.config().training.epochs);
-  const auto result = workflow.run(&pool);
+  const auto result = workflow.run(par::ExecutionContext(&pool));
   std::printf("test tiles: %zu with >10%% cover, %zu with <10%% cover\n\n",
               result.test_tiles_cloudy, result.test_tiles_clear);
 

@@ -8,6 +8,7 @@
 
 #include "core/corpus.h"
 #include "metrics/metrics.h"
+#include "par/context.h"
 #include "par/thread_pool.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -27,8 +28,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("workers", 8));
 
   par::ThreadPool pool(workers);
+  const par::ExecutionContext ctx(&pool);
   util::WallTimer timer;
-  const auto tiles = core::prepare_corpus(cfg, &pool);
+  const auto tiles = core::prepare_corpus(cfg, ctx);
   const double seconds = timer.seconds();
 
   std::printf("prepared %zu tiles from %d scenes in %.2fs (%zu workers)\n",
@@ -50,7 +52,8 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(s),
                    util::Table::num(100.0 * cloud / per_scene, 1) + "%",
                    util::Table::num(
-                       100.0 * metrics::pixel_accuracy(truth, pred), 2) + "%",
+                       100.0 * metrics::pixel_accuracy(truth, pred, ctx), 2) +
+                       "%",
                    std::to_string(per_scene)});
   }
   table.print();

@@ -10,6 +10,7 @@
 #include "core/dataset_builder.h"
 #include "ddp/device_model.h"
 #include "ddp/distributed_trainer.h"
+#include "par/context.h"
 #include "par/thread_pool.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -27,7 +28,8 @@ int main(int argc, char** argv) {
   corpus_cfg.acquisition.scene_size = 256;
   corpus_cfg.acquisition.tile_size = 32;
   par::ThreadPool pool(par::ThreadPool::hardware());
-  const auto tiles = core::prepare_corpus(corpus_cfg, &pool);
+  const par::ExecutionContext ctx(&pool);
+  const auto tiles = core::prepare_corpus(corpus_cfg, ctx);
   const auto data =
       core::build_dataset(tiles, core::LabelSource::kAuto,
                           core::ImageVariant::kFiltered);
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
     cfg.world_size = ranks;
     cfg.epochs = epochs;
     cfg.batch_per_device = 4;
-    const auto stats = ddp::train_distributed(model, data, cfg);
+    const auto stats = ddp::train_distributed(model, data, cfg, ctx);
     if (ranks == 1) t1 = stats.total_s;
     table.add_row({std::to_string(ranks), util::Table::num(stats.total_s, 2),
                    util::Table::num(stats.epoch_s, 3),

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/workflow.h"
+#include "par/context.h"
 #include "par/thread_pool.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -31,10 +32,11 @@ int main(int argc, char** argv) {
   cfg.training.verbose = args.get_bool("verbose", false);
 
   par::ThreadPool pool(par::ThreadPool::hardware());
+  const par::ExecutionContext ctx(&pool);
   core::TrainingWorkflow workflow(cfg);
   std::printf("training U-Net-Man and U-Net-Auto (%d scenes, %d epochs)...\n",
               cfg.acquisition.num_scenes, cfg.training.epochs);
-  const auto result = workflow.run(&pool);
+  const auto result = workflow.run(ctx);
 
   util::Table table({"Dataset", "U-Net-Man", "U-Net-Auto"});
   table.add_row({"Original S2 images",

@@ -28,12 +28,24 @@ AutoLabeler::AutoLabeler(AutoLabelConfig config)
     : config_(std::move(config)), filter_(config_.filter) {}
 
 AutoLabelResult AutoLabeler::label(const img::ImageU8& rgb,
+                                   const par::ExecutionContext& ctx) const {
+  ctx.throw_if_cancelled("AutoLabeler::label");
+  return label_impl(rgb, ctx);
+}
+
+AutoLabelResult AutoLabeler::label(const img::ImageU8& rgb,
                                    par::ThreadPool* pool) const {
+  return label_impl(rgb, par::ExecutionContext(pool));
+}
+
+AutoLabelResult AutoLabeler::label_impl(
+    const img::ImageU8& rgb, const par::ExecutionContext& ctx) const {
   if (rgb.channels() != 3) {
     throw std::invalid_argument("AutoLabeler: expected RGB input");
   }
+  par::ThreadPool* pool = ctx.pool();
   AutoLabelResult result;
-  result.used_image = config_.apply_filter ? filter_.apply(rgb, pool) : rgb;
+  result.used_image = config_.apply_filter ? filter_.apply(rgb, ctx) : rgb;
 
   const int w = result.used_image.width(), h = result.used_image.height();
   result.labels = img::ImageU8(w, h, 1);

@@ -18,6 +18,7 @@
 
 #include "core/cloud_filter.h"
 #include "img/image.h"
+#include "par/context.h"
 #include "par/thread_pool.h"
 #include "s2/classes.h"
 
@@ -41,10 +42,15 @@ class AutoLabeler {
   explicit AutoLabeler(AutoLabelConfig config = {});
 
   /// Runs the Fig 6 pipeline on one RGB tile or scene — fused single-pass
-  /// segmentation. `pool` parallelizes over rows; nullptr runs sequentially
-  /// (per-tile callers parallelize over tiles instead).
+  /// segmentation. The context's pool parallelizes over rows; the default
+  /// context runs sequentially (per-tile callers parallelize over tiles
+  /// instead, via AutoLabelStage).
+  [[nodiscard]] AutoLabelResult label(
+      const img::ImageU8& rgb, const par::ExecutionContext& ctx = {}) const;
+
+  [[deprecated("pass an ExecutionContext instead of a raw pool")]]
   [[nodiscard]] AutoLabelResult label(const img::ImageU8& rgb,
-                                      par::ThreadPool* pool = nullptr) const;
+                                      par::ThreadPool* pool) const;
 
   /// Reference multi-pass implementation (HSV image + per-class masks).
   /// Bit-identical to label(); quadratically slower in passes over the
@@ -56,6 +62,9 @@ class AutoLabeler {
   }
 
  private:
+  [[nodiscard]] AutoLabelResult label_impl(
+      const img::ImageU8& rgb, const par::ExecutionContext& ctx) const;
+
   AutoLabelConfig config_;
   CloudShadowFilter filter_;
 };

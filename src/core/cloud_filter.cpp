@@ -140,8 +140,20 @@ CloudFilterResult CloudShadowFilter::filter_impl(const img::ImageU8& rgb,
 }
 
 CloudFilterResult CloudShadowFilter::apply_with_diagnostics(
+    const img::ImageU8& rgb, const par::ExecutionContext& ctx) const {
+  ctx.throw_if_cancelled("CloudShadowFilter::apply_with_diagnostics");
+  return filter_impl(rgb, ctx.pool(), /*want_mask=*/true);
+}
+
+CloudFilterResult CloudShadowFilter::apply_with_diagnostics(
     const img::ImageU8& rgb, par::ThreadPool* pool) const {
   return filter_impl(rgb, pool, /*want_mask=*/true);
+}
+
+img::ImageU8 CloudShadowFilter::apply(const img::ImageU8& rgb,
+                                      const par::ExecutionContext& ctx) const {
+  ctx.throw_if_cancelled("CloudShadowFilter::apply");
+  return filter_impl(rgb, ctx.pool(), /*want_mask=*/false).filtered;
 }
 
 img::ImageU8 CloudShadowFilter::apply(const img::ImageU8& rgb,

@@ -28,6 +28,7 @@
 // itself reports 99.64% (not 100%) label SSIM after filtering.
 
 #include "img/image.h"
+#include "par/context.h"
 #include "par/thread_pool.h"
 
 namespace polarice::core {
@@ -57,15 +58,23 @@ class CloudShadowFilter {
  public:
   explicit CloudShadowFilter(CloudFilterConfig config = {});
 
-  /// Full diagnostics (filtered image + estimated fields + mask). `pool`
-  /// parallelizes the pointwise stages over rows; output is identical with
-  /// and without it.
+  /// Full diagnostics (filtered image + estimated fields + mask). The
+  /// context's pool parallelizes the pointwise stages over rows; output is
+  /// identical with and without it.
   [[nodiscard]] CloudFilterResult apply_with_diagnostics(
-      const img::ImageU8& rgb, par::ThreadPool* pool = nullptr) const;
+      const img::ImageU8& rgb, const par::ExecutionContext& ctx = {}) const;
+
+  [[deprecated("pass an ExecutionContext instead of a raw pool")]]
+  [[nodiscard]] CloudFilterResult apply_with_diagnostics(
+      const img::ImageU8& rgb, par::ThreadPool* pool) const;
 
   /// Just the filtered image. Skips the diagnostic Otsu cloud-mask pass.
   [[nodiscard]] img::ImageU8 apply(const img::ImageU8& rgb,
-                                   par::ThreadPool* pool = nullptr) const;
+                                   const par::ExecutionContext& ctx = {}) const;
+
+  [[deprecated("pass an ExecutionContext instead of a raw pool")]]
+  [[nodiscard]] img::ImageU8 apply(const img::ImageU8& rgb,
+                                   par::ThreadPool* pool) const;
 
   [[nodiscard]] const CloudFilterConfig& config() const noexcept {
     return config_;

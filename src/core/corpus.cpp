@@ -1,73 +1,38 @@
 #include "core/corpus.h"
 
-#include "img/ops.h"
-#include "par/parallel_for.h"
-#include "s2/scene.h"
-#include "s2/tiles.h"
+#include "core/pipeline.h"
+#include "core/stages.h"
 
 namespace polarice::core {
 
 std::vector<LabeledTile> prepare_corpus(const CorpusConfig& config,
-                                        par::ThreadPool* pool) {
-  const auto& acq = config.acquisition;
-  acq.validate();
-  const int tiles_per_scene = acq.tiles_per_scene();
-  const int per_axis = acq.scene_size / acq.tile_size;
-  std::vector<LabeledTile> tiles(
-      static_cast<std::size_t>(acq.total_tiles()));
+                                        const par::ExecutionContext& ctx) {
+  config.acquisition.validate();
 
-  const CloudShadowFilter filter(config.autolabel.filter);
+  Pipeline pipeline;
+  pipeline.emplace<AcquireStage>(config.acquisition);
+  const bool filtered = config.autolabel.apply_filter;
+  const std::string& segmented_key =
+      filtered ? keys::kFilteredImages : keys::kScenes;
+  if (filtered) {
+    pipeline.emplace<CloudFilterStage>(config.autolabel.filter, keys::kScenes);
+  }
   AutoLabelConfig segment_only = config.autolabel;
   segment_only.apply_filter = false;  // the scene is filtered exactly once
-  const AutoLabeler labeler(segment_only);
-  const int cloudy_scenes = static_cast<int>(
-      acq.cloudy_scene_fraction * static_cast<double>(acq.num_scenes) + 0.5);
+  pipeline.emplace<AutoLabelStage>(segment_only, AutoLabelPolicy::context(),
+                                   segmented_key);
+  pipeline.emplace<ManualLabelStage>(config.manual);
+  pipeline.emplace<TileSplitStage>(config.acquisition.tile_size,
+                                   segmented_key);
 
-  par::parallel_for(
-      pool, 0, static_cast<std::size_t>(acq.num_scenes),
-      [&](std::size_t scene_idx) {
-        s2::SceneConfig sc = acq.scene_template;
-        sc.width = sc.height = acq.scene_size;
-        sc.seed = acq.seed + scene_idx;
-        sc.cloudy = static_cast<int>(scene_idx) < cloudy_scenes;
-        const s2::Scene scene = s2::SceneGenerator(sc).generate();
+  ArtifactStore store;
+  pipeline.run(ctx, store);
+  return store.take<std::vector<LabeledTile>>(keys::kCorpusTiles);
+}
 
-        // Scene-level processing (the paper's 349.26s stage).
-        const img::ImageU8 filtered = config.autolabel.apply_filter
-                                          ? filter.apply(scene.rgb)
-                                          : scene.rgb;
-        const img::ImageU8 auto_labels = labeler.label(filtered).labels;
-        auto manual_cfg = config.manual;
-        manual_cfg.seed += scene_idx;  // per-scene annotator stream
-        const img::ImageU8 manual_labels =
-            s2::simulate_manual_labels(scene.labels, manual_cfg);
-
-        const auto scene_tiles =
-            s2::split_scene(scene, acq.tile_size, static_cast<int>(scene_idx));
-        for (int i = 0; i < tiles_per_scene; ++i) {
-          const auto& st = scene_tiles[static_cast<std::size_t>(i)];
-          LabeledTile out;
-          const int x0 = st.tile_x * acq.tile_size;
-          const int y0 = st.tile_y * acq.tile_size;
-          out.rgb = st.rgb;
-          out.rgb_clean = st.rgb_clean;
-          out.truth = st.labels;
-          out.rgb_filtered =
-              img::crop(filtered, x0, y0, acq.tile_size, acq.tile_size);
-          out.auto_labels =
-              img::crop(auto_labels, x0, y0, acq.tile_size, acq.tile_size);
-          out.manual_labels =
-              img::crop(manual_labels, x0, y0, acq.tile_size, acq.tile_size);
-          out.cloud_fraction = st.cloud_fraction;
-          out.scene_index = st.scene_index;
-          out.tile_x = st.tile_x;
-          out.tile_y = st.tile_y;
-          tiles[scene_idx * static_cast<std::size_t>(tiles_per_scene) +
-                static_cast<std::size_t>(i)] = std::move(out);
-        }
-      },
-      /*grain=*/1);
-  return tiles;
+std::vector<LabeledTile> prepare_corpus(const CorpusConfig& config,
+                                        par::ThreadPool* pool) {
+  return prepare_corpus(config, par::ExecutionContext(pool));
 }
 
 }  // namespace polarice::core

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/autolabel.h"
+#include "par/context.h"
 #include "par/thread_pool.h"
 #include "s2/acquisition.h"
 #include "s2/manual_label.h"
@@ -35,9 +36,15 @@ struct CorpusConfig {
 };
 
 /// Generates all scenes, applies scene-level filtering / auto-labeling /
-/// manual annotation, and splits into tiles. Scenes are processed in
-/// parallel on `pool`. Deterministic for a fixed config.
+/// manual annotation, and splits into tiles — the canned Acquire ->
+/// CloudFilter -> AutoLabel -> ManualLabel -> TileSplit mini-pipeline.
+/// Scenes are processed in parallel on the context's pool; cancellation and
+/// progress are honoured per stage. Deterministic for a fixed config.
 std::vector<LabeledTile> prepare_corpus(const CorpusConfig& config,
-                                        par::ThreadPool* pool = nullptr);
+                                        const par::ExecutionContext& ctx = {});
+
+[[deprecated("pass an ExecutionContext instead of a raw pool")]]
+std::vector<LabeledTile> prepare_corpus(const CorpusConfig& config,
+                                        par::ThreadPool* pool);
 
 }  // namespace polarice::core

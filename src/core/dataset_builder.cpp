@@ -31,19 +31,24 @@ nn::SegSample tile_to_sample(const img::ImageU8& rgb,
 
 nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
                              const DatasetBuildConfig& config,
-                             par::ThreadPool* pool) {
+                             const par::ExecutionContext& ctx) {
   const CloudShadowFilter filter(config.autolabel.filter);
   const AutoLabeler labeler(config.autolabel);
+  // Sequential-per-tile child context sharing the caller's cancellation.
+  const par::ExecutionContext tile_ctx = ctx.with_pool(nullptr);
 
   std::vector<nn::SegSample> samples(tiles.size());
   par::parallel_for(
-      pool, 0, tiles.size(),
+      ctx.pool(), 0, tiles.size(),
       [&](std::size_t i) {
+        ctx.throw_if_cancelled("build_dataset");
         const auto& tile = tiles[i];
         img::ImageU8 image;
         switch (config.images) {
           case ImageVariant::kOriginal: image = tile.rgb; break;
-          case ImageVariant::kFiltered: image = filter.apply(tile.rgb); break;
+          case ImageVariant::kFiltered:
+            image = filter.apply(tile.rgb, tile_ctx);
+            break;
           case ImageVariant::kClean: image = tile.rgb_clean; break;
         }
         img::ImageU8 labels;
@@ -62,7 +67,7 @@ nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
           case LabelSource::kAuto:
             // The auto-labeler runs its own filter stage on the observed
             // imagery, exactly like the paper's Fig 6 pipeline.
-            labels = labeler.label(tile.rgb).labels;
+            labels = labeler.label(tile.rgb, tile_ctx).labels;
             break;
         }
         samples[i] = tile_to_sample(image, labels);
@@ -72,6 +77,12 @@ nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
   nn::SegDataset dataset;
   for (auto& sample : samples) dataset.add(std::move(sample));
   return dataset;
+}
+
+nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
+                             const DatasetBuildConfig& config,
+                             par::ThreadPool* pool) {
+  return build_dataset(tiles, config, par::ExecutionContext(pool));
 }
 
 nn::SegDataset build_dataset(const std::vector<LabeledTile>& tiles,

@@ -9,6 +9,7 @@
 
 #include "core/autolabel.h"
 #include "nn/data.h"
+#include "par/context.h"
 #include "par/thread_pool.h"
 #include "s2/manual_label.h"
 #include "s2/tiles.h"
@@ -42,9 +43,16 @@ nn::SegSample tile_to_sample(const img::ImageU8& rgb,
 /// Builds a SegDataset from raw tiles, running the per-tile filter /
 /// auto-label / manual-label paths on demand. Prefer the LabeledTile
 /// overload for training workflows — it reuses scene-level processing.
+/// Tiles are processed in parallel on the context's pool; cancellation is
+/// checked per tile.
 nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
                              const DatasetBuildConfig& config,
-                             par::ThreadPool* pool = nullptr);
+                             const par::ExecutionContext& ctx = {});
+
+[[deprecated("pass an ExecutionContext instead of a raw pool")]]
+nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
+                             const DatasetBuildConfig& config,
+                             par::ThreadPool* pool);
 
 struct LabeledTile;  // core/corpus.h
 

@@ -1,0 +1,137 @@
+#include "core/inference_session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/stages.h"
+#include "img/ops.h"
+#include "s2/tiles.h"
+#include "util/timer.h"
+
+namespace polarice::core {
+
+namespace {
+
+/// Edge-replicating pad to the given dimensions (>= source dimensions).
+img::ImageU8 pad_edge(const img::ImageU8& src, int width, int height) {
+  img::ImageU8 out(width, height, src.channels());
+  for (int y = 0; y < height; ++y) {
+    const int sy = std::min(y, src.height() - 1);
+    for (int x = 0; x < width; ++x) {
+      const int sx = std::min(x, src.width() - 1);
+      for (int c = 0; c < src.channels(); ++c) {
+        out.at(x, y, c) = src.at(sx, sy, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void InferenceSessionConfig::validate() const {
+  if (tile_size <= 0) {
+    throw std::invalid_argument("InferenceSessionConfig: tile_size <= 0");
+  }
+  if (replicas < 1) {
+    throw std::invalid_argument("InferenceSessionConfig: replicas < 1");
+  }
+  if (batch_tiles < 1) {
+    throw std::invalid_argument("InferenceSessionConfig: batch_tiles < 1");
+  }
+  filter.validate();
+}
+
+InferenceSession::InferenceSession(nn::UNet& model,
+                                   InferenceSessionConfig config,
+                                   par::ExecutionContext ctx)
+    : config_(config), session_ctx_(std::move(ctx)), filter_(config.filter) {
+  config_.validate();
+  if (config_.tile_size % model.config().spatial_divisor() != 0) {
+    throw std::invalid_argument(
+        "InferenceSession: tile_size incompatible with model depth");
+  }
+  replicas_.reserve(static_cast<std::size_t>(config_.replicas));
+  free_.reserve(static_cast<std::size_t>(config_.replicas));
+  for (int i = 0; i < config_.replicas; ++i) {
+    auto replica = std::make_unique<nn::UNet>(model.config());
+    replica->copy_parameters_from(model);
+    free_.push_back(replica.get());
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+InferenceSession::ReplicaLease::ReplicaLease(InferenceSession& session)
+    : session_(session) {
+  std::unique_lock lock(session_.mutex_);
+  session_.replica_cv_.wait(lock, [&] { return !session_.free_.empty(); });
+  model_ = session_.free_.back();
+  session_.free_.pop_back();
+}
+
+InferenceSession::ReplicaLease::~ReplicaLease() {
+  {
+    const std::scoped_lock lock(session_.mutex_);
+    session_.free_.push_back(model_);
+  }
+  session_.replica_cv_.notify_one();
+}
+
+img::ImageU8 InferenceSession::classify_scene(const img::ImageU8& scene_rgb) {
+  return classify_scene(scene_rgb, session_ctx_);
+}
+
+img::ImageU8 InferenceSession::classify_scene(const img::ImageU8& scene_rgb,
+                                              const par::ExecutionContext& ctx) {
+  if (scene_rgb.channels() != 3) {
+    throw std::invalid_argument("InferenceSession: expected RGB scene");
+  }
+  const int ts = config_.tile_size;
+  const bool partial =
+      scene_rgb.width() % ts != 0 || scene_rgb.height() % ts != 0;
+  if (partial && !config_.pad_partial_tiles) {
+    throw std::invalid_argument(
+        "InferenceSession: scene size must be a tile multiple "
+        "(or enable pad_partial_tiles)");
+  }
+  ctx.throw_if_cancelled("InferenceSession::classify_scene");
+  util::WallTimer timer;
+
+  // Fig 9 order: filter the full scene once (the envelopes want real
+  // context, not replicated edges), then pad the filtered imagery out to
+  // the tile grid.
+  img::ImageU8 filtered = filter_.apply(scene_rgb, ctx);
+  if (partial) {
+    const int padded_w = (scene_rgb.width() + ts - 1) / ts * ts;
+    const int padded_h = (scene_rgb.height() + ts - 1) / ts * ts;
+    filtered = pad_edge(filtered, padded_w, padded_h);
+  }
+  const int tiles_x = filtered.width() / ts;
+  const int tiles_y = filtered.height() / ts;
+
+  img::ImageU8 labels;
+  {
+    ReplicaLease lease(*this);
+    const auto tile_planes = infer_scene_tiles(
+        lease.model(), filtered, ts, config_.batch_tiles, ctx);
+    labels = s2::stitch_labels(tile_planes, tiles_x, tiles_y);
+  }
+  if (partial) {
+    labels = img::crop(labels, 0, 0, scene_rgb.width(), scene_rgb.height());
+  }
+
+  {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.scenes;
+    stats_.tiles += static_cast<std::size_t>(tiles_x) * tiles_y;
+    stats_.busy_seconds += timer.seconds();
+  }
+  return labels;
+}
+
+InferenceSessionStats InferenceSession::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace polarice::core

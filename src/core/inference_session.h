@@ -1,0 +1,101 @@
+#pragma once
+// InferenceSession — the serving-shaped face of the Fig 9 inference
+// pipeline. A long-lived, thread-safe session that owns N U-Net replicas
+// (weights copied once from the source model), the thin-cloud/shadow
+// filter, and per-replica scratch, and serves many concurrent
+// classify_scene() calls with batched tile inference.
+//
+// Concurrency model: each call leases one replica for its whole scene (the
+// U-Net's forward caches make a model stateful), so up to `replicas` scenes
+// classify in parallel; further callers block on a condition variable until
+// a replica frees up. Replica weights are never mutated after construction,
+// and the conv im2col arenas live inside each replica, so steady-state
+// serving allocates almost nothing.
+//
+// Determinism: results are bit-identical to a serial
+// InferenceWorkflow::classify_scene with the same model/filter/tile size,
+// for any batch_tiles and any number of concurrent callers (the conv path
+// processes batch samples serially and the intra-op pool is
+// summation-order-preserving).
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/cloud_filter.h"
+#include "img/image.h"
+#include "nn/unet.h"
+#include "par/context.h"
+
+namespace polarice::core {
+
+struct InferenceSessionConfig {
+  int tile_size = 64;        // paper serving shape: 256
+  int replicas = 2;          // max concurrent scene classifications
+  int batch_tiles = 8;       // tiles per forward pass
+  bool pad_partial_tiles = true;  // edge-replicate scenes that are not a
+                                  // tile multiple (off: such scenes throw,
+                                  // matching InferenceWorkflow)
+  CloudFilterConfig filter;
+
+  void validate() const;
+};
+
+struct InferenceSessionStats {
+  std::size_t scenes = 0;        // classify_scene calls completed
+  std::size_t tiles = 0;         // tiles inferred (incl. padding tiles)
+  double busy_seconds = 0.0;     // summed per-call wall time
+};
+
+class InferenceSession {
+ public:
+  /// Copies `model`'s weights into `config.replicas` internal replicas.
+  /// `model` itself is not retained; it may be freed or keep training after
+  /// construction. Throws std::invalid_argument when tile_size is
+  /// incompatible with the model depth.
+  InferenceSession(nn::UNet& model, InferenceSessionConfig config,
+                   par::ExecutionContext ctx = {});
+
+  /// Classifies one scene; returns the scene-sized class-id plane.
+  /// Thread-safe; blocks while all replicas are leased. The per-call
+  /// context overrides the session context (pool for this call's intra-op
+  /// work, cancellation checked between tile batches, progress per batch).
+  img::ImageU8 classify_scene(const img::ImageU8& scene_rgb,
+                              const par::ExecutionContext& ctx);
+
+  /// Same, under the session's construction-time context.
+  img::ImageU8 classify_scene(const img::ImageU8& scene_rgb);
+
+  [[nodiscard]] InferenceSessionStats stats() const;
+  [[nodiscard]] const InferenceSessionConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// RAII lease of one replica from the free list.
+  class ReplicaLease {
+   public:
+    explicit ReplicaLease(InferenceSession& session);
+    ~ReplicaLease();
+    ReplicaLease(const ReplicaLease&) = delete;
+    ReplicaLease& operator=(const ReplicaLease&) = delete;
+    [[nodiscard]] nn::UNet& model() noexcept { return *model_; }
+
+   private:
+    InferenceSession& session_;
+    nn::UNet* model_;
+  };
+
+  InferenceSessionConfig config_;
+  par::ExecutionContext session_ctx_;
+  CloudShadowFilter filter_;
+  std::vector<std::unique_ptr<nn::UNet>> replicas_;  // storage (fixed)
+  std::vector<nn::UNet*> free_;                      // guarded by mutex_
+  mutable std::mutex mutex_;
+  std::condition_variable replica_cv_;
+  InferenceSessionStats stats_;  // guarded by mutex_
+};
+
+}  // namespace polarice::core

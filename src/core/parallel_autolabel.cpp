@@ -1,10 +1,6 @@
 #include "core/parallel_autolabel.h"
 
-#include <stdexcept>
-
-#include "par/parallel_for.h"
-#include "par/thread_pool.h"
-#include "util/timer.h"
+#include "core/stages.h"
 
 namespace polarice::core {
 
@@ -14,30 +10,17 @@ ParallelAutoLabeler::ParallelAutoLabeler(AutoLabelConfig config)
 std::vector<AutoLabelResult> ParallelAutoLabeler::run(
     const std::vector<img::ImageU8>& tiles, std::size_t workers,
     ParallelAutoLabelStats* stats) const {
-  if (workers == 0) {
-    throw std::invalid_argument("ParallelAutoLabeler: workers must be >= 1");
-  }
-  const AutoLabeler labeler(config_);
-  std::vector<AutoLabelResult> results(tiles.size());
-
-  util::WallTimer timer;
-  if (workers == 1) {
-    for (std::size_t i = 0; i < tiles.size(); ++i) {
-      results[i] = labeler.label(tiles[i]);
-    }
-  } else {
-    par::ThreadPool pool(workers);
-    par::parallel_for(
-        &pool, 0, tiles.size(),
-        [&](std::size_t i) { results[i] = labeler.label(tiles[i]); },
-        /*grain=*/1);
-  }
+  const AutoLabelStage stage(config_, AutoLabelPolicy::pool(workers));
+  AutoLabelBatchStats batch_stats;
+  auto results = stage.label_batch(tiles, par::ExecutionContext{},
+                                   stats != nullptr ? &batch_stats : nullptr);
   if (stats != nullptr) {
-    stats->seconds = timer.seconds();
-    stats->tiles = tiles.size();
+    stats->seconds = batch_stats.seconds;
+    stats->tiles = batch_stats.items;
     stats->tiles_per_second =
-        stats->seconds > 0 ? static_cast<double>(tiles.size()) / stats->seconds
-                           : 0.0;
+        stats->seconds > 0
+            ? static_cast<double>(stats->tiles) / stats->seconds
+            : 0.0;
   }
   return results;
 }

@@ -1,8 +1,8 @@
 #pragma once
 // Single-node scaling of the auto-labeling pipeline (paper §III.B "Python
-// Multiprocessing", Table I / Fig 10): the tile list is processed by a
-// worker pool; each worker runs the full filter + color-segmentation
-// pipeline on its tiles.
+// Multiprocessing", Table I / Fig 10) — a thin compatibility wrapper over
+// AutoLabelStage with the kPool execution policy. Prefer constructing the
+// stage directly in new code; this class remains for the Table I benches.
 
 #include <cstddef>
 #include <vector>

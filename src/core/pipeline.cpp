@@ -1,0 +1,45 @@
+#include "core/pipeline.h"
+
+#include <unordered_set>
+
+#include "util/log.h"
+
+namespace polarice::core {
+
+Pipeline& Pipeline::add(std::unique_ptr<Stage> stage) {
+  if (stage == nullptr) {
+    throw std::invalid_argument("Pipeline: null stage");
+  }
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+void Pipeline::validate(const ArtifactStore& seed) const {
+  std::unordered_set<std::string> available;
+  for (const auto& key : seed.keys()) available.insert(key);
+  for (const auto& stage : stages_) {
+    for (const auto& key : stage->consumes()) {
+      if (available.count(key) == 0) {
+        throw std::logic_error(
+            "Pipeline: stage '" + stage->name() + "' consumes '" + key +
+            "' which no earlier stage produces and the seed store lacks");
+      }
+    }
+    for (const auto& key : stage->produces()) available.insert(key);
+  }
+}
+
+void Pipeline::run(const par::ExecutionContext& ctx,
+                   ArtifactStore& store) const {
+  validate(store);
+  std::size_t done = 0;
+  for (const auto& stage : stages_) {
+    ctx.throw_if_cancelled("pipeline");
+    LOG_DEBUG() << "pipeline: running stage " << stage->name();
+    ctx.report_progress("pipeline", done, stages_.size());
+    stage->run(ctx, store);
+    ctx.report_progress("pipeline", ++done, stages_.size());
+  }
+}
+
+}  // namespace polarice::core

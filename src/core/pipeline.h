@@ -1,0 +1,140 @@
+#pragma once
+// Composable pipeline API — the paper's two workflows (Fig 2 training, Fig 9
+// inference) expressed as stage graphs instead of monolithic functions.
+//
+// A Stage declares the artifact keys it consumes and produces and does its
+// work against a typed ArtifactStore. A Pipeline is an ordered list of
+// stages; before running it validates that every consumed key is produced
+// by an earlier stage or present in the seed store, then runs the stages in
+// order, reporting per-stage progress and honouring the context's
+// cancellation token between stages. Swapping a labeler, filter, or model
+// is now "replace one stage" rather than "edit workflow.cpp".
+
+#include <any>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "par/context.h"
+
+namespace polarice::core {
+
+/// Type-safe keyed artifact container passed between stages. Values are
+/// stored by exact type; get() with the wrong type or a missing key throws
+/// with the key name (the debuggable failure mode for a miswired graph).
+class ArtifactStore {
+ public:
+  template <typename T>
+  void put(const std::string& key, T value) {
+    items_[key] = std::any(std::move(value));
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return items_.count(key) != 0;
+  }
+
+  template <typename T>
+  [[nodiscard]] const T& get(const std::string& key) const {
+    const T* value = std::any_cast<T>(&item(key));
+    if (value == nullptr) {
+      throw std::logic_error("ArtifactStore: artifact '" + key +
+                             "' holds a different type than requested");
+    }
+    return *value;
+  }
+
+  /// Non-throwing lookup: nullptr when the key is absent or holds another
+  /// type. Lets polymorphic stages accept alternative artifact shapes.
+  template <typename T>
+  [[nodiscard]] const T* try_get(const std::string& key) const {
+    const auto it = items_.find(key);
+    return it == items_.end() ? nullptr : std::any_cast<T>(&it->second);
+  }
+
+  /// Moves an artifact out of the store (the slot is erased).
+  template <typename T>
+  [[nodiscard]] T take(const std::string& key) {
+    T out = std::move(*std::any_cast<T>(&mutable_item(key)));
+    items_.erase(key);
+    return out;
+  }
+
+  /// Removes an artifact if present (no-op otherwise). Lets graphs release
+  /// large intermediates once their last consumer has run.
+  void erase(const std::string& key) { items_.erase(key); }
+
+  [[nodiscard]] std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(items_.size());
+    for (const auto& [key, value] : items_) out.push_back(key);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] const std::any& item(const std::string& key) const {
+    const auto it = items_.find(key);
+    if (it == items_.end()) {
+      throw std::logic_error("ArtifactStore: missing artifact '" + key + "'");
+    }
+    return it->second;
+  }
+  [[nodiscard]] std::any& mutable_item(const std::string& key) {
+    const auto it = items_.find(key);
+    if (it == items_.end()) {
+      throw std::logic_error("ArtifactStore: missing artifact '" + key + "'");
+    }
+    return it->second;
+  }
+
+  std::unordered_map<std::string, std::any> items_;
+};
+
+/// One unit of the workflow graph. Implementations read their inputs from
+/// the store and put their outputs back; consumes()/produces() document the
+/// contract and let Pipeline::validate catch miswired graphs before any
+/// work runs.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::vector<std::string> consumes() const {
+    return {};
+  }
+  [[nodiscard]] virtual std::vector<std::string> produces() const = 0;
+
+  virtual void run(const par::ExecutionContext& ctx, ArtifactStore& store) = 0;
+};
+
+/// Ordered stage graph with upfront wiring validation.
+class Pipeline {
+ public:
+  Pipeline& add(std::unique_ptr<Stage> stage);
+
+  template <typename S, typename... Args>
+  Pipeline& emplace(Args&&... args) {
+    return add(std::make_unique<S>(std::forward<Args>(args)...));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return stages_.size(); }
+  [[nodiscard]] const Stage& stage(std::size_t i) const { return *stages_[i]; }
+
+  /// Throws std::logic_error naming the first stage whose consumed key is
+  /// neither produced earlier nor present in `seed`.
+  void validate(const ArtifactStore& seed) const;
+
+  /// validate() then run every stage in order against `store`. Progress is
+  /// reported per stage ("pipeline" events, completed = stages finished);
+  /// the cancellation token is checked before each stage and
+  /// OperationCancelled propagates out.
+  void run(const par::ExecutionContext& ctx, ArtifactStore& store) const;
+
+ private:
+  std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+}  // namespace polarice::core

@@ -1,5 +1,9 @@
 #include "core/spark_autolabel.h"
 
+#include <stdexcept>
+
+#include "core/stages.h"
+
 namespace polarice::core {
 
 SparkAutoLabeler::SparkAutoLabeler(mr::ClusterConfig cluster,
@@ -9,17 +13,25 @@ SparkAutoLabeler::SparkAutoLabeler(mr::ClusterConfig cluster,
 }
 
 SparkAutoLabelOutput SparkAutoLabeler::run(std::vector<img::ImageU8> tiles) {
-  mr::SparkContext context(cluster_);
-  // Load: partition the tile collection across the cluster.
-  auto rdd = context.parallelize(std::move(tiles));
-  // Map: lazy — attaches the auto-labeling UDF to the lineage.
-  const AutoLabeler labeler(config_);
-  auto labeled = rdd.map(
-      [labeler](const img::ImageU8& tile) { return labeler.label(tile).labels; });
-  // Reduce/collect: triggers the distributed computation.
+  const AutoLabelStage stage(config_, AutoLabelPolicy::spark(cluster_));
+  AutoLabelBatchStats stats;
+  auto results = stage.label_batch(tiles, par::ExecutionContext{}, &stats);
+  if (!stats.spark.has_value()) {
+    throw std::logic_error("SparkAutoLabeler: spark policy reported no times");
+  }
+
   SparkAutoLabelOutput output;
-  output.labels = labeled.collect();
-  output.times = context.last_job();
+  output.times = *stats.spark;
+  // collect() returns partition order; this wrapper keeps that historical
+  // contract. Round-robin partitioning puts tiles p, p+P, ... in partition
+  // p, so the permutation is reconstructed from the input-order results.
+  const auto partitions = static_cast<std::size_t>(output.times.partitions);
+  output.labels.reserve(results.size());
+  for (std::size_t p = 0; p < partitions; ++p) {
+    for (std::size_t i = p; i < results.size(); i += partitions) {
+      output.labels.push_back(std::move(results[i].labels));
+    }
+  }
   return output;
 }
 

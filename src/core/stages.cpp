@@ -1,0 +1,553 @@
+#include "core/stages.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+#include "img/ops.h"
+#include "mr/rdd.h"
+#include "par/parallel_for.h"
+#include "s2/scene.h"
+#include "s2/tiles.h"
+#include "tensor/conv.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace polarice::core {
+
+namespace {
+
+/// Borrowed views of an image-list artifact. The key may hold a
+/// std::vector<img::ImageU8> or be keys::kScenes (std::vector<s2::Scene>),
+/// whose rgb planes are read in place — the corpus graph never copies
+/// scene imagery between stages.
+std::vector<const img::ImageU8*> rgb_inputs(const ArtifactStore& store,
+                                            const std::string& key) {
+  std::vector<const img::ImageU8*> views;
+  if (const auto* images = store.try_get<std::vector<img::ImageU8>>(key)) {
+    views.reserve(images->size());
+    for (const auto& image : *images) views.push_back(&image);
+    return views;
+  }
+  if (const auto* scenes = store.try_get<std::vector<s2::Scene>>(key)) {
+    views.reserve(scenes->size());
+    for (const auto& scene : *scenes) views.push_back(&scene.rgb);
+    return views;
+  }
+  throw std::logic_error("stages: artifact '" + key +
+                         "' holds neither an image list nor scenes");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AcquireStage
+// ---------------------------------------------------------------------------
+
+AcquireStage::AcquireStage(s2::AcquisitionConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+void AcquireStage::run(const par::ExecutionContext& ctx,
+                       ArtifactStore& store) {
+  const auto num_scenes = static_cast<std::size_t>(config_.num_scenes);
+  const int cloudy_scenes =
+      static_cast<int>(config_.cloudy_scene_fraction *
+                           static_cast<double>(config_.num_scenes) +
+                       0.5);
+  std::vector<s2::Scene> scenes(num_scenes);
+  par::parallel_for(
+      ctx.pool(), 0, num_scenes,
+      [&](std::size_t i) {
+        ctx.throw_if_cancelled("acquire");
+        s2::SceneConfig sc = config_.scene_template;
+        sc.width = sc.height = config_.scene_size;
+        sc.seed = config_.seed + i;
+        sc.cloudy = static_cast<int>(i) < cloudy_scenes;
+        scenes[i] = s2::SceneGenerator(sc).generate();
+      },
+      /*grain=*/1);
+  store.put(keys::kScenes, std::move(scenes));
+}
+
+// ---------------------------------------------------------------------------
+// CloudFilterStage
+// ---------------------------------------------------------------------------
+
+CloudFilterStage::CloudFilterStage(CloudFilterConfig config,
+                                   std::string input_key,
+                                   std::string output_key)
+    : config_(config),
+      input_key_(std::move(input_key)),
+      output_key_(std::move(output_key)) {
+  config_.validate();
+}
+
+void CloudFilterStage::run(const par::ExecutionContext& ctx,
+                           ArtifactStore& store) {
+  const auto images = rgb_inputs(store, input_key_);
+  const CloudShadowFilter filter(config_);
+  std::vector<img::ImageU8> filtered(images.size());
+  if (images.size() == 1) {
+    // Serving shape: one scene, intra-image row parallelism.
+    filtered[0] = filter.apply(*images[0], ctx);
+  } else {
+    par::parallel_for(
+        ctx.pool(), 0, images.size(),
+        [&](std::size_t i) {
+          ctx.throw_if_cancelled("cloud_filter");
+          filtered[i] = filter.apply(*images[i]);
+        },
+        /*grain=*/1);
+  }
+  store.put(output_key_, std::move(filtered));
+}
+
+// ---------------------------------------------------------------------------
+// AutoLabelStage
+// ---------------------------------------------------------------------------
+
+AutoLabelStage::AutoLabelStage(AutoLabelConfig config, AutoLabelPolicy policy,
+                               std::string input_key, std::string output_key)
+    : config_(std::move(config)),
+      policy_(policy),
+      input_key_(std::move(input_key)),
+      output_key_(std::move(output_key)) {}
+
+std::vector<AutoLabelResult> AutoLabelStage::label_batch(
+    const std::vector<img::ImageU8>& images, const par::ExecutionContext& ctx,
+    AutoLabelBatchStats* stats) const {
+  std::vector<const img::ImageU8*> views;
+  views.reserve(images.size());
+  for (const auto& image : images) views.push_back(&image);
+  return label_batch(views, ctx, stats);
+}
+
+std::vector<AutoLabelResult> AutoLabelStage::label_batch(
+    const std::vector<const img::ImageU8*>& images,
+    const par::ExecutionContext& ctx, AutoLabelBatchStats* stats) const {
+  const AutoLabeler labeler(config_);
+  std::vector<AutoLabelResult> results(images.size());
+  std::optional<mr::JobTimes> spark_times;
+
+  // One shared child context for every tile: sequential inside a tile
+  // (parallelism is across tiles), same cancellation token as the caller,
+  // and no per-tile context allocation on the hot path.
+  const par::ExecutionContext tile_ctx = ctx.with_pool(nullptr);
+  util::WallTimer timer;
+  const auto label_over = [&](par::ThreadPool* pool) {
+    par::parallel_for(
+        pool, 0, images.size(),
+        [&](std::size_t i) {
+          ctx.throw_if_cancelled("auto_label");
+          results[i] = labeler.label(*images[i], tile_ctx);
+        },
+        /*grain=*/1);
+  };
+
+  switch (policy_.kind) {
+    case AutoLabelPolicy::Kind::kContext:
+      label_over(ctx.pool());
+      break;
+    case AutoLabelPolicy::Kind::kPool: {
+      if (policy_.workers == 0) {
+        throw std::invalid_argument("AutoLabelStage: workers must be >= 1");
+      }
+      if (policy_.workers == 1) {
+        label_over(nullptr);
+      } else {
+        par::ThreadPool pool(policy_.workers);
+        label_over(&pool);
+      }
+      break;
+    }
+    case AutoLabelPolicy::Kind::kSpark: {
+      // Load -> map(UDF) -> collect. The lineage carries (index, borrowed
+      // image) pairs — the tiles themselves are not copied into the RDD —
+      // and the index brings results back to input order regardless of the
+      // round-robin partitioning. Borrowing is safe: collect() completes
+      // before this scope ends.
+      mr::SparkContext context(policy_.cluster);
+      context.set_cancellation(ctx.cancellation());
+      std::vector<std::pair<std::size_t, const img::ImageU8*>> indexed;
+      indexed.reserve(images.size());
+      for (std::size_t i = 0; i < images.size(); ++i) {
+        indexed.emplace_back(i, images[i]);
+      }
+      auto rdd = context.parallelize(std::move(indexed));
+      auto labeled = rdd.map(
+          [&labeler, &tile_ctx](
+              const std::pair<std::size_t, const img::ImageU8*>& item) {
+            return std::make_pair(item.first,
+                                  labeler.label(*item.second, tile_ctx));
+          });
+      for (auto& [index, result] : labeled.collect()) {
+        results[index] = std::move(result);
+      }
+      spark_times = context.last_job();
+      break;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->seconds = timer.seconds();
+    stats->items = images.size();
+    stats->spark = spark_times;
+  }
+  return results;
+}
+
+void AutoLabelStage::run(const par::ExecutionContext& ctx,
+                         ArtifactStore& store) {
+  auto results = label_batch(rgb_inputs(store, input_key_), ctx);
+  std::vector<img::ImageU8> planes;
+  planes.reserve(results.size());
+  for (auto& result : results) {
+    planes.push_back(std::move(result.labels));
+    result = AutoLabelResult{};  // release colorized/used_image eagerly
+  }
+  store.put(output_key_, std::move(planes));
+}
+
+// ---------------------------------------------------------------------------
+// ManualLabelStage
+// ---------------------------------------------------------------------------
+
+ManualLabelStage::ManualLabelStage(s2::ManualLabelConfig config)
+    : config_(config) {}
+
+void ManualLabelStage::run(const par::ExecutionContext& ctx,
+                           ArtifactStore& store) {
+  const auto& scenes = store.get<std::vector<s2::Scene>>(keys::kScenes);
+  std::vector<img::ImageU8> labels(scenes.size());
+  par::parallel_for(
+      ctx.pool(), 0, scenes.size(),
+      [&](std::size_t i) {
+        ctx.throw_if_cancelled("manual_label");
+        auto cfg = config_;
+        cfg.seed += i;  // per-scene annotator stream
+        labels[i] = s2::simulate_manual_labels(scenes[i].labels, cfg);
+      },
+      /*grain=*/1);
+  store.put(keys::kManualLabels, std::move(labels));
+}
+
+// ---------------------------------------------------------------------------
+// TileSplitStage
+// ---------------------------------------------------------------------------
+
+TileSplitStage::TileSplitStage(int tile_size, std::string filtered_key)
+    : tile_size_(tile_size), filtered_key_(std::move(filtered_key)) {
+  if (tile_size_ <= 0) {
+    throw std::invalid_argument("TileSplitStage: tile_size must be positive");
+  }
+}
+
+void TileSplitStage::run(const par::ExecutionContext& ctx,
+                         ArtifactStore& store) {
+  const auto& scenes = store.get<std::vector<s2::Scene>>(keys::kScenes);
+  const auto filtered = rgb_inputs(store, filtered_key_);
+  const auto& auto_labels =
+      store.get<std::vector<img::ImageU8>>(keys::kAutoLabels);
+  const auto& manual_labels =
+      store.get<std::vector<img::ImageU8>>(keys::kManualLabels);
+  if (filtered.size() != scenes.size() ||
+      auto_labels.size() != scenes.size() ||
+      manual_labels.size() != scenes.size()) {
+    throw std::logic_error("TileSplitStage: per-scene plane count mismatch");
+  }
+  if (scenes.empty()) {
+    store.put(keys::kCorpusTiles, std::vector<LabeledTile>{});
+    return;
+  }
+  // Per-scene tile counts follow split_scene's semantics exactly (floor per
+  // axis, partial edge tiles discarded), so non-square and mixed-size
+  // scenes index correctly.
+  std::vector<std::size_t> offsets(scenes.size() + 1, 0);
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    const auto count =
+        static_cast<std::size_t>(scenes[i].rgb.width() / tile_size_) *
+        static_cast<std::size_t>(scenes[i].rgb.height() / tile_size_);
+    offsets[i + 1] = offsets[i] + count;
+  }
+  std::vector<LabeledTile> tiles(offsets.back());
+  par::parallel_for(
+      ctx.pool(), 0, scenes.size(),
+      [&](std::size_t scene_idx) {
+        ctx.throw_if_cancelled("tile_split");
+        const auto scene_tiles = s2::split_scene(
+            scenes[scene_idx], tile_size_, static_cast<int>(scene_idx));
+        const auto tiles_per_scene =
+            static_cast<int>(offsets[scene_idx + 1] - offsets[scene_idx]);
+        for (int i = 0; i < tiles_per_scene; ++i) {
+          const auto& st = scene_tiles[static_cast<std::size_t>(i)];
+          LabeledTile out;
+          const int x0 = st.tile_x * tile_size_;
+          const int y0 = st.tile_y * tile_size_;
+          out.rgb = st.rgb;
+          out.rgb_clean = st.rgb_clean;
+          out.truth = st.labels;
+          out.rgb_filtered =
+              img::crop(*filtered[scene_idx], x0, y0, tile_size_, tile_size_);
+          out.auto_labels = img::crop(auto_labels[scene_idx], x0, y0,
+                                      tile_size_, tile_size_);
+          out.manual_labels = img::crop(manual_labels[scene_idx], x0, y0,
+                                        tile_size_, tile_size_);
+          out.cloud_fraction = st.cloud_fraction;
+          out.scene_index = st.scene_index;
+          out.tile_x = st.tile_x;
+          out.tile_y = st.tile_y;
+          tiles[offsets[scene_idx] + static_cast<std::size_t>(i)] =
+              std::move(out);
+        }
+      },
+      /*grain=*/1);
+  store.put(keys::kCorpusTiles, std::move(tiles));
+}
+
+// ---------------------------------------------------------------------------
+// DropArtifactsStage
+// ---------------------------------------------------------------------------
+
+DropArtifactsStage::DropArtifactsStage(std::vector<std::string> keys)
+    : keys_(std::move(keys)) {}
+
+void DropArtifactsStage::run(const par::ExecutionContext& ctx,
+                             ArtifactStore& store) {
+  ctx.throw_if_cancelled("drop_artifacts");
+  for (const auto& key : keys_) store.erase(key);
+}
+
+// ---------------------------------------------------------------------------
+// TrainTestSplitStage / CloudBucketStage
+// ---------------------------------------------------------------------------
+
+TrainTestSplitStage::TrainTestSplitStage(double train_fraction,
+                                         std::uint64_t seed)
+    : train_fraction_(train_fraction), seed_(seed) {
+  if (train_fraction_ <= 0.0 || train_fraction_ >= 1.0) {
+    throw std::invalid_argument(
+        "TrainTestSplitStage: train_fraction in (0,1)");
+  }
+}
+
+void TrainTestSplitStage::run(const par::ExecutionContext& ctx,
+                              ArtifactStore& store) {
+  ctx.throw_if_cancelled("train_test_split");
+  auto tiles = store.take<std::vector<LabeledTile>>(keys::kCorpusTiles);
+  util::Rng split_rng(seed_);
+  std::shuffle(tiles.begin(), tiles.end(), split_rng);
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(tiles.size()) * train_fraction_);
+  std::vector<LabeledTile> train(tiles.begin(), tiles.begin() + cut);
+  std::vector<LabeledTile> test(tiles.begin() + cut, tiles.end());
+  if (train.empty() || test.empty()) {
+    throw std::invalid_argument(
+        "TrainTestSplitStage: split produced an empty set");
+  }
+  store.put(keys::kTrainTiles, std::move(train));
+  store.put(keys::kTestTiles, std::move(test));
+}
+
+CloudBucketStage::CloudBucketStage(double threshold) : threshold_(threshold) {
+  if (threshold_ < 0.0 || threshold_ > 1.0) {
+    throw std::invalid_argument("CloudBucketStage: threshold in [0,1]");
+  }
+}
+
+void CloudBucketStage::run(const par::ExecutionContext& ctx,
+                           ArtifactStore& store) {
+  ctx.throw_if_cancelled("cloud_bucket");
+  const auto& test = store.get<std::vector<LabeledTile>>(keys::kTestTiles);
+  std::vector<LabeledTile> cloudy, clear;
+  for (const auto& tile : test) {
+    (tile.cloud_fraction > threshold_ ? cloudy : clear).push_back(tile);
+  }
+  store.put(keys::kTestTilesCloudy, std::move(cloudy));
+  store.put(keys::kTestTilesClear, std::move(clear));
+}
+
+// ---------------------------------------------------------------------------
+// TrainStage / EvaluateStage
+// ---------------------------------------------------------------------------
+
+TrainStage::TrainStage(std::string model_id, nn::UNetConfig model_config,
+                       nn::TrainConfig train_config, LabelSource labels,
+                       ImageVariant images, std::string tiles_key)
+    : model_id_(std::move(model_id)),
+      model_config_(model_config),
+      train_config_(train_config),
+      labels_(labels),
+      images_(images),
+      tiles_key_(std::move(tiles_key)) {
+  model_config_.validate();
+}
+
+void TrainStage::run(const par::ExecutionContext& ctx, ArtifactStore& store) {
+  const auto& tiles = store.get<std::vector<LabeledTile>>(tiles_key_);
+  const nn::SegDataset data = build_dataset(tiles, labels_, images_);
+  auto model = std::make_shared<nn::UNet>(model_config_);
+  model->bind(ctx);
+  nn::Trainer trainer(*model, train_config_);
+  auto history = trainer.fit(data, ctx);
+  store.put(keys::kModelPrefix + model_id_, model);
+  store.put(keys::kHistoryPrefix + model_id_, std::move(history));
+}
+
+EvaluateStage::EvaluateStage(std::string model_id, std::string tiles_key,
+                             ImageVariant images, std::string out_id)
+    : model_id_(std::move(model_id)),
+      tiles_key_(std::move(tiles_key)),
+      images_(images),
+      out_id_(std::move(out_id)) {}
+
+void EvaluateStage::run(const par::ExecutionContext& ctx,
+                        ArtifactStore& store) {
+  ctx.throw_if_cancelled("evaluate");
+  const auto& model =
+      store.get<std::shared_ptr<nn::UNet>>(keys::kModelPrefix + model_id_);
+  const auto& tiles = store.get<std::vector<LabeledTile>>(tiles_key_);
+  store.put(keys::kEvalPrefix + out_id_,
+            evaluate_model(*model, tiles, images_, ctx));
+}
+
+Evaluation evaluate_model(nn::UNet& model,
+                          const std::vector<LabeledTile>& tiles,
+                          ImageVariant variant,
+                          const par::ExecutionContext& ctx) {
+  Evaluation eval;
+  if (tiles.empty()) return eval;
+  const nn::SegDataset dataset =
+      build_dataset(tiles, LabelSource::kGroundTruth, variant);
+
+  model.bind(ctx);
+  nn::DataLoader loader(dataset, /*batch_size=*/8, /*seed=*/0,
+                        /*shuffle=*/false);
+  loader.start_epoch();
+  tensor::Tensor logits, probs;
+  nn::Batch batch;
+  while (loader.next(batch)) {
+    ctx.throw_if_cancelled("evaluate");
+    model.forward(batch.x, logits, /*training=*/false);
+    tensor::softmax_channel(logits, probs);
+    const auto pred = tensor::argmax_channel(probs);
+    eval.confusion.add_all(batch.targets, pred);
+  }
+  eval.accuracy = eval.confusion.accuracy();
+  eval.precision = eval.confusion.macro_precision();
+  eval.recall = eval.confusion.macro_recall();
+  eval.f1 = eval.confusion.macro_f1();
+  return eval;
+}
+
+// ---------------------------------------------------------------------------
+// TileInferStage / StitchStage / infer_scene_tiles
+// ---------------------------------------------------------------------------
+
+TileInferStage::TileInferStage(nn::UNet& model, int tile_size, int batch_tiles,
+                               std::string input_key)
+    : model_(&model),
+      tile_size_(tile_size),
+      batch_tiles_(batch_tiles),
+      input_key_(std::move(input_key)) {
+  if (tile_size <= 0 || tile_size % model.config().spatial_divisor() != 0) {
+    throw std::invalid_argument(
+        "TileInferStage: tile_size incompatible with model depth");
+  }
+  if (batch_tiles_ < 1) batch_tiles_ = 1;
+}
+
+void TileInferStage::run(const par::ExecutionContext& ctx,
+                         ArtifactStore& store) {
+  const auto& images = store.get<std::vector<img::ImageU8>>(input_key_);
+  std::vector<std::vector<img::ImageU8>> predictions(images.size());
+  std::vector<TileGrid> grids(images.size());
+  // The model's forward caches make it stateful, so scenes run serially;
+  // intra-scene parallelism comes from the model's pool. Serving-scale
+  // concurrency is InferenceSession's job (one model replica per slot).
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    predictions[i] =
+        infer_scene_tiles(*model_, images[i], tile_size_, batch_tiles_, ctx);
+    grids[i] = TileGrid{images[i].width() / tile_size_,
+                        images[i].height() / tile_size_};
+  }
+  store.put(keys::kTilePredictions, std::move(predictions));
+  store.put(keys::kTileGrids, std::move(grids));
+}
+
+void StitchStage::run(const par::ExecutionContext& ctx, ArtifactStore& store) {
+  ctx.throw_if_cancelled("stitch");
+  const auto& predictions =
+      store.get<std::vector<std::vector<img::ImageU8>>>(keys::kTilePredictions);
+  const auto& grids = store.get<std::vector<TileGrid>>(keys::kTileGrids);
+  std::vector<img::ImageU8> labels(predictions.size());
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    labels[i] =
+        s2::stitch_labels(predictions[i], grids[i].tiles_x, grids[i].tiles_y);
+  }
+  store.put(keys::kSceneLabels, std::move(labels));
+}
+
+std::vector<img::ImageU8> infer_scene_tiles(nn::UNet& model,
+                                            const img::ImageU8& filtered,
+                                            int tile_size, int batch_tiles,
+                                            const par::ExecutionContext& ctx) {
+  if (filtered.channels() != 3) {
+    throw std::invalid_argument("infer_scene_tiles: expected RGB scene");
+  }
+  if (filtered.width() % tile_size != 0 ||
+      filtered.height() % tile_size != 0) {
+    throw std::invalid_argument(
+        "infer_scene_tiles: scene size must be a tile multiple");
+  }
+  if (batch_tiles < 1) batch_tiles = 1;
+  const int tiles_x = filtered.width() / tile_size;
+  const int tiles_y = filtered.height() / tile_size;
+  const int total = tiles_x * tiles_y;
+
+  model.bind(ctx);
+  std::vector<img::ImageU8> out(static_cast<std::size_t>(total));
+  tensor::Tensor x, logits, probs;
+  const std::size_t plane = static_cast<std::size_t>(tile_size) * tile_size;
+  for (int start = 0; start < total; start += batch_tiles) {
+    ctx.throw_if_cancelled("tile_infer");
+    const int batch = std::min(batch_tiles, total - start);
+    if (x.ndim() != 4 || x.dim(0) != batch) {
+      x = tensor::Tensor({batch, 3, tile_size, tile_size});
+    }
+    for (int s = 0; s < batch; ++s) {
+      const int t = start + s;
+      const int x0 = (t % tiles_x) * tile_size;
+      const int y0 = (t / tiles_x) * tile_size;
+      for (int y = 0; y < tile_size; ++y) {
+        for (int xx = 0; xx < tile_size; ++xx) {
+          for (int c = 0; c < 3; ++c) {
+            x.at4(s, c, y, xx) = filtered.at(x0 + xx, y0 + y, c) / 255.0f;
+          }
+        }
+      }
+    }
+    model.forward(x, logits, /*training=*/false);
+    tensor::softmax_channel(logits, probs);
+    const auto pred = tensor::argmax_channel(probs);
+    for (int s = 0; s < batch; ++s) {
+      img::ImageU8 tile_plane(tile_size, tile_size, 1);
+      const std::size_t base = static_cast<std::size_t>(s) * plane;
+      for (int y = 0; y < tile_size; ++y) {
+        for (int xx = 0; xx < tile_size; ++xx) {
+          tile_plane.at(xx, y) = static_cast<std::uint8_t>(
+              pred[base + static_cast<std::size_t>(y) * tile_size + xx]);
+        }
+      }
+      out[static_cast<std::size_t>(start + s)] = std::move(tile_plane);
+    }
+    ctx.report_progress("tile_infer",
+                        static_cast<std::size_t>(start + batch),
+                        static_cast<std::size_t>(total));
+  }
+  return out;
+}
+
+}  // namespace polarice::core

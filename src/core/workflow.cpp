@@ -1,12 +1,9 @@
 #include "core/workflow.h"
 
-#include <algorithm>
 #include <stdexcept>
 
-#include "img/ops.h"
-#include "tensor/conv.h"
+#include "s2/tiles.h"
 #include "util/log.h"
-#include "util/rng.h"
 
 namespace polarice::core {
 
@@ -33,125 +30,159 @@ TrainingWorkflow::TrainingWorkflow(WorkflowConfig config)
 Evaluation TrainingWorkflow::evaluate(nn::UNet& model,
                                       const std::vector<LabeledTile>& tiles,
                                       ImageVariant variant,
-                                      par::ThreadPool* pool) {
-  Evaluation eval;
-  if (tiles.empty()) return eval;
-  const nn::SegDataset dataset =
-      build_dataset(tiles, LabelSource::kGroundTruth, variant);
+                                      const par::ExecutionContext& ctx) {
+  return evaluate_model(model, tiles, variant, ctx);
+}
 
-  model.set_pool(pool);
-  nn::DataLoader loader(dataset, /*batch_size=*/8, /*seed=*/0,
-                        /*shuffle=*/false);
-  loader.start_epoch();
-  tensor::Tensor logits, probs;
-  nn::Batch batch;
-  while (loader.next(batch)) {
-    model.forward(batch.x, logits, /*training=*/false);
-    tensor::softmax_channel(logits, probs);
-    const auto pred = tensor::argmax_channel(probs);
-    eval.confusion.add_all(batch.targets, pred);
+Evaluation TrainingWorkflow::evaluate(nn::UNet& model,
+                                      const std::vector<LabeledTile>& tiles,
+                                      ImageVariant variant,
+                                      par::ThreadPool* pool) {
+  return evaluate_model(model, tiles, variant, par::ExecutionContext(pool));
+}
+
+Pipeline TrainingWorkflow::build_pipeline() const {
+  const auto& cfg = config_;
+  Pipeline pipeline;
+
+  // Corpus preparation: the paper's data-prep order of operations (filter
+  // and segment the LARGE scenes, then tile).
+  pipeline.emplace<AcquireStage>(cfg.acquisition);
+  const bool filtered = cfg.autolabel.apply_filter;
+  const std::string& segmented_key =
+      filtered ? keys::kFilteredImages : keys::kScenes;
+  if (filtered) {
+    pipeline.emplace<CloudFilterStage>(cfg.autolabel.filter, keys::kScenes);
   }
-  eval.accuracy = eval.confusion.accuracy();
-  eval.precision = eval.confusion.macro_precision();
-  eval.recall = eval.confusion.macro_recall();
-  eval.f1 = eval.confusion.macro_f1();
-  return eval;
+  AutoLabelConfig segment_only = cfg.autolabel;
+  segment_only.apply_filter = false;  // the scene is filtered exactly once
+  pipeline.emplace<AutoLabelStage>(segment_only, AutoLabelPolicy::context(),
+                                   segmented_key);
+  pipeline.emplace<ManualLabelStage>(cfg.manual);
+  pipeline.emplace<TileSplitStage>(cfg.acquisition.tile_size, segmented_key);
+  // The corpus tiles carry everything training needs; release the
+  // scene-level planes so they don't sit in the store through training and
+  // the twelve evaluations.
+  std::vector<std::string> scene_keys{keys::kScenes, keys::kAutoLabels,
+                                      keys::kManualLabels};
+  if (filtered) scene_keys.push_back(keys::kFilteredImages);
+  pipeline.emplace<DropArtifactsStage>(std::move(scene_keys));
+  pipeline.emplace<TrainTestSplitStage>(cfg.train_fraction, cfg.split_seed);
+
+  // Two trainings: both models see the filtered imagery (the filter is part
+  // of the paper's pipeline); only the supervision differs.
+  auto auto_model_cfg = cfg.model;
+  auto_model_cfg.seed += 1;  // independent init, as two separate trainings
+  pipeline.emplace<TrainStage>("man", cfg.model, cfg.training,
+                               LabelSource::kManual, ImageVariant::kFiltered);
+  pipeline.emplace<TrainStage>("auto", auto_model_cfg, cfg.training,
+                               LabelSource::kAuto, ImageVariant::kFiltered);
+
+  // Table IV evaluations (whole test split) and the Table V / Fig 13 cloud
+  // buckets.
+  pipeline.emplace<CloudBucketStage>(cfg.cloud_split_threshold);
+  struct Sweep {
+    const char* model;
+    const std::string* tiles;
+    ImageVariant variant;
+    const char* out;
+  };
+  const Sweep sweeps[] = {
+      {"man", &keys::kTestTiles, ImageVariant::kOriginal, "man_original"},
+      {"man", &keys::kTestTiles, ImageVariant::kFiltered, "man_filtered"},
+      {"auto", &keys::kTestTiles, ImageVariant::kOriginal, "auto_original"},
+      {"auto", &keys::kTestTiles, ImageVariant::kFiltered, "auto_filtered"},
+      {"man", &keys::kTestTilesCloudy, ImageVariant::kOriginal,
+       "man_cloudy_original"},
+      {"man", &keys::kTestTilesCloudy, ImageVariant::kFiltered,
+       "man_cloudy_filtered"},
+      {"auto", &keys::kTestTilesCloudy, ImageVariant::kOriginal,
+       "auto_cloudy_original"},
+      {"auto", &keys::kTestTilesCloudy, ImageVariant::kFiltered,
+       "auto_cloudy_filtered"},
+      {"man", &keys::kTestTilesClear, ImageVariant::kOriginal,
+       "man_clear_original"},
+      {"man", &keys::kTestTilesClear, ImageVariant::kFiltered,
+       "man_clear_filtered"},
+      {"auto", &keys::kTestTilesClear, ImageVariant::kOriginal,
+       "auto_clear_original"},
+      {"auto", &keys::kTestTilesClear, ImageVariant::kFiltered,
+       "auto_clear_filtered"},
+  };
+  for (const auto& sweep : sweeps) {
+    pipeline.emplace<EvaluateStage>(sweep.model, *sweep.tiles, sweep.variant,
+                                    sweep.out);
+  }
+  return pipeline;
+}
+
+TrainingWorkflowResult TrainingWorkflow::run(const par::ExecutionContext& ctx) {
+  LOG_INFO() << "workflow: preparing " << config_.acquisition.total_tiles()
+             << " tiles from " << config_.acquisition.num_scenes << " scenes";
+  const Pipeline pipeline = build_pipeline();
+  ArtifactStore store;
+  pipeline.run(ctx, store);
+
+  TrainingWorkflowResult result;
+  result.unet_man =
+      store.get<std::shared_ptr<nn::UNet>>(keys::kModelPrefix + "man");
+  result.unet_auto =
+      store.get<std::shared_ptr<nn::UNet>>(keys::kModelPrefix + "auto");
+  result.man_history =
+      store.get<std::vector<nn::EpochStats>>(keys::kHistoryPrefix + "man");
+  result.auto_history =
+      store.get<std::vector<nn::EpochStats>>(keys::kHistoryPrefix + "auto");
+
+  const auto eval = [&](const char* id) {
+    return store.get<Evaluation>(keys::kEvalPrefix + id);
+  };
+  result.man_original = eval("man_original");
+  result.man_filtered = eval("man_filtered");
+  result.auto_original = eval("auto_original");
+  result.auto_filtered = eval("auto_filtered");
+  result.man_cloudy_original = eval("man_cloudy_original");
+  result.man_cloudy_filtered = eval("man_cloudy_filtered");
+  result.auto_cloudy_original = eval("auto_cloudy_original");
+  result.auto_cloudy_filtered = eval("auto_cloudy_filtered");
+  result.man_clear_original = eval("man_clear_original");
+  result.man_clear_filtered = eval("man_clear_filtered");
+  result.auto_clear_original = eval("auto_clear_original");
+  result.auto_clear_filtered = eval("auto_clear_filtered");
+  result.test_tiles_cloudy =
+      store.get<std::vector<LabeledTile>>(keys::kTestTilesCloudy).size();
+  result.test_tiles_clear =
+      store.get<std::vector<LabeledTile>>(keys::kTestTilesClear).size();
+  return result;
 }
 
 TrainingWorkflowResult TrainingWorkflow::run(par::ThreadPool* pool) {
-  const auto& cfg = config_;
-
-  // 1. Acquire and prepare the corpus (scene-level filter + labels), then
-  // shuffle tiles and split 80/20.
-  LOG_INFO() << "workflow: preparing " << cfg.acquisition.total_tiles()
-             << " tiles from " << cfg.acquisition.num_scenes << " scenes";
-  CorpusConfig corpus_cfg;
-  corpus_cfg.acquisition = cfg.acquisition;
-  corpus_cfg.autolabel = cfg.autolabel;
-  corpus_cfg.manual = cfg.manual;
-  std::vector<LabeledTile> tiles = prepare_corpus(corpus_cfg, pool);
-  util::Rng split_rng(cfg.split_seed);
-  std::shuffle(tiles.begin(), tiles.end(), split_rng);
-  const auto cut = static_cast<std::size_t>(
-      static_cast<double>(tiles.size()) * cfg.train_fraction);
-  const std::vector<LabeledTile> train_tiles(tiles.begin(),
-                                             tiles.begin() + cut);
-  const std::vector<LabeledTile> test_tiles(tiles.begin() + cut, tiles.end());
-  if (train_tiles.empty() || test_tiles.empty()) {
-    throw std::invalid_argument("TrainingWorkflow: split produced empty set");
-  }
-
-  // 2. Training sets: both models see the filtered imagery (the filter is
-  // part of the paper's pipeline); only the supervision differs.
-  const nn::SegDataset man_data =
-      build_dataset(train_tiles, LabelSource::kManual, ImageVariant::kFiltered);
-  const nn::SegDataset auto_data =
-      build_dataset(train_tiles, LabelSource::kAuto, ImageVariant::kFiltered);
-
-  // 3. Train the two models.
-  TrainingWorkflowResult result;
-  result.unet_man = std::make_shared<nn::UNet>(cfg.model);
-  auto auto_model_cfg = cfg.model;
-  auto_model_cfg.seed += 1;  // independent init, as two separate trainings
-  result.unet_auto = std::make_shared<nn::UNet>(auto_model_cfg);
-
-  result.unet_man->set_pool(pool);
-  result.unet_auto->set_pool(pool);
-  LOG_INFO() << "workflow: training U-Net-Man";
-  result.man_history = nn::Trainer(*result.unet_man, cfg.training).fit(man_data);
-  LOG_INFO() << "workflow: training U-Net-Auto";
-  result.auto_history =
-      nn::Trainer(*result.unet_auto, cfg.training).fit(auto_data);
-
-  // 4. Table IV evaluations (whole test split).
-  result.man_original = evaluate(*result.unet_man, test_tiles,
-                                 ImageVariant::kOriginal, pool);
-  result.man_filtered = evaluate(*result.unet_man, test_tiles,
-                                 ImageVariant::kFiltered, pool);
-  result.auto_original = evaluate(*result.unet_auto, test_tiles,
-                                  ImageVariant::kOriginal, pool);
-  result.auto_filtered = evaluate(*result.unet_auto, test_tiles,
-                                  ImageVariant::kFiltered, pool);
-
-  // 5. Table V / Fig 13: bucket the test split by cloud cover.
-  std::vector<LabeledTile> cloudy, clear;
-  for (const auto& tile : test_tiles) {
-    (tile.cloud_fraction > cfg.cloud_split_threshold ? cloudy : clear)
-        .push_back(tile);
-  }
-  result.test_tiles_cloudy = cloudy.size();
-  result.test_tiles_clear = clear.size();
-  result.man_cloudy_original =
-      evaluate(*result.unet_man, cloudy, ImageVariant::kOriginal, pool);
-  result.man_cloudy_filtered =
-      evaluate(*result.unet_man, cloudy, ImageVariant::kFiltered, pool);
-  result.auto_cloudy_original =
-      evaluate(*result.unet_auto, cloudy, ImageVariant::kOriginal, pool);
-  result.auto_cloudy_filtered =
-      evaluate(*result.unet_auto, cloudy, ImageVariant::kFiltered, pool);
-  result.man_clear_original =
-      evaluate(*result.unet_man, clear, ImageVariant::kOriginal, pool);
-  result.man_clear_filtered =
-      evaluate(*result.unet_man, clear, ImageVariant::kFiltered, pool);
-  result.auto_clear_original =
-      evaluate(*result.unet_auto, clear, ImageVariant::kOriginal, pool);
-  result.auto_clear_filtered =
-      evaluate(*result.unet_auto, clear, ImageVariant::kFiltered, pool);
-  return result;
+  return run(par::ExecutionContext(pool));
 }
 
 InferenceWorkflow::InferenceWorkflow(nn::UNet& model,
                                      CloudFilterConfig filter_config,
                                      int tile_size)
-    : model_(model), filter_(filter_config), tile_size_(tile_size) {
+    : model_(model),
+      filter_config_(filter_config),
+      filter_(filter_config),  // validates the config at construction
+      tile_size_(tile_size) {
   if (tile_size <= 0 || tile_size % model.config().spatial_divisor() != 0) {
     throw std::invalid_argument(
         "InferenceWorkflow: tile_size incompatible with model depth");
   }
 }
 
+Pipeline InferenceWorkflow::build_pipeline() {
+  Pipeline pipeline;
+  pipeline.emplace<CloudFilterStage>(filter_config_, keys::kSceneImages,
+                                     keys::kFilteredImages);
+  pipeline.emplace<TileInferStage>(model_, tile_size_);
+  pipeline.emplace<StitchStage>();
+  return pipeline;
+}
+
 img::ImageU8 InferenceWorkflow::classify_scene(const img::ImageU8& scene_rgb,
-                                               par::ThreadPool* pool) {
+                                               const par::ExecutionContext& ctx) {
   if (scene_rgb.channels() != 3) {
     throw std::invalid_argument("InferenceWorkflow: expected RGB scene");
   }
@@ -160,45 +191,20 @@ img::ImageU8 InferenceWorkflow::classify_scene(const img::ImageU8& scene_rgb,
     throw std::invalid_argument(
         "InferenceWorkflow: scene size must be a tile multiple");
   }
-  const int tiles_x = scene_rgb.width() / tile_size_;
-  const int tiles_y = scene_rgb.height() / tile_size_;
-
   // Fig 9, with the corpus lesson applied: filter the big scene once, then
-  // split and infer per tile.
-  const img::ImageU8 filtered = filter_.apply(scene_rgb);
+  // split, infer per tile batch, and stitch — the same components
+  // build_pipeline() composes, called directly so the serving path copies
+  // nothing and assembles no per-call graph.
+  const img::ImageU8 filtered = filter_.apply(scene_rgb, ctx);
+  const auto tile_planes =
+      infer_scene_tiles(model_, filtered, tile_size_, /*batch_tiles=*/8, ctx);
+  return s2::stitch_labels(tile_planes, filtered.width() / tile_size_,
+                           filtered.height() / tile_size_);
+}
 
-  model_.set_pool(pool);
-  std::vector<img::ImageU8> predictions(
-      static_cast<std::size_t>(tiles_x) * tiles_y);
-  tensor::Tensor x({1, 3, tile_size_, tile_size_});
-  tensor::Tensor logits, probs;
-  for (int ty = 0; ty < tiles_y; ++ty) {
-    for (int tx = 0; tx < tiles_x; ++tx) {
-      const img::ImageU8 tile = img::crop(filtered, tx * tile_size_,
-                                          ty * tile_size_, tile_size_,
-                                          tile_size_);
-      for (int y = 0; y < tile_size_; ++y) {
-        for (int xx = 0; xx < tile_size_; ++xx) {
-          for (int c = 0; c < 3; ++c) {
-            x.at4(0, c, y, xx) = tile.at(xx, y, c) / 255.0f;
-          }
-        }
-      }
-      model_.forward(x, logits, /*training=*/false);
-      tensor::softmax_channel(logits, probs);
-      const auto pred = tensor::argmax_channel(probs);
-      img::ImageU8 plane(tile_size_, tile_size_, 1);
-      for (int y = 0; y < tile_size_; ++y) {
-        for (int xx = 0; xx < tile_size_; ++xx) {
-          plane.at(xx, y) = static_cast<std::uint8_t>(
-              pred[static_cast<std::size_t>(y) * tile_size_ + xx]);
-        }
-      }
-      predictions[static_cast<std::size_t>(ty) * tiles_x + tx] =
-          std::move(plane);
-    }
-  }
-  return s2::stitch_labels(predictions, tiles_x, tiles_y);
+img::ImageU8 InferenceWorkflow::classify_scene(const img::ImageU8& scene_rgb,
+                                               par::ThreadPool* pool) {
+  return classify_scene(scene_rgb, par::ExecutionContext(pool));
 }
 
 }  // namespace polarice::core

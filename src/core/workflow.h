@@ -1,22 +1,28 @@
 #pragma once
-// End-to-end workflows gluing the substrates together.
+// Canned stage graphs gluing the substrates together.
 //
-// TrainingWorkflow = the paper's Fig 2: acquire tiles, derive manual and
-// auto labels, train U-Net-Man and U-Net-Auto, and evaluate both on the
-// held-out split against ground truth, on original and filtered imagery,
-// overall (Table IV) and bucketed by cloud cover (Table V, Fig 13).
+// TrainingWorkflow = the paper's Fig 2 as a core::Pipeline: acquire scenes,
+// filter, auto/manual label, tile, split, train U-Net-Man and U-Net-Auto,
+// and evaluate both on the held-out split against ground truth, on original
+// and filtered imagery, overall (Table IV) and bucketed by cloud cover
+// (Table V, Fig 13). The graph is assembled in build_pipeline(); run() is
+// now "run the pipeline, read the artifacts".
 //
-// InferenceWorkflow = Fig 9: big scene -> 256x256 tiles -> thin-cloud/
-// shadow filter -> U-Net inference -> stitched scene-level classification.
+// InferenceWorkflow = Fig 9 as a pipeline: big scene -> thin-cloud/shadow
+// filter -> 256x256 tiles -> batched U-Net inference -> stitched scene
+// classification. For long-lived concurrent serving use InferenceSession.
 
 #include <memory>
 #include <vector>
 
 #include "core/corpus.h"
 #include "core/dataset_builder.h"
+#include "core/pipeline.h"
+#include "core/stages.h"
 #include "metrics/metrics.h"
 #include "nn/trainer.h"
 #include "nn/unet.h"
+#include "par/context.h"
 #include "s2/acquisition.h"
 
 namespace polarice::core {
@@ -32,15 +38,6 @@ struct WorkflowConfig {
   double cloud_split_threshold = 0.10; // Table V bucket boundary
 
   void validate() const;
-};
-
-/// Metrics of one model on one image variant, against ground truth.
-struct Evaluation {
-  double accuracy = 0.0;
-  double precision = 0.0;  // macro
-  double recall = 0.0;     // macro
-  double f1 = 0.0;         // macro
-  metrics::ConfusionMatrix confusion{s2::kNumClasses};
 };
 
 struct TrainingWorkflowResult {
@@ -67,9 +64,19 @@ class TrainingWorkflow {
  public:
   explicit TrainingWorkflow(WorkflowConfig config);
 
-  /// Runs the whole Fig 2 pipeline. `pool` parallelizes data preparation
-  /// and evaluation (training itself uses the model's configured pool).
-  TrainingWorkflowResult run(par::ThreadPool* pool = nullptr);
+  /// Assembles the Fig 2 stage graph for this config. Exposed so callers
+  /// can inspect or extend the graph before running it; run() uses exactly
+  /// this pipeline.
+  [[nodiscard]] Pipeline build_pipeline() const;
+
+  /// Runs the whole Fig 2 pipeline on the context (pool parallelizes data
+  /// preparation and evaluation; cancellation and progress are honoured
+  /// throughout).
+  TrainingWorkflowResult run(const par::ExecutionContext& ctx = {});
+
+  /// Deprecated shim for the raw-pool era.
+  [[deprecated("pass an ExecutionContext instead of a raw pool")]]
+  TrainingWorkflowResult run(par::ThreadPool* pool);
 
   /// Evaluates an already-trained model on prepared tiles against ground
   /// truth. Exposed for the benches (Table V / Fig 13 sweeps re-use the
@@ -77,7 +84,12 @@ class TrainingWorkflow {
   static Evaluation evaluate(nn::UNet& model,
                              const std::vector<LabeledTile>& tiles,
                              ImageVariant variant,
-                             par::ThreadPool* pool = nullptr);
+                             const par::ExecutionContext& ctx = {});
+
+  [[deprecated("pass an ExecutionContext instead of a raw pool")]]
+  static Evaluation evaluate(nn::UNet& model,
+                             const std::vector<LabeledTile>& tiles,
+                             ImageVariant variant, par::ThreadPool* pool);
 
   [[nodiscard]] const WorkflowConfig& config() const noexcept {
     return config_;
@@ -90,16 +102,34 @@ class TrainingWorkflow {
 class InferenceWorkflow {
  public:
   /// `model` must outlive the workflow. tile_size must be compatible with
-  /// the model's spatial divisor.
+  /// the model's spatial divisor; the filter config is validated here.
   InferenceWorkflow(nn::UNet& model, CloudFilterConfig filter_config,
                     int tile_size);
 
-  /// Classifies a full scene; returns a scene-sized class-id plane.
+  /// The Fig 9 stage graph (CloudFilter -> TileInfer -> Stitch) for
+  /// composition with other stages. Seed the store with keys::kSceneImages;
+  /// results land under keys::kSceneLabels. classify_scene() runs the same
+  /// components directly (no per-call graph assembly or scene copy).
+  [[nodiscard]] Pipeline build_pipeline();
+
+  /// Classifies a full scene (dimensions must be tile multiples); returns a
+  /// scene-sized class-id plane. Not thread-safe — the model's forward
+  /// caches are stateful; use InferenceSession for concurrent serving.
   img::ImageU8 classify_scene(const img::ImageU8& scene_rgb,
-                              par::ThreadPool* pool = nullptr);
+                              const par::ExecutionContext& ctx = {});
+
+  [[deprecated("pass an ExecutionContext instead of a raw pool")]]
+  img::ImageU8 classify_scene(const img::ImageU8& scene_rgb,
+                              par::ThreadPool* pool);
+
+  [[nodiscard]] int tile_size() const noexcept { return tile_size_; }
+  [[nodiscard]] const CloudFilterConfig& filter_config() const noexcept {
+    return filter_config_;
+  }
 
  private:
   nn::UNet& model_;
+  CloudFilterConfig filter_config_;
   CloudShadowFilter filter_;
   int tile_size_;
 };

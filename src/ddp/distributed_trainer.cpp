@@ -1,5 +1,6 @@
 #include "ddp/distributed_trainer.h"
 
+#include <atomic>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -27,7 +28,8 @@ nn::SegDataset shard_dataset(const nn::SegDataset& data, int rank,
 
 DistributedTrainStats train_distributed(nn::UNet& model,
                                         const nn::SegDataset& data,
-                                        const DistributedTrainConfig& config) {
+                                        const DistributedTrainConfig& config,
+                                        const par::ExecutionContext& ctx) {
   if (config.world_size < 1) {
     throw std::invalid_argument("train_distributed: world_size < 1");
   }
@@ -51,7 +53,12 @@ DistributedTrainStats train_distributed(nn::UNet& model,
   DistributedTrainStats stats;
   std::vector<float> rank0_epoch_loss;
   std::vector<std::int64_t> rank_images(n, 0);
+  // Cooperative cancellation: rank 0 samples the token once per epoch and
+  // publishes the decision BEFORE the epoch barrier, so every rank reads
+  // the same verdict after it — no rank ever enters a collective alone.
+  std::atomic<bool> stop{false};
   util::WallTimer wall;
+  ctx.throw_if_cancelled("train_distributed");
 
   auto rank_body = [&](int rank, nn::UNet& replica) {
     // One rank == one GPU: all layer math stays on this thread.
@@ -88,8 +95,12 @@ DistributedTrainStats train_distributed(nn::UNet& model,
       if (rank == 0) {
         rank0_epoch_loss.push_back(
             batches ? static_cast<float>(loss_sum / batches) : 0.0f);
+        if (ctx.cancelled()) stop.store(true, std::memory_order_relaxed);
+        ctx.report_progress("ddp_train", static_cast<std::size_t>(epoch + 1),
+                            static_cast<std::size_t>(config.epochs));
       }
       comm.barrier();  // epoch boundary, keeps loaders aligned
+      if (stop.load(std::memory_order_relaxed)) break;
     }
   };
 
@@ -100,6 +111,9 @@ DistributedTrainStats train_distributed(nn::UNet& model,
   }
   rank_body(0, model);
   threads.clear();  // join
+  if (stop.load(std::memory_order_relaxed)) {
+    throw par::OperationCancelled("train_distributed");
+  }
 
   stats.total_s = wall.seconds();
   stats.epoch_s = stats.total_s / config.epochs;

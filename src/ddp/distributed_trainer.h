@@ -17,6 +17,7 @@
 
 #include "nn/data.h"
 #include "nn/unet.h"
+#include "par/context.h"
 
 namespace polarice::ddp {
 
@@ -39,9 +40,12 @@ struct DistributedTrainStats {
 
 /// Trains `model` (used as rank 0's replica; other replicas are internal
 /// copies) and returns measured stats. On return `model` holds the trained
-/// parameters.
-DistributedTrainStats train_distributed(nn::UNet& model,
-                                        const nn::SegDataset& data,
-                                        const DistributedTrainConfig& config);
+/// parameters. Each rank keeps its math on its own thread (one rank == one
+/// GPU), so the context's pool is NOT used; the context contributes
+/// cancellation (checked collectively at epoch boundaries, so ranks never
+/// diverge across a collective) and per-epoch progress reporting.
+DistributedTrainStats train_distributed(
+    nn::UNet& model, const nn::SegDataset& data,
+    const DistributedTrainConfig& config, const par::ExecutionContext& ctx = {});
 
 }  // namespace polarice::ddp

@@ -2,16 +2,21 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace polarice::img {
 
 namespace {
 enum class Op { kMin, kMax };
 
-/// 1-D sliding min/max pass along rows (horizontal = true) or columns.
-/// Rectangular structuring elements are separable, so erode/dilate are two
-/// 1-D passes instead of an O(k^2) window scan.
-ImageU8 pass(const ImageU8& src, int radius, bool horizontal, Op op) {
+inline std::uint8_t combine(std::uint8_t a, std::uint8_t b, Op op) noexcept {
+  return op == Op::kMin ? std::min(a, b) : std::max(a, b);
+}
+
+/// Seed implementation: 1-D sliding min/max with an O(K) rescan per pixel.
+/// Border handling clamps sample indices to the line, which (min/max being
+/// idempotent in duplicates) equals truncating the window at the border.
+ImageU8 pass_ref(const ImageU8& src, int radius, bool horizontal, Op op) {
   const int w = src.width(), h = src.height();
   ImageU8 out(w, h, 1);
   const int outer = horizontal ? h : w;
@@ -23,7 +28,7 @@ ImageU8 pass(const ImageU8& src, int radius, bool horizontal, Op op) {
         const int j = std::clamp(i + d, 0, inner - 1);
         const std::uint8_t v =
             horizontal ? src.at(j, o) : src.at(o, j);
-        best = op == Op::kMin ? std::min(best, v) : std::max(best, v);
+        best = combine(best, v, op);
       }
       if (horizontal) {
         out.at(i, o) = best;
@@ -35,7 +40,59 @@ ImageU8 pass(const ImageU8& src, int radius, bool horizontal, Op op) {
   return out;
 }
 
-ImageU8 morph(const ImageU8& src, int ksize, Op op) {
+/// van Herk / Gil-Werman 1-D running min/max: pad the line with the
+/// identity element (255 for min, 0 for max — equivalent to the clamped/
+/// truncated border of the reference), then compute per-block prefix (R)
+/// and suffix (L) scans with block size K = 2*radius+1. The window
+/// [i, i+K-1] in padded coordinates spans at most one block boundary, so
+/// out[i] = combine(L[i], R[i+K-1]) — three passes over the line total,
+/// independent of K.
+ImageU8 pass_vhgw(const ImageU8& src, int radius, bool horizontal, Op op) {
+  const int w = src.width(), h = src.height();
+  ImageU8 out(w, h, 1);
+  const int outer = horizontal ? h : w;
+  const int inner = horizontal ? w : h;
+  const int k = 2 * radius + 1;
+  const int padded = inner + 2 * radius;
+  const std::uint8_t identity = op == Op::kMin ? 255 : 0;
+
+  std::vector<std::uint8_t> line(static_cast<std::size_t>(padded));
+  std::vector<std::uint8_t> prefix(static_cast<std::size_t>(padded));
+  std::vector<std::uint8_t> suffix(static_cast<std::size_t>(padded));
+  for (int o = 0; o < outer; ++o) {
+    std::fill(line.begin(), line.begin() + radius, identity);
+    std::fill(line.end() - radius, line.end(), identity);
+    if (horizontal) {
+      const std::uint8_t* row = src.data() + static_cast<std::size_t>(o) * w;
+      std::copy(row, row + w, line.begin() + radius);
+    } else {
+      for (int i = 0; i < inner; ++i) line[radius + i] = src.at(o, i);
+    }
+    for (int i = 0; i < padded; ++i) {
+      prefix[i] = (i % k == 0) ? line[i] : combine(prefix[i - 1], line[i], op);
+    }
+    for (int i = padded - 1; i >= 0; --i) {
+      suffix[i] = (i % k == k - 1 || i == padded - 1)
+                      ? line[i]
+                      : combine(suffix[i + 1], line[i], op);
+    }
+    if (horizontal) {
+      std::uint8_t* row = out.data() + static_cast<std::size_t>(o) * w;
+      for (int i = 0; i < inner; ++i) {
+        row[i] = combine(suffix[i], prefix[i + k - 1], op);
+      }
+    } else {
+      for (int i = 0; i < inner; ++i) {
+        out.at(o, i) = combine(suffix[i], prefix[i + k - 1], op);
+      }
+    }
+  }
+  return out;
+}
+
+using Pass1D = ImageU8 (*)(const ImageU8&, int, bool, Op);
+
+ImageU8 morph(const ImageU8& src, int ksize, Op op, Pass1D pass) {
   if (ksize < 1 || ksize % 2 == 0) {
     throw std::invalid_argument("morphology: ksize must be odd >= 1");
   }
@@ -49,11 +106,19 @@ ImageU8 morph(const ImageU8& src, int ksize, Op op) {
 }  // namespace
 
 ImageU8 erode(const ImageU8& src, int ksize) {
-  return morph(src, ksize, Op::kMin);
+  return morph(src, ksize, Op::kMin, pass_vhgw);
 }
 
 ImageU8 dilate(const ImageU8& src, int ksize) {
-  return morph(src, ksize, Op::kMax);
+  return morph(src, ksize, Op::kMax, pass_vhgw);
+}
+
+ImageU8 erode_ref(const ImageU8& src, int ksize) {
+  return morph(src, ksize, Op::kMin, pass_ref);
+}
+
+ImageU8 dilate_ref(const ImageU8& src, int ksize) {
+  return morph(src, ksize, Op::kMax, pass_ref);
 }
 
 ImageU8 morph_open(const ImageU8& src, int ksize) {

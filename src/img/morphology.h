@@ -2,6 +2,12 @@
 // Grayscale morphology with rectangular structuring elements. Used for
 // illumination estimation in the cloud/shadow filter and for the boundary
 // jitter in the synthetic "manual" labeler.
+//
+// erode/dilate run the van Herk / Gil-Werman algorithm: two 1-D passes
+// (rectangles are separable), each computing running min/max with ~3
+// comparisons per pixel regardless of kernel size — the cloud filter's
+// K=97 envelopes cost the same as K=3. The seed's O(K)-per-pixel window
+// scan is kept as erode_ref/dilate_ref; tests bit-compare the two.
 
 #include "img/image.h"
 
@@ -12,6 +18,12 @@ ImageU8 erode(const ImageU8& src, int ksize);
 
 /// Maximum filter over an odd ksize x ksize rectangle (single channel).
 ImageU8 dilate(const ImageU8& src, int ksize);
+
+/// Reference O(K)-per-pixel implementations (the seed's window scan).
+/// Bit-identical to erode/dilate; kept as the ground truth they are tested
+/// against.
+ImageU8 erode_ref(const ImageU8& src, int ksize);
+ImageU8 dilate_ref(const ImageU8& src, int ksize);
 
 /// Erosion then dilation (removes bright specks smaller than the kernel).
 ImageU8 morph_open(const ImageU8& src, int ksize);

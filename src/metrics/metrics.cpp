@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "par/parallel_for.h"
+
 namespace polarice::metrics {
 
 ConfusionMatrix::ConfusionMatrix(int num_classes) : k_(num_classes) {
@@ -154,6 +156,34 @@ double pixel_accuracy(const std::vector<int>& truth,
   return counted == 0
              ? 0.0
              : static_cast<double>(correct) / static_cast<double>(counted);
+}
+
+double pixel_accuracy(const std::vector<int>& truth,
+                      const std::vector<int>& predicted,
+                      const par::ExecutionContext& ctx) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("pixel_accuracy: size mismatch");
+  }
+  ctx.throw_if_cancelled("pixel_accuracy");
+  struct Counts {
+    std::uint64_t correct = 0, counted = 0;
+  };
+  const Counts counts = par::parallel_reduce<Counts>(
+      ctx.pool(), 0, truth.size(), Counts{},
+      [&](std::size_t i) {
+        Counts c;
+        if (truth[i] >= 0) {
+          c.counted = 1;
+          c.correct = truth[i] == predicted[i];
+        }
+        return c;
+      },
+      [](Counts a, Counts b) {
+        return Counts{a.correct + b.correct, a.counted + b.counted};
+      });
+  return counts.counted == 0 ? 0.0
+                             : static_cast<double>(counts.correct) /
+                                   static_cast<double>(counts.counted);
 }
 
 }  // namespace polarice::metrics

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "par/context.h"
+
 namespace polarice::metrics {
 
 /// KxK confusion matrix over class-index sequences. Convention follows the
@@ -60,5 +62,12 @@ class ConfusionMatrix {
 /// Plain accuracy between two label sequences (negative truths ignored).
 double pixel_accuracy(const std::vector<int>& truth,
                       const std::vector<int>& predicted);
+
+/// Parallel variant for scene-sized sequences: chunks the range over the
+/// context's pool. Integer match counts make the result bit-identical to
+/// the sequential version for any worker count.
+double pixel_accuracy(const std::vector<int>& truth,
+                      const std::vector<int>& predicted,
+                      const par::ExecutionContext& ctx);
 
 }  // namespace polarice::metrics

@@ -7,6 +7,7 @@
 #include "img/color.h"
 #include "img/filter.h"
 #include "img/ops.h"
+#include "par/parallel_for.h"
 
 namespace polarice::metrics {
 
@@ -77,6 +78,21 @@ double ssim_rgb(const img::ImageU8& a, const img::ImageU8& b,
                   options);
   }
   return total / 3.0;
+}
+
+double ssim_rgb(const img::ImageU8& a, const img::ImageU8& b,
+                const SsimOptions& options, const par::ExecutionContext& ctx) {
+  if (!a.same_shape(b)) throw std::invalid_argument("ssim_rgb: shape mismatch");
+  if (a.channels() != 3) {
+    throw std::invalid_argument("ssim_rgb: expected 3 channels");
+  }
+  ctx.throw_if_cancelled("ssim_rgb");
+  const auto per_channel = par::parallel_map<double>(
+      ctx.pool(), 0, 3, [&](std::size_t c) {
+        return ssim(img::extract_channel(a, static_cast<int>(c)),
+                    img::extract_channel(b, static_cast<int>(c)), options);
+      });
+  return (per_channel[0] + per_channel[1] + per_channel[2]) / 3.0;
 }
 
 }  // namespace polarice::metrics

@@ -4,6 +4,7 @@
 // thin-cloud/shadow filter).
 
 #include "img/image.h"
+#include "par/context.h"
 
 namespace polarice::metrics {
 
@@ -23,5 +24,12 @@ double ssim(const img::ImageU8& a, const img::ImageU8& b,
 /// is how we score colorized label maps (one color per class).
 double ssim_rgb(const img::ImageU8& a, const img::ImageU8& b,
                 const SsimOptions& options = {});
+
+/// Parallel variant: the three channel SSIMs run concurrently on the
+/// context's pool. Each channel is computed exactly as in the sequential
+/// version and the three results are summed in channel order, so the value
+/// is bit-identical for any worker count.
+double ssim_rgb(const img::ImageU8& a, const img::ImageU8& b,
+                const SsimOptions& options, const par::ExecutionContext& ctx);
 
 }  // namespace polarice::metrics

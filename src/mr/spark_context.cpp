@@ -18,6 +18,11 @@ JobTimes SparkContext::last_job() const {
   return state_->job;
 }
 
+void SparkContext::set_cancellation(par::CancellationToken token) {
+  const std::scoped_lock lock(state_->mutex);
+  state_->cancel = std::move(token);
+}
+
 void SparkContext::note_map(State& state) {
   util::WallTimer timer;
   // Lazy transformation: only lineage bookkeeping happens here.
@@ -28,7 +33,18 @@ void SparkContext::note_map(State& state) {
 void SparkContext::run_action(State& state, std::size_t partitions,
                               const std::function<void(std::size_t)>& body) {
   util::WallTimer timer;
-  par::parallel_for(state.pool.get(), 0, partitions, body, /*grain=*/1);
+  par::CancellationToken cancel;
+  {
+    const std::scoped_lock lock(state.mutex);
+    cancel = state.cancel;
+  }
+  par::parallel_for(
+      state.pool.get(), 0, partitions,
+      [&](std::size_t p) {
+        cancel.throw_if_cancelled("mr::run_action");
+        body(p);
+      },
+      /*grain=*/1);
   const std::scoped_lock lock(state.mutex);
   state.job.measured_reduce_s = timer.seconds();
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "mr/cluster.h"
+#include "par/context.h"
 #include "par/thread_pool.h"
 #include "util/timer.h"
 
@@ -44,12 +45,17 @@ class SparkContext {
   /// Times of the most recent job (parallelize -> ... -> action).
   [[nodiscard]] JobTimes last_job() const;
 
+  /// Attaches a cancellation token: actions check it before every partition
+  /// task and propagate par::OperationCancelled out of collect()/count().
+  void set_cancellation(par::CancellationToken token);
+
   // ---- internal plumbing shared with RDD (public for the template) ----
   struct State {
     ClusterConfig config;
     std::unique_ptr<par::ThreadPool> pool;
     mutable std::mutex mutex;
     JobTimes job;
+    par::CancellationToken cancel;  // default token: never cancelled
   };
   static void note_map(State& state);
   static void run_action(State& state, std::size_t partitions,

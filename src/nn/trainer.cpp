@@ -19,7 +19,8 @@ Trainer::Trainer(UNet& model, TrainConfig config)
   }
 }
 
-std::vector<EpochStats> Trainer::fit(const SegDataset& train_data) {
+std::vector<EpochStats> Trainer::fit(const SegDataset& train_data,
+                                     const par::ExecutionContext& ctx) {
   Adam optimizer(model_.params(), config_.learning_rate);
   DataLoader loader(train_data, config_.batch_size, config_.seed,
                     /*shuffle=*/true, config_.drop_last);
@@ -34,6 +35,7 @@ std::vector<EpochStats> Trainer::fit(const SegDataset& train_data) {
     std::int64_t correct = 0, counted = 0, images = 0;
     std::size_t batches = 0;
     while (loader.next(batch)) {
+      ctx.throw_if_cancelled("Trainer::fit");
       optimizer.zero_grad();
       model_.forward(batch.x, logits, /*training=*/true);
       const float loss =
@@ -71,6 +73,8 @@ std::vector<EpochStats> Trainer::fit(const SegDataset& train_data) {
                  << "s";
     }
     history.push_back(stats);
+    ctx.report_progress("train", static_cast<std::size_t>(epoch + 1),
+                        static_cast<std::size_t>(config_.epochs));
   }
   return history;
 }

@@ -9,6 +9,7 @@
 #include "nn/data.h"
 #include "nn/optimizer.h"
 #include "nn/unet.h"
+#include "par/context.h"
 
 namespace polarice::nn {
 
@@ -37,7 +38,12 @@ class Trainer {
 
   /// Runs the configured number of epochs; returns per-epoch stats.
   /// Throws std::runtime_error if the loss turns NaN/inf (divergence guard).
-  std::vector<EpochStats> fit(const SegDataset& train_data);
+  /// The context's cancellation token is checked before every batch
+  /// (par::OperationCancelled propagates); per-epoch progress is reported
+  /// to its sink. The model's pool binding is left untouched — bind the
+  /// model explicitly (UNet::bind) to adopt the context's pool.
+  std::vector<EpochStats> fit(const SegDataset& train_data,
+                              const par::ExecutionContext& ctx = {});
 
   /// Mean pixel accuracy of the model on a dataset (inference mode).
   static double evaluate_accuracy(UNet& model, const SegDataset& data,

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "nn/layers.h"
+#include "par/context.h"
 
 namespace polarice::nn {
 
@@ -84,6 +85,9 @@ class UNet {
 
   /// Sets the intra-op pool on every layer (nullptr = sequential).
   void set_pool(par::ThreadPool* pool);
+
+  /// Binds the model to an execution context (today: adopts its pool).
+  void bind(const par::ExecutionContext& ctx) { set_pool(ctx.pool()); }
 
   [[nodiscard]] const UNetConfig& config() const noexcept { return config_; }
 

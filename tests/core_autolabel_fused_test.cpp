@@ -49,7 +49,8 @@ TEST_P(FusedAutoLabel, MatchesMultiPassReferenceExactly) {
   expect_identical(labeler.label(scene.rgb), reference);
 
   pp::ThreadPool pool(4);
-  expect_identical(labeler.label(scene.rgb, &pool), reference);
+  expect_identical(labeler.label(scene.rgb, polarice::par::ExecutionContext(&pool)),
+                   reference);
 }
 
 INSTANTIATE_TEST_SUITE_P(CloudAndFilter, FusedAutoLabel,
@@ -94,10 +95,11 @@ TEST(FusedAutoLabel, PooledCloudFilterBitIdentical) {
   const pc::CloudShadowFilter filter;
   pp::ThreadPool pool(4);
   const auto seq = filter.apply_with_diagnostics(scene.rgb);
-  const auto par = filter.apply_with_diagnostics(scene.rgb, &pool);
+  const auto par = filter.apply_with_diagnostics(scene.rgb, polarice::par::ExecutionContext(&pool));
   EXPECT_TRUE(seq.filtered == par.filtered);
   EXPECT_TRUE(seq.cloud_mask == par.cloud_mask);
   EXPECT_TRUE(seq.alpha == par.alpha);
   EXPECT_TRUE(seq.beta == par.beta);
-  EXPECT_TRUE(filter.apply(scene.rgb, &pool) == seq.filtered);
+  EXPECT_TRUE(filter.apply(scene.rgb, polarice::par::ExecutionContext(&pool)) ==
+              seq.filtered);
 }

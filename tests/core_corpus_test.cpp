@@ -42,8 +42,8 @@ TEST(Corpus, TileCountAndIndexing) {
 TEST(Corpus, DeterministicAndPoolInvariant) {
   const auto cfg = small_corpus();
   polarice::par::ThreadPool pool(4);
-  const auto seq = pc::prepare_corpus(cfg, nullptr);
-  const auto par = pc::prepare_corpus(cfg, &pool);
+  const auto seq = pc::prepare_corpus(cfg);
+  const auto par = pc::prepare_corpus(cfg, polarice::par::ExecutionContext(&pool));
   ASSERT_EQ(seq.size(), par.size());
   for (std::size_t i = 0; i < seq.size(); ++i) {
     EXPECT_EQ(seq[i].rgb, par[i].rgb);

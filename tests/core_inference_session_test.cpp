@@ -1,0 +1,160 @@
+// InferenceSession serving semantics: concurrent classify_scene calls must
+// be bit-identical to the serial InferenceWorkflow, partial scenes are
+// padded (or rejected), batching never changes results, and cancellation
+// propagates mid-pipeline.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/inference_session.h"
+#include "core/stages.h"
+#include "core/workflow.h"
+#include "img/ops.h"
+#include "nn/unet.h"
+#include "par/context.h"
+#include "par/thread_pool.h"
+#include "s2/scene.h"
+
+namespace pc = polarice::core;
+namespace pp = polarice::par;
+namespace ps = polarice::s2;
+namespace pn = polarice::nn;
+namespace pi = polarice::img;
+
+namespace {
+
+pn::UNet make_model() {
+  pn::UNetConfig cfg;
+  cfg.depth = 2;
+  cfg.base_channels = 6;
+  cfg.use_dropout = false;
+  cfg.seed = 88;
+  // Untrained weights: deterministic init is all bit-identity tests need.
+  return pn::UNet(cfg);
+}
+
+pi::ImageU8 make_scene(std::uint64_t seed, int size = 128) {
+  ps::SceneConfig sc;
+  sc.width = sc.height = size;
+  sc.seed = seed;
+  sc.cloudy = true;
+  return ps::SceneGenerator(sc).generate().rgb;
+}
+
+}  // namespace
+
+TEST(InferenceSession, ConcurrentCallsMatchSerialWorkflow) {
+  pn::UNet model = make_model();
+  const pc::CloudFilterConfig filter_cfg;
+
+  // Serial references through the Fig 9 workflow (one scene at a time).
+  constexpr int kScenes = 6;
+  std::vector<pi::ImageU8> scenes, references;
+  pc::InferenceWorkflow workflow(model, filter_cfg, 64);
+  for (int i = 0; i < kScenes; ++i) {
+    scenes.push_back(make_scene(9000 + static_cast<std::uint64_t>(i)));
+    references.push_back(workflow.classify_scene(scenes.back()));
+  }
+
+  // >= 4 concurrent classifications through the session (2 replicas force
+  // real lease contention), batched inference enabled.
+  pc::InferenceSessionConfig session_cfg;
+  session_cfg.tile_size = 64;
+  session_cfg.replicas = 2;
+  session_cfg.batch_tiles = 3;  // deliberately not a divisor of 4 tiles
+  session_cfg.filter = filter_cfg;
+  pc::InferenceSession session(model, session_cfg);
+
+  std::vector<pi::ImageU8> results(kScenes);
+  {
+    std::vector<std::jthread> callers;
+    for (int i = 0; i < kScenes; ++i) {
+      callers.emplace_back(
+          [&, i] { results[i] = session.classify_scene(scenes[i]); });
+    }
+  }
+  for (int i = 0; i < kScenes; ++i) {
+    EXPECT_EQ(results[i], references[i]) << "scene " << i;
+  }
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.scenes, static_cast<std::size_t>(kScenes));
+  EXPECT_EQ(stats.tiles, static_cast<std::size_t>(kScenes) * 4);
+  EXPECT_GT(stats.busy_seconds, 0.0);
+}
+
+TEST(InferenceSession, BatchSizeNeverChangesResults) {
+  pn::UNet model = make_model();
+  const auto scene = make_scene(77);
+  pc::InferenceSessionConfig one;
+  one.tile_size = 64;
+  one.replicas = 1;
+  one.batch_tiles = 1;
+  pc::InferenceSessionConfig many = one;
+  many.batch_tiles = 4;
+  pc::InferenceSession session_one(model, one);
+  pc::InferenceSession session_many(model, many);
+  EXPECT_EQ(session_one.classify_scene(scene),
+            session_many.classify_scene(scene));
+}
+
+TEST(InferenceSession, PadsScenesThatAreNotTileMultiples) {
+  pn::UNet model = make_model();
+  const auto full = make_scene(55, 128);
+  // Crop to a ragged 100x72 — not a multiple of 64 on either axis.
+  const auto ragged = pi::crop(full, 0, 0, 100, 72);
+
+  pc::InferenceSessionConfig cfg;
+  cfg.tile_size = 64;
+  cfg.replicas = 1;
+  pc::InferenceSession session(model, cfg);
+  const auto labels = session.classify_scene(ragged);
+  EXPECT_EQ(labels.width(), 100);
+  EXPECT_EQ(labels.height(), 72);
+  EXPECT_EQ(labels.channels(), 1);
+
+  // With padding disabled the session matches InferenceWorkflow's contract.
+  cfg.pad_partial_tiles = false;
+  pc::InferenceSession strict(model, cfg);
+  EXPECT_THROW(strict.classify_scene(ragged), std::invalid_argument);
+  pc::InferenceWorkflow workflow(model, {}, 64);
+  EXPECT_THROW(workflow.classify_scene(ragged), std::invalid_argument);
+
+  // Geometry guards unchanged from the seed API.
+  EXPECT_THROW(pc::InferenceSession(model, [] {
+                 pc::InferenceSessionConfig bad;
+                 bad.tile_size = 30;  // 30 % 4 != 0
+                 return bad;
+               }()),
+               std::invalid_argument);
+  pi::ImageU8 gray(64, 64, 1);
+  EXPECT_THROW(session.classify_scene(gray), std::invalid_argument);
+}
+
+TEST(InferenceSession, CancellationPropagatesMidPipeline) {
+  pn::UNet model = make_model();
+  const auto scene = make_scene(66);
+  pc::InferenceSessionConfig cfg;
+  cfg.tile_size = 64;
+  cfg.replicas = 1;
+  cfg.batch_tiles = 1;
+  pc::InferenceSession session(model, cfg);
+
+  // Pre-cancelled context: rejected before any work.
+  const pp::ExecutionContext cancelled;
+  cancelled.request_cancel();
+  EXPECT_THROW(session.classify_scene(scene, cancelled),
+               pp::OperationCancelled);
+
+  // Cancel after the first tile batch: the progress sink fires between
+  // batches, so the remaining tiles are abandoned.
+  const pp::ExecutionContext ctx;
+  ctx.set_progress_sink([&](const pp::ProgressEvent& event) {
+    if (std::string(event.stage) == "tile_infer") ctx.request_cancel();
+  });
+  EXPECT_THROW(session.classify_scene(scene, ctx), pp::OperationCancelled);
+  // The session remains serviceable after a cancelled call (the replica
+  // lease was released).
+  EXPECT_NO_THROW(session.classify_scene(scene));
+}

@@ -1,0 +1,192 @@
+// Pipeline/Stage/ArtifactStore behaviour, plus the AutoLabelStage execution
+// policies: the paper's three labeling deployments must produce identical
+// results through one stage API.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/corpus.h"
+#include "core/pipeline.h"
+#include "core/stages.h"
+#include "core/workflow.h"
+#include "par/context.h"
+#include "par/thread_pool.h"
+#include "s2/acquisition.h"
+#include "s2/scene.h"
+
+namespace pc = polarice::core;
+namespace pp = polarice::par;
+namespace ps = polarice::s2;
+namespace pi = polarice::img;
+
+namespace {
+
+class CounterStage : public pc::Stage {
+ public:
+  CounterStage(std::string in, std::string out, int* runs)
+      : in_(std::move(in)), out_(std::move(out)), runs_(runs) {}
+  [[nodiscard]] std::string name() const override { return "counter:" + out_; }
+  [[nodiscard]] std::vector<std::string> consumes() const override {
+    return in_.empty() ? std::vector<std::string>{}
+                       : std::vector<std::string>{in_};
+  }
+  [[nodiscard]] std::vector<std::string> produces() const override {
+    return {out_};
+  }
+  void run(const pp::ExecutionContext& ctx, pc::ArtifactStore& store) override {
+    ctx.throw_if_cancelled(name().c_str());
+    const int upstream = in_.empty() ? 0 : store.get<int>(in_);
+    store.put(out_, upstream + 1);
+    ++*runs_;
+  }
+
+ private:
+  std::string in_, out_;
+  int* runs_;
+};
+
+std::vector<pi::ImageU8> small_tiles() {
+  ps::AcquisitionConfig acq;
+  acq.num_scenes = 2;
+  acq.scene_size = 128;
+  acq.tile_size = 64;
+  acq.seed = 500;
+  std::vector<pi::ImageU8> tiles;
+  for (const auto& tile : ps::acquire_tiles(acq)) tiles.push_back(tile.rgb);
+  return tiles;
+}
+
+}  // namespace
+
+TEST(ArtifactStore, TypedPutGetTake) {
+  pc::ArtifactStore store;
+  store.put<int>("answer", 42);
+  store.put<std::string>("name", "polarice");
+  EXPECT_TRUE(store.has("answer"));
+  EXPECT_EQ(store.get<int>("answer"), 42);
+  EXPECT_THROW(store.get<double>("answer"), std::logic_error);  // wrong type
+  EXPECT_THROW(store.get<int>("missing"), std::logic_error);
+  EXPECT_EQ(store.take<std::string>("name"), "polarice");
+  EXPECT_FALSE(store.has("name"));
+}
+
+TEST(Pipeline, ValidatesWiringUpfront) {
+  int runs = 0;
+  pc::Pipeline good;
+  good.emplace<CounterStage>("", "a", &runs);
+  good.emplace<CounterStage>("a", "b", &runs);
+  pc::ArtifactStore store;
+  EXPECT_NO_THROW(good.validate(store));
+  good.run({}, store);
+  EXPECT_EQ(store.get<int>("b"), 2);
+  EXPECT_EQ(runs, 2);
+
+  pc::Pipeline bad;
+  bad.emplace<CounterStage>("nonexistent", "c", &runs);
+  EXPECT_THROW(bad.validate(pc::ArtifactStore{}), std::logic_error);
+  // Nothing ran: validation precedes execution.
+  pc::ArtifactStore empty;
+  EXPECT_THROW(bad.run({}, empty), std::logic_error);
+  EXPECT_EQ(runs, 2);
+
+  // A seeded store satisfies the same consumption.
+  pc::ArtifactStore seeded;
+  seeded.put<int>("nonexistent", 5);
+  EXPECT_NO_THROW(bad.validate(seeded));
+}
+
+TEST(Pipeline, CancellationStopsBetweenStages) {
+  int runs = 0;
+  const pp::ExecutionContext ctx;
+  pc::Pipeline pipeline;
+  pipeline.emplace<CounterStage>("", "a", &runs);
+  pipeline.emplace<CounterStage>("a", "b", &runs);
+  ctx.set_progress_sink([&](const pp::ProgressEvent& event) {
+    // Cancel as soon as the first stage finishes.
+    if (std::string(event.stage) == "pipeline" && event.completed == 1) {
+      ctx.request_cancel();
+    }
+  });
+  pc::ArtifactStore store;
+  EXPECT_THROW(pipeline.run(ctx, store), pp::OperationCancelled);
+  EXPECT_EQ(runs, 1);  // second stage never ran
+  EXPECT_TRUE(store.has("a"));
+  EXPECT_FALSE(store.has("b"));
+}
+
+TEST(AutoLabelStage, PoliciesProduceIdenticalResultsInInputOrder) {
+  const auto tiles = small_tiles();
+  pc::AutoLabelConfig cfg;
+  cfg.apply_filter = false;  // keep the sweep cheap
+
+  const pc::AutoLabelStage sequential(cfg, pc::AutoLabelPolicy::pool(1));
+  const pc::AutoLabelStage pooled(cfg, pc::AutoLabelPolicy::pool(4));
+  polarice::mr::ClusterConfig cluster;
+  cluster.executors = 2;
+  cluster.cores_per_executor = 2;
+  const pc::AutoLabelStage spark(cfg, pc::AutoLabelPolicy::spark(cluster));
+  polarice::par::ThreadPool pool(3);
+  const pc::AutoLabelStage context_policy(cfg, pc::AutoLabelPolicy::context());
+
+  const pp::ExecutionContext ctx(&pool);
+  pc::AutoLabelBatchStats spark_stats;
+  const auto a = sequential.label_batch(tiles, {});
+  const auto b = pooled.label_batch(tiles, {});
+  const auto c = spark.label_batch(tiles, {}, &spark_stats);
+  const auto d = context_policy.label_batch(tiles, ctx);
+
+  ASSERT_EQ(a.size(), tiles.size());
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    EXPECT_EQ(a[i].labels, b[i].labels) << "pool policy, tile " << i;
+    EXPECT_EQ(a[i].labels, c[i].labels) << "spark policy, tile " << i;
+    EXPECT_EQ(a[i].labels, d[i].labels) << "context policy, tile " << i;
+  }
+  ASSERT_TRUE(spark_stats.spark.has_value());
+  EXPECT_EQ(spark_stats.spark->items,
+            static_cast<std::int64_t>(tiles.size()));
+  EXPECT_GT(spark_stats.spark->simulated.reduce_s, 0.0);
+  EXPECT_THROW(
+      pc::AutoLabelStage(cfg, pc::AutoLabelPolicy::pool(0)).label_batch(tiles,
+                                                                        {}),
+      std::invalid_argument);
+}
+
+TEST(TrainingWorkflow, PipelineGraphIsInspectable) {
+  pc::WorkflowConfig cfg;
+  cfg.acquisition.num_scenes = 2;
+  cfg.acquisition.scene_size = 128;
+  cfg.acquisition.tile_size = 64;
+  cfg.model.depth = 2;
+  cfg.model.base_channels = 4;
+  const pc::TrainingWorkflow workflow(cfg);
+  const pc::Pipeline pipeline = workflow.build_pipeline();
+  // Acquire, filter, auto-label, manual-label, tile, drop-scene-planes,
+  // split, 2x train, bucket, 12x evaluate.
+  EXPECT_EQ(pipeline.size(), 22u);
+  EXPECT_EQ(pipeline.stage(0).name(), "acquire");
+  EXPECT_NO_THROW(pipeline.validate(pc::ArtifactStore{}));
+}
+
+TEST(PrepareCorpus, PipelineMatchesAcrossPoolAndCancelsEarly) {
+  pc::CorpusConfig cfg;
+  cfg.acquisition.num_scenes = 2;
+  cfg.acquisition.scene_size = 128;
+  cfg.acquisition.tile_size = 64;
+  cfg.acquisition.seed = 123;
+
+  const auto seq = pc::prepare_corpus(cfg);
+  polarice::par::ThreadPool pool(4);
+  const auto par = pc::prepare_corpus(cfg, pp::ExecutionContext(&pool));
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].auto_labels, par[i].auto_labels) << "tile " << i;
+    EXPECT_EQ(seq[i].rgb_filtered, par[i].rgb_filtered) << "tile " << i;
+  }
+
+  const pp::ExecutionContext cancelled;
+  cancelled.request_cancel();
+  EXPECT_THROW(pc::prepare_corpus(cfg, cancelled), pp::OperationCancelled);
+}

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/parallel_autolabel.h"
+#include "par/context.h"
 #include "core/spark_autolabel.h"
 #include "core/workflow.h"
 #include "metrics/metrics.h"
@@ -62,19 +63,20 @@ TEST(DatasetBuilder, TileToSampleLayout) {
 TEST(DatasetBuilder, LabelSourcesProduceDifferentSupervision) {
   const auto tiles = ps::acquire_tiles(small_acquisition());
   polarice::par::ThreadPool pool(4);
+  const polarice::par::ExecutionContext ctx(&pool);
 
   pc::DatasetBuildConfig truth_cfg;
   truth_cfg.labels = pc::LabelSource::kGroundTruth;
   truth_cfg.images = pc::ImageVariant::kOriginal;
-  const auto truth = pc::build_dataset(tiles, truth_cfg, &pool);
+  const auto truth = pc::build_dataset(tiles, truth_cfg, ctx);
 
   pc::DatasetBuildConfig manual_cfg = truth_cfg;
   manual_cfg.labels = pc::LabelSource::kManual;
-  const auto manual = pc::build_dataset(tiles, manual_cfg, &pool);
+  const auto manual = pc::build_dataset(tiles, manual_cfg, ctx);
 
   pc::DatasetBuildConfig auto_cfg = truth_cfg;
   auto_cfg.labels = pc::LabelSource::kAuto;
-  const auto autod = pc::build_dataset(tiles, auto_cfg, &pool);
+  const auto autod = pc::build_dataset(tiles, auto_cfg, ctx);
 
   ASSERT_EQ(truth.size(), tiles.size());
   ASSERT_EQ(manual.size(), tiles.size());
@@ -165,7 +167,7 @@ TEST(TrainingWorkflow, ReproducesPaperOrderingsAtSmallScale) {
   //  3. both models do well on filtered imagery.
   polarice::par::ThreadPool pool(polarice::par::ThreadPool::hardware());
   pc::TrainingWorkflow workflow(small_workflow());
-  const auto result = workflow.run(&pool);
+  const auto result = workflow.run(polarice::par::ExecutionContext(&pool));
 
   // Training happened and improved.
   ASSERT_FALSE(result.man_history.empty());
@@ -204,7 +206,8 @@ TEST(InferenceWorkflow, ClassifiesSceneEndToEnd) {
   build.labels = pc::LabelSource::kGroundTruth;
   build.images = pc::ImageVariant::kOriginal;
   polarice::par::ThreadPool pool(polarice::par::ThreadPool::hardware());
-  const auto data = pc::build_dataset(tiles, build, &pool);
+  const polarice::par::ExecutionContext ctx(&pool);
+  const auto data = pc::build_dataset(tiles, build, ctx);
 
   pn::UNetConfig mc;
   mc.depth = 2;
@@ -225,7 +228,7 @@ TEST(InferenceWorkflow, ClassifiesSceneEndToEnd) {
   const auto scene = ps::SceneGenerator(sc).generate();
 
   pc::InferenceWorkflow inference(model, pc::CloudFilterConfig{}, 64);
-  const auto prediction = inference.classify_scene(scene.rgb, &pool);
+  const auto prediction = inference.classify_scene(scene.rgb, ctx);
   ASSERT_TRUE(prediction.same_shape(scene.labels));
   std::vector<int> truth, pred;
   for (const auto v : scene.labels) truth.push_back(v);

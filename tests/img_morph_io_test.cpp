@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <utility>
 #include <filesystem>
 #include <fstream>
 
@@ -51,6 +52,33 @@ TEST(Morphology, OpenRemovesSpeckleClosesKeepsIt) {
   }
   const auto kept = pi::morph_open(block, 3);
   EXPECT_EQ(kept.at(4, 4), 255);
+}
+
+// The van Herk/Gil-Werman production path must be bit-identical to the
+// seed's O(K) window scan on arbitrary content, for every kernel size
+// including kernels larger than the image.
+TEST(Morphology, VanHerkMatchesReferenceScan) {
+  polarice::util::Rng rng(2024);
+  for (const auto [w, h] : {std::pair{31, 17}, std::pair{64, 64},
+                            std::pair{5, 9}, std::pair{1, 13}}) {
+    pi::ImageU8 im(w, h, 1);
+    for (auto& px : im) px = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    for (const int k : {1, 3, 7, 15, 97}) {
+      const auto fast_erode = pi::erode(im, k);
+      const auto ref_erode = pi::erode_ref(im, k);
+      ASSERT_EQ(fast_erode, ref_erode) << w << "x" << h << " k=" << k;
+      const auto fast_dilate = pi::dilate(im, k);
+      const auto ref_dilate = pi::dilate_ref(im, k);
+      ASSERT_EQ(fast_dilate, ref_dilate) << w << "x" << h << " k=" << k;
+    }
+  }
+}
+
+TEST(Morphology, VanHerkRejectsBadKernels) {
+  const auto im = spot_image();
+  EXPECT_THROW(pi::erode(im, 2), std::invalid_argument);
+  EXPECT_THROW(pi::dilate(im, 0), std::invalid_argument);
+  EXPECT_THROW(pi::erode_ref(im, 4), std::invalid_argument);
 }
 
 TEST(Morphology, CloseFillsHole) {

@@ -5,10 +5,13 @@
 #include "img/ops.h"
 #include "metrics/metrics.h"
 #include "metrics/ssim.h"
+#include "par/context.h"
+#include "par/thread_pool.h"
 #include "util/rng.h"
 
 namespace pm = polarice::metrics;
 namespace pi = polarice::img;
+namespace pp = polarice::par;
 
 TEST(ConfusionMatrix, PerfectPredictionsAreDiagonal) {
   pm::ConfusionMatrix cm(3);
@@ -88,6 +91,24 @@ TEST(PixelAccuracy, CountsIgnoredPixels) {
   EXPECT_THROW(pm::pixel_accuracy({0}, {0, 1}), std::invalid_argument);
 }
 
+TEST(PixelAccuracy, ParallelOverloadIsBitIdentical) {
+  polarice::util::Rng rng(11);
+  std::vector<int> truth, pred;
+  for (int i = 0; i < 10007; ++i) {  // odd length: uneven chunking
+    truth.push_back(static_cast<int>(rng.uniform_int(-1, 2)));
+    pred.push_back(static_cast<int>(rng.uniform_int(0, 2)));
+  }
+  const double serial = pm::pixel_accuracy(truth, pred);
+  pp::ThreadPool pool(4);
+  const pp::ExecutionContext ctx(&pool);
+  EXPECT_EQ(serial, pm::pixel_accuracy(truth, pred, ctx));
+  EXPECT_EQ(serial, pm::pixel_accuracy(truth, pred, pp::ExecutionContext{}));
+  const pp::ExecutionContext cancelled;
+  cancelled.request_cancel();
+  EXPECT_THROW(pm::pixel_accuracy(truth, pred, cancelled),
+               pp::OperationCancelled);
+}
+
 namespace {
 pi::ImageU8 random_gray(int w, int h, std::uint64_t seed) {
   polarice::util::Rng rng(seed);
@@ -106,6 +127,17 @@ TEST(Ssim, Symmetric) {
   const auto a = random_gray(48, 48, 2);
   const auto b = random_gray(48, 48, 3);
   EXPECT_NEAR(pm::ssim(a, b), pm::ssim(b, a), 1e-12);
+}
+
+TEST(SsimRgb, ParallelOverloadIsBitIdentical) {
+  polarice::util::Rng rng(21);
+  pi::ImageU8 a(48, 48, 3), b(48, 48, 3);
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const double serial = pm::ssim_rgb(a, b);
+  pp::ThreadPool pool(3);
+  EXPECT_EQ(serial, pm::ssim_rgb(a, b, {}, pp::ExecutionContext(&pool)));
+  EXPECT_EQ(serial, pm::ssim_rgb(a, b, {}, pp::ExecutionContext{}));
 }
 
 TEST(Ssim, UnrelatedImagesScoreLow) {

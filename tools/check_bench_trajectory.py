@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Bench trajectory check: diff a fresh BENCH_micro.json against the
+checked-in snapshot from the previous PR and fail on regressions.
+
+Usage:
+    check_bench_trajectory.py BASELINE CURRENT [--threshold FRAC]
+
+Exit codes:
+    0  — no benchmark regressed by more than the threshold
+    1  — at least one regression beyond the threshold (or bad input)
+    77 — CURRENT does not exist (bench was not run); ctest treats this as
+         SKIP via the SKIP_RETURN_CODE property, so plain `ctest` stays
+         green without google-benchmark
+"""
+
+import argparse
+import json
+import sys
+
+SKIP = 77
+
+
+def load_times(path):
+    """name -> real_time in ns for every aggregate-free benchmark entry."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        # google-benchmark reports per-iteration real_time in `time_unit`s.
+        unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[
+            bench.get("time_unit", "ns")]
+        times[name] = float(bench["real_time"]) * unit_ns
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    args = parser.parse_args()
+
+    try:
+        current = load_times(args.current)
+    except FileNotFoundError:
+        print(f"bench-trajectory: {args.current} not found; "
+              "run `cmake --build build --target bench` first — skipping")
+        return SKIP
+    try:
+        baseline = load_times(args.baseline)
+    except FileNotFoundError:
+        print(f"bench-trajectory: baseline {args.baseline} missing")
+        return 1
+
+    regressions = []
+    improvements = []
+    missing = []
+    for name, base_ns in sorted(baseline.items()):
+        cur_ns = current.get(name)
+        if cur_ns is None:
+            # A renamed/deleted benchmark silently hides its trajectory, so
+            # missing counts as failure until the baseline is refreshed.
+            missing.append(name)
+            print(f"  MISSING  {name} (present in baseline, not re-run)")
+            continue
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        line = f"{name}: {base_ns:.0f} ns -> {cur_ns:.0f} ns ({ratio:.2f}x)"
+        if ratio > 1.0 + args.threshold:
+            regressions.append(line)
+        elif ratio < 1.0 - args.threshold:
+            improvements.append(line)
+
+    for line in improvements:
+        print(f"  FASTER   {line}")
+    for line in regressions:
+        print(f"  SLOWER   {line}")
+    print(f"bench-trajectory: {len(baseline)} baseline benchmarks, "
+          f"{len(regressions)} regressions > {args.threshold:.0%}, "
+          f"{len(missing)} missing, {len(improvements)} improvements")
+    if regressions or missing:
+        print("bench-trajectory: FAIL — refresh the baseline only with a "
+              "justified perf or benchmark-set change")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
