@@ -5,7 +5,7 @@
 
 #include <cstdio>
 
-#include "core/parallel_autolabel.h"
+#include "core/stages.h"
 #include "s2/acquisition.h"
 #include "support.h"
 
@@ -29,19 +29,26 @@ int main(int argc, char** argv) {
   std::vector<img::ImageU8> tiles;
   for (const auto& t : source) tiles.push_back(t.rgb);
 
-  const core::ParallelAutoLabeler labeler;
-  core::ParallelAutoLabelStats base;
-  (void)labeler.run(tiles, 1, &base);
+  const auto label_with = [&](std::size_t workers,
+                              core::AutoLabelBatchStats* stats) {
+    const core::AutoLabelStage stage({}, core::AutoLabelPolicy::pool(workers));
+    (void)stage.label_batch(tiles, par::ExecutionContext{}, stats);
+  };
+  core::AutoLabelBatchStats base;
+  label_with(1, &base);
 
   util::Table table({"workers", "speedup", "efficiency", "tiles/s"});
   std::printf("series (x = workers, y = speedup):\n");
   for (const int workers : {1, 2, 3, 4, 5, 6, 7, 8}) {
-    core::ParallelAutoLabelStats stats;
-    (void)labeler.run(tiles, static_cast<std::size_t>(workers), &stats);
+    core::AutoLabelBatchStats stats;
+    label_with(static_cast<std::size_t>(workers), &stats);
     const double speedup = base.seconds / stats.seconds;
+    const double tiles_per_second =
+        stats.seconds > 0 ? static_cast<double>(stats.items) / stats.seconds
+                          : 0.0;
     table.add_row({std::to_string(workers), util::Table::num(speedup, 2),
                    util::Table::num(speedup / workers, 2),
-                   util::Table::num(stats.tiles_per_second, 1)});
+                   util::Table::num(tiles_per_second, 1)});
   }
   table.print();
   std::printf("paper series: 1.0 @1, 2.0 @2, 3.7 @4, 4.2 @6, 4.5 @8 "

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "core/parallel_autolabel.h"
+#include "core/stages.h"
 #include "s2/acquisition.h"
 #include "support.h"
 
@@ -38,10 +38,16 @@ int main(int argc, char** argv) {
   std::printf("workload: %zu tiles of %dx%d (paper: 4224 of 256x256)\n",
               tiles.size(), tile_size, tile_size);
 
-  const core::ParallelAutoLabeler labeler;
+  // One AutoLabelStage per worker count — the paper's multiprocessing
+  // deployment is the kPool policy of the same stage the pipeline runs.
+  const auto label_with = [&](std::size_t workers,
+                              core::AutoLabelBatchStats* stats) {
+    const core::AutoLabelStage stage({}, core::AutoLabelPolicy::pool(workers));
+    (void)stage.label_batch(tiles, par::ExecutionContext{}, stats);
+  };
   // Sequential baseline (Ts).
-  core::ParallelAutoLabelStats base_stats;
-  (void)labeler.run(tiles, 1, &base_stats);
+  core::AutoLabelBatchStats base_stats;
+  label_with(1, &base_stats);
   const double ts = base_stats.seconds;
 
   const double paper_speedup[] = {1.0, 2.0, 3.7, 4.2, 4.5};
@@ -50,9 +56,8 @@ int main(int argc, char** argv) {
                      "paper speedup"});
   const int worker_grid[] = {1, 2, 4, 6, 8};
   for (int i = 0; i < 5; ++i) {
-    core::ParallelAutoLabelStats stats;
-    (void)labeler.run(tiles, static_cast<std::size_t>(worker_grid[i]),
-                      &stats);
+    core::AutoLabelBatchStats stats;
+    label_with(static_cast<std::size_t>(worker_grid[i]), &stats);
     table.add_row({std::to_string(worker_grid[i]),
                    util::Table::num(stats.seconds, 2),
                    util::Table::num(ts, 2),

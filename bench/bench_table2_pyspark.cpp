@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "core/spark_autolabel.h"
+#include "core/stages.h"
 #include "s2/acquisition.h"
 #include "support.h"
 
@@ -82,17 +82,19 @@ int main(int argc, char** argv) {
     cfg.cores_per_executor = row.cores;
     std::vector<img::ImageU8> tiles;
     for (const auto& t : source) tiles.push_back(t.rgb);
-    core::SparkAutoLabeler spark(cfg);
-    const auto out = spark.run(std::move(tiles));
+    const core::AutoLabelStage stage({}, core::AutoLabelPolicy::spark(cfg));
+    core::AutoLabelBatchStats stats;
+    (void)stage.label_batch(tiles, par::ExecutionContext{}, &stats);
+    const mr::JobTimes& times = stats.spark.value();  // spark policy always sets it
     if (row.executors == 1 && row.cores == 1) {
-      reduce_base = out.times.measured_reduce_s;
+      reduce_base = times.measured_reduce_s;
     }
     real.add_row({std::to_string(row.executors), std::to_string(row.cores),
-                  util::Table::num(out.times.measured_load_s, 3),
-                  util::Table::num(out.times.measured_map_s, 5),
-                  util::Table::num(out.times.measured_reduce_s, 3),
+                  util::Table::num(times.measured_load_s, 3),
+                  util::Table::num(times.measured_map_s, 5),
+                  util::Table::num(times.measured_reduce_s, 3),
                   util::Table::num(
-                      reduce_base / out.times.measured_reduce_s, 2)});
+                      reduce_base / times.measured_reduce_s, 2)});
   }
   real.print();
   std::printf("note: map is lazy in both Spark and this engine — the flat "

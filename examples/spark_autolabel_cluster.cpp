@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "core/spark_autolabel.h"
+#include "core/stages.h"
 #include "s2/acquisition.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -33,22 +33,28 @@ int main(int argc, char** argv) {
               tiles.size(), cluster.executors, cluster.cores_per_executor,
               cluster.lanes());
 
-  core::SparkAutoLabeler spark(cluster);
-  const auto output = spark.run(std::move(tiles));
+  const core::AutoLabelStage stage({}, core::AutoLabelPolicy::spark(cluster));
+  core::AutoLabelBatchStats stats;
+  const auto results = stage.label_batch(tiles, par::ExecutionContext{}, &stats);
+  if (!stats.spark.has_value()) {
+    std::fprintf(stderr, "spark policy reported no job times\n");
+    return 1;
+  }
+  const mr::JobTimes& times = *stats.spark;
 
   util::Table table({"phase", "measured on host (s)",
                      "simulated Dataproc (s)"});
   table.add_row({"load (parallelize)",
-                 util::Table::num(output.times.measured_load_s, 3),
-                 util::Table::num(output.times.simulated.load_s, 1)});
+                 util::Table::num(times.measured_load_s, 3),
+                 util::Table::num(times.simulated.load_s, 1)});
   table.add_row({"map (lazy UDF)",
-                 util::Table::num(output.times.measured_map_s, 5),
-                 util::Table::num(output.times.simulated.map_s, 2)});
+                 util::Table::num(times.measured_map_s, 5),
+                 util::Table::num(times.simulated.map_s, 2)});
   table.add_row({"reduce (collect)",
-                 util::Table::num(output.times.measured_reduce_s, 3),
-                 util::Table::num(output.times.simulated.reduce_s, 1)});
+                 util::Table::num(times.measured_reduce_s, 3),
+                 util::Table::num(times.simulated.reduce_s, 1)});
   table.print();
   std::printf("collected %zu label planes across %d partitions\n",
-              output.labels.size(), output.times.partitions);
+              results.size(), times.partitions);
   return 0;
 }

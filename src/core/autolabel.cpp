@@ -33,10 +33,6 @@ AutoLabelResult AutoLabeler::label(const img::ImageU8& rgb,
   return label_impl(rgb, ctx);
 }
 
-AutoLabelResult AutoLabeler::label(const img::ImageU8& rgb,
-                                   par::ThreadPool* pool) const {
-  return label_impl(rgb, par::ExecutionContext(pool));
-}
 
 AutoLabelResult AutoLabeler::label_impl(
     const img::ImageU8& rgb, const par::ExecutionContext& ctx) const {

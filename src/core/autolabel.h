@@ -48,10 +48,6 @@ class AutoLabeler {
   [[nodiscard]] AutoLabelResult label(
       const img::ImageU8& rgb, const par::ExecutionContext& ctx = {}) const;
 
-  [[deprecated("pass an ExecutionContext instead of a raw pool")]]
-  [[nodiscard]] AutoLabelResult label(const img::ImageU8& rgb,
-                                      par::ThreadPool* pool) const;
-
   /// Reference multi-pass implementation (HSV image + per-class masks).
   /// Bit-identical to label(); quadratically slower in passes over the
   /// scene. Tests compare the two.

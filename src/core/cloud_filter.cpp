@@ -57,11 +57,13 @@ CloudFilterResult CloudShadowFilter::filter_impl(const img::ImageU8& rgb,
   // below while tracking slow atmospheric variation — a bare erosion would
   // latch onto the least-hazed dark pixel in the window and underestimate
   // haze wherever opacity varies across the window. Closing is the dual
-  // bright envelope. Light Gaussian smoothing removes the plateau edges.
-  const img::ImageU8 dark_env =
-      img::gaussian_blur(img::morph_open(v_obs, env_k), smooth_k);
+  // bright envelope. Both come out of one fused van Herk/Gil-Werman pass
+  // set (four image sweeps for the pair instead of eight). Light Gaussian
+  // smoothing removes the plateau edges.
+  const img::MorphEnvelopes envelopes = img::morph_envelopes(v_obs, env_k);
+  const img::ImageU8 dark_env = img::gaussian_blur(envelopes.open, smooth_k);
   const img::ImageU8 bright_env =
-      img::gaussian_blur(img::morph_close(v_obs, env_k), smooth_k);
+      img::gaussian_blur(envelopes.close, smooth_k);
 
   // 3. Pointwise atmosphere estimation — one fused row-parallel pass.
   CloudFilterResult result;
@@ -145,20 +147,10 @@ CloudFilterResult CloudShadowFilter::apply_with_diagnostics(
   return filter_impl(rgb, ctx.pool(), /*want_mask=*/true);
 }
 
-CloudFilterResult CloudShadowFilter::apply_with_diagnostics(
-    const img::ImageU8& rgb, par::ThreadPool* pool) const {
-  return filter_impl(rgb, pool, /*want_mask=*/true);
-}
-
 img::ImageU8 CloudShadowFilter::apply(const img::ImageU8& rgb,
                                       const par::ExecutionContext& ctx) const {
   ctx.throw_if_cancelled("CloudShadowFilter::apply");
   return filter_impl(rgb, ctx.pool(), /*want_mask=*/false).filtered;
-}
-
-img::ImageU8 CloudShadowFilter::apply(const img::ImageU8& rgb,
-                                      par::ThreadPool* pool) const {
-  return filter_impl(rgb, pool, /*want_mask=*/false).filtered;
 }
 
 }  // namespace polarice::core

@@ -64,17 +64,9 @@ class CloudShadowFilter {
   [[nodiscard]] CloudFilterResult apply_with_diagnostics(
       const img::ImageU8& rgb, const par::ExecutionContext& ctx = {}) const;
 
-  [[deprecated("pass an ExecutionContext instead of a raw pool")]]
-  [[nodiscard]] CloudFilterResult apply_with_diagnostics(
-      const img::ImageU8& rgb, par::ThreadPool* pool) const;
-
   /// Just the filtered image. Skips the diagnostic Otsu cloud-mask pass.
   [[nodiscard]] img::ImageU8 apply(const img::ImageU8& rgb,
                                    const par::ExecutionContext& ctx = {}) const;
-
-  [[deprecated("pass an ExecutionContext instead of a raw pool")]]
-  [[nodiscard]] img::ImageU8 apply(const img::ImageU8& rgb,
-                                   par::ThreadPool* pool) const;
 
   [[nodiscard]] const CloudFilterConfig& config() const noexcept {
     return config_;

@@ -30,9 +30,5 @@ std::vector<LabeledTile> prepare_corpus(const CorpusConfig& config,
   return store.take<std::vector<LabeledTile>>(keys::kCorpusTiles);
 }
 
-std::vector<LabeledTile> prepare_corpus(const CorpusConfig& config,
-                                        par::ThreadPool* pool) {
-  return prepare_corpus(config, par::ExecutionContext(pool));
-}
 
 }  // namespace polarice::core

@@ -43,8 +43,4 @@ struct CorpusConfig {
 std::vector<LabeledTile> prepare_corpus(const CorpusConfig& config,
                                         const par::ExecutionContext& ctx = {});
 
-[[deprecated("pass an ExecutionContext instead of a raw pool")]]
-std::vector<LabeledTile> prepare_corpus(const CorpusConfig& config,
-                                        par::ThreadPool* pool);
-
 }  // namespace polarice::core

@@ -79,11 +79,6 @@ nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
   return dataset;
 }
 
-nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
-                             const DatasetBuildConfig& config,
-                             par::ThreadPool* pool) {
-  return build_dataset(tiles, config, par::ExecutionContext(pool));
-}
 
 nn::SegDataset build_dataset(const std::vector<LabeledTile>& tiles,
                              LabelSource labels, ImageVariant images) {

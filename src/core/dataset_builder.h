@@ -49,11 +49,6 @@ nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
                              const DatasetBuildConfig& config,
                              const par::ExecutionContext& ctx = {});
 
-[[deprecated("pass an ExecutionContext instead of a raw pool")]]
-nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
-                             const DatasetBuildConfig& config,
-                             par::ThreadPool* pool);
-
 struct LabeledTile;  // core/corpus.h
 
 /// Builds a SegDataset from a prepared corpus (no recomputation: all label

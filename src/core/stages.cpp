@@ -511,6 +511,13 @@ std::vector<img::ImageU8> infer_scene_tiles(nn::UNet& model,
   std::vector<img::ImageU8> out(static_cast<std::size_t>(total));
   tensor::Tensor x, logits, probs;
   const std::size_t plane = static_cast<std::size_t>(tile_size) * tile_size;
+  // Tile-staging scratch comes from the context's per-thread arena: the
+  // prediction indices of every batch reuse one lease-scoped buffer instead
+  // of a fresh std::vector per batch, and the arena rewinds when the lease
+  // ends — steady-state serving allocates nothing here.
+  auto scratch = ctx.scratch().lease();
+  int* pred = scratch.allocate_n<int>(
+      static_cast<std::size_t>(std::min(batch_tiles, total)) * plane);
   for (int start = 0; start < total; start += batch_tiles) {
     ctx.throw_if_cancelled("tile_infer");
     const int batch = std::min(batch_tiles, total - start);
@@ -531,7 +538,7 @@ std::vector<img::ImageU8> infer_scene_tiles(nn::UNet& model,
     }
     model.forward(x, logits, /*training=*/false);
     tensor::softmax_channel(logits, probs);
-    const auto pred = tensor::argmax_channel(probs);
+    tensor::argmax_channel(probs, pred);
     for (int s = 0; s < batch; ++s) {
       img::ImageU8 tile_plane(tile_size, tile_size, 1);
       const std::size_t base = static_cast<std::size_t>(s) * plane;

@@ -170,8 +170,8 @@ class AutoLabelStage : public Stage {
   }
   void run(const par::ExecutionContext& ctx, ArtifactStore& store) override;
 
-  /// The underlying batch entry point (also used by the ParallelAutoLabeler
-  /// and SparkAutoLabeler compatibility shims).
+  /// The underlying batch entry point (what the Table I / Table II benches
+  /// and the Fig 10 sweep call directly).
   [[nodiscard]] std::vector<AutoLabelResult> label_batch(
       const std::vector<img::ImageU8>& images, const par::ExecutionContext& ctx,
       AutoLabelBatchStats* stats = nullptr) const;

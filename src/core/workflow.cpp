@@ -34,12 +34,6 @@ Evaluation TrainingWorkflow::evaluate(nn::UNet& model,
   return evaluate_model(model, tiles, variant, ctx);
 }
 
-Evaluation TrainingWorkflow::evaluate(nn::UNet& model,
-                                      const std::vector<LabeledTile>& tiles,
-                                      ImageVariant variant,
-                                      par::ThreadPool* pool) {
-  return evaluate_model(model, tiles, variant, par::ExecutionContext(pool));
-}
 
 Pipeline TrainingWorkflow::build_pipeline() const {
   const auto& cfg = config_;
@@ -155,9 +149,6 @@ TrainingWorkflowResult TrainingWorkflow::run(const par::ExecutionContext& ctx) {
   return result;
 }
 
-TrainingWorkflowResult TrainingWorkflow::run(par::ThreadPool* pool) {
-  return run(par::ExecutionContext(pool));
-}
 
 InferenceWorkflow::InferenceWorkflow(nn::UNet& model,
                                      CloudFilterConfig filter_config,
@@ -202,9 +193,5 @@ img::ImageU8 InferenceWorkflow::classify_scene(const img::ImageU8& scene_rgb,
                            filtered.height() / tile_size_);
 }
 
-img::ImageU8 InferenceWorkflow::classify_scene(const img::ImageU8& scene_rgb,
-                                               par::ThreadPool* pool) {
-  return classify_scene(scene_rgb, par::ExecutionContext(pool));
-}
 
 }  // namespace polarice::core

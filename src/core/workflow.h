@@ -74,9 +74,6 @@ class TrainingWorkflow {
   /// throughout).
   TrainingWorkflowResult run(const par::ExecutionContext& ctx = {});
 
-  /// Deprecated shim for the raw-pool era.
-  [[deprecated("pass an ExecutionContext instead of a raw pool")]]
-  TrainingWorkflowResult run(par::ThreadPool* pool);
 
   /// Evaluates an already-trained model on prepared tiles against ground
   /// truth. Exposed for the benches (Table V / Fig 13 sweeps re-use the
@@ -86,10 +83,6 @@ class TrainingWorkflow {
                              ImageVariant variant,
                              const par::ExecutionContext& ctx = {});
 
-  [[deprecated("pass an ExecutionContext instead of a raw pool")]]
-  static Evaluation evaluate(nn::UNet& model,
-                             const std::vector<LabeledTile>& tiles,
-                             ImageVariant variant, par::ThreadPool* pool);
 
   [[nodiscard]] const WorkflowConfig& config() const noexcept {
     return config_;
@@ -118,9 +111,6 @@ class InferenceWorkflow {
   img::ImageU8 classify_scene(const img::ImageU8& scene_rgb,
                               const par::ExecutionContext& ctx = {});
 
-  [[deprecated("pass an ExecutionContext instead of a raw pool")]]
-  img::ImageU8 classify_scene(const img::ImageU8& scene_rgb,
-                              par::ThreadPool* pool);
 
   [[nodiscard]] int tile_size() const noexcept { return tile_size_; }
   [[nodiscard]] const CloudFilterConfig& filter_config() const noexcept {

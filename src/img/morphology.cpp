@@ -90,15 +90,107 @@ ImageU8 pass_vhgw(const ImageU8& src, int radius, bool horizontal, Op op) {
   return out;
 }
 
+// The fused dual pass runs the min scan and the dual max scan in one
+// traversal. Operators are template parameters so each scan compiles to a
+// branch-free min/max loop, and the per-block prefix/suffix recurrences are
+// written as explicit block loops (no per-element modulo) — same values as
+// pass_vhgw, bit for bit, just one shared sweep for the pair.
+
+template <Op op>
+inline std::uint8_t combine_t(std::uint8_t a, std::uint8_t b) noexcept {
+  return op == Op::kMin ? std::min(a, b) : std::max(a, b);
+}
+
+/// One stream's 1-D scan over a staged padded line.
+template <Op op>
+void scan_line(const std::uint8_t* line, std::uint8_t* prefix,
+               std::uint8_t* suffix, std::uint8_t* out, int inner, int k,
+               int padded) {
+  for (int b0 = 0; b0 < padded; b0 += k) {
+    const int b1 = std::min(b0 + k, padded);
+    prefix[b0] = line[b0];
+    for (int i = b0 + 1; i < b1; ++i) {
+      prefix[i] = combine_t<op>(prefix[i - 1], line[i]);
+    }
+    suffix[b1 - 1] = line[b1 - 1];
+    for (int i = b1 - 2; i >= b0; --i) {
+      suffix[i] = combine_t<op>(suffix[i + 1], line[i]);
+    }
+  }
+  for (int i = 0; i < inner; ++i) {
+    out[i] = combine_t<op>(suffix[i], prefix[i + k - 1]);
+  }
+}
+
+/// Fused dual van Herk / Gil-Werman 1-D pass: stream A (opA) and stream B
+/// (opB) traverse the outer lines together, so the envelope pair shares
+/// line staging and loop overhead instead of making two full-image passes.
+template <Op opA, Op opB>
+void pass_vhgw_dual(const ImageU8& srcA, ImageU8& outA, const ImageU8& srcB,
+                    ImageU8& outB, int radius, bool horizontal) {
+  const int w = srcA.width(), h = srcA.height();
+  const int outer = horizontal ? h : w;
+  const int inner = horizontal ? w : h;
+  const int k = 2 * radius + 1;
+  const int padded = inner + 2 * radius;
+  constexpr std::uint8_t idA = opA == Op::kMin ? 255 : 0;
+  constexpr std::uint8_t idB = opB == Op::kMin ? 255 : 0;
+
+  std::vector<std::uint8_t> storage(static_cast<std::size_t>(padded) * 6 +
+                                    static_cast<std::size_t>(inner) * 2);
+  std::uint8_t* lineA = storage.data();
+  std::uint8_t* lineB = lineA + padded;
+  std::uint8_t* prefixA = lineB + padded;
+  std::uint8_t* prefixB = prefixA + padded;
+  std::uint8_t* suffixA = prefixB + padded;
+  std::uint8_t* suffixB = suffixA + padded;
+  std::uint8_t* rowA = suffixB + padded;  // vertical-pass staging
+  std::uint8_t* rowB = rowA + inner;
+  std::fill(lineA, lineA + radius, idA);
+  std::fill(lineA + padded - radius, lineA + padded, idA);
+  std::fill(lineB, lineB + radius, idB);
+  std::fill(lineB + padded - radius, lineB + padded, idB);
+
+  for (int o = 0; o < outer; ++o) {
+    if (horizontal) {
+      const std::uint8_t* ra = srcA.data() + static_cast<std::size_t>(o) * w;
+      const std::uint8_t* rb = srcB.data() + static_cast<std::size_t>(o) * w;
+      std::copy(ra, ra + w, lineA + radius);
+      std::copy(rb, rb + w, lineB + radius);
+      scan_line<opA>(lineA, prefixA, suffixA,
+                     outA.data() + static_cast<std::size_t>(o) * w, inner, k,
+                     padded);
+      scan_line<opB>(lineB, prefixB, suffixB,
+                     outB.data() + static_cast<std::size_t>(o) * w, inner, k,
+                     padded);
+    } else {
+      for (int i = 0; i < inner; ++i) {
+        lineA[radius + i] = srcA.at(o, i);
+        lineB[radius + i] = srcB.at(o, i);
+      }
+      scan_line<opA>(lineA, prefixA, suffixA, rowA, inner, k, padded);
+      scan_line<opB>(lineB, prefixB, suffixB, rowB, inner, k, padded);
+      for (int i = 0; i < inner; ++i) {
+        outA.at(o, i) = rowA[i];
+        outB.at(o, i) = rowB[i];
+      }
+    }
+  }
+}
+
 using Pass1D = ImageU8 (*)(const ImageU8&, int, bool, Op);
 
-ImageU8 morph(const ImageU8& src, int ksize, Op op, Pass1D pass) {
+void check_morph_input(const ImageU8& src, int ksize) {
   if (ksize < 1 || ksize % 2 == 0) {
     throw std::invalid_argument("morphology: ksize must be odd >= 1");
   }
   if (src.channels() != 1) {
     throw std::invalid_argument("morphology: expected single channel");
   }
+}
+
+ImageU8 morph(const ImageU8& src, int ksize, Op op, Pass1D pass) {
+  check_morph_input(src, ksize);
   const int radius = ksize / 2;
   return pass(pass(src, radius, /*horizontal=*/true, op), radius,
               /*horizontal=*/false, op);
@@ -127,6 +219,27 @@ ImageU8 morph_open(const ImageU8& src, int ksize) {
 
 ImageU8 morph_close(const ImageU8& src, int ksize) {
   return erode(dilate(src, ksize), ksize);
+}
+
+MorphEnvelopes morph_envelopes(const ImageU8& src, int ksize) {
+  check_morph_input(src, ksize);
+  const int radius = ksize / 2;
+  const int w = src.width(), h = src.height();
+  ImageU8 a_stage(w, h, 1), b_stage(w, h, 1);
+  ImageU8 a_full(w, h, 1), b_full(w, h, 1);
+  MorphEnvelopes env{ImageU8(w, h, 1), ImageU8(w, h, 1)};
+
+  // Stage 1+2: erode(src) and dilate(src) together (H then V).
+  pass_vhgw_dual<Op::kMin, Op::kMax>(src, a_stage, src, b_stage, radius,
+                                     /*horizontal=*/true);
+  pass_vhgw_dual<Op::kMin, Op::kMax>(a_stage, a_full, b_stage, b_full, radius,
+                                     /*horizontal=*/false);
+  // Stage 3+4: dilate(eroded) -> open and erode(dilated) -> close together.
+  pass_vhgw_dual<Op::kMax, Op::kMin>(a_full, a_stage, b_full, b_stage, radius,
+                                     /*horizontal=*/true);
+  pass_vhgw_dual<Op::kMax, Op::kMin>(a_stage, env.open, b_stage, env.close,
+                                     radius, /*horizontal=*/false);
+  return env;
 }
 
 }  // namespace polarice::img

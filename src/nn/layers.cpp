@@ -37,6 +37,34 @@ void Conv2d::backward(const Tensor& dy, Tensor& dx) {
                           dw_, db_, spec_, pool_, scratch());
 }
 
+void Conv2d::forward_relu(const Tensor& x, Tensor& y, bool training,
+                          std::vector<std::uint8_t>& relu_mask) {
+  if (training) cached_x_ = x;
+  tensor::ConvFusion fuse;
+  fuse.relu = true;
+  if (training) {
+    const std::int64_t count = static_cast<std::int64_t>(x.dim(0)) *
+                               spec_.out_ch * spec_.out_h(x.dim(2)) *
+                               spec_.out_w(x.dim(3));
+    relu_mask.resize(static_cast<std::size_t>(count));
+    fuse.relu_mask = relu_mask.data();
+  }
+  tensor::conv2d_forward(x, w_, b_, y, spec_, pool_, scratch(), fuse);
+}
+
+void Conv2d::backward_masked(const Tensor& dy,
+                             const std::vector<std::uint8_t>& dy_mask,
+                             Tensor& dx) {
+  if (cached_x_.empty()) {
+    throw std::logic_error(name_ + ": backward before training forward");
+  }
+  if (dy_mask.size() != static_cast<std::size_t>(dy.numel())) {
+    throw std::logic_error(name_ + ": ReLU mask does not match dy");
+  }
+  tensor::conv2d_backward(cached_x_, w_, dy, skip_input_grad_ ? nullptr : &dx,
+                          dw_, db_, spec_, pool_, scratch(), dy_mask.data());
+}
+
 void Conv2d::collect_params(std::vector<Param>& out) {
   out.push_back({name_ + ".weight", &w_, &dw_});
   out.push_back({name_ + ".bias", &b_, &db_});

@@ -23,6 +23,20 @@ class Conv2d final : public Layer {
   void collect_params(std::vector<Param>& out) override;
   [[nodiscard]] std::string name() const override { return name_; }
 
+  /// Fused conv + bias + ReLU: y = relu(conv(x) + b), with the activation
+  /// applied in the GEMM epilogue. When training, `relu_mask` is resized
+  /// and filled with the pre-activation sign for backward_masked. Output is
+  /// bit-identical to forward() followed by a ReLU layer.
+  void forward_relu(const tensor::Tensor& x, tensor::Tensor& y, bool training,
+                    std::vector<std::uint8_t>& relu_mask);
+
+  /// Backward with a following-ReLU mask folded into the gradient packing:
+  /// equivalent to (and exactly bit-identical with) masking dy elementwise
+  /// first, without materializing the masked tensor.
+  void backward_masked(const tensor::Tensor& dy,
+                       const std::vector<std::uint8_t>& dy_mask,
+                       tensor::Tensor& dx);
+
   /// Skip computing dL/dx in backward (valid only for the first layer).
   void set_skip_input_grad(bool skip) noexcept { skip_input_grad_ = skip; }
 

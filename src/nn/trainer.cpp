@@ -27,6 +27,7 @@ std::vector<EpochStats> Trainer::fit(const SegDataset& train_data,
 
   std::vector<EpochStats> history;
   tensor::Tensor logits, probs, dlogits;
+  std::vector<int> pred;  // reused across batches (no per-batch allocation)
   Batch batch;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     util::WallTimer timer;
@@ -50,7 +51,8 @@ std::vector<EpochStats> Trainer::fit(const SegDataset& train_data,
       loss_sum += loss;
       ++batches;
       images += batch.x.dim(0);
-      const auto pred = tensor::argmax_channel(probs);
+      pred.resize(batch.targets.size());
+      tensor::argmax_channel(probs, pred.data());
       for (std::size_t i = 0; i < pred.size(); ++i) {
         if (batch.targets[i] < 0) continue;
         ++counted;
@@ -84,12 +86,14 @@ double Trainer::evaluate_accuracy(UNet& model, const SegDataset& data,
   DataLoader loader(data, batch_size, /*seed=*/0, /*shuffle=*/false);
   loader.start_epoch();
   tensor::Tensor logits, probs;
+  std::vector<int> pred;
   Batch batch;
   std::int64_t correct = 0, counted = 0;
   while (loader.next(batch)) {
     model.forward(batch.x, logits, /*training=*/false);
     tensor::softmax_channel(logits, probs);
-    const auto pred = tensor::argmax_channel(probs);
+    pred.resize(batch.targets.size());
+    tensor::argmax_channel(probs, pred.data());
     for (std::size_t i = 0; i < pred.size(); ++i) {
       if (batch.targets[i] < 0) continue;
       ++counted;

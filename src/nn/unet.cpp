@@ -24,36 +24,33 @@ void UNetConfig::validate() const {
 ConvBlock::ConvBlock(int in_ch, int out_ch, std::optional<float> dropout_rate,
                      util::Rng& rng, const std::string& name)
     : conv1_(Conv2dSpec::same(in_ch, out_ch, 3), rng, name + ".conv1"),
-      relu1_(name + ".relu1"),
-      conv2_(Conv2dSpec::same(out_ch, out_ch, 3), rng, name + ".conv2"),
-      relu2_(name + ".relu2") {
+      conv2_(Conv2dSpec::same(out_ch, out_ch, 3), rng, name + ".conv2") {
   if (dropout_rate.has_value()) {
     dropout_ = std::make_unique<Dropout>(*dropout_rate, rng, name + ".drop");
   }
 }
 
 void ConvBlock::forward(const Tensor& x, Tensor& y, bool training) {
-  conv1_.forward(x, a1_, training);
-  relu1_.forward(a1_, a2_, training);
+  conv1_.forward_relu(x, a2_, training, mask1_);
   if (dropout_) {
     dropout_->forward(a2_, a3_, training);
-    conv2_.forward(a3_, a4_, training);
+    conv2_.forward_relu(a3_, y, training, mask2_);
   } else {
-    conv2_.forward(a2_, a4_, training);
+    conv2_.forward_relu(a2_, y, training, mask2_);
   }
-  relu2_.forward(a4_, y, training);
 }
 
 void ConvBlock::backward(const Tensor& dy, Tensor& dx) {
-  relu2_.backward(dy, g4_);
-  conv2_.backward(g4_, g3_);
+  // conv2's own ReLU mask rides in its dY packing; conv1's rides in the
+  // gradient that reaches it (after dropout, whose mask is multiplicative
+  // and commutes exactly with the 0/1 ReLU mask).
+  conv2_.backward_masked(dy, mask2_, g3_);
   if (dropout_) {
     dropout_->backward(g3_, g2_);
-    relu1_.backward(g2_, g1_);
+    conv1_.backward_masked(g2_, mask1_, dx);
   } else {
-    relu1_.backward(g3_, g1_);
+    conv1_.backward_masked(g3_, mask1_, dx);
   }
-  conv1_.backward(g1_, dx);
 }
 
 void ConvBlock::collect_params(std::vector<Param>& out) {
@@ -63,10 +60,8 @@ void ConvBlock::collect_params(std::vector<Param>& out) {
 
 void ConvBlock::set_pool(par::ThreadPool* pool) {
   conv1_.set_pool(pool);
-  relu1_.set_pool(pool);
   if (dropout_) dropout_->set_pool(pool);
   conv2_.set_pool(pool);
-  relu2_.set_pool(pool);
 }
 
 void ConvBlock::set_scratch(tensor::ConvScratch* scratch) {

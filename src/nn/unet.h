@@ -43,6 +43,12 @@ struct UNetConfig {
 
 /// Two 3x3 same-padding convs with ReLUs and an optional dropout between
 /// them — the repeating block of both the contracting and expansive paths.
+/// Both activations are fused into their conv's GEMM epilogue
+/// (Conv2d::forward_relu); the backward pass folds each ReLU's 0/1 mask
+/// into the conv gradient packing (Conv2d::backward_masked), so neither the
+/// pre-activation tensors nor the masked gradients are ever materialized.
+/// Outputs are bit-identical to the unfused conv -> ReLU chain; gradients
+/// match to reduction-order tolerance.
 class ConvBlock {
  public:
   ConvBlock(int in_ch, int out_ch, std::optional<float> dropout_rate,
@@ -56,13 +62,13 @@ class ConvBlock {
 
  private:
   Conv2d conv1_;
-  ReLU relu1_;
   std::unique_ptr<Dropout> dropout_;
   Conv2d conv2_;
-  ReLU relu2_;
+  // Fused-ReLU pre-activation masks (filled by training forwards).
+  std::vector<std::uint8_t> mask1_, mask2_;
   // Cached intermediates (forward) and scratch (backward).
-  tensor::Tensor a1_, a2_, a3_, a4_;
-  tensor::Tensor g1_, g2_, g3_, g4_;
+  tensor::Tensor a2_, a3_;
+  tensor::Tensor g2_, g3_;
 };
 
 class UNet {

@@ -69,13 +69,12 @@ struct ProgressEvent {
 using ProgressSink = std::function<void(const ProgressEvent&)>;
 
 /// Growable byte scratch with bump allocation — the generic cousin of
-/// tensor::PackArena, offered to pipeline stages for per-call temporaries.
-/// (The tensor layer keeps its own specialized thread_local arenas; no
-/// in-tree stage leases this one yet — see the ROADMAP serving follow-ons.)
-/// Memory comes in geometrically-grown 64-byte-aligned chunks that are
-/// never moved or freed before destruction, so every pointer handed out
-/// stays valid until reset(). reset() recycles all chunks; capacity only
-/// ever grows.
+/// tensor::PackArena, offered to pipeline stages for per-call temporaries
+/// (first production consumer: InferenceSession's tile-staging buffers,
+/// leased per classify_scene call). Memory comes in geometrically-grown
+/// 64-byte-aligned chunks that are never moved or freed before destruction,
+/// so every pointer handed out stays valid until reset() or the owning
+/// Lease ends. reset() recycles all chunks; capacity only ever grows.
 class ScratchArena {
  public:
   ScratchArena() = default;
@@ -86,6 +85,46 @@ class ScratchArena {
       ::operator delete(chunk.data, std::align_val_t{kAlign});
     }
   }
+
+  /// Stack-disciplined borrow of the arena: records the bump cursor at
+  /// construction and rewinds to it at destruction, so a library routine
+  /// can take per-call temporaries from a long-lived per-thread arena
+  /// without growing it forever and without clobbering outer leases (a
+  /// bare reset() would). Leases must end in reverse order of creation —
+  /// the natural scoping of nested calls.
+  class Lease {
+   public:
+    explicit Lease(ScratchArena& arena)
+        : arena_(&arena),
+          chunk_(arena.cursor_),
+          used_(arena.cursor_ < arena.chunks_.size()
+                    ? arena.chunks_[arena.cursor_].used
+                    : 0) {}
+    Lease(Lease&& other) noexcept
+        : arena_(other.arena_), chunk_(other.chunk_), used_(other.used_) {
+      other.arena_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (arena_ != nullptr) arena_->rewind(chunk_, used_);
+    }
+
+    /// `bytes` of 64-byte-aligned scratch, valid until this lease ends.
+    void* allocate(std::size_t bytes) { return arena_->allocate(bytes); }
+    template <typename T>
+    T* allocate_n(std::size_t count) {
+      return arena_->allocate_n<T>(count);
+    }
+
+   private:
+    ScratchArena* arena_;
+    std::size_t chunk_;
+    std::size_t used_;
+  };
+
+  [[nodiscard]] Lease lease() { return Lease(*this); }
 
   /// Returns `bytes` of 64-byte-aligned scratch valid until reset().
   void* allocate(std::size_t bytes) {
@@ -130,6 +169,18 @@ class ScratchArena {
     std::size_t size = 0;
     std::size_t used = 0;
   };
+
+  /// Restores the bump state recorded by a Lease. Chunks past the recorded
+  /// cursor were only ever touched by the ending lease (the cursor moves
+  /// forward monotonically between resets), so zeroing them is exact.
+  void rewind(std::size_t chunk, std::size_t used) noexcept {
+    for (std::size_t i = chunk + 1; i < chunks_.size(); ++i) {
+      chunks_[i].used = 0;
+    }
+    if (chunk < chunks_.size()) chunks_[chunk].used = used;
+    cursor_ = chunk;
+  }
+
   std::vector<Chunk> chunks_;
   std::size_t cursor_ = 0;
 };

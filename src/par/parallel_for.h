@@ -7,13 +7,16 @@
 // single-threaded inside a ddp rank (one rank == one simulated GPU).
 //
 // Dispatch is a latch/atomic-counter design rather than one promise/future
-// per chunk: the loop state lives in a single stack object, the pool queue
-// holds at most `workers` small detached entries (no heap allocation per
-// task), and the calling thread both executes chunks itself and helps drain
-// the pool queue while joining. Small loops — the common case under the
-// GEMM micro-kernels and row-parallel image ops — therefore pay a handful
-// of atomic operations instead of workers × (packaged_task + promise +
-// future) allocations.
+// per chunk: the loop state lives in a single stack object, the pool holds
+// at most `workers` entries of one shared task block, and the calling
+// thread both executes chunks itself and helps run pool work while joining.
+// Small loops — the common case under the GEMM micro-kernels and
+// row-parallel image ops — therefore pay a handful of atomic operations
+// instead of workers × (packaged_task + promise + future) allocations.
+// Under the work-stealing pool, a nested parallel_for issued from inside a
+// pool task enqueues its entries on the calling worker's own deque (two
+// relaxed atomics, no lock); idle workers steal them, so nested and
+// unbalanced loops load-balance without contending on a shared queue.
 
 #include <algorithm>
 #include <atomic>

@@ -2,81 +2,245 @@
 
 namespace polarice::par {
 
+namespace detail {
+
+namespace {
+constexpr std::int64_t kInitialRingCap = 256;  // power of two
+}  // namespace
+
+WorkDeque::WorkDeque() {
+  rings_.push_back(std::make_unique<Ring>(kInitialRingCap));
+  ring_.store(rings_.back().get(), std::memory_order_relaxed);
+}
+
+WorkDeque::Ring* WorkDeque::grow(Ring* old, std::int64_t top,
+                                 std::int64_t bottom) {
+  rings_.push_back(std::make_unique<Ring>(old->cap * 2));
+  Ring* next = rings_.back().get();
+  for (std::int64_t i = top; i < bottom; ++i) {
+    next->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  }
+  // Old rings stay alive in rings_ until destruction: a concurrent stealer
+  // that loaded the stale pointer reads a stale (already-claimed or
+  // about-to-be-CAS-rejected) slot, never freed memory.
+  ring_.store(next, std::memory_order_release);
+  return next;
+}
+
+void WorkDeque::push(TaskBlock* task) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Ring* ring = ring_.load(std::memory_order_relaxed);
+  if (b - t >= ring->cap) ring = grow(ring, t, b);
+  ring->slot(b).store(task, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  bottom_.store(b + 1, std::memory_order_relaxed);
+}
+
+TaskBlock* WorkDeque::pop() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Ring* ring = ring_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_relaxed);
+  TaskBlock* task = nullptr;
+  if (t <= b) {
+    task = ring->slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        task = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+  } else {
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+  return task;
+}
+
+TaskBlock* WorkDeque::steal() {
+  for (;;) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Ring* ring = ring_.load(std::memory_order_acquire);
+    TaskBlock* task = ring->slot(t).load(std::memory_order_relaxed);
+    if (top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed)) {
+      return task;
+    }
+    // CAS failure: someone else claimed slot t. The deque may still hold
+    // entries, so retry rather than reporting empty.
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Identifies the calling thread's slot in a pool (if any), so enqueues
+/// from inside pool tasks hit the owner's deque and try_run_one() knows
+/// which deque it may pop.
+struct WorkerSlot {
+  ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerSlot tls_worker;
+
+/// Per-thread rotating start for steal victims, so thieves spread instead
+/// of convoying on worker 0.
+thread_local std::size_t tls_steal_seed = 0;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     throw std::invalid_argument("ThreadPool: need at least one thread");
   }
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<detail::WorkDeque>());
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    const std::scoped_lock lock(mutex_);
-    stopping_ = true;
+    const std::scoped_lock lock(sleep_mutex_);
+    stopping_.store(true, std::memory_order_seq_cst);
   }
   cv_.notify_all();
-  // jthread joins in destructor.
+  workers_.clear();  // jthread joins
+  // Workers drain everything they can see before exiting; any entry that
+  // still slipped through (enqueued by a task racing shutdown) runs here so
+  // "the destructor drains outstanding tasks" stays true.
+  while (detail::TaskBlock* task = find_task(kNoWorker)) run_task(task);
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
-    }
-    task();
-    {
-      const std::scoped_lock lock(mutex_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
-    }
+void ThreadPool::enqueue(detail::TaskBlock* block, std::size_t entries) {
+  if (stopping_.load(std::memory_order_relaxed)) {
+    delete block;  // not yet shared: no entry was published
+    throw std::runtime_error("ThreadPool: submit after stop");
+  }
+  outstanding_.fetch_add(entries, std::memory_order_relaxed);
+  const WorkerSlot slot = tls_worker;
+  if (slot.pool == this) {
+    detail::WorkDeque& own = *queues_[slot.index];
+    for (std::size_t i = 0; i < entries; ++i) own.push(block);
+  } else {
+    const std::scoped_lock lock(inbox_mutex_);
+    for (std::size_t i = 0; i < entries; ++i) inbox_.push_back(block);
+  }
+  notify_work();
+}
+
+void ThreadPool::notify_work() {
+  version_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    // Empty critical section: a worker past its predicate check cannot be
+    // overtaken between check and sleep, so the notify cannot be lost.
+    { const std::scoped_lock lock(sleep_mutex_); }
+    cv_.notify_all();
   }
 }
 
 void ThreadPool::submit_detached_n(std::size_t count,
                                    const std::function<void()>& fn) {
   if (count == 0) return;
-  {
-    const std::scoped_lock lock(mutex_);
-    if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
-    for (std::size_t i = 0; i < count; ++i) queue_.emplace_back(fn);
+  enqueue(new detail::TaskBlock(fn, count), count);
+}
+
+detail::TaskBlock* ThreadPool::find_task(std::size_t self) {
+  if (self != kNoWorker) {
+    if (detail::TaskBlock* task = queues_[self]->pop()) return task;
   }
-  if (count == 1) {
-    cv_.notify_one();
-  } else {
-    cv_.notify_all();
+  {
+    // try_lock: a failed acquire means another thread is mid-pop; fall
+    // through to stealing instead of convoying on the inbox mutex.
+    std::unique_lock lock(inbox_mutex_, std::try_to_lock);
+    if (lock.owns_lock() && !inbox_.empty()) {
+      detail::TaskBlock* task = inbox_.front();
+      inbox_.pop_front();
+      return task;
+    }
+  }
+  const std::size_t n = queues_.size();
+  const std::size_t start = tls_steal_seed++;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t victim = (start + i) % n;
+    if (victim == self) continue;
+    if (detail::TaskBlock* task = queues_[victim]->steal()) return task;
+  }
+  // One locked inbox look before giving up, so a failed try_lock above
+  // cannot turn a pending task into a missed scan.
+  const std::scoped_lock lock(inbox_mutex_);
+  if (!inbox_.empty()) {
+    detail::TaskBlock* task = inbox_.front();
+    inbox_.pop_front();
+    return task;
+  }
+  return nullptr;
+}
+
+void ThreadPool::run_task(detail::TaskBlock* task) {
+  task->fn();
+  if (task->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    delete task;
+  }
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    { const std::scoped_lock lock(sleep_mutex_); }
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker = WorkerSlot{this, index};
+  tls_steal_seed = index + 1;
+  for (;;) {
+    if (detail::TaskBlock* task = find_task(index)) {
+      run_task(task);
+      continue;
+    }
+    // Record the eventcount, re-scan, and only then sleep: any enqueue
+    // after the recorded version flips the predicate, so the re-scan plus
+    // predicate close the publish/sleep race.
+    const std::uint64_t seen = version_.load(std::memory_order_seq_cst);
+    if (detail::TaskBlock* task = find_task(index)) {
+      run_task(task);
+      continue;
+    }
+    std::unique_lock lock(sleep_mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    cv_.wait(lock, [&] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             version_.load(std::memory_order_seq_cst) != seen;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 bool ThreadPool::try_run_one() {
-  std::function<void()> task;
-  {
-    const std::scoped_lock lock(mutex_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop_front();
-    ++active_;
-  }
-  task();
-  {
-    const std::scoped_lock lock(mutex_);
-    --active_;
-    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
-  }
+  const WorkerSlot slot = tls_worker;
+  detail::TaskBlock* task =
+      find_task(slot.pool == this ? slot.index : kNoWorker);
+  if (task == nullptr) return false;
+  run_task(task);
   return true;
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  std::unique_lock lock(sleep_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_seq_cst) == 0;
+  });
 }
 
 ThreadPool& global_pool() {

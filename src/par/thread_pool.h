@@ -1,13 +1,29 @@
 #pragma once
-// Work-queue thread pool — the single-node parallel substrate standing in for
-// the paper's Python multiprocessing stage (Table I / Fig 10).
+// Work-stealing thread pool — the single-node parallel substrate standing in
+// for the paper's Python multiprocessing stage (Table I / Fig 10).
 //
-// Design follows the C++ Core Guidelines concurrency rules: jthread workers
+// Each worker owns a Chase-Lev deque: the owner pushes and pops at the
+// bottom (LIFO — nested parallel_for dispatch from inside a pool task lands
+// in the owner's own deque with two relaxed atomics, no lock), thieves take
+// from the top (FIFO — oldest, largest-granularity work migrates first).
+// External threads (the main thread dispatching a parallel_for, TaskGroup
+// users) enqueue through a mutex-guarded inbox that workers drain between
+// steals; the mutex is uncontended in steady state because worker-side
+// traffic never touches it. Idle workers sleep on a condition variable
+// behind a version/sleeper eventcount, so an empty pool burns no CPU while
+// a busy one never takes the sleep mutex on the hot path.
+//
+// The public surface is unchanged from the single-queue era: submit(),
+// submit_detached_n(), try_run_one(), wait_idle(). Design follows the C++
+// Core Guidelines concurrency rules where they apply: jthread workers
 // joined by RAII (CP.25/CP.26), condition-variable waits with predicates
-// (CP.42), scoped_lock everywhere (CP.20), tasks not threads (CP.4).
+// (CP.42), tasks not threads (CP.4). The deque follows Lê et al.,
+// "Correct and Efficient Work-Stealing for Weak Memory Models" (PPoPP'13).
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -20,7 +36,63 @@
 
 namespace polarice::par {
 
-/// Fixed-size pool of worker threads consuming a FIFO task queue.
+namespace detail {
+
+/// One dispatched unit of work. submit() makes a single-entry block;
+/// submit_detached_n() makes one block whose callable is invoked `count`
+/// times (possibly concurrently — parallel_for bodies are designed for
+/// that). The last entry to retire frees the block.
+struct TaskBlock {
+  std::function<void()> fn;
+  std::atomic<std::size_t> remaining;
+  TaskBlock(std::function<void()> f, std::size_t n)
+      : fn(std::move(f)), remaining(n) {}
+};
+
+/// Chase-Lev work-stealing deque of TaskBlock pointers. push/pop are
+/// owner-thread-only; steal() is safe from any thread. The ring grows
+/// geometrically; retired rings are kept until destruction so a stealer
+/// holding a stale ring pointer never reads freed memory.
+class WorkDeque {
+ public:
+  WorkDeque();
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  /// Owner only: push one entry at the bottom.
+  void push(TaskBlock* task);
+
+  /// Owner only: pop the most recently pushed entry, or nullptr.
+  TaskBlock* pop();
+
+  /// Any thread: take the oldest entry, or nullptr when (momentarily)
+  /// empty. Retries internally while contended, so a nullptr means some
+  /// other thread claimed whatever was observable.
+  TaskBlock* steal();
+
+ private:
+  struct Ring {
+    explicit Ring(std::int64_t n)
+        : cap(n), mask(n - 1),
+          slots(new std::atomic<TaskBlock*>[static_cast<std::size_t>(n)]) {}
+    std::int64_t cap, mask;
+    std::unique_ptr<std::atomic<TaskBlock*>[]> slots;
+    std::atomic<TaskBlock*>& slot(std::int64_t i) noexcept {
+      return slots[static_cast<std::size_t>(i & mask)];
+    }
+  };
+
+  Ring* grow(Ring* old, std::int64_t top, std::int64_t bottom);
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_{nullptr};
+  std::vector<std::unique_ptr<Ring>> rings_;  // owner-only; freed in dtor
+};
+
+}  // namespace detail
+
+/// Fixed-size pool of worker threads with per-worker work-stealing deques.
 ///
 /// Tasks are arbitrary callables; submit() returns a std::future carrying the
 /// callable's result (exceptions propagate through the future). The
@@ -57,41 +129,62 @@ class ThreadPool {
           return std::invoke(std::move(fn), std::move(params)...);
         });
     std::future<Result> result = task->get_future();
-    {
-      const std::scoped_lock lock(mutex_);
-      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
-      queue_.emplace_back([task]() { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue(new detail::TaskBlock([task]() { (*task)(); }, 1), 1);
     return result;
   }
 
-  /// Enqueues `count` copies of a fire-and-forget callable with no
-  /// promise/future machinery — one lock acquisition, no per-task heap
-  /// allocation when `fn` fits std::function's small-object buffer (a single
-  /// captured pointer does). This is the low-overhead dispatch path under
+  /// Enqueues `count` entries of a fire-and-forget callable with no
+  /// promise/future machinery — one shared task block, one atomic bump of
+  /// the work eventcount. This is the low-overhead dispatch path under
   /// parallel_for; completion is the caller's responsibility (the callable
-  /// must signal it, e.g. via an atomic counter). `fn` must not throw.
+  /// must signal it, e.g. via an atomic counter). `fn` must not throw and
+  /// must tolerate concurrent invocation from several workers.
   void submit_detached_n(std::size_t count, const std::function<void()>& fn);
 
-  /// Pops and runs one queued task on the calling thread, if any is pending.
-  /// Lets a thread blocked on a join "help" drain the queue instead of
-  /// sleeping — which also makes nested parallel_for calls from inside pool
-  /// tasks deadlock-free. Returns false when the queue was empty.
+  /// Pops or steals one queued task and runs it on the calling thread, if
+  /// any is pending anywhere. Lets a thread blocked on a join "help" drain
+  /// the pool instead of sleeping — which also makes nested parallel_for
+  /// calls from inside pool tasks deadlock-free. Returns false when no task
+  /// could be claimed.
   bool try_run_one();
 
-  /// Blocks until the queue is empty and all in-flight tasks completed.
+  /// Blocks until every enqueued entry has finished running.
   void wait_idle();
 
  private:
-  void worker_loop();
+  static constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
 
-  std::mutex mutex_;
+  void worker_loop(std::size_t index);
+
+  /// Enqueues `entries` references to `block` (own deque when called from a
+  /// worker of this pool, inbox otherwise) and wakes sleepers.
+  void enqueue(detail::TaskBlock* block, std::size_t entries);
+
+  /// Claims one task: own deque (when `self` is a worker index), then the
+  /// inbox, then steals from the other workers in rotating order.
+  detail::TaskBlock* find_task(std::size_t self);
+
+  /// Runs one claimed entry and retires it.
+  void run_task(detail::TaskBlock* task);
+
+  void notify_work();
+
+  std::vector<std::unique_ptr<detail::WorkDeque>> queues_;
+
+  std::mutex inbox_mutex_;
+  std::deque<detail::TaskBlock*> inbox_;
+
+  // Sleep/wake eventcount: producers bump version_ and notify only when
+  // sleepers_ is nonzero; workers re-scan after recording the version so a
+  // task published between scan and sleep is never missed.
+  std::mutex sleep_mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::size_t> sleepers_{0};
+  std::atomic<std::size_t> outstanding_{0};  // enqueued entries not yet run
+  std::atomic<bool> stopping_{false};
+
   std::vector<std::jthread> workers_;
 };
 

@@ -8,6 +8,11 @@
 #include "par/parallel_for.h"
 #include "tensor/gemm.h"
 
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+#include <immintrin.h>
+#define POLARICE_CONV_AVX512 1
+#endif
+
 namespace polarice::tensor {
 
 namespace {
@@ -18,59 +23,404 @@ void require_4d(const Tensor& t, const char* what) {
   }
 }
 
-// Implicit-GEMM B packer: serves im2col columns straight from the input
-// image, so the forward pass never materializes the [C*kh*kw, OH*OW] col
-// matrix (the GEMM's packed panels are the only copy that ever exists).
-// Values and panel layout are identical to packing from a materialized col.
-struct ConvColSource {
-  const float* x;
-  int in_h, in_w, oh, ow;
+// Shared geometry of the batched implicit-GEMM formulation. GEMM columns
+// index (sample, output pixel) pairs: j = n * plane + oy * ow + ox, so one
+// product covers the whole batch (full panels for small-plane deep layers
+// instead of per-sample slivers).
+struct ConvGeom {
   const Conv2dSpec* spec;
+  int batch, in_h, in_w, oh, ow;
+  [[nodiscard]] std::int64_t plane() const noexcept {
+    return static_cast<std::int64_t>(oh) * ow;
+  }
+  [[nodiscard]] std::int64_t in_plane() const noexcept {
+    return static_cast<std::int64_t>(in_h) * in_w;
+  }
+};
+
+// Incremental decode of a batched column index j = n*plane + oy*ow + ox.
+// Packers and sinks walk short contiguous ranges (one per strip or tile),
+// so one integer division at range start plus O(1) advances replaces a
+// divide per row — measurably faster on the store-bound thin-K shapes,
+// where the per-tile division chain rivaled the 9-deep FMA loop.
+struct PixCursor {
+  std::int64_t n;
+  int oy, ox;
+
+  PixCursor(std::int64_t j, const ConvGeom& g) {
+    const std::int64_t plane = g.plane();
+    n = j / plane;
+    const auto rem = static_cast<int>(j - n * plane);
+    oy = rem / g.ow;
+    ox = rem - oy * g.ow;
+  }
+
+  /// Largest contiguous step from here that stays on one output row.
+  [[nodiscard]] int row_run(const ConvGeom& g, std::int64_t remaining)
+      const noexcept {
+    return static_cast<int>(
+        std::min<std::int64_t>(g.ow - ox, remaining));
+  }
+
+  /// Advance by `count` columns; `count` must not pass the row end
+  /// (row_run enforces that).
+  void advance(int count, const ConvGeom& g) noexcept {
+    ox += count;
+    if (ox == g.ow) {
+      ox = 0;
+      if (++oy == g.oh) {
+        oy = 0;
+        ++n;
+      }
+    }
+  }
+};
+
+// Implicit-GEMM B packer: serves im2col columns straight from the input
+// tensor, batched over samples, so neither forward nor backward ever
+// materializes the [C*kh*kw, N*OH*OW] col matrix (the GEMM's packed panels
+// are the only copy that ever exists). Values and panel layout are
+// identical to packing from a materialized per-sample col.
+struct ConvColSource {
+  ConvGeom g;
+  const float* x;
 
   static void pack(void* vctx, int k0, int kc, int j0, int cols, float* dst) {
     const auto& ctx = *static_cast<const ConvColSource*>(vctx);
-    const Conv2dSpec& spec = *ctx.spec;
+    const Conv2dSpec& spec = *ctx.g.spec;
+    const int in_h = ctx.g.in_h, in_w = ctx.g.in_w;
+    const PixCursor start(j0, ctx.g);
     for (int p = k0; p < k0 + kc; ++p) {
       float* row = dst + static_cast<std::int64_t>(p - k0) * kGemmNR;
       const int kj = p % spec.kw;
       const int ki = (p / spec.kw) % spec.kh;
       const int c = p / (spec.kw * spec.kh);
-      const float* xc =
-          ctx.x + static_cast<std::int64_t>(c) * ctx.in_h * ctx.in_w;
-      // Columns j map to output pixels (oy, ox); fill runs that stay on one
+      // Columns j map to (sample, output pixel); fill runs that stay on one
       // output row, memcpy-ing the in-image span when stride == 1.
+      PixCursor cur = start;
       int t = 0;
       while (t < cols) {
-        const int j = j0 + t;
-        const int oy = j / ctx.ow;
-        const int ox = j % ctx.ow;
-        const int run = std::min(ctx.ow - ox, cols - t);
+        const int oy = cur.oy;
+        const int ox = cur.ox;
+        const int run = cur.row_run(ctx.g, cols - t);
         const int iy = oy * spec.stride - spec.pad_top + ki;
+        const float* xc =
+            ctx.x + (cur.n * spec.in_ch + c) * ctx.g.in_plane();
         float* out = row + t;
-        if (iy < 0 || iy >= ctx.in_h) {
+        if (iy < 0 || iy >= in_h) {
           for (int q = 0; q < run; ++q) out[q] = 0.0f;
         } else if (spec.stride == 1) {
           const int shift = spec.pad_left - kj;  // ix = ox' - shift
           const int lo = std::clamp(shift, ox, ox + run);
-          const int hi = std::clamp(ctx.in_w + shift, ox, ox + run);
+          const int hi = std::clamp(in_w + shift, ox, ox + run);
           for (int q = ox; q < lo; ++q) out[q - ox] = 0.0f;
           if (hi > lo) {
             std::memcpy(out + (lo - ox),
-                        xc + static_cast<std::int64_t>(iy) * ctx.in_w +
+                        xc + static_cast<std::int64_t>(iy) * in_w +
                             (lo - shift),
                         sizeof(float) * (hi - lo));
           }
           for (int q = hi; q < ox + run; ++q) out[q - ox] = 0.0f;
         } else {
-          const float* src_row = xc + static_cast<std::int64_t>(iy) * ctx.in_w;
+          const float* src_row = xc + static_cast<std::int64_t>(iy) * in_w;
           for (int q = 0; q < run; ++q) {
             const int ix = (ox + q) * spec.stride - spec.pad_left + kj;
-            out[q] = (ix >= 0 && ix < ctx.in_w) ? src_row[ix] : 0.0f;
+            out[q] = (ix >= 0 && ix < in_w) ? src_row[ix] : 0.0f;
           }
         }
+        cur.advance(run, ctx.g);
         t += run;
       }
       for (int q = cols; q < kGemmNR; ++q) row[q] = 0.0f;
+    }
+  }
+};
+
+// Forward C sink: scatters GEMM tiles (rows = out channels, columns =
+// batched output pixels) into the NCHW y tensor with the bias add — and
+// optionally ReLU + pre-activation mask — fused into the store while the
+// tile is cache-hot. Elementwise, so any parallel delivery split is safe.
+struct ConvYSink {
+  ConvGeom g;
+  float* y;
+  const float* bias;
+  bool relu;
+  std::uint8_t* mask;
+
+  static void store(void* vctx, int i0, int rows, int j0, int cols,
+                    const float* tile, std::int64_t ldt) {
+    const auto& ctx = *static_cast<const ConvYSink*>(vctx);
+    const std::int64_t plane = ctx.g.plane();
+    const int out_ch = ctx.g.spec->out_ch;
+    const PixCursor start(j0, ctx.g);
+    for (int r = 0; r < rows; ++r) {
+      const int oc = i0 + r;
+      const float bv = ctx.bias[oc];
+      const float* trow = tile + static_cast<std::int64_t>(r) * ldt;
+      PixCursor cur = start;
+      int t = 0;
+      while (t < cols) {
+        const int run = cur.row_run(ctx.g, cols - t);
+        const std::int64_t base = (cur.n * out_ch + oc) * plane +
+                                  static_cast<std::int64_t>(cur.oy) * ctx.g.ow +
+                                  cur.ox;
+        float* out = ctx.y + base;
+        const float* src = trow + t;
+        const auto scalar_span = [&](int q0, int q1) {
+          if (!ctx.relu) {
+            for (int qq = q0; qq < q1; ++qq) out[qq] = src[qq] + bv;
+          } else if (ctx.mask == nullptr) {
+            for (int qq = q0; qq < q1; ++qq) {
+              const float v = src[qq] + bv;
+              out[qq] = v > 0.0f ? v : 0.0f;
+            }
+          } else {
+            std::uint8_t* mrow = ctx.mask + base;
+            for (int qq = q0; qq < q1; ++qq) {
+              const float v = src[qq] + bv;
+              const bool pos = v > 0.0f;
+              mrow[qq] = pos;
+              out[qq] = pos ? v : 0.0f;
+            }
+          }
+        };
+        int q = 0;
+#ifdef POLARICE_CONV_AVX512
+        // The store epilogue is the whole point of the fusion on thin-K
+        // shapes; keep it vector-width. max(v, 0) with v as the FIRST
+        // operand matches the scalar v > 0 ? v : 0 bit for bit: maxps
+        // returns the second operand (+0.0) when v is -0.0 (compares
+        // equal) or NaN, exactly like the scalar false branch.
+        const __m512 vb = _mm512_set1_ps(bv);
+        const __m512 vz = _mm512_setzero_ps();
+        if (!ctx.relu) {
+          for (; q + 16 <= run; q += 16) {
+            _mm512_storeu_ps(out + q,
+                             _mm512_add_ps(_mm512_loadu_ps(src + q), vb));
+          }
+        } else if (ctx.mask == nullptr) {
+          for (; q + 16 <= run; q += 16) {
+            const __m512 v = _mm512_add_ps(_mm512_loadu_ps(src + q), vb);
+            _mm512_storeu_ps(out + q, _mm512_max_ps(v, vz));
+          }
+        } else {
+          std::uint8_t* mrow = ctx.mask + base;
+          const __m128i ones = _mm_set1_epi8(1);
+          for (; q + 16 <= run; q += 16) {
+            const __m512 v = _mm512_add_ps(_mm512_loadu_ps(src + q), vb);
+            const __mmask16 pos = _mm512_cmp_ps_mask(v, vz, _CMP_GT_OQ);
+            _mm512_storeu_ps(out + q, _mm512_max_ps(v, vz));
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(mrow + q),
+                             _mm_maskz_mov_epi8(pos, ones));
+          }
+        }
+#endif
+        scalar_span(q, run);
+        cur.advance(run, ctx.g);
+        t += run;
+      }
+    }
+  }
+};
+
+// dW A packer: the batched dY operand A[OC, N*plane] = dy[n][oc][pixel],
+// optionally multiplied by the 0/1 ReLU mask of the layer's own output.
+struct DyAPacker {
+  ConvGeom g;
+  const float* dy;
+  const std::uint8_t* mask;
+
+  static void pack(void* vctx, int i0, int rows, int k0, int kc, float* dst) {
+    const auto& ctx = *static_cast<const DyAPacker*>(vctx);
+    const std::int64_t plane = ctx.g.plane();
+    const int out_ch = ctx.g.spec->out_ch;
+    PixCursor cur(k0, ctx.g);
+    int p = k0;
+    while (p < k0 + kc) {
+      const int run = cur.row_run(ctx.g, k0 + kc - p);
+      const std::int64_t base = cur.n * out_ch * plane +
+                                static_cast<std::int64_t>(cur.oy) * ctx.g.ow +
+                                cur.ox;
+      for (int q = 0; q < run; ++q) {
+        float* col = dst + static_cast<std::int64_t>(p - k0 + q) * kGemmMR;
+        for (int r = 0; r < rows; ++r) {
+          const std::int64_t idx =
+              base + q + static_cast<std::int64_t>(i0 + r) * plane;
+          const float v = ctx.dy[idx];
+          col[r] = (ctx.mask == nullptr || ctx.mask[idx]) ? v : 0.0f;
+        }
+        for (int r = rows; r < kGemmMR; ++r) col[r] = 0.0f;
+      }
+      cur.advance(run, ctx.g);
+      p += run;
+    }
+  }
+};
+
+// dW B packer: the transposed im2col operand B[N*plane, C*kh*kw] =
+// col_n[ckk][pixel] — the same virtual values as ConvColSource, served
+// k-major instead of j-major (rows are now the reduction axis).
+struct ColTransSource {
+  ConvGeom g;
+  const float* x;
+
+  static void pack(void* vctx, int k0, int kc, int j0, int cols, float* dst) {
+    const auto& ctx = *static_cast<const ColTransSource*>(vctx);
+    const Conv2dSpec& spec = *ctx.g.spec;
+    const int in_h = ctx.g.in_h, in_w = ctx.g.in_w;
+    const PixCursor start(k0, ctx.g);
+    for (int t = 0; t < cols; ++t) {
+      const int j = j0 + t;
+      const int kj = j % spec.kw;
+      const int ki = (j / spec.kw) % spec.kh;
+      const int c = j / (spec.kw * spec.kh);
+      const int shift = spec.pad_left - kj;
+      PixCursor cur = start;
+      int p = k0;
+      while (p < k0 + kc) {
+        const int oy = cur.oy;
+        const int ox = cur.ox;
+        const int run = cur.row_run(ctx.g, k0 + kc - p);
+        const int iy = oy * spec.stride - spec.pad_top + ki;
+        float* out = dst + static_cast<std::int64_t>(p - k0) * kGemmNR + t;
+        if (iy < 0 || iy >= in_h) {
+          for (int q = 0; q < run; ++q) out[q * kGemmNR] = 0.0f;
+        } else {
+          const float* src_row =
+              ctx.x + (cur.n * spec.in_ch + c) * ctx.g.in_plane() +
+              static_cast<std::int64_t>(iy) * in_w;
+          if (spec.stride == 1) {
+            const int lo = std::clamp(shift, ox, ox + run);
+            const int hi = std::clamp(in_w + shift, ox, ox + run);
+            for (int q = ox; q < lo; ++q) out[(q - ox) * kGemmNR] = 0.0f;
+            for (int q = lo; q < hi; ++q) {
+              out[(q - ox) * kGemmNR] = src_row[q - shift];
+            }
+            for (int q = hi; q < ox + run; ++q) out[(q - ox) * kGemmNR] = 0.0f;
+          } else {
+            for (int q = 0; q < run; ++q) {
+              const int ix = (ox + q) * spec.stride - spec.pad_left + kj;
+              out[q * kGemmNR] =
+                  (ix >= 0 && ix < in_w) ? src_row[ix] : 0.0f;
+            }
+          }
+        }
+        cur.advance(run, ctx.g);
+        p += run;
+      }
+    }
+    // Zero-pad the trailing strip columns the caller did not request.
+    for (int p = 0; p < kc; ++p) {
+      float* row = dst + static_cast<std::int64_t>(p) * kGemmNR;
+      for (int t = cols; t < kGemmNR; ++t) row[t] = 0.0f;
+    }
+  }
+};
+
+// dW C sink: plain accumulate into the dense [OC, C*kh*kw] gradient (the
+// caller zeroes dw at the start of a batch). Elementwise.
+struct AccumulateSink {
+  float* c;
+  std::int64_t ld;
+
+  static void store(void* vctx, int i0, int rows, int j0, int cols,
+                    const float* tile, std::int64_t ldt) {
+    const auto& ctx = *static_cast<const AccumulateSink*>(vctx);
+    for (int r = 0; r < rows; ++r) {
+      float* crow = ctx.c + static_cast<std::int64_t>(i0 + r) * ctx.ld + j0;
+      const float* trow = tile + static_cast<std::int64_t>(r) * ldt;
+      for (int j = 0; j < cols; ++j) crow[j] += trow[j];
+    }
+  }
+};
+
+// dX B packer: the batched dY operand B[OC, N*plane], optionally masked.
+struct DyBSource {
+  ConvGeom g;
+  const float* dy;
+  const std::uint8_t* mask;
+
+  static void pack(void* vctx, int k0, int kc, int j0, int cols, float* dst) {
+    const auto& ctx = *static_cast<const DyBSource*>(vctx);
+    const std::int64_t plane = ctx.g.plane();
+    const int out_ch = ctx.g.spec->out_ch;
+    const PixCursor start(j0, ctx.g);
+    for (int p = k0; p < k0 + kc; ++p) {
+      float* row = dst + static_cast<std::int64_t>(p - k0) * kGemmNR;
+      PixCursor cur = start;
+      int t = 0;
+      while (t < cols) {
+        const int run = cur.row_run(ctx.g, cols - t);
+        const std::int64_t base = (cur.n * out_ch + p) * plane +
+                                  static_cast<std::int64_t>(cur.oy) * ctx.g.ow +
+                                  cur.ox;
+        if (ctx.mask == nullptr) {
+          std::memcpy(row + t, ctx.dy + base, sizeof(float) * run);
+        } else {
+          const float* src = ctx.dy + base;
+          const std::uint8_t* msk = ctx.mask + base;
+          for (int q = 0; q < run; ++q) {
+            row[t + q] = msk[q] ? src[q] : 0.0f;
+          }
+        }
+        cur.advance(run, ctx.g);
+        t += run;
+      }
+      for (int q = cols; q < kGemmNR; ++q) row[q] = 0.0f;
+    }
+  }
+};
+
+// dX C sink: fuses col2im into the GEMM epilogue — every finished dcol tile
+// is scattered (accumulating) straight into dx, so the [C*kh*kw, N*plane]
+// dcol matrix never exists. Rows of one channel overlap in dx (all kh*kw
+// taps hit the same plane), so delivery is row-grouped at kh*kw granularity:
+// different channels scatter in parallel, one channel's taps stay
+// sequential. dx must be zeroed by the caller.
+struct Col2imSink {
+  ConvGeom g;
+  float* dx;
+
+  static void store(void* vctx, int i0, int rows, int j0, int cols,
+                    const float* tile, std::int64_t ldt) {
+    const auto& ctx = *static_cast<const Col2imSink*>(vctx);
+    const Conv2dSpec& spec = *ctx.g.spec;
+    const int in_h = ctx.g.in_h, in_w = ctx.g.in_w;
+    const PixCursor start(j0, ctx.g);
+    for (int r = 0; r < rows; ++r) {
+      const int row_id = i0 + r;
+      const int kj = row_id % spec.kw;
+      const int ki = (row_id / spec.kw) % spec.kh;
+      const int c = row_id / (spec.kw * spec.kh);
+      const int shift = spec.pad_left - kj;
+      const float* trow = tile + static_cast<std::int64_t>(r) * ldt;
+      PixCursor cur = start;
+      int t = 0;
+      while (t < cols) {
+        const int oy = cur.oy;
+        const int ox = cur.ox;
+        const int run = cur.row_run(ctx.g, cols - t);
+        const int iy = oy * spec.stride - spec.pad_top + ki;
+        if (iy >= 0 && iy < in_h) {
+          float* dst_row = ctx.dx + (cur.n * spec.in_ch + c) * ctx.g.in_plane() +
+                           static_cast<std::int64_t>(iy) * in_w;
+          const float* src = trow + t;
+          if (spec.stride == 1) {
+            // ix = ox' - shift: the in-image span accumulates contiguously.
+            const int lo = std::clamp(shift, ox, ox + run);
+            const int hi = std::clamp(in_w + shift, ox, ox + run);
+            float* base = dst_row - shift;
+            for (int q = lo; q < hi; ++q) base[q] += src[q - ox];
+          } else {
+            for (int q = 0; q < run; ++q) {
+              const int ix = (ox + q) * spec.stride - spec.pad_left + kj;
+              if (ix >= 0 && ix < in_w) dst_row[ix] += src[q];
+            }
+          }
+        }
+        cur.advance(run, ctx.g);
+        t += run;
+      }
     }
   }
 };
@@ -181,8 +531,8 @@ void col2im(const float* col, int in_h, int in_w, const Conv2dSpec& spec,
 
 void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
                     Tensor& y, const Conv2dSpec& spec, par::ThreadPool* pool,
-                    ConvScratch& scratch) {
-  // The implicit-GEMM forward no longer touches scratch.col; the parameter
+                    ConvScratch& scratch, const ConvFusion& fuse) {
+  // The implicit-GEMM forward never touches the col scratch; the parameter
   // stays so forward/backward share one arena-passing call shape.
   (void)scratch;
   require_4d(x, "conv2d_forward(x)");
@@ -196,34 +546,95 @@ void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
     y = Tensor({batch, spec.out_ch, oh, ow});
   }
   const std::int64_t plane = static_cast<std::int64_t>(oh) * ow;
+  const ConvGeom geom{&spec, batch, in_h, in_w, oh, ow};
 
-  for (int n = 0; n < batch; ++n) {
-    const float* xn = x.data() + x.offset4(n, 0, 0, 0);
-    float* yn = y.data() + y.offset4(n, 0, 0, 0);
-    // Implicit GEMM: the B operand is packed straight from xn, so no col
-    // matrix is materialized on the forward path.
-    ConvColSource src{xn, in_h, in_w, oh, ow, &spec};
-    gemm_nn_virtual_b(spec.out_ch, static_cast<int>(plane), spec.col_rows(),
-                      w.data(), BPacker{&src, &ConvColSource::pack}, yn,
-                      /*accumulate=*/false, pool);
-    for (int oc = 0; oc < spec.out_ch; ++oc) {
-      const float bias = b[oc];
-      float* row = yn + static_cast<std::int64_t>(oc) * plane;
-      for (std::int64_t i = 0; i < plane; ++i) row[i] += bias;
-    }
-  }
+  // One implicit GEMM over the whole batch: B packs im2col columns straight
+  // from x, C tiles land in y through the bias(+ReLU) sink.
+  ConvColSource bsrc{geom, x.data()};
+  ConvYSink ysink{geom, y.data(), b.data(), fuse.relu, fuse.relu_mask};
+  const StridedA a{w.data(), spec.col_rows(), 1};
+  gemm_virtual(spec.out_ch, static_cast<int>(batch * plane), spec.col_rows(),
+               a.packer(), BPacker{&bsrc, &ConvColSource::pack},
+               CSink{&ysink, &ConvYSink::store, /*row_group=*/0}, pool);
 }
 
 void conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
                      Tensor* dx, Tensor& dw, Tensor& db,
                      const Conv2dSpec& spec, par::ThreadPool* pool,
-                     ConvScratch& scratch) {
+                     ConvScratch& scratch, const std::uint8_t* dy_mask) {
+  // Fully implicit: no col/dcol materialization, so the scratch buffers are
+  // untouched (kept in the signature for call-shape stability with the ref
+  // path and older callers).
+  (void)scratch;
   require_4d(x, "conv2d_backward(x)");
   require_4d(dy, "conv2d_backward(dy)");
   const int batch = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
   const int oh = spec.out_h(in_h), ow = spec.out_w(in_w);
   const std::int64_t plane = static_cast<std::int64_t>(oh) * ow;
+  const int cols_total = static_cast<int>(batch * plane);
+  const ConvGeom geom{&spec, batch, in_h, in_w, oh, ow};
+
+  // db[oc] += sum of (masked) dY over samples and the spatial plane, in the
+  // seed's per-sample double-accumulator order.
+  for (int n = 0; n < batch; ++n) {
+    const float* dyn = dy.data() + dy.offset4(n, 0, 0, 0);
+    const std::uint8_t* mn =
+        dy_mask != nullptr ? dy_mask + dy.offset4(n, 0, 0, 0) : nullptr;
+    for (int oc = 0; oc < spec.out_ch; ++oc) {
+      const float* row = dyn + static_cast<std::int64_t>(oc) * plane;
+      double acc = 0.0;
+      if (mn == nullptr) {
+        for (std::int64_t i = 0; i < plane; ++i) acc += row[i];
+      } else {
+        const std::uint8_t* mrow = mn + static_cast<std::int64_t>(oc) * plane;
+        for (std::int64_t i = 0; i < plane; ++i) {
+          acc += mrow[i] ? row[i] : 0.0f;
+        }
+      }
+      db[oc] += static_cast<float>(acc);
+    }
+  }
+
+  // dW[OC, CKK] += dY[OC, N*plane] * col[N*plane, CKK] — virtual A (batched
+  // dY) times virtual B (transposed im2col of x), one GEMM for the batch.
+  {
+    DyAPacker asrc{geom, dy.data(), dy_mask};
+    ColTransSource bsrc{geom, x.data()};
+    AccumulateSink sink{dw.data(), spec.col_rows()};
+    gemm_virtual(spec.out_ch, spec.col_rows(), cols_total,
+                 APacker{&asrc, &DyAPacker::pack},
+                 BPacker{&bsrc, &ColTransSource::pack},
+                 CSink{&sink, &AccumulateSink::store, /*row_group=*/0}, pool);
+  }
+
+  if (dx != nullptr) {
+    // dcol[CKK, N*plane] = W^T[CKK, OC] * dY[OC, N*plane], scattered into dx
+    // through the col2im sink (channel-grouped delivery keeps overlapping
+    // taps race-free).
+    if (!dx->same_shape(x)) *dx = Tensor(x.shape());
+    dx->zero();
+    const StridedA a{w.data(), 1, spec.col_rows()};
+    DyBSource bsrc{geom, dy.data(), dy_mask};
+    Col2imSink sink{geom, dx->data()};
+    gemm_virtual(spec.col_rows(), cols_total, spec.out_ch, a.packer(),
+                 BPacker{&bsrc, &DyBSource::pack},
+                 CSink{&sink, &Col2imSink::store,
+                       /*row_group=*/spec.kh * spec.kw},
+                 pool);
+  }
+}
+
+void conv2d_backward_ref(const Tensor& x, const Tensor& w, const Tensor& dy,
+                         Tensor* dx, Tensor& dw, Tensor& db,
+                         const Conv2dSpec& spec, ConvScratch& scratch,
+                         const std::uint8_t* dy_mask) {
+  require_4d(x, "conv2d_backward_ref(x)");
+  require_4d(dy, "conv2d_backward_ref(dy)");
+  const int batch = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
+  const int oh = spec.out_h(in_h), ow = spec.out_w(in_w);
+  const std::int64_t plane = static_cast<std::int64_t>(oh) * ow;
   scratch.col.resize(static_cast<std::size_t>(spec.col_rows()) * plane);
+  std::vector<float> masked_dy;
   if (dx != nullptr) {
     scratch.dcol.resize(static_cast<std::size_t>(spec.col_rows()) * plane);
     if (!dx->same_shape(x)) *dx = Tensor(x.shape());
@@ -232,10 +643,20 @@ void conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
   for (int n = 0; n < batch; ++n) {
     const float* xn = x.data() + x.offset4(n, 0, 0, 0);
     const float* dyn = dy.data() + dy.offset4(n, 0, 0, 0);
-    im2col(xn, in_h, in_w, spec, scratch.col.data(), pool);
+    if (dy_mask != nullptr) {
+      const std::uint8_t* mn = dy_mask + dy.offset4(n, 0, 0, 0);
+      const std::size_t count =
+          static_cast<std::size_t>(spec.out_ch) * plane;
+      masked_dy.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        masked_dy[i] = mn[i] ? dyn[i] : 0.0f;
+      }
+      dyn = masked_dy.data();
+    }
+    im2col(xn, in_h, in_w, spec, scratch.col.data());
     // dW[OC, CKK] += dY_n[OC, plane] * col[CKK, plane]^T
-    gemm_nt(spec.out_ch, spec.col_rows(), static_cast<int>(plane), dyn,
-            scratch.col.data(), dw.data(), /*accumulate=*/true, pool);
+    gemm_nt_ref(spec.out_ch, spec.col_rows(), static_cast<int>(plane), dyn,
+                scratch.col.data(), dw.data(), /*accumulate=*/true);
     // db[oc] += sum of dY_n over the spatial plane
     for (int oc = 0; oc < spec.out_ch; ++oc) {
       const float* row = dyn + static_cast<std::int64_t>(oc) * plane;
@@ -245,8 +666,8 @@ void conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
     }
     if (dx != nullptr) {
       // dcol[CKK, plane] = W[OC, CKK]^T * dY_n[OC, plane]
-      gemm_tn(spec.col_rows(), static_cast<int>(plane), spec.out_ch, w.data(),
-              dyn, scratch.dcol.data(), /*accumulate=*/false, pool);
+      gemm_tn_ref(spec.col_rows(), static_cast<int>(plane), spec.out_ch,
+                  w.data(), dyn, scratch.dcol.data(), /*accumulate=*/false);
       float* dxn = dx->data() + dx->offset4(n, 0, 0, 0);
       std::memset(dxn, 0,
                   sizeof(float) * static_cast<std::size_t>(spec.in_ch) * in_h *
@@ -491,13 +912,20 @@ float softmax_cross_entropy(const Tensor& logits,
 
 std::vector<int> argmax_channel(const Tensor& probs) {
   require_4d(probs, "argmax_channel");
+  std::vector<int> out(static_cast<std::size_t>(
+      probs.dim(0) * static_cast<std::int64_t>(probs.dim(2)) * probs.dim(3)));
+  argmax_channel(probs, out.data());
+  return out;
+}
+
+void argmax_channel(const Tensor& probs, int* out_ptr) {
+  require_4d(probs, "argmax_channel");
   const int batch = probs.dim(0), ch = probs.dim(1);
   const std::int64_t plane =
       static_cast<std::int64_t>(probs.dim(2)) * probs.dim(3);
-  std::vector<int> out(static_cast<std::size_t>(batch * plane));
   for (int n = 0; n < batch; ++n) {
     const float* pn = probs.data() + probs.offset4(n, 0, 0, 0);
-    int* on = out.data() + static_cast<std::int64_t>(n) * plane;
+    int* on = out_ptr + static_cast<std::int64_t>(n) * plane;
     for (std::int64_t i = 0; i < plane; ++i) {
       int best = 0;
       float best_v = pn[i];
@@ -511,7 +939,6 @@ std::vector<int> argmax_channel(const Tensor& probs) {
       on[i] = best;
     }
   }
-  return out;
 }
 
 }  // namespace polarice::tensor

@@ -42,10 +42,25 @@ struct Conv2dSpec {
 /// Reusable im2col scratch. One arena can serve every conv layer of a model
 /// (plumbed through nn::Layer::set_scratch): the buffers grow once to the
 /// largest layer's panel and are reused by all of them, instead of every
-/// layer carrying its own peak-sized copy.
+/// layer carrying its own peak-sized copy. The implicit-GEMM production
+/// paths no longer touch these buffers at all (forward and backward both
+/// pack panels straight from the tensors); only conv2d_backward_ref — the
+/// seed's materializing pipeline kept as ground truth — still fills them.
 struct ConvScratch {
-  std::vector<float> col;   // im2col panel [C*kh*kw, OH*OW]
-  std::vector<float> dcol;  // gradient panel of the same shape (backward)
+  std::vector<float> col;   // im2col panel [C*kh*kw, OH*OW] (ref path only)
+  std::vector<float> dcol;  // gradient panel of the same shape (ref path only)
+};
+
+/// Optional epilogue fused into conv2d_forward's GEMM C-store: ReLU applied
+/// while the output tile is still cache-hot, with an optional 0/1 mask of
+/// the pre-activation sign for the backward pass. Bias is always fused (the
+/// separate bias pass of the seed no longer exists). Output values are
+/// bit-identical to conv2d_forward followed by an elementwise ReLU.
+struct ConvFusion {
+  bool relu = false;
+  /// When non-null, filled with (pre-activation > 0) per output element,
+  /// laid out exactly like y [N, OC, OH, OW]. Must hold y.numel() bytes.
+  std::uint8_t* relu_mask = nullptr;
 };
 
 /// Expands one sample x[C,H,W] into col[C*kh*kw, OH*OW] (zero padding).
@@ -59,19 +74,42 @@ void im2col(const float* x, int in_h, int in_w, const Conv2dSpec& spec,
 void col2im(const float* col, int in_h, int in_w, const Conv2dSpec& spec,
             float* dx);
 
-/// y[N,OC,OH,OW] = conv(x[N,C,H,W], w[OC,C,kh,kw]) + b[OC].
-/// `scratch.col` is resized as needed and reused across calls.
+/// y[N,OC,OH,OW] = conv(x[N,C,H,W], w[OC,C,kh,kw]) + b[OC], optionally with
+/// a fused ReLU epilogue (`fuse`). One implicit GEMM batched over the whole
+/// N (sample) dimension: the virtual B packs im2col columns of every sample
+/// into one [C*kh*kw, N*OH*OW] operand, so small-plane deep layers get full
+/// panels instead of per-sample slivers. Output is bit-identical to the
+/// per-sample formulation for any batch size and pool.
 void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
                     Tensor& y, const Conv2dSpec& spec, par::ThreadPool* pool,
-                    ConvScratch& scratch);
+                    ConvScratch& scratch, const ConvFusion& fuse = {});
 
 /// Gradients of conv2d. dw/db are accumulated into (caller zeroes at the
 /// start of a batch); dx is overwritten. Pass dx == nullptr to skip input
 /// gradients (first layer).
+///
+/// Implicit GEMM throughout, batched over N: dW flows through a virtual-A
+/// (dY) x virtual-B (transposed im2col of x) product, and dX through a
+/// virtual-C sink that scatters GEMM tiles straight into dx (col2im fused
+/// into the epilogue) — neither the col nor the dcol matrix is ever
+/// materialized. `dy_mask`, when non-null, is a 0/1 plane shaped like dy
+/// that is multiplied into dY during packing (a following ReLU layer's
+/// backward fused for free; exact, since the mask is 0/1). Results are
+/// deterministic for any pool, and match conv2d_backward_ref to float
+/// reduction-order tolerance.
 void conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
                      Tensor* dx, Tensor& dw, Tensor& db,
                      const Conv2dSpec& spec, par::ThreadPool* pool,
-                     ConvScratch& scratch);
+                     ConvScratch& scratch,
+                     const std::uint8_t* dy_mask = nullptr);
+
+/// The seed's materializing backward (im2col + scalar gemm_nt/gemm_tn +
+/// col2im, sequential) — the ground truth conv2d_backward is tested and
+/// benchmarked against.
+void conv2d_backward_ref(const Tensor& x, const Tensor& w, const Tensor& dy,
+                         Tensor* dx, Tensor& dw, Tensor& db,
+                         const Conv2dSpec& spec, ConvScratch& scratch,
+                         const std::uint8_t* dy_mask = nullptr);
 
 /// 2x2/stride-2 max pooling; requires even H and W. `argmax` records the
 /// winning corner (0..3) per output element for the backward pass.
@@ -110,5 +148,10 @@ float softmax_cross_entropy(const Tensor& logits,
 
 /// Per-pixel argmax over channels -> class indices laid out [N, H, W].
 std::vector<int> argmax_channel(const Tensor& probs);
+
+/// Allocation-free variant: writes the N*H*W class indices into `out`
+/// (caller-sized — e.g. a reused buffer or an ExecutionContext scratch
+/// lease).
+void argmax_channel(const Tensor& probs, int* out);
 
 }  // namespace polarice::tensor

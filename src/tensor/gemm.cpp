@@ -25,7 +25,7 @@ namespace {
 // (kNR = 16) that is 12 fp accumulators + 2 B vectors + 1 A broadcast = 15
 // of the 16 ymm registers; AVX-512 doubles the column width (kNR = 32) with
 // register room to spare.
-constexpr int kMR = 6;
+constexpr int kMR = kGemmMR;
 constexpr int kNR = kGemmNR;
 
 // k-panel depth: one packed B strip (kKC * kNR floats = 16 KiB) stays
@@ -107,6 +107,58 @@ void pack_a_panel(int mc, int kc, const float* a, std::int64_t rs,
 // Micro-kernel: C[kMR x kNR] (+)= packed_A_strip * packed_B_strip.
 
 #ifdef POLARICE_GEMM_AVX512
+
+// Shallow-K panels (thin-K conv shapes: K = in_ch*kh*kw as small as 9) are
+// bound by per-tile overhead — accumulator zeroing, stores, loop setup —
+// not FMA throughput. Below this panel depth the drivers switch to the
+// double-width kernel where AVX-512's 32 zmm registers allow it (6 x 4
+// accumulators + 4 B + 1 A broadcast = 29), halving the overhead per C
+// element. Both packed B strips stay L1-resident (2 * kc * kNR floats
+// <= 16 KiB at the threshold).
+constexpr int kWideKernelMaxKC = 64;
+
+// C[kMR x 2*kNR] (+)= packed_A_strip * two adjacent packed_B_strips.
+void micro_kernel_x2(int kc, const float* ap, const float* bp0,
+                     const float* bp1, float* c, std::int64_t ldc,
+                     bool accumulate) {
+  __m512 acc[kMR][4];
+  for (int r = 0; r < kMR; ++r) {
+    acc[r][0] = _mm512_setzero_ps();
+    acc[r][1] = _mm512_setzero_ps();
+    acc[r][2] = _mm512_setzero_ps();
+    acc[r][3] = _mm512_setzero_ps();
+  }
+  for (int p = 0; p < kc; ++p) {
+    const __m512 b0 = _mm512_load_ps(bp0 + static_cast<std::int64_t>(p) * kNR);
+    const __m512 b1 =
+        _mm512_load_ps(bp0 + static_cast<std::int64_t>(p) * kNR + 16);
+    const __m512 b2 = _mm512_load_ps(bp1 + static_cast<std::int64_t>(p) * kNR);
+    const __m512 b3 =
+        _mm512_load_ps(bp1 + static_cast<std::int64_t>(p) * kNR + 16);
+    const float* acol = ap + static_cast<std::int64_t>(p) * kMR;
+    for (int r = 0; r < kMR; ++r) {
+      const __m512 av = _mm512_set1_ps(acol[r]);
+      acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+      acc[r][2] = _mm512_fmadd_ps(av, b2, acc[r][2]);
+      acc[r][3] = _mm512_fmadd_ps(av, b3, acc[r][3]);
+    }
+  }
+  for (int r = 0; r < kMR; ++r) {
+    float* crow = c + r * ldc;
+    if (accumulate) {
+      for (int v = 0; v < 4; ++v) {
+        _mm512_storeu_ps(crow + v * 16,
+                         _mm512_add_ps(_mm512_loadu_ps(crow + v * 16),
+                                       acc[r][v]));
+      }
+    } else {
+      for (int v = 0; v < 4; ++v) {
+        _mm512_storeu_ps(crow + v * 16, acc[r][v]);
+      }
+    }
+  }
+}
 
 void micro_kernel(int kc, const float* ap, const float* bp, float* c,
                   std::int64_t ldc, bool accumulate) {
@@ -201,6 +253,89 @@ void micro_kernel(int kc, const float* ap, const float* bp, float* c,
 
 #endif  // POLARICE_GEMM_AVX2
 
+#ifdef POLARICE_GEMM_AVX512
+constexpr bool kHasWideKernel = true;
+#else
+// The double-width tile needs 29 vector registers; AVX2's 16 ymm (and the
+// portable tile's pressure) cannot carry it, so those builds always take
+// the single-strip kernel.
+constexpr bool kHasWideKernel = false;
+constexpr int kWideKernelMaxKC = 0;
+inline void micro_kernel_x2(int, const float*, const float*, const float*,
+                            float*, std::int64_t, bool) {}
+#endif
+
+// ---------------------------------------------------------------------------
+// Shared macro-tile sweep: one parallel task's strip loop, used by both the
+// dense driver and the virtual-C sink driver so the kernel-selection logic
+// (wide pairs, edge-tile buf spill, accumulate-vs-store copy-out) exists
+// exactly once. `cbase` points at column 0 of this jc block's C storage
+// (the dense C offset by jc, or the c_block scratch panel); columns are
+// block-relative with `ncols` live columns. A non-null `direct` sink
+// receives each finished register tile immediately instead (single-panel
+// elementwise sinks only), with `jc` translating back to absolute columns.
+void sweep_tile_strips(int is0, int is1, int js0, int js1, int m, int ncols,
+                       int jc, int kc, const float* packa, const float* packb,
+                       float* cbase, std::int64_t ldc, bool acc_panel,
+                       const CSink* direct) {
+  alignas(64) float buf[kMR * 2 * kNR];
+  for (int js = js0; js < js1; ++js) {
+    const float* bp = packb + static_cast<std::size_t>(js) * kc * kNR;
+    const int j0 = js * kNR;  // block-relative
+    const int nr = std::min(kNR, ncols - j0);
+    // Shallow panels take the double-width kernel over adjacent full
+    // strips (see kWideKernelMaxKC).
+    const bool wide = kHasWideKernel && kc <= kWideKernelMaxKC &&
+                      js + 1 < js1 && nr == kNR &&
+                      ncols - (j0 + kNR) >= kNR;
+    for (int is = is0; is < is1; ++is) {
+      const float* ap = packa + static_cast<std::size_t>(is) * kc * kMR;
+      const int i0 = is * kMR;
+      const int mr = std::min(kMR, m - i0);
+      if (direct != nullptr) {
+        // Final values in one panel: hand the register tile to the sink
+        // while it is L1-hot.
+        if (wide) {
+          micro_kernel_x2(kc, ap, bp,
+                          bp + static_cast<std::size_t>(kc) * kNR, buf,
+                          2 * kNR, /*accumulate=*/false);
+          direct->fn(direct->ctx, i0, mr, jc + j0, 2 * kNR, buf, 2 * kNR);
+        } else {
+          micro_kernel(kc, ap, bp, buf, kNR, /*accumulate=*/false);
+          direct->fn(direct->ctx, i0, mr, jc + j0, nr, buf, kNR);
+        }
+        continue;
+      }
+      float* ctile = cbase + static_cast<std::int64_t>(i0) * ldc + j0;
+      if (wide && mr == kMR) {
+        micro_kernel_x2(kc, ap, bp, bp + static_cast<std::size_t>(kc) * kNR,
+                        ctile, ldc, acc_panel);
+        continue;
+      }
+      const int passes = wide ? 2 : 1;
+      for (int h = 0; h < passes; ++h) {
+        const float* bph = bp + static_cast<std::size_t>(h) * kc * kNR;
+        float* ctile_h = ctile + h * kNR;
+        if (mr == kMR && nr == kNR) {
+          micro_kernel(kc, ap, bph, ctile_h, ldc, acc_panel);
+        } else {
+          micro_kernel(kc, ap, bph, buf, kNR, /*accumulate=*/false);
+          for (int r = 0; r < mr; ++r) {
+            float* crow = ctile_h + static_cast<std::int64_t>(r) * ldc;
+            const float* srow = buf + r * kNR;
+            if (acc_panel) {
+              for (int j = 0; j < nr; ++j) crow[j] += srow[j];
+            } else {
+              for (int j = 0; j < nr; ++j) crow[j] = srow[j];
+            }
+          }
+        }
+      }
+    }
+    if (wide) ++js;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Blocked driver: loop over k-panels; per panel, pack both operands into the
 // caller's thread-local arena (packing itself is parallel over strips), then
@@ -268,34 +403,9 @@ void gemm_driver(int m, int n, int k, const float* a, std::int64_t ars,
             const int is1 = std::min(m_strips, is0 + kMBlock);
             const int js0 = static_cast<int>(bj) * kNBlock;
             const int js1 = std::min(panel_strips, js0 + kNBlock);
-            alignas(64) float buf[kMR * kNR];
-            for (int js = js0; js < js1; ++js) {
-              const float* bp =
-                  packb + static_cast<std::size_t>(js) * kc * kNR;
-              const int j0 = jc + js * kNR;
-              const int nr = std::min(kNR, n - j0);
-              for (int is = is0; is < is1; ++is) {
-                const float* ap =
-                    packa + static_cast<std::size_t>(is) * kc * kMR;
-                const int i0 = is * kMR;
-                const int mr = std::min(kMR, m - i0);
-                float* ctile = c + static_cast<std::int64_t>(i0) * n + j0;
-                if (mr == kMR && nr == kNR) {
-                  micro_kernel(kc, ap, bp, ctile, n, acc_panel);
-                } else {
-                  micro_kernel(kc, ap, bp, buf, kNR, /*accumulate=*/false);
-                  for (int r = 0; r < mr; ++r) {
-                    float* crow = ctile + static_cast<std::int64_t>(r) * n;
-                    const float* srow = buf + r * kNR;
-                    if (acc_panel) {
-                      for (int j = 0; j < nr; ++j) crow[j] += srow[j];
-                    } else {
-                      for (int j = 0; j < nr; ++j) crow[j] = srow[j];
-                    }
-                  }
-                }
-              }
-            }
+            sweep_tile_strips(is0, is1, js0, js1, m, /*ncols=*/n - jc, jc, kc,
+                              packa, packb, /*cbase=*/c + jc, /*ldc=*/n,
+                              acc_panel, /*direct=*/nullptr);
           },
           /*tile_rows=*/1, /*tile_cols=*/1);
     }
@@ -310,6 +420,144 @@ struct StridedB {
     pack_b_strip(cols, kc, b + k0 * brs + j0 * bcs, brs, bcs, dst);
   }
 };
+
+// ---------------------------------------------------------------------------
+// Virtual-C driver: both operands virtual, C delivered through a sink. The
+// k-panel loop runs INSIDE the column-block loop, accumulating the full K
+// reduction of one m x ncols block into the arena's c_block scratch; only
+// then is the block handed to the sink, so the sink sees each C element
+// exactly once, with its final value — the contract that lets epilogues
+// (bias + ReLU) and scatters (col2im) fuse into the store. Per-element
+// values are bit-identical to the dense driver's: the same micro-kernel
+// sweeps the same k-panels in the same order.
+
+template <typename PackAStripFn, typename PackBStripFn>
+void gemm_driver_sink(int m, int n, int k, const PackAStripFn& pack_a,
+                      const PackBStripFn& pack_b, const CSink& sink,
+                      par::ThreadPool* pool) {
+  if (m <= 0 || n <= 0) return;
+  if (pool != nullptr &&
+      (pool->size() == 1 ||
+       static_cast<std::int64_t>(m) * n * std::max(k, 1) < kMinFlopsForPool)) {
+    pool = nullptr;
+  }
+  const int m_strips = ceil_div(m, kMR);
+  const int kc_max = std::min(std::max(k, 1), kKC);
+  // Single k-panel + elementwise sink: the micro-kernel's register tile
+  // already holds final values, so tiles are handed to the sink straight
+  // from the stack buffer — no c_block round-trip at all. Multi-panel
+  // reductions (and row-grouped sinks, which need ordered whole-width
+  // delivery) accumulate into c_block first.
+  const bool direct_sink = k <= kKC && sink.row_group == 0;
+  int nc = (kNCBudgetBytes / static_cast<int>(sizeof(float)) / kc_max) / kNR *
+           kNR;
+  if (!direct_sink) {
+    // Keep the accumulation block cache-resident too: it is re-read by the
+    // sink pass (and re-written per k-panel), so a thin-K wide-N shape must
+    // not blow it past L2.
+    const int nc_cap =
+        (kNCBudgetBytes / static_cast<int>(sizeof(float)) / std::max(m, 1)) /
+        kNR * kNR;
+    nc = std::min(nc, nc_cap);
+  }
+  nc = std::max(nc, kNBlock * kNR);
+  nc = std::min(nc, ceil_div(n, kNR) * kNR);
+
+  const GemmDepthLease lease;
+  PackArena& arena = lease.arena;
+  float* packa = arena.a_panel.ensure(static_cast<std::size_t>(m_strips) *
+                                      kMR * kc_max);
+  float* packb = arena.b_panel.ensure(static_cast<std::size_t>(nc / kNR) *
+                                      kNR * kc_max);
+  float* cblock =
+      direct_sink ? nullptr
+                  : arena.c_block.ensure(static_cast<std::size_t>(m) * nc);
+  const int mblocks = ceil_div(m_strips, kMBlock);
+
+  for (int jc = 0; jc < n; jc += nc) {
+    const int ncols = std::min(nc, n - jc);
+    const std::int64_t ldc = ncols;
+    const int panel_strips = ceil_div(ncols, kNR);
+    const int nblocks = ceil_div(panel_strips, kNBlock);
+    if (k <= 0) {
+      // Zero-depth product: C is all zeros; deliver them through the sink.
+      alignas(64) float zeros[kMR * kNR] = {};
+      for (int i0 = 0; i0 < m; i0 += kMR) {
+        const int rows = std::min(kMR, m - i0);
+        for (int j0 = 0; j0 < ncols; j0 += kNR) {
+          sink.fn(sink.ctx, i0, rows, jc + j0, std::min(kNR, ncols - j0),
+                  zeros, kNR);
+        }
+      }
+      continue;
+    }
+    for (int pc = 0; pc < k; pc += kKC) {
+      const int kc = std::min(kKC, k - pc);
+      par::parallel_for(
+          pool, 0, static_cast<std::size_t>(m_strips),
+          [&](std::size_t s) {
+            const int row0 = static_cast<int>(s) * kMR;
+            pack_a(row0, std::min(kMR, m - row0), pc, kc,
+                   packa + s * static_cast<std::size_t>(kc) * kMR);
+          },
+          /*grain=*/8);
+      par::parallel_for(
+          pool, 0, static_cast<std::size_t>(panel_strips),
+          [&](std::size_t s) {
+            const int col0 = jc + static_cast<int>(s) * kNR;
+            pack_b(pc, kc, col0, std::min(kNR, n - col0),
+                   packb + s * static_cast<std::size_t>(kc) * kNR);
+          },
+          /*grain=*/8);
+      const bool acc_panel = pc > 0;
+      par::parallel_for_2d(
+          pool, static_cast<std::size_t>(mblocks),
+          static_cast<std::size_t>(nblocks),
+          [&](std::size_t bi, std::size_t bj) {
+            const int is0 = static_cast<int>(bi) * kMBlock;
+            const int is1 = std::min(m_strips, is0 + kMBlock);
+            const int js0 = static_cast<int>(bj) * kNBlock;
+            const int js1 = std::min(panel_strips, js0 + kNBlock);
+            sweep_tile_strips(is0, is1, js0, js1, m, ncols, jc, kc, packa,
+                              packb, cblock, ldc, acc_panel,
+                              direct_sink ? &sink : nullptr);
+          },
+          /*tile_rows=*/1, /*tile_cols=*/1);
+    }
+    if (direct_sink) continue;  // tiles were delivered in the compute loop
+    // Deliver the finished block. Row-grouped sinks get one call per group
+    // covering the whole block width (sequential in j across jc blocks by
+    // construction); elementwise sinks get a parallel 2-D sweep of sub-
+    // rectangles.
+    if (sink.row_group > 0) {
+      const int groups = ceil_div(m, sink.row_group);
+      par::parallel_for(
+          pool, 0, static_cast<std::size_t>(groups),
+          [&](std::size_t g) {
+            const int i0 = static_cast<int>(g) * sink.row_group;
+            const int rows = std::min(sink.row_group, m - i0);
+            sink.fn(sink.ctx, i0, rows, jc, ncols,
+                    cblock + static_cast<std::int64_t>(i0) * ldc, ldc);
+          },
+          /*grain=*/1);
+    } else {
+      constexpr int kSinkRowBand = kMBlock * kMR;  // 72 rows per delivery
+      constexpr int kSinkColBand = 256;
+      par::parallel_for_2d(
+          pool, static_cast<std::size_t>(ceil_div(m, kSinkRowBand)),
+          static_cast<std::size_t>(ceil_div(ncols, kSinkColBand)),
+          [&](std::size_t bi, std::size_t bj) {
+            const int i0 = static_cast<int>(bi) * kSinkRowBand;
+            const int rows = std::min(kSinkRowBand, m - i0);
+            const int j0 = static_cast<int>(bj) * kSinkColBand;
+            const int cols = std::min(kSinkColBand, ncols - j0);
+            sink.fn(sink.ctx, i0, rows, jc + j0, cols,
+                    cblock + static_cast<std::int64_t>(i0) * ldc + j0, ldc);
+          },
+          /*tile_rows=*/1, /*tile_cols=*/1);
+    }
+  }
+}
 
 }  // namespace
 
@@ -331,21 +579,33 @@ void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c,
               accumulate, pool);
 }
 
-void gemm_nn_virtual_b(int m, int n, int k, const float* a, BPacker b,
-                       float* c, bool accumulate, par::ThreadPool* pool) {
-  static_assert(kNR == kGemmNR, "BPacker contract mirrors the micro-tile");
-  if (b.nr != kNR) {
+void StridedA::pack(void* ctx, int i0, int rows, int k0, int kc, float* dst) {
+  const auto& src = *static_cast<const StridedA*>(ctx);
+  pack_a_strip(rows, kc, src.a + i0 * src.rs + k0 * src.cs, src.rs, src.cs,
+               dst);
+}
+
+void gemm_virtual(int m, int n, int k, APacker a, BPacker b, CSink c,
+                  par::ThreadPool* pool) {
+  static_assert(kMR == kGemmMR && kNR == kGemmNR,
+                "packer contracts mirror the micro-tile");
+  if (a.mr != kMR || b.nr != kNR) {
     throw std::logic_error(
-        "gemm_nn_virtual_b: BPacker panel pitch " + std::to_string(b.nr) +
-        " != library micro-tile width " + std::to_string(kNR) +
-        " — caller TU compiled with different SIMD arch flags?");
+        "gemm_virtual: packer pitch (mr=" + std::to_string(a.mr) +
+        ", nr=" + std::to_string(b.nr) + ") != library micro-tile (" +
+        std::to_string(kMR) + ", " + std::to_string(kNR) +
+        ") — caller TU compiled with different SIMD arch flags?");
   }
-  gemm_driver(
-      m, n, k, a, /*ars=*/k, /*acs=*/1,
+  if (c.fn == nullptr) throw std::logic_error("gemm_virtual: null sink");
+  gemm_driver_sink(
+      m, n, k,
+      [&a](int i0, int rows, int k0, int kc, float* dst) {
+        a.fn(a.ctx, i0, rows, k0, kc, dst);
+      },
       [&b](int k0, int kc, int j0, int cols, float* dst) {
         b.fn(b.ctx, k0, kc, j0, cols, dst);
       },
-      c, accumulate, pool);
+      c, pool);
 }
 
 // ---------------------------------------------------------------------------

@@ -49,9 +49,13 @@ inline constexpr int kGemmNR = 32;
 inline constexpr int kGemmNR = 16;
 #endif
 
+/// Height of the packed-A strips (rows per micro-tile). Custom A packers
+/// write strips of kc x kGemmMR floats, k-major: dst[p * kGemmMR + r].
+inline constexpr int kGemmMR = 6;
+
 /// Supplies the B operand by packing panels directly from a custom source —
-/// e.g. conv2d packs im2col columns straight out of the input image
-/// (implicit GEMM), never materializing the col matrix on the forward path.
+/// e.g. conv2d packs im2col columns straight out of the input tensor
+/// (implicit GEMM), never materializing the col matrix (see gemm_virtual).
 struct BPacker {
   void* ctx;
   /// fn(ctx, k0, kc, j0, cols, dst): write rows [k0, k0+kc) x columns
@@ -65,9 +69,60 @@ struct BPacker {
   int nr = kGemmNR;
 };
 
-/// C[M,N] = (accumulate ? C : 0) + A[M,K] * B_virtual[K,N].
-void gemm_nn_virtual_b(int m, int n, int k, const float* a, BPacker b,
-                       float* c, bool accumulate, par::ThreadPool* pool);
+/// Supplies the A operand by packing strips directly from a custom source
+/// (e.g. conv2d_backward packs dY samples straight out of the NCHW gradient
+/// tensor, whose batched [M, N*plane] view is not expressible with strides).
+struct APacker {
+  void* ctx;
+  /// fn(ctx, i0, rows, k0, kc, dst): write rows [i0, i0+rows) x columns
+  /// [k0, k0+kc) of the virtual A[M,K] into dst (kc x kGemmMR floats,
+  /// k-major — dst[(p-k0)*kGemmMR + (r-i0)] — zero-padded below when
+  /// rows < kGemmMR).
+  void (*fn)(void* ctx, int i0, int rows, int k0, int kc, float* dst);
+  /// Strip pitch, validated against the library's compiled-in micro-tile
+  /// height exactly like BPacker::nr (see above).
+  int mr = kGemmMR;
+};
+
+/// Packs A strips from plain strided memory: A[r][p] = a[r*rs + p*cs].
+/// Covers the dense N (rs=K, cs=1) and T (rs=1, cs=M) layouts for callers
+/// of gemm_virtual that only need one virtual operand.
+struct StridedA {
+  const float* a;
+  std::int64_t rs, cs;
+  static void pack(void* ctx, int i0, int rows, int k0, int kc, float* dst);
+  [[nodiscard]] APacker packer() const noexcept {
+    return APacker{const_cast<StridedA*>(this), &StridedA::pack};
+  }
+};
+
+/// Consumes finished C tiles instead of writing a dense C — the "virtual C"
+/// store. The driver accumulates the full K reduction into an internal
+/// cache-blocked scratch panel, then delivers each region of final values
+/// exactly once, so sinks can fuse an epilogue (bias + activation) or a
+/// scatter (col2im) without ever materializing C.
+struct CSink {
+  void* ctx;
+  /// fn(ctx, i0, rows, j0, cols, tile, ldt): consume the final values of
+  /// C[i0..i0+rows) x [j0..j0+cols); tile is row-major with leading
+  /// dimension ldt. Each C element is delivered exactly once.
+  void (*fn)(void* ctx, int i0, int rows, int j0, int cols, const float* tile,
+             std::int64_t ldt);
+  /// Parallel-delivery contract along the M axis:
+  ///   0   — fn may be called concurrently for any disjoint regions
+  ///         (elementwise sinks: strided stores, bias/ReLU epilogues).
+  ///   g>0 — only regions from different row groups [q*g, (q+1)*g) are
+  ///         delivered concurrently; within one group, calls arrive
+  ///         sequentially in ascending j. Lets overlapping scatters
+  ///         (col2im: all kh*kw rows of one channel hit the same plane)
+  ///         stay race-free while other channels proceed in parallel.
+  int row_group = 0;
+};
+
+/// C_sink(A_virtual[M,K] * B_virtual[K,N]) — fully virtual GEMM: both
+/// operands are packed on the fly and C is delivered through the sink.
+void gemm_virtual(int m, int n, int k, APacker a, BPacker b, CSink c,
+                  par::ThreadPool* pool);
 
 /// Scalar reference kernels (sequential, unblocked, branch-free).
 void gemm_nn_ref(int m, int n, int k, const float* a, const float* b, float* c,

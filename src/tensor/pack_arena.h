@@ -59,10 +59,13 @@ class AlignedBuffer {
   std::size_t capacity_ = 0;
 };
 
-/// The two panel buffers one in-flight GEMM needs.
+/// The panel buffers one in-flight GEMM needs.
 struct PackArena {
   AlignedBuffer a_panel;  // packed A: MR-row strips, k-major within a strip
   AlignedBuffer b_panel;  // packed B: NR-column strips, k-major within a strip
+  AlignedBuffer c_block;  // virtual-C accumulation block (m x nc), used by
+                          // gemm_virtual to hold the full-K partial sums of
+                          // one column block before the sink consumes them
 
   /// The calling thread's arena for GEMM nesting depth `level` (created on
   /// first use, reused for the thread's lifetime). Level 0 is the common

@@ -1,12 +1,12 @@
 // End-to-end workflow tests: dataset builder, the Fig 2 training workflow
 // (Table IV/V orderings at reduced scale), the Fig 9 inference workflow,
-// parallel auto-labeling, and the Spark auto-labeling job.
+// and the AutoLabelStage pool/spark execution policies (the paper's
+// multiprocessing and PySpark deployments).
 
 #include <gtest/gtest.h>
 
-#include "core/parallel_autolabel.h"
+#include "core/stages.h"
 #include "par/context.h"
-#include "core/spark_autolabel.h"
 #include "core/workflow.h"
 #include "metrics/metrics.h"
 #include "par/thread_pool.h"
@@ -98,28 +98,32 @@ TEST(DatasetBuilder, LabelSourcesProduceDifferentSupervision) {
   EXPECT_GT(auto_agree, 0.90);
 }
 
-TEST(ParallelAutoLabeler, ResultsIndependentOfWorkerCount) {
+TEST(AutoLabelPoolPolicy, ResultsIndependentOfWorkerCount) {
   const auto tiles = ps::acquire_tiles(small_acquisition());
   std::vector<pi::ImageU8> images;
   for (const auto& t : tiles) images.push_back(t.rgb);
 
   pc::AutoLabelConfig cfg;
   cfg.apply_filter = true;
-  const pc::ParallelAutoLabeler labeler(cfg);
-  pc::ParallelAutoLabelStats stats1, stats4;
-  const auto seq = labeler.run(images, 1, &stats1);
-  const auto par = labeler.run(images, 4, &stats4);
+  const auto label_with = [&](std::size_t workers,
+                              pc::AutoLabelBatchStats* stats) {
+    const pc::AutoLabelStage stage(cfg, pc::AutoLabelPolicy::pool(workers));
+    return stage.label_batch(images, polarice::par::ExecutionContext{}, stats);
+  };
+  pc::AutoLabelBatchStats stats1, stats4;
+  const auto seq = label_with(1, &stats1);
+  const auto par = label_with(4, &stats4);
   ASSERT_EQ(seq.size(), par.size());
   for (std::size_t i = 0; i < seq.size(); ++i) {
     EXPECT_EQ(seq[i].labels, par[i].labels) << "tile " << i;
   }
-  EXPECT_EQ(stats1.tiles, images.size());
+  EXPECT_EQ(stats1.items, images.size());
   EXPECT_GT(stats1.seconds, 0.0);
-  EXPECT_GT(stats4.tiles_per_second, 0.0);
-  EXPECT_THROW(labeler.run(images, 0), std::invalid_argument);
+  EXPECT_GT(stats4.items, 0u);
+  EXPECT_THROW(label_with(0, nullptr), std::invalid_argument);
 }
 
-TEST(SparkAutoLabeler, MatchesDirectLabeling) {
+TEST(AutoLabelSparkPolicy, MatchesDirectLabelingInInputOrder) {
   const auto tiles = ps::acquire_tiles(small_acquisition());
   std::vector<pi::ImageU8> images;
   for (const auto& t : tiles) images.push_back(t.rgb);
@@ -129,26 +133,22 @@ TEST(SparkAutoLabeler, MatchesDirectLabeling) {
   cluster.cores_per_executor = 2;
   pc::AutoLabelConfig cfg;
   cfg.apply_filter = false;  // keep the UDF cheap for the test
-  pc::SparkAutoLabeler spark(cluster, cfg);
-  auto output = spark.run(images);
+  const pc::AutoLabelStage stage(cfg, pc::AutoLabelPolicy::spark(cluster));
+  pc::AutoLabelBatchStats stats;
+  const auto results =
+      stage.label_batch(images, polarice::par::ExecutionContext{}, &stats);
 
-  ASSERT_EQ(output.labels.size(), images.size());
+  // label_batch returns input order regardless of the round-robin
+  // partitioning; every plane must match direct labeling of its tile.
+  ASSERT_EQ(results.size(), images.size());
   const pc::AutoLabeler direct(cfg);
-  // collect() returns partition order; verify as a multiset of planes via
-  // per-tile lookup (round-robin partitioning is deterministic, so check
-  // partition-0-first ordering instead): partition p gets tiles p, p+P, ...
-  const int partitions = output.times.partitions;
-  std::size_t cursor = 0;
-  for (int p = 0; p < partitions; ++p) {
-    for (std::size_t i = static_cast<std::size_t>(p); i < images.size();
-         i += static_cast<std::size_t>(partitions)) {
-      EXPECT_EQ(output.labels[cursor], direct.label(images[i]).labels)
-          << "partition " << p << " source tile " << i;
-      ++cursor;
-    }
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    EXPECT_EQ(results[i].labels, direct.label(images[i]).labels)
+        << "tile " << i;
   }
-  EXPECT_EQ(cursor, images.size());
-  EXPECT_GT(output.times.simulated.reduce_s, 0.0);
+  ASSERT_TRUE(stats.spark.has_value());
+  EXPECT_GT(stats.spark->partitions, 0);
+  EXPECT_GT(stats.spark->simulated.reduce_s, 0.0);
 }
 
 TEST(TrainingWorkflow, ValidatesConfig) {

@@ -74,6 +74,33 @@ TEST(Morphology, VanHerkMatchesReferenceScan) {
   }
 }
 
+// The fused envelope pair must be bit-identical to the two separate
+// open/close calls across sizes and kernels (including the cloud filter's
+// K=97 production shape).
+TEST(Morphology, FusedEnvelopePairMatchesSeparateOpenClose) {
+  polarice::util::Rng rng(4077);
+  for (const auto [w, h] : {std::pair{31, 17}, std::pair{64, 64},
+                            std::pair{5, 9}, std::pair{1, 13},
+                            std::pair{128, 96}}) {
+    pi::ImageU8 im(w, h, 1);
+    for (auto& px : im) px = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    for (const int k : {1, 3, 7, 15, 97}) {
+      const auto env = pi::morph_envelopes(im, k);
+      ASSERT_EQ(env.open, pi::morph_open(im, k)) << w << "x" << h << " k=" << k;
+      ASSERT_EQ(env.close, pi::morph_close(im, k))
+          << w << "x" << h << " k=" << k;
+    }
+  }
+}
+
+TEST(Morphology, FusedEnvelopePairRejectsBadInputs) {
+  const auto im = spot_image();
+  EXPECT_THROW(pi::morph_envelopes(im, 2), std::invalid_argument);
+  EXPECT_THROW(pi::morph_envelopes(im, 0), std::invalid_argument);
+  pi::ImageU8 rgb(4, 4, 3, 0);
+  EXPECT_THROW(pi::morph_envelopes(rgb, 3), std::invalid_argument);
+}
+
 TEST(Morphology, VanHerkRejectsBadKernels) {
   const auto im = spot_image();
   EXPECT_THROW(pi::erode(im, 2), std::invalid_argument);

@@ -88,6 +88,46 @@ TEST(ScratchArena, GrowsAndRecycles) {
   (void)c;
 }
 
+TEST(ScratchArena, LeaseRewindsToMark) {
+  pp::ScratchArena arena;
+  float* outer = arena.allocate_n<float>(64);
+  (void)outer;
+  void* first = nullptr;
+  {
+    auto lease = arena.lease();
+    first = lease.allocate(512);
+    (void)lease.allocate(1 << 20);  // force chunk growth inside the lease
+  }
+  const std::size_t cap_after_lease = arena.capacity();
+  {
+    // A new lease re-serves the same bytes: the cursor rewound.
+    auto lease = arena.lease();
+    EXPECT_EQ(lease.allocate(512), first);
+  }
+  // Repeated leases never grow capacity further (steady state allocates
+  // nothing — the InferenceSession serving property).
+  for (int i = 0; i < 16; ++i) {
+    auto lease = arena.lease();
+    (void)lease.allocate(1 << 20);
+    EXPECT_EQ(arena.capacity(), cap_after_lease);
+  }
+}
+
+TEST(ScratchArena, NestedLeasesUnwindInOrder) {
+  pp::ScratchArena arena;
+  auto outer = arena.lease();
+  void* a = outer.allocate(128);
+  void* inner_ptr = nullptr;
+  {
+    auto inner = arena.lease();
+    inner_ptr = inner.allocate(128);
+    EXPECT_NE(inner_ptr, a);
+  }
+  // Inner rewound; outer's allocation is still the high-water mark, so the
+  // next outer allocation reuses the inner lease's bytes.
+  EXPECT_EQ(outer.allocate(128), inner_ptr);
+}
+
 TEST(ExecutionContext, ScratchIsPerThread) {
   const pp::ExecutionContext ctx;
   pp::ScratchArena* main_arena = &ctx.scratch();

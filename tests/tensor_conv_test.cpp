@@ -103,6 +103,7 @@ INSTANTIATE_TEST_SUITE_P(
                       ConvCase{2, 2, 2, 8, 8, 2, true, 1},   // even kernel
                       ConvCase{1, 3, 2, 7, 7, 3, false, 1},  // valid
                       ConvCase{1, 2, 2, 8, 8, 3, false, 2},  // stride 2
+                      ConvCase{2, 32, 8, 12, 12, 3, true, 1},  // K > one panel
                       ConvCase{3, 1, 8, 4, 4, 1, true, 1})); // 1x1
 
 TEST(Conv2dBackward, FiniteDifferenceGradients) {
@@ -159,6 +160,152 @@ TEST(Conv2dBackward, FiniteDifferenceGradients) {
     const float numeric =
         (probe_loss(yp, probe) - probe_loss(ym, probe)) / (2 * eps);
     EXPECT_NEAR(dx[idx], numeric, 5e-2f) << "dx index " << idx;
+  }
+}
+
+// The implicit-GEMM backward (virtual-A dW, virtual-C col2im dX) against
+// the seed's materializing reference. Reduction order differs (blocked
+// k-panels + batched samples vs per-sample scalar dots), so the comparison
+// is tight-tolerance, not bitwise.
+class BackwardSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(BackwardSweep, MatchesMaterializedReference) {
+  const auto c = GetParam();
+  auto spec = c.same ? pt::Conv2dSpec::same(c.in_ch, c.out_ch, c.k)
+                     : pt::Conv2dSpec::valid(c.in_ch, c.out_ch, c.k);
+  spec.stride = c.stride;
+  const auto x = random_tensor({c.batch, c.in_ch, c.h, c.w}, 31);
+  const auto w = random_tensor({c.out_ch, c.in_ch, c.k, c.k}, 32, 0.5);
+  const auto dy = random_tensor(
+      {c.batch, c.out_ch, spec.out_h(c.h), spec.out_w(c.w)}, 33);
+
+  pt::ConvScratch s_ref, s_new;
+  pt::Tensor dx_ref, dw_ref(w.shape()), db_ref({c.out_ch});
+  pt::conv2d_backward_ref(x, w, dy, &dx_ref, dw_ref, db_ref, spec, s_ref);
+
+  for (const bool pooled : {false, true}) {
+    pp::ThreadPool pool(4);
+    pt::Tensor dx, dw(w.shape()), db({c.out_ch});
+    pt::conv2d_backward(x, w, dy, &dx, dw, db, spec,
+                        pooled ? &pool : nullptr, s_new);
+    ASSERT_TRUE(dx.same_shape(dx_ref));
+    for (std::int64_t i = 0; i < dw.numel(); ++i) {
+      ASSERT_NEAR(dw[i], dw_ref[i], 2e-3f) << "dw " << i << " pooled=" << pooled;
+    }
+    for (std::int64_t i = 0; i < db.numel(); ++i) {
+      ASSERT_NEAR(db[i], db_ref[i], 2e-3f) << "db " << i;
+    }
+    for (std::int64_t i = 0; i < dx.numel(); ++i) {
+      ASSERT_NEAR(dx[i], dx_ref[i], 2e-3f) << "dx " << i << " pooled=" << pooled;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BackwardSweep,
+    ::testing::Values(ConvCase{1, 1, 1, 5, 5, 3, true, 1},
+                      ConvCase{2, 3, 4, 8, 8, 3, true, 1},
+                      ConvCase{4, 2, 3, 6, 10, 5, true, 1},
+                      ConvCase{2, 2, 2, 8, 8, 2, true, 1},   // even kernel
+                      ConvCase{1, 3, 2, 7, 7, 3, false, 1},  // valid
+                      ConvCase{3, 2, 2, 8, 8, 3, false, 2},  // stride 2
+                      ConvCase{2, 32, 8, 12, 12, 3, true, 1},  // K > one panel
+                      ConvCase{3, 1, 8, 4, 4, 1, true, 1})); // 1x1
+
+// The pooled backward must be deterministic: channel-grouped col2im
+// delivery and elementwise dW accumulation make the result independent of
+// the worker count, bit for bit.
+TEST(Conv2dBackward, PooledBitIdenticalToSequential) {
+  const auto spec = pt::Conv2dSpec::same(3, 5, 3);
+  const auto x = random_tensor({3, 3, 8, 8}, 41);
+  const auto w = random_tensor({5, 3, 3, 3}, 42, 0.5);
+  const auto dy = random_tensor({3, 5, 8, 8}, 43);
+  pt::ConvScratch s;
+  pt::Tensor dx0, dw0(w.shape()), db0({5});
+  pt::conv2d_backward(x, w, dy, &dx0, dw0, db0, spec, nullptr, s);
+  pp::ThreadPool pool(8);
+  pt::Tensor dx1, dw1(w.shape()), db1({5});
+  pt::conv2d_backward(x, w, dy, &dx1, dw1, db1, spec, &pool, s);
+  for (std::int64_t i = 0; i < dw0.numel(); ++i) EXPECT_EQ(dw0[i], dw1[i]);
+  for (std::int64_t i = 0; i < db0.numel(); ++i) EXPECT_EQ(db0[i], db1[i]);
+  for (std::int64_t i = 0; i < dx0.numel(); ++i) EXPECT_EQ(dx0[i], dx1[i]);
+}
+
+// Fusing a 0/1 dY mask into the packers is exact: it must equal running the
+// backward on a pre-masked dY tensor, bit for bit.
+TEST(Conv2dBackward, DyMaskMatchesPremaskedGradient) {
+  const auto spec = pt::Conv2dSpec::same(2, 4, 3);
+  const auto x = random_tensor({2, 2, 6, 6}, 51);
+  const auto w = random_tensor({4, 2, 3, 3}, 52, 0.5);
+  const auto dy = random_tensor({2, 4, 6, 6}, 53);
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(dy.numel()));
+  polarice::util::Rng rng(54);
+  for (auto& m : mask) m = rng.uniform_f() < 0.6f;
+  auto premasked = dy;
+  for (std::int64_t i = 0; i < dy.numel(); ++i) {
+    premasked[i] = mask[static_cast<std::size_t>(i)] ? dy[i] : 0.0f;
+  }
+
+  pt::ConvScratch s;
+  pt::Tensor dx_m, dw_m(w.shape()), db_m({4});
+  pt::conv2d_backward(x, w, dy, &dx_m, dw_m, db_m, spec, nullptr, s,
+                      mask.data());
+  pt::Tensor dx_p, dw_p(w.shape()), db_p({4});
+  pt::conv2d_backward(x, w, premasked, &dx_p, dw_p, db_p, spec, nullptr, s);
+  for (std::int64_t i = 0; i < dw_m.numel(); ++i) EXPECT_EQ(dw_m[i], dw_p[i]);
+  for (std::int64_t i = 0; i < db_m.numel(); ++i) EXPECT_EQ(db_m[i], db_p[i]);
+  for (std::int64_t i = 0; i < dx_m.numel(); ++i) EXPECT_EQ(dx_m[i], dx_p[i]);
+}
+
+// The fused bias+ReLU epilogue must be bit-identical to conv2d_forward
+// followed by an elementwise ReLU, and the recorded mask must match the
+// pre-activation sign.
+TEST(Conv2dForward, FusedReluEpilogueBitIdenticalToSeparatePass) {
+  const auto spec = pt::Conv2dSpec::same(3, 6, 3);
+  const auto x = random_tensor({2, 3, 8, 8}, 61);
+  const auto w = random_tensor({6, 3, 3, 3}, 62, 0.5);
+  const auto b = random_tensor({6}, 63, 0.1);
+  pt::ConvScratch s;
+  pt::Tensor plain;
+  pt::conv2d_forward(x, w, b, plain, spec, nullptr, s);
+
+  pt::Tensor fused;
+  std::vector<std::uint8_t> mask(
+      static_cast<std::size_t>(2 * 6 * 8 * 8), 255);
+  pt::ConvFusion fuse;
+  fuse.relu = true;
+  fuse.relu_mask = mask.data();
+  pt::conv2d_forward(x, w, b, fused, spec, nullptr, s, fuse);
+  for (std::int64_t i = 0; i < plain.numel(); ++i) {
+    const float want = plain[i] > 0.0f ? plain[i] : 0.0f;
+    EXPECT_EQ(fused[i], want) << "at " << i;
+    EXPECT_EQ(mask[static_cast<std::size_t>(i)],
+              static_cast<std::uint8_t>(plain[i] > 0.0f))
+        << "mask at " << i;
+  }
+}
+
+// Batching the N dimension across the GEMM must not change a single bit vs
+// running the samples one at a time.
+TEST(Conv2dForward, BatchedNBitIdenticalToPerSampleLoop) {
+  const auto spec = pt::Conv2dSpec::same(3, 4, 3);
+  const auto x = random_tensor({5, 3, 6, 10}, 71);
+  const auto w = random_tensor({4, 3, 3, 3}, 72, 0.5);
+  const auto b = random_tensor({4}, 73, 0.1);
+  pt::ConvScratch s;
+  pt::Tensor batched;
+  pt::conv2d_forward(x, w, b, batched, spec, nullptr, s);
+
+  for (int n = 0; n < 5; ++n) {
+    pt::Tensor xn({1, 3, 6, 10});
+    std::copy(x.data() + x.offset4(n, 0, 0, 0),
+              x.data() + x.offset4(n, 0, 0, 0) + xn.numel(), xn.data());
+    pt::Tensor yn;
+    pt::conv2d_forward(xn, w, b, yn, spec, nullptr, s);
+    for (std::int64_t i = 0; i < yn.numel(); ++i) {
+      ASSERT_EQ(yn[i], batched[batched.offset4(n, 0, 0, 0) + i])
+          << "sample " << n << " elem " << i;
+    }
   }
 }
 
