@@ -10,6 +10,7 @@
 
 #include "core/autolabel.h"
 #include "core/cloud_filter.h"
+#include "core/serve/scene_server.h"
 #include "ddp/communicator.h"
 #include "img/color.h"
 #include "img/filter.h"
@@ -661,5 +662,45 @@ static void BM_UNetForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UNetForward);
+
+// End-to-end serving throughput of the SceneServer: a wave of concurrent
+// scene tickets through admission, the cloud filter, cross-scene dynamic
+// batching, and replica leases. The result cache is disabled so every
+// iteration exercises the full forward path (the cache-hit path is ~a hash
+// plus a map lookup and not worth a trend line).
+static void BM_ServeSceneThroughput(benchmark::State& state) {
+  nn::UNetConfig cfg;
+  cfg.depth = 2;
+  cfg.base_channels = 8;
+  cfg.use_dropout = false;
+  nn::UNet model(cfg);
+
+  core::serve::SceneServerConfig server_cfg;
+  server_cfg.tile_size = 64;
+  server_cfg.batch_tiles = 8;
+  server_cfg.min_replicas = 1;
+  server_cfg.max_replicas = 2;
+  server_cfg.cache_bytes = 0;
+  core::serve::SceneServer server(model, server_cfg);
+
+  constexpr int kScenes = 4;
+  std::vector<img::ImageU8> scenes;
+  for (int i = 0; i < kScenes; ++i) {
+    scenes.push_back(bench_scene_rgb(128));
+  }
+  for (auto _ : state) {
+    std::vector<core::serve::SceneTicket> tickets;
+    tickets.reserve(scenes.size());
+    for (const auto& scene : scenes) {
+      tickets.push_back(server.submit(scene.clone()));
+    }
+    for (auto& ticket : tickets) {
+      const auto labels = ticket.get();
+      benchmark::DoNotOptimize(labels.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kScenes);
+}
+BENCHMARK(BM_ServeSceneThroughput);
 
 BENCHMARK_MAIN();

@@ -10,25 +10,6 @@
 
 namespace polarice::core {
 
-namespace {
-
-/// Edge-replicating pad to the given dimensions (>= source dimensions).
-img::ImageU8 pad_edge(const img::ImageU8& src, int width, int height) {
-  img::ImageU8 out(width, height, src.channels());
-  for (int y = 0; y < height; ++y) {
-    const int sy = std::min(y, src.height() - 1);
-    for (int x = 0; x < width; ++x) {
-      const int sx = std::min(x, src.width() - 1);
-      for (int c = 0; c < src.channels(); ++c) {
-        out.at(x, y, c) = src.at(sx, sy, c);
-      }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 void InferenceSessionConfig::validate() const {
   if (tile_size <= 0) {
     throw std::invalid_argument("InferenceSessionConfig: tile_size <= 0");
@@ -42,40 +23,22 @@ void InferenceSessionConfig::validate() const {
   filter.validate();
 }
 
+namespace {
+const InferenceSessionConfig& validated(const InferenceSessionConfig& config,
+                                        const nn::UNet& model) {
+  config.validate();
+  require_tile_compatible(model, config.tile_size, "InferenceSession");
+  return config;
+}
+}  // namespace
+
 InferenceSession::InferenceSession(nn::UNet& model,
                                    InferenceSessionConfig config,
                                    par::ExecutionContext ctx)
-    : config_(config), session_ctx_(std::move(ctx)), filter_(config.filter) {
-  config_.validate();
-  if (config_.tile_size % model.config().spatial_divisor() != 0) {
-    throw std::invalid_argument(
-        "InferenceSession: tile_size incompatible with model depth");
-  }
-  replicas_.reserve(static_cast<std::size_t>(config_.replicas));
-  free_.reserve(static_cast<std::size_t>(config_.replicas));
-  for (int i = 0; i < config_.replicas; ++i) {
-    auto replica = std::make_unique<nn::UNet>(model.config());
-    replica->copy_parameters_from(model);
-    free_.push_back(replica.get());
-    replicas_.push_back(std::move(replica));
-  }
-}
-
-InferenceSession::ReplicaLease::ReplicaLease(InferenceSession& session)
-    : session_(session) {
-  std::unique_lock lock(session_.mutex_);
-  session_.replica_cv_.wait(lock, [&] { return !session_.free_.empty(); });
-  model_ = session_.free_.back();
-  session_.free_.pop_back();
-}
-
-InferenceSession::ReplicaLease::~ReplicaLease() {
-  {
-    const std::scoped_lock lock(session_.mutex_);
-    session_.free_.push_back(model_);
-  }
-  session_.replica_cv_.notify_one();
-}
+    : config_(validated(config, model)),
+      session_ctx_(std::move(ctx)),
+      filter_(config.filter),
+      pool_(model, config.replicas, config.replicas) {}
 
 img::ImageU8 InferenceSession::classify_scene(const img::ImageU8& scene_rgb) {
   return classify_scene(scene_rgb, session_ctx_);
@@ -104,14 +67,14 @@ img::ImageU8 InferenceSession::classify_scene(const img::ImageU8& scene_rgb,
   if (partial) {
     const int padded_w = (scene_rgb.width() + ts - 1) / ts * ts;
     const int padded_h = (scene_rgb.height() + ts - 1) / ts * ts;
-    filtered = pad_edge(filtered, padded_w, padded_h);
+    filtered = img::pad_edge(filtered, padded_w, padded_h);
   }
   const int tiles_x = filtered.width() / ts;
   const int tiles_y = filtered.height() / ts;
 
   img::ImageU8 labels;
   {
-    ReplicaLease lease(*this);
+    serve::ReplicaPool::Lease lease(pool_);
     const auto tile_planes = infer_scene_tiles(
         lease.model(), filtered, ts, config_.batch_tiles, ctx);
     labels = s2::stitch_labels(tile_planes, tiles_x, tiles_y);
@@ -130,8 +93,14 @@ img::ImageU8 InferenceSession::classify_scene(const img::ImageU8& scene_rgb,
 }
 
 InferenceSessionStats InferenceSession::stats() const {
-  const std::scoped_lock lock(mutex_);
-  return stats_;
+  InferenceSessionStats out;
+  {
+    const std::scoped_lock lock(mutex_);
+    out = stats_;
+  }
+  out.wait_seconds = pool_.wait_seconds();
+  out.peak_leases = pool_.peak_leases();
+  return out;
 }
 
 }  // namespace polarice::core

@@ -8,23 +8,25 @@
 // Concurrency model: each call leases one replica for its whole scene (the
 // U-Net's forward caches make a model stateful), so up to `replicas` scenes
 // classify in parallel; further callers block on a condition variable until
-// a replica frees up. Replica weights are never mutated after construction,
-// and the conv im2col arenas live inside each replica, so steady-state
-// serving allocates almost nothing.
+// a replica frees up. The lease discipline lives in serve::ReplicaPool
+// (shared with SceneServer); the session uses a fixed-size pool. Replica
+// weights are never mutated after construction, and the conv im2col arenas
+// live inside each replica, so steady-state serving allocates almost
+// nothing.
 //
 // Determinism: results are bit-identical to a serial
 // InferenceWorkflow::classify_scene with the same model/filter/tile size,
 // for any batch_tiles and any number of concurrent callers (the conv path
 // processes batch samples serially and the intra-op pool is
 // summation-order-preserving).
+//
+// For queued admission, cross-scene tile batching, result caching, and
+// replica auto-scaling on top of these semantics, see serve::SceneServer.
 
-#include <condition_variable>
 #include <cstddef>
-#include <memory>
-#include <mutex>
-#include <vector>
 
 #include "core/cloud_filter.h"
+#include "core/serve/replica_pool.h"
 #include "img/image.h"
 #include "nn/unet.h"
 #include "par/context.h"
@@ -47,6 +49,8 @@ struct InferenceSessionStats {
   std::size_t scenes = 0;        // classify_scene calls completed
   std::size_t tiles = 0;         // tiles inferred (incl. padding tiles)
   double busy_seconds = 0.0;     // summed per-call wall time
+  double wait_seconds = 0.0;     // summed time callers blocked on a replica
+  std::size_t peak_leases = 0;   // peak concurrent replica leases
 };
 
 class InferenceSession {
@@ -74,28 +78,12 @@ class InferenceSession {
   }
 
  private:
-  /// RAII lease of one replica from the free list.
-  class ReplicaLease {
-   public:
-    explicit ReplicaLease(InferenceSession& session);
-    ~ReplicaLease();
-    ReplicaLease(const ReplicaLease&) = delete;
-    ReplicaLease& operator=(const ReplicaLease&) = delete;
-    [[nodiscard]] nn::UNet& model() noexcept { return *model_; }
-
-   private:
-    InferenceSession& session_;
-    nn::UNet* model_;
-  };
-
   InferenceSessionConfig config_;
   par::ExecutionContext session_ctx_;
   CloudShadowFilter filter_;
-  std::vector<std::unique_ptr<nn::UNet>> replicas_;  // storage (fixed)
-  std::vector<nn::UNet*> free_;                      // guarded by mutex_
+  serve::ReplicaPool pool_;
   mutable std::mutex mutex_;
-  std::condition_variable replica_cv_;
-  InferenceSessionStats stats_;  // guarded by mutex_
+  InferenceSessionStats stats_;  // scene counters; guarded by mutex_
 };
 
 }  // namespace polarice::core

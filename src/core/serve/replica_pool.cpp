@@ -1,0 +1,148 @@
+#include "core/serve/replica_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace polarice::core::serve {
+
+ReplicaPool::ReplicaPool(nn::UNet& source, int initial, int max_size)
+    : max_size_(max_size) {
+  if (initial < 1) {
+    throw std::invalid_argument("ReplicaPool: initial < 1");
+  }
+  if (max_size < initial) {
+    throw std::invalid_argument("ReplicaPool: max_size < initial");
+  }
+  replicas_.reserve(static_cast<std::size_t>(max_size));
+  free_.reserve(static_cast<std::size_t>(max_size));
+  for (int i = 0; i < initial; ++i) {
+    auto replica = source.clone();
+    free_.push_back(replica.get());
+    replicas_.push_back(std::move(replica));
+  }
+  peak_size_ = initial;
+}
+
+nn::UNet* ReplicaPool::grow_one(std::unique_lock<std::mutex>& lock) {
+  // Clone outside the lock: weight copying is the expensive part and must
+  // not stall concurrent release()/acquire() traffic. The source replica
+  // is pinned via grow_source_ so a concurrent shrink() cannot destroy it
+  // if its lease ends mid-clone; growing_ keeps a second grower out until
+  // we finish, and is cleared even on a throwing clone (a stuck latch
+  // would disable growth forever).
+  growing_ = true;
+  nn::UNet* source = replicas_.front().get();
+  grow_source_ = source;
+  lock.unlock();
+  std::unique_ptr<nn::UNet> replica;
+  try {
+    replica = source->clone();
+  } catch (...) {
+    lock.lock();
+    growing_ = false;
+    grow_source_ = nullptr;
+    free_cv_.notify_all();
+    throw;
+  }
+  lock.lock();
+  growing_ = false;
+  grow_source_ = nullptr;
+  nn::UNet* model = replica.get();
+  replicas_.push_back(std::move(replica));
+  peak_size_ = std::max(peak_size_, static_cast<int>(replicas_.size()));
+  // Waiters re-check: another grower may now proceed in turn.
+  free_cv_.notify_all();
+  return model;
+}
+
+nn::UNet* ReplicaPool::acquire(bool allow_grow) {
+  util::WallTimer waited;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (!free_.empty()) {
+      nn::UNet* model = free_.back();
+      free_.pop_back();
+      ++leases_;
+      peak_leases_ = std::max(peak_leases_, leases_);
+      wait_seconds_ += waited.seconds();
+      return model;
+    }
+    if (allow_grow && !growing_ &&
+        static_cast<int>(replicas_.size()) < max_size_) {
+      nn::UNet* model = grow_one(lock);
+      ++leases_;
+      peak_leases_ = std::max(peak_leases_, leases_);
+      wait_seconds_ += waited.seconds();
+      return model;
+    }
+    free_cv_.wait(lock);
+  }
+}
+
+void ReplicaPool::release(nn::UNet* model) {
+  {
+    const std::scoped_lock lock(mutex_);
+    free_.push_back(model);
+    --leases_;
+  }
+  free_cv_.notify_one();
+}
+
+void ReplicaPool::ensure(int target) {
+  target = std::min(target, max_size_);
+  std::unique_lock lock(mutex_);
+  while (static_cast<int>(replicas_.size()) < target) {
+    if (growing_) {
+      // Another clone is in flight (a worker growing on acquire); wait for
+      // it to land and re-check.
+      free_cv_.wait(lock);
+      continue;
+    }
+    free_.push_back(grow_one(lock));
+  }
+}
+
+void ReplicaPool::shrink(int target) {
+  target = std::max(target, 1);
+  const std::scoped_lock lock(mutex_);
+  std::size_t i = free_.size();
+  while (i > 0 && static_cast<int>(replicas_.size()) > target) {
+    --i;
+    nn::UNet* victim = free_[i];
+    if (victim == grow_source_) continue;  // clone in flight reads it
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+    auto it = std::find_if(
+        replicas_.begin(), replicas_.end(),
+        [&](const std::unique_ptr<nn::UNet>& r) { return r.get() == victim; });
+    replicas_.erase(it);
+  }
+}
+
+int ReplicaPool::size() const {
+  const std::scoped_lock lock(mutex_);
+  return static_cast<int>(replicas_.size());
+}
+
+int ReplicaPool::peak_size() const {
+  const std::scoped_lock lock(mutex_);
+  return peak_size_;
+}
+
+std::size_t ReplicaPool::peak_leases() const {
+  const std::scoped_lock lock(mutex_);
+  return peak_leases_;
+}
+
+double ReplicaPool::wait_seconds() const {
+  const std::scoped_lock lock(mutex_);
+  return wait_seconds_;
+}
+
+ReplicaPool::Lease::Lease(ReplicaPool& pool, bool allow_grow)
+    : pool_(pool), model_(pool.acquire(allow_grow)) {}
+
+ReplicaPool::Lease::~Lease() { pool_.release(model_); }
+
+}  // namespace polarice::core::serve

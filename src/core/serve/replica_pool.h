@@ -1,0 +1,100 @@
+#pragma once
+// ReplicaPool — the replica-lease discipline that used to live inside
+// InferenceSession, extracted so both the session and the SceneServer share
+// one implementation, and extended with elastic sizing.
+//
+// The pool owns `size()` U-Net replicas (weights cloned once from the
+// source model, which is not retained). A Lease removes one replica from
+// the free list for its whole scope; further acquirers block on a condition
+// variable until a replica frees up. Replica weights are never mutated
+// after cloning, so a leased replica is safe to run forward passes on from
+// any one thread at a time.
+//
+// Elasticity: the pool starts at `initial` replicas and may grow on demand
+// up to `max_size` when acquire(/*allow_grow=*/true) finds no free replica
+// (SceneServer's queue-depth-driven scale-up). shrink() retires free
+// replicas back down to a floor (idle scale-down). Growth clones from an
+// existing replica: forward passes only write a model's private caches,
+// never its parameters, so cloning while other replicas serve is safe.
+//
+// Telemetry: the pool tracks how long acquirers waited for a free replica,
+// the peak number of concurrently leased replicas, and the peak pool size.
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/unet.h"
+
+namespace polarice::core::serve {
+
+class ReplicaPool {
+ public:
+  /// Clones `initial` replicas from `source` (not retained; it may be freed
+  /// or keep training afterwards). The pool may later grow to `max_size`.
+  /// Throws std::invalid_argument unless 1 <= initial <= max_size.
+  ReplicaPool(nn::UNet& source, int initial, int max_size);
+
+  ReplicaPool(const ReplicaPool&) = delete;
+  ReplicaPool& operator=(const ReplicaPool&) = delete;
+
+  /// RAII lease of one replica. Blocks until a replica is free; with
+  /// allow_grow, a new replica is cloned instead of blocking whenever the
+  /// pool is below max_size (the clone happens outside the pool lock, so
+  /// concurrent leases/releases are not stalled by weight copying).
+  class Lease {
+   public:
+    explicit Lease(ReplicaPool& pool, bool allow_grow = false);
+    ~Lease();
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    [[nodiscard]] nn::UNet& model() noexcept { return *model_; }
+
+   private:
+    ReplicaPool& pool_;
+    nn::UNet* model_;
+  };
+
+  /// Grows the pool (cloning new replicas into the free list) until it
+  /// holds at least min(target, max_size()) replicas — the queue-depth-
+  /// driven scale-up entry point. Clones happen outside the pool lock.
+  void ensure(int target);
+
+  /// Retires free replicas until the pool holds at most
+  /// max(target, leased-out count) — leased replicas are never destroyed.
+  void shrink(int target);
+
+  [[nodiscard]] int size() const;           // replicas currently owned
+  [[nodiscard]] int peak_size() const;      // high-water pool size
+  [[nodiscard]] int max_size() const noexcept { return max_size_; }
+  [[nodiscard]] std::size_t peak_leases() const;  // peak concurrent leases
+  [[nodiscard]] double wait_seconds() const;      // summed acquire blocking
+
+ private:
+  nn::UNet* acquire(bool allow_grow);
+  void release(nn::UNet* model);
+
+  /// Clones one replica and installs it in replicas_. Caller holds `lock`
+  /// (on mutex_) and has verified !growing_ and size() < max_size(); the
+  /// lock is released around the clone (growing_/grow_source_ latch the
+  /// protocol, and are cleared even when the clone throws). Returns the
+  /// new replica; the caller decides whether it goes to free_ or straight
+  /// into a lease.
+  nn::UNet* grow_one(std::unique_lock<std::mutex>& lock);
+
+  const int max_size_;
+  mutable std::mutex mutex_;
+  std::condition_variable free_cv_;
+  std::vector<std::unique_ptr<nn::UNet>> replicas_;  // guarded by mutex_
+  std::vector<nn::UNet*> free_;                      // guarded by mutex_
+  bool growing_ = false;           // one clone in flight at a time
+  nn::UNet* grow_source_ = nullptr;  // shrink() must not destroy this
+  std::size_t leases_ = 0;       // currently leased out
+  std::size_t peak_leases_ = 0;
+  int peak_size_ = 0;
+  double wait_seconds_ = 0.0;
+};
+
+}  // namespace polarice::core::serve

@@ -1,0 +1,27 @@
+#include "core/serve/request_queue.h"
+
+namespace polarice::core::serve {
+
+const char* to_string(AdmissionPolicy policy) noexcept {
+  switch (policy) {
+    case AdmissionPolicy::kReject:
+      return "reject";
+    case AdmissionPolicy::kBlock:
+      return "block";
+    case AdmissionPolicy::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+void AdmissionConfig::validate() const {
+  if (capacity < 1) {
+    throw std::invalid_argument("AdmissionConfig: capacity < 1");
+  }
+  if (policy == AdmissionPolicy::kDeadline &&
+      deadline < std::chrono::milliseconds::zero()) {
+    throw std::invalid_argument("AdmissionConfig: negative deadline");
+  }
+}
+
+}  // namespace polarice::core::serve

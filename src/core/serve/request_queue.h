@@ -1,0 +1,192 @@
+#pragma once
+// RequestQueue — the bounded submission queue in front of SceneServer's
+// scheduler, with pluggable admission control.
+//
+// Admission policies (applied by push() when the queue is full):
+//   kReject   — fail fast: throw AdmissionRejected immediately.
+//   kBlock    — backpressure: wait until a slot frees (checking the
+//               caller's cancellation token while waiting).
+//   kDeadline — bounded backpressure: wait up to `deadline`, then throw
+//               AdmissionRejected.
+//
+// The queue is MPMC: any number of submitters push, the scheduler thread
+// pops. close() stops admission (push throws QueueClosed) while pop()
+// keeps draining what was admitted, then returns nullopt — the shutdown
+// handshake. The consumer side offers a timed pop so the scheduler can
+// double as the idle-scale-down timer (pop_for returning nullopt-on-timeout
+// is the "server has been idle" signal).
+//
+// The element type is a template parameter so the admission machinery is
+// unit-testable without dragging in scenes and tickets; SceneServer
+// instantiates it with its ticket pointer.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "par/context.h"
+
+namespace polarice::core::serve {
+
+enum class AdmissionPolicy { kReject, kBlock, kDeadline };
+
+[[nodiscard]] const char* to_string(AdmissionPolicy policy) noexcept;
+
+struct AdmissionConfig {
+  std::size_t capacity = 64;  // queued (not yet scheduled) requests
+  AdmissionPolicy policy = AdmissionPolicy::kBlock;
+  std::chrono::milliseconds deadline{100};  // kDeadline wait bound
+
+  void validate() const;
+};
+
+/// Thrown by push() when admission control turns a request away.
+class AdmissionRejected : public std::runtime_error {
+ public:
+  explicit AdmissionRejected(const std::string& why)
+      : std::runtime_error("admission rejected: " + why) {}
+};
+
+/// Thrown by push() after close().
+class QueueClosed : public std::runtime_error {
+ public:
+  QueueClosed() : std::runtime_error("request queue closed") {}
+};
+
+template <typename T>
+class RequestQueue {
+ public:
+  explicit RequestQueue(AdmissionConfig config) : config_(config) {
+    config_.validate();
+  }
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Admits one request under the configured policy. Throws
+  /// AdmissionRejected (kReject immediately; kDeadline after the wait
+  /// bound), QueueClosed after close(), or par::OperationCancelled when
+  /// `ctx` is cancelled while blocked.
+  void push(T item, const par::ExecutionContext& ctx = {}) {
+    std::unique_lock lock(mutex_);
+    if (queue_.size() >= config_.capacity) {
+      switch (config_.policy) {
+        case AdmissionPolicy::kReject:
+          ++rejected_;
+          throw AdmissionRejected("queue full");
+        case AdmissionPolicy::kBlock:
+          wait_for_space(lock, ctx, std::nullopt);
+          break;
+        case AdmissionPolicy::kDeadline:
+          if (!wait_for_space(lock, ctx, config_.deadline)) {
+            ++rejected_;
+            throw AdmissionRejected("queue full past deadline");
+          }
+          break;
+      }
+    }
+    if (closed_) throw QueueClosed();
+    queue_.push_back(std::move(item));
+    peak_depth_ = std::max(peak_depth_, queue_.size());
+    lock.unlock();
+    item_cv_.notify_one();
+  }
+
+  /// Blocks until an item is available (returns it) or the queue is closed
+  /// and drained (returns nullopt).
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    item_cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    return take(lock);
+  }
+
+  /// pop() with a timeout: additionally returns nullopt when `wait` passes
+  /// with no item (and the queue is still open — check closed() to
+  /// distinguish).
+  [[nodiscard]] std::optional<T> pop_for(std::chrono::milliseconds wait) {
+    std::unique_lock lock(mutex_);
+    item_cv_.wait_for(lock, wait, [&] { return closed_ || !queue_.empty(); });
+    return take(lock);
+  }
+
+  /// Stops admission; pop() drains the remainder then reports exhaustion.
+  void close() {
+    {
+      const std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+  [[nodiscard]] std::size_t depth() const {
+    const std::scoped_lock lock(mutex_);
+    return queue_.size();
+  }
+  [[nodiscard]] std::size_t peak_depth() const {
+    const std::scoped_lock lock(mutex_);
+    return peak_depth_;
+  }
+  [[nodiscard]] std::size_t rejected() const {
+    const std::scoped_lock lock(mutex_);
+    return rejected_;
+  }
+  [[nodiscard]] const AdmissionConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// Waits until the queue has space, the queue closes, or (when `bound` is
+  /// set) the wait bound elapses; false = timed out. Re-checks the caller's
+  /// cancellation token at a coarse tick so a blocked submitter can be
+  /// cancelled.
+  bool wait_for_space(std::unique_lock<std::mutex>& lock,
+                      const par::ExecutionContext& ctx,
+                      std::optional<std::chrono::milliseconds> bound) {
+    constexpr std::chrono::milliseconds kTick{10};
+    const auto deadline = std::chrono::steady_clock::now() +
+                          bound.value_or(std::chrono::milliseconds::zero());
+    for (;;) {
+      if (closed_) return true;  // push() throws QueueClosed right after
+      if (queue_.size() < config_.capacity) return true;
+      ctx.throw_if_cancelled("RequestQueue::push");
+      auto tick = std::chrono::steady_clock::now() + kTick;
+      if (bound && tick > deadline) tick = deadline;
+      space_cv_.wait_until(lock, tick);
+      if (bound && std::chrono::steady_clock::now() >= deadline &&
+          queue_.size() >= config_.capacity && !closed_) {
+        return false;
+      }
+    }
+  }
+
+  /// Caller holds the lock; takes the front item if any.
+  std::optional<T> take(std::unique_lock<std::mutex>& lock) {
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+    return item;
+  }
+
+  AdmissionConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable item_cv_;   // waiters in pop()
+  std::condition_variable space_cv_;  // waiters in push() backpressure
+  std::deque<T> queue_;
+  bool closed_ = false;
+  std::size_t peak_depth_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace polarice::core::serve

@@ -1,0 +1,83 @@
+#include "core/serve/result_cache.h"
+
+namespace polarice::core::serve {
+
+SceneKey hash_scene(const img::ImageU8& scene) {
+  SceneKey key;
+  key.width = scene.width();
+  key.height = scene.height();
+  key.channels = scene.channels();
+  // Two independent FNV-1a streams (the standard offset basis and a second
+  // basis derived from it) folded into one pass over the pixels — the hash
+  // runs on the scheduler thread ahead of every admission, so the scene is
+  // read once, not twice. 128 bits of content identity.
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t lo = 14695981039346656037ULL;
+  std::uint64_t hi = 14695981039346656037ULL ^ 0x9e3779b97f4a7c15ULL;
+  const std::uint8_t* data = scene.data();
+  const std::size_t n = scene.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    lo = (lo ^ data[i]) * kPrime;
+    hi = (hi ^ data[i]) * kPrime;
+  }
+  key.hash_lo = lo;
+  key.hash_hi = hi;
+  return key;
+}
+
+ResultCache::ResultCache(std::size_t byte_budget) : budget_(byte_budget) {}
+
+std::optional<img::ImageU8> ResultCache::lookup(const SceneKey& key) {
+  const std::scoped_lock lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++stats_.hits;
+  return it->second->plane;
+}
+
+void ResultCache::insert(const SceneKey& key, const img::ImageU8& plane) {
+  const std::size_t charge = charge_of(plane);
+  if (charge > budget_) return;  // would evict everything and still not fit
+  const std::scoped_lock lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Same content hashed to the same key: refresh recency, keep the plane.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, plane, charge});
+  map_[key] = lru_.begin();
+  stats_.bytes += charge;
+  stats_.entries = map_.size();
+  evict_to_fit();
+}
+
+void ResultCache::evict_to_fit() {
+  while (stats_.bytes > budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.charge;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = map_.size();
+}
+
+void ResultCache::clear() {
+  const std::scoped_lock lock(mutex_);
+  lru_.clear();
+  map_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace polarice::core::serve

@@ -1,0 +1,100 @@
+#pragma once
+// ResultCache — content-addressed LRU cache of classified scene planes.
+//
+// Key: a 128-bit FNV-1a hash of the scene's pixel bytes plus its exact
+// geometry (two independent 64-bit streams; the geometry fields also
+// participate in equality, so a collision additionally requires identical
+// dimensions). Within one SceneServer the model weights, filter config and
+// tile size are fixed, so scene content alone addresses a result.
+//
+// Value: the scene-sized class-id plane. Entries are charged their pixel
+// bytes plus a fixed bookkeeping overhead against a byte budget; inserting
+// past the budget evicts least-recently-used entries first. A plane larger
+// than the whole budget is simply not cached.
+//
+// Thread-safe; every operation takes the internal mutex (lookups copy the
+// plane out so no reference escapes the lock).
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "img/image.h"
+
+namespace polarice::core::serve {
+
+/// Content identity of one submitted scene.
+struct SceneKey {
+  std::uint64_t hash_lo = 0;
+  std::uint64_t hash_hi = 0;
+  int width = 0;
+  int height = 0;
+  int channels = 0;
+
+  bool operator==(const SceneKey&) const = default;
+};
+
+/// Hashes scene content + geometry into a SceneKey.
+[[nodiscard]] SceneKey hash_scene(const img::ImageU8& scene);
+
+struct SceneKeyHash {
+  std::size_t operator()(const SceneKey& key) const noexcept {
+    return static_cast<std::size_t>(key.hash_lo ^ (key.hash_hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+struct ResultCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;  // current
+  std::size_t bytes = 0;    // current charged bytes
+};
+
+class ResultCache {
+ public:
+  /// `byte_budget` = 0 disables the cache (lookups miss, inserts drop).
+  explicit ResultCache(std::size_t byte_budget);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns a copy of the cached plane and refreshes its recency, or
+  /// nullopt. Counts a hit or a miss.
+  [[nodiscard]] std::optional<img::ImageU8> lookup(const SceneKey& key);
+
+  /// Inserts (or refreshes) a plane, evicting LRU entries to fit the
+  /// budget. No-op when the plane alone exceeds the budget.
+  void insert(const SceneKey& key, const img::ImageU8& plane);
+
+  void clear();
+  [[nodiscard]] ResultCacheStats stats() const;
+  [[nodiscard]] std::size_t byte_budget() const noexcept { return budget_; }
+
+ private:
+  struct Entry {
+    SceneKey key;
+    img::ImageU8 plane;
+    std::size_t charge = 0;
+  };
+
+  // Fixed per-entry bookkeeping charge (list/map nodes, key, counters).
+  static constexpr std::size_t kEntryOverhead = 128;
+
+  static std::size_t charge_of(const img::ImageU8& plane) noexcept {
+    return plane.size() + kEntryOverhead;
+  }
+
+  void evict_to_fit();  // caller holds mutex_
+
+  const std::size_t budget_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<SceneKey, std::list<Entry>::iterator, SceneKeyHash> map_;
+  ResultCacheStats stats_;
+};
+
+}  // namespace polarice::core::serve

@@ -1,0 +1,558 @@
+#include "core/serve/scene_server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/stages.h"
+#include "img/ops.h"
+#include "s2/tiles.h"
+#include "tensor/conv.h"
+#include "tensor/tensor.h"
+#include "util/timer.h"
+
+namespace polarice::core::serve {
+
+namespace detail {
+
+/// Shared state behind one SceneTicket. Phase ownership: the submitter
+/// fills the request fields; the scheduler (exclusively) fills the prepared
+/// fields before fanning tiles out through tile_mutex_ (which publishes
+/// them to the workers); workers write disjoint `planes` slots and race
+/// only on the atomics; the outcome fields are guarded by `m`.
+struct TicketState {
+  // Request (written at submit).
+  img::ImageU8 scene;
+  par::ExecutionContext ctx;  // cancellation + progress (+ optional pool)
+  // SceneTicket::cancel() must abandon THIS scene only. The submitter's
+  // context token is shared by every copy of that context (cancelling it
+  // would abort sibling submissions and unrelated work), so each ticket
+  // carries its own token and the server honours either.
+  par::CancellationToken own_cancel;
+  util::WallTimer timer;      // submit -> resolution latency
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return ctx.cancelled() || own_cancel.cancelled();
+  }
+
+  // Prepared by the scheduler.
+  img::ImageU8 filtered;  // padded out to the tile grid
+  int orig_w = 0, orig_h = 0;
+  int tiles_x = 0, tiles_y = 0;
+  SceneKey key;
+  bool cacheable = false;
+
+  // Inference scatter.
+  std::vector<img::ImageU8> planes;  // per-tile argmax planes
+  std::atomic<int> tiles_remaining{0};
+
+  // Outcome.
+  std::atomic<bool> resolved{false};  // claimed by the resolving thread
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;  // guarded by m
+  img::ImageU8 result;
+  std::exception_ptr error;
+
+  /// At most one resolver wins the claim.
+  bool claim() {
+    bool expected = false;
+    return resolved.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel);
+  }
+
+  void publish(img::ImageU8 plane, std::exception_ptr err) {
+    {
+      const std::scoped_lock lock(m);
+      result = std::move(plane);
+      error = std::move(err);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+using detail::TicketState;
+
+// ---------------------------------------------------------------------------
+// SceneTicket
+// ---------------------------------------------------------------------------
+
+namespace {
+void require_valid(const std::shared_ptr<TicketState>& state) {
+  if (!state) throw std::logic_error("SceneTicket: no shared state");
+}
+}  // namespace
+
+bool SceneTicket::ready() const {
+  require_valid(state_);
+  const std::scoped_lock lock(state_->m);
+  return state_->done;
+}
+
+void SceneTicket::wait() const {
+  require_valid(state_);
+  std::unique_lock lock(state_->m);
+  state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+bool SceneTicket::wait_for(std::chrono::milliseconds timeout) const {
+  require_valid(state_);
+  std::unique_lock lock(state_->m);
+  return state_->cv.wait_for(lock, timeout, [&] { return state_->done; });
+}
+
+img::ImageU8 SceneTicket::get() const {
+  require_valid(state_);
+  std::unique_lock lock(state_->m);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->error) std::rethrow_exception(state_->error);
+  return state_->result;
+}
+
+void SceneTicket::cancel() const {
+  require_valid(state_);
+  state_->own_cancel.cancel();
+}
+
+// ---------------------------------------------------------------------------
+// SceneServerConfig
+// ---------------------------------------------------------------------------
+
+void SceneServerConfig::validate() const {
+  if (tile_size <= 0) {
+    throw std::invalid_argument("SceneServerConfig: tile_size <= 0");
+  }
+  if (batch_tiles < 1) {
+    throw std::invalid_argument("SceneServerConfig: batch_tiles < 1");
+  }
+  if (min_replicas < 1) {
+    throw std::invalid_argument("SceneServerConfig: min_replicas < 1");
+  }
+  if (max_replicas < min_replicas) {
+    throw std::invalid_argument(
+        "SceneServerConfig: max_replicas < min_replicas");
+  }
+  if (max_batch_wait < std::chrono::milliseconds::zero()) {
+    throw std::invalid_argument("SceneServerConfig: negative max_batch_wait");
+  }
+  if (scale_down_idle <= std::chrono::milliseconds::zero()) {
+    throw std::invalid_argument(
+        "SceneServerConfig: scale_down_idle must be positive");
+  }
+  filter.validate();
+  admission.validate();
+}
+
+namespace {
+const SceneServerConfig& validated(const SceneServerConfig& config,
+                                   const nn::UNet& model) {
+  config.validate();
+  require_tile_compatible(model, config.tile_size, "SceneServer");
+  return config;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SceneServer
+// ---------------------------------------------------------------------------
+
+SceneServer::SceneServer(nn::UNet& model, SceneServerConfig config,
+                         par::ExecutionContext ctx)
+    : config_(validated(config, model)),
+      server_ctx_(std::move(ctx)),
+      filter_(config.filter),
+      pool_(model, config.min_replicas, config.max_replicas),
+      cache_(config.cache_bytes),
+      queue_(config.admission) {
+  scheduler_ = std::jthread([this] { scheduler_loop(); });
+  workers_.reserve(static_cast<std::size_t>(config_.max_replicas));
+  for (int i = 0; i < config_.max_replicas; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SceneServer::~SceneServer() { shutdown(); }
+
+void SceneServer::shutdown() {
+  bool expected = false;
+  if (!shut_down_.compare_exchange_strong(expected, true)) return;
+  queue_.close();
+  if (scheduler_.joinable()) scheduler_.join();  // drains admitted scenes
+  {
+    const std::scoped_lock lock(tile_mutex_);
+    tiles_stopping_ = true;
+  }
+  tile_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+SceneTicket SceneServer::submit(img::ImageU8 scene) {
+  return submit(std::move(scene), par::ExecutionContext{});
+}
+
+SceneTicket SceneServer::submit(img::ImageU8 scene,
+                                const par::ExecutionContext& ctx) {
+  if (scene.channels() != 3) {
+    throw std::invalid_argument("SceneServer: expected RGB scene");
+  }
+  const int ts = config_.tile_size;
+  const bool partial = scene.width() % ts != 0 || scene.height() % ts != 0;
+  if (partial && !config_.pad_partial_tiles) {
+    throw std::invalid_argument(
+        "SceneServer: scene size must be a tile multiple "
+        "(or enable pad_partial_tiles)");
+  }
+
+  auto state = std::make_shared<TicketState>();
+  state->scene = std::move(scene);
+  state->ctx = ctx;
+  state->orig_w = state->scene.width();
+  state->orig_h = state->scene.height();
+
+  // Both counts must cover the request before it is poppable: a worker
+  // topping up a batch must never conclude "nothing can arrive" while this
+  // scene sits in the submission queue, and stats() must never observe a
+  // completed scene that was not yet submitted. Both roll back if
+  // admission turns the request away.
+  pending_scenes_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    const std::scoped_lock lock(stats_mutex_);
+    ++counters_.submitted;
+  }
+  try {
+    queue_.push(state, ctx);
+  } catch (...) {
+    {
+      const std::scoped_lock lock(stats_mutex_);
+      --counters_.submitted;
+    }
+    retire_pending();
+    throw;
+  }
+  return SceneTicket(std::move(state));
+}
+
+img::ImageU8 SceneServer::classify_scene(const img::ImageU8& scene_rgb) {
+  return submit(scene_rgb.clone()).get();
+}
+
+void SceneServer::retire_pending() {
+  pending_scenes_.fetch_sub(1, std::memory_order_acq_rel);
+  // Batch top-up waits on "more tiles may come"; re-evaluate.
+  tile_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler side
+// ---------------------------------------------------------------------------
+
+void SceneServer::scheduler_loop() {
+  for (;;) {
+    auto item = queue_.pop_for(config_.scale_down_idle);
+    if (!item) {
+      if (queue_.closed()) return;
+      // Idle tick: no new request within scale_down_idle, no scene between
+      // admission and tile fan-out, and no tiles waiting for a worker —
+      // retire replicas above the warm floor. (Workers mid-batch still hold
+      // leases; shrink() never destroys leased replicas.)
+      bool tiles_queued;
+      {
+        const std::scoped_lock lock(tile_mutex_);
+        tiles_queued = !tiles_.empty();
+      }
+      if (!tiles_queued &&
+          pending_scenes_.load(std::memory_order_acquire) == 0) {
+        pool_.shrink(config_.min_replicas);
+      }
+      continue;
+    }
+    prepare(*item);
+  }
+}
+
+void SceneServer::prepare(const std::shared_ptr<TicketState>& ticket) {
+  TicketState& t = *ticket;
+  if (t.cancelled()) {
+    resolve_error(ticket, std::make_exception_ptr(par::OperationCancelled(
+                              "SceneServer::prepare")));
+    retire_pending();
+    return;
+  }
+
+  // Result cache: a content-identical scene skips the forward path
+  // entirely.
+  if (cache_.byte_budget() > 0) {
+    t.key = hash_scene(t.scene);
+    t.cacheable = true;
+    if (auto hit = cache_.lookup(t.key)) {
+      if (t.claim()) {
+        // Counters first: a caller returning from get() must already see
+        // this scene in stats().
+        {
+          const std::scoped_lock lock(stats_mutex_);
+          ++counters_.completed;
+        }
+        t.publish(std::move(*hit), nullptr);
+      }
+      retire_pending();
+      return;
+    }
+  }
+
+  try {
+    t.ctx.report_progress("serve.prepare", 0, 1);
+    // The submitter's pool (if any) runs this scene's filter; otherwise the
+    // server's. Cancellation always comes from the ticket context.
+    const par::ExecutionContext filter_ctx =
+        t.ctx.pool() != nullptr ? t.ctx : t.ctx.with_pool(server_ctx_.pool());
+    img::ImageU8 filtered = filter_.apply(t.scene, filter_ctx);
+    const int ts = config_.tile_size;
+    if (t.orig_w % ts != 0 || t.orig_h % ts != 0) {
+      filtered = img::pad_edge(filtered, (t.orig_w + ts - 1) / ts * ts,
+                               (t.orig_h + ts - 1) / ts * ts);
+    }
+    t.tiles_x = filtered.width() / ts;
+    t.tiles_y = filtered.height() / ts;
+    t.filtered = std::move(filtered);
+    t.scene = img::ImageU8();  // imagery no longer needed; free it early
+    const int total = t.tiles_x * t.tiles_y;
+    t.planes.resize(static_cast<std::size_t>(total));
+    t.tiles_remaining.store(total, std::memory_order_release);
+    t.ctx.report_progress("serve.prepare", 1, 1);
+
+    std::size_t depth;
+    {
+      const std::scoped_lock lock(tile_mutex_);
+      for (int i = 0; i < total; ++i) {
+        tiles_.push_back(TileWork{ticket, i});
+      }
+      depth = tiles_.size();
+    }
+    tile_cv_.notify_all();
+
+    // Queue-depth-driven scale-up: when more than one forward pass of tiles
+    // is backed up, clone replicas (on this thread, off the workers' hot
+    // path) so the backlog drains in parallel. ensure() caps at
+    // max_replicas; idle ticks shrink back to min_replicas.
+    const auto outstanding_batches =
+        (depth + static_cast<std::size_t>(config_.batch_tiles) - 1) /
+        static_cast<std::size_t>(config_.batch_tiles);
+    if (outstanding_batches > 1) {
+      pool_.ensure(static_cast<int>(outstanding_batches));
+    }
+  } catch (...) {
+    resolve_error(ticket, std::current_exception());
+  }
+  retire_pending();
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+std::vector<SceneServer::TileWork> SceneServer::gather() {
+  std::vector<TileWork> batch;
+  std::unique_lock lock(tile_mutex_);
+  tile_cv_.wait(lock, [&] { return tiles_stopping_ || !tiles_.empty(); });
+  if (tiles_.empty()) return batch;  // stopping and drained
+  batch.push_back(std::move(tiles_.front()));
+  tiles_.pop_front();
+  // Dynamic batching: top the batch up with whatever is queued, waiting at
+  // most max_batch_wait for stragglers — and not at all once no admitted
+  // scene can still contribute tiles (pending_scenes_ == 0).
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.max_batch_wait;
+  while (static_cast<int>(batch.size()) < config_.batch_tiles) {
+    if (!tiles_.empty()) {
+      batch.push_back(std::move(tiles_.front()));
+      tiles_.pop_front();
+      continue;
+    }
+    if (tiles_stopping_ ||
+        pending_scenes_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+    if (!tile_cv_.wait_until(lock, deadline, [&] {
+          return tiles_stopping_ || !tiles_.empty() ||
+                 pending_scenes_.load(std::memory_order_acquire) == 0;
+        })) {
+      break;  // flush the partial batch
+    }
+  }
+  return batch;
+}
+
+void SceneServer::worker_loop() {
+  tensor::Tensor x, logits, probs;
+  std::vector<int> pred;
+  const int ts = config_.tile_size;
+  const std::size_t plane = static_cast<std::size_t>(ts) * ts;
+
+  for (;;) {
+    std::vector<TileWork> batch = gather();
+    if (batch.empty()) return;  // shutdown: queue drained
+
+    // Skip tiles of scenes that were cancelled while queued.
+    std::vector<TileWork> live;
+    live.reserve(batch.size());
+    for (auto& work : batch) {
+      TicketState& t = *work.ticket;
+      if (t.resolved.load(std::memory_order_acquire)) continue;
+      if (t.cancelled()) {
+        resolve_error(work.ticket,
+                      std::make_exception_ptr(
+                          par::OperationCancelled("SceneServer::batch")));
+        continue;
+      }
+      live.push_back(std::move(work));
+    }
+    if (live.empty()) continue;
+
+    // Queue-depth-driven scale-up: grow past the warm replicas only when
+    // tiles are backed up behind this batch.
+    bool backlog;
+    {
+      const std::scoped_lock lock(tile_mutex_);
+      backlog = !tiles_.empty();
+    }
+
+    try {
+      const int n = static_cast<int>(live.size());
+      {
+        // Lease scope covers only the work that needs the replica; the
+        // argmax indices are fully copied into `pred`, so stitching,
+        // caching, and stats below run with the replica already returned
+        // to the pool for the next batch.
+        ReplicaPool::Lease lease(pool_, /*allow_grow=*/backlog);
+        nn::UNet& model = lease.model();
+        model.bind(server_ctx_);
+        if (x.ndim() != 4 || x.dim(0) != n) {
+          x = tensor::Tensor({n, 3, ts, ts});
+        }
+        for (int s = 0; s < n; ++s) {
+          const TicketState& t = *live[static_cast<std::size_t>(s)].ticket;
+          const int tile = live[static_cast<std::size_t>(s)].tile;
+          stage_tile(t.filtered, (tile % t.tiles_x) * ts,
+                     (tile / t.tiles_x) * ts, ts, x, s);
+        }
+        model.forward(x, logits, /*training=*/false);
+        tensor::softmax_channel(logits, probs);
+        pred.resize(static_cast<std::size_t>(n) * plane);
+        tensor::argmax_channel(probs, pred.data());
+      }
+
+      // Batch counters before delivery: delivering the last tile resolves
+      // its ticket, and a caller returning from get() must already see this
+      // batch's work in stats().
+      std::size_t scenes_in_batch = 0;
+      {
+        // Count distinct owning tickets (n is at most batch_tiles — tiny).
+        std::vector<const TicketState*> seen;
+        for (const auto& work : live) {
+          const TicketState* p = work.ticket.get();
+          if (std::find(seen.begin(), seen.end(), p) == seen.end()) {
+            seen.push_back(p);
+          }
+        }
+        scenes_in_batch = seen.size();
+      }
+      {
+        const std::scoped_lock lock(stats_mutex_);
+        ++counters_.batches;
+        if (scenes_in_batch > 1) ++counters_.cross_scene_batches;
+        counters_.session.tiles += static_cast<std::size_t>(n);
+      }
+      for (int s = 0; s < n; ++s) {
+        deliver(live[static_cast<std::size_t>(s)],
+                pred_plane(pred.data(), s, ts));
+      }
+    } catch (...) {
+      // A failed forward (e.g. allocation failure) fails every scene in the
+      // batch; the server itself keeps serving.
+      for (const auto& work : live) {
+        resolve_error(work.ticket, std::current_exception());
+      }
+    }
+  }
+}
+
+void SceneServer::deliver(const TileWork& work, img::ImageU8 plane) {
+  TicketState& t = *work.ticket;
+  if (t.resolved.load(std::memory_order_acquire)) return;
+  t.planes[static_cast<std::size_t>(work.tile)] = std::move(plane);
+  const int before = t.tiles_remaining.fetch_sub(1, std::memory_order_acq_rel);
+  const auto total = static_cast<std::size_t>(t.tiles_x) * t.tiles_y;
+  t.ctx.report_progress("serve.tiles", total - static_cast<std::size_t>(before - 1),
+                        total);
+  if (before == 1) finalize(work.ticket);
+}
+
+void SceneServer::finalize(const std::shared_ptr<TicketState>& ticket) {
+  TicketState& t = *ticket;
+  if (!t.claim()) return;  // cancellation won
+  img::ImageU8 labels = s2::stitch_labels(t.planes, t.tiles_x, t.tiles_y);
+  if (labels.width() != t.orig_w || labels.height() != t.orig_h) {
+    labels = img::crop(labels, 0, 0, t.orig_w, t.orig_h);
+  }
+  if (t.cacheable) cache_.insert(t.key, labels);
+  const double latency = t.timer.seconds();
+  {
+    const std::scoped_lock lock(stats_mutex_);
+    ++counters_.completed;
+    ++counters_.session.scenes;
+    counters_.session.busy_seconds += latency;
+  }
+  t.publish(std::move(labels), nullptr);
+}
+
+void SceneServer::resolve_error(const std::shared_ptr<TicketState>& ticket,
+                                std::exception_ptr error) {
+  TicketState& t = *ticket;
+  if (!t.claim()) return;
+  bool is_cancel = false;
+  try {
+    std::rethrow_exception(error);
+  } catch (const par::OperationCancelled&) {
+    is_cancel = true;
+  } catch (...) {
+  }
+  {
+    const std::scoped_lock lock(stats_mutex_);
+    if (is_cancel) {
+      ++counters_.cancelled;
+    } else {
+      ++counters_.failed;
+    }
+  }
+  t.publish(img::ImageU8(), std::move(error));
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+SceneServerStats SceneServer::stats() const {
+  SceneServerStats out;
+  {
+    const std::scoped_lock lock(stats_mutex_);
+    out = counters_;
+  }
+  out.session.wait_seconds = pool_.wait_seconds();
+  out.session.peak_leases = pool_.peak_leases();
+  out.rejected = queue_.rejected();
+  out.peak_queue_depth = queue_.peak_depth();
+  const ResultCacheStats cache = cache_.stats();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  out.cache_evictions = cache.evictions;
+  out.replicas = pool_.size();
+  out.peak_replicas = pool_.peak_size();
+  return out;
+}
+
+}  // namespace polarice::core::serve

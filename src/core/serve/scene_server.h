@@ -1,0 +1,224 @@
+#pragma once
+// SceneServer — the async serving subsystem above the Fig 9 inference
+// pipeline: a long-lived, thread-safe server that fronts a pool of U-Net
+// replicas with queued admission, cross-scene tile batching, a result
+// cache, and replica auto-scaling.
+//
+// Request lifecycle:
+//   submit(scene)                        [any thread]
+//     -> admission control (RequestQueue: reject / block / deadline)
+//     -> SceneTicket (std::future-style handle)
+//   scheduler thread
+//     -> cancellation check -> result-cache lookup (content hash; a hit
+//        resolves the ticket with zero forward passes)
+//     -> cloud/shadow filter + pad -> tiles pushed to the batch scheduler
+//   inference workers (one per potential replica)
+//     -> dynamic batching: each forward pass is filled with up to
+//        batch_tiles tiles from ANY queued scenes, waiting at most
+//        max_batch_wait to top up a partial batch (and not at all when no
+//        admitted scene can still contribute tiles)
+//     -> replica lease (serve::ReplicaPool; grown on demand up to
+//        max_replicas when tiles are backed up, shrunk back to
+//        min_replicas after scale_down_idle of quiet)
+//     -> per-tile argmax planes scattered back to their owning tickets;
+//        the last tile stitches, crops, caches, and resolves the ticket.
+//
+// Determinism: per-tile results do not depend on batch composition (the
+// batched-N conv path is bit-identical to per-sample processing), so every
+// scene's output plane is bit-identical to a serial
+// InferenceWorkflow::classify_scene with the same model/filter/tile size —
+// regardless of how tiles from different scenes interleave, how many
+// replicas serve, or which requests hit the cache.
+//
+// Cancellation: each ticket carries the submitter's par::ExecutionContext;
+// cancelling it (or SceneTicket::cancel()) abandons the scene at the next
+// pipeline boundary and resolves the ticket with par::OperationCancelled.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/cloud_filter.h"
+#include "core/inference_session.h"
+#include "core/serve/replica_pool.h"
+#include "core/serve/request_queue.h"
+#include "core/serve/result_cache.h"
+#include "img/image.h"
+#include "nn/unet.h"
+#include "par/context.h"
+
+namespace polarice::core::serve {
+
+struct SceneServerConfig {
+  int tile_size = 64;          // paper serving shape: 256
+  int batch_tiles = 8;         // tiles per forward pass (any mix of scenes)
+  int min_replicas = 1;        // replicas kept warm
+  int max_replicas = 2;        // scale-up ceiling
+  bool pad_partial_tiles = true;  // edge-replicate ragged scenes (off:
+                                  // submit throws, matching the workflow)
+  CloudFilterConfig filter;
+  AdmissionConfig admission;   // submission-queue bound + full-queue policy
+  // Dynamic batching: how long a worker tops up a partial batch before
+  // flushing it. Zero = flush whatever is queued immediately. Never waited
+  // out when no admitted scene can still contribute tiles.
+  std::chrono::milliseconds max_batch_wait{2};
+  // Idle time after which replicas above min_replicas are retired.
+  std::chrono::milliseconds scale_down_idle{250};
+  std::size_t cache_bytes = std::size_t{64} << 20;  // result cache budget;
+                                                    // 0 disables caching
+
+  void validate() const;
+};
+
+/// Aggregate serving telemetry. `session` reuses InferenceSessionStats for
+/// the forward-path counters so dashboards read both serving layers through
+/// one struct: scenes/tiles are forward-path work (cache hits excluded),
+/// busy_seconds sums submit->resolve latency of forward-path scenes,
+/// wait_seconds/peak_leases describe replica-lease contention.
+struct SceneServerStats {
+  InferenceSessionStats session;
+  std::size_t submitted = 0;   // tickets admitted past admission control
+  std::size_t completed = 0;   // tickets resolved with a result (incl. hits)
+  std::size_t cancelled = 0;   // tickets resolved via cancellation
+  std::size_t failed = 0;      // tickets resolved with another error
+  std::size_t rejected = 0;    // submissions refused by admission control
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_evictions = 0;
+  std::size_t batches = 0;             // forward passes issued
+  std::size_t cross_scene_batches = 0; // batches mixing >= 2 scenes
+  std::size_t peak_queue_depth = 0;    // submission-queue high water
+  int replicas = 0;                    // current replica count
+  int peak_replicas = 0;               // auto-scaling high water
+};
+
+namespace detail {
+struct TicketState;
+}  // namespace detail
+
+/// std::future-style handle to one submitted scene. Shared-state semantics:
+/// copies observe the same outcome; get() may be called repeatedly and from
+/// any thread.
+class SceneTicket {
+ public:
+  SceneTicket() = default;  // !valid()
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool ready() const;             // resolved (result or error)
+  void wait() const;                            // block until resolved
+  bool wait_for(std::chrono::milliseconds timeout) const;  // false = timeout
+
+  /// Blocks until resolved; returns the scene-sized class-id plane or
+  /// rethrows the failure (par::OperationCancelled after cancel()).
+  [[nodiscard]] img::ImageU8 get() const;
+
+  /// Requests cancellation of this scene only (cooperative: honoured at
+  /// the next pipeline boundary; a scene may still complete if it was
+  /// nearly done). Sibling submissions sharing the submitter's context are
+  /// unaffected — cancelling that context instead abandons all of them.
+  void cancel() const;
+
+ private:
+  friend class SceneServer;
+  explicit SceneTicket(std::shared_ptr<detail::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::TicketState> state_;
+};
+
+class SceneServer {
+ public:
+  /// Clones `config.min_replicas` replicas from `model` (not retained).
+  /// `ctx` supplies the server's intra-op pool and default progress sink.
+  /// Starts the scheduler thread and `config.max_replicas` inference
+  /// workers. Throws std::invalid_argument on bad config or a tile_size
+  /// incompatible with the model depth.
+  SceneServer(nn::UNet& model, SceneServerConfig config,
+              par::ExecutionContext ctx = {});
+
+  /// Drains in-flight work, then stops all threads (shutdown()).
+  ~SceneServer();
+
+  SceneServer(const SceneServer&) = delete;
+  SceneServer& operator=(const SceneServer&) = delete;
+
+  /// Admits one scene under the configured admission policy and returns its
+  /// ticket. `ctx` rides along for cancellation/progress (and, if it has a
+  /// pool, that pool is used for this scene's filter). Throws
+  /// std::invalid_argument for malformed scenes, AdmissionRejected when
+  /// admission control turns the request away, QueueClosed after
+  /// shutdown().
+  SceneTicket submit(img::ImageU8 scene, const par::ExecutionContext& ctx);
+  SceneTicket submit(img::ImageU8 scene);
+
+  /// Synchronous convenience: submit + get.
+  img::ImageU8 classify_scene(const img::ImageU8& scene_rgb);
+
+  /// Stops admission, finishes every already-admitted scene, joins all
+  /// server threads. Idempotent; called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] SceneServerStats stats() const;
+  [[nodiscard]] const SceneServerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct TileWork {
+    std::shared_ptr<detail::TicketState> ticket;
+    int tile = 0;  // row-major index in the scene's padded tile grid
+  };
+
+  void scheduler_loop();
+  void worker_loop();
+
+  /// Scheduler-side per-scene work: cancellation check, cache lookup,
+  /// filter + pad, tile fan-out.
+  void prepare(const std::shared_ptr<detail::TicketState>& ticket);
+
+  /// Pops one dynamic batch (empty only when stopping and drained).
+  std::vector<TileWork> gather();
+
+  /// Records a finished tile plane; the scene's last tile finalizes it.
+  void deliver(const TileWork& work, img::ImageU8 plane);
+
+  /// Stitch + crop + cache + resolve a fully-inferred scene.
+  void finalize(const std::shared_ptr<detail::TicketState>& ticket);
+
+  void resolve_error(const std::shared_ptr<detail::TicketState>& ticket,
+                     std::exception_ptr error);
+
+  /// Marks one admitted scene as past the tile fan-out point (or abandoned)
+  /// so batch top-up stops waiting once nothing more can arrive.
+  void retire_pending();
+
+  SceneServerConfig config_;
+  par::ExecutionContext server_ctx_;
+  CloudShadowFilter filter_;
+  ReplicaPool pool_;
+  ResultCache cache_;
+  RequestQueue<std::shared_ptr<detail::TicketState>> queue_;
+
+  // Batch scheduler state.
+  std::mutex tile_mutex_;
+  std::condition_variable tile_cv_;
+  std::deque<TileWork> tiles_;         // guarded by tile_mutex_
+  bool tiles_stopping_ = false;        // guarded by tile_mutex_
+  std::atomic<std::size_t> pending_scenes_{0};
+
+  // Server-level counters (queue/cache/pool keep their own).
+  mutable std::mutex stats_mutex_;
+  SceneServerStats counters_;  // only the fields not derived elsewhere
+
+  std::atomic<bool> shut_down_{false};
+  std::jthread scheduler_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace polarice::core::serve

@@ -452,10 +452,7 @@ TileInferStage::TileInferStage(nn::UNet& model, int tile_size, int batch_tiles,
       tile_size_(tile_size),
       batch_tiles_(batch_tiles),
       input_key_(std::move(input_key)) {
-  if (tile_size <= 0 || tile_size % model.config().spatial_divisor() != 0) {
-    throw std::invalid_argument(
-        "TileInferStage: tile_size incompatible with model depth");
-  }
+  require_tile_compatible(model, tile_size, "TileInferStage");
   if (batch_tiles_ < 1) batch_tiles_ = 1;
 }
 
@@ -526,35 +523,52 @@ std::vector<img::ImageU8> infer_scene_tiles(nn::UNet& model,
     }
     for (int s = 0; s < batch; ++s) {
       const int t = start + s;
-      const int x0 = (t % tiles_x) * tile_size;
-      const int y0 = (t / tiles_x) * tile_size;
-      for (int y = 0; y < tile_size; ++y) {
-        for (int xx = 0; xx < tile_size; ++xx) {
-          for (int c = 0; c < 3; ++c) {
-            x.at4(s, c, y, xx) = filtered.at(x0 + xx, y0 + y, c) / 255.0f;
-          }
-        }
-      }
+      stage_tile(filtered, (t % tiles_x) * tile_size,
+                 (t / tiles_x) * tile_size, tile_size, x, s);
     }
     model.forward(x, logits, /*training=*/false);
     tensor::softmax_channel(logits, probs);
     tensor::argmax_channel(probs, pred);
     for (int s = 0; s < batch; ++s) {
-      img::ImageU8 tile_plane(tile_size, tile_size, 1);
-      const std::size_t base = static_cast<std::size_t>(s) * plane;
-      for (int y = 0; y < tile_size; ++y) {
-        for (int xx = 0; xx < tile_size; ++xx) {
-          tile_plane.at(xx, y) = static_cast<std::uint8_t>(
-              pred[base + static_cast<std::size_t>(y) * tile_size + xx]);
-        }
-      }
-      out[static_cast<std::size_t>(start + s)] = std::move(tile_plane);
+      out[static_cast<std::size_t>(start + s)] = pred_plane(pred, s, tile_size);
     }
     ctx.report_progress("tile_infer",
                         static_cast<std::size_t>(start + batch),
                         static_cast<std::size_t>(total));
   }
   return out;
+}
+
+void require_tile_compatible(const nn::UNet& model, int tile_size,
+                             const char* who) {
+  if (tile_size <= 0 || tile_size % model.config().spatial_divisor() != 0) {
+    throw std::invalid_argument(
+        std::string(who) + ": tile_size incompatible with model depth");
+  }
+}
+
+void stage_tile(const img::ImageU8& filtered, int x0, int y0, int tile_size,
+                tensor::Tensor& x, int sample) {
+  for (int y = 0; y < tile_size; ++y) {
+    for (int xx = 0; xx < tile_size; ++xx) {
+      for (int c = 0; c < 3; ++c) {
+        x.at4(sample, c, y, xx) = filtered.at(x0 + xx, y0 + y, c) / 255.0f;
+      }
+    }
+  }
+}
+
+img::ImageU8 pred_plane(const int* pred, int sample, int tile_size) {
+  img::ImageU8 tile_plane(tile_size, tile_size, 1);
+  const std::size_t plane = static_cast<std::size_t>(tile_size) * tile_size;
+  const std::size_t base = static_cast<std::size_t>(sample) * plane;
+  for (int y = 0; y < tile_size; ++y) {
+    for (int xx = 0; xx < tile_size; ++xx) {
+      tile_plane.at(xx, y) = static_cast<std::uint8_t>(
+          pred[base + static_cast<std::size_t>(y) * tile_size + xx]);
+    }
+  }
+  return tile_plane;
 }
 
 }  // namespace polarice::core

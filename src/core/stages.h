@@ -414,4 +414,23 @@ std::vector<img::ImageU8> infer_scene_tiles(nn::UNet& model,
                                             int tile_size, int batch_tiles,
                                             const par::ExecutionContext& ctx);
 
+/// Throws std::invalid_argument unless tile_size is positive and divisible
+/// by the model's 2^depth — the shared precondition of every tile-serving
+/// entry point (`who` prefixes the message: workflow, session, server,
+/// TileInferStage all enforce the same rule through this one check).
+void require_tile_compatible(const nn::UNet& model, int tile_size,
+                             const char* who);
+
+/// Copies the tile whose top-left corner is (x0, y0) out of `filtered` into
+/// sample `sample` of the NCHW batch tensor `x`, applying the model input
+/// normalization (/255). Shared by infer_scene_tiles and the SceneServer's
+/// cross-scene batch fill so both paths stage pixels identically.
+void stage_tile(const img::ImageU8& filtered, int x0, int y0, int tile_size,
+                tensor::Tensor& x, int sample);
+
+/// Converts sample `sample` of the per-pixel argmax indices `pred` (layout:
+/// sample-major planes of tile_size * tile_size) into a single-channel
+/// class-id plane — the inverse of stage_tile on the label side.
+img::ImageU8 pred_plane(const int* pred, int sample, int tile_size);
+
 }  // namespace polarice::core

@@ -152,14 +152,15 @@ TrainingWorkflowResult TrainingWorkflow::run(const par::ExecutionContext& ctx) {
 
 InferenceWorkflow::InferenceWorkflow(nn::UNet& model,
                                      CloudFilterConfig filter_config,
-                                     int tile_size)
+                                     int tile_size, int batch_tiles)
     : model_(model),
       filter_config_(filter_config),
       filter_(filter_config),  // validates the config at construction
-      tile_size_(tile_size) {
-  if (tile_size <= 0 || tile_size % model.config().spatial_divisor() != 0) {
-    throw std::invalid_argument(
-        "InferenceWorkflow: tile_size incompatible with model depth");
+      tile_size_(tile_size),
+      batch_tiles_(batch_tiles) {
+  require_tile_compatible(model, tile_size, "InferenceWorkflow");
+  if (batch_tiles_ < 1) {
+    throw std::invalid_argument("InferenceWorkflow: batch_tiles < 1");
   }
 }
 
@@ -167,7 +168,7 @@ Pipeline InferenceWorkflow::build_pipeline() {
   Pipeline pipeline;
   pipeline.emplace<CloudFilterStage>(filter_config_, keys::kSceneImages,
                                      keys::kFilteredImages);
-  pipeline.emplace<TileInferStage>(model_, tile_size_);
+  pipeline.emplace<TileInferStage>(model_, tile_size_, batch_tiles_);
   pipeline.emplace<StitchStage>();
   return pipeline;
 }
@@ -188,7 +189,7 @@ img::ImageU8 InferenceWorkflow::classify_scene(const img::ImageU8& scene_rgb,
   // nothing and assembles no per-call graph.
   const img::ImageU8 filtered = filter_.apply(scene_rgb, ctx);
   const auto tile_planes =
-      infer_scene_tiles(model_, filtered, tile_size_, /*batch_tiles=*/8, ctx);
+      infer_scene_tiles(model_, filtered, tile_size_, batch_tiles_, ctx);
   return s2::stitch_labels(tile_planes, filtered.width() / tile_size_,
                            filtered.height() / tile_size_);
 }

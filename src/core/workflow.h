@@ -96,8 +96,11 @@ class InferenceWorkflow {
  public:
   /// `model` must outlive the workflow. tile_size must be compatible with
   /// the model's spatial divisor; the filter config is validated here.
+  /// `batch_tiles` is the number of tiles per forward pass (results are
+  /// bit-identical for every value; it only trades memory for amortized
+  /// dispatch).
   InferenceWorkflow(nn::UNet& model, CloudFilterConfig filter_config,
-                    int tile_size);
+                    int tile_size, int batch_tiles = 8);
 
   /// The Fig 9 stage graph (CloudFilter -> TileInfer -> Stitch) for
   /// composition with other stages. Seed the store with keys::kSceneImages;
@@ -113,6 +116,7 @@ class InferenceWorkflow {
 
 
   [[nodiscard]] int tile_size() const noexcept { return tile_size_; }
+  [[nodiscard]] int batch_tiles() const noexcept { return batch_tiles_; }
   [[nodiscard]] const CloudFilterConfig& filter_config() const noexcept {
     return filter_config_;
   }
@@ -122,6 +126,7 @@ class InferenceWorkflow {
   CloudFilterConfig filter_config_;
   CloudShadowFilter filter_;
   int tile_size_;
+  int batch_tiles_;
 };
 
 }  // namespace polarice::core

@@ -181,6 +181,23 @@ ImageU8 crop(const ImageU8& src, int x, int y, int w, int h) {
   return out;
 }
 
+ImageU8 pad_edge(const ImageU8& src, int width, int height) {
+  if (width < src.width() || height < src.height()) {
+    throw std::invalid_argument("pad_edge: target smaller than source");
+  }
+  ImageU8 out(width, height, src.channels());
+  for (int y = 0; y < height; ++y) {
+    const int sy = std::min(y, src.height() - 1);
+    for (int x = 0; x < width; ++x) {
+      const int sx = std::min(x, src.width() - 1);
+      for (int c = 0; c < src.channels(); ++c) {
+        out.at(x, y, c) = src.at(sx, sy, c);
+      }
+    }
+  }
+  return out;
+}
+
 ImageF32 to_float(const ImageU8& src) {
   ImageF32 out(src.width(), src.height(), src.channels());
   const std::uint8_t* s = src.data();

@@ -54,6 +54,10 @@ ImageU8 resize_nearest(const ImageU8& src, int new_width, int new_height);
 /// Crops the rectangle [x, x+w) x [y, y+h); throws if out of bounds.
 ImageU8 crop(const ImageU8& src, int x, int y, int w, int h);
 
+/// Pads to `width` x `height` (each >= the source dimension) by replicating
+/// the bottom/right edges — the serving-side tile-grid pad.
+ImageU8 pad_edge(const ImageU8& src, int width, int height);
+
 /// Converts u8 -> float in [0,1].
 ImageF32 to_float(const ImageU8& src);
 

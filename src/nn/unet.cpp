@@ -298,4 +298,10 @@ void UNet::copy_parameters_from(UNet& other) {
   }
 }
 
+std::unique_ptr<UNet> UNet::clone() {
+  auto copy = std::make_unique<UNet>(config_);
+  copy->copy_parameters_from(*this);
+  return copy;
+}
+
 }  // namespace polarice::nn

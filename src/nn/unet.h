@@ -104,6 +104,13 @@ class UNet {
   /// Copies all parameter values from another structurally identical model.
   void copy_parameters_from(UNet& other);
 
+  /// Fresh model with the same config and a copy of this model's weights —
+  /// the replica-cloning hook behind serving-side replica pools. Forward
+  /// caches and scratch are NOT copied, so cloning a model that another
+  /// thread is running forward passes on is safe (parameters are never
+  /// mutated by forward()).
+  [[nodiscard]] std::unique_ptr<UNet> clone();
+
  private:
   UNetConfig config_;
   std::vector<ConvBlock> enc_blocks_;

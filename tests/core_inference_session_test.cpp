@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -82,6 +83,37 @@ TEST(InferenceSession, ConcurrentCallsMatchSerialWorkflow) {
   EXPECT_EQ(stats.scenes, static_cast<std::size_t>(kScenes));
   EXPECT_EQ(stats.tiles, static_cast<std::size_t>(kScenes) * 4);
   EXPECT_GT(stats.busy_seconds, 0.0);
+  // Lease telemetry: 6 callers over 2 replicas can never hold more than 2
+  // concurrent leases, and waiting time is well-defined (>= 0).
+  EXPECT_GE(stats.peak_leases, 1u);
+  EXPECT_LE(stats.peak_leases, 2u);
+  EXPECT_GE(stats.wait_seconds, 0.0);
+}
+
+TEST(InferenceSession, WaitTelemetryCountsBlockedCallers) {
+  pn::UNet model = make_model();
+  pc::InferenceSessionConfig cfg;
+  cfg.tile_size = 64;
+  cfg.replicas = 1;  // force every concurrent caller to queue
+  pc::InferenceSession session(model, cfg);
+
+  const auto scene_a = make_scene(11);
+  const auto scene_b = make_scene(12);
+  std::atomic<int> started{0};
+  {
+    std::vector<std::jthread> callers;
+    for (int i = 0; i < 3; ++i) {
+      callers.emplace_back([&, i] {
+        started.fetch_add(1);
+        (void)session.classify_scene(i % 2 == 0 ? scene_a : scene_b);
+      });
+    }
+  }
+  EXPECT_EQ(started.load(), 3);
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.scenes, 3u);
+  EXPECT_EQ(stats.peak_leases, 1u);  // single replica: leases never overlap
+  EXPECT_GE(stats.wait_seconds, 0.0);
 }
 
 TEST(InferenceSession, BatchSizeNeverChangesResults) {

@@ -1,0 +1,387 @@
+// SceneServer serving semantics: cross-scene batched results bit-compared
+// against the serial InferenceWorkflow, cache hit/miss/eviction behaviour,
+// admission rejection under a full queue, cancellation, replica
+// auto-scaling, shutdown drain, and stats consistency under concurrent
+// submitters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/inference_session.h"
+#include "core/serve/scene_server.h"
+#include "core/workflow.h"
+#include "img/ops.h"
+#include "nn/unet.h"
+#include "par/context.h"
+#include "s2/scene.h"
+
+namespace pc = polarice::core;
+namespace pv = polarice::core::serve;
+namespace pp = polarice::par;
+namespace ps = polarice::s2;
+namespace pn = polarice::nn;
+namespace pi = polarice::img;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+pn::UNet make_model() {
+  pn::UNetConfig cfg;
+  cfg.depth = 2;
+  cfg.base_channels = 6;
+  cfg.use_dropout = false;
+  cfg.seed = 88;
+  // Untrained weights: deterministic init is all bit-identity tests need.
+  return pn::UNet(cfg);
+}
+
+pi::ImageU8 make_scene(std::uint64_t seed, int size = 128) {
+  ps::SceneConfig sc;
+  sc.width = sc.height = size;
+  sc.seed = seed;
+  sc.cloudy = true;
+  return ps::SceneGenerator(sc).generate().rgb;
+}
+
+pv::SceneServerConfig server_config() {
+  pv::SceneServerConfig cfg;
+  cfg.tile_size = 64;
+  cfg.batch_tiles = 3;  // deliberately not a divisor of the 4-tile scenes
+  cfg.min_replicas = 1;
+  cfg.max_replicas = 2;
+  // Generous top-up wait: full batches flush immediately and the "no more
+  // pending scenes" fast path flushes the tail, so this never stalls the
+  // test — it only guarantees batches straddle scene boundaries.
+  cfg.max_batch_wait = 5000ms;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(SceneServer, CrossSceneBatchesBitIdenticalToSerialWorkflow) {
+  pn::UNet model = make_model();
+  constexpr int kScenes = 6;
+
+  std::vector<pi::ImageU8> scenes, references;
+  pc::InferenceWorkflow workflow(model, {}, 64);
+  for (int i = 0; i < kScenes; ++i) {
+    scenes.push_back(make_scene(9000 + static_cast<std::uint64_t>(i)));
+    references.push_back(workflow.classify_scene(scenes.back()));
+  }
+
+  auto cfg = server_config();
+  cfg.cache_bytes = 0;  // count every forwarded tile
+  pv::SceneServer server(model, cfg);
+
+  std::vector<pv::SceneTicket> tickets;
+  for (const auto& scene : scenes) tickets.push_back(server.submit(scene.clone()));
+  for (int i = 0; i < kScenes; ++i) {
+    EXPECT_EQ(tickets[static_cast<std::size_t>(i)].get(),
+              references[static_cast<std::size_t>(i)])
+        << "scene " << i;
+  }
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::size_t>(kScenes));
+  EXPECT_EQ(stats.completed, static_cast<std::size_t>(kScenes));
+  EXPECT_EQ(stats.session.scenes, static_cast<std::size_t>(kScenes));
+  EXPECT_EQ(stats.session.tiles, static_cast<std::size_t>(kScenes) * 4);
+  EXPECT_GT(stats.batches, 0u);
+  // 4-tile scenes consumed in batches of 3 must straddle scene boundaries.
+  EXPECT_GT(stats.cross_scene_batches, 0u);
+  EXPECT_GT(stats.session.busy_seconds, 0.0);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(SceneServer, CacheHitSkipsForwardPassesAndReturnsIdenticalPlane) {
+  pn::UNet model = make_model();
+  auto cfg = server_config();
+  cfg.cache_bytes = 1 << 20;
+  pv::SceneServer server(model, cfg);
+
+  const auto scene = make_scene(4242);
+  const auto first = server.classify_scene(scene);
+  const auto after_first = server.stats();
+  EXPECT_EQ(after_first.cache_misses, 1u);
+  EXPECT_EQ(after_first.session.tiles, 4u);
+
+  const auto second = server.classify_scene(scene);
+  EXPECT_EQ(first, second);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  // Zero additional forward work: tile and batch counters are unchanged.
+  EXPECT_EQ(stats.session.tiles, after_first.session.tiles);
+  EXPECT_EQ(stats.batches, after_first.batches);
+  EXPECT_EQ(stats.session.scenes, 1u);  // forward-path scenes only
+  EXPECT_EQ(stats.completed, 2u);       // both tickets resolved
+}
+
+TEST(SceneServer, CacheEvictionUnderByteBudget) {
+  pn::UNet model = make_model();
+  auto cfg = server_config();
+  // Fits one 128x128 plane (16384 B + overhead), not two.
+  cfg.cache_bytes = 20000;
+  pv::SceneServer server(model, cfg);
+
+  const auto scene_a = make_scene(1);
+  const auto scene_b = make_scene(2);
+  (void)server.classify_scene(scene_a);
+  (void)server.classify_scene(scene_b);  // evicts A
+  (void)server.classify_scene(scene_a);  // miss again -> forward again
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 3u);
+  EXPECT_GE(stats.cache_evictions, 1u);
+  EXPECT_EQ(stats.session.tiles, 12u);
+}
+
+TEST(SceneServer, AdmissionRejectsWhenQueueFull) {
+  pn::UNet model = make_model();
+  auto cfg = server_config();
+  cfg.admission.capacity = 1;
+  cfg.admission.policy = pv::AdmissionPolicy::kReject;
+  cfg.min_replicas = cfg.max_replicas = 1;
+  pv::SceneServer server(model, cfg);
+
+  // Gate the scheduler inside the first scene's prepare step so further
+  // submissions pile up behind a deterministically full queue.
+  std::binary_semaphore entered{0}, release{0};
+  const pp::ExecutionContext gated;
+  gated.set_progress_sink([&](const pp::ProgressEvent& event) {
+    if (std::string(event.stage) == "serve.prepare" && event.completed == 0) {
+      entered.release();
+      release.acquire();
+    }
+  });
+
+  auto t1 = server.submit(make_scene(71), gated);
+  entered.acquire();  // scheduler is now parked inside prepare
+  auto t2 = server.submit(make_scene(72));  // fills the 1-slot queue
+  EXPECT_THROW(server.submit(make_scene(73)), pv::AdmissionRejected);
+  release.release();
+
+  EXPECT_EQ(t1.get().width(), 128);
+  EXPECT_EQ(t2.get().width(), 128);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.peak_queue_depth, 1u);
+}
+
+TEST(SceneServer, CancellationResolvesTicketsAtPipelineBoundaries) {
+  pn::UNet model = make_model();
+  auto cfg = server_config();
+  cfg.min_replicas = cfg.max_replicas = 1;
+  cfg.batch_tiles = 1;
+  cfg.max_batch_wait = 0ms;
+  pv::SceneServer server(model, cfg);
+
+  // Cancelled while queued: gate the scheduler on a first scene, cancel the
+  // second before the gate opens.
+  {
+    std::binary_semaphore entered{0}, release{0};
+    const pp::ExecutionContext gated;
+    gated.set_progress_sink([&](const pp::ProgressEvent& event) {
+      if (std::string(event.stage) == "serve.prepare" &&
+          event.completed == 0) {
+        entered.release();
+        release.acquire();
+      }
+    });
+    auto busy = server.submit(make_scene(81), gated);
+    entered.acquire();
+    auto doomed = server.submit(make_scene(82));
+    doomed.cancel();
+    release.release();
+    EXPECT_THROW((void)doomed.get(), pp::OperationCancelled);
+    EXPECT_NO_THROW((void)busy.get());
+  }
+
+  // Cancelled mid-inference: with one worker and one-tile batches the
+  // remaining tiles are abandoned at the next batch boundary.
+  {
+    const pp::ExecutionContext ctx;
+    ctx.set_progress_sink([&](const pp::ProgressEvent& event) {
+      if (std::string(event.stage) == "serve.tiles" && event.completed == 1) {
+        ctx.request_cancel();
+      }
+    });
+    auto ticket = server.submit(make_scene(83), ctx);
+    EXPECT_THROW((void)ticket.get(), pp::OperationCancelled);
+  }
+
+  // The server stays serviceable after cancellations.
+  EXPECT_EQ(server.classify_scene(make_scene(84)).width(), 128);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.cancelled, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+
+  // Per-ticket cancel is scoped to its scene: two tickets sharing one
+  // submitter context — cancelling one never cancels its sibling (or the
+  // shared context itself).
+  {
+    const pp::ExecutionContext shared_ctx;
+    auto a = server.submit(make_scene(85), shared_ctx);
+    auto b = server.submit(make_scene(86), shared_ctx);
+    a.cancel();
+    try {
+      (void)a.get();  // may have finished before the cancel landed
+    } catch (const pp::OperationCancelled&) {
+    }
+    EXPECT_NO_THROW((void)b.get());
+    EXPECT_FALSE(shared_ctx.cancelled());
+  }
+}
+
+TEST(SceneServer, PadsRaggedScenesLikeInferenceSession) {
+  pn::UNet model = make_model();
+  const auto full = make_scene(55, 128);
+  const auto ragged = pi::crop(full, 0, 0, 100, 72);
+
+  pc::InferenceSessionConfig session_cfg;
+  session_cfg.tile_size = 64;
+  session_cfg.replicas = 1;
+  pc::InferenceSession session(model, session_cfg);
+  const auto reference = session.classify_scene(ragged);
+
+  auto cfg = server_config();
+  pv::SceneServer server(model, cfg);
+  const auto labels = server.classify_scene(ragged);
+  EXPECT_EQ(labels.width(), 100);
+  EXPECT_EQ(labels.height(), 72);
+  EXPECT_EQ(labels, reference);
+
+  // Strict mode matches the workflow contract.
+  cfg.pad_partial_tiles = false;
+  pv::SceneServer strict(model, cfg);
+  EXPECT_THROW((void)strict.submit(ragged.clone()), std::invalid_argument);
+  pi::ImageU8 gray(64, 64, 1);
+  EXPECT_THROW((void)server.submit(gray.clone()), std::invalid_argument);
+}
+
+TEST(SceneServer, ReplicaAutoScalingGrowsUnderBacklogAndShrinksWhenIdle) {
+  pn::UNet model = make_model();
+  auto cfg = server_config();
+  cfg.min_replicas = 1;
+  cfg.max_replicas = 3;
+  cfg.batch_tiles = 2;
+  cfg.max_batch_wait = 0ms;  // keep workers hungry
+  cfg.cache_bytes = 0;
+  cfg.scale_down_idle = 50ms;
+  pv::SceneServer server(model, cfg);
+
+  constexpr int kScenes = 8;
+  std::vector<pi::ImageU8> scenes, references;
+  pc::InferenceWorkflow workflow(model, {}, 64);
+  for (int i = 0; i < kScenes; ++i) {
+    scenes.push_back(make_scene(500 + static_cast<std::uint64_t>(i)));
+    references.push_back(workflow.classify_scene(scenes.back()));
+  }
+
+  std::vector<pv::SceneTicket> tickets;
+  for (const auto& scene : scenes) tickets.push_back(server.submit(scene.clone()));
+  for (int i = 0; i < kScenes; ++i) {
+    EXPECT_EQ(tickets[static_cast<std::size_t>(i)].get(),
+              references[static_cast<std::size_t>(i)])
+        << "scene " << i;
+  }
+
+  auto stats = server.stats();
+  EXPECT_GE(stats.peak_replicas, 2);   // backlog forced a scale-up
+  EXPECT_LE(stats.peak_replicas, 3);
+  EXPECT_LE(stats.session.peak_leases, 3u);
+
+  // Idle scale-down retires replicas back to the warm floor.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (server.stats().replicas > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(20ms);
+  }
+  EXPECT_EQ(server.stats().replicas, 1);
+}
+
+TEST(SceneServer, StatsConsistentUnderConcurrentSubmitters) {
+  pn::UNet model = make_model();
+  auto cfg = server_config();
+  cfg.max_batch_wait = 2ms;
+  cfg.admission.capacity = 64;
+  pv::SceneServer server(model, cfg);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3;
+  std::atomic<int> ok{0};
+  {
+    std::vector<std::jthread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const auto seed =
+              static_cast<std::uint64_t>(7000 + t * kPerThread + i);
+          auto ticket = server.submit(make_scene(seed));
+          if (ticket.get().width() == 128) ok.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+
+  const auto stats = server.stats();
+  const auto total = static_cast<std::size_t>(kThreads * kPerThread);
+  EXPECT_EQ(stats.submitted, total);
+  EXPECT_EQ(stats.completed, total);
+  EXPECT_EQ(stats.cache_hits, 0u);  // all scenes distinct
+  EXPECT_EQ(stats.cache_misses, total);
+  EXPECT_EQ(stats.session.scenes, total);
+  EXPECT_EQ(stats.session.tiles, total * 4);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_LE(stats.peak_queue_depth, cfg.admission.capacity);
+  EXPECT_GE(stats.session.wait_seconds, 0.0);
+  EXPECT_GE(stats.batches, stats.cross_scene_batches);
+}
+
+TEST(SceneServer, ShutdownDrainsAdmittedWorkAndRefusesNew) {
+  pn::UNet model = make_model();
+  auto cfg = server_config();
+  pv::SceneServer server(model, cfg);
+
+  std::vector<pv::SceneTicket> tickets;
+  for (int i = 0; i < 3; ++i) {
+    tickets.push_back(server.submit(make_scene(600 + static_cast<std::uint64_t>(i))));
+  }
+  server.shutdown();
+  for (auto& ticket : tickets) {
+    EXPECT_EQ(ticket.get().width(), 128);  // admitted work completed
+  }
+  EXPECT_THROW((void)server.submit(make_scene(9)), pv::QueueClosed);
+  server.shutdown();  // idempotent
+}
+
+TEST(SceneServer, ConfigValidation) {
+  pn::UNet model = make_model();
+  const auto bad = [&](auto mutate) {
+    auto cfg = server_config();
+    mutate(cfg);
+    EXPECT_THROW(pv::SceneServer(model, cfg), std::invalid_argument);
+  };
+  bad([](pv::SceneServerConfig& c) { c.tile_size = 0; });
+  bad([](pv::SceneServerConfig& c) { c.tile_size = 30; });  // 30 % 4 != 0
+  bad([](pv::SceneServerConfig& c) { c.batch_tiles = 0; });
+  bad([](pv::SceneServerConfig& c) { c.min_replicas = 0; });
+  bad([](pv::SceneServerConfig& c) { c.max_replicas = 0; });
+  bad([](pv::SceneServerConfig& c) { c.max_batch_wait = -1ms; });
+  bad([](pv::SceneServerConfig& c) { c.scale_down_idle = 0ms; });
+  bad([](pv::SceneServerConfig& c) { c.admission.capacity = 0; });
+}

@@ -243,9 +243,38 @@ TEST(InferenceWorkflow, GuardsGeometry) {
   pn::UNet model(mc);
   EXPECT_THROW(pc::InferenceWorkflow(model, {}, 30),  // 30 % 4 != 0
                std::invalid_argument);
+  EXPECT_THROW(pc::InferenceWorkflow(model, {}, 64, /*batch_tiles=*/0),
+               std::invalid_argument);
   pc::InferenceWorkflow inference(model, {}, 64);
   pi::ImageU8 odd_scene(100, 64, 3);
   EXPECT_THROW(inference.classify_scene(odd_scene), std::invalid_argument);
   pi::ImageU8 gray(64, 64, 1);
   EXPECT_THROW(inference.classify_scene(gray), std::invalid_argument);
+}
+
+TEST(InferenceWorkflow, BatchTilesIsConfigurableAndResultInvariant) {
+  pn::UNetConfig mc;
+  mc.depth = 2;
+  mc.base_channels = 6;
+  mc.use_dropout = false;
+  mc.seed = 31;
+  pn::UNet model(mc);
+
+  ps::SceneConfig sc;
+  sc.width = sc.height = 128;
+  sc.seed = 7;
+  sc.cloudy = true;
+  const auto scene = ps::SceneGenerator(sc).generate();
+
+  pc::InferenceWorkflow one(model, {}, 64, /*batch_tiles=*/1);
+  pc::InferenceWorkflow three(model, {}, 64, /*batch_tiles=*/3);
+  pc::InferenceWorkflow deflt(model, {}, 64);
+  EXPECT_EQ(one.batch_tiles(), 1);
+  EXPECT_EQ(three.batch_tiles(), 3);
+  EXPECT_EQ(deflt.batch_tiles(), 8);
+  const auto a = one.classify_scene(scene.rgb);
+  const auto b = three.classify_scene(scene.rgb);
+  const auto c = deflt.classify_scene(scene.rgb);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
 }

@@ -1,0 +1,134 @@
+// RequestQueue admission semantics: FIFO transport, the three full-queue
+// policies (reject / block / deadline), cancellation of blocked submitters,
+// and the close() drain handshake.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "core/serve/request_queue.h"
+#include "par/context.h"
+
+namespace ps = polarice::core::serve;
+namespace pp = polarice::par;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+ps::AdmissionConfig admission(std::size_t capacity, ps::AdmissionPolicy policy,
+                              std::chrono::milliseconds deadline = 50ms) {
+  ps::AdmissionConfig cfg;
+  cfg.capacity = capacity;
+  cfg.policy = policy;
+  cfg.deadline = deadline;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(RequestQueue, FifoTransportAndDepthTelemetry) {
+  ps::RequestQueue<int> queue(admission(8, ps::AdmissionPolicy::kReject));
+  for (int i = 0; i < 5; ++i) queue.push(i);
+  EXPECT_EQ(queue.depth(), 5u);
+  EXPECT_EQ(queue.peak_depth(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(queue.peak_depth(), 5u);
+  EXPECT_EQ(queue.rejected(), 0u);
+}
+
+TEST(RequestQueue, RejectPolicyFailsFastWhenFull) {
+  ps::RequestQueue<int> queue(admission(2, ps::AdmissionPolicy::kReject));
+  queue.push(1);
+  queue.push(2);
+  EXPECT_THROW(queue.push(3), ps::AdmissionRejected);
+  EXPECT_THROW(queue.push(4), ps::AdmissionRejected);
+  EXPECT_EQ(queue.rejected(), 2u);
+  // Space frees -> admission resumes.
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_NO_THROW(queue.push(3));
+}
+
+TEST(RequestQueue, DeadlinePolicyWaitsThenRejects) {
+  ps::RequestQueue<int> queue(
+      admission(1, ps::AdmissionPolicy::kDeadline, 30ms));
+  queue.push(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(queue.push(2), ps::AdmissionRejected);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 25ms);
+
+  // A consumer freeing space within the deadline admits the request.
+  std::jthread consumer([&] {
+    std::this_thread::sleep_for(10ms);
+    (void)queue.pop();
+  });
+  ps::RequestQueue<int>& q = queue;
+  EXPECT_NO_THROW(q.push(3));
+}
+
+TEST(RequestQueue, BlockPolicyBackpressuresUntilSpace) {
+  ps::RequestQueue<int> queue(admission(1, ps::AdmissionPolicy::kBlock));
+  queue.push(1);
+  std::optional<int> popped;
+  {
+    std::jthread consumer([&] {
+      std::this_thread::sleep_for(20ms);
+      popped = queue.pop();
+    });
+    queue.push(2);  // blocks until the consumer frees the slot
+  }
+  EXPECT_EQ(popped.value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST(RequestQueue, BlockedSubmitterHonoursCancellation) {
+  ps::RequestQueue<int> queue(admission(1, ps::AdmissionPolicy::kBlock));
+  queue.push(1);
+  const pp::ExecutionContext ctx;
+  std::jthread canceller([&] {
+    std::this_thread::sleep_for(20ms);
+    ctx.request_cancel();
+  });
+  EXPECT_THROW(queue.push(2, ctx), pp::OperationCancelled);
+  EXPECT_EQ(queue.depth(), 1u);
+}
+
+TEST(RequestQueue, CloseStopsAdmissionAndDrains) {
+  ps::RequestQueue<int> queue(admission(4, ps::AdmissionPolicy::kBlock));
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_THROW(queue.push(3), ps::QueueClosed);
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_FALSE(queue.pop().has_value());      // drained
+  EXPECT_FALSE(queue.pop_for(1ms).has_value());
+}
+
+TEST(RequestQueue, PopForTimesOutOnOpenEmptyQueue) {
+  ps::RequestQueue<int> queue(admission(4, ps::AdmissionPolicy::kBlock));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.pop_for(20ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 15ms);
+  EXPECT_FALSE(queue.closed());
+}
+
+TEST(RequestQueue, ConfigValidation) {
+  EXPECT_THROW(ps::RequestQueue<int>(
+                   admission(0, ps::AdmissionPolicy::kBlock)),
+               std::invalid_argument);
+  EXPECT_THROW(ps::RequestQueue<int>(
+                   admission(1, ps::AdmissionPolicy::kDeadline, -1ms)),
+               std::invalid_argument);
+  EXPECT_STREQ(ps::to_string(ps::AdmissionPolicy::kReject), "reject");
+  EXPECT_STREQ(ps::to_string(ps::AdmissionPolicy::kBlock), "block");
+  EXPECT_STREQ(ps::to_string(ps::AdmissionPolicy::kDeadline), "deadline");
+}

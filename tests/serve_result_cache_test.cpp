@@ -1,0 +1,120 @@
+// ResultCache semantics: content addressing, LRU eviction under a byte
+// budget, recency refresh, and the disabled (zero-budget) configuration.
+
+#include <gtest/gtest.h>
+
+#include "core/serve/result_cache.h"
+#include "img/image.h"
+
+namespace ps = polarice::core::serve;
+namespace pi = polarice::img;
+
+namespace {
+
+pi::ImageU8 make_scene(int size, std::uint8_t fill) {
+  pi::ImageU8 scene(size, size, 3, fill);
+  return scene;
+}
+
+pi::ImageU8 make_plane(int size, std::uint8_t fill) {
+  pi::ImageU8 plane(size, size, 1, fill);
+  return plane;
+}
+
+}  // namespace
+
+TEST(SceneKey, HashSeparatesContentAndGeometry) {
+  const auto a = make_scene(32, 10);
+  auto b = make_scene(32, 10);
+  EXPECT_EQ(ps::hash_scene(a), ps::hash_scene(b));
+
+  b.at(5, 7, 1) = 11;  // one byte differs
+  EXPECT_FALSE(ps::hash_scene(a) == ps::hash_scene(b));
+
+  // Same bytes, different geometry: the key carries dimensions too.
+  pi::ImageU8 wide(64, 16, 3, 10);
+  pi::ImageU8 tall(16, 64, 3, 10);
+  EXPECT_FALSE(ps::hash_scene(wide) == ps::hash_scene(tall));
+}
+
+TEST(ResultCache, HitReturnsIdenticalPlane) {
+  ps::ResultCache cache(1 << 20);
+  const auto key = ps::hash_scene(make_scene(32, 1));
+  const auto plane = make_plane(32, 2);
+
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.insert(key, plane);
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, plane);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, plane.size());  // plane + bookkeeping overhead
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Budget fits exactly two 16x16 planes (256 B + 128 B overhead each).
+  ps::ResultCache cache(2 * (256 + 128));
+  const auto ka = ps::hash_scene(make_scene(16, 1));
+  const auto kb = ps::hash_scene(make_scene(16, 2));
+  const auto kc = ps::hash_scene(make_scene(16, 3));
+
+  cache.insert(ka, make_plane(16, 1));
+  cache.insert(kb, make_plane(16, 2));
+  // Touch A so B becomes the LRU victim.
+  EXPECT_TRUE(cache.lookup(ka).has_value());
+  cache.insert(kc, make_plane(16, 3));
+
+  EXPECT_TRUE(cache.lookup(ka).has_value());
+  EXPECT_FALSE(cache.lookup(kb).has_value());  // evicted
+  EXPECT_TRUE(cache.lookup(kc).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, cache.byte_budget());
+}
+
+TEST(ResultCache, OversizedPlaneIsNotCached) {
+  ps::ResultCache cache(64);  // smaller than any plane + overhead
+  const auto key = ps::hash_scene(make_scene(16, 1));
+  cache.insert(key, make_plane(16, 1));
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ResultCache, ZeroBudgetDisables) {
+  ps::ResultCache cache(0);
+  const auto key = ps::hash_scene(make_scene(16, 1));
+  cache.insert(key, make_plane(16, 1));
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCache, ClearDropsEverything) {
+  ps::ResultCache cache(1 << 20);
+  const auto key = ps::hash_scene(make_scene(16, 1));
+  cache.insert(key, make_plane(16, 1));
+  cache.clear();
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(ResultCache, ReinsertRefreshesRecencyInsteadOfDuplicating) {
+  ps::ResultCache cache(2 * (256 + 128));
+  const auto ka = ps::hash_scene(make_scene(16, 1));
+  const auto kb = ps::hash_scene(make_scene(16, 2));
+  cache.insert(ka, make_plane(16, 1));
+  cache.insert(kb, make_plane(16, 2));
+  cache.insert(ka, make_plane(16, 1));  // refresh, not duplicate
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  const auto kc = ps::hash_scene(make_scene(16, 3));
+  cache.insert(kc, make_plane(16, 3));
+  EXPECT_TRUE(cache.lookup(ka).has_value());   // refreshed -> survives
+  EXPECT_FALSE(cache.lookup(kb).has_value());  // LRU -> evicted
+}
