@@ -4,12 +4,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <thread>
 
 #include "core/autolabel.h"
 #include "core/cloud_filter.h"
+#include "core/corpus.h"
 #include "core/serve/scene_server.h"
 #include "ddp/communicator.h"
 #include "img/color.h"
@@ -21,6 +23,7 @@
 #include "s2/scene.h"
 #include "tensor/conv.h"
 #include "tensor/gemm.h"
+#include "util/mem_stats.h"
 #include "util/rng.h"
 
 using namespace polarice;
@@ -668,6 +671,64 @@ BENCHMARK(BM_UNetForward);
 // batching, and replica leases. The result cache is disabled so every
 // iteration exercises the full forward path (the cache-hit path is ~a hash
 // plus a map lookup and not worth a trend line).
+// Corpus preparation end to end (Acquire -> CloudFilter -> AutoLabel ->
+// ManualLabel -> TileSplit) on an 8-scene fleet, batch vs streaming. Wall
+// time tracks the stage-overlap throughput; the POLARICE_MEM_STATS counters
+// track what the streaming window actually buys:
+//   peak_bytes     — high-water Image/Tensor residency above the pre-run
+//                    level (the corpus-phase peak the ROADMAP item flags)
+//   corpus_bytes   — the returned tiles themselves (identical both modes)
+//   overhead_bytes — peak minus corpus: the transient scene planes, O(scenes)
+//                    for batch, O(window) for streaming
+namespace {
+core::CorpusConfig corpus_bench_config() {
+  core::CorpusConfig cfg;
+  cfg.acquisition.num_scenes = 8;
+  cfg.acquisition.scene_size = 128;
+  cfg.acquisition.tile_size = 64;
+  cfg.acquisition.cloudy_scene_fraction = 0.5;
+  cfg.acquisition.seed = 77;
+  return cfg;
+}
+
+void run_corpus_bench(benchmark::State& state, core::CorpusConfig cfg) {
+  par::ThreadPool pool(4);
+  const par::ExecutionContext ctx(&pool);
+  std::size_t peak = 0, corpus_bytes = 0;
+  for (auto _ : state) {
+    const std::size_t before = util::mem_current_bytes();
+    util::mem_reset_peak();
+    auto tiles = core::prepare_corpus(cfg, ctx);
+    peak = std::max(peak, util::mem_peak_bytes() - before);
+    corpus_bytes = util::mem_current_bytes() - before;
+    benchmark::DoNotOptimize(tiles.data());
+  }
+  state.counters["peak_bytes"] = static_cast<double>(peak);
+  state.counters["corpus_bytes"] = static_cast<double>(corpus_bytes);
+  state.counters["overhead_bytes"] =
+      static_cast<double>(peak > corpus_bytes ? peak - corpus_bytes : 0);
+  state.SetItemsProcessed(state.iterations() *
+                          cfg.acquisition.num_scenes);
+}
+}  // namespace
+
+static void BM_CorpusBatch(benchmark::State& state) {
+  run_corpus_bench(state, corpus_bench_config());
+}
+BENCHMARK(BM_CorpusBatch)->Unit(benchmark::kMillisecond);
+
+static void BM_CorpusStreaming(benchmark::State& state) {
+  auto cfg = corpus_bench_config();
+  cfg.execution = core::CorpusExecution::streaming(
+      static_cast<std::size_t>(state.range(0)));
+  run_corpus_bench(state, cfg);
+}
+BENCHMARK(BM_CorpusStreaming)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 static void BM_ServeSceneThroughput(benchmark::State& state) {
   nn::UNetConfig cfg;
   cfg.depth = 2;

@@ -1,34 +1,60 @@
 #include "core/corpus.h"
 
+#include <stdexcept>
+#include <utility>
+
 #include "core/pipeline.h"
 #include "core/stages.h"
+#include "core/streaming.h"
 
 namespace polarice::core {
 
-std::vector<LabeledTile> prepare_corpus(const CorpusConfig& config,
-                                        const par::ExecutionContext& ctx) {
-  config.acquisition.validate();
+void CorpusExecution::validate() const {
+  if (mode == Mode::kStreaming && window == 0) {
+    throw std::invalid_argument(
+        "CorpusExecution: streaming window must be >= 1");
+  }
+}
 
-  Pipeline pipeline;
-  pipeline.emplace<AcquireStage>(config.acquisition);
+std::vector<std::unique_ptr<SceneStage>> make_corpus_stages(
+    const CorpusConfig& config) {
+  std::vector<std::unique_ptr<SceneStage>> stages;
+  stages.push_back(std::make_unique<AcquireStage>(config.acquisition));
   const bool filtered = config.autolabel.apply_filter;
   const std::string& segmented_key =
       filtered ? keys::kFilteredImages : keys::kScenes;
   if (filtered) {
-    pipeline.emplace<CloudFilterStage>(config.autolabel.filter, keys::kScenes);
+    stages.push_back(std::make_unique<CloudFilterStage>(
+        config.autolabel.filter, keys::kScenes));
   }
   AutoLabelConfig segment_only = config.autolabel;
   segment_only.apply_filter = false;  // the scene is filtered exactly once
-  pipeline.emplace<AutoLabelStage>(segment_only, AutoLabelPolicy::context(),
-                                   segmented_key);
-  pipeline.emplace<ManualLabelStage>(config.manual);
-  pipeline.emplace<TileSplitStage>(config.acquisition.tile_size,
-                                   segmented_key);
+  stages.push_back(std::make_unique<AutoLabelStage>(
+      segment_only, AutoLabelPolicy::context(), segmented_key));
+  stages.push_back(std::make_unique<ManualLabelStage>(config.manual));
+  stages.push_back(std::make_unique<TileSplitStage>(
+      config.acquisition.tile_size, segmented_key));
+  return stages;
+}
 
+std::vector<LabeledTile> prepare_corpus(const CorpusConfig& config,
+                                        const par::ExecutionContext& ctx) {
+  config.acquisition.validate();
+  config.execution.validate();
+
+  auto stages = make_corpus_stages(config);
+  if (config.execution.mode == CorpusExecution::Mode::kStreaming) {
+    const StreamingExecutor executor(config.execution.window);
+    return executor.run(stages,
+                        static_cast<std::size_t>(config.acquisition.num_scenes),
+                        ctx);
+  }
+
+  Pipeline pipeline;
+  for (auto& stage : stages) pipeline.add(std::move(stage));
   ArtifactStore store;
   pipeline.run(ctx, store);
   return store.take<std::vector<LabeledTile>>(keys::kCorpusTiles);
 }
-
 
 }  // namespace polarice::core

@@ -6,6 +6,8 @@
 // envelopes need enough spatial context to see both dark (water) and
 // bright (thick ice) anchors, which small tiles cannot guarantee.
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/autolabel.h"
@@ -15,6 +17,8 @@
 #include "s2/manual_label.h"
 
 namespace polarice::core {
+
+class SceneStage;  // core/stages.h
 
 /// One tile with every label/imagery variant the workflows need.
 struct LabeledTile {
@@ -29,17 +33,53 @@ struct LabeledTile {
   int tile_x = 0, tile_y = 0;
 };
 
+/// How the corpus sub-graph executes.
+///
+/// kBatch runs each stage over the whole fleet before the next starts (the
+/// Pipeline shape) — every scene's planes are resident between stages, so
+/// peak memory is O(scenes). kStreaming drives scenes through the stages as
+/// a software pipeline with at most `window` scenes holding planes at any
+/// instant (core/streaming.h) — peak plane memory is O(window) and stages
+/// of different scenes overlap. Output is bit-identical either way.
+struct CorpusExecution {
+  enum class Mode { kBatch, kStreaming };
+  Mode mode = Mode::kBatch;
+  std::size_t window = 4;  // kStreaming: max scenes with planes resident
+
+  static CorpusExecution batch() { return {}; }
+  static CorpusExecution streaming(std::size_t window) {
+    CorpusExecution execution;
+    execution.mode = Mode::kStreaming;
+    execution.window = window;
+    return execution;
+  }
+
+  void validate() const;  // window >= 1 when streaming
+};
+
 struct CorpusConfig {
   s2::AcquisitionConfig acquisition;
   AutoLabelConfig autolabel;       // filter config rides inside
   s2::ManualLabelConfig manual;
+  CorpusExecution execution;       // batch (default) or streaming{window}
 };
+
+/// The canned corpus sub-graph (Acquire -> [CloudFilter] -> AutoLabel ->
+/// ManualLabel -> TileSplit) as per-scene stages, wired exactly as the
+/// batch pipeline assembles them (the filter runs at most once per scene;
+/// without it the labeler and tiler read the raw scene RGB). Shared by the
+/// batch Pipeline path and the StreamingExecutor so both execute the same
+/// graph.
+std::vector<std::unique_ptr<SceneStage>> make_corpus_stages(
+    const CorpusConfig& config);
 
 /// Generates all scenes, applies scene-level filtering / auto-labeling /
 /// manual annotation, and splits into tiles — the canned Acquire ->
-/// CloudFilter -> AutoLabel -> ManualLabel -> TileSplit mini-pipeline.
-/// Scenes are processed in parallel on the context's pool; cancellation and
-/// progress are honoured per stage. Deterministic for a fixed config.
+/// CloudFilter -> AutoLabel -> ManualLabel -> TileSplit mini-pipeline,
+/// executed under config.execution (whole-fleet batch stages, or the
+/// bounded-residency streaming pipeline). Cancellation and progress are
+/// honoured per stage; output is deterministic for a fixed config and
+/// bit-identical across execution modes, pools, and window sizes.
 std::vector<LabeledTile> prepare_corpus(const CorpusConfig& config,
                                         const par::ExecutionContext& ctx = {});
 

@@ -80,6 +80,12 @@ nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
 }
 
 
+nn::SegDataset build_corpus_dataset(const CorpusConfig& config,
+                                    LabelSource labels, ImageVariant images,
+                                    const par::ExecutionContext& ctx) {
+  return build_dataset(prepare_corpus(config, ctx), labels, images);
+}
+
 nn::SegDataset build_dataset(const std::vector<LabeledTile>& tiles,
                              LabelSource labels, ImageVariant images) {
   nn::SegDataset dataset;

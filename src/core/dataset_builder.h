@@ -50,10 +50,19 @@ nn::SegDataset build_dataset(const std::vector<s2::Tile>& tiles,
                              const par::ExecutionContext& ctx = {});
 
 struct LabeledTile;  // core/corpus.h
+struct CorpusConfig;
 
 /// Builds a SegDataset from a prepared corpus (no recomputation: all label
 /// and imagery variants were produced at scene level by prepare_corpus).
 nn::SegDataset build_dataset(const std::vector<LabeledTile>& tiles,
                              LabelSource labels, ImageVariant images);
+
+/// One-call corpus -> dataset: runs prepare_corpus under the config's
+/// CorpusExecution (whole-fleet batch, or streaming{window} for O(window)
+/// peak plane memory) and converts the tiles. The dataset is bit-identical
+/// across execution modes.
+nn::SegDataset build_corpus_dataset(const CorpusConfig& config,
+                                    LabelSource labels, ImageVariant images,
+                                    const par::ExecutionContext& ctx = {});
 
 }  // namespace polarice::core

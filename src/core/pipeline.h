@@ -10,6 +10,7 @@
 // cancellation token between stages. Swapping a labeler, filter, or model
 // is now "replace one stage" rather than "edit workflow.cpp".
 
+#include <algorithm>
 #include <any>
 #include <memory>
 #include <stdexcept>
@@ -75,17 +76,33 @@ class ArtifactStore {
   }
 
  private:
+  /// A missing key is almost always a miswired graph (e.g. reading a
+  /// scene-level plane after a streaming corpus run freed it), so the
+  /// message names what IS resident to make the mismatch visible.
+  [[nodiscard]] std::string missing_message(const std::string& key) const {
+    std::string msg = "ArtifactStore: missing artifact '" + key + "'";
+    if (items_.empty()) return msg + " (store is empty)";
+    auto resident = keys();
+    std::sort(resident.begin(), resident.end());
+    msg += "; store holds: ";
+    for (std::size_t i = 0; i < resident.size(); ++i) {
+      if (i != 0) msg += ", ";
+      msg += "'" + resident[i] + "'";
+    }
+    return msg;
+  }
+
   [[nodiscard]] const std::any& item(const std::string& key) const {
     const auto it = items_.find(key);
     if (it == items_.end()) {
-      throw std::logic_error("ArtifactStore: missing artifact '" + key + "'");
+      throw std::logic_error(missing_message(key));
     }
     return it->second;
   }
   [[nodiscard]] std::any& mutable_item(const std::string& key) {
     const auto it = items_.find(key);
     if (it == items_.end()) {
-      throw std::logic_error("ArtifactStore: missing artifact '" + key + "'");
+      throw std::logic_error(missing_message(key));
     }
     return it->second;
   }

@@ -40,6 +40,7 @@ struct TicketState {
   int orig_w = 0, orig_h = 0;
   int tiles_x = 0, tiles_y = 0;
   SceneKey key;
+  bool keyed = false;     // key computed (cache and/or single-flight on)
   bool cacheable = false;
 
   // Inference scatter.
@@ -284,26 +285,119 @@ void SceneServer::prepare(const std::shared_ptr<TicketState>& ticket) {
     return;
   }
 
-  // Result cache: a content-identical scene skips the forward path
-  // entirely.
-  if (cache_.byte_budget() > 0) {
+  const bool use_cache = cache_.byte_budget() > 0;
+  if (use_cache || config_.single_flight) {
     t.key = hash_scene(t.scene);
-    t.cacheable = true;
-    if (auto hit = cache_.lookup(t.key)) {
-      if (t.claim()) {
-        // Counters first: a caller returning from get() must already see
-        // this scene in stats().
-        {
-          const std::scoped_lock lock(stats_mutex_);
-          ++counters_.completed;
+    t.keyed = true;
+    t.cacheable = use_cache;
+    // Result cache: a content-identical finished scene skips the forward
+    // path entirely.
+    if (use_cache) {
+      if (auto hit = cache_.lookup(t.key)) {
+        if (t.claim()) {
+          // Counters first: a caller returning from get() must already see
+          // this scene in stats().
+          {
+            const std::scoped_lock lock(stats_mutex_);
+            ++counters_.completed;
+          }
+          t.publish(std::move(*hit), nullptr);
         }
-        t.publish(std::move(*hit), nullptr);
+        retire_pending();
+        return;
       }
+    }
+    // Single-flight: a content-identical scene still mid-flight shares the
+    // leader's forward passes; this ticket resolves when the leader does.
+    if (config_.single_flight && attach_or_lead(ticket)) {
       retire_pending();
       return;
     }
   }
 
+  fan_out(ticket);
+  retire_pending();
+}
+
+bool SceneServer::attach_or_lead(const std::shared_ptr<TicketState>& ticket) {
+  bool attached = false;
+  {
+    const std::scoped_lock lock(inflight_mutex_);
+    auto it = inflight_.find(ticket->key);
+    if (it != inflight_.end()) {
+      it->second.followers.push_back(ticket);
+      attached = true;
+    } else {
+      inflight_.emplace(ticket->key, Flight{ticket, {}});
+    }
+  }
+  if (attached) {
+    const std::scoped_lock lock(stats_mutex_);
+    ++counters_.coalesced;
+  }
+  return attached;
+}
+
+std::vector<std::shared_ptr<TicketState>> SceneServer::take_followers(
+    const std::shared_ptr<TicketState>& ticket) {
+  if (!config_.single_flight || !ticket->keyed) return {};
+  const std::scoped_lock lock(inflight_mutex_);
+  auto it = inflight_.find(ticket->key);
+  if (it == inflight_.end() || it->second.leader != ticket) return {};
+  auto followers = std::move(it->second.followers);
+  inflight_.erase(it);
+  return followers;
+}
+
+void SceneServer::promote(
+    std::vector<std::shared_ptr<TicketState>> followers) {
+  std::shared_ptr<TicketState> leader;
+  std::vector<std::shared_ptr<TicketState>> rest;
+  for (auto& follower : followers) {
+    if (leader == nullptr && !follower->cancelled()) {
+      leader = std::move(follower);
+      continue;
+    }
+    if (leader == nullptr) {
+      // Cancelled before any live leader emerged; resolve it as cancelled.
+      resolve_error(follower, std::make_exception_ptr(par::OperationCancelled(
+                                  "SceneServer::promote")));
+      continue;
+    }
+    rest.push_back(std::move(follower));
+  }
+  if (leader == nullptr) return;
+
+  bool lead = false;
+  {
+    const std::scoped_lock lock(inflight_mutex_);
+    auto it = inflight_.find(leader->key);
+    if (it != inflight_.end()) {
+      // A new submission took the hash over in the meantime — everyone
+      // (including the would-be leader) attaches to it instead. Not
+      // re-counted in `coalesced`: each of these tickets was already
+      // counted when it first attached.
+      it->second.followers.push_back(leader);
+      for (auto& follower : rest) {
+        it->second.followers.push_back(std::move(follower));
+      }
+    } else {
+      inflight_.emplace(leader->key, Flight{leader, std::move(rest)});
+      lead = true;
+    }
+  }
+  // The promoted leader re-runs the forward path from the top: its own
+  // scene bytes are intact (only the failed leader's were released). This
+  // runs on whichever thread resolved the leader — usually an inference
+  // worker — which stalls that worker for one scene-prep. Deliberate: the
+  // admission queue may already be closed (shutdown drain) when a leader
+  // fails, so re-queueing through the scheduler is not an option on the
+  // one path that must still make progress, and leader failure is rare.
+  if (lead) fan_out(leader);
+}
+
+void SceneServer::fan_out(const std::shared_ptr<TicketState>& ticket) {
+  TicketState& t = *ticket;
   try {
     t.ctx.report_progress("serve.prepare", 0, 1);
     // The submitter's pool (if any) runs this scene's filter; otherwise the
@@ -348,7 +442,6 @@ void SceneServer::prepare(const std::shared_ptr<TicketState>& ticket) {
   } catch (...) {
     resolve_error(ticket, std::current_exception());
   }
-  retire_pending();
 }
 
 // ---------------------------------------------------------------------------
@@ -507,6 +600,29 @@ void SceneServer::finalize(const std::shared_ptr<TicketState>& ticket) {
     ++counters_.session.scenes;
     counters_.session.busy_seconds += latency;
   }
+
+  // Single-flight: this leader's plane resolves every attached follower
+  // (each spent zero forward passes). A follower cancelled while it waited
+  // resolves as cancelled, matching the promote() path — the result is in
+  // hand, but the submitter asked out. Counters before each publish, as
+  // everywhere.
+  for (const auto& follower : take_followers(ticket)) {
+    if (follower->cancelled()) {
+      resolve_error(follower,
+                    std::make_exception_ptr(
+                        par::OperationCancelled("SceneServer::coalesced")));
+      continue;
+    }
+    if (!follower->claim()) continue;
+    {
+      const std::scoped_lock lock(stats_mutex_);
+      ++counters_.completed;
+    }
+    // A follower's own sink never saw prepare/tile ticks (the leader did
+    // the work); one completion tick keeps progress-driven callers moving.
+    follower->ctx.report_progress("serve.coalesced", 1, 1);
+    follower->publish(labels.clone(), nullptr);
+  }
   t.publish(std::move(labels), nullptr);
 }
 
@@ -530,6 +646,11 @@ void SceneServer::resolve_error(const std::shared_ptr<TicketState>& ticket,
     }
   }
   t.publish(img::ImageU8(), std::move(error));
+
+  // A failed/cancelled leader must not take its followers down with it:
+  // they were coalesced on content, not on the submitter's intent.
+  auto followers = take_followers(ticket);
+  if (!followers.empty()) promote(std::move(followers));
 }
 
 // ---------------------------------------------------------------------------

@@ -11,6 +11,13 @@
 //   scheduler thread
 //     -> cancellation check -> result-cache lookup (content hash; a hit
 //        resolves the ticket with zero forward passes)
+//     -> single-flight coalescing: a scene whose content hash matches one
+//        already mid-flight attaches to that leader's ticket instead of
+//        running its own forward passes; the leader's completion resolves
+//        every follower with the shared plane. If a leader fails or is
+//        cancelled, the first live follower is promoted to a fresh leader
+//        and re-runs the forward path — followers never inherit a leader's
+//        cancellation.
 //     -> cloud/shadow filter + pad -> tiles pushed to the batch scheduler
 //   inference workers (one per potential replica)
 //     -> dynamic batching: each forward pass is filled with up to
@@ -42,6 +49,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/cloud_filter.h"
@@ -72,6 +80,10 @@ struct SceneServerConfig {
   std::chrono::milliseconds scale_down_idle{250};
   std::size_t cache_bytes = std::size_t{64} << 20;  // result cache budget;
                                                     // 0 disables caching
+  // Single-flight coalescing: content-identical in-flight scenes share one
+  // forward pass (works with the cache disabled; hashing happens whenever
+  // either feature is on).
+  bool single_flight = true;
 
   void validate() const;
 };
@@ -91,6 +103,8 @@ struct SceneServerStats {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t cache_evictions = 0;
+  std::size_t coalesced = 0;           // followers attached to an in-flight
+                                       // leader (single-flight)
   std::size_t batches = 0;             // forward passes issued
   std::size_t cross_scene_batches = 0; // batches mixing >= 2 scenes
   std::size_t peak_queue_depth = 0;    // submission-queue high water
@@ -179,8 +193,27 @@ class SceneServer {
   void worker_loop();
 
   /// Scheduler-side per-scene work: cancellation check, cache lookup,
-  /// filter + pad, tile fan-out.
+  /// single-flight attach-or-lead, then fan_out().
   void prepare(const std::shared_ptr<detail::TicketState>& ticket);
+
+  /// Filter + pad + tile fan-out of one leading scene (also called when a
+  /// follower is promoted after its leader failed).
+  void fan_out(const std::shared_ptr<detail::TicketState>& ticket);
+
+  /// Single-flight: registers the ticket as leader of its content hash, or
+  /// attaches it as a follower of the current leader (true = attached; the
+  /// caller must not fan the scene out).
+  bool attach_or_lead(const std::shared_ptr<detail::TicketState>& ticket);
+
+  /// Takes this leader's followers and retires the in-flight entry (empty
+  /// when the ticket never led, or has no followers).
+  [[nodiscard]] std::vector<std::shared_ptr<detail::TicketState>>
+  take_followers(const std::shared_ptr<detail::TicketState>& ticket);
+
+  /// Leader failed: resolve cancelled followers, promote the first live one
+  /// to a fresh leader (re-registering the rest under it) and re-run its
+  /// forward path.
+  void promote(std::vector<std::shared_ptr<detail::TicketState>> followers);
 
   /// Pops one dynamic batch (empty only when stopping and drained).
   std::vector<TileWork> gather();
@@ -204,6 +237,15 @@ class SceneServer {
   ReplicaPool pool_;
   ResultCache cache_;
   RequestQueue<std::shared_ptr<detail::TicketState>> queue_;
+
+  // Single-flight state: content hash -> {leader, followers}. An entry
+  // lives from the leader's registration to its resolution.
+  struct Flight {
+    std::shared_ptr<detail::TicketState> leader;
+    std::vector<std::shared_ptr<detail::TicketState>> followers;
+  };
+  std::mutex inflight_mutex_;
+  std::unordered_map<SceneKey, Flight, SceneKeyHash> inflight_;
 
   // Batch scheduler state.
   std::mutex tile_mutex_;

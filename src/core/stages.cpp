@@ -50,23 +50,31 @@ AcquireStage::AcquireStage(s2::AcquisitionConfig config)
   config_.validate();
 }
 
-void AcquireStage::run(const par::ExecutionContext& ctx,
-                       ArtifactStore& store) {
-  const auto num_scenes = static_cast<std::size_t>(config_.num_scenes);
+void AcquireStage::run_scene(const par::ExecutionContext& ctx,
+                             SceneSlot& slot) const {
+  ctx.throw_if_cancelled("acquire");
   const int cloudy_scenes =
       static_cast<int>(config_.cloudy_scene_fraction *
                            static_cast<double>(config_.num_scenes) +
                        0.5);
+  s2::SceneConfig sc = config_.scene_template;
+  sc.width = sc.height = config_.scene_size;
+  sc.seed = config_.seed + slot.index;
+  sc.cloudy = static_cast<int>(slot.index) < cloudy_scenes;
+  slot.scene = s2::SceneGenerator(sc).generate();
+}
+
+void AcquireStage::run(const par::ExecutionContext& ctx,
+                       ArtifactStore& store) {
+  const auto num_scenes = static_cast<std::size_t>(config_.num_scenes);
   std::vector<s2::Scene> scenes(num_scenes);
   par::parallel_for(
       ctx.pool(), 0, num_scenes,
       [&](std::size_t i) {
-        ctx.throw_if_cancelled("acquire");
-        s2::SceneConfig sc = config_.scene_template;
-        sc.width = sc.height = config_.scene_size;
-        sc.seed = config_.seed + i;
-        sc.cloudy = static_cast<int>(i) < cloudy_scenes;
-        scenes[i] = s2::SceneGenerator(sc).generate();
+        SceneSlot slot;
+        slot.index = i;
+        run_scene(ctx, slot);
+        scenes[i] = std::move(slot.scene);
       },
       /*grain=*/1);
   store.put(keys::kScenes, std::move(scenes));
@@ -85,6 +93,14 @@ CloudFilterStage::CloudFilterStage(CloudFilterConfig config,
   config_.validate();
 }
 
+void CloudFilterStage::run_scene(const par::ExecutionContext& ctx,
+                                 SceneSlot& slot) const {
+  ctx.throw_if_cancelled("cloud_filter");
+  // Intra-scene row parallelism from the caller's pool; the filter output
+  // is pool-invariant, so this matches the batch path bit for bit.
+  slot.filtered = CloudShadowFilter(config_).apply(slot.scene.rgb, ctx);
+}
+
 void CloudFilterStage::run(const par::ExecutionContext& ctx,
                            ArtifactStore& store) {
   const auto images = rgb_inputs(store, input_key_);
@@ -94,11 +110,14 @@ void CloudFilterStage::run(const par::ExecutionContext& ctx,
     // Serving shape: one scene, intra-image row parallelism.
     filtered[0] = filter.apply(*images[0], ctx);
   } else {
+    // A loop over the per-scene kernel, parallel across scenes and
+    // sequential inside each (the batch shape).
+    const par::ExecutionContext scene_ctx = ctx.with_pool(nullptr);
     par::parallel_for(
         ctx.pool(), 0, images.size(),
         [&](std::size_t i) {
           ctx.throw_if_cancelled("cloud_filter");
-          filtered[i] = filter.apply(*images[i]);
+          filtered[i] = filter.apply(*images[i], scene_ctx);
         },
         /*grain=*/1);
   }
@@ -199,6 +218,14 @@ std::vector<AutoLabelResult> AutoLabelStage::label_batch(
   return results;
 }
 
+void AutoLabelStage::run_scene(const par::ExecutionContext& ctx,
+                               SceneSlot& slot) const {
+  ctx.throw_if_cancelled("auto_label");
+  // Same fused labeler as label_batch; its output is pool-invariant, so the
+  // streaming path may use intra-scene row parallelism freely.
+  slot.auto_labels = AutoLabeler(config_).label(slot.segmented(), ctx).labels;
+}
+
 void AutoLabelStage::run(const par::ExecutionContext& ctx,
                          ArtifactStore& store) {
   auto results = label_batch(rgb_inputs(store, input_key_), ctx);
@@ -218,19 +245,32 @@ void AutoLabelStage::run(const par::ExecutionContext& ctx,
 ManualLabelStage::ManualLabelStage(s2::ManualLabelConfig config)
     : config_(config) {}
 
+void ManualLabelStage::run_scene(const par::ExecutionContext& ctx,
+                                 SceneSlot& slot) const {
+  ctx.throw_if_cancelled("manual_label");
+  auto cfg = config_;
+  cfg.seed += slot.index;  // per-scene annotator stream
+  slot.manual_labels = s2::simulate_manual_labels(slot.scene.labels, cfg);
+}
+
 void ManualLabelStage::run(const par::ExecutionContext& ctx,
                            ArtifactStore& store) {
-  const auto& scenes = store.get<std::vector<s2::Scene>>(keys::kScenes);
+  // A loop over run_scene: each scene is moved through a transient slot
+  // (moves only — the store's planes are never copied) and back.
+  auto scenes = store.take<std::vector<s2::Scene>>(keys::kScenes);
   std::vector<img::ImageU8> labels(scenes.size());
   par::parallel_for(
       ctx.pool(), 0, scenes.size(),
       [&](std::size_t i) {
-        ctx.throw_if_cancelled("manual_label");
-        auto cfg = config_;
-        cfg.seed += i;  // per-scene annotator stream
-        labels[i] = s2::simulate_manual_labels(scenes[i].labels, cfg);
+        SceneSlot slot;
+        slot.index = i;
+        slot.scene = std::move(scenes[i]);
+        run_scene(ctx, slot);
+        labels[i] = std::move(slot.manual_labels);
+        scenes[i] = std::move(slot.scene);
       },
       /*grain=*/1);
+  store.put(keys::kScenes, std::move(scenes));
   store.put(keys::kManualLabels, std::move(labels));
 }
 
@@ -243,6 +283,41 @@ TileSplitStage::TileSplitStage(int tile_size, std::string filtered_key)
   if (tile_size_ <= 0) {
     throw std::invalid_argument("TileSplitStage: tile_size must be positive");
   }
+}
+
+std::vector<LabeledTile> TileSplitStage::split_one(
+    const s2::Scene& scene, const img::ImageU8& segmented,
+    const img::ImageU8& auto_labels, const img::ImageU8& manual_labels,
+    int scene_index) const {
+  auto scene_tiles = s2::split_scene(scene, tile_size_, scene_index);
+  std::vector<LabeledTile> out;
+  out.reserve(scene_tiles.size());
+  for (auto& st : scene_tiles) {
+    LabeledTile tile;
+    const int x0 = st.tile_x * tile_size_;
+    const int y0 = st.tile_y * tile_size_;
+    tile.rgb = std::move(st.rgb);
+    tile.rgb_clean = std::move(st.rgb_clean);
+    tile.truth = std::move(st.labels);
+    tile.rgb_filtered = img::crop(segmented, x0, y0, tile_size_, tile_size_);
+    tile.auto_labels =
+        img::crop(auto_labels, x0, y0, tile_size_, tile_size_);
+    tile.manual_labels =
+        img::crop(manual_labels, x0, y0, tile_size_, tile_size_);
+    tile.cloud_fraction = st.cloud_fraction;
+    tile.scene_index = st.scene_index;
+    tile.tile_x = st.tile_x;
+    tile.tile_y = st.tile_y;
+    out.push_back(std::move(tile));
+  }
+  return out;
+}
+
+void TileSplitStage::run_scene(const par::ExecutionContext& ctx,
+                               SceneSlot& slot) const {
+  ctx.throw_if_cancelled("tile_split");
+  slot.tiles = split_one(slot.scene, slot.segmented(), slot.auto_labels,
+                         slot.manual_labels, static_cast<int>(slot.index));
 }
 
 void TileSplitStage::run(const par::ExecutionContext& ctx,
@@ -277,30 +352,12 @@ void TileSplitStage::run(const par::ExecutionContext& ctx,
       ctx.pool(), 0, scenes.size(),
       [&](std::size_t scene_idx) {
         ctx.throw_if_cancelled("tile_split");
-        const auto scene_tiles = s2::split_scene(
-            scenes[scene_idx], tile_size_, static_cast<int>(scene_idx));
-        const auto tiles_per_scene =
-            static_cast<int>(offsets[scene_idx + 1] - offsets[scene_idx]);
-        for (int i = 0; i < tiles_per_scene; ++i) {
-          const auto& st = scene_tiles[static_cast<std::size_t>(i)];
-          LabeledTile out;
-          const int x0 = st.tile_x * tile_size_;
-          const int y0 = st.tile_y * tile_size_;
-          out.rgb = st.rgb;
-          out.rgb_clean = st.rgb_clean;
-          out.truth = st.labels;
-          out.rgb_filtered =
-              img::crop(*filtered[scene_idx], x0, y0, tile_size_, tile_size_);
-          out.auto_labels = img::crop(auto_labels[scene_idx], x0, y0,
-                                      tile_size_, tile_size_);
-          out.manual_labels = img::crop(manual_labels[scene_idx], x0, y0,
-                                        tile_size_, tile_size_);
-          out.cloud_fraction = st.cloud_fraction;
-          out.scene_index = st.scene_index;
-          out.tile_x = st.tile_x;
-          out.tile_y = st.tile_y;
-          tiles[offsets[scene_idx] + static_cast<std::size_t>(i)] =
-              std::move(out);
+        auto scene_tiles =
+            split_one(scenes[scene_idx], *filtered[scene_idx],
+                      auto_labels[scene_idx], manual_labels[scene_idx],
+                      static_cast<int>(scene_idx));
+        for (std::size_t i = 0; i < scene_tiles.size(); ++i) {
+          tiles[offsets[scene_idx] + i] = std::move(scene_tiles[i]);
         }
       },
       /*grain=*/1);

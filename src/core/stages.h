@@ -73,6 +73,55 @@ struct TileGrid {
 };
 
 // ---------------------------------------------------------------------------
+// Per-scene execution surface (batch Pipeline AND the streaming executor).
+// ---------------------------------------------------------------------------
+
+/// Per-scene artifact scope for the corpus sub-graph: every plane one scene
+/// accumulates on its way from Acquire to TileSplit lives here instead of
+/// under a global ArtifactStore key. The batch Pipeline materializes slots
+/// transiently while looping a stage over the fleet; the StreamingExecutor
+/// keeps at most `window` slots alive at once, and release_planes() frees a
+/// finished scene's imagery the moment its tiles are cut — the streaming
+/// path's replacement for DropArtifactsStage.
+struct SceneSlot {
+  std::size_t index = 0;          // scene position in the fleet
+
+  s2::Scene scene;                // owned after AcquireStage
+  img::ImageU8 filtered;          // CloudFilterStage output (empty = no filter)
+  img::ImageU8 auto_labels;       // AutoLabelStage output
+  img::ImageU8 manual_labels;     // ManualLabelStage output
+  std::vector<LabeledTile> tiles; // TileSplitStage output (survives release)
+
+  /// The image the labeler/tiler should segment: the filtered plane when
+  /// the filter ran, else the raw scene RGB — the per-scene analogue of the
+  /// batch graph's `segmented_key` wiring.
+  [[nodiscard]] const img::ImageU8& segmented() const noexcept {
+    return filtered.empty() ? scene.rgb : filtered;
+  }
+
+  /// Frees every scene-level plane; only the tiles remain.
+  void release_planes() {
+    scene = s2::Scene{};
+    filtered = img::ImageU8{};
+    auto_labels = img::ImageU8{};
+    manual_labels = img::ImageU8{};
+  }
+};
+
+/// A Stage whose corpus work decomposes scene-by-scene. run_scene()
+/// processes exactly one scene inside its SceneSlot — the unit the
+/// StreamingExecutor pipelines under a bounded residency window — and the
+/// store-based run() is a loop over the same per-scene kernel, so batch and
+/// streaming execution share one implementation and stay bit-identical by
+/// construction (the per-scene kernels are pool-invariant, so it does not
+/// matter which path supplies the intra-scene parallelism).
+class SceneStage : public Stage {
+ public:
+  virtual void run_scene(const par::ExecutionContext& ctx,
+                         SceneSlot& slot) const = 0;
+};
+
+// ---------------------------------------------------------------------------
 // Acquisition & labeling stages (Fig 2 front half / corpus preparation).
 // ---------------------------------------------------------------------------
 
@@ -80,7 +129,7 @@ struct TileGrid {
 /// `config.seed + i`; the first cloudy_scene_fraction of scenes carry
 /// atmosphere. Downstream image stages read the RGB planes from kScenes in
 /// place — no duplicated imagery artifact.
-class AcquireStage : public Stage {
+class AcquireStage : public SceneStage {
  public:
   explicit AcquireStage(s2::AcquisitionConfig config);
 
@@ -89,6 +138,12 @@ class AcquireStage : public Stage {
     return {keys::kScenes};
   }
   void run(const par::ExecutionContext& ctx, ArtifactStore& store) override;
+  void run_scene(const par::ExecutionContext& ctx,
+                 SceneSlot& slot) const override;
+
+  [[nodiscard]] const s2::AcquisitionConfig& config() const noexcept {
+    return config_;
+  }
 
  private:
   s2::AcquisitionConfig config_;
@@ -97,7 +152,7 @@ class AcquireStage : public Stage {
 /// Applies the thin-cloud/shadow filter to a list of RGB images. Items are
 /// processed in parallel on the context pool; a single item is instead
 /// filtered with intra-image row parallelism (the inference-serving shape).
-class CloudFilterStage : public Stage {
+class CloudFilterStage : public SceneStage {
  public:
   explicit CloudFilterStage(CloudFilterConfig config = {},
                             std::string input_key = keys::kSceneImages,
@@ -111,6 +166,8 @@ class CloudFilterStage : public Stage {
     return {output_key_};
   }
   void run(const par::ExecutionContext& ctx, ArtifactStore& store) override;
+  void run_scene(const par::ExecutionContext& ctx,
+                 SceneSlot& slot) const override;
 
  private:
   CloudFilterConfig config_;
@@ -153,8 +210,10 @@ struct AutoLabelBatchStats {
 
 /// Color-segmentation auto-labeling of an image list — one labeling
 /// implementation (core::AutoLabeler) behind three execution policies.
-/// Results are in input order regardless of policy.
-class AutoLabelStage : public Stage {
+/// Results are in input order regardless of policy. run_scene() labels the
+/// slot's segmented plane directly (the streaming path is scene-at-a-time,
+/// so the batch-shaped pool/spark policies do not apply to it).
+class AutoLabelStage : public SceneStage {
  public:
   explicit AutoLabelStage(AutoLabelConfig config = {},
                           AutoLabelPolicy policy = {},
@@ -169,6 +228,8 @@ class AutoLabelStage : public Stage {
     return {output_key_};
   }
   void run(const par::ExecutionContext& ctx, ArtifactStore& store) override;
+  void run_scene(const par::ExecutionContext& ctx,
+                 SceneSlot& slot) const override;
 
   /// The underlying batch entry point (what the Table I / Table II benches
   /// and the Fig 10 sweep call directly).
@@ -198,7 +259,7 @@ class AutoLabelStage : public Stage {
 
 /// Simulated human annotation of the ground-truth planes (scene i uses
 /// annotator seed `config.seed + i`, as prepare_corpus always did).
-class ManualLabelStage : public Stage {
+class ManualLabelStage : public SceneStage {
  public:
   explicit ManualLabelStage(s2::ManualLabelConfig config = {});
 
@@ -210,6 +271,8 @@ class ManualLabelStage : public Stage {
     return {keys::kManualLabels};
   }
   void run(const par::ExecutionContext& ctx, ArtifactStore& store) override;
+  void run_scene(const par::ExecutionContext& ctx,
+                 SceneSlot& slot) const override;
 
  private:
   s2::ManualLabelConfig config_;
@@ -218,7 +281,7 @@ class ManualLabelStage : public Stage {
 /// Splits the scene-level planes into LabeledTiles (the paper's 2048 -> 8x8
 /// grid). `filtered_key` may point at the raw RGB list when the workflow
 /// runs without the filter.
-class TileSplitStage : public Stage {
+class TileSplitStage : public SceneStage {
  public:
   TileSplitStage(int tile_size,
                  std::string filtered_key = keys::kFilteredImages);
@@ -232,8 +295,17 @@ class TileSplitStage : public Stage {
     return {keys::kCorpusTiles};
   }
   void run(const par::ExecutionContext& ctx, ArtifactStore& store) override;
+  void run_scene(const par::ExecutionContext& ctx,
+                 SceneSlot& slot) const override;
 
  private:
+  /// The shared per-scene kernel: cuts one scene (and its label/imagery
+  /// planes) into LabeledTiles in row-major tile order.
+  [[nodiscard]] std::vector<LabeledTile> split_one(
+      const s2::Scene& scene, const img::ImageU8& segmented,
+      const img::ImageU8& auto_labels, const img::ImageU8& manual_labels,
+      int scene_index) const;
+
   int tile_size_;
   std::string filtered_key_;
 };

@@ -1,0 +1,116 @@
+#include "core/streaming.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "par/task_group.h"
+
+namespace polarice::core {
+
+StreamingExecutor::StreamingExecutor(std::size_t window) : window_(window) {
+  if (window_ == 0) {
+    throw std::invalid_argument("StreamingExecutor: window must be >= 1");
+  }
+}
+
+std::vector<LabeledTile> StreamingExecutor::run(
+    const std::vector<std::unique_ptr<SceneStage>>& stages,
+    std::size_t num_scenes, const par::ExecutionContext& ctx,
+    StreamingStats* stats) const {
+  std::vector<std::vector<LabeledTile>> per_scene(num_scenes);
+  std::atomic<std::size_t> completed{0};
+
+  // One scene's whole stage chain, inside one slot. The slot (and with it
+  // every scene-level plane) dies before the ticket is released, so the
+  // window bounds plane residency, not just task concurrency.
+  const auto run_one = [&](std::size_t index) {
+    SceneSlot slot;
+    slot.index = index;
+    for (const auto& stage : stages) {
+      ctx.throw_if_cancelled("corpus_stream");
+      stage->run_scene(ctx, slot);
+    }
+    per_scene[index] = std::move(slot.tiles);
+    slot.release_planes();
+    ctx.report_progress("corpus_stream",
+                        completed.fetch_add(1, std::memory_order_acq_rel) + 1,
+                        num_scenes);
+  };
+
+  std::size_t peak_in_flight = num_scenes == 0 ? 0 : 1;
+  if (ctx.pool() == nullptr || window_ == 1 || num_scenes <= 1) {
+    // Degenerate window: strictly one scene resident at a time.
+    for (std::size_t i = 0; i < num_scenes; ++i) run_one(i);
+  } else {
+    par::TicketWindow gate(window_);
+    std::atomic<bool> failed{false};
+    {
+      par::TaskGroup group(*ctx.pool());
+      for (std::size_t i = 0; i < num_scenes; ++i) {
+        // A failed scene stops admission; already-admitted scenes drain in
+        // the TaskGroup join below and wait() rethrows the first error.
+        // Re-checked after the blocking acquire: a scene that failed while
+        // the producer waited must not admit one more full scene of work.
+        if (failed.load(std::memory_order_acquire)) break;
+        gate.acquire(ctx);  // backpressure; throws on cancellation
+        if (failed.load(std::memory_order_acquire)) {
+          gate.release();
+          break;
+        }
+        group.run([&, i] {
+          struct Ticket {
+            par::TicketWindow* gate;
+            ~Ticket() { gate->release(); }
+          } ticket{&gate};
+          try {
+            run_one(i);
+          } catch (...) {
+            failed.store(true, std::memory_order_release);
+            throw;
+          }
+        });
+      }
+      group.wait();
+    }
+    peak_in_flight = gate.peak();
+  }
+
+  if (stats != nullptr) {
+    stats->scenes = num_scenes;
+    stats->peak_in_flight = peak_in_flight;
+  }
+
+  // Restore fleet (batch) order: scene i's tiles precede scene i+1's, in
+  // the same row-major per-scene order TileSplitStage emits — bit-identical
+  // input for TrainTestSplitStage's seeded shuffle.
+  std::size_t total = 0;
+  for (const auto& tiles : per_scene) total += tiles.size();
+  std::vector<LabeledTile> corpus;
+  corpus.reserve(total);
+  for (auto& tiles : per_scene) {
+    for (auto& tile : tiles) corpus.push_back(std::move(tile));
+    tiles = {};
+  }
+  return corpus;
+}
+
+StreamingCorpusStage::StreamingCorpusStage(CorpusConfig config,
+                                           std::size_t window)
+    : config_(std::move(config)), executor_(window) {
+  config_.acquisition.validate();
+}
+
+void StreamingCorpusStage::run(const par::ExecutionContext& ctx,
+                               ArtifactStore& store) {
+  const auto stages = make_corpus_stages(config_);
+  store.put(keys::kCorpusTiles,
+            executor_.run(stages,
+                          static_cast<std::size_t>(
+                              config_.acquisition.num_scenes),
+                          ctx));
+}
+
+}  // namespace polarice::core

@@ -1,0 +1,93 @@
+#pragma once
+// StreamingExecutor — bounded-memory, stage-overlapped execution of the
+// per-scene corpus sub-graph (Acquire -> [CloudFilter] -> AutoLabel ->
+// ManualLabel -> TileSplit).
+//
+// The batch Pipeline runs each stage over the WHOLE fleet before the next
+// stage starts, so every scene's planes are resident between stages and the
+// corpus phase peaks at O(scenes) plane memory — ROADMAP's blocker for
+// paper-scale 2048^2 fleets. The streaming executor instead drives scenes
+// through the stages as a software pipeline:
+//
+//   * a TicketWindow admits at most `window` scenes at any instant — scene
+//     i can be in TileSplit while scene i+window-1 is still in Acquire;
+//   * each admitted scene runs its stage chain inside one SceneSlot on the
+//     context's work-stealing pool (par::TaskGroup), with intra-scene row
+//     parallelism from the same pool, so a small window still saturates
+//     cores;
+//   * a finished scene hands its tiles to the accumulating corpus and frees
+//     its planes immediately (the ticket is released only after the slot
+//     dies), subsuming DropArtifactsStage for this path.
+//
+// Determinism: per-scene seeds are index-derived and every per-scene kernel
+// is pool-invariant, so the tile list — restored to fleet order before it
+// reaches TrainTestSplit — is bit-identical to the batch pipeline for every
+// window size and pool shape.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/corpus.h"
+#include "core/pipeline.h"
+#include "core/stages.h"
+#include "par/context.h"
+
+namespace polarice::core {
+
+/// Telemetry of one streaming run.
+struct StreamingStats {
+  std::size_t scenes = 0;          // scenes driven through the stage chain
+  std::size_t peak_in_flight = 0;  // residency high water (<= window)
+};
+
+class StreamingExecutor {
+ public:
+  /// `window` = max scenes holding planes at once. Throws
+  /// std::invalid_argument when zero.
+  explicit StreamingExecutor(std::size_t window);
+
+  /// Drives scenes [0, num_scenes) through `stages` in order and returns
+  /// the concatenated tiles in fleet order (batch order). Without a pool on
+  /// the context, scenes run one at a time (the window degenerates to 1).
+  /// Cancellation is honoured between stages and while waiting for a
+  /// ticket; the first failure stops admission and propagates.
+  std::vector<LabeledTile> run(
+      const std::vector<std::unique_ptr<SceneStage>>& stages,
+      std::size_t num_scenes, const par::ExecutionContext& ctx = {},
+      StreamingStats* stats = nullptr) const;
+
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+ private:
+  std::size_t window_;
+};
+
+/// The whole corpus sub-graph as ONE pipeline stage running under the
+/// streaming executor: produces keys::kCorpusTiles and nothing else —
+/// scene-level planes never enter the ArtifactStore, so the batch graph's
+/// DropArtifactsStage has nothing to drop and is not needed. Drop-in
+/// replacement for the five corpus stages in TrainingWorkflow's Fig 2
+/// graph when CorpusExecution::streaming is selected.
+class StreamingCorpusStage : public Stage {
+ public:
+  /// `config.execution` is ignored in favour of `window` (the stage IS the
+  /// streaming mode).
+  StreamingCorpusStage(CorpusConfig config, std::size_t window);
+
+  [[nodiscard]] std::string name() const override { return "corpus_stream"; }
+  [[nodiscard]] std::vector<std::string> produces() const override {
+    return {keys::kCorpusTiles};
+  }
+  void run(const par::ExecutionContext& ctx, ArtifactStore& store) override;
+
+  [[nodiscard]] std::size_t window() const noexcept {
+    return executor_.window();
+  }
+
+ private:
+  CorpusConfig config_;
+  StreamingExecutor executor_;
+};
+
+}  // namespace polarice::core

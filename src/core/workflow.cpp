@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/streaming.h"
 #include "s2/tiles.h"
 #include "util/log.h"
 
@@ -20,6 +21,7 @@ void WorkflowConfig::validate() const {
   if (cloud_split_threshold < 0.0 || cloud_split_threshold > 1.0) {
     throw std::invalid_argument("WorkflowConfig: bad cloud_split_threshold");
   }
+  corpus_execution.validate();
 }
 
 TrainingWorkflow::TrainingWorkflow(WorkflowConfig config)
@@ -41,26 +43,25 @@ Pipeline TrainingWorkflow::build_pipeline() const {
 
   // Corpus preparation: the paper's data-prep order of operations (filter
   // and segment the LARGE scenes, then tile).
-  pipeline.emplace<AcquireStage>(cfg.acquisition);
-  const bool filtered = cfg.autolabel.apply_filter;
-  const std::string& segmented_key =
-      filtered ? keys::kFilteredImages : keys::kScenes;
-  if (filtered) {
-    pipeline.emplace<CloudFilterStage>(cfg.autolabel.filter, keys::kScenes);
+  if (cfg.corpus_execution.mode == CorpusExecution::Mode::kStreaming) {
+    // The whole sub-graph as one bounded-residency stage: scene planes
+    // never enter the store, so there is nothing to drop afterwards.
+    pipeline.emplace<StreamingCorpusStage>(cfg.corpus_config(),
+                                           cfg.corpus_execution.window);
+  } else {
+    for (auto& stage : make_corpus_stages(cfg.corpus_config())) {
+      pipeline.add(std::move(stage));
+    }
+    // The corpus tiles carry everything training needs; release the
+    // scene-level planes so they don't sit in the store through training
+    // and the twelve evaluations.
+    std::vector<std::string> scene_keys{keys::kScenes, keys::kAutoLabels,
+                                        keys::kManualLabels};
+    if (cfg.autolabel.apply_filter) {
+      scene_keys.push_back(keys::kFilteredImages);
+    }
+    pipeline.emplace<DropArtifactsStage>(std::move(scene_keys));
   }
-  AutoLabelConfig segment_only = cfg.autolabel;
-  segment_only.apply_filter = false;  // the scene is filtered exactly once
-  pipeline.emplace<AutoLabelStage>(segment_only, AutoLabelPolicy::context(),
-                                   segmented_key);
-  pipeline.emplace<ManualLabelStage>(cfg.manual);
-  pipeline.emplace<TileSplitStage>(cfg.acquisition.tile_size, segmented_key);
-  // The corpus tiles carry everything training needs; release the
-  // scene-level planes so they don't sit in the store through training and
-  // the twelve evaluations.
-  std::vector<std::string> scene_keys{keys::kScenes, keys::kAutoLabels,
-                                      keys::kManualLabels};
-  if (filtered) scene_keys.push_back(keys::kFilteredImages);
-  pipeline.emplace<DropArtifactsStage>(std::move(scene_keys));
   pipeline.emplace<TrainTestSplitStage>(cfg.train_fraction, cfg.split_seed);
 
   // Two trainings: both models see the filtered imagery (the filter is part

@@ -36,8 +36,18 @@ struct WorkflowConfig {
   double train_fraction = 0.8;         // paper: 80/20 split
   std::uint64_t split_seed = 77;       // tile shuffle before splitting
   double cloud_split_threshold = 0.10; // Table V bucket boundary
+  // How the corpus sub-graph executes: whole-fleet batch stages (default)
+  // or CorpusExecution::streaming(window) — O(window) peak plane memory,
+  // bit-identical tiles/split/models either way.
+  CorpusExecution corpus_execution;
 
   void validate() const;
+
+  /// The corpus slice of this config (what prepare_corpus and the
+  /// streaming executor consume).
+  [[nodiscard]] CorpusConfig corpus_config() const {
+    return CorpusConfig{acquisition, autolabel, manual, corpus_execution};
+  }
 };
 
 struct TrainingWorkflowResult {

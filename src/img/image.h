@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/mem_stats.h"
+
 namespace polarice::img {
 
 template <typename T>
@@ -107,7 +109,9 @@ class Image {
   int width_ = 0;
   int height_ = 0;
   int channels_ = 0;
-  std::vector<T> data_;
+  // Pixel storage is byte-accounted under POLARICE_MEM_STATS (the corpus
+  // benches' peak-residency telemetry); the allocator is a no-op otherwise.
+  util::PlaneVector<T> data_;
 };
 
 using ImageU8 = Image<std::uint8_t>;

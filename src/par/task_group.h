@@ -1,12 +1,19 @@
 #pragma once
-// Structured fork-join helper: spawn heterogeneous tasks, wait for all.
+// Structured fork-join helpers: spawn heterogeneous tasks and wait for all
+// (TaskGroup), and bound how many may be outstanding (TicketWindow).
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
 #include <exception>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "par/context.h"
 #include "par/thread_pool.h"
 
 namespace polarice::par {
@@ -56,6 +63,67 @@ class TaskGroup {
   ThreadPool& pool_;
   std::mutex mutex_;
   std::vector<std::future<void>> futures_;
+};
+
+/// Bounded-admission gate for software-pipelined fan-out: at most `window`
+/// tickets outstanding at once. A producer calls acquire() before forking
+/// work and the work calls release() when its resources are freed, so the
+/// window bounds RESIDENCY (scenes holding planes), not merely concurrency.
+/// acquire() blocks with the same coarse-tick, cancellation-aware wait as
+/// serve::RequestQueue's backpressure path — the producer can be cancelled
+/// while the window is full.
+class TicketWindow {
+ public:
+  explicit TicketWindow(std::size_t window) : window_(window) {
+    if (window == 0) {
+      throw std::invalid_argument("TicketWindow: window must be >= 1");
+    }
+  }
+  TicketWindow(const TicketWindow&) = delete;
+  TicketWindow& operator=(const TicketWindow&) = delete;
+
+  /// Blocks until a ticket is free, then takes it. Throws
+  /// OperationCancelled when `ctx` is cancelled while waiting.
+  void acquire(const ExecutionContext& ctx = {}) {
+    constexpr std::chrono::milliseconds kTick{10};
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      if (in_flight_ < window_) {
+        ++in_flight_;
+        peak_ = std::max(peak_, in_flight_);
+        return;
+      }
+      ctx.throw_if_cancelled("TicketWindow::acquire");
+      cv_.wait_for(lock, kTick);
+    }
+  }
+
+  /// Returns a ticket taken by acquire().
+  void release() noexcept {
+    {
+      const std::scoped_lock lock(mutex_);
+      --in_flight_;
+    }
+    cv_.notify_one();
+  }
+
+  [[nodiscard]] std::size_t in_flight() const {
+    const std::scoped_lock lock(mutex_);
+    return in_flight_;
+  }
+  /// High-water ticket count — by construction never above the window.
+  [[nodiscard]] std::size_t peak() const {
+    const std::scoped_lock lock(mutex_);
+    return peak_;
+  }
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+ private:
+  const std::size_t window_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t in_flight_ = 0;
+  std::size_t peak_ = 0;
 };
 
 }  // namespace polarice::par

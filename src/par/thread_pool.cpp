@@ -18,8 +18,11 @@ WorkDeque::Ring* WorkDeque::grow(Ring* old, std::int64_t top,
   rings_.push_back(std::make_unique<Ring>(old->cap * 2));
   Ring* next = rings_.back().get();
   for (std::int64_t i = top; i < bottom; ++i) {
+    // Release on each copied slot, matching push(): stealers that acquire
+    // the new ring pointer are covered by ring_'s release store, but ones
+    // that re-read a slot directly pair with the slot store.
     next->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
-                        std::memory_order_relaxed);
+                        std::memory_order_release);
   }
   // Old rings stay alive in rings_ until destruction: a concurrent stealer
   // that loaded the stale pointer reads a stale (already-claimed or
@@ -33,7 +36,14 @@ void WorkDeque::push(TaskBlock* task) {
   const std::int64_t t = top_.load(std::memory_order_acquire);
   Ring* ring = ring_.load(std::memory_order_relaxed);
   if (b - t >= ring->cap) ring = grow(ring, t, b);
-  ring->slot(b).store(task, std::memory_order_relaxed);
+  // Release on the slot itself (not just the fence): the canonical
+  // Chase-Lev publishes the element purely through fences, which is
+  // correct under the C11 model but invisible to ThreadSanitizer — a
+  // stealer's read of the block's contents is then reported as a race.
+  // The slot release / steal-side acquire pair makes the task-construction
+  // -> steal edge explicit; on x86 both are plain mov, so this costs
+  // nothing.
+  ring->slot(b).store(task, std::memory_order_release);
   std::atomic_thread_fence(std::memory_order_release);
   bottom_.store(b + 1, std::memory_order_relaxed);
 }
@@ -68,7 +78,9 @@ TaskBlock* WorkDeque::steal() {
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return nullptr;
     Ring* ring = ring_.load(std::memory_order_acquire);
-    TaskBlock* task = ring->slot(t).load(std::memory_order_relaxed);
+    // Acquire pairs with push()'s slot release (see there); the claimed
+    // block's contents are ordered behind its publication.
+    TaskBlock* task = ring->slot(t).load(std::memory_order_acquire);
     if (top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                      std::memory_order_relaxed)) {
       return task;

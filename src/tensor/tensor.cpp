@@ -4,6 +4,7 @@
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <type_traits>
 
 namespace polarice::tensor {
 
@@ -29,6 +30,20 @@ Tensor Tensor::full(std::vector<int> shape, float value) {
   return t;
 }
 
+namespace {
+// The storage allocator differs only under POLARICE_MEM_STATS; keep the
+// zero-copy move whenever the vector types still line up. (A template so
+// the untaken branch is never instantiated — the two types don't assign.)
+template <typename Dst>
+void adopt_values(Dst& dst, std::vector<float>&& values) {
+  if constexpr (std::is_same_v<Dst, std::vector<float>>) {
+    dst = std::move(values);
+  } else {
+    dst.assign(values.begin(), values.end());
+  }
+}
+}  // namespace
+
 Tensor Tensor::from_values(std::vector<int> shape, std::vector<float> values) {
   const auto n = checked_numel(shape);
   if (static_cast<std::int64_t>(values.size()) != n) {
@@ -36,7 +51,7 @@ Tensor Tensor::from_values(std::vector<int> shape, std::vector<float> values) {
   }
   Tensor t;
   t.shape_ = std::move(shape);
-  t.data_ = std::move(values);
+  adopt_values(t.data_, std::move(values));
   return t;
 }
 

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "util/mem_stats.h"
+
 namespace polarice::tensor {
 
 class Tensor {
@@ -81,7 +83,9 @@ class Tensor {
 
  private:
   std::vector<int> shape_;
-  std::vector<float> data_;
+  // Element storage is byte-accounted under POLARICE_MEM_STATS (see
+  // util/mem_stats.h); the allocator is a no-op otherwise.
+  util::PlaneVector<float> data_;
 };
 
 /// Throws std::invalid_argument unless shapes match.

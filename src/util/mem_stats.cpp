@@ -1,0 +1,13 @@
+#include "util/mem_stats.h"
+
+namespace polarice::util::detail {
+
+// Function-local static: counted allocations can happen from static
+// initializers of other translation units, so the counters must be
+// constructed on first use, not in link order.
+MemCounters& mem_counters() noexcept {
+  static MemCounters counters;
+  return counters;
+}
+
+}  // namespace polarice::util::detail

@@ -1,0 +1,106 @@
+#pragma once
+// Plane-memory telemetry: byte accounting of every img::Image and
+// tensor::Tensor buffer, with a process-wide high-water mark.
+//
+// The corpus pipeline's peak memory is dominated by scene planes and
+// tensors; instrumenting their one allocation path (the containers'
+// allocator) measures exactly the quantity the streaming executor bounds.
+// The hook is two relaxed atomic updates per container allocation —
+// invisible next to the allocation itself — and is compiled in only under
+// POLARICE_MEM_STATS (a CMake option, ON by default) so a stock build can
+// opt out entirely. The counter functions always exist; without the macro
+// nothing feeds them and they report zero.
+//
+// Usage (the corpus benches): mem_reset_peak(); run; mem_peak_bytes() is
+// the high-water plane residency of the run, mem_current_bytes() what is
+// still live (the corpus itself).
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace polarice::util {
+
+namespace detail {
+struct MemCounters {
+  std::atomic<std::size_t> current{0};
+  std::atomic<std::size_t> peak{0};
+};
+MemCounters& mem_counters() noexcept;
+}  // namespace detail
+
+/// Records `bytes` allocated; lifts the peak when the new total exceeds it.
+inline void mem_track_alloc(std::size_t bytes) noexcept {
+  auto& counters = detail::mem_counters();
+  const std::size_t now =
+      counters.current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t peak = counters.peak.load(std::memory_order_relaxed);
+  while (now > peak && !counters.peak.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+/// Records `bytes` released.
+inline void mem_track_free(std::size_t bytes) noexcept {
+  detail::mem_counters().current.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+/// Bytes of tracked plane/tensor storage currently live.
+[[nodiscard]] inline std::size_t mem_current_bytes() noexcept {
+  return detail::mem_counters().current.load(std::memory_order_relaxed);
+}
+
+/// High-water mark since the last mem_reset_peak().
+[[nodiscard]] inline std::size_t mem_peak_bytes() noexcept {
+  return detail::mem_counters().peak.load(std::memory_order_relaxed);
+}
+
+/// Restarts the high-water mark at the current level (the start-of-run call
+/// of a peak measurement).
+inline void mem_reset_peak() noexcept {
+  auto& counters = detail::mem_counters();
+  counters.peak.store(counters.current.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+}
+
+/// std::allocator that reports (de)allocations to the counters above.
+/// Stateless, so containers move buffers freely between instances.
+template <typename T>
+struct TrackingAllocator {
+  using value_type = T;
+
+  TrackingAllocator() = default;
+  template <typename U>
+  TrackingAllocator(const TrackingAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    T* p = std::allocator<T>{}.allocate(n);
+    mem_track_alloc(n * sizeof(T));
+    return p;
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    mem_track_free(n * sizeof(T));
+    std::allocator<T>{}.deallocate(p, n);
+  }
+
+  template <typename U>
+  bool operator==(const TrackingAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+// The allocator behind every Image/Tensor buffer. PlaneVector is the only
+// thing image.h/tensor.h reference, so the macro is the single switch.
+#ifdef POLARICE_MEM_STATS
+template <typename T>
+using PlaneAllocator = TrackingAllocator<T>;
+#else
+template <typename T>
+using PlaneAllocator = std::allocator<T>;
+#endif
+
+template <typename T>
+using PlaneVector = std::vector<T, PlaneAllocator<T>>;
+
+}  // namespace polarice::util

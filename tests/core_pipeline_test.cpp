@@ -190,3 +190,27 @@ TEST(PrepareCorpus, PipelineMatchesAcrossPoolAndCancelsEarly) {
   cancelled.request_cancel();
   EXPECT_THROW(pc::prepare_corpus(cfg, cancelled), pp::OperationCancelled);
 }
+
+TEST(ArtifactStore, MissingKeyErrorListsResidentKeys) {
+  pc::ArtifactStore store;
+  try {
+    (void)store.get<int>("corpus.tiles");
+    FAIL() << "expected logic_error";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("store is empty"), std::string::npos);
+  }
+
+  store.put<int>("s2.scenes", 1);
+  store.put<int>("labels.auto", 2);
+  try {
+    (void)store.get<int>("corpus.tiles");
+    FAIL() << "expected logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    // The message names the missing key AND what is actually resident —
+    // the debuggable failure mode for a streaming-vs-batch miswiring.
+    EXPECT_NE(what.find("'corpus.tiles'"), std::string::npos);
+    EXPECT_NE(what.find("'labels.auto'"), std::string::npos);
+    EXPECT_NE(what.find("'s2.scenes'"), std::string::npos);
+  }
+}

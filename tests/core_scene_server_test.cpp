@@ -385,3 +385,163 @@ TEST(SceneServer, ConfigValidation) {
   bad([](pv::SceneServerConfig& c) { c.scale_down_idle = 0ms; });
   bad([](pv::SceneServerConfig& c) { c.admission.capacity = 0; });
 }
+
+// ---------------------------------------------------------------------------
+// Single-flight coalescing: content-identical in-flight scenes share one
+// forward pass; a failed/cancelled leader promotes a follower instead of
+// dragging it down.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Polls `pred` for up to ~2 s (the deterministic gates make the condition
+/// inevitable; the bound only protects the test run from a genuine bug).
+template <typename Pred>
+bool eventually(Pred pred) {
+  for (int i = 0; i < 2000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+}  // namespace
+
+TEST(SceneServer, SingleFlightCoalescesIdenticalInFlightScenes) {
+  pn::UNet model = make_model();
+  const auto scene = make_scene(6001);
+  pc::InferenceWorkflow workflow(model, {}, 64);
+  const auto reference = workflow.classify_scene(scene);
+
+  auto cfg = server_config();
+  cfg.cache_bytes = 0;  // prove coalescing works without the result cache
+  cfg.min_replicas = cfg.max_replicas = 1;
+  cfg.batch_tiles = 1;
+  cfg.max_batch_wait = 0ms;
+  pv::SceneServer server(model, cfg);
+
+  // Park the single worker right after the leader's first tile lands, so
+  // the leader is provably mid-flight while the identical follower is
+  // prepared.
+  std::binary_semaphore first_tile{0}, release{0};
+  const pp::ExecutionContext gated;
+  gated.set_progress_sink([&](const pp::ProgressEvent& event) {
+    if (std::string(event.stage) == "serve.tiles" && event.completed == 1) {
+      first_tile.release();
+      release.acquire();
+    }
+  });
+
+  auto leader = server.submit(scene.clone(), gated);
+  first_tile.acquire();
+  auto follower = server.submit(scene.clone());
+  ASSERT_TRUE(eventually([&] { return server.stats().coalesced == 1; }));
+  release.release();
+
+  EXPECT_EQ(leader.get(), reference);
+  EXPECT_EQ(follower.get(), reference);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.session.scenes, 1u);  // one forward-path scene
+  EXPECT_EQ(stats.session.tiles, 4u);   // the leader's tiles only
+  EXPECT_EQ(stats.cache_hits, 0u);
+}
+
+TEST(SceneServer, SingleFlightPromotesFollowerWhenLeaderCancelled) {
+  pn::UNet model = make_model();
+  const auto scene = make_scene(6002);
+  pc::InferenceWorkflow workflow(model, {}, 64);
+  const auto reference = workflow.classify_scene(scene);
+
+  auto cfg = server_config();
+  cfg.cache_bytes = 0;
+  cfg.min_replicas = cfg.max_replicas = 1;
+  cfg.batch_tiles = 1;
+  cfg.max_batch_wait = 0ms;
+  pv::SceneServer server(model, cfg);
+
+  std::binary_semaphore first_tile{0}, release{0};
+  const pp::ExecutionContext gated;
+  gated.set_progress_sink([&](const pp::ProgressEvent& event) {
+    if (std::string(event.stage) == "serve.tiles" && event.completed == 1) {
+      first_tile.release();
+      release.acquire();
+    }
+  });
+
+  auto leader = server.submit(scene.clone(), gated);
+  first_tile.acquire();  // 3 of the leader's 4 one-tile batches still queued
+  auto follower = server.submit(scene.clone());
+  ASSERT_TRUE(eventually([&] { return server.stats().coalesced == 1; }));
+  leader.cancel();
+  release.release();
+
+  // The worker abandons the cancelled leader at the next batch boundary and
+  // promotes the follower, which re-runs the forward path from scratch.
+  EXPECT_THROW((void)leader.get(), pp::OperationCancelled);
+  EXPECT_EQ(follower.get(), reference);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(SceneServer, SingleFlightOffRunsEveryForwardPath) {
+  pn::UNet model = make_model();
+  auto cfg = server_config();
+  cfg.cache_bytes = 0;
+  cfg.single_flight = false;
+  pv::SceneServer server(model, cfg);
+
+  const auto scene = make_scene(6003);
+  auto a = server.submit(scene.clone());
+  auto b = server.submit(scene.clone());
+  EXPECT_EQ(a.get(), b.get());
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.session.tiles, 8u);  // both scenes forwarded fully
+  EXPECT_EQ(stats.session.scenes, 2u);
+}
+
+TEST(SceneServer, SingleFlightCancelledFollowerResolvesCancelled) {
+  pn::UNet model = make_model();
+  const auto scene = make_scene(6004);
+
+  auto cfg = server_config();
+  cfg.cache_bytes = 0;
+  cfg.min_replicas = cfg.max_replicas = 1;
+  cfg.batch_tiles = 1;
+  cfg.max_batch_wait = 0ms;
+  pv::SceneServer server(model, cfg);
+
+  std::binary_semaphore first_tile{0}, release{0};
+  const pp::ExecutionContext gated;
+  gated.set_progress_sink([&](const pp::ProgressEvent& event) {
+    if (std::string(event.stage) == "serve.tiles" && event.completed == 1) {
+      first_tile.release();
+      release.acquire();
+    }
+  });
+
+  auto leader = server.submit(scene.clone(), gated);
+  first_tile.acquire();
+  auto follower = server.submit(scene.clone());
+  ASSERT_TRUE(eventually([&] { return server.stats().coalesced == 1; }));
+  follower.cancel();  // follower opts out while the leader is mid-flight
+  release.release();
+
+  // The leader still completes; the cancelled follower resolves as
+  // cancelled even though the shared result was in hand.
+  EXPECT_EQ(leader.get().width(), 128);
+  EXPECT_THROW((void)follower.get(), pp::OperationCancelled);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+}

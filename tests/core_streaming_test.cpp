@@ -1,0 +1,188 @@
+// StreamingExecutor semantics: the streaming corpus must be bit-identical
+// to the batch Pipeline for every window size (including a window that does
+// not divide the fleet — a ragged last window), honour the residency bound,
+// propagate cancellation mid-window, and feed TrainTestSplit identically so
+// split assignment matches the batch path exactly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/corpus.h"
+#include "core/pipeline.h"
+#include "core/stages.h"
+#include "core/streaming.h"
+#include "core/workflow.h"
+#include "par/context.h"
+#include "par/thread_pool.h"
+
+namespace pc = polarice::core;
+namespace pp = polarice::par;
+
+namespace {
+
+pc::CorpusConfig small_corpus(int num_scenes = 8) {
+  pc::CorpusConfig cfg;
+  cfg.acquisition.num_scenes = num_scenes;
+  cfg.acquisition.scene_size = 128;
+  cfg.acquisition.tile_size = 64;
+  cfg.acquisition.cloudy_scene_fraction = 0.5;
+  cfg.acquisition.seed = 1234;
+  return cfg;
+}
+
+void expect_tiles_equal(const std::vector<pc::LabeledTile>& a,
+                        const std::vector<pc::LabeledTile>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].scene_index, b[i].scene_index);
+    EXPECT_EQ(a[i].tile_x, b[i].tile_x);
+    EXPECT_EQ(a[i].tile_y, b[i].tile_y);
+    EXPECT_DOUBLE_EQ(a[i].cloud_fraction, b[i].cloud_fraction);
+    EXPECT_EQ(a[i].rgb, b[i].rgb);
+    EXPECT_EQ(a[i].rgb_filtered, b[i].rgb_filtered);
+    EXPECT_EQ(a[i].rgb_clean, b[i].rgb_clean);
+    EXPECT_EQ(a[i].truth, b[i].truth);
+    EXPECT_EQ(a[i].auto_labels, b[i].auto_labels);
+    EXPECT_EQ(a[i].manual_labels, b[i].manual_labels);
+  }
+}
+
+}  // namespace
+
+TEST(StreamingCorpus, BitIdenticalToBatchAcrossWindowSizes) {
+  const auto cfg = small_corpus();
+  pp::ThreadPool pool(4);
+  const pp::ExecutionContext ctx(&pool);
+  const auto batch = pc::prepare_corpus(cfg, ctx);
+
+  for (const std::size_t window :
+       {std::size_t{1}, std::size_t{2},
+        static_cast<std::size_t>(cfg.acquisition.num_scenes)}) {
+    auto streaming_cfg = cfg;
+    streaming_cfg.execution = pc::CorpusExecution::streaming(window);
+    const auto streamed = pc::prepare_corpus(streaming_cfg, ctx);
+    expect_tiles_equal(batch, streamed);
+  }
+}
+
+TEST(StreamingCorpus, RaggedLastWindowAndSequentialContext) {
+  // 5 scenes through a window of 2: the last window holds one scene. Also
+  // exercises the no-pool path (window degenerates to one-at-a-time).
+  const auto cfg = small_corpus(/*num_scenes=*/5);
+  const auto batch = pc::prepare_corpus(cfg);
+
+  auto streaming_cfg = cfg;
+  streaming_cfg.execution = pc::CorpusExecution::streaming(2);
+  const auto sequential = pc::prepare_corpus(streaming_cfg);
+  expect_tiles_equal(batch, sequential);
+
+  pp::ThreadPool pool(3);
+  const auto pooled =
+      pc::prepare_corpus(streaming_cfg, pp::ExecutionContext(&pool));
+  expect_tiles_equal(batch, pooled);
+}
+
+TEST(StreamingCorpus, WindowLargerThanFleetIsFine) {
+  const auto cfg = small_corpus(/*num_scenes=*/3);
+  pp::ThreadPool pool(4);
+  const pp::ExecutionContext ctx(&pool);
+  auto streaming_cfg = cfg;
+  streaming_cfg.execution = pc::CorpusExecution::streaming(16);
+  expect_tiles_equal(pc::prepare_corpus(cfg, ctx),
+                     pc::prepare_corpus(streaming_cfg, ctx));
+}
+
+TEST(StreamingExecutor, ResidencyNeverExceedsWindow) {
+  const auto cfg = small_corpus();
+  pp::ThreadPool pool(4);
+  const pp::ExecutionContext ctx(&pool);
+  const auto stages = pc::make_corpus_stages(cfg);
+
+  const pc::StreamingExecutor executor(2);
+  pc::StreamingStats stats;
+  const auto tiles = executor.run(
+      stages, static_cast<std::size_t>(cfg.acquisition.num_scenes), ctx,
+      &stats);
+  EXPECT_EQ(tiles.size(), 8u * 4u);
+  EXPECT_EQ(stats.scenes, 8u);
+  EXPECT_GE(stats.peak_in_flight, 1u);
+  EXPECT_LE(stats.peak_in_flight, 2u);
+}
+
+TEST(StreamingExecutor, RejectsZeroWindow) {
+  EXPECT_THROW(pc::StreamingExecutor(0), std::invalid_argument);
+  pc::CorpusConfig cfg = small_corpus();
+  cfg.execution = pc::CorpusExecution::streaming(0);
+  EXPECT_THROW(pc::prepare_corpus(cfg), std::invalid_argument);
+}
+
+TEST(StreamingExecutor, CancellationMidWindowPropagates) {
+  const auto cfg = small_corpus();
+  pp::ThreadPool pool(4);
+  const pp::ExecutionContext ctx(&pool);
+  // Cancel after the second scene completes: scenes are mid-window on a
+  // live pool, the admission loop stops, and the in-flight tasks drain into
+  // OperationCancelled.
+  std::atomic<std::size_t> seen{0};
+  ctx.set_progress_sink([&](const pp::ProgressEvent& event) {
+    if (std::string(event.stage) == "corpus_stream" &&
+        seen.fetch_add(1) + 1 == 2) {
+      ctx.request_cancel();
+    }
+  });
+  auto streaming_cfg = cfg;
+  streaming_cfg.execution = pc::CorpusExecution::streaming(2);
+  EXPECT_THROW(pc::prepare_corpus(streaming_cfg, ctx),
+               pp::OperationCancelled);
+}
+
+TEST(StreamingCorpusStage, MatchesBatchPipelineIncludingSplit) {
+  // The whole Fig 2 front half under both execution modes: tiles AND the
+  // seeded train/test split assignment must match bit for bit.
+  const auto cfg = small_corpus();
+  pp::ThreadPool pool(4);
+  const pp::ExecutionContext ctx(&pool);
+
+  const auto run_graph = [&](bool streaming) {
+    pc::Pipeline pipeline;
+    if (streaming) {
+      pipeline.emplace<pc::StreamingCorpusStage>(cfg, /*window=*/2);
+    } else {
+      for (auto& stage : pc::make_corpus_stages(cfg)) {
+        pipeline.add(std::move(stage));
+      }
+    }
+    pipeline.emplace<pc::TrainTestSplitStage>(0.8, /*seed=*/77);
+    pc::ArtifactStore store;
+    pipeline.run(ctx, store);
+    if (streaming) {
+      // Streaming subsumes DropArtifactsStage: no scene-level planes ever
+      // entered the store.
+      EXPECT_FALSE(store.has(pc::keys::kScenes));
+      EXPECT_FALSE(store.has(pc::keys::kFilteredImages));
+      EXPECT_FALSE(store.has(pc::keys::kAutoLabels));
+      EXPECT_FALSE(store.has(pc::keys::kManualLabels));
+    }
+    return std::make_pair(
+        store.take<std::vector<pc::LabeledTile>>(pc::keys::kTrainTiles),
+        store.take<std::vector<pc::LabeledTile>>(pc::keys::kTestTiles));
+  };
+
+  const auto [batch_train, batch_test] = run_graph(false);
+  const auto [stream_train, stream_test] = run_graph(true);
+  expect_tiles_equal(batch_train, stream_train);
+  expect_tiles_equal(batch_test, stream_test);
+}
+
+TEST(StreamingCorpus, WorkflowConfigCarriesExecution) {
+  pc::WorkflowConfig cfg;
+  cfg.corpus_execution = pc::CorpusExecution::streaming(3);
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.corpus_config().execution.window, 3u);
+  cfg.corpus_execution.window = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}

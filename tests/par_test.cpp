@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "par/parallel_for.h"
@@ -343,4 +344,71 @@ TEST(ThreadPool, CrossPoolDispatchDoesNotMisroute) {
       },
       1);
   EXPECT_EQ(counter.load(), 8 * 16);
+}
+
+// ---------------------------------------------------------------------------
+// TicketWindow: the bounded-admission gate behind the streaming corpus
+// executor — at most `window` tickets outstanding, cancellation-aware wait.
+// ---------------------------------------------------------------------------
+
+TEST(TicketWindow, RejectsZeroWindow) {
+  EXPECT_THROW(pp::TicketWindow(0), std::invalid_argument);
+}
+
+TEST(TicketWindow, BoundsOutstandingTickets) {
+  pp::ThreadPool pool(4);
+  pp::TicketWindow gate(3);
+  std::atomic<int> live{0};
+  std::atomic<int> peak_seen{0};
+  {
+    pp::TaskGroup group(pool);
+    for (int i = 0; i < 32; ++i) {
+      gate.acquire();
+      group.run([&] {
+        const int now = ++live;
+        int prev = peak_seen.load();
+        while (now > prev && !peak_seen.compare_exchange_weak(prev, now)) {
+        }
+        --live;
+        gate.release();
+      });
+    }
+    group.wait();
+  }
+  EXPECT_EQ(gate.in_flight(), 0u);
+  EXPECT_LE(peak_seen.load(), 3);
+  EXPECT_LE(gate.peak(), 3u);
+  EXPECT_GE(gate.peak(), 1u);
+}
+
+TEST(TicketWindow, AcquireHonoursCancellationWhileBlocked) {
+  pp::TicketWindow gate(1);
+  gate.acquire();  // window now full
+  pp::ExecutionContext ctx;
+  std::atomic<bool> blocked{false};
+  std::thread submitter([&] {
+    blocked = true;
+    EXPECT_THROW(gate.acquire(ctx), pp::OperationCancelled);
+  });
+  while (!blocked) std::this_thread::yield();
+  ctx.request_cancel();
+  submitter.join();
+  gate.release();
+  EXPECT_EQ(gate.in_flight(), 0u);
+}
+
+TEST(TicketWindow, ReleaseUnblocksWaiter) {
+  pp::TicketWindow gate(1);
+  gate.acquire();
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    gate.acquire();
+    acquired = true;
+    gate.release();
+  });
+  EXPECT_FALSE(acquired.load());
+  gate.release();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(gate.peak(), 1u);
 }
