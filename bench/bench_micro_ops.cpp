@@ -14,6 +14,7 @@
 #include "core/corpus.h"
 #include "core/serve/scene_server.h"
 #include "ddp/communicator.h"
+#include "serve_load.h"
 #include "img/color.h"
 #include "img/filter.h"
 #include "img/morphology.h"
@@ -763,5 +764,75 @@ static void BM_ServeSceneThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kScenes);
 }
 BENCHMARK(BM_ServeSceneThroughput);
+
+// ---------------------------------------------------------------------------
+// Closed-loop serve-load SLO benches. One load session per bench run;
+// manual time publishes the latency percentile as real_time so the
+// trajectory gate tracks serving SLOs across PRs, and the counters carry
+// the rejection / shed / retry rates alongside.
+// ---------------------------------------------------------------------------
+
+namespace {
+bench::ServeLoadConfig serve_load_config(int fault_every) {
+  bench::ServeLoadConfig cfg;
+  cfg.qps = 30.0;
+  cfg.seconds = 1.5;
+  cfg.clients = 4;
+  cfg.scene_size = 128;
+  cfg.unique_scenes = 4;
+  cfg.fault_every = fault_every;
+  cfg.server.tile_size = 64;
+  cfg.server.min_replicas = 1;
+  cfg.server.max_replicas = 2;
+  cfg.server.cache_bytes = 0;  // every request exercises the forward path
+  return cfg;
+}
+
+void run_serve_load_bench(benchmark::State& state, int fault_every,
+                          double quantile) {
+  const auto cfg = serve_load_config(fault_every);
+  for (auto _ : state) {
+    const auto report = bench::run_serve_load(cfg);
+    const double value_ms = quantile >= 0.99 ? report.p99_ms : report.p50_ms;
+    state.SetIterationTime(value_ms / 1e3);
+    state.counters["completed"] = static_cast<double>(report.completed);
+    state.counters["achieved_qps"] = report.achieved_qps;
+    state.counters["shed_rate"] = report.shed_rate();
+    state.counters["reject_rate"] = report.reject_rate();
+    state.counters["retries"] = static_cast<double>(report.server.retries);
+    state.counters["corrupt"] = static_cast<double>(report.corrupt);
+    if (report.corrupt > 0 || report.completed == 0) {
+      state.SkipWithError("serve load harness returned corrupt/empty work");
+      return;
+    }
+  }
+}
+}  // namespace
+
+static void BM_ServeLoadP50(benchmark::State& state) {
+  run_serve_load_bench(state, /*fault_every=*/0, 0.50);
+}
+BENCHMARK(BM_ServeLoadP50)
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_ServeLoadP99(benchmark::State& state) {
+  run_serve_load_bench(state, /*fault_every=*/0, 0.99);
+}
+BENCHMARK(BM_ServeLoadP99)
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_ServeLoadFaultedP99(benchmark::State& state) {
+  // Continuous replica failure (every 6th forward pass dies): p99 now
+  // includes quarantine, watchdog rebuild, and backoff'd retries.
+  run_serve_load_bench(state, /*fault_every=*/6, 0.99);
+}
+BENCHMARK(BM_ServeLoadFaultedP99)
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

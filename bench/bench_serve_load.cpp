@@ -1,0 +1,105 @@
+// Closed-loop SceneServer load bench: drives a target-QPS mix of
+// interactive / normal / bulk requests, reports SLO latency percentiles and
+// rejection / shed / retry / corruption rates, and (with --fault_every)
+// measures the same under continuous replica failure.
+//
+// --smoke runs a 1-second sanity pass and exits nonzero unless the server
+// completed verified work — the ctest hook that keeps the harness itself
+// from rotting.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "serve_load.h"
+#include "support.h"
+#include "util/table.h"
+
+namespace {
+
+namespace pb = polarice::bench;
+
+pb::ServeLoadConfig config_from(const polarice::util::Args& args) {
+  pb::ServeLoadConfig cfg;
+  cfg.qps = args.get_double("qps", 40.0);
+  cfg.seconds = args.get_double("seconds", 2.0);
+  cfg.clients = static_cast<int>(args.get_int("clients", 4));
+  cfg.scene_size = static_cast<int>(args.get_int("scene_size", 128));
+  cfg.unique_scenes = static_cast<int>(args.get_int("scenes", 6));
+  cfg.interactive_fraction = args.get_double("interactive", 0.25);
+  cfg.batch_fraction = args.get_double("batch", 0.25);
+  cfg.interactive_deadline = std::chrono::milliseconds(
+      args.get_int("deadline_ms", 500));
+  cfg.fault_every = static_cast<int>(args.get_int("fault_every", 0));
+  cfg.verify = args.get_bool("verify", true);
+  cfg.server.tile_size = static_cast<int>(args.get_int("tile_size", 64));
+  cfg.server.min_replicas = static_cast<int>(args.get_int("min_replicas", 1));
+  cfg.server.max_replicas = static_cast<int>(args.get_int("max_replicas", 2));
+  cfg.server.cache_bytes =
+      args.get_bool("cache", false) ? (std::size_t{64} << 20) : 0;
+  return cfg;
+}
+
+void print_report(const pb::ServeLoadReport& report) {
+  using polarice::util::Table;
+  Table table({"metric", "value"});
+  table.add_row({"submitted", std::to_string(report.submitted)});
+  table.add_row({"completed", std::to_string(report.completed)});
+  table.add_row({"rejected", std::to_string(report.rejected)});
+  table.add_row({"shed (deadline)", std::to_string(report.shed)});
+  table.add_row({"failed", std::to_string(report.failed)});
+  table.add_row({"corrupt", std::to_string(report.corrupt)});
+  table.add_row({"retries", std::to_string(report.server.retries)});
+  table.add_row({"replicas quarantined",
+             std::to_string(report.server.replicas_quarantined)});
+  table.add_row({"replicas rebuilt",
+             std::to_string(report.server.replicas_rebuilt)});
+  table.add_row({"wall seconds", Table::num(report.wall_seconds, 2)});
+  table.add_row({"achieved qps", Table::num(report.achieved_qps, 1)});
+  table.add_row({"p50 ms", Table::num(report.p50_ms, 2)});
+  table.add_row({"p99 ms", Table::num(report.p99_ms, 2)});
+  table.add_row({"max ms", Table::num(report.max_ms, 2)});
+  table.add_row({"shed rate", Table::num(100.0 * report.shed_rate(), 2) + "%"});
+  table.add_row({"reject rate",
+             Table::num(100.0 * report.reject_rate(), 2) + "%"});
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const polarice::util::Args args(argc, argv);
+  auto cfg = config_from(args);
+  const bool smoke = args.get_bool("smoke", false);
+  if (smoke) {
+    // Small but still multi-client and fault-exercising: the smoke run must
+    // prove the harness end to end, not just that it links.
+    cfg.seconds = std::min(cfg.seconds, 1.0);
+    cfg.unique_scenes = std::min(cfg.unique_scenes, 3);
+  }
+
+  pb::banner("SceneServer closed-loop load (" +
+             std::to_string(cfg.clients) + " clients, target " +
+             polarice::util::Table::num(cfg.qps, 0) + " qps" +
+             (cfg.fault_every > 0
+                  ? ", fault every " + std::to_string(cfg.fault_every)
+                  : std::string()) +
+             ")");
+  const auto report = pb::run_serve_load(cfg);
+  print_report(report);
+
+  if (smoke) {
+    if (report.completed == 0) {
+      std::fprintf(stderr, "smoke: no requests completed\n");
+      return EXIT_FAILURE;
+    }
+    if (report.corrupt > 0) {
+      std::fprintf(stderr, "smoke: %zu corrupt planes\n", report.corrupt);
+      return EXIT_FAILURE;
+    }
+    if (report.failed > 0) {
+      std::fprintf(stderr, "smoke: %zu failed requests\n", report.failed);
+      return EXIT_FAILURE;
+    }
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,250 @@
+#pragma once
+// Closed-loop load harness for the SceneServer serving tier.
+//
+// A fleet of client threads submits a paced mix of interactive (deadline-
+// bound), normal, and bulk requests against a live server, each client
+// waiting for its previous request to resolve before submitting the next —
+// the closed-loop discipline, so offered load self-limits under overload
+// instead of queueing unboundedly. Every completed plane is verified
+// against a serially-computed reference, making the harness a correctness
+// check as much as a latency probe: under fault injection, retried work
+// must still be bit-identical.
+//
+// The report carries the SLO-facing numbers the serving PRs gate on —
+// p50/p99/max latency, achieved throughput, and rejection / shed / retry /
+// corruption rates — plus the server's own post-drain counters.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/serve/fault_injector.h"
+#include "core/serve/scene_server.h"
+#include "core/workflow.h"
+#include "img/image.h"
+#include "nn/unet.h"
+#include "s2/scene.h"
+
+namespace polarice::bench {
+
+struct ServeLoadConfig {
+  double qps = 40.0;        // aggregate target submit rate across clients
+  double seconds = 2.0;     // submission window (in-flight work then drains)
+  int clients = 4;          // closed-loop submitter threads
+  int scene_size = 128;     // square scenes; tiles of server.tile_size
+  int unique_scenes = 6;    // distinct scene contents rotated round-robin
+  // Request mix, applied deterministically over the submission sequence.
+  double interactive_fraction = 0.25;  // Priority::kInteractive + deadline
+  double batch_fraction = 0.25;        // Priority::kBatch, no deadline
+  std::chrono::milliseconds interactive_deadline{500};
+  bool verify = true;   // compare completed planes against references
+  int fault_every = 0;  // >0: every Nth forward pass throws (recovery load)
+  core::serve::SceneServerConfig server;  // tile_size/fault knobs respected
+
+  void validate() const {
+    if (qps <= 0.0) throw std::invalid_argument("ServeLoadConfig: qps <= 0");
+    if (seconds <= 0.0) {
+      throw std::invalid_argument("ServeLoadConfig: seconds <= 0");
+    }
+    if (clients < 1) {
+      throw std::invalid_argument("ServeLoadConfig: clients < 1");
+    }
+    if (unique_scenes < 1) {
+      throw std::invalid_argument("ServeLoadConfig: unique_scenes < 1");
+    }
+    if (interactive_fraction < 0.0 || batch_fraction < 0.0 ||
+        interactive_fraction + batch_fraction > 1.0) {
+      throw std::invalid_argument("ServeLoadConfig: bad priority mix");
+    }
+    if (fault_every < 0) {
+      throw std::invalid_argument("ServeLoadConfig: fault_every < 0");
+    }
+  }
+};
+
+struct ServeLoadReport {
+  std::size_t submitted = 0;  // requests handed to submit()
+  std::size_t completed = 0;  // planes returned
+  std::size_t rejected = 0;   // AdmissionRejected at the front door
+  std::size_t shed = 0;       // resolved DeadlineExceeded
+  std::size_t failed = 0;     // resolved with any other error
+  std::size_t corrupt = 0;    // planes that mismatched their reference
+  double wall_seconds = 0.0;  // submission window + drain
+  double achieved_qps = 0.0;  // completed / wall
+  double p50_ms = 0.0;        // completed-request latency percentiles
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  core::serve::SceneServerStats server;  // post-drain server counters
+
+  [[nodiscard]] double shed_rate() const {
+    return submitted > 0 ? static_cast<double>(shed) / submitted : 0.0;
+  }
+  [[nodiscard]] double reject_rate() const {
+    const auto offered = submitted + rejected;
+    return offered > 0 ? static_cast<double>(rejected) / offered : 0.0;
+  }
+};
+
+namespace detail {
+
+inline double percentile_ms(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
+}
+
+}  // namespace detail
+
+/// Runs one closed-loop load session against a fresh server and returns the
+/// measured report. Deterministic in everything but timing: scene contents,
+/// the priority mix sequence, and fault placement are all fixed by `cfg`.
+inline ServeLoadReport run_serve_load(const ServeLoadConfig& cfg) {
+  namespace pv = core::serve;
+  cfg.validate();
+
+  nn::UNetConfig model_cfg;
+  model_cfg.depth = 2;
+  model_cfg.base_channels = 8;
+  model_cfg.use_dropout = false;
+  model_cfg.seed = 88;
+  nn::UNet model(model_cfg);
+
+  // Scene pool + serial references (the verification oracle).
+  std::vector<img::ImageU8> scenes;
+  std::vector<img::ImageU8> references;
+  {
+    core::InferenceWorkflow workflow(model, cfg.server.filter,
+                                     cfg.server.tile_size);
+    for (int i = 0; i < cfg.unique_scenes; ++i) {
+      s2::SceneConfig sc;
+      sc.width = sc.height = cfg.scene_size;
+      sc.seed = 4000 + static_cast<std::uint64_t>(i);
+      sc.cloudy = (i % 2) == 0;
+      scenes.push_back(s2::SceneGenerator(sc).generate().rgb);
+      if (cfg.verify) {
+        references.push_back(workflow.classify_scene(scenes.back()));
+      }
+    }
+  }
+
+  pv::FaultInjector injector;
+  auto server_cfg = cfg.server;
+  if (cfg.fault_every > 0) {
+    pv::FaultPlan plan;
+    plan.site = pv::FaultSite::kForward;
+    plan.kind = pv::FaultKind::kThrow;
+    plan.count = -1;
+    plan.every = cfg.fault_every;
+    injector.arm(plan);
+    server_cfg.fault_injector = &injector;
+  }
+
+  ServeLoadReport report;
+  const auto harness_start = std::chrono::steady_clock::now();
+  {
+    pv::SceneServer server(model, server_cfg);
+
+    std::atomic<std::size_t> submitted{0}, rejected{0}, shed{0}, failed{0},
+        corrupt{0};
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(cfg.clients));
+
+    const double per_client_qps = cfg.qps / cfg.clients;
+    const auto period = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(1.0 / per_client_qps));
+    const auto start = std::chrono::steady_clock::now();
+    const auto end =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(cfg.seconds));
+
+    std::vector<std::jthread> fleet;
+    for (int c = 0; c < cfg.clients; ++c) {
+      fleet.emplace_back([&, c] {
+        auto& my_latencies = latencies[static_cast<std::size_t>(c)];
+        // Stagger client phases so submissions spread across the period.
+        auto next = start + period * c / cfg.clients;
+        for (std::size_t k = 0;; ++k) {
+          std::this_thread::sleep_until(next);
+          if (std::chrono::steady_clock::now() >= end) return;
+          next += period;
+
+          // Deterministic mix over the per-client sequence: the first
+          // interactive_fraction of every 100 requests is interactive, the
+          // last batch_fraction is bulk, the middle is normal.
+          const auto slot = static_cast<double>(k % 100) / 100.0;
+          pv::SubmitOptions options;
+          if (slot < cfg.interactive_fraction) {
+            options.priority = pv::Priority::kInteractive;
+            options.deadline = cfg.interactive_deadline;
+          } else if (slot >= 1.0 - cfg.batch_fraction) {
+            options.priority = pv::Priority::kBatch;
+          }
+          const auto scene_index =
+              (static_cast<std::size_t>(c) + k * 31) %
+              static_cast<std::size_t>(cfg.unique_scenes);
+
+          const auto submitted_at = std::chrono::steady_clock::now();
+          pv::SceneTicket ticket;
+          try {
+            ticket = server.submit(scenes[scene_index].clone(), options);
+          } catch (const pv::AdmissionRejected&) {
+            rejected.fetch_add(1);
+            continue;
+          } catch (const pv::QueueClosed&) {
+            return;
+          }
+          submitted.fetch_add(1);
+          try {
+            const auto plane = ticket.get();  // closed loop: wait it out
+            const std::chrono::duration<double, std::milli> latency =
+                std::chrono::steady_clock::now() - submitted_at;
+            my_latencies.push_back(latency.count());
+            if (cfg.verify && plane != references[scene_index]) {
+              corrupt.fetch_add(1);
+            }
+          } catch (const pv::DeadlineExceeded&) {
+            shed.fetch_add(1);
+          } catch (...) {
+            failed.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& client : fleet) client.join();
+    server.shutdown();  // drain whatever is still in flight
+
+    report.submitted = submitted.load();
+    report.rejected = rejected.load();
+    report.shed = shed.load();
+    report.failed = failed.load();
+    report.corrupt = corrupt.load();
+    report.server = server.stats();
+
+    std::vector<double> all_ms;
+    for (const auto& per_client : latencies) {
+      all_ms.insert(all_ms.end(), per_client.begin(), per_client.end());
+    }
+    std::sort(all_ms.begin(), all_ms.end());
+    report.completed = all_ms.size();
+    report.p50_ms = detail::percentile_ms(all_ms, 0.50);
+    report.p99_ms = detail::percentile_ms(all_ms, 0.99);
+    report.max_ms = all_ms.empty() ? 0.0 : all_ms.back();
+  }
+  report.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - harness_start)
+                            .count();
+  report.achieved_qps =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.completed) / report.wall_seconds
+          : 0.0;
+  return report;
+}
+
+}  // namespace polarice::bench

@@ -1,0 +1,96 @@
+#include "core/serve/fault_injector.h"
+
+#include <thread>
+
+namespace polarice::core::serve {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kThrow:
+      return "throw";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kPoison:
+      return "poison";
+  }
+  return "?";
+}
+
+const char* to_string(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kForward:
+      return "forward";
+    case FaultSite::kStitch:
+      return "stitch";
+  }
+  return "?";
+}
+
+void FaultPlan::validate() const {
+  if (after < 0) throw std::invalid_argument("FaultPlan: after < 0");
+  if (count < -1) throw std::invalid_argument("FaultPlan: count < -1");
+  if (every < 0) throw std::invalid_argument("FaultPlan: every < 0");
+  if (stall < std::chrono::milliseconds::zero()) {
+    throw std::invalid_argument("FaultPlan: negative stall");
+  }
+  if (kind == FaultKind::kStall && stall == std::chrono::milliseconds::zero()) {
+    throw std::invalid_argument("FaultPlan: kStall with zero stall");
+  }
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  plan.validate();
+  const std::scoped_lock lock(mutex_);
+  plan_ = plan;
+  armed_ = true;
+  site_passes_[0] = site_passes_[1] = 0;
+  stats_ = FaultInjectorStats{};
+}
+
+void FaultInjector::disarm() {
+  const std::scoped_lock lock(mutex_);
+  armed_ = false;
+}
+
+bool FaultInjector::on_pass(FaultSite site) {
+  FaultKind kind;
+  std::chrono::milliseconds stall{0};
+  {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.passes;
+    if (!armed_ || plan_.site != site) return false;
+    const std::size_t pass = site_passes_[static_cast<int>(site)]++;
+    if (pass < static_cast<std::size_t>(plan_.after)) return false;
+    const std::size_t eligible = pass - static_cast<std::size_t>(plan_.after);
+    if (plan_.every > 0 &&
+        eligible % static_cast<std::size_t>(plan_.every) != 0) {
+      return false;
+    }
+    if (plan_.count >= 0 &&
+        stats_.fired >= static_cast<std::size_t>(plan_.count)) {
+      return false;
+    }
+    ++stats_.fired;
+    kind = plan_.kind;
+    stall = plan_.stall;
+  }
+  // Deliver outside the lock: a stall must not serialise other sites, and
+  // the throw must not leave the mutex in a surprising state.
+  switch (kind) {
+    case FaultKind::kThrow:
+      throw InjectedFault(to_string(site));
+    case FaultKind::kStall:
+      std::this_thread::sleep_for(stall);
+      return false;
+    case FaultKind::kPoison:
+      return true;
+  }
+  return false;
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace polarice::core::serve

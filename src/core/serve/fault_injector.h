@@ -1,0 +1,101 @@
+#pragma once
+// FaultInjector — deterministic failure hooks for the serving tier.
+//
+// Recovery code that only runs when hardware misbehaves is recovery code
+// that has never run. The injector lets tests (and the load harness) make
+// replica forward passes throw, stall, or return poisoned predictions at
+// precisely configured points, so quarantine / rebuild / retry paths are
+// exercised under normal CI.
+//
+// Cost model: the hook must be compile-time cheap because it sits on the
+// batch hot path. Builds with POLARICE_FAULT_INJECT=0 compile the call
+// sites out entirely; builds with it on (the default, so tier-1 runs the
+// recovery tests) pay one null-pointer check per batch when no injector is
+// configured, and one mutex acquisition per pass when one is armed —
+// injectors are a test/harness tool, never wired in production configs.
+//
+// A plan fires on the pass counter of its site: skip the first `after`
+// passes, then fire `count` times (-1 = forever), optionally only on every
+// `every`-th eligible pass. kThrow raises InjectedFault from inside
+// on_pass(); kStall sleeps `stall` then proceeds; kPoison returns true and
+// the caller corrupts its own output (the injector cannot know the tensor
+// layout). Counting is site-local and mutex-guarded: concurrent worker
+// threads observe an exact global pass ordering, which is what makes
+// "fail exactly the second batch" expressible.
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace polarice::core::serve {
+
+/// Thrown by on_pass() for kThrow plans; SceneServer treats it like any
+/// replica failure (quarantine + retry), tests catch it by type.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& where)
+      : std::runtime_error("injected fault: " + where) {}
+};
+
+enum class FaultKind {
+  kThrow,   // on_pass() throws InjectedFault
+  kStall,   // on_pass() sleeps `stall`, then the pass proceeds normally
+  kPoison,  // on_pass() returns true; caller corrupts its own output
+};
+
+enum class FaultSite {
+  kForward,  // replica forward pass (worker batch loop)
+  kStitch,   // scene finalize / stitch path
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+[[nodiscard]] const char* to_string(FaultSite site) noexcept;
+
+struct FaultPlan {
+  FaultSite site = FaultSite::kForward;
+  FaultKind kind = FaultKind::kThrow;
+  int after = 0;  // skip this many passes at `site` before arming
+  int count = 1;  // fire at most this many times; -1 = every eligible pass
+  int every = 0;  // >0: fire only on every Nth eligible pass
+  std::chrono::milliseconds stall{0};  // kStall sleep per firing
+
+  void validate() const;
+};
+
+struct FaultInjectorStats {
+  std::size_t passes = 0;  // on_pass() calls across all sites
+  std::size_t fired = 0;   // faults actually delivered
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs `plan`, resetting pass/fire counters. Replaces any prior plan.
+  void arm(const FaultPlan& plan);
+
+  /// Removes the plan; subsequent passes run clean. Counters are kept so a
+  /// test can assert how many faults were delivered.
+  void disarm();
+
+  /// Called by instrumented code at `site`. Applies the armed plan:
+  /// throws (kThrow), sleeps then returns false (kStall), or returns true
+  /// (kPoison — caller must corrupt its output). Returns false when no
+  /// plan is armed or the plan does not fire on this pass.
+  bool on_pass(FaultSite site);
+
+  [[nodiscard]] FaultInjectorStats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  bool armed_ = false;
+  std::size_t site_passes_[2] = {0, 0};  // per-site eligible-pass counters
+  FaultInjectorStats stats_;
+};
+
+}  // namespace polarice::core::serve

@@ -1,20 +1,25 @@
 #include "core/serve/replica_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
-
-#include "util/timer.h"
 
 namespace polarice::core::serve {
 
-ReplicaPool::ReplicaPool(nn::UNet& source, int initial, int max_size)
-    : max_size_(max_size) {
+ReplicaPool::ReplicaPool(nn::UNet& source, int initial, int max_size,
+                         const util::Clock* clock)
+    : max_size_(max_size),
+      clock_(clock != nullptr ? clock : &util::system_clock()) {
   if (initial < 1) {
     throw std::invalid_argument("ReplicaPool: initial < 1");
   }
   if (max_size < initial) {
     throw std::invalid_argument("ReplicaPool: max_size < initial");
   }
+  // The master is the rebuild source of last resort: it never serves, is
+  // never leased, and so can never be quarantined — repair() always has a
+  // healthy set of weights even when every serving replica died at once.
+  master_ = source.clone();
   replicas_.reserve(static_cast<std::size_t>(max_size));
   free_.reserve(static_cast<std::size_t>(max_size));
   for (int i = 0; i < initial; ++i) {
@@ -33,7 +38,10 @@ nn::UNet* ReplicaPool::grow_one(std::unique_lock<std::mutex>& lock) {
   // we finish, and is cleared even on a throwing clone (a stuck latch
   // would disable growth forever).
   growing_ = true;
-  nn::UNet* source = replicas_.front().get();
+  // Prefer a serving replica as the clone source (keeps the master cold in
+  // cache terms); fall back to the master when quarantine emptied the pool.
+  nn::UNet* source =
+      replicas_.empty() ? master_.get() : replicas_.front().get();
   grow_source_ = source;
   lock.unlock();
   std::unique_ptr<nn::UNet> replica;
@@ -58,7 +66,11 @@ nn::UNet* ReplicaPool::grow_one(std::unique_lock<std::mutex>& lock) {
 }
 
 nn::UNet* ReplicaPool::acquire(bool allow_grow) {
-  util::WallTimer waited;
+  const auto wait_started = clock_->now();
+  const auto waited = [&] {
+    return std::chrono::duration<double>(clock_->now() - wait_started)
+        .count();
+  };
   std::unique_lock lock(mutex_);
   for (;;) {
     if (!free_.empty()) {
@@ -66,7 +78,7 @@ nn::UNet* ReplicaPool::acquire(bool allow_grow) {
       free_.pop_back();
       ++leases_;
       peak_leases_ = std::max(peak_leases_, leases_);
-      wait_seconds_ += waited.seconds();
+      wait_seconds_ += waited();
       return model;
     }
     if (allow_grow && !growing_ &&
@@ -74,7 +86,7 @@ nn::UNet* ReplicaPool::acquire(bool allow_grow) {
       nn::UNet* model = grow_one(lock);
       ++leases_;
       peak_leases_ = std::max(peak_leases_, leases_);
-      wait_seconds_ += waited.seconds();
+      wait_seconds_ += waited();
       return model;
     }
     free_cv_.wait(lock);
@@ -90,6 +102,25 @@ void ReplicaPool::release(nn::UNet* model) {
   free_cv_.notify_one();
 }
 
+void ReplicaPool::quarantine(nn::UNet* model) {
+  {
+    const std::scoped_lock lock(mutex_);
+    auto it = std::find_if(
+        replicas_.begin(), replicas_.end(),
+        [&](const std::unique_ptr<nn::UNet>& r) { return r.get() == model; });
+    // A leased replica is always in replicas_ (shrink() never destroys
+    // leased ones), so the find cannot miss.
+    quarantined_.push_back(std::move(*it));
+    replicas_.erase(it);
+    --leases_;
+    ++total_quarantined_;
+  }
+  // Wake blocked acquirers: the pool shrank, so allow_grow waiters may now
+  // clone a replacement instead of waiting for a free replica that is not
+  // coming back.
+  free_cv_.notify_all();
+}
+
 void ReplicaPool::ensure(int target) {
   target = std::min(target, max_size_);
   std::unique_lock lock(mutex_);
@@ -101,7 +132,52 @@ void ReplicaPool::ensure(int target) {
       continue;
     }
     free_.push_back(grow_one(lock));
+    // grow_one's notify fired before the push above landed the replica in
+    // free_; notify again so a blocked acquirer sees it.
+    free_cv_.notify_one();
   }
+}
+
+int ReplicaPool::repair() {
+  int rebuilt = 0;
+  for (;;) {
+    std::unique_ptr<nn::UNet> corpse;
+    {
+      std::unique_lock lock(mutex_);
+      // The grow source may itself have been quarantined mid-clone (it can
+      // be a *leased* replica whose forward pass then failed); it is pinned
+      // until the clone lands, so destroy it only after growing_ clears.
+      auto pick = [&]() -> bool {
+        for (std::size_t i = quarantined_.size(); i-- > 0;) {
+          if (quarantined_[i].get() == grow_source_) continue;
+          corpse = std::move(quarantined_[i]);
+          quarantined_.erase(quarantined_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+          return true;
+        }
+        return false;
+      };
+      while (!pick() && !quarantined_.empty()) {
+        free_cv_.wait(lock);  // clone in flight reads the only corpse
+      }
+    }
+    if (!corpse) break;
+    corpse.reset();  // destroy outside the lock — weight teardown is slow
+
+    std::unique_lock lock(mutex_);
+    while (growing_) free_cv_.wait(lock);
+    if (static_cast<int>(replicas_.size()) >= max_size_) {
+      // The pool regrew past the corpse's slot already (an allow_grow
+      // acquire raced us); destroying the corpse was the whole repair.
+      continue;
+    }
+    free_.push_back(grow_one(lock));
+    ++total_rebuilt_;
+    ++rebuilt;
+    lock.unlock();
+    free_cv_.notify_one();
+  }
+  return rebuilt;
 }
 
 void ReplicaPool::shrink(int target) {
@@ -130,6 +206,11 @@ int ReplicaPool::peak_size() const {
   return peak_size_;
 }
 
+std::size_t ReplicaPool::leases() const {
+  const std::scoped_lock lock(mutex_);
+  return leases_;
+}
+
 std::size_t ReplicaPool::peak_leases() const {
   const std::scoped_lock lock(mutex_);
   return peak_leases_;
@@ -140,9 +221,30 @@ double ReplicaPool::wait_seconds() const {
   return wait_seconds_;
 }
 
+int ReplicaPool::quarantined() const {
+  const std::scoped_lock lock(mutex_);
+  return static_cast<int>(quarantined_.size());
+}
+
+std::size_t ReplicaPool::total_quarantined() const {
+  const std::scoped_lock lock(mutex_);
+  return total_quarantined_;
+}
+
+std::size_t ReplicaPool::total_rebuilt() const {
+  const std::scoped_lock lock(mutex_);
+  return total_rebuilt_;
+}
+
 ReplicaPool::Lease::Lease(ReplicaPool& pool, bool allow_grow)
     : pool_(pool), model_(pool.acquire(allow_grow)) {}
 
-ReplicaPool::Lease::~Lease() { pool_.release(model_); }
+ReplicaPool::Lease::~Lease() {
+  if (failed_) {
+    pool_.quarantine(model_);
+  } else {
+    pool_.release(model_);
+  }
+}
 
 }  // namespace polarice::core::serve

@@ -19,6 +19,13 @@
 // The element type is a template parameter so the admission machinery is
 // unit-testable without dragging in scenes and tickets; SceneServer
 // instantiates it with its ticket pointer.
+//
+// Time is read through an injectable util::Clock so deadline admission is
+// deterministically testable: a test wires a VirtualClock and a blocked
+// submitter is rejected exactly when the test advances time past the bound,
+// never because the host was slow. Waiting itself stays on real condition
+// variables with short ticks — the injected clock only decides *whether*
+// the bound has elapsed, never blocks anything.
 
 #include <chrono>
 #include <condition_variable>
@@ -30,6 +37,7 @@
 #include <string>
 
 #include "par/context.h"
+#include "util/virtual_clock.h"
 
 namespace polarice::core::serve {
 
@@ -58,10 +66,25 @@ class QueueClosed : public std::runtime_error {
   QueueClosed() : std::runtime_error("request queue closed") {}
 };
 
+/// Resolution for work that could no longer meet its deadline: the serving
+/// tier sheds it (before burning a forward pass) and SceneTicket::get()
+/// rethrows this. Lives here — next to the other admission outcomes — so
+/// the queue, the scheduler's expiry sweep, and tests share one type.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& why)
+      : std::runtime_error("deadline exceeded: " + why) {}
+};
+
 template <typename T>
 class RequestQueue {
  public:
-  explicit RequestQueue(AdmissionConfig config) : config_(config) {
+  /// `clock` times the kDeadline admission bound; nullptr = process clock.
+  /// Must outlive the queue.
+  explicit RequestQueue(AdmissionConfig config,
+                        const util::Clock* clock = nullptr)
+      : config_(config),
+        clock_(clock != nullptr ? clock : &util::system_clock()) {
     config_.validate();
   }
 
@@ -153,19 +176,16 @@ class RequestQueue {
                       const par::ExecutionContext& ctx,
                       std::optional<std::chrono::milliseconds> bound) {
     constexpr std::chrono::milliseconds kTick{10};
-    const auto deadline = std::chrono::steady_clock::now() +
+    const auto deadline = clock_->now() +
                           bound.value_or(std::chrono::milliseconds::zero());
     for (;;) {
       if (closed_) return true;  // push() throws QueueClosed right after
       if (queue_.size() < config_.capacity) return true;
       ctx.throw_if_cancelled("RequestQueue::push");
-      auto tick = std::chrono::steady_clock::now() + kTick;
-      if (bound && tick > deadline) tick = deadline;
-      space_cv_.wait_until(lock, tick);
-      if (bound && std::chrono::steady_clock::now() >= deadline &&
-          queue_.size() >= config_.capacity && !closed_) {
-        return false;
-      }
+      if (bound && clock_->now() >= deadline) return false;
+      // Real-time tick regardless of the injected clock: it only bounds how
+      // stale the next closed/space/deadline re-check can be.
+      space_cv_.wait_for(lock, kTick);
     }
   }
 
@@ -180,6 +200,7 @@ class RequestQueue {
   }
 
   AdmissionConfig config_;
+  const util::Clock* clock_;
   mutable std::mutex mutex_;
   std::condition_variable item_cv_;   // waiters in pop()
   std::condition_variable space_cv_;  // waiters in push() backpressure

@@ -9,7 +9,6 @@
 #include "s2/tiles.h"
 #include "tensor/conv.h"
 #include "tensor/tensor.h"
-#include "util/timer.h"
 
 namespace polarice::core::serve {
 
@@ -29,7 +28,14 @@ struct TicketState {
   // would abort sibling submissions and unrelated work), so each ticket
   // carries its own token and the server honours either.
   par::CancellationToken own_cancel;
-  util::WallTimer timer;      // submit -> resolution latency
+
+  // SLO scheduling (written at submit, read by the batch scheduler).
+  Priority priority = Priority::kNormal;
+  std::optional<util::Clock::time_point> deadline;  // absolute, server clock
+  int retry_budget = 0;                   // replica-failure retries allowed
+  std::uint64_t seq = 0;                  // submission order (FIFO tiebreak)
+  util::Clock::time_point submitted_at;   // latency telemetry
+  int retries = 0;  // retry events so far; guarded by the server tile_mutex_
 
   [[nodiscard]] bool cancelled() const noexcept {
     return ctx.cancelled() || own_cancel.cancelled();
@@ -122,6 +128,30 @@ void SceneTicket::cancel() const {
 // SceneServerConfig
 // ---------------------------------------------------------------------------
 
+const char* to_string(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kInteractive:
+      return "interactive";
+  }
+  return "?";
+}
+
+void RetryPolicy::validate() const {
+  if (max_retries < 0) {
+    throw std::invalid_argument("RetryPolicy: max_retries < 0");
+  }
+  if (backoff_base < std::chrono::milliseconds::zero()) {
+    throw std::invalid_argument("RetryPolicy: negative backoff_base");
+  }
+  if (backoff_cap < backoff_base) {
+    throw std::invalid_argument("RetryPolicy: backoff_cap < backoff_base");
+  }
+}
+
 void SceneServerConfig::validate() const {
   if (tile_size <= 0) {
     throw std::invalid_argument("SceneServerConfig: tile_size <= 0");
@@ -145,6 +175,7 @@ void SceneServerConfig::validate() const {
   }
   filter.validate();
   admission.validate();
+  retry.validate();
 }
 
 namespace {
@@ -164,15 +195,17 @@ SceneServer::SceneServer(nn::UNet& model, SceneServerConfig config,
                          par::ExecutionContext ctx)
     : config_(validated(config, model)),
       server_ctx_(std::move(ctx)),
+      clock_(config.clock != nullptr ? config.clock : &util::system_clock()),
       filter_(config.filter),
-      pool_(model, config.min_replicas, config.max_replicas),
+      pool_(model, config.min_replicas, config.max_replicas, clock_),
       cache_(config.cache_bytes),
-      queue_(config.admission) {
+      queue_(config.admission, clock_) {
   scheduler_ = std::jthread([this] { scheduler_loop(); });
   workers_.reserve(static_cast<std::size_t>(config_.max_replicas));
   for (int i = 0; i < config_.max_replicas; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  watchdog_ = std::jthread([this] { watchdog_loop(); });
 }
 
 SceneServer::~SceneServer() { shutdown(); }
@@ -190,16 +223,33 @@ void SceneServer::shutdown() {
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  // The watchdog stops after the workers: a worker draining the last tiles
+  // may be blocked on a replica the watchdog has yet to rebuild.
+  {
+    const std::scoped_lock lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 SceneTicket SceneServer::submit(img::ImageU8 scene) {
-  return submit(std::move(scene), par::ExecutionContext{});
+  return submit(std::move(scene), SubmitOptions{}, par::ExecutionContext{});
 }
 
 SceneTicket SceneServer::submit(img::ImageU8 scene,
                                 const par::ExecutionContext& ctx) {
+  return submit(std::move(scene), SubmitOptions{}, ctx);
+}
+
+SceneTicket SceneServer::submit(img::ImageU8 scene,
+                                const SubmitOptions& options,
+                                const par::ExecutionContext& ctx) {
   if (scene.channels() != 3) {
     throw std::invalid_argument("SceneServer: expected RGB scene");
+  }
+  if (options.max_retries < -1) {
+    throw std::invalid_argument("SceneServer: max_retries < -1");
   }
   const int ts = config_.tile_size;
   const bool partial = scene.width() % ts != 0 || scene.height() % ts != 0;
@@ -214,6 +264,16 @@ SceneTicket SceneServer::submit(img::ImageU8 scene,
   state->ctx = ctx;
   state->orig_w = state->scene.width();
   state->orig_h = state->scene.height();
+  state->priority = options.priority;
+  state->submitted_at = clock_->now();
+  if (options.deadline) {
+    state->deadline = state->submitted_at + *options.deadline;
+  } else if (ctx.deadline()) {
+    state->deadline = *ctx.deadline();
+  }
+  state->retry_budget = options.max_retries >= 0 ? options.max_retries
+                                                 : config_.retry.max_retries;
+  state->seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
 
   // Both counts must cover the request before it is poppable: a worker
   // topping up a batch must never conclude "nothing can arrive" while this
@@ -257,14 +317,17 @@ void SceneServer::scheduler_loop() {
     auto item = queue_.pop_for(config_.scale_down_idle);
     if (!item) {
       if (queue_.closed()) return;
-      // Idle tick: no new request within scale_down_idle, no scene between
+      // Idle tick: first shed whatever expired while waiting for a worker
+      // (deadlines must not depend on a worker popping the victim's tiles),
+      // then — with no new request within scale_down_idle, no scene between
       // admission and tile fan-out, and no tiles waiting for a worker —
       // retire replicas above the warm floor. (Workers mid-batch still hold
       // leases; shrink() never destroys leased replicas.)
+      sweep_expired();
       bool tiles_queued;
       {
         const std::scoped_lock lock(tile_mutex_);
-        tiles_queued = !tiles_.empty();
+        tiles_queued = !tiles_.empty() || !delayed_.empty();
       }
       if (!tiles_queued &&
           pending_scenes_.load(std::memory_order_acquire) == 0) {
@@ -281,6 +344,13 @@ void SceneServer::prepare(const std::shared_ptr<TicketState>& ticket) {
   if (t.cancelled()) {
     resolve_error(ticket, std::make_exception_ptr(par::OperationCancelled(
                               "SceneServer::prepare")));
+    retire_pending();
+    return;
+  }
+  // Shed before any work — not even a cache probe for a request whose
+  // submitter has already given up on the answer.
+  if (t.deadline && clock_->now() > *t.deadline) {
+    shed(ticket);
     retire_pending();
     return;
   }
@@ -423,7 +493,7 @@ void SceneServer::fan_out(const std::shared_ptr<TicketState>& ticket) {
     {
       const std::scoped_lock lock(tile_mutex_);
       for (int i = 0; i < total; ++i) {
-        tiles_.push_back(TileWork{ticket, i});
+        push_tile(TileWork{ticket, i});
       }
       depth = tiles_.size();
     }
@@ -448,36 +518,120 @@ void SceneServer::fan_out(const std::shared_ptr<TicketState>& ticket) {
 // Worker side
 // ---------------------------------------------------------------------------
 
+bool SceneServer::tile_before(const TileWork& a, const TileWork& b) noexcept {
+  const TicketState& ta = *a.ticket;
+  const TicketState& tb = *b.ticket;
+  if (ta.priority != tb.priority) return ta.priority > tb.priority;
+  const bool da = ta.deadline.has_value();
+  const bool db = tb.deadline.has_value();
+  if (da != db) return da;  // deadline-bound work beats unbounded
+  if (da && db && *ta.deadline != *tb.deadline) {
+    return *ta.deadline < *tb.deadline;  // earliest deadline first
+  }
+  if (ta.seq != tb.seq) return ta.seq < tb.seq;  // submission FIFO
+  return a.tile < b.tile;  // row-major within a scene
+}
+
+void SceneServer::push_tile(TileWork work) {
+  tiles_.push_back(std::move(work));
+  std::push_heap(tiles_.begin(), tiles_.end(),
+                 [](const TileWork& a, const TileWork& b) {
+                   return tile_before(b, a);
+                 });
+}
+
+SceneServer::TileWork SceneServer::pop_tile() {
+  std::pop_heap(tiles_.begin(), tiles_.end(),
+                [](const TileWork& a, const TileWork& b) {
+                  return tile_before(b, a);
+                });
+  TileWork work = std::move(tiles_.back());
+  tiles_.pop_back();
+  return work;
+}
+
+void SceneServer::promote_delayed(util::Clock::time_point now, bool force) {
+  const auto ready_later = [](const DelayedTile& a, const DelayedTile& b) {
+    return a.ready_at > b.ready_at;
+  };
+  while (!delayed_.empty() && (force || delayed_.front().ready_at <= now)) {
+    std::pop_heap(delayed_.begin(), delayed_.end(), ready_later);
+    push_tile(std::move(delayed_.back().work));
+    delayed_.pop_back();
+  }
+}
+
 std::vector<SceneServer::TileWork> SceneServer::gather() {
+  // Real-time re-check tick while logically waiting on the injected clock:
+  // bounds how stale the next deadline/backoff evaluation can be without
+  // ever blocking on a clock that only a test thread advances.
+  constexpr std::chrono::milliseconds kTick{1};
   std::vector<TileWork> batch;
+  std::vector<std::shared_ptr<TicketState>> expired;
   std::unique_lock lock(tile_mutex_);
-  tile_cv_.wait(lock, [&] { return tiles_stopping_ || !tiles_.empty(); });
-  if (tiles_.empty()) return batch;  // stopping and drained
-  batch.push_back(std::move(tiles_.front()));
-  tiles_.pop_front();
-  // Dynamic batching: top the batch up with whatever is queued, waiting at
-  // most max_batch_wait for stragglers — and not at all once no admitted
-  // scene can still contribute tiles (pending_scenes_ == 0).
-  const auto deadline =
-      std::chrono::steady_clock::now() + config_.max_batch_wait;
-  while (static_cast<int>(batch.size()) < config_.batch_tiles) {
-    if (!tiles_.empty()) {
-      batch.push_back(std::move(tiles_.front()));
-      tiles_.pop_front();
+  std::optional<util::Clock::time_point> flush_at;
+
+  for (;;) {
+    const auto now = clock_->now();
+    promote_delayed(now, /*force=*/tiles_stopping_);
+
+    // Fill in (priority, EDF, FIFO) order, shedding what already expired —
+    // a forward pass must never be spent on an answer nobody can use.
+    while (static_cast<int>(batch.size()) < config_.batch_tiles &&
+           !tiles_.empty()) {
+      TileWork work = pop_tile();
+      TicketState& t = *work.ticket;
+      if (t.resolved.load(std::memory_order_acquire)) continue;  // corpse
+      if (t.deadline && now > *t.deadline) {
+        expired.push_back(std::move(work.ticket));
+        continue;
+      }
+      batch.push_back(std::move(work));
+    }
+    if (!expired.empty()) {
+      // Resolve outside the lock (a shed single-flight leader promotes a
+      // follower, which re-enters fan_out -> tile_mutex_), then re-fill.
+      lock.unlock();
+      for (const auto& ticket : expired) shed(ticket);
+      expired.clear();
+      lock.lock();
       continue;
     }
-    if (tiles_stopping_ ||
-        pending_scenes_.load(std::memory_order_acquire) == 0) {
-      break;
+    if (static_cast<int>(batch.size()) >= config_.batch_tiles) return batch;
+
+    if (!batch.empty()) {
+      // Dynamic batching: top the partial batch up, waiting at most
+      // max_batch_wait for stragglers — and not at all once no admitted
+      // scene can still contribute tiles (pending_scenes_ == 0).
+      if (!flush_at) flush_at = now + config_.max_batch_wait;
+      if (tiles_stopping_ ||
+          pending_scenes_.load(std::memory_order_acquire) == 0 ||
+          now >= *flush_at) {
+        return batch;
+      }
+      tile_cv_.wait_for(lock, kTick, [&] {
+        return tiles_stopping_ || !tiles_.empty() ||
+               pending_scenes_.load(std::memory_order_acquire) == 0;
+      });
+      continue;
     }
-    if (!tile_cv_.wait_until(lock, deadline, [&] {
-          return tiles_stopping_ || !tiles_.empty() ||
-                 pending_scenes_.load(std::memory_order_acquire) == 0;
-        })) {
-      break;  // flush the partial batch
+
+    // Empty-handed.
+    if (tiles_stopping_ && tiles_.empty() && delayed_.empty()) {
+      return batch;  // shutdown: fully drained
+    }
+    if (!delayed_.empty()) {
+      // Backed-off tiles only become due when the (possibly virtual) clock
+      // says so; poll rather than sleep indefinitely.
+      tile_cv_.wait_for(lock, kTick, [&] {
+        return tiles_stopping_ || !tiles_.empty();
+      });
+    } else {
+      tile_cv_.wait(lock, [&] {
+        return tiles_stopping_ || !tiles_.empty() || !delayed_.empty();
+      });
     }
   }
-  return batch;
 }
 
 void SceneServer::worker_loop() {
@@ -516,27 +670,47 @@ void SceneServer::worker_loop() {
 
     try {
       const int n = static_cast<int>(live.size());
+      bool poison = false;
       {
         // Lease scope covers only the work that needs the replica; the
         // argmax indices are fully copied into `pred`, so stitching,
         // caching, and stats below run with the replica already returned
         // to the pool for the next batch.
         ReplicaPool::Lease lease(pool_, /*allow_grow=*/backlog);
-        nn::UNet& model = lease.model();
-        model.bind(server_ctx_);
-        if (x.ndim() != 4 || x.dim(0) != n) {
-          x = tensor::Tensor({n, 3, ts, ts});
+        try {
+          nn::UNet& model = lease.model();
+          model.bind(server_ctx_);
+          if (x.ndim() != 4 || x.dim(0) != n) {
+            x = tensor::Tensor({n, 3, ts, ts});
+          }
+          for (int s = 0; s < n; ++s) {
+            const TicketState& t = *live[static_cast<std::size_t>(s)].ticket;
+            const int tile = live[static_cast<std::size_t>(s)].tile;
+            stage_tile(t.filtered, (tile % t.tiles_x) * ts,
+                       (tile / t.tiles_x) * ts, ts, x, s);
+          }
+#if POLARICE_FAULT_INJECT
+          if (config_.fault_injector != nullptr) {
+            poison = config_.fault_injector->on_pass(FaultSite::kForward);
+          }
+#endif
+          model.forward(x, logits, /*training=*/false);
+          tensor::softmax_channel(logits, probs);
+          pred.resize(static_cast<std::size_t>(n) * plane);
+          tensor::argmax_channel(probs, pred.data());
+        } catch (...) {
+          // The replica may have been interrupted mid-write of its internal
+          // caches; its outputs can no longer be trusted. Quarantine it —
+          // the watchdog rebuilds a replacement from a healthy clone.
+          lease.mark_failed();
+          throw;
         }
-        for (int s = 0; s < n; ++s) {
-          const TicketState& t = *live[static_cast<std::size_t>(s)].ticket;
-          const int tile = live[static_cast<std::size_t>(s)].tile;
-          stage_tile(t.filtered, (tile % t.tiles_x) * ts,
-                     (tile / t.tiles_x) * ts, ts, x, s);
-        }
-        model.forward(x, logits, /*training=*/false);
-        tensor::softmax_channel(logits, probs);
-        pred.resize(static_cast<std::size_t>(n) * plane);
-        tensor::argmax_channel(probs, pred.data());
+      }
+      if (poison) {
+        // kPoison models silent corruption: the pass "succeeds" but the
+        // labels are garbage (255 is not a legal class id). Delivered
+        // normally — detecting this is the verification harness's job.
+        std::fill(pred.begin(), pred.end(), 255);
       }
 
       // Batch counters before delivery: delivering the last tile resolves
@@ -565,12 +739,81 @@ void SceneServer::worker_loop() {
                 pred_plane(pred.data(), s, ts));
       }
     } catch (...) {
-      // A failed forward (e.g. allocation failure) fails every scene in the
-      // batch; the server itself keeps serving.
-      for (const auto& work : live) {
-        resolve_error(work.ticket, std::current_exception());
+      // A failed forward is batch-local: the batch's tiles are re-queued
+      // with backoff for scenes with retry budget left, only spent budgets
+      // fail — and the server itself keeps serving.
+      handle_batch_failure(live, std::current_exception());
+    }
+  }
+}
+
+void SceneServer::handle_batch_failure(const std::vector<TileWork>& live,
+                                       std::exception_ptr error) {
+  const auto ready_later = [](const DelayedTile& a, const DelayedTile& b) {
+    return a.ready_at > b.ready_at;
+  };
+  std::vector<std::shared_ptr<TicketState>> exhausted;
+  std::size_t retried_scenes = 0;
+  std::size_t retried_tiles = 0;
+  {
+    const std::scoped_lock lock(tile_mutex_);
+    const auto now = clock_->now();
+    // Distinct owning tickets (a batch holds at most batch_tiles tiles).
+    std::vector<TicketState*> seen;
+    for (const auto& work : live) {
+      TicketState& t = *work.ticket;
+      if (std::find(seen.begin(), seen.end(), &t) != seen.end()) continue;
+      seen.push_back(&t);
+      if (t.resolved.load(std::memory_order_acquire)) continue;
+      if (t.retries >= t.retry_budget) {
+        exhausted.push_back(work.ticket);
+        continue;
+      }
+      ++t.retries;
+      ++retried_scenes;
+      // Capped exponential backoff: base * 2^(attempt-1), <= cap.
+      const int shift = std::min(t.retries - 1, 20);
+      const auto delay =
+          std::min(std::chrono::duration_cast<std::chrono::milliseconds>(
+                       config_.retry.backoff_base * (1LL << shift)),
+                   config_.retry.backoff_cap);
+      const auto ready_at = now + delay;
+      for (const auto& sibling : live) {
+        if (sibling.ticket.get() != &t) continue;
+        delayed_.push_back(DelayedTile{sibling, ready_at});
+        std::push_heap(delayed_.begin(), delayed_.end(), ready_later);
+        ++retried_tiles;
       }
     }
+  }
+  tile_cv_.notify_all();
+  {
+    const std::scoped_lock lock(stats_mutex_);
+    ++counters_.batch_failures;
+    counters_.retries += retried_scenes;
+    counters_.retried_tiles += retried_tiles;
+    counters_.retry_exhausted += exhausted.size();
+  }
+  // Budget exhaustion fails only the owning tickets — batch neighbors with
+  // budget left were re-queued above and never observe this failure.
+  for (const auto& ticket : exhausted) resolve_error(ticket, error);
+  // Kick the watchdog: if the failure quarantined a replica, rebuild it.
+  // The empty critical section orders this notify after any pred the
+  // watchdog evaluated before the quarantine landed.
+  { const std::scoped_lock lock(watchdog_mutex_); }
+  watchdog_cv_.notify_one();
+}
+
+void SceneServer::watchdog_loop() {
+  std::unique_lock lock(watchdog_mutex_);
+  for (;;) {
+    watchdog_cv_.wait(lock, [&] {
+      return watchdog_stop_ || pool_.quarantined() > 0;
+    });
+    if (watchdog_stop_) return;
+    lock.unlock();
+    pool_.repair();
+    lock.lock();
   }
 }
 
@@ -588,67 +831,123 @@ void SceneServer::deliver(const TileWork& work, img::ImageU8 plane) {
 void SceneServer::finalize(const std::shared_ptr<TicketState>& ticket) {
   TicketState& t = *ticket;
   if (!t.claim()) return;  // cancellation won
-  img::ImageU8 labels = s2::stitch_labels(t.planes, t.tiles_x, t.tiles_y);
-  if (labels.width() != t.orig_w || labels.height() != t.orig_h) {
-    labels = img::crop(labels, 0, 0, t.orig_w, t.orig_h);
-  }
-  if (t.cacheable) cache_.insert(t.key, labels);
-  const double latency = t.timer.seconds();
-  {
-    const std::scoped_lock lock(stats_mutex_);
-    ++counters_.completed;
-    ++counters_.session.scenes;
-    counters_.session.busy_seconds += latency;
-  }
-
-  // Single-flight: this leader's plane resolves every attached follower
-  // (each spent zero forward passes). A follower cancelled while it waited
-  // resolves as cancelled, matching the promote() path — the result is in
-  // hand, but the submitter asked out. Counters before each publish, as
-  // everywhere.
-  for (const auto& follower : take_followers(ticket)) {
-    if (follower->cancelled()) {
-      resolve_error(follower,
-                    std::make_exception_ptr(
-                        par::OperationCancelled("SceneServer::coalesced")));
-      continue;
+  try {
+#if POLARICE_FAULT_INJECT
+    // Before the cache insert, deliberately: a scene that fails here must
+    // never leave a (possibly poisoned) entry for followers or future
+    // submissions to read.
+    if (config_.fault_injector != nullptr) {
+      (void)config_.fault_injector->on_pass(FaultSite::kStitch);
     }
-    if (!follower->claim()) continue;
+#endif
+    img::ImageU8 labels = s2::stitch_labels(t.planes, t.tiles_x, t.tiles_y);
+    if (labels.width() != t.orig_w || labels.height() != t.orig_h) {
+      labels = img::crop(labels, 0, 0, t.orig_w, t.orig_h);
+    }
+    if (t.cacheable) cache_.insert(t.key, labels);
+    const double latency =
+        std::chrono::duration<double>(clock_->now() - t.submitted_at).count();
     {
       const std::scoped_lock lock(stats_mutex_);
       ++counters_.completed;
+      ++counters_.session.scenes;
+      counters_.session.busy_seconds += latency;
     }
-    // A follower's own sink never saw prepare/tile ticks (the leader did
-    // the work); one completion tick keeps progress-driven callers moving.
-    follower->ctx.report_progress("serve.coalesced", 1, 1);
-    follower->publish(labels.clone(), nullptr);
+
+    // Single-flight: this leader's plane resolves every attached follower
+    // (each spent zero forward passes). A follower cancelled while it
+    // waited resolves as cancelled, matching the promote() path — the
+    // result is in hand, but the submitter asked out. Counters before each
+    // publish, as everywhere.
+    for (const auto& follower : take_followers(ticket)) {
+      if (follower->cancelled()) {
+        resolve_error(follower,
+                      std::make_exception_ptr(
+                          par::OperationCancelled("SceneServer::coalesced")));
+        continue;
+      }
+      if (!follower->claim()) continue;
+      {
+        const std::scoped_lock lock(stats_mutex_);
+        ++counters_.completed;
+      }
+      // A follower's own sink never saw prepare/tile ticks (the leader did
+      // the work); one completion tick keeps progress-driven callers
+      // moving.
+      follower->ctx.report_progress("serve.coalesced", 1, 1);
+      follower->publish(labels.clone(), nullptr);
+    }
+    t.publish(std::move(labels), nullptr);
+  } catch (...) {
+    // The claim is already ours, so resolve_error cannot run — publish the
+    // failure directly and hand followers to a fresh leader. The cache was
+    // not touched (the insert sits after every throwing step but the
+    // follower publishes, which only clone()).
+    {
+      const std::scoped_lock lock(stats_mutex_);
+      ++counters_.failed;
+    }
+    t.publish(img::ImageU8(), std::current_exception());
+    auto followers = take_followers(ticket);
+    if (!followers.empty()) promote(std::move(followers));
   }
-  t.publish(std::move(labels), nullptr);
+}
+
+void SceneServer::shed(const std::shared_ptr<TicketState>& ticket) {
+  resolve_error(ticket, std::make_exception_ptr(DeadlineExceeded(
+                            "scene shed by SceneServer")));
+}
+
+void SceneServer::sweep_expired() {
+  std::vector<std::shared_ptr<TicketState>> victims;
+  {
+    const std::scoped_lock lock(tile_mutex_);
+    const auto now = clock_->now();
+    auto consider = [&](const std::shared_ptr<TicketState>& ticket) {
+      const TicketState& t = *ticket;
+      if (!t.deadline || now <= *t.deadline) return;
+      if (t.resolved.load(std::memory_order_acquire)) return;
+      for (const auto& seen : victims) {
+        if (seen == ticket) return;
+      }
+      victims.push_back(ticket);
+    };
+    for (const auto& work : tiles_) consider(work.ticket);
+    for (const auto& delayed : delayed_) consider(delayed.work.ticket);
+  }
+  // Resolve outside the lock; the victims' remaining queued tiles become
+  // corpses that workers discard at pop.
+  for (const auto& ticket : victims) shed(ticket);
 }
 
 void SceneServer::resolve_error(const std::shared_ptr<TicketState>& ticket,
                                 std::exception_ptr error) {
   TicketState& t = *ticket;
   if (!t.claim()) return;
-  bool is_cancel = false;
+  enum { kCancelled, kShed, kFailed } outcome = kFailed;
   try {
     std::rethrow_exception(error);
   } catch (const par::OperationCancelled&) {
-    is_cancel = true;
+    outcome = kCancelled;
+  } catch (const DeadlineExceeded&) {
+    outcome = kShed;
   } catch (...) {
   }
   {
     const std::scoped_lock lock(stats_mutex_);
-    if (is_cancel) {
+    if (outcome == kCancelled) {
       ++counters_.cancelled;
+    } else if (outcome == kShed) {
+      ++counters_.shed;
     } else {
       ++counters_.failed;
     }
   }
   t.publish(img::ImageU8(), std::move(error));
 
-  // A failed/cancelled leader must not take its followers down with it:
-  // they were coalesced on content, not on the submitter's intent.
+  // A failed/cancelled/shed leader must not take its followers down with
+  // it: they were coalesced on content, not on the submitter's intent (or
+  // deadline).
   auto followers = take_followers(ticket);
   if (!followers.empty()) promote(std::move(followers));
 }
@@ -673,6 +972,8 @@ SceneServerStats SceneServer::stats() const {
   out.cache_evictions = cache.evictions;
   out.replicas = pool_.size();
   out.peak_replicas = pool_.peak_size();
+  out.replicas_quarantined = pool_.total_quarantined();
+  out.replicas_rebuilt = pool_.total_rebuilt();
   return out;
 }
 

@@ -30,12 +30,30 @@
 //     -> per-tile argmax planes scattered back to their owning tickets;
 //        the last tile stitches, crops, caches, and resolves the ticket.
 //
+// SLO scheduling: every request carries a Priority class and an optional
+// deadline (SubmitOptions, or par::ExecutionContext::with_deadline). The
+// batch scheduler fills forward passes in (priority, earliest-deadline-
+// first, FIFO) order, and work that can no longer meet its deadline is shed
+// *before* burning a forward pass — at prepare, at batch fill, and by a
+// periodic expiry sweep — resolving the ticket with DeadlineExceeded
+// (counted in stats().shed). All timing runs on an injectable util::Clock
+// so the behaviors are deterministically testable.
+//
+// Failure recovery: a replica whose forward pass throws is quarantined
+// (ReplicaPool::Lease::mark_failed) and rebuilt from a healthy clone by the
+// watchdog thread; the failed batch is a batch-local event — its tiles are
+// re-queued with capped exponential backoff under a per-scene retry budget,
+// and budget exhaustion fails only the owning tickets, never batch
+// neighbors. A FaultInjector (POLARICE_FAULT_INJECT builds) can force
+// these paths deterministically.
+//
 // Determinism: per-tile results do not depend on batch composition (the
 // batched-N conv path is bit-identical to per-sample processing), so every
 // scene's output plane is bit-identical to a serial
 // InferenceWorkflow::classify_scene with the same model/filter/tile size —
 // regardless of how tiles from different scenes interleave, how many
-// replicas serve, or which requests hit the cache.
+// replicas serve, which requests hit the cache, or how many retries a
+// replica failure forced.
 //
 // Cancellation: each ticket carries the submitter's par::ExecutionContext;
 // cancelling it (or SceneTicket::cancel()) abandons the scene at the next
@@ -45,23 +63,60 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/cloud_filter.h"
 #include "core/inference_session.h"
+#include "core/serve/fault_injector.h"
 #include "core/serve/replica_pool.h"
 #include "core/serve/request_queue.h"
 #include "core/serve/result_cache.h"
 #include "img/image.h"
 #include "nn/unet.h"
 #include "par/context.h"
+#include "util/virtual_clock.h"
 
 namespace polarice::core::serve {
+
+/// Request priority class. Higher classes always fill batches first;
+/// within a class, earliest deadline first, then submission order.
+enum class Priority : int {
+  kBatch = 0,        // bulk / offline reprocessing
+  kNormal = 1,       // default interactive traffic
+  kInteractive = 2,  // operator-in-the-loop requests
+};
+
+[[nodiscard]] const char* to_string(Priority priority) noexcept;
+
+/// Per-request scheduling knobs for submit().
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  /// Relative deadline, measured from admission on the server's clock.
+  /// Work that cannot complete by then is shed with DeadlineExceeded.
+  /// nullopt defers to the context deadline (absolute), else no deadline.
+  std::optional<std::chrono::nanoseconds> deadline;
+  /// Per-scene replica-failure retry budget; -1 = the server's
+  /// RetryPolicy::max_retries default.
+  int max_retries = -1;
+};
+
+/// Replica-failure retry discipline: a failed batch's tiles are re-queued
+/// after backoff_base * 2^(attempt-1), capped at backoff_cap, until a
+/// scene's budget is exhausted (which fails that scene with the batch's
+/// error).
+struct RetryPolicy {
+  int max_retries = 2;
+  std::chrono::milliseconds backoff_base{10};
+  std::chrono::milliseconds backoff_cap{250};
+
+  void validate() const;
+};
 
 struct SceneServerConfig {
   int tile_size = 64;          // paper serving shape: 256
@@ -84,6 +139,14 @@ struct SceneServerConfig {
   // forward pass (works with the cache disabled; hashing happens whenever
   // either feature is on).
   bool single_flight = true;
+  RetryPolicy retry;  // replica-failure retry discipline
+  // Time source for deadlines, backoff, batching, and expiry; nullptr =
+  // the process steady clock. Tests inject a util::VirtualClock. Must
+  // outlive the server.
+  const util::Clock* clock = nullptr;
+  // Deterministic failure hooks (POLARICE_FAULT_INJECT builds only;
+  // ignored otherwise). nullptr = no injection. Must outlive the server.
+  FaultInjector* fault_injector = nullptr;
 
   void validate() const;
 };
@@ -108,6 +171,13 @@ struct SceneServerStats {
   std::size_t batches = 0;             // forward passes issued
   std::size_t cross_scene_batches = 0; // batches mixing >= 2 scenes
   std::size_t peak_queue_depth = 0;    // submission-queue high water
+  std::size_t shed = 0;                // tickets resolved DeadlineExceeded
+  std::size_t batch_failures = 0;      // forward passes that threw
+  std::size_t retries = 0;             // scene retry events scheduled
+  std::size_t retried_tiles = 0;       // tiles re-queued by those retries
+  std::size_t retry_exhausted = 0;     // tickets failed on a spent budget
+  std::size_t replicas_quarantined = 0;  // cumulative replica quarantines
+  std::size_t replicas_rebuilt = 0;      // cumulative watchdog rebuilds
   int replicas = 0;                    // current replica count
   int peak_replicas = 0;               // auto-scaling high water
 };
@@ -164,10 +234,13 @@ class SceneServer {
 
   /// Admits one scene under the configured admission policy and returns its
   /// ticket. `ctx` rides along for cancellation/progress (and, if it has a
-  /// pool, that pool is used for this scene's filter). Throws
+  /// pool, that pool is used for this scene's filter); a context deadline
+  /// (with_deadline) applies when `options.deadline` is unset. Throws
   /// std::invalid_argument for malformed scenes, AdmissionRejected when
   /// admission control turns the request away, QueueClosed after
   /// shutdown().
+  SceneTicket submit(img::ImageU8 scene, const SubmitOptions& options,
+                     const par::ExecutionContext& ctx = {});
   SceneTicket submit(img::ImageU8 scene, const par::ExecutionContext& ctx);
   SceneTicket submit(img::ImageU8 scene);
 
@@ -188,9 +261,14 @@ class SceneServer {
     std::shared_ptr<detail::TicketState> ticket;
     int tile = 0;  // row-major index in the scene's padded tile grid
   };
+  struct DelayedTile {
+    TileWork work;
+    util::Clock::time_point ready_at;  // backoff expiry
+  };
 
   void scheduler_loop();
   void worker_loop();
+  void watchdog_loop();
 
   /// Scheduler-side per-scene work: cancellation check, cache lookup,
   /// single-flight attach-or-lead, then fan_out().
@@ -215,8 +293,34 @@ class SceneServer {
   /// forward path.
   void promote(std::vector<std::shared_ptr<detail::TicketState>> followers);
 
-  /// Pops one dynamic batch (empty only when stopping and drained).
+  /// Pops one dynamic batch in (priority, EDF, FIFO) order, shedding
+  /// expired scenes it encounters (empty only when stopping and drained).
   std::vector<TileWork> gather();
+
+  /// Heap ordering: true when `a` must be scheduled before `b`.
+  static bool tile_before(const TileWork& a, const TileWork& b) noexcept;
+
+  /// Caller holds tile_mutex_: pops the most urgent queued tile.
+  TileWork pop_tile();
+  /// Caller holds tile_mutex_: pushes one tile into the ready heap.
+  void push_tile(TileWork work);
+  /// Caller holds tile_mutex_: moves delayed tiles whose backoff elapsed
+  /// (all of them when `force`) into the ready heap.
+  void promote_delayed(util::Clock::time_point now, bool force);
+
+  /// Resolves a ticket with DeadlineExceeded (stats().shed). Callers must
+  /// not hold tile_mutex_.
+  void shed(const std::shared_ptr<detail::TicketState>& ticket);
+
+  /// Scheduler idle tick: sheds every queued/delayed scene whose deadline
+  /// passed without waiting for a worker to pop its tiles.
+  void sweep_expired();
+
+  /// A forward pass threw: re-queue the batch's tiles with backoff for
+  /// scenes with retry budget left, fail the rest with `error`. Callers
+  /// must not hold tile_mutex_.
+  void handle_batch_failure(const std::vector<TileWork>& live,
+                            std::exception_ptr error);
 
   /// Records a finished tile plane; the scene's last tile finalizes it.
   void deliver(const TileWork& work, img::ImageU8 plane);
@@ -233,6 +337,7 @@ class SceneServer {
 
   SceneServerConfig config_;
   par::ExecutionContext server_ctx_;
+  const util::Clock* clock_;  // config_.clock or the process clock
   CloudShadowFilter filter_;
   ReplicaPool pool_;
   ResultCache cache_;
@@ -247,12 +352,21 @@ class SceneServer {
   std::mutex inflight_mutex_;
   std::unordered_map<SceneKey, Flight, SceneKeyHash> inflight_;
 
-  // Batch scheduler state.
+  // Batch scheduler state. `tiles_` is a binary heap in tile_before order
+  // (priority desc, EDF, submission FIFO); `delayed_` is a min-heap on
+  // backoff expiry feeding back into it.
   std::mutex tile_mutex_;
   std::condition_variable tile_cv_;
-  std::deque<TileWork> tiles_;         // guarded by tile_mutex_
+  std::vector<TileWork> tiles_;        // guarded by tile_mutex_
+  std::vector<DelayedTile> delayed_;   // guarded by tile_mutex_
   bool tiles_stopping_ = false;        // guarded by tile_mutex_
   std::atomic<std::size_t> pending_scenes_{0};
+  std::atomic<std::uint64_t> next_seq_{0};  // submission FIFO tiebreak
+
+  // Replica watchdog: woken on quarantine, rebuilds via pool_.repair().
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // guarded by watchdog_mutex_
 
   // Server-level counters (queue/cache/pool keep their own).
   mutable std::mutex stats_mutex_;
@@ -261,6 +375,7 @@ class SceneServer {
   std::atomic<bool> shut_down_{false};
   std::jthread scheduler_;
   std::vector<std::jthread> workers_;
+  std::jthread watchdog_;
 };
 
 }  // namespace polarice::core::serve

@@ -13,12 +13,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <new>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -202,6 +204,15 @@ class ExecutionContext {
   [[nodiscard]] ThreadPool* pool() const noexcept { return pool_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
+  /// Absolute deadline for the work submitted under this context, on the
+  /// steady-clock axis (a serving tier with an injectable Clock interprets
+  /// it against that clock). Advisory: stages that understand deadlines
+  /// (SceneServer shedding) honour it; everything else ignores it.
+  [[nodiscard]] const std::optional<std::chrono::steady_clock::time_point>&
+  deadline() const noexcept {
+    return deadline_;
+  }
+
   /// Value-semantic dials: derived contexts share cancellation/progress/
   /// scratch with the parent but override one knob.
   [[nodiscard]] ExecutionContext with_pool(ThreadPool* pool) const {
@@ -212,6 +223,12 @@ class ExecutionContext {
   [[nodiscard]] ExecutionContext with_seed(std::uint64_t seed) const {
     ExecutionContext out(*this);
     out.seed_ = seed;
+    return out;
+  }
+  [[nodiscard]] ExecutionContext with_deadline(
+      std::chrono::steady_clock::time_point deadline) const {
+    ExecutionContext out(*this);
+    out.deadline_ = deadline;
     return out;
   }
 
@@ -264,6 +281,7 @@ class ExecutionContext {
 
   ThreadPool* pool_ = nullptr;
   std::uint64_t seed_ = 0;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
   std::shared_ptr<Shared> shared_;
 };
 

@@ -1,16 +1,92 @@
 #pragma once
-// Deterministic virtual time for the cluster / device simulators.
+// Deterministic virtual time.
 //
-// The map-reduce engine (mr::) and the distributed-training device model
-// (ddp::) report *simulated* wall-clock numbers so that the paper's tables
-// reproduce identically on any host. A VirtualClock is just a monotonically
-// advancing double; the discrete-event scheduler in mr/sim_cluster.cpp owns
-// one per simulated executor core.
+// Two consumers with different shapes:
+//
+//  1. The cluster / device simulators (mr::, ddp::) report *simulated*
+//     wall-clock numbers so the paper's tables reproduce identically on any
+//     host. A ResourceTimeline is a monotonically advancing double owned by
+//     the discrete-event scheduler, one per simulated executor core.
+//
+//  2. The serving tier's SLO machinery (core/serve/) timestamps deadlines,
+//     backoff, and expiry against an injectable `Clock` so every timing
+//     behavior is deterministically testable: production wires the
+//     steady-clock passthrough (`system_clock()`), tests wire a
+//     `VirtualClock` they advance by hand. A Clock only answers now() —
+//     waiting stays on real condition variables with short re-check ticks,
+//     so a frozen virtual clock never wedges a thread, it just never lets
+//     time-gated work become due.
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
+#include <cstdint>
 
 namespace polarice::util {
+
+/// Injectable monotonic time source. time_point is steady_clock's so
+/// deadlines interoperate with std::chrono arithmetic everywhere; a
+/// VirtualClock simply manufactures time_points on the same axis starting
+/// from an arbitrary epoch.
+class Clock {
+ public:
+  using duration = std::chrono::steady_clock::duration;
+  using time_point = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual time_point now() const noexcept = 0;
+};
+
+/// Process clock: a steady_clock passthrough.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] time_point now() const noexcept override {
+    return std::chrono::steady_clock::now();
+  }
+};
+
+/// The shared SystemClock instance (what `clock = nullptr` resolves to in
+/// the serving configs).
+[[nodiscard]] inline Clock& system_clock() noexcept {
+  static SystemClock clock;
+  return clock;
+}
+
+/// Manually advanced monotonic clock for deterministic tests. Thread-safe:
+/// now() is one atomic load, advance()/set() are atomic stores, so a test
+/// thread can move time forward while server threads timestamp against it.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(time_point start = time_point{} +
+                                           std::chrono::hours(1)) noexcept
+      : ticks_(start.time_since_epoch().count()) {}
+
+  [[nodiscard]] time_point now() const noexcept override {
+    return time_point{duration{ticks_.load(std::memory_order_acquire)}};
+  }
+
+  /// Moves time forward by `delta` (negative deltas are ignored: the clock
+  /// is monotonic by contract).
+  void advance(duration delta) noexcept {
+    if (delta > duration::zero()) {
+      ticks_.fetch_add(delta.count(), std::memory_order_acq_rel);
+    }
+  }
+
+  /// Jumps to `to` if it is ahead of the current reading.
+  void set(time_point to) noexcept {
+    auto target = to.time_since_epoch().count();
+    auto cur = ticks_.load(std::memory_order_acquire);
+    while (target > cur &&
+           !ticks_.compare_exchange_weak(cur, target,
+                                         std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<duration::rep> ticks_;
+};
 
 /// A resource timeline: tracks the time at which a serially-used resource
 /// (a core, a disk, a NIC) becomes free, and lets callers book work on it.

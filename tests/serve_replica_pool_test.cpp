@@ -1,0 +1,158 @@
+// ReplicaPool failure handling: quarantine via Lease::mark_failed, repair()
+// rebuilding from a healthy source (including the pristine master when every
+// serving replica died), the max_size cap on rebuilds, and a stress test of
+// shrink() racing ensure()/grow/quarantine/repair with the pool invariants
+// checked throughout — lease counts can never go negative and the pool size
+// stays within [1, max_size].
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "core/serve/replica_pool.h"
+#include "nn/unet.h"
+
+namespace pv = polarice::core::serve;
+namespace pn = polarice::nn;
+
+namespace {
+
+/// Smallest cloneable model: pool tests never run forward passes, so the
+/// weights only have to exist.
+pn::UNet tiny_model() {
+  pn::UNetConfig cfg;
+  cfg.depth = 1;
+  cfg.base_channels = 2;
+  cfg.use_dropout = false;
+  cfg.seed = 7;
+  return pn::UNet(cfg);
+}
+
+}  // namespace
+
+TEST(ReplicaPool, QuarantineRemovesReplicaAndRepairRebuilds) {
+  pn::UNet model = tiny_model();
+  pv::ReplicaPool pool(model, 2, 3);
+  ASSERT_EQ(pool.size(), 2);
+
+  {
+    pv::ReplicaPool::Lease lease(pool);
+    EXPECT_EQ(pool.leases(), 1u);
+    lease.mark_failed();
+  }
+  // The failed replica left service, not the free list.
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.leases(), 0u);
+  EXPECT_EQ(pool.quarantined(), 1);
+  EXPECT_EQ(pool.total_quarantined(), 1u);
+
+  EXPECT_EQ(pool.repair(), 1);
+  EXPECT_EQ(pool.size(), 2);
+  EXPECT_EQ(pool.quarantined(), 0);
+  EXPECT_EQ(pool.total_rebuilt(), 1u);
+
+  // A healthy lease still works after the rebuild.
+  pv::ReplicaPool::Lease lease(pool);
+  EXPECT_EQ(pool.leases(), 1u);
+}
+
+TEST(ReplicaPool, AllReplicasDeadRecoversViaMaster) {
+  pn::UNet model = tiny_model();
+  pv::ReplicaPool pool(model, 1, 1);
+
+  { pv::ReplicaPool::Lease doomed(pool); doomed.mark_failed(); }
+  ASSERT_EQ(pool.size(), 0);  // no serving replica left to clone from
+
+  EXPECT_EQ(pool.repair(), 1);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.quarantined(), 0);
+  pv::ReplicaPool::Lease lease(pool);  // must not block
+  EXPECT_EQ(pool.leases(), 1u);
+}
+
+TEST(ReplicaPool, RepairOnlyDestroysCorpseWhenPoolRegrewToMax) {
+  pn::UNet model = tiny_model();
+  pv::ReplicaPool pool(model, 1, 2);
+
+  { pv::ReplicaPool::Lease doomed(pool); doomed.mark_failed(); }
+  ASSERT_EQ(pool.size(), 0);
+  // An acquire-driven regrow beats the watchdog to the corpse's slot (the
+  // empty pool grows from the master).
+  pool.ensure(2);
+  ASSERT_EQ(pool.size(), 2);
+
+  // Repair still destroys the corpse but must not push past max_size.
+  EXPECT_EQ(pool.repair(), 0);
+  EXPECT_EQ(pool.size(), 2);
+  EXPECT_EQ(pool.quarantined(), 0);
+  EXPECT_EQ(pool.total_rebuilt(), 0u);
+}
+
+TEST(ReplicaPool, ShrinkRacingEnsureAndQuarantineKeepsInvariants) {
+  pn::UNet model = tiny_model();
+  constexpr int kMax = 4;
+  pv::ReplicaPool pool(model, 2, kMax);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> failures_marked{0};
+
+  // Leasing threads: grab a replica (growing on demand), occasionally mark
+  // it failed. This races lease bookkeeping against everything below.
+  std::vector<std::jthread> lessees;
+  for (int t = 0; t < 4; ++t) {
+    lessees.emplace_back([&, t] {
+      for (int i = 0; i < 120; ++i) {
+        pv::ReplicaPool::Lease lease(pool, /*allow_grow=*/true);
+        if ((i + t) % 7 == 0) {
+          lease.mark_failed();
+          failures_marked.fetch_add(1);
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  // Resizer thread: queue-depth scale-up and idle scale-down fighting each
+  // other, exactly as the SceneServer's scheduler drives them.
+  std::jthread resizer([&] {
+    while (!stop.load()) {
+      pool.ensure(kMax);
+      std::this_thread::yield();
+      pool.shrink(1);
+    }
+  });
+  // Watchdog thread: rebuild whatever the lessees kill, concurrently with
+  // the resizer's grows and shrinks.
+  std::jthread watchdog([&] {
+    while (!stop.load()) {
+      pool.repair();
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& thread : lessees) thread.join();
+  stop.store(true);
+  resizer.join();
+  watchdog.join();
+  pool.repair();  // clear any corpse the watchdog missed at shutdown
+
+  // Invariants, not schedules: no lease outstanding (and the count never
+  // went negative — a size_t underflow would explode peak_leases), the
+  // pool landed within [1, max], every mark_failed became a quarantine,
+  // and the pool still serves.
+  EXPECT_EQ(pool.leases(), 0u);
+  EXPECT_LE(pool.peak_leases(), static_cast<std::size_t>(kMax));
+  EXPECT_GE(pool.size(), 1);
+  EXPECT_LE(pool.size(), kMax);
+  EXPECT_LE(pool.peak_size(), kMax);
+  EXPECT_EQ(pool.quarantined(), 0);
+  EXPECT_EQ(pool.total_quarantined(), failures_marked.load());
+  // total_rebuilt() is schedule-dependent here: when ensure() regrows the
+  // pool to max before the watchdog claims a corpse, repair() correctly
+  // destroys without rebuilding — the deterministic tests above pin the
+  // rebuild path down.
+  pv::ReplicaPool::Lease lease(pool);
+  EXPECT_EQ(pool.leases(), 1u);
+}

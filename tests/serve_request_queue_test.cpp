@@ -1,15 +1,18 @@
 // RequestQueue admission semantics: FIFO transport, the three full-queue
 // policies (reject / block / deadline), cancellation of blocked submitters,
-// and the close() drain handshake.
+// the close() drain handshake, and the deadline policy running on an
+// injected virtual clock.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <optional>
 #include <thread>
 
 #include "core/serve/request_queue.h"
 #include "par/context.h"
+#include "util/virtual_clock.h"
 
 namespace ps = polarice::core::serve;
 namespace pp = polarice::par;
@@ -119,6 +122,40 @@ TEST(RequestQueue, PopForTimesOutOnOpenEmptyQueue) {
   EXPECT_FALSE(queue.pop_for(20ms).has_value());
   EXPECT_GE(std::chrono::steady_clock::now() - t0, 15ms);
   EXPECT_FALSE(queue.closed());
+}
+
+TEST(RequestQueue, DeadlineAdmissionRunsOnInjectedClock) {
+  polarice::util::VirtualClock clock;
+  ps::RequestQueue<int> queue(
+      admission(1, ps::AdmissionPolicy::kDeadline, 30ms), &clock);
+  queue.push(1);
+
+  std::atomic<bool> rejected{false}, admitted{false};
+  std::jthread submitter([&] {
+    try {
+      queue.push(2);
+      admitted = true;
+    } catch (const ps::AdmissionRejected&) {
+      rejected = true;
+    }
+  });
+
+  // Real time passes; virtual time does not — the submitter must keep
+  // waiting well past the 30ms wall-clock mark.
+  std::this_thread::sleep_for(60ms);
+  EXPECT_FALSE(rejected.load());
+  EXPECT_FALSE(admitted.load());
+
+  // Virtual time passes the deadline -> the blocked submitter is rejected
+  // on its next admission tick.
+  clock.advance(31ms);
+  for (int i = 0; i < 2000 && !rejected.load(); ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(rejected.load());
+  EXPECT_FALSE(admitted.load());
+  EXPECT_EQ(queue.rejected(), 1u);
+  EXPECT_EQ(queue.depth(), 1u);
 }
 
 TEST(RequestQueue, ConfigValidation) {

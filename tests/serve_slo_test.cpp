@@ -1,0 +1,289 @@
+// SLO scheduling semantics on a virtual clock: expired-deadline scenes are
+// shed with zero forward passes, batch fill follows (priority, EDF, FIFO)
+// order, the scheduler's expiry sweep sheds queued work without a worker
+// pop, and context deadlines propagate into submit().
+//
+// Every test injects a util::VirtualClock, so "time passing" is a test
+// decision, never a host-speed accident.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <semaphore>
+#include <string>
+#include <vector>
+
+#include "core/serve/scene_server.h"
+#include "core/workflow.h"
+#include "img/image.h"
+#include "nn/unet.h"
+#include "par/context.h"
+#include "s2/scene.h"
+#include "util/virtual_clock.h"
+
+namespace pc = polarice::core;
+namespace pv = polarice::core::serve;
+namespace pp = polarice::par;
+namespace ps = polarice::s2;
+namespace pn = polarice::nn;
+namespace pi = polarice::img;
+namespace pu = polarice::util;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+pn::UNet make_model() {
+  pn::UNetConfig cfg;
+  cfg.depth = 2;
+  cfg.base_channels = 6;
+  cfg.use_dropout = false;
+  cfg.seed = 88;
+  return pn::UNet(cfg);
+}
+
+pi::ImageU8 make_scene(std::uint64_t seed, int size = 128) {
+  ps::SceneConfig sc;
+  sc.width = sc.height = size;
+  sc.seed = seed;
+  sc.cloudy = true;
+  return ps::SceneGenerator(sc).generate().rgb;
+}
+
+pv::SceneServerConfig slo_config(const pu::Clock* clock) {
+  pv::SceneServerConfig cfg;
+  cfg.tile_size = 64;
+  cfg.batch_tiles = 1;  // one forward pass per tile: fill order observable
+  cfg.min_replicas = cfg.max_replicas = 1;
+  cfg.max_batch_wait = 0ms;
+  cfg.cache_bytes = 0;  // count every forwarded tile
+  cfg.clock = clock;
+  return cfg;
+}
+
+pv::SubmitOptions with_deadline(std::chrono::nanoseconds deadline,
+                                pv::Priority priority = pv::Priority::kNormal) {
+  pv::SubmitOptions options;
+  options.priority = priority;
+  options.deadline = deadline;
+  return options;
+}
+
+/// Polls `pred` for up to ~2 s (the deterministic gates make the condition
+/// inevitable; the bound only protects the test run from a genuine bug).
+template <typename Pred>
+bool eventually(Pred pred) {
+  for (int i = 0; i < 2000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+}  // namespace
+
+TEST(SceneServerSlo, ExpiredDeadlineShedWithZeroForwardPasses) {
+  pn::UNet model = make_model();
+  pu::VirtualClock clock;
+  pv::SceneServer server(model, slo_config(&clock));
+
+  // Park the scheduler inside scene A's prepare so scene B is provably
+  // still queued when its deadline expires.
+  std::binary_semaphore entered{0}, release{0};
+  const pp::ExecutionContext gated;
+  gated.set_progress_sink([&](const pp::ProgressEvent& event) {
+    if (std::string(event.stage) == "serve.prepare" && event.completed == 0) {
+      entered.release();
+      release.acquire();
+    }
+  });
+
+  auto a = server.submit(make_scene(11), gated);
+  entered.acquire();
+  auto b = server.submit(make_scene(12), with_deadline(10ms));
+  clock.advance(11ms);  // b's deadline passes while it waits in the queue
+  release.release();
+
+  EXPECT_THROW((void)b.get(), pv::DeadlineExceeded);
+  EXPECT_NO_THROW((void)a.get());
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.completed, 1u);
+  // The shed scene burned nothing: only A's 4 tiles were ever forwarded.
+  EXPECT_EQ(stats.session.tiles, 4u);
+}
+
+TEST(SceneServerSlo, BatchFillFollowsPriorityThenEdfThenFifo) {
+  pn::UNet model = make_model();
+  pu::VirtualClock clock;
+  pv::SceneServer server(model, slo_config(&clock));
+
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  std::atomic<int> fanned_out{0};
+  std::binary_semaphore first_tile{0}, release{0};
+
+  // G parks the single worker right after its first tile lands; every later
+  // submission then fans out behind the parked worker, so the (priority,
+  // EDF, FIFO) heap — not submission timing — decides completion order.
+  const pp::ExecutionContext gate_ctx;
+  gate_ctx.set_progress_sink([&](const pp::ProgressEvent& event) {
+    if (std::string(event.stage) == "serve.tiles" && event.completed == 1) {
+      first_tile.release();
+      release.acquire();
+    }
+    if (std::string(event.stage) == "serve.tiles" &&
+        event.completed == event.total) {
+      const std::scoped_lock lock(order_mutex);
+      order.push_back("G");
+    }
+  });
+
+  auto tracked = [&](const char* name) {
+    pp::ExecutionContext ctx;
+    std::string label(name);
+    ctx.set_progress_sink([&, label](const pp::ProgressEvent& event) {
+      if (std::string(event.stage) == "serve.prepare" &&
+          event.completed == 1) {
+        fanned_out.fetch_add(1);
+      }
+      if (std::string(event.stage) == "serve.tiles" &&
+          event.completed == event.total) {
+        const std::scoped_lock lock(order_mutex);
+        order.push_back(label);
+      }
+    });
+    return ctx;
+  };
+
+  auto g = server.submit(make_scene(20), gate_ctx);
+  first_tile.acquire();  // worker parked; G's remaining 3 tiles queued
+
+  // Scrambled submission order; deadlines are alive (the clock is frozen).
+  // The bulk scene goes last: fan-out order equals submission order, and
+  // "serve.prepare" completes just before the tiles land in the heap, so
+  // the only scene whose tiles could still be in flight when the worker
+  // resumes must be the one scheduled dead last anyway.
+  const auto a_ctx = tracked("A");
+  const auto b_ctx = tracked("B");
+  const auto c_ctx = tracked("C");
+  const auto d_ctx = tracked("D");
+  auto d = server.submit(make_scene(24),
+                         pv::SubmitOptions{pv::Priority::kNormal, {}, -1},
+                         d_ctx);
+  auto b = server.submit(make_scene(22),
+                         with_deadline(200ms, pv::Priority::kInteractive),
+                         b_ctx);
+  auto c = server.submit(make_scene(23),
+                         with_deadline(50ms, pv::Priority::kInteractive),
+                         c_ctx);
+  auto a = server.submit(make_scene(21),
+                         pv::SubmitOptions{pv::Priority::kBatch, {}, -1},
+                         a_ctx);
+  ASSERT_TRUE(eventually([&] { return fanned_out.load() == 4; }));
+  release.release();
+
+  EXPECT_NO_THROW((void)a.get());
+  EXPECT_NO_THROW((void)b.get());
+  EXPECT_NO_THROW((void)c.get());
+  EXPECT_NO_THROW((void)d.get());
+  EXPECT_NO_THROW((void)g.get());
+
+  // Interactive EDF first (C's deadline < B's), then the normal class in
+  // FIFO order (G's in-flight remainder precedes D), bulk work last.
+  const std::vector<std::string> expected{"C", "B", "G", "D", "A"};
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(server.stats().shed, 0u);
+}
+
+TEST(SceneServerSlo, ExpirySweepShedsFannedOutSceneWithoutWorkerPop) {
+  pn::UNet model = make_model();
+  pu::VirtualClock clock;
+  auto cfg = slo_config(&clock);
+  cfg.scale_down_idle = 5ms;  // fast idle ticks -> fast expiry sweeps
+  pv::SceneServer server(model, cfg);
+
+  std::atomic<int> fanned_out{0};
+  std::binary_semaphore first_tile{0}, release{0};
+  const pp::ExecutionContext gate_ctx;
+  gate_ctx.set_progress_sink([&](const pp::ProgressEvent& event) {
+    if (std::string(event.stage) == "serve.tiles" && event.completed == 1) {
+      first_tile.release();
+      release.acquire();
+    }
+  });
+  const pp::ExecutionContext doomed_ctx;
+  doomed_ctx.set_progress_sink([&](const pp::ProgressEvent& event) {
+    if (std::string(event.stage) == "serve.prepare" && event.completed == 1) {
+      fanned_out.fetch_add(1);
+    }
+  });
+
+  auto g = server.submit(make_scene(31), gate_ctx);
+  first_tile.acquire();  // the only worker is parked mid-scene
+  auto doomed =
+      server.submit(make_scene(32), with_deadline(10ms), doomed_ctx);
+  ASSERT_TRUE(eventually([&] { return fanned_out.load() == 1; }));
+
+  // The doomed scene's tiles sit in the batch heap; no worker will pop them
+  // while the gate holds. Advancing past the deadline must shed it anyway —
+  // via the scheduler's idle sweep, not a worker.
+  clock.advance(11ms);
+  ASSERT_TRUE(eventually([&] { return server.stats().shed == 1; }));
+  EXPECT_THROW((void)doomed.get(), pv::DeadlineExceeded);
+
+  release.release();
+  EXPECT_NO_THROW((void)g.get());
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.session.tiles, 4u);  // G only; the shed scene forwarded 0
+}
+
+TEST(SceneServerSlo, ContextDeadlinePropagatesIntoSubmit) {
+  pn::UNet model = make_model();
+  pu::VirtualClock clock;
+  pv::SceneServer server(model, slo_config(&clock));
+
+  // An absolute context deadline already in the past: prepare sheds before
+  // any cache probe or forward pass.
+  const auto ctx = pp::ExecutionContext{}.with_deadline(clock.now() - 1ms);
+  auto ticket = server.submit(make_scene(41), pv::SubmitOptions{}, ctx);
+  EXPECT_THROW((void)ticket.get(), pv::DeadlineExceeded);
+
+  // An explicit SubmitOptions deadline overrides the context's.
+  const auto live_ctx = pp::ExecutionContext{}.with_deadline(clock.now() - 1ms);
+  auto live = server.submit(make_scene(42), with_deadline(10s), live_ctx);
+  EXPECT_NO_THROW((void)live.get());
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.session.tiles, 4u);
+}
+
+TEST(SceneServerSlo, KnobValidationAndNames) {
+  EXPECT_STREQ(pv::to_string(pv::Priority::kBatch), "batch");
+  EXPECT_STREQ(pv::to_string(pv::Priority::kNormal), "normal");
+  EXPECT_STREQ(pv::to_string(pv::Priority::kInteractive), "interactive");
+
+  pv::RetryPolicy retry;
+  retry.max_retries = -1;
+  EXPECT_THROW(retry.validate(), std::invalid_argument);
+  retry = {};
+  retry.backoff_cap = retry.backoff_base - 1ms;
+  EXPECT_THROW(retry.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(pv::RetryPolicy{}.validate());
+
+  pn::UNet model = make_model();
+  pu::VirtualClock clock;
+  pv::SceneServer server(model, slo_config(&clock));
+  pv::SubmitOptions bad;
+  bad.max_retries = -2;
+  EXPECT_THROW((void)server.submit(make_scene(51), bad),
+               std::invalid_argument);
+}

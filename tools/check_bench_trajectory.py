@@ -42,6 +42,12 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="SUBSTRING",
+                        help="fail unless CURRENT contains at least one "
+                             "benchmark whose name contains SUBSTRING "
+                             "(repeatable); guards against a benchmark "
+                             "family silently dropping out of the run")
     args = parser.parse_args()
 
     try:
@@ -55,6 +61,11 @@ def main():
     except FileNotFoundError:
         print(f"bench-trajectory: baseline {args.baseline} missing")
         return 1
+
+    unmet = [pattern for pattern in args.require
+             if not any(pattern in name for name in current)]
+    for pattern in unmet:
+        print(f"  REQUIRED {pattern}: no matching benchmark in current run")
 
     regressions = []
     improvements = []
@@ -80,8 +91,9 @@ def main():
         print(f"  SLOWER   {line}")
     print(f"bench-trajectory: {len(baseline)} baseline benchmarks, "
           f"{len(regressions)} regressions > {args.threshold:.0%}, "
-          f"{len(missing)} missing, {len(improvements)} improvements")
-    if regressions or missing:
+          f"{len(missing)} missing, {len(improvements)} improvements, "
+          f"{len(unmet)} required families absent")
+    if regressions or missing or unmet:
         print("bench-trajectory: FAIL — refresh the baseline only with a "
               "justified perf or benchmark-set change")
         return 1
