@@ -15,6 +15,7 @@
 #include "core/serve/scene_server.h"
 #include "ddp/communicator.h"
 #include "serve_load.h"
+#include "shard_load.h"
 #include "img/color.h"
 #include "img/filter.h"
 #include "img/morphology.h"
@@ -831,6 +832,85 @@ static void BM_ServeLoadFaultedP99(benchmark::State& state) {
   run_serve_load_bench(state, /*fault_every=*/6, 0.99);
 }
 BENCHMARK(BM_ServeLoadFaultedP99)
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Sharded serving tier: the same closed-loop discipline, but requests cross
+// the wire to real polarice_worker processes behind a ShardRouter. The
+// percentile therefore includes serialization, socket transport, and
+// routing on top of inference; the failover variant SIGKILLs the busiest
+// worker mid-window and publishes how many scenes had to be re-dispatched.
+// Every completed plane is still verified bit-identical to the serial
+// reference — corrupt > 0 fails the bench.
+// ---------------------------------------------------------------------------
+
+namespace {
+bench::ShardLoadConfig shard_load_config(int shards, bool kill_busiest) {
+  bench::ShardLoadConfig cfg;
+  cfg.shards = shards;
+  cfg.qps = 30.0;
+  cfg.seconds = 1.5;
+  cfg.clients = 4;
+  cfg.scene_size = 128;
+  cfg.unique_scenes = 4;
+  cfg.kill_busiest = kill_busiest;
+  cfg.cache_mb = 0;  // match BM_ServeLoad*: every request pays the forward
+                     // path, so the percentile tracks inference + wire
+  return cfg;
+}
+
+void run_shard_load_bench(benchmark::State& state, int shards,
+                          bool kill_busiest, double quantile) {
+  const auto cfg = shard_load_config(shards, kill_busiest);
+  for (auto _ : state) {
+    const auto report = bench::run_shard_load(cfg);
+    const double value_ms = quantile >= 0.99 ? report.p99_ms : report.p50_ms;
+    state.SetIterationTime(value_ms / 1e3);
+    state.counters["completed"] = static_cast<double>(report.completed);
+    state.counters["achieved_qps"] = report.achieved_qps;
+    state.counters["failovers"] =
+        static_cast<double>(report.router.failovers);
+    state.counters["dispatch_errors"] =
+        static_cast<double>(report.router.dispatch_errors);
+    state.counters["quarantines"] =
+        static_cast<double>(report.router.quarantines);
+    state.counters["corrupt"] = static_cast<double>(report.corrupt);
+    if (report.corrupt > 0 || report.completed == 0) {
+      state.SkipWithError("shard load harness returned corrupt/empty work");
+      return;
+    }
+    if (kill_busiest && report.router.failovers == 0) {
+      state.SkipWithError("kill drill recorded no failovers");
+      return;
+    }
+  }
+}
+}  // namespace
+
+static void BM_ShardLoadP50(benchmark::State& state) {
+  run_shard_load_bench(state, /*shards=*/2, /*kill_busiest=*/false, 0.50);
+}
+BENCHMARK(BM_ShardLoadP50)
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_ShardLoadP99(benchmark::State& state) {
+  run_shard_load_bench(state, /*shards=*/2, /*kill_busiest=*/false, 0.99);
+}
+BENCHMARK(BM_ShardLoadP99)
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_ShardLoadFailoverP99(benchmark::State& state) {
+  // SIGKILL the busiest worker 40% into the window: p99 now includes the
+  // dispatch failures, quarantine, and re-dispatch of orphaned scenes.
+  run_shard_load_bench(state, /*shards=*/2, /*kill_busiest=*/true, 0.99);
+}
+BENCHMARK(BM_ShardLoadFailoverP99)
     ->Iterations(1)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);

@@ -6,11 +6,18 @@
 // --smoke runs a 1-second sanity pass and exits nonzero unless the server
 // completed verified work — the ctest hook that keeps the harness itself
 // from rotting.
+//
+// --sharded switches to the multi-process harness (shard_load.h): it
+// spawns --shards polarice_worker processes on Unix sockets and drives the
+// same client mix through a ShardRouter. --kill_worker N SIGKILLs worker N
+// mid-window; the smoke gate then additionally requires failovers > 0 —
+// the run must have survived a real crash, not merely avoided one.
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "serve_load.h"
+#include "shard_load.h"
 #include "support.h"
 #include "util/table.h"
 
@@ -64,12 +71,116 @@ void print_report(const pb::ServeLoadReport& report) {
   table.print();
 }
 
+pb::ShardLoadConfig shard_config_from(const polarice::util::Args& args) {
+  pb::ShardLoadConfig cfg;
+  cfg.shards = static_cast<int>(args.get_int_in("shards", 2, 1, 64));
+  cfg.qps = args.get_double("qps", 30.0);
+  cfg.seconds = args.get_double("seconds", 2.0);
+  cfg.clients = static_cast<int>(args.get_int("clients", 4));
+  cfg.scene_size = static_cast<int>(args.get_int("scene_size", 128));
+  cfg.unique_scenes = static_cast<int>(args.get_int("scenes", 4));
+  cfg.interactive_fraction = args.get_double("interactive", 0.25);
+  cfg.batch_fraction = args.get_double("batch", 0.25);
+  cfg.interactive_deadline =
+      std::chrono::milliseconds(args.get_int("deadline_ms", 1000));
+  cfg.verify = args.get_bool("verify", true);
+  cfg.tile_size = static_cast<int>(args.get_int("tile_size", 64));
+  cfg.min_replicas = static_cast<int>(args.get_int("min_replicas", 1));
+  cfg.max_replicas = static_cast<int>(args.get_int("max_replicas", 2));
+  cfg.cache_mb = static_cast<int>(args.get_int_in("cache_mb", 64, 0, 1 << 20));
+  cfg.kill_worker = static_cast<int>(args.get_int("kill_worker", -1));
+  cfg.kill_busiest = args.get_bool("kill_busiest", false);
+  cfg.shed_queue_depth =
+      static_cast<std::size_t>(args.get_int("shed_depth", 0));
+  cfg.worker_bin = args.get_string("worker_bin", "");
+  return cfg;
+}
+
+void print_shard_report(const pb::ShardLoadReport& report) {
+  using polarice::util::Table;
+  Table table({"metric", "value"});
+  table.add_row({"submitted", std::to_string(report.submitted)});
+  table.add_row({"completed", std::to_string(report.completed)});
+  table.add_row({"rejected", std::to_string(report.rejected)});
+  table.add_row({"shed (deadline)", std::to_string(report.shed)});
+  table.add_row({"failed", std::to_string(report.failed)});
+  table.add_row({"corrupt", std::to_string(report.corrupt)});
+  table.add_row({"failovers", std::to_string(report.router.failovers)});
+  table.add_row({"dispatch errors",
+                 std::to_string(report.router.dispatch_errors)});
+  table.add_row({"quarantines", std::to_string(report.router.quarantines)});
+  table.add_row({"recoveries", std::to_string(report.router.recoveries)});
+  table.add_row({"wall seconds", Table::num(report.wall_seconds, 2)});
+  table.add_row({"achieved qps", Table::num(report.achieved_qps, 1)});
+  table.add_row({"p50 ms", Table::num(report.p50_ms, 2)});
+  table.add_row({"p99 ms", Table::num(report.p99_ms, 2)});
+  table.add_row({"max ms", Table::num(report.max_ms, 2)});
+  for (std::size_t i = 0; i < report.router.shards.size(); ++i) {
+    const auto& shard = report.router.shards[i];
+    table.add_row({"shard " + std::to_string(i),
+                   shard.endpoint.to_string() + " " +
+                       (shard.healthy ? "healthy" : "quarantined") +
+                       ", dispatched " + std::to_string(shard.dispatched)});
+  }
+  table.print();
+}
+
+int run_sharded(const polarice::util::Args& args, bool smoke) {
+  auto cfg = shard_config_from(args);
+  if (smoke) {
+    cfg.seconds = std::min(cfg.seconds, 1.5);
+    cfg.unique_scenes = std::min(cfg.unique_scenes, 3);
+  }
+  pb::banner("ShardRouter closed-loop load (" + std::to_string(cfg.shards) +
+             " workers, " + std::to_string(cfg.clients) +
+             " clients, target " + polarice::util::Table::num(cfg.qps, 0) +
+             " qps" +
+             (cfg.kill_busiest
+                  ? std::string(", SIGKILL busiest worker")
+                  : cfg.kill_worker >= 0
+                        ? ", SIGKILL worker " + std::to_string(cfg.kill_worker)
+                        : std::string()) +
+             ")");
+  const auto report = pb::run_shard_load(cfg);
+  print_shard_report(report);
+
+  if (smoke) {
+    if (report.completed == 0) {
+      std::fprintf(stderr, "smoke: no requests completed\n");
+      return EXIT_FAILURE;
+    }
+    if (report.corrupt > 0) {
+      std::fprintf(stderr, "smoke: %zu corrupt planes\n", report.corrupt);
+      return EXIT_FAILURE;
+    }
+    if (report.failed > 0) {
+      std::fprintf(stderr, "smoke: %zu failed requests\n", report.failed);
+      return EXIT_FAILURE;
+    }
+    if ((cfg.kill_worker >= 0 || cfg.kill_busiest) &&
+        report.router.failovers == 0) {
+      std::fprintf(stderr,
+                   "smoke: killed a worker but recorded no failovers\n");
+      return EXIT_FAILURE;
+    }
+  }
+  return EXIT_SUCCESS;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const polarice::util::Args args(argc, argv);
-  auto cfg = config_from(args);
   const bool smoke = args.get_bool("smoke", false);
+  if (args.get_bool("sharded", false)) {
+    try {
+      return run_sharded(args, smoke);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "sharded load failed: %s\n", error.what());
+      return EXIT_FAILURE;
+    }
+  }
+  auto cfg = config_from(args);
   if (smoke) {
     // Small but still multi-client and fault-exercising: the smoke run must
     // prove the harness end to end, not just that it links.

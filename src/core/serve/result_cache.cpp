@@ -1,5 +1,7 @@
 #include "core/serve/result_cache.h"
 
+#include "util/hash.h"
+
 namespace polarice::core::serve {
 
 SceneKey hash_scene(const img::ImageU8& scene) {
@@ -7,21 +9,14 @@ SceneKey hash_scene(const img::ImageU8& scene) {
   key.width = scene.width();
   key.height = scene.height();
   key.channels = scene.channels();
-  // Two independent FNV-1a streams (the standard offset basis and a second
-  // basis derived from it) folded into one pass over the pixels — the hash
-  // runs on the scheduler thread ahead of every admission, so the scene is
-  // read once, not twice. 128 bits of content identity.
-  constexpr std::uint64_t kPrime = 1099511628211ULL;
-  std::uint64_t lo = 14695981039346656037ULL;
-  std::uint64_t hi = 14695981039346656037ULL ^ 0x9e3779b97f4a7c15ULL;
-  const std::uint8_t* data = scene.data();
-  const std::size_t n = scene.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    lo = (lo ^ data[i]) * kPrime;
-    hi = (hi ^ data[i]) * kPrime;
-  }
-  key.hash_lo = lo;
-  key.hash_hi = hi;
+  // util::Fnv128 folds two independent FNV-1a streams into one pass over
+  // the pixels — the hash runs on the scheduler thread ahead of every
+  // admission, so the scene is read once, not twice. The same digest keys
+  // the result cache, single-flight coalescing, and the shard router's
+  // rendezvous placement.
+  const util::Fnv128 hash = util::fnv128(scene.data(), scene.size());
+  key.hash_lo = hash.lo;
+  key.hash_hi = hash.hi;
   return key;
 }
 
@@ -39,32 +34,36 @@ std::optional<img::ImageU8> ResultCache::lookup(const SceneKey& key) {
   return it->second->plane;
 }
 
-void ResultCache::insert(const SceneKey& key, const img::ImageU8& plane) {
+std::size_t ResultCache::insert(const SceneKey& key,
+                                const img::ImageU8& plane) {
   const std::size_t charge = charge_of(plane);
-  if (charge > budget_) return;  // would evict everything and still not fit
+  if (charge > budget_) return 0;  // would evict everything, still not fit
   const std::scoped_lock lock(mutex_);
   auto it = map_.find(key);
   if (it != map_.end()) {
     // Same content hashed to the same key: refresh recency, keep the plane.
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    return 0;
   }
   lru_.push_front(Entry{key, plane, charge});
   map_[key] = lru_.begin();
   stats_.bytes += charge;
   stats_.entries = map_.size();
-  evict_to_fit();
+  return evict_to_fit();
 }
 
-void ResultCache::evict_to_fit() {
+std::size_t ResultCache::evict_to_fit() {
+  std::size_t evicted = 0;
   while (stats_.bytes > budget_ && !lru_.empty()) {
     const Entry& victim = lru_.back();
     stats_.bytes -= victim.charge;
     map_.erase(victim.key);
     lru_.pop_back();
     ++stats_.evictions;
+    ++evicted;
   }
   stats_.entries = map_.size();
+  return evicted;
 }
 
 void ResultCache::clear() {

@@ -67,8 +67,10 @@ class ResultCache {
   [[nodiscard]] std::optional<img::ImageU8> lookup(const SceneKey& key);
 
   /// Inserts (or refreshes) a plane, evicting LRU entries to fit the
-  /// budget. No-op when the plane alone exceeds the budget.
-  void insert(const SceneKey& key, const img::ImageU8& plane);
+  /// budget. No-op when the plane alone exceeds the budget. Returns the
+  /// number of entries evicted by this insert, so the caller can fold
+  /// evictions into its own consistent counter set.
+  std::size_t insert(const SceneKey& key, const img::ImageU8& plane);
 
   void clear();
   [[nodiscard]] ResultCacheStats stats() const;
@@ -88,7 +90,7 @@ class ResultCache {
     return plane.size() + kEntryOverhead;
   }
 
-  void evict_to_fit();  // caller holds mutex_
+  std::size_t evict_to_fit();  // caller holds mutex_; returns evictions
 
   const std::size_t budget_;
   mutable std::mutex mutex_;

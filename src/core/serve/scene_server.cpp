@@ -287,6 +287,16 @@ SceneTicket SceneServer::submit(img::ImageU8 scene,
   }
   try {
     queue_.push(state, ctx);
+  } catch (const AdmissionRejected&) {
+    // Mirrored here (not read back from queue_.rejected()) so snapshot()
+    // returns a mutually consistent counter set under one lock.
+    {
+      const std::scoped_lock lock(stats_mutex_);
+      --counters_.submitted;
+      ++counters_.rejected;
+    }
+    retire_pending();
+    throw;
   } catch (...) {
     {
       const std::scoped_lock lock(stats_mutex_);
@@ -363,7 +373,18 @@ void SceneServer::prepare(const std::shared_ptr<TicketState>& ticket) {
     // Result cache: a content-identical finished scene skips the forward
     // path entirely.
     if (use_cache) {
-      if (auto hit = cache_.lookup(t.key)) {
+      auto hit = cache_.lookup(t.key);
+      {
+        // Mirror the hit/miss into the server's own counter set (the cache
+        // keeps its own) so snapshot() is single-lock consistent.
+        const std::scoped_lock lock(stats_mutex_);
+        if (hit) {
+          ++counters_.cache_hits;
+        } else {
+          ++counters_.cache_misses;
+        }
+      }
+      if (hit) {
         if (t.claim()) {
           // Counters first: a caller returning from get() must already see
           // this scene in stats().
@@ -844,12 +865,14 @@ void SceneServer::finalize(const std::shared_ptr<TicketState>& ticket) {
     if (labels.width() != t.orig_w || labels.height() != t.orig_h) {
       labels = img::crop(labels, 0, 0, t.orig_w, t.orig_h);
     }
-    if (t.cacheable) cache_.insert(t.key, labels);
+    std::size_t evicted = 0;
+    if (t.cacheable) evicted = cache_.insert(t.key, labels);
     const double latency =
         std::chrono::duration<double>(clock_->now() - t.submitted_at).count();
     {
       const std::scoped_lock lock(stats_mutex_);
       ++counters_.completed;
+      counters_.cache_evictions += evicted;
       ++counters_.session.scenes;
       counters_.session.busy_seconds += latency;
     }
@@ -956,20 +979,19 @@ void SceneServer::resolve_error(const std::shared_ptr<TicketState>& ticket,
 // Stats
 // ---------------------------------------------------------------------------
 
-SceneServerStats SceneServer::stats() const {
-  SceneServerStats out;
-  {
-    const std::scoped_lock lock(stats_mutex_);
-    out = counters_;
-  }
+SceneServerStats SceneServer::snapshot() const {
+  // Every counter (submitted/completed/cancelled/failed/rejected/shed,
+  // cache hit/miss/eviction, batches, retries, session scenes/tiles) now
+  // lives in counters_ and is copied under this one lock — a snapshot can
+  // never pair a post-completion `completed` with a pre-admission
+  // `submitted`. The remaining fields are component-owned gauges and
+  // high-water marks, sampled (each under its own lock) while the counter
+  // set is pinned.
+  const std::scoped_lock lock(stats_mutex_);
+  SceneServerStats out = counters_;
   out.session.wait_seconds = pool_.wait_seconds();
   out.session.peak_leases = pool_.peak_leases();
-  out.rejected = queue_.rejected();
   out.peak_queue_depth = queue_.peak_depth();
-  const ResultCacheStats cache = cache_.stats();
-  out.cache_hits = cache.hits;
-  out.cache_misses = cache.misses;
-  out.cache_evictions = cache.evictions;
   out.replicas = pool_.size();
   out.peak_replicas = pool_.peak_size();
   out.replicas_quarantined = pool_.total_quarantined();

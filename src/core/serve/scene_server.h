@@ -251,7 +251,22 @@ class SceneServer {
   /// server threads. Idempotent; called by the destructor.
   void shutdown();
 
-  [[nodiscard]] SceneServerStats stats() const;
+  /// Consistent telemetry snapshot: every counter field is copied under one
+  /// lock, so a reader never observes e.g. `completed` from after a scene
+  /// finished next to a `submitted` from before it was admitted. Gauges
+  /// owned by the components (replica counts, queue/lease high-waters,
+  /// wait_seconds) are sampled from their own locks in the same call.
+  /// Counter updates happen *before* the ticket resolves, so a caller
+  /// returning from get() already sees its scene in any later snapshot.
+  [[nodiscard]] SceneServerStats snapshot() const;
+
+  /// Alias of snapshot(), kept for existing callers.
+  [[nodiscard]] SceneServerStats stats() const { return snapshot(); }
+
+  /// Scenes admitted but not yet picked up by the scheduler — the backlog
+  /// a shard reports in its heartbeat (overload watermark input).
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+
   [[nodiscard]] const SceneServerConfig& config() const noexcept {
     return config_;
   }

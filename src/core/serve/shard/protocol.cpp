@@ -1,0 +1,92 @@
+#include "core/serve/shard/protocol.h"
+
+namespace polarice::core::serve::shard {
+
+const char* to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kRejected:
+      return "rejected";
+    case Outcome::kShed:
+      return "shed";
+    case Outcome::kCancelled:
+      return "cancelled";
+    case Outcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+Outcome decode_outcome(std::uint8_t value) {
+  if (value > static_cast<std::uint8_t>(Outcome::kFailed)) {
+    throw net::WireError("unknown outcome " + std::to_string(value));
+  }
+  return static_cast<Outcome>(value);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const SubmitRequest& request) {
+  net::WireWriter writer;
+  writer.put_u64(request.request_id);
+  net::put_submit_options(writer, request.options);
+  net::put_image(writer, request.scene);
+  return writer.take();
+}
+
+SubmitRequest decode_submit_request(const std::vector<std::uint8_t>& payload) {
+  net::WireReader reader(payload);
+  SubmitRequest request;
+  request.request_id = reader.get_u64();
+  request.options = net::get_submit_options(reader);
+  request.scene = net::get_image_u8(reader);
+  reader.expect_end();
+  return request;
+}
+
+std::vector<std::uint8_t> encode(const SubmitResponse& response) {
+  net::WireWriter writer;
+  writer.put_u64(response.request_id);
+  writer.put_u8(static_cast<std::uint8_t>(response.outcome));
+  writer.put_string(response.error);
+  net::put_image(writer, response.plane);
+  return writer.take();
+}
+
+SubmitResponse decode_submit_response(
+    const std::vector<std::uint8_t>& payload) {
+  net::WireReader reader(payload);
+  SubmitResponse response;
+  response.request_id = reader.get_u64();
+  response.outcome = decode_outcome(reader.get_u8());
+  response.error = reader.get_string();
+  response.plane = net::get_image_u8(reader);
+  reader.expect_end();
+  return response;
+}
+
+std::vector<std::uint8_t> encode(const HeartbeatResponse& response) {
+  net::WireWriter writer;
+  writer.put_u64(response.queue_depth);
+  writer.put_u8(response.accepting ? 1 : 0);
+  net::put_stats(writer, response.stats);
+  return writer.take();
+}
+
+HeartbeatResponse decode_heartbeat_response(
+    const std::vector<std::uint8_t>& payload) {
+  net::WireReader reader(payload);
+  HeartbeatResponse response;
+  response.queue_depth = reader.get_u64();
+  const std::uint8_t accepting = reader.get_u8();
+  if (accepting > 1) throw net::WireError("bad accepting flag");
+  response.accepting = accepting == 1;
+  response.stats = net::get_stats(reader);
+  reader.expect_end();
+  return response;
+}
+
+}  // namespace polarice::core::serve::shard

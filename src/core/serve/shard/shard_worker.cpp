@@ -1,0 +1,183 @@
+#include "core/serve/shard/shard_worker.h"
+
+#include <utility>
+
+namespace polarice::core::serve::shard {
+
+void ShardWorkerConfig::validate() const {
+  if (listen.kind == net::Endpoint::Kind::kUnix && listen.path.empty()) {
+    throw std::invalid_argument("ShardWorkerConfig: empty listen path");
+  }
+  server.validate();
+}
+
+ShardWorker::ShardWorker(nn::UNet& model, ShardWorkerConfig config,
+                         par::ExecutionContext ctx)
+    : config_(std::move(config)) {
+  config_.validate();
+  server_ = std::make_unique<SceneServer>(model, config_.server,
+                                          std::move(ctx));
+  listener_ = net::Listener::bind(config_.listen, config_.server.clock);
+  listener_endpoint_ = listener_.endpoint();
+}
+
+ShardWorker::~ShardWorker() { stop(); }
+
+void ShardWorker::serve() {
+  // Accept with a short timeout so stop() (or an inbound shutdown frame)
+  // is observed between ticks even with no connections arriving.
+  constexpr std::chrono::milliseconds kAcceptTick{50};
+  serving_.store(true, std::memory_order_release);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    net::Connection connection;
+    try {
+      connection = listener_.accept(kAcceptTick);
+    } catch (const net::TransportError&) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;  // transient accept failure; keep serving
+    }
+    if (!connection.valid()) continue;  // tick: re-check stopping_
+    {
+      const std::scoped_lock lock(stats_mutex_);
+      ++stats_.connections;
+    }
+    const std::scoped_lock lock(handlers_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) break;  // drop it
+    handlers_.emplace_back(
+        [this, conn = std::move(connection)]() mutable {
+          handle_connection(std::move(conn));
+        });
+  }
+  {
+    const std::scoped_lock lock(serve_mutex_);
+    serving_.store(false, std::memory_order_release);
+  }
+  serve_cv_.notify_all();
+}
+
+void ShardWorker::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  // Let the accept loop exit on its own tick before touching the listener:
+  // closing a socket another thread is polling invites fd-reuse races.
+  {
+    std::unique_lock lock(serve_mutex_);
+    serve_cv_.wait(lock, [&] {
+      return !serving_.load(std::memory_order_acquire);
+    });
+  }
+  listener_.close();  // unlinks a unix-socket path
+  // Drain the embedded server: handler threads blocked on local tickets
+  // resolve (result or QueueClosed), answer their peers, then exit on EOF.
+  server_->shutdown();
+  std::vector<std::jthread> handlers;
+  {
+    const std::scoped_lock lock(handlers_mutex_);
+    handlers.swap(handlers_);
+  }
+  for (auto& handler : handlers) {
+    if (handler.joinable()) handler.join();
+  }
+}
+
+void ShardWorker::handle_connection(net::Connection connection) {
+  // One request/response exchange per loop iteration; the connection dies
+  // on peer close (clean EOF between frames), wire corruption, or stop().
+  for (;;) {
+    net::Frame frame;
+    try {
+      frame = connection.read_frame();
+    } catch (const net::TransportError&) {
+      return;  // peer closed (or listener shut down); normal end of stream
+    } catch (const net::WireError&) {
+      const std::scoped_lock lock(stats_mutex_);
+      ++stats_.wire_errors;
+      return;  // corrupted stream: drop the connection, never the process
+    }
+    try {
+      switch (frame.type) {
+        case net::MsgType::kSubmitRequest: {
+          SubmitResponse response =
+              serve_submit(decode_submit_request(frame.payload));
+          connection.write_frame(net::MsgType::kSubmitResponse,
+                                 encode(response));
+          break;
+        }
+        case net::MsgType::kHeartbeatRequest: {
+          connection.write_frame(net::MsgType::kHeartbeatResponse,
+                                 encode(serve_heartbeat()));
+          break;
+        }
+        case net::MsgType::kShutdownRequest: {
+          connection.write_frame(net::MsgType::kShutdownResponse, {});
+          // Only flag the stop here: the accept loop exits on its next
+          // tick, and the serve() caller runs the full stop() (which joins
+          // handler threads — including this one).
+          stopping_.store(true, std::memory_order_release);
+          return;
+        }
+        default: {
+          const std::scoped_lock lock(stats_mutex_);
+          ++stats_.wire_errors;
+          return;  // a response type inbound is a protocol violation
+        }
+      }
+    } catch (const net::WireError&) {
+      const std::scoped_lock lock(stats_mutex_);
+      ++stats_.wire_errors;
+      return;
+    } catch (const net::TransportError&) {
+      return;  // peer vanished mid-response
+    }
+  }
+}
+
+SubmitResponse ShardWorker::serve_submit(SubmitRequest request) {
+  SubmitResponse response;
+  response.request_id = request.request_id;
+  try {
+    SceneTicket ticket =
+        server_->submit(std::move(request.scene), request.options);
+    response.plane = ticket.get();  // blocks this connection thread only
+    response.outcome = Outcome::kOk;
+  } catch (const AdmissionRejected& error) {
+    response.outcome = Outcome::kRejected;
+    response.error = error.what();
+  } catch (const QueueClosed& error) {
+    response.outcome = Outcome::kRejected;
+    response.error = error.what();
+  } catch (const DeadlineExceeded& error) {
+    response.outcome = Outcome::kShed;
+    response.error = error.what();
+  } catch (const par::OperationCancelled& error) {
+    response.outcome = Outcome::kCancelled;
+    response.error = error.what();
+  } catch (const std::exception& error) {
+    response.outcome = Outcome::kFailed;
+    response.error = error.what();
+  }
+  {
+    const std::scoped_lock lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  return response;
+}
+
+HeartbeatResponse ShardWorker::serve_heartbeat() {
+  HeartbeatResponse response;
+  response.queue_depth = server_->queue_depth();
+  response.accepting = !stopping_.load(std::memory_order_acquire);
+  response.stats = server_->snapshot();
+  {
+    const std::scoped_lock lock(stats_mutex_);
+    ++stats_.heartbeats;
+  }
+  return response;
+}
+
+ShardWorkerStats ShardWorker::stats() const {
+  const std::scoped_lock lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace polarice::core::serve::shard

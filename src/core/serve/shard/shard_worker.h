@@ -1,0 +1,107 @@
+#pragma once
+// ShardWorker — one shard of the serving fleet: a SceneServer behind a
+// socket request loop.
+//
+// The worker owns a full single-process serving stack (replica pool,
+// batching, cache, SLO scheduling, fault recovery — everything PR 4/6
+// built) and exposes it over the shard protocol: an accept loop hands each
+// connection to a handler thread that reads request frames and writes
+// response frames. A submit request blocks its connection thread on the
+// local SceneTicket — concurrency across requests comes from the router
+// opening multiple connections, and the SceneServer batches tiles across
+// all of them, so cross-connection batching works exactly like
+// cross-thread batching did in-process.
+//
+// Determinism: the worker adds no compute of its own — planes are produced
+// by the embedded SceneServer, which is bit-identical to the serial
+// workflow. Two workers built from the same model therefore return
+// bit-identical planes for the same scene, which is what makes router-side
+// failover re-dispatch safe.
+//
+// Lifecycle: serve() blocks until stop() (or a kShutdownRequest frame).
+// In-flight requests drain through the embedded server's shutdown.
+// `tools/polarice_worker` wraps this class as a standalone process;
+// tests run it in-process on a thread — same code path either way, the
+// wire format is always crossed.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/serve/scene_server.h"
+#include "core/serve/shard/protocol.h"
+#include "net/transport.h"
+#include "nn/unet.h"
+#include "par/context.h"
+
+namespace polarice::core::serve::shard {
+
+struct ShardWorkerConfig {
+  net::Endpoint listen;       // where to serve (unix path or tcp host:port)
+  SceneServerConfig server;   // the embedded SceneServer's knobs
+
+  void validate() const;
+};
+
+struct ShardWorkerStats {
+  std::size_t connections = 0;  // accepted over the worker's lifetime
+  std::size_t requests = 0;     // submit frames served
+  std::size_t heartbeats = 0;   // heartbeat frames served
+  std::size_t wire_errors = 0;  // connections dropped on bad frames
+};
+
+class ShardWorker {
+ public:
+  /// Binds the listen endpoint and starts the embedded SceneServer
+  /// (cloning replicas from `model`, which is not retained). Throws on bad
+  /// config or an unbindable endpoint.
+  ShardWorker(nn::UNet& model, ShardWorkerConfig config,
+              par::ExecutionContext ctx = {});
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Serves until stop(): accepts connections, spawns one handler thread
+  /// per connection. Call from the process main thread (the worker binary)
+  /// or a dedicated thread (tests).
+  void serve();
+
+  /// Stops accepting, closes the listener, drains the embedded server,
+  /// joins handler threads. Idempotent; also triggered by a
+  /// kShutdownRequest frame.
+  void stop();
+
+  /// The bound endpoint (with the kernel-resolved port for tcp:...:0).
+  [[nodiscard]] const net::Endpoint& endpoint() const noexcept {
+    return listener_endpoint_;
+  }
+  [[nodiscard]] ShardWorkerStats stats() const;
+  [[nodiscard]] SceneServer& server() noexcept { return *server_; }
+
+ private:
+  void handle_connection(net::Connection connection);
+  [[nodiscard]] SubmitResponse serve_submit(SubmitRequest request);
+  [[nodiscard]] HeartbeatResponse serve_heartbeat();
+
+  ShardWorkerConfig config_;
+  std::unique_ptr<SceneServer> server_;
+  net::Listener listener_;
+  net::Endpoint listener_endpoint_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> serving_{false};  // serve() is inside its accept loop
+  std::mutex serve_mutex_;            // stop() waits for serve() to exit
+  std::condition_variable serve_cv_;
+  std::mutex handlers_mutex_;
+  std::vector<std::jthread> handlers_;  // guarded by handlers_mutex_
+
+  mutable std::mutex stats_mutex_;
+  ShardWorkerStats stats_;  // guarded by stats_mutex_
+};
+
+}  // namespace polarice::core::serve::shard

@@ -1,0 +1,420 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace polarice::net {
+
+namespace {
+
+// Real-time poll tick while logically waiting on the injected clock — the
+// same discipline as the serving tier's condition-variable waits: the clock
+// decides *whether* time ran out, the tick only bounds check staleness.
+constexpr std::chrono::milliseconds kPollTick{20};
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+const util::Clock& clock_or_system(const util::Clock* clock) noexcept {
+  return clock != nullptr ? *clock : util::system_clock();
+}
+
+/// Remaining poll wait in ms: capped at the tick, floored at 0; nullopt
+/// deadline = a full tick... but poll can then wait indefinitely, so use -1
+/// only when no deadline exists (saves wakeups on idle accept loops with
+/// no stop flag — callers that need one pass a timeout).
+int poll_wait_ms(const util::Clock& clock,
+                 std::optional<util::Clock::time_point> deadline) {
+  if (!deadline) return static_cast<int>(kPollTick.count());
+  const auto remaining = *deadline - clock.now();
+  if (remaining <= util::Clock::duration::zero()) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(remaining);
+  return static_cast<int>(
+      std::min<std::chrono::milliseconds::rep>(ms.count() + 1,
+                                               kPollTick.count()));
+}
+
+/// Blocks until `fd` is ready for `events`, the deadline passes
+/// (TransportTimeout), or a socket error surfaces.
+void wait_ready(int fd, short events, const util::Clock& clock,
+                std::optional<util::Clock::time_point> deadline,
+                const std::string& what) {
+  for (;;) {
+    if (deadline && clock.now() >= *deadline) throw TransportTimeout(what);
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, poll_wait_ms(clock, deadline));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(what);
+    }
+    if (rc > 0) {
+      // Readable/writable includes error and hangup states: let the
+      // subsequent read/write surface the precise errno (or EOF).
+      return;
+    }
+  }
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+int open_socket(Endpoint::Kind kind) {
+  const int fd = ::socket(
+      kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  return fd;
+}
+
+void set_nonblocking_cloexec(int fd) {
+  // Non-blocking throughout: all waiting happens in poll so deadlines stay
+  // on the injected clock. CLOEXEC so worker-process spawns (fork+exec in
+  // the shard harness) do not inherit the parent's sockets.
+  if (::fcntl(fd, F_SETFL, O_NONBLOCK) != 0 ||
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fcntl");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Endpoint
+// ---------------------------------------------------------------------------
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  if (spec.empty()) throw std::invalid_argument("empty endpoint");
+  Endpoint endpoint;
+  if (spec.rfind("unix:", 0) == 0) {
+    endpoint.kind = Kind::kUnix;
+    endpoint.path = spec.substr(5);
+    if (endpoint.path.empty()) {
+      throw std::invalid_argument("endpoint '" + spec + "': empty unix path");
+    }
+    return endpoint;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    endpoint.kind = Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw std::invalid_argument("endpoint '" + spec +
+                                  "': want tcp:<host>:<port>");
+    }
+    endpoint.host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    if (port_str.empty() ||
+        port_str.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument("endpoint '" + spec + "': bad port '" +
+                                  port_str + "'");
+    }
+    const long port = std::stol(port_str);
+    if (port < 0 || port > 65535) {
+      throw std::invalid_argument("endpoint '" + spec +
+                                  "': port out of range");
+    }
+    endpoint.port = static_cast<std::uint16_t>(port);
+    return endpoint;
+  }
+  throw std::invalid_argument("endpoint '" + spec +
+                              "': unknown scheme (want unix:<path> or "
+                              "tcp:<host>:<port>)");
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+std::vector<Endpoint> parse_endpoint_list(const std::string& spec) {
+  std::vector<Endpoint> endpoints;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const auto comma = spec.find(',', begin);
+    const auto end = comma == std::string::npos ? spec.size() : comma;
+    endpoints.push_back(Endpoint::parse(spec.substr(begin, end - begin)));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  if (endpoints.empty()) throw std::invalid_argument("empty endpoint list");
+  return endpoints;
+}
+
+// ---------------------------------------------------------------------------
+// Connection
+// ---------------------------------------------------------------------------
+
+Connection::Connection(int fd, const util::Clock* clock) noexcept
+    : fd_(fd), clock_(&clock_or_system(clock)) {}
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), clock_(other.clock_) {}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    clock_ = other.clock_;
+  }
+  return *this;
+}
+
+Connection::~Connection() { close(); }
+
+void Connection::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Connection::write_all(const void* data, std::size_t n,
+                           std::optional<util::Clock::time_point> deadline) {
+  if (!valid()) throw TransportError("write on closed connection");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that died mid-frame must surface as EPIPE, not
+    // kill the process with SIGPIPE.
+    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_ready(fd_, POLLOUT, *clock_, deadline, "write");
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    throw_errno("write");
+  }
+}
+
+void Connection::read_all(void* data, std::size_t n,
+                          std::optional<util::Clock::time_point> deadline) {
+  if (!valid()) throw TransportError("read on closed connection");
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd_, p + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) throw TransportError("peer closed mid-read");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(fd_, POLLIN, *clock_, deadline, "read");
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("read");
+  }
+}
+
+void Connection::write_frame(MsgType type,
+                             const std::vector<std::uint8_t>& payload,
+                             std::optional<util::Clock::time_point> deadline) {
+  const std::vector<std::uint8_t> bytes = encode_frame(type, payload);
+  write_all(bytes.data(), bytes.size(), deadline);
+}
+
+Frame Connection::read_frame(std::optional<util::Clock::time_point> deadline) {
+  std::uint8_t header_bytes[kFrameHeaderBytes];
+  read_all(header_bytes, kFrameHeaderBytes, deadline);
+  const FrameHeader header = decode_header(header_bytes, kFrameHeaderBytes);
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.resize(static_cast<std::size_t>(header.payload_len));
+  if (header.payload_len > 0) {
+    read_all(frame.payload.data(), frame.payload.size(), deadline);
+  }
+  verify_payload(header, frame.payload);
+  return frame;
+}
+
+Connection connect(const Endpoint& endpoint, const util::Clock* clock,
+                   std::optional<util::Clock::time_point> deadline) {
+  const int fd = open_socket(endpoint.kind);
+  try {
+    set_nonblocking_cloexec(fd);
+    int rc;
+    if (endpoint.kind == Endpoint::Kind::kUnix) {
+      const sockaddr_un addr = unix_address(endpoint.path);
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } else {
+      const sockaddr_in addr = tcp_address(endpoint.host, endpoint.port);
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    }
+    const util::Clock& clk = clock_or_system(clock);
+    if (rc != 0 && errno == EINPROGRESS) {
+      wait_ready(fd, POLLOUT, clk, deadline,
+                 "connect " + endpoint.to_string());
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        throw_errno("getsockopt");
+      }
+      if (err != 0) {
+        errno = err;
+        throw_errno("connect " + endpoint.to_string());
+      }
+    } else if (rc != 0) {
+      throw_errno("connect " + endpoint.to_string());
+    }
+    if (endpoint.kind == Endpoint::Kind::kTcp) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    return Connection(fd, clock);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
+
+Listener::Listener(int fd, Endpoint endpoint, const util::Clock* clock) noexcept
+    : fd_(fd), endpoint_(std::move(endpoint)), clock_(clock) {}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      endpoint_(std::move(other.endpoint_)),
+      clock_(other.clock_) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    endpoint_ = std::move(other.endpoint_);
+    clock_ = other.clock_;
+  }
+  return *this;
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (endpoint_.kind == Endpoint::Kind::kUnix) {
+      ::unlink(endpoint_.path.c_str());
+    }
+  }
+}
+
+Listener Listener::bind(const Endpoint& endpoint, const util::Clock* clock) {
+  const int fd = open_socket(endpoint.kind);
+  try {
+    set_nonblocking_cloexec(fd);
+    Endpoint bound = endpoint;
+    if (endpoint.kind == Endpoint::Kind::kUnix) {
+      // A stale socket file from a crashed worker must not block rebinding;
+      // a *live* listener is not detectable this way, so shard orchestration
+      // owns path uniqueness (one worker per path).
+      ::unlink(endpoint.path.c_str());
+      const sockaddr_un addr = unix_address(endpoint.path);
+      if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr)) != 0) {
+        throw_errno("bind " + endpoint.to_string());
+      }
+    } else {
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      const sockaddr_in addr = tcp_address(endpoint.host, endpoint.port);
+      if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr)) != 0) {
+        throw_errno("bind " + endpoint.to_string());
+      }
+      if (endpoint.port == 0) {
+        sockaddr_in resolved{};
+        socklen_t len = sizeof(resolved);
+        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&resolved),
+                          &len) != 0) {
+          throw_errno("getsockname");
+        }
+        bound.port = ntohs(resolved.sin_port);
+      }
+    }
+    if (::listen(fd, SOMAXCONN) != 0) {
+      throw_errno("listen " + endpoint.to_string());
+    }
+    return Listener(fd, std::move(bound), clock);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+Connection Listener::accept(std::optional<std::chrono::milliseconds> timeout) {
+  if (!valid()) throw TransportError("accept on closed listener");
+  const util::Clock& clock = clock_or_system(clock_);
+  const auto deadline =
+      timeout ? std::optional(clock.now() + *timeout) : std::nullopt;
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      try {
+        set_nonblocking_cloexec(fd);
+        if (endpoint_.kind == Endpoint::Kind::kTcp) {
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        }
+      } catch (...) {
+        ::close(fd);
+        throw;
+      }
+      return Connection(fd, clock_);
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (deadline && clock.now() >= *deadline) return Connection();
+      try {
+        wait_ready(fd_, POLLIN, clock, deadline, "accept");
+      } catch (const TransportTimeout&) {
+        return Connection();
+      }
+      continue;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    throw_errno("accept");
+  }
+}
+
+}  // namespace polarice::net

@@ -1,0 +1,162 @@
+#pragma once
+// Blocking socket transport for the sharded serving tier.
+//
+// Small by design: a Listener accepts Connections, a Connection moves whole
+// frames (net/wire.h) or raw byte runs, over either TCP (loopback or LAN)
+// or Unix domain sockets (the default for same-host shards — no ports to
+// collide, cleaned up with the socket directory). No third-party
+// dependencies; POSIX sockets only.
+//
+// Deadlines follow the repo's injectable-clock discipline (util::Clock):
+// whether a read/write has run out of time is decided by the configured
+// clock, while the underlying poll() waits in short real-time ticks — a
+// frozen VirtualClock never wedges a thread, it just never lets the
+// deadline arrive. Timeout surfaces as TransportTimeout, every other socket
+// failure (including EOF mid-frame) as TransportError.
+//
+// Endpoint specs are strings so they can ride CLI flags and config files:
+//   "unix:/tmp/polarice/shard-0.sock"   Unix domain socket path
+//   "tcp:127.0.0.1:7400"                TCP host:port
+//   "tcp:127.0.0.1:0"                   TCP, kernel-assigned port
+//                                       (Listener::endpoint() reports it)
+// Endpoint::parse validates eagerly and throws std::invalid_argument with
+// the reason — flag typos fail fast, never fall back to defaults.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/virtual_clock.h"
+
+namespace polarice::net {
+
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& why)
+      : std::runtime_error("transport error: " + why) {}
+};
+
+/// A read/write deadline elapsed (per the configured util::Clock).
+class TransportTimeout : public TransportError {
+ public:
+  explicit TransportTimeout(const std::string& what)
+      : TransportError("timed out: " + what) {}
+};
+
+/// One parseable, printable shard address.
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;        // kUnix: filesystem path
+  std::string host;        // kTcp: IPv4 dotted quad or name
+  std::uint16_t port = 0;  // kTcp: 0 = kernel-assigned (listeners only)
+
+  /// Parses "unix:<path>" or "tcp:<host>:<port>". Throws
+  /// std::invalid_argument naming the defect (empty path, missing port,
+  /// port out of range, unknown scheme...).
+  [[nodiscard]] static Endpoint parse(const std::string& spec);
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Endpoint&) const = default;
+};
+
+/// Comma-separated endpoint list ("unix:/a.sock,unix:/b.sock") — the
+/// --connect flag's format. Throws std::invalid_argument on any bad entry
+/// (including empty list / empty elements).
+[[nodiscard]] std::vector<Endpoint> parse_endpoint_list(
+    const std::string& spec);
+
+/// One connected stream socket. Move-only; closes on destruction.
+class Connection {
+ public:
+  Connection() = default;  // !valid()
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  ~Connection();
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  /// Writes exactly `n` bytes or throws (TransportTimeout past `deadline`,
+  /// TransportError otherwise). nullopt deadline = wait indefinitely.
+  void write_all(const void* data, std::size_t n,
+                 std::optional<util::Clock::time_point> deadline = {});
+
+  /// Reads exactly `n` bytes or throws. EOF before `n` bytes is a
+  /// TransportError ("peer closed").
+  void read_all(void* data, std::size_t n,
+                std::optional<util::Clock::time_point> deadline = {});
+
+  /// Frame I/O: one wire.h frame per call. read_frame validates header and
+  /// payload checksum (WireError/WireChecksumError propagate).
+  void write_frame(MsgType type, const std::vector<std::uint8_t>& payload,
+                   std::optional<util::Clock::time_point> deadline = {});
+  [[nodiscard]] Frame read_frame(
+      std::optional<util::Clock::time_point> deadline = {});
+
+  /// The clock deadlines are measured on (never null).
+  [[nodiscard]] const util::Clock& clock() const noexcept { return *clock_; }
+
+ private:
+  friend class Listener;
+  friend Connection connect(const Endpoint&, const util::Clock*,
+                            std::optional<util::Clock::time_point>);
+  Connection(int fd, const util::Clock* clock) noexcept;
+
+  int fd_ = -1;
+  const util::Clock* clock_ = nullptr;
+};
+
+/// Opens a client connection to `endpoint`. `clock` times this call's
+/// deadline and all subsequent I/O deadlines on the connection; nullptr =
+/// the process clock (must outlive the connection otherwise).
+[[nodiscard]] Connection connect(
+    const Endpoint& endpoint, const util::Clock* clock = nullptr,
+    std::optional<util::Clock::time_point> deadline = {});
+
+/// A bound, listening socket. Move-only. Unix-socket listeners unlink
+/// their path on close (and replace a stale file on bind).
+class Listener {
+ public:
+  Listener() = default;  // !valid()
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  /// Binds and listens on `endpoint`. For tcp port 0 the kernel assigns a
+  /// port; endpoint() reports the resolved address.
+  [[nodiscard]] static Listener bind(const Endpoint& endpoint,
+                                     const util::Clock* clock = nullptr);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  /// Accepts one connection, waiting at most `timeout` (nullopt = forever).
+  /// Returns an invalid Connection on timeout — accept loops poll a stop
+  /// flag between ticks, so timeout is flow control here, not an error.
+  [[nodiscard]] Connection accept(
+      std::optional<std::chrono::milliseconds> timeout = {});
+
+  /// The bound address (with the kernel-resolved port for tcp:...:0).
+  [[nodiscard]] const Endpoint& endpoint() const noexcept { return endpoint_; }
+
+ private:
+  Listener(int fd, Endpoint endpoint, const util::Clock* clock) noexcept;
+
+  int fd_ = -1;
+  Endpoint endpoint_;
+  const util::Clock* clock_ = nullptr;
+};
+
+}  // namespace polarice::net

@@ -1,5 +1,7 @@
 #include "util/args.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace polarice::util {
@@ -40,17 +42,79 @@ std::string Args::get_string(const std::string& name,
   return find(name).value_or(fallback);
 }
 
+std::string Args::require_string(const std::string& name) const {
+  const auto v = find(name);
+  if (!v || v->empty()) {
+    throw std::invalid_argument("missing required --" + name);
+  }
+  return *v;
+}
+
+namespace {
+
+// Strict full-string integer parse: the whole value must be one integer in
+// range, or the flag is malformed. std::stoll alone would accept "8x".
+std::int64_t parse_int(const std::string& name, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("bad integer for --" + name + ": '" + value +
+                                "'");
+  }
+  if (errno == ERANGE) {
+    throw std::invalid_argument("integer out of range for --" + name + ": '" +
+                                value + "'");
+  }
+  return parsed;
+}
+
+double parse_double(const std::string& name, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("bad number for --" + name + ": '" + value +
+                                "'");
+  }
+  if (errno == ERANGE) {
+    throw std::invalid_argument("number out of range for --" + name + ": '" +
+                                value + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
 std::int64_t Args::get_int(const std::string& name,
                            std::int64_t fallback) const {
   const auto v = find(name);
-  if (!v || v->empty()) return fallback;
-  return std::stoll(*v);
+  if (!v) return fallback;
+  if (v->empty()) {
+    throw std::invalid_argument("missing value for --" + name);
+  }
+  return parse_int(name, *v);
+}
+
+std::int64_t Args::get_int_in(const std::string& name, std::int64_t fallback,
+                              std::int64_t min, std::int64_t max) const {
+  const std::int64_t value = get_int(name, fallback);
+  if (value < min || value > max) {
+    throw std::invalid_argument("--" + name + " must be in [" +
+                                std::to_string(min) + ", " +
+                                std::to_string(max) + "], got " +
+                                std::to_string(value));
+  }
+  return value;
 }
 
 double Args::get_double(const std::string& name, double fallback) const {
   const auto v = find(name);
-  if (!v || v->empty()) return fallback;
-  return std::stod(*v);
+  if (!v) return fallback;
+  if (v->empty()) {
+    throw std::invalid_argument("missing value for --" + name);
+  }
+  return parse_double(name, *v);
 }
 
 bool Args::get_bool(const std::string& name, bool fallback) const {

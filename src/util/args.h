@@ -1,8 +1,12 @@
 #pragma once
-// Tiny command-line argument parser for examples and benches.
+// Tiny command-line argument parser for examples, benches, and the shard
+// worker binary.
 //
 // Supports --key=value, --key value, and boolean --flag forms. Unknown
-// arguments raise, so typos fail fast.
+// arguments raise, so typos fail fast. Numeric getters parse strictly:
+// trailing garbage ("8x", "1.5" for an int) and out-of-range values raise
+// std::invalid_argument naming the flag — a malformed flag never silently
+// falls back to a default.
 
 #include <cstdint>
 #include <map>
@@ -23,8 +27,16 @@ class Args {
 
   [[nodiscard]] std::string get_string(const std::string& name,
                                        const std::string& fallback) const;
+  /// Like get_string but the flag must be present with a non-empty value.
+  [[nodiscard]] std::string require_string(const std::string& name) const;
+
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
+  /// get_int constrained to [min, max]; out-of-range raises.
+  [[nodiscard]] std::int64_t get_int_in(const std::string& name,
+                                        std::int64_t fallback,
+                                        std::int64_t min,
+                                        std::int64_t max) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;

@@ -1,0 +1,73 @@
+#pragma once
+// Shared 128-bit FNV-1a content hashing.
+//
+// Extracted from ResultCache's scene hashing (where it keys the result
+// cache and single-flight coalescing) so the shard router can derive its
+// shard placement key from the very same bytes-identity — one definition of
+// "same content" across caching, coalescing, and routing.
+//
+// Two independent 64-bit FNV-1a streams (the standard offset basis and a
+// second basis derived from it) folded into one pass over the input, giving
+// 128 bits of content identity from a single read of the data. The
+// incremental `Fnv128` form hashes multi-part inputs (pixels, then geometry
+// fields) without concatenating them into a buffer first.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace polarice::util {
+
+/// Incremental 128-bit FNV-1a hasher. Feed bytes with update(); the
+/// (lo, hi) pair is the digest. Deterministic across platforms: the hash is
+/// defined over bytes, and callers hashing scalars must feed them in a
+/// fixed byte order.
+struct Fnv128 {
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+  static constexpr std::uint64_t kOffset = 14695981039346656037ULL;
+  // Golden-ratio tweak decorrelates the second stream from the first.
+  static constexpr std::uint64_t kOffsetTweak = 0x9e3779b97f4a7c15ULL;
+
+  std::uint64_t lo = kOffset;
+  std::uint64_t hi = kOffset ^ kOffsetTweak;
+
+  void update(const void* data, std::size_t n) noexcept {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    std::uint64_t l = lo;
+    std::uint64_t h = hi;
+    for (std::size_t i = 0; i < n; ++i) {
+      l = (l ^ bytes[i]) * kPrime;
+      h = (h ^ bytes[i]) * kPrime;
+    }
+    lo = l;
+    hi = h;
+  }
+
+  /// Hashes one scalar as its little-endian byte sequence, so digests are
+  /// reproducible across hosts regardless of native endianness.
+  template <typename T>
+  void update_le(T value) noexcept {
+    static_assert(sizeof(T) <= 8, "update_le: scalar wider than 64 bits");
+    auto bits = static_cast<std::uint64_t>(value);
+    std::uint8_t bytes[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = static_cast<std::uint8_t>(bits >> (8 * i));
+    }
+    update(bytes, sizeof(T));
+  }
+};
+
+/// One-shot convenience: the 128-bit digest of a byte range.
+[[nodiscard]] inline Fnv128 fnv128(const void* data, std::size_t n) noexcept {
+  Fnv128 hash;
+  hash.update(data, n);
+  return hash;
+}
+
+/// One-shot 64-bit digest (the low stream), for callers that only need a
+/// well-mixed word — e.g. per-shard rendezvous scores.
+[[nodiscard]] inline std::uint64_t fnv64(const void* data,
+                                         std::size_t n) noexcept {
+  return fnv128(data, n).lo;
+}
+
+}  // namespace polarice::util

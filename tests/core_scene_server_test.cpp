@@ -352,6 +352,83 @@ TEST(SceneServer, StatsConsistentUnderConcurrentSubmitters) {
   EXPECT_GE(stats.batches, stats.cross_scene_batches);
 }
 
+// Satellite regression for the single-lock snapshot(): a poller hammers
+// snapshot() while submitters run, and every observation must be
+// internally consistent — no torn reads where completed outruns
+// submitted, and no counter ever moving backwards between snapshots.
+TEST(SceneServer, SnapshotNeverTearsUnderConcurrentSubmitters) {
+  pn::UNet model = make_model();
+  auto cfg = server_config();
+  cfg.max_batch_wait = 2ms;
+  pv::SceneServer server(model, cfg);
+
+  std::atomic<bool> done{false};
+  std::vector<std::string> violations;
+  std::jthread poller([&] {
+    pv::SceneServerStats prev;
+    std::size_t polls = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const auto s = server.snapshot();
+      ++polls;
+      if (s.completed + s.cancelled + s.failed > s.submitted) {
+        violations.push_back("resolved > submitted at poll " +
+                             std::to_string(polls));
+      }
+      if (s.cross_scene_batches > s.batches) {
+        violations.push_back("cross_scene_batches > batches");
+      }
+      // Cumulative counters only move forward.
+      if (s.submitted < prev.submitted || s.completed < prev.completed ||
+          s.cache_hits < prev.cache_hits ||
+          s.cache_misses < prev.cache_misses || s.batches < prev.batches ||
+          s.session.scenes < prev.session.scenes ||
+          s.session.tiles < prev.session.tiles) {
+        violations.push_back("counter went backwards at poll " +
+                             std::to_string(polls));
+      }
+      prev = s;
+      if (violations.size() > 8) return;  // enough evidence
+    }
+  });
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 4;
+  std::atomic<int> ok{0};
+  std::atomic<int> contract_breaks{0};  // poller owns `violations`
+  {
+    std::vector<std::jthread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          // Half the seeds repeat across threads: cache hits and
+          // single-flight coalescing run concurrently with the poller too.
+          const auto seed = static_cast<std::uint64_t>(
+              (i % 2 == 0) ? 7100 + i : 7200 + t * kPerThread + i);
+          auto ticket = server.submit(make_scene(seed));
+          if (ticket.get().width() == 128) ok.fetch_add(1);
+          // The snapshot contract: once get() returned, the scene is in
+          // every later snapshot.
+          const auto after = server.snapshot();
+          if (after.completed + after.cancelled + after.failed == 0) {
+            contract_breaks.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  done.store(true);
+  poller.join();
+
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(contract_breaks.load(), 0);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations; first: " << violations.front();
+
+  const auto stats = server.snapshot();
+  EXPECT_EQ(stats.completed, static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_GT(stats.cache_hits + stats.coalesced, 0u);  // repeats collided
+}
+
 TEST(SceneServer, ShutdownDrainsAdmittedWorkAndRefusesNew) {
   pn::UNet model = make_model();
   auto cfg = server_config();

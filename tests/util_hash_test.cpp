@@ -1,0 +1,108 @@
+// util/hash.h — the shared 128-bit FNV-1a content hash.
+//
+// The cross-implementation test re-derives the digest with an independent,
+// deliberately naive loop written from the FNV-1a definition: if the shared
+// implementation ever drifts (prime, offset, update order, the second
+// stream's basis), cache keys, coalescing identity, and router placement
+// would all silently change — this suite turns that into a loud failure.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/serve/result_cache.h"
+#include "img/image.h"
+#include "util/hash.h"
+
+namespace {
+
+using polarice::util::Fnv128;
+using polarice::util::fnv128;
+using polarice::util::fnv64;
+
+// Independent reference: textbook FNV-1a, one stream at a time.
+std::uint64_t reference_fnv1a(const std::vector<std::uint8_t>& data,
+                              std::uint64_t basis) {
+  std::uint64_t hash = basis;
+  for (const auto byte : data) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n) {
+  std::vector<std::uint8_t> data(n);
+  std::uint32_t state = 0x12345678u;
+  for (auto& byte : data) {
+    state = state * 1664525u + 1013904223u;  // LCG: arbitrary but fixed
+    byte = static_cast<std::uint8_t>(state >> 24);
+  }
+  return data;
+}
+
+TEST(UtilHash, MatchesIndependentReferenceImplementation) {
+  for (const std::size_t n : {0UL, 1UL, 7UL, 64UL, 1000UL}) {
+    const auto data = pattern_bytes(n);
+    const auto digest = fnv128(data.data(), data.size());
+    EXPECT_EQ(digest.lo, reference_fnv1a(data, Fnv128::kOffset)) << n;
+    EXPECT_EQ(digest.hi,
+              reference_fnv1a(data, Fnv128::kOffset ^ Fnv128::kOffsetTweak))
+        << n;
+  }
+}
+
+TEST(UtilHash, EmptyInputIsTheOffsetBasis) {
+  const auto digest = fnv128(nullptr, 0);
+  EXPECT_EQ(digest.lo, Fnv128::kOffset);
+  EXPECT_EQ(digest.hi, Fnv128::kOffset ^ Fnv128::kOffsetTweak);
+}
+
+TEST(UtilHash, IncrementalEqualsOneShot) {
+  const auto data = pattern_bytes(257);
+  const auto one_shot = fnv128(data.data(), data.size());
+  // Every split point must agree with the one-shot digest.
+  for (const std::size_t split : {0UL, 1UL, 100UL, 256UL, 257UL}) {
+    Fnv128 incremental;
+    incremental.update(data.data(), split);
+    incremental.update(data.data() + split, data.size() - split);
+    EXPECT_EQ(incremental.lo, one_shot.lo) << split;
+    EXPECT_EQ(incremental.hi, one_shot.hi) << split;
+  }
+}
+
+TEST(UtilHash, UpdateLeFeedsLittleEndianBytes) {
+  Fnv128 via_scalar;
+  via_scalar.update_le(std::uint32_t{0x11223344u});
+  const std::vector<std::uint8_t> bytes = {0x44, 0x33, 0x22, 0x11};
+  const auto via_bytes = fnv128(bytes.data(), bytes.size());
+  EXPECT_EQ(via_scalar.lo, via_bytes.lo);
+  EXPECT_EQ(via_scalar.hi, via_bytes.hi);
+}
+
+TEST(UtilHash, DistinctInputsDiverge) {
+  const auto a = fnv128("scene-a", 7);
+  const auto b = fnv128("scene-b", 7);
+  EXPECT_FALSE(a.lo == b.lo && a.hi == b.hi);
+  EXPECT_NE(fnv64("x", 1), fnv64("y", 1));
+}
+
+// hash_scene must be exactly fnv128 over the pixel bytes — the router's
+// placement key and the cache key are the same identity by construction.
+TEST(UtilHash, SceneKeyUsesTheSharedHash) {
+  polarice::img::ImageU8 scene(5, 4, 3);
+  const auto bytes = pattern_bytes(scene.size());
+  std::copy(bytes.begin(), bytes.end(), scene.data());
+
+  const auto key = polarice::core::serve::hash_scene(scene);
+  const auto digest = fnv128(scene.data(), scene.size());
+  EXPECT_EQ(key.hash_lo, digest.lo);
+  EXPECT_EQ(key.hash_hi, digest.hi);
+  EXPECT_EQ(key.width, 5);
+  EXPECT_EQ(key.height, 4);
+  EXPECT_EQ(key.channels, 3);
+}
+
+}  // namespace

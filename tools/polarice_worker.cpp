@@ -1,0 +1,121 @@
+// polarice_worker — one shard of the serving fleet as a standalone process.
+//
+// Hosts a ShardWorker (SceneServer behind the wire protocol) on the
+// endpoint named by --listen and serves until SIGINT/SIGTERM or an inbound
+// shutdown frame. The embedded model is constructed deterministically from
+// --model_* flags: every worker started with the same flags is a clone, so
+// a router can re-dispatch a scene to any of them and receive a
+// bit-identical plane — the property shard failover rests on.
+//
+// Usage:
+//   polarice_worker --listen unix:/tmp/polarice/shard-0.sock
+//   polarice_worker --listen tcp:127.0.0.1:7400 --max_replicas 4
+//
+// Flags (all validated; malformed values exit 2 with the reason):
+//   --listen SPEC        required; "unix:<path>" or "tcp:<host>:<port>"
+//   --model_depth N      U-Net depth            (default 2)
+//   --model_channels N   U-Net base channels    (default 8)
+//   --model_seed N       weight-init seed       (default 88)
+//   --tile_size N        serving tile edge      (default 64)
+//   --batch_tiles N      tiles per forward pass (default 8)
+//   --min_replicas N     warm replicas          (default 1)
+//   --max_replicas N     scale-up ceiling       (default 2)
+//   --cache_mb N         result-cache budget    (default 64)
+//   --queue_capacity N   admission queue bound  (default server default)
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+#include "core/serve/shard/shard_worker.h"
+#include "net/transport.h"
+#include "nn/unet.h"
+#include "util/args.h"
+
+namespace {
+
+// Signal handlers may only touch lock-free state; the main thread polls
+// this and runs the orderly stop itself.
+std::atomic<polarice::core::serve::shard::ShardWorker*> g_worker{nullptr};
+std::atomic<bool> g_stop_requested{false};
+
+void handle_signal(int) { g_stop_requested.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace polarice;
+  namespace shard = core::serve::shard;
+
+  try {
+    const util::Args args(argc, argv);
+
+    shard::ShardWorkerConfig config;
+    config.listen = net::Endpoint::parse(args.require_string("listen"));
+
+    nn::UNetConfig model_cfg;
+    model_cfg.depth =
+        static_cast<int>(args.get_int_in("model_depth", 2, 1, 6));
+    model_cfg.base_channels =
+        static_cast<int>(args.get_int_in("model_channels", 8, 1, 512));
+    model_cfg.use_dropout = false;
+    model_cfg.seed =
+        static_cast<std::uint64_t>(args.get_int("model_seed", 88));
+
+    config.server.tile_size =
+        static_cast<int>(args.get_int_in("tile_size", 64, 8, 4096));
+    config.server.batch_tiles =
+        static_cast<int>(args.get_int_in("batch_tiles", 8, 1, 256));
+    config.server.min_replicas =
+        static_cast<int>(args.get_int_in("min_replicas", 1, 1, 64));
+    config.server.max_replicas = static_cast<int>(
+        args.get_int_in("max_replicas", 2, config.server.min_replicas, 64));
+    config.server.cache_bytes =
+        static_cast<std::size_t>(args.get_int_in("cache_mb", 64, 0, 1 << 20))
+        << 20;
+    if (args.has("queue_capacity")) {
+      config.server.admission.capacity = static_cast<std::size_t>(
+          args.get_int_in("queue_capacity", 64, 1, 1 << 20));
+    }
+
+    nn::UNet model(model_cfg);
+    shard::ShardWorker worker(model, config);
+    g_worker.store(&worker);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    // A stop-poll thread bridges the signal flag to worker.stop(), which
+    // also unblocks serve()'s accept loop.
+    std::jthread stop_watch([&worker](const std::stop_token& token) {
+      while (!token.stop_requested()) {
+        if (g_stop_requested.load()) {
+          worker.stop();
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+
+    std::fprintf(stderr, "polarice_worker: serving on %s\n",
+                 worker.endpoint().to_string().c_str());
+    worker.serve();
+    worker.stop();  // also covers the inbound-shutdown-frame path
+    g_worker.store(nullptr);
+
+    const auto stats = worker.stats();
+    std::fprintf(stderr,
+                 "polarice_worker: done (connections=%zu requests=%zu "
+                 "heartbeats=%zu wire_errors=%zu)\n",
+                 stats.connections, stats.requests, stats.heartbeats,
+                 stats.wire_errors);
+    return 0;
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "polarice_worker: %s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "polarice_worker: fatal: %s\n", error.what());
+    return 1;
+  }
+}
