@@ -12,6 +12,8 @@
 // same client mix through a ShardRouter. --kill_worker N SIGKILLs worker N
 // mid-window; the smoke gate then additionally requires failovers > 0 —
 // the run must have survived a real crash, not merely avoided one.
+// --connect=unix:/a.sock,unix:/b.sock drives an already-running external
+// fleet instead of spawning workers (kill drills are refused there).
 
 #include <cstdio>
 #include <cstdlib>
@@ -93,6 +95,12 @@ pb::ShardLoadConfig shard_config_from(const polarice::util::Args& args) {
   cfg.shed_queue_depth =
       static_cast<std::size_t>(args.get_int("shed_depth", 0));
   cfg.worker_bin = args.get_string("worker_bin", "");
+  if (args.has("connect")) {
+    // Endpoint-list parsing raises on any malformed element — a typo'd
+    // fleet spec must fail loudly, not fall back to spawning workers.
+    cfg.connect =
+        polarice::net::parse_endpoint_list(args.require_string("connect"));
+  }
   return cfg;
 }
 
@@ -131,8 +139,12 @@ int run_sharded(const polarice::util::Args& args, bool smoke) {
     cfg.seconds = std::min(cfg.seconds, 1.5);
     cfg.unique_scenes = std::min(cfg.unique_scenes, 3);
   }
-  pb::banner("ShardRouter closed-loop load (" + std::to_string(cfg.shards) +
-             " workers, " + std::to_string(cfg.clients) +
+  pb::banner("ShardRouter closed-loop load (" +
+             (cfg.connect.empty()
+                  ? std::to_string(cfg.shards) + " workers"
+                  : std::to_string(cfg.connect.size()) +
+                        " external workers") +
+             ", " + std::to_string(cfg.clients) +
              " clients, target " + polarice::util::Table::num(cfg.qps, 0) +
              " qps" +
              (cfg.kill_busiest

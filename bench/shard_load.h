@@ -84,6 +84,11 @@ struct ShardLoadConfig {
   std::string worker_bin;
   // Directory for the shard sockets; empty = /tmp/polarice-shard-<pid>.
   std::string socket_dir;
+  // External fleet (--connect): when non-empty, drive these already-running
+  // workers instead of spawning any; `shards`, worker knobs, and socket
+  // cleanup don't apply. Kill drills need owned worker processes, so
+  // combining them with an external fleet is a validation error.
+  std::vector<net::Endpoint> connect;
 
   void validate() const {
     if (shards < 1) throw std::invalid_argument("ShardLoadConfig: shards < 1");
@@ -106,6 +111,11 @@ struct ShardLoadConfig {
     if ((kill_worker >= 0 || kill_busiest) && shards < 2) {
       throw std::invalid_argument(
           "ShardLoadConfig: killing the only worker cannot converge");
+    }
+    if (!connect.empty() && (kill_worker >= 0 || kill_busiest)) {
+      throw std::invalid_argument(
+          "ShardLoadConfig: kill drill needs spawned workers, not an "
+          "external --connect fleet");
     }
   }
 };
@@ -243,31 +253,38 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
     }
   }
 
-  // Socket directory + worker fleet.
-  std::string dir = cfg.socket_dir;
-  if (dir.empty()) {
-    dir = "/tmp/polarice-shard-" + std::to_string(::getpid());
-  }
-  ::mkdir(dir.c_str(), 0700);
-  const std::string worker_bin =
-      cfg.worker_bin.empty() ? detail::default_worker_bin() : cfg.worker_bin;
-
+  // Socket directory + worker fleet — or an external fleet via connect,
+  // in which case nothing is spawned and nothing is cleaned up.
+  const bool external = !cfg.connect.empty();
+  std::string dir;
+  std::string worker_bin;
   std::vector<detail::WorkerProcess> workers;
   std::vector<net::Endpoint> endpoints;
-  for (int i = 0; i < cfg.shards; ++i) {
-    const std::string spec = "unix:" + dir + "/shard-" + std::to_string(i) +
-                             ".sock";
-    endpoints.push_back(net::Endpoint::parse(spec));
-    workers.emplace_back(
-        worker_bin,
-        std::vector<std::string>{
-            "--listen", spec,
-            "--tile_size", std::to_string(cfg.tile_size),
-            "--batch_tiles", std::to_string(cfg.batch_tiles),
-            "--min_replicas", std::to_string(cfg.min_replicas),
-            "--max_replicas", std::to_string(cfg.max_replicas),
-            "--cache_mb", std::to_string(cfg.cache_mb),
-        });
+  if (external) {
+    endpoints = cfg.connect;
+  } else {
+    dir = cfg.socket_dir;
+    if (dir.empty()) {
+      dir = "/tmp/polarice-shard-" + std::to_string(::getpid());
+    }
+    ::mkdir(dir.c_str(), 0700);
+    worker_bin =
+        cfg.worker_bin.empty() ? detail::default_worker_bin() : cfg.worker_bin;
+    for (int i = 0; i < cfg.shards; ++i) {
+      const std::string spec = "unix:" + dir + "/shard-" + std::to_string(i) +
+                               ".sock";
+      endpoints.push_back(net::Endpoint::parse(spec));
+      workers.emplace_back(
+          worker_bin,
+          std::vector<std::string>{
+              "--listen", spec,
+              "--tile_size", std::to_string(cfg.tile_size),
+              "--batch_tiles", std::to_string(cfg.batch_tiles),
+              "--min_replicas", std::to_string(cfg.min_replicas),
+              "--max_replicas", std::to_string(cfg.max_replicas),
+              "--cache_mb", std::to_string(cfg.cache_mb),
+          });
+    }
   }
 
   ShardLoadReport report;
@@ -286,11 +303,12 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
     }
     shard::ShardRouter router(router_cfg);
 
-    if (!router.wait_for_healthy(cfg.shards,
+    if (!router.wait_for_healthy(static_cast<int>(endpoints.size()),
                                  std::chrono::milliseconds(10000))) {
       throw std::runtime_error(
-          "shard fleet failed to come up (worker binary: " + worker_bin +
-          ")");
+          external ? "external shard fleet did not answer heartbeats"
+                   : "shard fleet failed to come up (worker binary: " +
+                         worker_bin + ")");
     }
 
     std::atomic<std::size_t> submitted{0}, rejected{0}, shed{0}, failed{0},
@@ -415,9 +433,12 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
   }
   // Workers wind down via their destructors (SIGTERM + reap). A SIGKILLed
   // worker never unlinks its socket, so sweep the paths before the rmdir.
+  // An external fleet's sockets belong to their workers — touch nothing.
   workers.clear();
-  for (const auto& endpoint : endpoints) ::unlink(endpoint.path.c_str());
-  ::rmdir(dir.c_str());
+  if (!external) {
+    for (const auto& endpoint : endpoints) ::unlink(endpoint.path.c_str());
+    ::rmdir(dir.c_str());
+  }
 
   report.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - harness_start)

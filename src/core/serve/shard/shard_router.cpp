@@ -356,6 +356,7 @@ void ShardRouter::dispatch(
   const int budget =
       std::min(static_cast<int>(candidates.size()), 1 + config_.max_failovers);
   std::string last_error = "no shard available";
+  bool last_was_rejection = false;  // classifies the budget-exhausted tail
   for (int attempt = 0; attempt < budget; ++attempt) {
     if (ticket->cancelled()) {
       {
@@ -377,6 +378,7 @@ void ShardRouter::dispatch(
       response = round_trip(shard, ticket);
     } catch (const net::WireError& error) {
       last_error = error.what();
+      last_was_rejection = false;
       record_failure(shard);
       {
         const std::scoped_lock lock(stats_mutex_);
@@ -385,6 +387,7 @@ void ShardRouter::dispatch(
       continue;  // failover: next shard in rendezvous order
     } catch (const net::TransportError& error) {
       last_error = error.what();
+      last_was_rejection = false;
       record_failure(shard);
       {
         const std::scoped_lock lock(stats_mutex_);
@@ -393,6 +396,19 @@ void ShardRouter::dispatch(
       continue;
     }
     record_success(shard);
+
+    // Cancel contract: a request already on the wire completes remotely but
+    // resolves cancelled on return — the caller must never observe a
+    // successful result after cancel().
+    if (ticket->cancelled()) {
+      {
+        const std::scoped_lock lock(stats_mutex_);
+        ++counters_.cancelled;
+      }
+      ticket->resolve_error(std::make_exception_ptr(
+          par::OperationCancelled("ShardRouter dispatch")));
+      return;
+    }
 
     // Counters bump before the ticket resolves: a caller returning from
     // get() must already see its outcome in stats().
@@ -411,6 +427,7 @@ void ShardRouter::dispatch(
         // refuses does the rejection reach the caller.
         last_error = response.error.empty() ? "shard rejected submission"
                                             : response.error;
+        last_was_rejection = true;
         continue;
       }
       case Outcome::kShed: {
@@ -445,10 +462,16 @@ void ShardRouter::dispatch(
     }
   }
 
-  // Budget exhausted: every candidate failed or refused.
+  // Budget exhausted: every candidate failed or refused. Admission
+  // refusals count as rejected (matching the AdmissionRejected thrown from
+  // get()); transport/wire breakage counts as failed.
   {
     const std::scoped_lock lock(stats_mutex_);
-    ++counters_.failed;
+    if (last_was_rejection) {
+      ++counters_.rejected;
+    } else {
+      ++counters_.failed;
+    }
   }
   ticket->resolve_error(std::make_exception_ptr(AdmissionRejected(
       "ShardRouter: dispatch failed on all shards: " + last_error)));

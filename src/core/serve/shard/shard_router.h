@@ -99,8 +99,9 @@ struct ShardState {
 struct ShardRouterStats {
   std::size_t submitted = 0;       // tickets handed out
   std::size_t completed = 0;       // resolved with a plane
-  std::size_t rejected = 0;        // refused before dispatch (queue full /
-                                   // all shards overloaded or down)
+  std::size_t rejected = 0;        // refused admission: queue full, all
+                                   // shards over the watermark, or every
+                                   // dispatch candidate answered kRejected
   std::size_t shed = 0;            // worker answered DeadlineExceeded
   std::size_t cancelled = 0;
   std::size_t failed = 0;          // resolved with any other error

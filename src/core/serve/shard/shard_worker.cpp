@@ -43,10 +43,14 @@ void ShardWorker::serve() {
     }
     const std::scoped_lock lock(handlers_mutex_);
     if (stopping_.load(std::memory_order_acquire)) break;  // drop it
-    handlers_.emplace_back(
-        [this, conn = std::move(connection)]() mutable {
+    reap_finished_handlers_locked();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::jthread thread(
+        [this, conn = std::move(connection), done]() mutable {
           handle_connection(std::move(conn));
+          done->store(true, std::memory_order_release);
         });
+    handlers_.push_back(Handler{std::move(thread), std::move(done)});
   }
   {
     const std::scoped_lock lock(serve_mutex_);
@@ -70,22 +74,39 @@ void ShardWorker::stop() {
   // Drain the embedded server: handler threads blocked on local tickets
   // resolve (result or QueueClosed), answer their peers, then exit on EOF.
   server_->shutdown();
-  std::vector<std::jthread> handlers;
+  std::vector<Handler> handlers;
   {
     const std::scoped_lock lock(handlers_mutex_);
     handlers.swap(handlers_);
   }
   for (auto& handler : handlers) {
-    if (handler.joinable()) handler.join();
+    if (handler.thread.joinable()) handler.thread.join();
   }
+}
+
+void ShardWorker::reap_finished_handlers_locked() {
+  std::erase_if(handlers_, [](Handler& handler) {
+    if (!handler.done->load(std::memory_order_acquire)) return false;
+    if (handler.thread.joinable()) handler.thread.join();  // instant: done
+    return true;
+  });
 }
 
 void ShardWorker::handle_connection(net::Connection connection) {
   // One request/response exchange per loop iteration; the connection dies
   // on peer close (clean EOF between frames), wire corruption, or stop().
+  // Between requests the handler ticks wait_readable instead of blocking
+  // in read_frame: a peer that parks an idle connection (the router pools
+  // them, and the prober keeps one per shard) must not pin this thread —
+  // stop() joins every handler, and a handler stuck in a deadline-less
+  // read would deadlock shutdown against a peer that only closes later.
+  constexpr std::chrono::milliseconds kIdleTick{50};
   for (;;) {
     net::Frame frame;
     try {
+      while (!connection.wait_readable(kIdleTick)) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+      }
       frame = connection.read_frame();
     } catch (const net::TransportError&) {
       return;  // peer closed (or listener shut down); normal end of stream
@@ -93,6 +114,11 @@ void ShardWorker::handle_connection(net::Connection connection) {
       const std::scoped_lock lock(stats_mutex_);
       ++stats_.wire_errors;
       return;  // corrupted stream: drop the connection, never the process
+    } catch (...) {
+      // e.g. bad_alloc sizing the payload buffer: same discipline.
+      const std::scoped_lock lock(stats_mutex_);
+      ++stats_.wire_errors;
+      return;
     }
     try {
       switch (frame.type) {
@@ -128,6 +154,14 @@ void ShardWorker::handle_connection(net::Connection connection) {
       return;
     } catch (const net::TransportError&) {
       return;  // peer vanished mid-response
+    } catch (...) {
+      // Anything else (bad_alloc on a huge-but-valid geometry, a future
+      // serializer's exception type...) must not escape the jthread
+      // callable — that would std::terminate the whole worker. Drop the
+      // connection, never the process.
+      const std::scoped_lock lock(stats_mutex_);
+      ++stats_.wire_errors;
+      return;
     }
   }
 }

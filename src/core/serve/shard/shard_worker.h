@@ -84,7 +84,17 @@ class ShardWorker {
   [[nodiscard]] SceneServer& server() noexcept { return *server_; }
 
  private:
+  /// One handler thread plus its completion flag: the accept loop reaps
+  /// finished handlers (flag set, join is instant) so a long-lived worker
+  /// serving many short-lived connections does not accumulate joinable
+  /// thread handles without bound.
+  struct Handler {
+    std::jthread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void handle_connection(net::Connection connection);
+  void reap_finished_handlers_locked();
   [[nodiscard]] SubmitResponse serve_submit(SubmitRequest request);
   [[nodiscard]] HeartbeatResponse serve_heartbeat();
 
@@ -98,7 +108,7 @@ class ShardWorker {
   std::mutex serve_mutex_;            // stop() waits for serve() to exit
   std::condition_variable serve_cv_;
   std::mutex handlers_mutex_;
-  std::vector<std::jthread> handlers_;  // guarded by handlers_mutex_
+  std::vector<Handler> handlers_;  // guarded by handlers_mutex_
 
   mutable std::mutex stats_mutex_;
   ShardWorkerStats stats_;  // guarded by stats_mutex_

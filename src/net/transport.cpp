@@ -243,6 +243,22 @@ void Connection::read_all(void* data, std::size_t n,
   }
 }
 
+bool Connection::wait_readable(std::chrono::milliseconds timeout) {
+  if (!valid()) throw TransportError("wait on closed connection");
+  struct pollfd pfd {
+    fd_, POLLIN, 0
+  };
+  for (;;) {
+    // POLLIN covers error/hangup too: an EOF or reset reports readable and
+    // the next read surfaces the typed error.
+    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw_errno("poll");
+  }
+}
+
 void Connection::write_frame(MsgType type,
                              const std::vector<std::uint8_t>& payload,
                              std::optional<util::Clock::time_point> deadline) {

@@ -96,6 +96,13 @@ class Connection {
   void read_all(void* data, std::size_t n,
                 std::optional<util::Clock::time_point> deadline = {});
 
+  /// Waits until the connection has bytes to read (or the peer closed),
+  /// at most `timeout`; false on timeout. Consumes nothing — unlike a
+  /// deadline on read_frame (whose read_all may swallow partial bytes
+  /// before timing out), a timeout here can never desync the stream, so
+  /// request loops can poll a stop flag between idle ticks safely.
+  [[nodiscard]] bool wait_readable(std::chrono::milliseconds timeout);
+
   /// Frame I/O: one wire.h frame per call. read_frame validates header and
   /// payload checksum (WireError/WireChecksumError propagate).
   void write_frame(MsgType type, const std::vector<std::uint8_t>& payload,

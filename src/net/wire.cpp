@@ -196,9 +196,18 @@ img::Image<T> get_pixels(WireReader& reader, int w, int h, int c) {
   }
   // Guard the multiplication before allocating: a corrupted geometry must
   // fail as a wire error (the byte count check below), not as a bad_alloc.
-  const std::uint64_t count = static_cast<std::uint64_t>(w) *
-                              static_cast<std::uint64_t>(h) *
-                              static_cast<std::uint64_t>(c);
+  // The bound checks are step-wise divisions so the product can never wrap
+  // mod 2^64 — attacker-chosen dims like 2^22 x 2^22 x 2^20 (u8) multiply
+  // to exactly 2^64 and would otherwise sail past the remaining() check
+  // with zero pixel bytes behind them.
+  const auto uw = static_cast<std::uint64_t>(w);
+  const auto uh = static_cast<std::uint64_t>(h);
+  const auto uc = static_cast<std::uint64_t>(c);
+  const std::uint64_t max_count = kMaxPayload / sizeof(T);
+  if (uw > max_count || uh > max_count / uw || uc > max_count / (uw * uh)) {
+    throw WireError("image dimensions exceed payload cap");
+  }
+  const std::uint64_t count = uw * uh * uc;
   if (count * sizeof(T) > reader.remaining()) {
     throw WireError("image pixels past payload end");
   }

@@ -88,6 +88,33 @@ TEST(NetTransport, UnixFrameEcho) {
   listener.close();
 }
 
+TEST(NetTransport, WaitReadableTicksIdleThenSeesDataAndEof) {
+  const auto path = test_socket_path("waitread");
+  auto listener = Listener::bind(Endpoint::parse("unix:" + path));
+
+  auto client = connect(Endpoint::parse("unix:" + path));
+  auto peer = listener.accept(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(peer.valid());
+
+  // Idle: times out without consuming anything.
+  EXPECT_FALSE(peer.wait_readable(std::chrono::milliseconds(10)));
+
+  // Data pending: readable, and the frame then reads back intact — the
+  // wait consumed no bytes.
+  WireWriter writer;
+  writer.put_string("ping");
+  client.write_frame(MsgType::kHeartbeatRequest, writer.bytes());
+  EXPECT_TRUE(peer.wait_readable(std::chrono::milliseconds(2000)));
+  const auto frame = peer.read_frame();
+  EXPECT_EQ(frame.payload, writer.bytes());
+
+  // EOF reports readable (the next read surfaces the typed error).
+  client.close();
+  EXPECT_TRUE(peer.wait_readable(std::chrono::milliseconds(2000)));
+  EXPECT_THROW((void)peer.read_frame(), TransportError);
+  listener.close();
+}
+
 TEST(NetTransport, LargeFrameCrossesWholeInPieces) {
   // Bigger than any single socket buffer: exercises partial read/write
   // loops, not just the happy single-syscall path.

@@ -250,6 +250,43 @@ TEST(NetWire, ImageDecoderRejectsLyingGeometry) {
   EXPECT_THROW((void)get_image_u8(reader2), WireError);
 }
 
+// Regression: dimensions whose element-count product wraps mod 2^64 must
+// be rejected as a typed WireError *before* the byte-count check — a
+// wrapped product (e.g. u8 2^22 x 2^22 x 2^20 = 2^64 == 0) would sail
+// past the remaining() comparison with zero pixel bytes behind it and
+// build an Image whose geometry lies about its storage (OOB UB at the
+// first tiling downstream).
+TEST(NetWire, ImageDecoderRejectsOverflowingDimensions) {
+  // u8: product is exactly 2^64 -> wraps to 0 bytes claimed.
+  {
+    WireWriter writer;
+    writer.put_i32(1 << 22);
+    writer.put_i32(1 << 22);
+    writer.put_i32(1 << 20);
+    WireReader reader(writer.bytes());
+    EXPECT_THROW((void)get_image_u8(reader), WireError);
+  }
+  // f32: 2^30 * 2^30 * 4 elements, * sizeof(float) wraps to 0 as well —
+  // must be a WireError, not a std::length_error escaping the decoder.
+  {
+    WireWriter writer;
+    writer.put_i32(1 << 30);
+    writer.put_i32(1 << 30);
+    writer.put_i32(4);
+    WireReader reader(writer.bytes());
+    EXPECT_THROW((void)get_image_f32(reader), WireError);
+  }
+  // Non-wrapping but over the payload cap: same clean rejection.
+  {
+    WireWriter writer;
+    writer.put_i32(std::numeric_limits<std::int32_t>::max());
+    writer.put_i32(1);
+    writer.put_i32(1);
+    WireReader reader(writer.bytes());
+    EXPECT_THROW((void)get_image_u8(reader), WireError);
+  }
+}
+
 TEST(NetWire, HeaderRejectsBadMagicVersionAndGiantLength) {
   const auto frame = encode_frame(MsgType::kHeartbeatRequest, {});
   auto bad_magic = frame;

@@ -15,7 +15,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,12 +25,14 @@
 #include <unistd.h>
 
 #include "core/serve/scene_server.h"
+#include "core/serve/shard/protocol.h"
 #include "core/serve/shard/shard_router.h"
 #include "core/serve/shard/shard_worker.h"
 #include "core/workflow.h"
 #include "img/image.h"
 #include "net/transport.h"
 #include "nn/unet.h"
+#include "par/context.h"
 #include "s2/scene.h"
 
 namespace {
@@ -105,6 +109,128 @@ class Fleet {
   std::vector<std::unique_ptr<shard::ShardWorker>> workers_;
   std::vector<net::Endpoint> endpoints_;
   std::vector<std::jthread> threads_;
+};
+
+/// A scripted shard: speaks the wire protocol but answers every submit
+/// with a fixed Outcome, optionally holding responses until released —
+/// for driving router paths a real worker cannot reach deterministically
+/// (fleet-wide admission refusal, cancellation while a request is on the
+/// wire).
+class FakeShard {
+ public:
+  explicit FakeShard(shard::Outcome outcome)
+      : outcome_(outcome),
+        listener_(net::Listener::bind(net::Endpoint::parse(
+            "unix:/tmp/polarice-fake-shard-" + std::to_string(::getpid()) +
+            "-" + std::to_string(next_id_++) + ".sock"))),
+        endpoint_(listener_.endpoint()),
+        accept_thread_([this] { serve(); }) {}
+
+  ~FakeShard() {
+    {
+      const std::scoped_lock lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    accept_thread_ = {};  // join; handler jthreads join via handlers_
+    handlers_.clear();
+    listener_.close();
+  }
+
+  [[nodiscard]] const net::Endpoint& endpoint() const { return endpoint_; }
+
+  /// Park submit responses until release().
+  void hold() {
+    const std::scoped_lock lock(mutex_);
+    hold_ = true;
+  }
+  void release() {
+    {
+      const std::scoped_lock lock(mutex_);
+      hold_ = false;
+    }
+    cv_.notify_all();
+  }
+  /// Blocks until at least one submit request has been read off the wire.
+  void wait_for_submit() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return submits_ > 0; });
+  }
+
+ private:
+  void serve() {
+    for (;;) {
+      {
+        const std::scoped_lock lock(mutex_);
+        if (stop_) return;
+      }
+      net::Connection connection;
+      try {
+        connection = listener_.accept(std::chrono::milliseconds(20));
+      } catch (const net::TransportError&) {
+        return;
+      }
+      if (!connection.valid()) continue;
+      handlers_.emplace_back(
+          [this, conn = std::move(connection)]() mutable {
+            handle(std::move(conn));
+          });
+    }
+  }
+
+  void handle(net::Connection connection) {
+    try {
+      for (;;) {
+        while (!connection.wait_readable(std::chrono::milliseconds(50))) {
+          const std::scoped_lock lock(mutex_);
+          if (stop_) return;
+        }
+        net::Frame frame = connection.read_frame();
+        if (frame.type == net::MsgType::kHeartbeatRequest) {
+          shard::HeartbeatResponse heartbeat;
+          connection.write_frame(net::MsgType::kHeartbeatResponse,
+                                 encode(heartbeat));
+          continue;
+        }
+        auto request = shard::decode_submit_request(frame.payload);
+        {
+          std::unique_lock lock(mutex_);
+          ++submits_;
+          cv_.notify_all();
+          cv_.wait(lock, [&] { return !hold_ || stop_; });
+          if (stop_) return;
+        }
+        shard::SubmitResponse response;
+        response.request_id = request.request_id;
+        response.outcome = outcome_;
+        if (outcome_ == shard::Outcome::kOk) {
+          response.plane = img::ImageU8(request.scene.width(),
+                                        request.scene.height(), 1);
+        } else {
+          response.error = "scripted refusal";
+        }
+        connection.write_frame(net::MsgType::kSubmitResponse,
+                               encode(response));
+      }
+    } catch (const std::exception&) {
+      // Peer dropped the connection; this handler is done.
+    }
+  }
+
+  static inline std::atomic<int> next_id_{0};
+
+  shard::Outcome outcome_;
+  net::Listener listener_;
+  net::Endpoint endpoint_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;      // guarded by mutex_
+  bool hold_ = false;      // guarded by mutex_
+  int submits_ = 0;        // guarded by mutex_
+
+  std::vector<std::jthread> handlers_;
+  std::jthread accept_thread_;
 };
 
 TEST(ShardRouter, ConfigValidation) {
@@ -329,6 +455,55 @@ TEST(ShardRouter, ShedsWhenAllShardsOverWatermark) {
     } catch (const std::exception&) {
     }
   }
+}
+
+// When the failover budget exhausts because every candidate shard refused
+// admission (Outcome::kRejected), the resolution is AdmissionRejected and
+// stats must classify it as rejected — not failed (regression: fleet-wide
+// admission refusals were counted as failures).
+TEST(ShardRouter, FleetWideRejectionCountsAsRejected) {
+  FakeShard a(shard::Outcome::kRejected);
+  FakeShard b(shard::Outcome::kRejected);
+  shard::ShardRouterConfig cfg;
+  cfg.shards = {a.endpoint(), b.endpoint()};
+  cfg.dispatchers = 1;
+  cfg.heartbeat_period = std::chrono::milliseconds(10000);  // quiet prober
+  shard::ShardRouter router(cfg);
+
+  const auto scenes = test_scenes(1, 32);
+  auto ticket = router.submit(scenes[0].clone());
+  EXPECT_THROW((void)ticket.get(), core::serve::AdmissionRejected);
+
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_GT(stats.failovers, 0u);  // the second candidate was tried
+}
+
+// The ShardTicket::cancel contract: a request already on the wire
+// completes remotely but resolves cancelled on return — the caller must
+// never observe a successful result after cancel() (regression: the
+// router resolved kOk responses even for tickets cancelled mid-flight).
+TEST(ShardRouter, CancelledMidFlightResolvesCancelledNotOk) {
+  FakeShard fake(shard::Outcome::kOk);
+  fake.hold();  // park the response so the request stays in flight
+  shard::ShardRouterConfig cfg;
+  cfg.shards = {fake.endpoint()};
+  cfg.dispatchers = 1;
+  cfg.heartbeat_period = std::chrono::milliseconds(10000);
+  shard::ShardRouter router(cfg);
+
+  const auto scenes = test_scenes(1, 32);
+  auto ticket = router.submit(scenes[0].clone());
+  fake.wait_for_submit();  // the request has crossed the wire
+  ticket.cancel();
+  fake.release();  // shard now answers kOk — too late
+
+  EXPECT_THROW((void)ticket.get(), par::OperationCancelled);
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 0u);
 }
 
 TEST(ShardRouter, HeartbeatCarriesWorkerStats) {
