@@ -5,9 +5,17 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <thread>
+
+#include <stdlib.h>
+
+#include "img/ops.h"
+#include "support.h"
+#include "util/virtual_clock.h"
 
 #include "core/autolabel.h"
 #include "core/cloud_filter.h"
@@ -802,6 +810,9 @@ void run_serve_load_bench(benchmark::State& state, int fault_every,
     state.counters["reject_rate"] = report.reject_rate();
     state.counters["retries"] = static_cast<double>(report.server.retries);
     state.counters["corrupt"] = static_cast<double>(report.corrupt);
+    state.counters["degraded"] = static_cast<double>(report.server.degraded);
+    state.counters["brownouts"] =
+        static_cast<double>(report.server.brownouts);
     if (report.corrupt > 0 || report.completed == 0) {
       state.SkipWithError("serve load harness returned corrupt/empty work");
       return;
@@ -888,6 +899,197 @@ void run_shard_load_bench(benchmark::State& state, int shards,
   }
 }
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Durability benches: restart warm-start and brownout degradation quality.
+// ---------------------------------------------------------------------------
+
+// Warm restart of a durable SceneServer: each iteration constructs a fresh
+// server over a cache directory a previous (destroyed) server flushed, and
+// serves the same scene set. Manual time is construct + serve-all — the
+// restart-to-first-useful-answer window. The cold pass (empty directory,
+// every plane pays the forward path) is published as the cold_ms counter,
+// so the warm/cold ratio is the value of the persistent tier. Every warm
+// plane must be bit-identical to its cold original and every request a
+// warm hit, or the bench errors out.
+static void BM_ServeRestart(benchmark::State& state) {
+  nn::UNetConfig cfg;
+  cfg.depth = 2;
+  cfg.base_channels = 8;
+  cfg.use_dropout = false;
+  nn::UNet model(cfg);
+
+  char dir_template[] = "/tmp/polarice-bench-restart-XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  const std::string cache_dir = dir_template;
+
+  core::serve::SceneServerConfig server_cfg;
+  server_cfg.tile_size = 64;
+  server_cfg.batch_tiles = 8;
+  server_cfg.min_replicas = 1;
+  server_cfg.max_replicas = 2;
+  server_cfg.cache_bytes = std::size_t{32} << 20;
+  server_cfg.cache_dir = cache_dir;
+  server_cfg.cache_fingerprint = 42;
+  server_cfg.cache_flush_bytes = std::size_t{1} << 10;
+
+  constexpr int kScenes = 4;
+  std::vector<img::ImageU8> scenes;
+  for (int i = 0; i < kScenes; ++i) {
+    s2::SceneConfig sc;
+    sc.width = sc.height = 128;
+    sc.seed = 500 + static_cast<std::uint64_t>(i);
+    sc.cloudy = (i % 2) == 0;
+    scenes.push_back(s2::SceneGenerator(sc).generate().rgb);
+  }
+
+  // Cold pass: populate the persistent tier (the destructor drain flushes
+  // the final segment) and keep the planes as the bit-exactness oracle.
+  std::vector<img::ImageU8> cold_planes;
+  const auto cold_start = std::chrono::steady_clock::now();
+  {
+    core::serve::SceneServer server(model, server_cfg);
+    for (const auto& scene : scenes) {
+      cold_planes.push_back(server.submit(scene.clone()).get());
+    }
+  }
+  const double cold_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - cold_start)
+          .count();
+
+  for (auto _ : state) {
+    const auto warm_start = std::chrono::steady_clock::now();
+    core::serve::SceneServer server(model, server_cfg);
+    std::vector<core::serve::SceneTicket> tickets;
+    tickets.reserve(scenes.size());
+    for (const auto& scene : scenes) {
+      tickets.push_back(server.submit(scene.clone()));
+    }
+    std::size_t corrupt = 0;
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      if (tickets[i].get() != cold_planes[i]) ++corrupt;
+    }
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      warm_start)
+            .count());
+    const auto stats = server.stats();
+    state.counters["warm_hits"] = static_cast<double>(stats.warm_hits);
+    state.counters["cache_warmed"] = static_cast<double>(stats.cache_warmed);
+    state.counters["cache_corrupt"] =
+        static_cast<double>(stats.cache_corrupt);
+    state.counters["cold_ms"] = cold_ms;
+    if (corrupt > 0) {
+      state.SkipWithError("warm plane mismatched its cold original");
+      break;
+    }
+    if (stats.warm_hits != kScenes) {
+      state.SkipWithError("restart served cold: warm hits != scenes");
+      break;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);
+}
+BENCHMARK(BM_ServeRestart)
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Brownout degradation quality/latency trade-off, measured on real
+// degraded planes: burst kBatch scenes at an instant-enter brownout server
+// (frozen VirtualClock pins the mode once entered) and compare each
+// degraded plane against the serial full-quality reference for the same
+// scene. Publishes mean IoU (1.0 = identical labeling), plus the serial
+// full-resolution and stride-downscaled classify times for the latency
+// side of the trade — the numbers docs/PERF.md quotes.
+static void BM_BrownoutDegradedIoU(benchmark::State& state) {
+  nn::UNetConfig cfg;
+  cfg.depth = 2;
+  cfg.base_channels = 8;
+  cfg.use_dropout = false;
+  nn::UNet model(cfg);
+
+  polarice::util::VirtualClock clock;
+  core::serve::SceneServerConfig server_cfg;
+  server_cfg.tile_size = 64;
+  server_cfg.min_replicas = 1;
+  server_cfg.max_replicas = 2;
+  server_cfg.cache_bytes = 0;
+  server_cfg.clock = &clock;
+  server_cfg.brownout.enabled = true;
+  server_cfg.brownout.enter_queue_depth = 1;
+  server_cfg.brownout.exit_queue_depth = 0;
+  server_cfg.brownout.enter_hold = std::chrono::milliseconds(0);
+  server_cfg.brownout.exit_hold = std::chrono::milliseconds(1000);
+
+  core::InferenceWorkflow workflow(model, {}, server_cfg.tile_size);
+  core::serve::SubmitOptions batch;
+  batch.priority = core::serve::Priority::kBatch;
+
+  for (auto _ : state) {
+    core::serve::SceneServer server(model, server_cfg);
+    double iou_sum = 0.0;
+    std::size_t degraded = 0;
+    double full_ms = 0.0;
+    double degraded_ms = 0.0;
+    // Brownout entry races the scheduler pop, so burst unique scenes until
+    // planes come back degraded; the frozen clock keeps the mode pinned.
+    for (int round = 0; round < 10 && degraded == 0; ++round) {
+      std::vector<img::ImageU8> burst;
+      for (int i = 0; i < 16; ++i) {
+        s2::SceneConfig sc;
+        sc.width = sc.height = 128;
+        sc.seed = 900 + static_cast<std::uint64_t>(round * 16 + i);
+        sc.cloudy = (i % 2) == 0;
+        burst.push_back(s2::SceneGenerator(sc).generate().rgb);
+      }
+      std::vector<core::serve::SceneTicket> tickets;
+      tickets.reserve(burst.size());
+      for (const auto& scene : burst) {
+        tickets.push_back(server.submit(scene.clone(), batch));
+      }
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        const auto plane = tickets[i].get();
+        if (!tickets[i].degraded()) continue;
+        if (degraded == 0) {
+          // Latency legs of the trade-off, measured serially on the first
+          // degraded scene: full resolution vs the brownout downscale.
+          const int stride = server_cfg.brownout.degrade_stride;
+          const auto t0 = std::chrono::steady_clock::now();
+          benchmark::DoNotOptimize(workflow.classify_scene(burst[i]));
+          const auto t1 = std::chrono::steady_clock::now();
+          benchmark::DoNotOptimize(workflow.classify_scene(img::resize_nearest(
+              burst[i], (burst[i].width() + stride - 1) / stride,
+              (burst[i].height() + stride - 1) / stride)));
+          const auto t2 = std::chrono::steady_clock::now();
+          full_ms =
+              std::chrono::duration<double, std::milli>(t1 - t0).count();
+          degraded_ms =
+              std::chrono::duration<double, std::milli>(t2 - t1).count();
+        }
+        iou_sum += bench::mean_iou(plane, workflow.classify_scene(burst[i]));
+        ++degraded;
+        if (degraded >= 4) break;  // IoU references are expensive
+      }
+    }
+    if (degraded == 0) {
+      state.SkipWithError("brownout never entered over the burst rounds");
+      break;
+    }
+    state.counters["mean_iou"] = iou_sum / static_cast<double>(degraded);
+    state.counters["degraded"] = static_cast<double>(degraded);
+    state.counters["full_ms"] = full_ms;
+    state.counters["degraded_ms"] = degraded_ms;
+  }
+}
+BENCHMARK(BM_BrownoutDegradedIoU)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 static void BM_ShardLoadP50(benchmark::State& state) {
   run_shard_load_bench(state, /*shards=*/2, /*kill_busiest=*/false, 0.50);

@@ -14,6 +14,14 @@
 // the run must have survived a real crash, not merely avoided one.
 // --connect=unix:/a.sock,unix:/b.sock drives an already-running external
 // fleet instead of spawning workers (kill drills are refused there).
+//
+// --restart_drill is the durability superset of the kill drill: workers
+// get persistent cache dirs (aggressively flushed), the busiest worker is
+// SIGKILLed mid-window and then re-exec'd with identical flags — same
+// listen path, same cache subdir. The smoke gate requires failovers > 0,
+// recoveries > 0, warm hits > 0, and zero corrupt planes or cache entries:
+// the restarted process must have warmed from the corpse's segments and
+// served bit-identical planes from them.
 
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +70,15 @@ void print_report(const pb::ServeLoadReport& report) {
              std::to_string(report.server.replicas_quarantined)});
   table.add_row({"replicas rebuilt",
              std::to_string(report.server.replicas_rebuilt)});
+  table.add_row({"degraded", std::to_string(report.server.degraded)});
+  table.add_row({"brownouts", std::to_string(report.server.brownouts)});
+  if (report.server.cache_persisted > 0 || report.server.cache_warmed > 0) {
+    table.add_row({"cache persisted",
+                   std::to_string(report.server.cache_persisted)});
+    table.add_row({"cache warmed",
+                   std::to_string(report.server.cache_warmed)});
+    table.add_row({"warm hits", std::to_string(report.server.warm_hits)});
+  }
   table.add_row({"wall seconds", Table::num(report.wall_seconds, 2)});
   table.add_row({"achieved qps", Table::num(report.achieved_qps, 1)});
   table.add_row({"p50 ms", Table::num(report.p50_ms, 2)});
@@ -92,6 +109,13 @@ pb::ShardLoadConfig shard_config_from(const polarice::util::Args& args) {
   cfg.cache_mb = static_cast<int>(args.get_int_in("cache_mb", 64, 0, 1 << 20));
   cfg.kill_worker = static_cast<int>(args.get_int("kill_worker", -1));
   cfg.kill_busiest = args.get_bool("kill_busiest", false);
+  cfg.restart_drill = args.get_bool("restart_drill", false);
+  cfg.restart_delay_seconds = args.get_double("restart_delay", 0.2);
+  cfg.cache_dir = args.get_string("cache_dir", "");
+  cfg.cache_flush_kb =
+      static_cast<int>(args.get_int_in("cache_flush_kb",
+                                       cfg.restart_drill ? 1 : 4096, 1,
+                                       1 << 20));
   cfg.shed_queue_depth =
       static_cast<std::size_t>(args.get_int("shed_depth", 0));
   cfg.worker_bin = args.get_string("worker_bin", "");
@@ -123,6 +147,16 @@ void print_shard_report(const pb::ShardLoadReport& report) {
   table.add_row({"p50 ms", Table::num(report.p50_ms, 2)});
   table.add_row({"p99 ms", Table::num(report.p99_ms, 2)});
   table.add_row({"max ms", Table::num(report.max_ms, 2)});
+  if (report.restarted_shard >= 0) {
+    table.add_row({"restarted shard", std::to_string(report.restarted_shard)});
+  }
+  if (report.cache_persisted > 0 || report.cache_warmed > 0 ||
+      report.warm_hits > 0 || report.cache_corrupt > 0) {
+    table.add_row({"cache persisted", std::to_string(report.cache_persisted)});
+    table.add_row({"cache warmed", std::to_string(report.cache_warmed)});
+    table.add_row({"warm hits", std::to_string(report.warm_hits)});
+    table.add_row({"cache corrupt", std::to_string(report.cache_corrupt)});
+  }
   for (std::size_t i = 0; i < report.router.shards.size(); ++i) {
     const auto& shard = report.router.shards[i];
     table.add_row({"shard " + std::to_string(i),
@@ -136,7 +170,14 @@ void print_shard_report(const pb::ShardLoadReport& report) {
 int run_sharded(const polarice::util::Args& args, bool smoke) {
   auto cfg = shard_config_from(args);
   if (smoke) {
-    cfg.seconds = std::min(cfg.seconds, 1.5);
+    // The restart drill needs its window: kill at 40%, re-exec, redial,
+    // rejoin, and then enough post-rejoin traffic to prove warm hits —
+    // that story does not fit in 1.5 seconds.
+    if (cfg.restart_drill) {
+      cfg.seconds = std::max(cfg.seconds, 4.0);
+    } else {
+      cfg.seconds = std::min(cfg.seconds, 1.5);
+    }
     cfg.unique_scenes = std::min(cfg.unique_scenes, 3);
   }
   pb::banner("ShardRouter closed-loop load (" +
@@ -147,11 +188,14 @@ int run_sharded(const polarice::util::Args& args, bool smoke) {
              ", " + std::to_string(cfg.clients) +
              " clients, target " + polarice::util::Table::num(cfg.qps, 0) +
              " qps" +
-             (cfg.kill_busiest
-                  ? std::string(", SIGKILL busiest worker")
-                  : cfg.kill_worker >= 0
-                        ? ", SIGKILL worker " + std::to_string(cfg.kill_worker)
-                        : std::string()) +
+             (cfg.restart_drill
+                  ? std::string(", SIGKILL + re-exec busiest worker")
+                  : cfg.kill_busiest
+                        ? std::string(", SIGKILL busiest worker")
+                        : cfg.kill_worker >= 0
+                              ? ", SIGKILL worker " +
+                                    std::to_string(cfg.kill_worker)
+                              : std::string()) +
              ")");
   const auto report = pb::run_shard_load(cfg);
   print_shard_report(report);
@@ -169,11 +213,36 @@ int run_sharded(const polarice::util::Args& args, bool smoke) {
       std::fprintf(stderr, "smoke: %zu failed requests\n", report.failed);
       return EXIT_FAILURE;
     }
-    if ((cfg.kill_worker >= 0 || cfg.kill_busiest) &&
+    if ((cfg.kill_worker >= 0 || cfg.kill_busiest || cfg.restart_drill) &&
         report.router.failovers == 0) {
       std::fprintf(stderr,
                    "smoke: killed a worker but recorded no failovers\n");
       return EXIT_FAILURE;
+    }
+    if (cfg.restart_drill) {
+      // The full crash/recover story: the corpse was re-exec'd
+      // (restarted_shard), the router readmitted it (recoveries), it
+      // warmed from the dead process's segments and served from them
+      // (warm hits), and nothing on disk was accepted corrupted.
+      if (report.restarted_shard < 0) {
+        std::fprintf(stderr, "smoke: restart drill never re-exec'd\n");
+        return EXIT_FAILURE;
+      }
+      if (report.router.recoveries == 0) {
+        std::fprintf(stderr,
+                     "smoke: restarted worker was never readmitted\n");
+        return EXIT_FAILURE;
+      }
+      if (report.warm_hits == 0) {
+        std::fprintf(stderr,
+                     "smoke: restarted worker served no warm cache hits\n");
+        return EXIT_FAILURE;
+      }
+      if (report.cache_corrupt > 0) {
+        std::fprintf(stderr, "smoke: %zu corrupt cache entries accepted\n",
+                     report.cache_corrupt);
+        return EXIT_FAILURE;
+      }
     }
   }
   return EXIT_SUCCESS;

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -64,6 +65,22 @@ struct ShardLoadConfig {
   // and the drill would kill a bystander. Overrides kill_worker.
   bool kill_busiest = false;
   double kill_after_fraction = 0.4;
+
+  // Restart drill: SIGKILL the busiest worker, then re-exec it with the
+  // exact same flags — same listen path, same per-shard cache subdirectory.
+  // Each worker gets a persistent cache dir and an aggressive flush
+  // threshold, so the corpse leaves durable segments behind and the
+  // restarted process must warm from them (warm hits > 0) while the router
+  // quarantines, redials, and readmits the shard (recoveries > 0) —
+  // the full crash/recover/rejoin story in one run.
+  bool restart_drill = false;
+  double restart_delay_seconds = 0.2;  // corpse-to-exec gap
+
+  // Persistent worker caches: when non-empty (or implied by restart_drill),
+  // worker i gets --cache_dir <cache_dir>/shard-<i>. Empty with
+  // restart_drill = a subdirectory of the socket dir, wiped with it.
+  std::string cache_dir;
+  int cache_flush_kb = 4096;  // worker flush threshold (--cache_flush_kb)
 
   // Worker-process knobs (the harness passes them as flags; model flags
   // stay at the worker defaults, which match serve_load's model).
@@ -108,14 +125,27 @@ struct ShardLoadConfig {
     if (kill_after_fraction < 0.0 || kill_after_fraction > 1.0) {
       throw std::invalid_argument("ShardLoadConfig: bad kill_after_fraction");
     }
-    if ((kill_worker >= 0 || kill_busiest) && shards < 2) {
+    if ((kill_worker >= 0 || kill_busiest || restart_drill) && shards < 2) {
       throw std::invalid_argument(
           "ShardLoadConfig: killing the only worker cannot converge");
     }
-    if (!connect.empty() && (kill_worker >= 0 || kill_busiest)) {
+    if (!connect.empty() &&
+        (kill_worker >= 0 || kill_busiest || restart_drill)) {
       throw std::invalid_argument(
           "ShardLoadConfig: kill drill needs spawned workers, not an "
           "external --connect fleet");
+    }
+    if (restart_drill && (kill_worker >= 0 || kill_busiest)) {
+      throw std::invalid_argument(
+          "ShardLoadConfig: restart_drill already kills the busiest worker; "
+          "drop kill_worker/kill_busiest");
+    }
+    if (restart_drill && restart_delay_seconds < 0.0) {
+      throw std::invalid_argument(
+          "ShardLoadConfig: negative restart_delay_seconds");
+    }
+    if (cache_flush_kb < 1) {
+      throw std::invalid_argument("ShardLoadConfig: cache_flush_kb < 1");
     }
   }
 };
@@ -133,6 +163,14 @@ struct ShardLoadReport {
   double p99_ms = 0.0;
   double max_ms = 0.0;
   core::serve::shard::ShardRouterStats router;  // failovers, quarantines...
+
+  // Fleet-wide persistence counters, summed from the last heartbeat of
+  // each shard (restart drill gates read these).
+  std::size_t cache_persisted = 0;
+  std::size_t cache_warmed = 0;
+  std::size_t warm_hits = 0;
+  std::size_t cache_corrupt = 0;
+  int restarted_shard = -1;  // restart drill: which worker was re-exec'd
 };
 
 namespace detail {
@@ -259,7 +297,12 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
   std::string dir;
   std::string worker_bin;
   std::vector<detail::WorkerProcess> workers;
+  std::vector<std::vector<std::string>> worker_flags;  // re-exec'd verbatim
   std::vector<net::Endpoint> endpoints;
+  // Persistent worker caches: implied by the restart drill (the whole point
+  // is warming from the corpse's segments), opt-in otherwise.
+  const bool persistent = cfg.restart_drill || !cfg.cache_dir.empty();
+  std::string cache_root = cfg.cache_dir;
   if (external) {
     endpoints = cfg.connect;
   } else {
@@ -268,22 +311,29 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
       dir = "/tmp/polarice-shard-" + std::to_string(::getpid());
     }
     ::mkdir(dir.c_str(), 0700);
+    if (persistent && cache_root.empty()) cache_root = dir + "/cache";
     worker_bin =
         cfg.worker_bin.empty() ? detail::default_worker_bin() : cfg.worker_bin;
     for (int i = 0; i < cfg.shards; ++i) {
       const std::string spec = "unix:" + dir + "/shard-" + std::to_string(i) +
                                ".sock";
       endpoints.push_back(net::Endpoint::parse(spec));
-      workers.emplace_back(
-          worker_bin,
-          std::vector<std::string>{
-              "--listen", spec,
-              "--tile_size", std::to_string(cfg.tile_size),
-              "--batch_tiles", std::to_string(cfg.batch_tiles),
-              "--min_replicas", std::to_string(cfg.min_replicas),
-              "--max_replicas", std::to_string(cfg.max_replicas),
-              "--cache_mb", std::to_string(cfg.cache_mb),
-          });
+      std::vector<std::string> flags{
+          "--listen", spec,
+          "--tile_size", std::to_string(cfg.tile_size),
+          "--batch_tiles", std::to_string(cfg.batch_tiles),
+          "--min_replicas", std::to_string(cfg.min_replicas),
+          "--max_replicas", std::to_string(cfg.max_replicas),
+          "--cache_mb", std::to_string(cfg.cache_mb),
+      };
+      if (persistent) {
+        flags.insert(flags.end(),
+                     {"--cache_dir", cache_root + "/shard-" +
+                          std::to_string(i),
+                      "--cache_flush_kb", std::to_string(cfg.cache_flush_kb)});
+      }
+      workers.emplace_back(worker_bin, flags);
+      worker_flags.push_back(std::move(flags));
     }
   }
 
@@ -295,11 +345,17 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
     router_cfg.dispatchers = std::max(cfg.clients, 2);
     router_cfg.shed_queue_depth = cfg.shed_queue_depth;
     router_cfg.max_failovers = cfg.max_failovers;
-    if (cfg.kill_worker >= 0 || cfg.kill_busiest) {
+    if (cfg.kill_worker >= 0 || cfg.kill_busiest || cfg.restart_drill) {
       // Slow the prober so the corpse is discovered by failing *dispatches*
       // (the path under test), not quarantined by probes before a single
       // client request ever reaches it.
       router_cfg.heartbeat_period = std::chrono::milliseconds(200);
+    }
+    if (cfg.restart_drill) {
+      // The rejoin must land well inside the submission window so post-
+      // restart traffic can prove warm hits; keep the redial ladder short.
+      router_cfg.redial_base = std::chrono::milliseconds(100);
+      router_cfg.redial_cap = std::chrono::milliseconds(500);
     }
     shard::ShardRouter router(router_cfg);
 
@@ -325,9 +381,12 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
         start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                     std::chrono::duration<double>(cfg.seconds));
 
-    // The assassin: SIGKILL one worker partway through the window.
+    // The assassin: SIGKILL one worker partway through the window. The
+    // restart drill re-execs the corpse after a short gap — same binary,
+    // same flags, same listen path, same cache subdirectory.
+    std::atomic<int> restarted_shard{-1};
     std::jthread assassin;
-    if (cfg.kill_worker >= 0 || cfg.kill_busiest) {
+    if (cfg.kill_worker >= 0 || cfg.kill_busiest || cfg.restart_drill) {
       assassin = std::jthread([&](const std::stop_token& token) {
         const auto when =
             start + std::chrono::duration_cast<
@@ -341,7 +400,7 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
         std::size_t target = cfg.kill_worker >= 0
                                  ? static_cast<std::size_t>(cfg.kill_worker)
                                  : 0;
-        if (cfg.kill_busiest) {
+        if (cfg.kill_busiest || cfg.restart_drill) {
           const auto fleet_stats = router.stats();
           for (std::size_t i = 1; i < fleet_stats.shards.size(); ++i) {
             if (fleet_stats.shards[i].dispatched >
@@ -351,6 +410,21 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
           }
         }
         workers[target].kill();
+        if (!cfg.restart_drill) return;
+        const auto respawn_at =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(cfg.restart_delay_seconds));
+        while (std::chrono::steady_clock::now() < respawn_at) {
+          if (token.stop_requested()) return;
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        // SIGKILL dropped the cache-dir flock with the process and left the
+        // socket file behind; bind() replaces stale paths, and the store
+        // sweeps *.tmp leftovers, so the same flags just work.
+        workers[target] =
+            detail::WorkerProcess(worker_bin, worker_flags[target]);
+        restarted_shard.store(static_cast<int>(target));
       });
     }
 
@@ -418,7 +492,19 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
     report.shed = shed.load();
     report.failed = failed.load();
     report.corrupt = corrupt.load();
+    if (cfg.restart_drill) {
+      // Give the prober one more round so the final heartbeat reflects the
+      // restarted worker's warm-start counters.
+      std::this_thread::sleep_for(2 * router_cfg.heartbeat_period);
+    }
     report.router = router.stats();
+    report.restarted_shard = restarted_shard.load();
+    for (const auto& shard_state : report.router.shards) {
+      report.cache_persisted += shard_state.stats.cache_persisted;
+      report.cache_warmed += shard_state.stats.cache_warmed;
+      report.warm_hits += shard_state.stats.warm_hits;
+      report.cache_corrupt += shard_state.stats.cache_corrupt;
+    }
     router.shutdown();
 
     std::vector<double> all_ms;
@@ -437,6 +523,12 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
   workers.clear();
   if (!external) {
     for (const auto& endpoint : endpoints) ::unlink(endpoint.path.c_str());
+    if (persistent && cfg.cache_dir.empty()) {
+      // The harness owns the default cache root (under the socket dir);
+      // a user-supplied --cache_dir is their data and survives the run.
+      std::error_code ec;
+      std::filesystem::remove_all(cache_root, ec);
+    }
     ::rmdir(dir.c_str());
   }
 

@@ -1,0 +1,72 @@
+#include "core/serve/brownout.h"
+
+#include <stdexcept>
+
+namespace polarice::core::serve {
+
+void BrownoutPolicy::validate() const {
+  if (!enabled) return;
+  if (enter_queue_depth == 0) {
+    throw std::invalid_argument("BrownoutPolicy: enter_queue_depth == 0");
+  }
+  if (exit_queue_depth >= enter_queue_depth) {
+    throw std::invalid_argument(
+        "BrownoutPolicy: exit_queue_depth must be below enter_queue_depth");
+  }
+  if (enter_hold < std::chrono::milliseconds::zero() ||
+      exit_hold < std::chrono::milliseconds::zero()) {
+    throw std::invalid_argument("BrownoutPolicy: negative hold window");
+  }
+  if (degrade_stride < 2) {
+    throw std::invalid_argument("BrownoutPolicy: degrade_stride < 2");
+  }
+}
+
+BrownoutController::BrownoutController(const BrownoutPolicy& policy,
+                                       const util::Clock* clock)
+    : policy_(policy),
+      clock_(clock != nullptr ? clock : &util::system_clock()) {}
+
+bool BrownoutController::update(std::size_t queue_depth) {
+  if (!policy_.enabled) return false;
+  const auto now = clock_->now();
+  const std::scoped_lock lock(mutex_);
+  if (!state_.active) {
+    if (queue_depth >= policy_.enter_queue_depth) {
+      if (!over_since_) over_since_ = now;
+      if (now - *over_since_ >= policy_.enter_hold) {
+        state_.active = true;
+        ++state_.enters;
+        over_since_.reset();
+        calm_since_.reset();
+      }
+    } else {
+      over_since_.reset();
+    }
+  } else {
+    if (queue_depth <= policy_.exit_queue_depth) {
+      if (!calm_since_) calm_since_ = now;
+      if (now - *calm_since_ >= policy_.exit_hold) {
+        state_.active = false;
+        ++state_.exits;
+        calm_since_.reset();
+        over_since_.reset();
+      }
+    } else {
+      calm_since_.reset();
+    }
+  }
+  return state_.active;
+}
+
+bool BrownoutController::active() const {
+  const std::scoped_lock lock(mutex_);
+  return state_.active;
+}
+
+BrownoutState BrownoutController::state() const {
+  const std::scoped_lock lock(mutex_);
+  return state_;
+}
+
+}  // namespace polarice::core::serve

@@ -1,0 +1,83 @@
+#pragma once
+// Brownout — hysteresis-gated degraded-service mode for sustained overload.
+//
+// Under a short burst the queue absorbs; under sustained overload the
+// server previously had only one lever: shed deadline-bound work. Brownout
+// adds a middle gear — while active, Priority::kBatch scenes are classified
+// at a coarser stride (the scene is downscaled before tiling and the label
+// plane upscaled back), trading accuracy for a large constant-factor cost
+// reduction so bulk work degrades instead of dying. Interactive and normal
+// traffic is never degraded: those classes keep full quality and, under
+// continued pressure, the existing shed/reject semantics.
+//
+// Transitions are deliberately sticky (hysteresis on the injectable
+// util::Clock so tests drive them deterministically):
+//   enter: queue depth >= enter_queue_depth continuously for enter_hold
+//   exit:  queue depth <= exit_queue_depth  continuously for exit_hold
+// with exit_queue_depth < enter_queue_depth, so depth oscillating around
+// either watermark cannot flap the mode — a crossing only arms a timer,
+// and the mode flips when the condition has *held*.
+//
+// The controller is a pure decision box: callers feed it depth samples and
+// ask "active?". It is internally locked so any thread (submit, scheduler,
+// idle sweep) may update it.
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+
+#include "util/virtual_clock.h"
+
+namespace polarice::core::serve {
+
+struct BrownoutPolicy {
+  bool enabled = false;
+  // Watermarks on the submission-queue depth (scenes admitted, not yet
+  // prepared). Exit must sit strictly below enter.
+  std::size_t enter_queue_depth = 16;
+  std::size_t exit_queue_depth = 4;
+  // How long the condition must hold before the mode flips.
+  std::chrono::milliseconds enter_hold{200};
+  std::chrono::milliseconds exit_hold{500};
+  // Degraded inference: scene downscaled by this factor before tiling
+  // (cost drops ~stride^2), label plane upscaled back (nearest — label-safe).
+  int degrade_stride = 2;
+
+  void validate() const;
+};
+
+struct BrownoutState {
+  bool active = false;
+  std::size_t enters = 0;  // cumulative brownout entries
+  std::size_t exits = 0;   // cumulative brownout exits
+};
+
+class BrownoutController {
+ public:
+  /// `clock` must outlive the controller; nullptr = process steady clock.
+  BrownoutController(const BrownoutPolicy& policy, const util::Clock* clock);
+
+  /// Feeds one queue-depth sample; returns whether brownout is active
+  /// after the sample. Disabled policy: always false, zero cost.
+  bool update(std::size_t queue_depth);
+
+  [[nodiscard]] bool active() const;
+  [[nodiscard]] BrownoutState state() const;
+  [[nodiscard]] const BrownoutPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  const BrownoutPolicy policy_;
+  const util::Clock* clock_;
+
+  mutable std::mutex mutex_;
+  BrownoutState state_;
+  // Armed when depth first crosses the relevant watermark; disarmed the
+  // moment a sample falls back — only an unbroken hold flips the mode.
+  std::optional<util::Clock::time_point> over_since_;
+  std::optional<util::Clock::time_point> calm_since_;
+};
+
+}  // namespace polarice::core::serve

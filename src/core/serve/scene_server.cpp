@@ -48,6 +48,12 @@ struct TicketState {
   SceneKey key;
   bool keyed = false;     // key computed (cache and/or single-flight on)
   bool cacheable = false;
+  // Brownout: scheduler decided to run this scene degraded. The scene is
+  // downscaled to scaled_w x scaled_h before tiling and the label plane
+  // upscaled back; degraded planes are never cached or persisted.
+  bool degrade = false;
+  int degrade_stride = 1;
+  int scaled_w = 0, scaled_h = 0;
 
   // Inference scatter.
   std::vector<img::ImageU8> planes;  // per-tile argmax planes
@@ -60,6 +66,7 @@ struct TicketState {
   bool done = false;  // guarded by m
   img::ImageU8 result;
   std::exception_ptr error;
+  bool result_degraded = false;  // guarded by m
 
   /// At most one resolver wins the claim.
   bool claim() {
@@ -68,11 +75,13 @@ struct TicketState {
                                             std::memory_order_acq_rel);
   }
 
-  void publish(img::ImageU8 plane, std::exception_ptr err) {
+  void publish(img::ImageU8 plane, std::exception_ptr err,
+               bool degraded_plane = false) {
     {
       const std::scoped_lock lock(m);
       result = std::move(plane);
       error = std::move(err);
+      result_degraded = degraded_plane;
       done = true;
     }
     cv.notify_all();
@@ -117,6 +126,13 @@ img::ImageU8 SceneTicket::get() const {
   state_->cv.wait(lock, [&] { return state_->done; });
   if (state_->error) std::rethrow_exception(state_->error);
   return state_->result;
+}
+
+bool SceneTicket::degraded() const {
+  require_valid(state_);
+  std::unique_lock lock(state_->m);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->result_degraded;
 }
 
 void SceneTicket::cancel() const {
@@ -173,8 +189,18 @@ void SceneServerConfig::validate() const {
     throw std::invalid_argument(
         "SceneServerConfig: scale_down_idle must be positive");
   }
+  if (!cache_dir.empty() && cache_bytes == 0) {
+    // A persistent tier under a disabled LRU could never be read back.
+    throw std::invalid_argument(
+        "SceneServerConfig: cache_dir requires cache_bytes > 0");
+  }
+  if (!cache_dir.empty() && cache_flush_bytes == 0) {
+    throw std::invalid_argument(
+        "SceneServerConfig: cache_flush_bytes must be positive");
+  }
   filter.validate();
   admission.validate();
+  brownout.validate();
   retry.validate();
 }
 
@@ -199,7 +225,27 @@ SceneServer::SceneServer(nn::UNet& model, SceneServerConfig config,
       filter_(config.filter),
       pool_(model, config.min_replicas, config.max_replicas, clock_),
       cache_(config.cache_bytes),
+      brownout_(config.brownout, clock_),
       queue_(config.admission, clock_) {
+  // Warm from the persistent tier before any server thread exists, so the
+  // warmed_ set is published to the scheduler by the thread starts below.
+  // A locked or unusable directory throws out of the constructor — a
+  // half-durable server that silently dropped persistence would let a
+  // restart drill "pass" while testing nothing.
+  if (!config_.cache_dir.empty()) {
+    CacheStoreConfig store_config;
+    store_config.dir = config_.cache_dir;
+    store_config.fingerprint = config_.cache_fingerprint;
+    store_ = std::make_unique<CacheStore>(store_config);
+    for (auto& entry : store_->take_loaded()) {
+      cache_.insert(entry.key, entry.plane);
+      warmed_.insert(entry.key);
+    }
+    const CacheStoreStats disk = store_->stats();
+    counters_.cache_warmed = warmed_.size();
+    counters_.cache_corrupt = disk.corrupt;
+    counters_.cache_stale = disk.stale;
+  }
   scheduler_ = std::jthread([this] { scheduler_loop(); });
   workers_.reserve(static_cast<std::size_t>(config_.max_replicas));
   for (int i = 0; i < config_.max_replicas; ++i) {
@@ -222,6 +268,18 @@ void SceneServer::shutdown() {
   tile_cv_.notify_all();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
+  }
+  // All workers are joined: no finalize() can append concurrently, so this
+  // flush makes every plane computed this run durable (the SIGTERM drain
+  // path in tools/polarice_worker ends here).
+  if (store_ != nullptr) {
+    try {
+      store_->flush();
+    } catch (const CacheStoreError&) {
+      // Best-effort at shutdown: a full disk must not turn a clean drain
+      // into a crash. The planes are lost, not corrupted — the on-disk
+      // format only ever gains fully-fsynced segments.
+    }
   }
   // The watchdog stops after the workers: a worker draining the last tiles
   // may be blocked on a replica the watchdog has yet to rebuild.
@@ -305,7 +363,21 @@ SceneTicket SceneServer::submit(img::ImageU8 scene,
     retire_pending();
     throw;
   }
+  // Sample after the push so a submission flood is visible to the
+  // controller immediately, not only once the scheduler catches up.
+  sample_brownout();
   return SceneTicket(std::move(state));
+}
+
+void SceneServer::sample_brownout() {
+  if (!config_.brownout.enabled) return;
+  brownout_.update(queue_.depth());
+  // Mirror by assignment from the controller's own consistent state (not by
+  // increment) — concurrent samplers may both observe one transition.
+  const BrownoutState state = brownout_.state();
+  const std::scoped_lock lock(stats_mutex_);
+  counters_.brownout_active = state.active;
+  counters_.brownouts = state.enters;
 }
 
 img::ImageU8 SceneServer::classify_scene(const img::ImageU8& scene_rgb) {
@@ -327,7 +399,10 @@ void SceneServer::scheduler_loop() {
     auto item = queue_.pop_for(config_.scale_down_idle);
     if (!item) {
       if (queue_.closed()) return;
-      // Idle tick: first shed whatever expired while waiting for a worker
+      // Idle tick: the queue is empty — keep feeding the brownout
+      // controller so the exit hold can elapse once traffic subsides.
+      sample_brownout();
+      // First shed whatever expired while waiting for a worker
       // (deadlines must not depend on a worker popping the victim's tiles),
       // then — with no new request within scale_down_idle, no scene between
       // admission and tile fan-out, and no tiles waiting for a worker —
@@ -365,21 +440,31 @@ void SceneServer::prepare(const std::shared_ptr<TicketState>& ticket) {
     return;
   }
 
+  // Brownout decision at the last pre-work moment, on a fresh depth sample.
+  // Only kBatch degrades; interactive/normal keep full quality (and the
+  // existing shed/reject semantics under continued pressure).
+  sample_brownout();
+  const bool degrade =
+      brownout_.active() && t.priority == Priority::kBatch;
+
   const bool use_cache = cache_.byte_budget() > 0;
   if (use_cache || config_.single_flight) {
     t.key = hash_scene(t.scene);
     t.keyed = true;
     t.cacheable = use_cache;
     // Result cache: a content-identical finished scene skips the forward
-    // path entirely.
+    // path entirely. Probed even for a to-be-degraded scene — a cached
+    // full-quality plane is strictly better than a fresh degraded one.
     if (use_cache) {
       auto hit = cache_.lookup(t.key);
+      const bool warm = hit && warmed_.contains(t.key);
       {
         // Mirror the hit/miss into the server's own counter set (the cache
         // keeps its own) so snapshot() is single-lock consistent.
         const std::scoped_lock lock(stats_mutex_);
         if (hit) {
           ++counters_.cache_hits;
+          if (warm) ++counters_.warm_hits;
         } else {
           ++counters_.cache_misses;
         }
@@ -398,14 +483,24 @@ void SceneServer::prepare(const std::shared_ptr<TicketState>& ticket) {
         return;
       }
     }
-    // Single-flight: a content-identical scene still mid-flight shares the
-    // leader's forward passes; this ticket resolves when the leader does.
-    if (config_.single_flight && attach_or_lead(ticket)) {
+    if (degrade) {
+      // Degraded planes never enter the cache or the single-flight table:
+      // a full-quality submission must not be answered by (or coalesced
+      // onto) an approximate result.
+      t.cacheable = false;
+    } else if (config_.single_flight && attach_or_lead(ticket)) {
+      // Single-flight: a content-identical scene still mid-flight shares
+      // the leader's forward passes; this ticket resolves when the leader
+      // does.
       retire_pending();
       return;
     }
   }
 
+  if (degrade) {
+    t.degrade = true;
+    t.degrade_stride = config_.brownout.degrade_stride;
+  }
   fan_out(ticket);
   retire_pending();
 }
@@ -497,9 +592,21 @@ void SceneServer::fan_out(const std::shared_ptr<TicketState>& ticket) {
         t.ctx.pool() != nullptr ? t.ctx : t.ctx.with_pool(server_ctx_.pool());
     img::ImageU8 filtered = filter_.apply(t.scene, filter_ctx);
     const int ts = config_.tile_size;
-    if (t.orig_w % ts != 0 || t.orig_h % ts != 0) {
-      filtered = img::pad_edge(filtered, (t.orig_w + ts - 1) / ts * ts,
-                               (t.orig_h + ts - 1) / ts * ts);
+    t.scaled_w = t.orig_w;
+    t.scaled_h = t.orig_h;
+    if (t.degrade) {
+      // Brownout: classify a stride-downscaled scene — the tile count (and
+      // so the forward-pass cost) drops by ~stride^2. finalize() upscales
+      // the label plane back to scene size (nearest — label-safe) and marks
+      // the ticket degraded.
+      const int stride = t.degrade_stride;
+      t.scaled_w = std::max(1, (t.orig_w + stride - 1) / stride);
+      t.scaled_h = std::max(1, (t.orig_h + stride - 1) / stride);
+      filtered = img::resize_nearest(filtered, t.scaled_w, t.scaled_h);
+    }
+    if (t.scaled_w % ts != 0 || t.scaled_h % ts != 0) {
+      filtered = img::pad_edge(filtered, (t.scaled_w + ts - 1) / ts * ts,
+                               (t.scaled_h + ts - 1) / ts * ts);
     }
     t.tiles_x = filtered.width() / ts;
     t.tiles_y = filtered.height() / ts;
@@ -862,16 +969,24 @@ void SceneServer::finalize(const std::shared_ptr<TicketState>& ticket) {
     }
 #endif
     img::ImageU8 labels = s2::stitch_labels(t.planes, t.tiles_x, t.tiles_y);
-    if (labels.width() != t.orig_w || labels.height() != t.orig_h) {
-      labels = img::crop(labels, 0, 0, t.orig_w, t.orig_h);
+    if (labels.width() != t.scaled_w || labels.height() != t.scaled_h) {
+      labels = img::crop(labels, 0, 0, t.scaled_w, t.scaled_h);
+    }
+    if (t.degrade) {
+      // Back to scene geometry; nearest keeps class ids intact.
+      labels = img::resize_nearest(labels, t.orig_w, t.orig_h);
     }
     std::size_t evicted = 0;
-    if (t.cacheable) evicted = cache_.insert(t.key, labels);
+    if (t.cacheable) {
+      evicted = cache_.insert(t.key, labels);
+      persist(t.key, labels);
+    }
     const double latency =
         std::chrono::duration<double>(clock_->now() - t.submitted_at).count();
     {
       const std::scoped_lock lock(stats_mutex_);
       ++counters_.completed;
+      if (t.degrade) ++counters_.degraded;
       counters_.cache_evictions += evicted;
       ++counters_.session.scenes;
       counters_.session.busy_seconds += latency;
@@ -900,7 +1015,7 @@ void SceneServer::finalize(const std::shared_ptr<TicketState>& ticket) {
       follower->ctx.report_progress("serve.coalesced", 1, 1);
       follower->publish(labels.clone(), nullptr);
     }
-    t.publish(std::move(labels), nullptr);
+    t.publish(std::move(labels), nullptr, t.degrade);
   } catch (...) {
     // The claim is already ours, so resolve_error cannot run — publish the
     // failure directly and hand followers to a fresh leader. The cache was
@@ -913,6 +1028,25 @@ void SceneServer::finalize(const std::shared_ptr<TicketState>& ticket) {
     t.publish(img::ImageU8(), std::current_exception());
     auto followers = take_followers(ticket);
     if (!followers.empty()) promote(std::move(followers));
+  }
+}
+
+void SceneServer::persist(const SceneKey& key, const img::ImageU8& plane) {
+  if (store_ == nullptr) return;
+  try {
+    const bool accepted = store_->append(key, plane);
+    if (accepted) {
+      const std::scoped_lock lock(stats_mutex_);
+      ++counters_.cache_persisted;
+    }
+    // Threshold flush on the finalizing worker thread: amortized disk I/O
+    // in exchange for planes that survive a SIGKILL, not only a drain.
+    if (store_->pending_bytes() >= config_.cache_flush_bytes) {
+      store_->flush();
+    }
+  } catch (const CacheStoreError&) {
+    // Persistence is best-effort during serving: a full or failing disk
+    // costs durability of this plane, never the request.
   }
 }
 

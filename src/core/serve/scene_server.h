@@ -67,12 +67,16 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/cloud_filter.h"
 #include "core/inference_session.h"
+#include "core/serve/brownout.h"
+#include "core/serve/cache_store.h"
 #include "core/serve/fault_injector.h"
 #include "core/serve/replica_pool.h"
 #include "core/serve/request_queue.h"
@@ -135,6 +139,20 @@ struct SceneServerConfig {
   std::chrono::milliseconds scale_down_idle{250};
   std::size_t cache_bytes = std::size_t{64} << 20;  // result cache budget;
                                                     // 0 disables caching
+  // Persistent cache tier (CacheStore). Empty = memory-only. When set, the
+  // server warms the LRU from this directory on construction and appends
+  // every newly computed full-quality plane back (flushed whenever the
+  // pending batch reaches cache_flush_bytes, and at shutdown). Requires
+  // cache_bytes > 0. The directory is flock-guarded: a second live server
+  // on the same dir throws CacheStoreLocked.
+  std::string cache_dir;
+  // Identity of the serving configuration the cached planes were computed
+  // under (model weights, tile size, filter...). Segments written under a
+  // different fingerprint are discarded as stale on open.
+  std::uint64_t cache_fingerprint = 0;
+  std::size_t cache_flush_bytes = std::size_t{4} << 20;
+  // Brownout: degrade kBatch work under sustained overload (see brownout.h).
+  BrownoutPolicy brownout;
   // Single-flight coalescing: content-identical in-flight scenes share one
   // forward pass (works with the cache disabled; hashing happens whenever
   // either feature is on).
@@ -166,6 +184,15 @@ struct SceneServerStats {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t cache_evictions = 0;
+  std::size_t cache_warmed = 0;    // entries recovered from disk at startup
+  std::size_t warm_hits = 0;       // cache hits answered by a warmed entry
+  std::size_t cache_persisted = 0; // planes appended to the persistent tier
+  std::size_t cache_corrupt = 0;   // on-disk entries discarded: checksum
+  std::size_t cache_stale = 0;     // on-disk segments discarded: version /
+                                   // fingerprint mismatch
+  std::size_t degraded = 0;        // tickets resolved with a degraded plane
+  std::size_t brownouts = 0;       // brownout mode entries
+  bool brownout_active = false;    // gauge: currently degrading kBatch work
   std::size_t coalesced = 0;           // followers attached to an in-flight
                                        // leader (single-flight)
   std::size_t batches = 0;             // forward passes issued
@@ -201,6 +228,11 @@ class SceneTicket {
   /// Blocks until resolved; returns the scene-sized class-id plane or
   /// rethrows the failure (par::OperationCancelled after cancel()).
   [[nodiscard]] img::ImageU8 get() const;
+
+  /// Blocks until resolved; true when the plane was produced in brownout
+  /// degraded mode (coarser stride) rather than at full quality. Callers
+  /// that must not act on approximate labels check this before using get().
+  [[nodiscard]] bool degraded() const;
 
   /// Requests cancellation of this scene only (cooperative: honoured at
   /// the next pipeline boundary; a scene may still complete if it was
@@ -350,12 +382,27 @@ class SceneServer {
   /// so batch top-up stops waiting once nothing more can arrive.
   void retire_pending();
 
+  /// Brownout sample point: feeds the submission-queue depth to the
+  /// controller (any thread).
+  void sample_brownout();
+
+  /// Appends one full-quality plane to the persistent tier, flushing when
+  /// the pending batch crosses the threshold. No-op without a store.
+  /// Persistence failures are contained here — serving never fails because
+  /// a disk did.
+  void persist(const SceneKey& key, const img::ImageU8& plane);
+
   SceneServerConfig config_;
   par::ExecutionContext server_ctx_;
   const util::Clock* clock_;  // config_.clock or the process clock
   CloudShadowFilter filter_;
   ReplicaPool pool_;
   ResultCache cache_;
+  std::unique_ptr<CacheStore> store_;  // persistent tier; null = memory-only
+  // Keys recovered from disk at startup; a cache hit on one is a warm hit.
+  // Written before the server threads start, read-only after.
+  std::unordered_set<SceneKey, SceneKeyHash> warmed_;
+  BrownoutController brownout_;
   RequestQueue<std::shared_ptr<detail::TicketState>> queue_;
 
   // Single-flight state: content hash -> {leader, followers}. An entry

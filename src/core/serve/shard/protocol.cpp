@@ -51,6 +51,7 @@ std::vector<std::uint8_t> encode(const SubmitResponse& response) {
   net::WireWriter writer;
   writer.put_u64(response.request_id);
   writer.put_u8(static_cast<std::uint8_t>(response.outcome));
+  writer.put_u8(response.degraded ? 1 : 0);
   writer.put_string(response.error);
   net::put_image(writer, response.plane);
   return writer.take();
@@ -62,6 +63,9 @@ SubmitResponse decode_submit_response(
   SubmitResponse response;
   response.request_id = reader.get_u64();
   response.outcome = decode_outcome(reader.get_u8());
+  const std::uint8_t degraded = reader.get_u8();
+  if (degraded > 1) throw net::WireError("bad degraded flag");
+  response.degraded = degraded == 1;
   response.error = reader.get_string();
   response.plane = net::get_image_u8(reader);
   reader.expect_end();

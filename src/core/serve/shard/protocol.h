@@ -50,8 +50,9 @@ struct SubmitRequest {
 struct SubmitResponse {
   std::uint64_t request_id = 0;
   Outcome outcome = Outcome::kFailed;
-  std::string error;    // non-ok outcomes: human-readable cause
-  img::ImageU8 plane;   // kOk only
+  std::string error;      // non-ok outcomes: human-readable cause
+  img::ImageU8 plane;     // kOk only
+  bool degraded = false;  // kOk only: plane produced in brownout mode
 };
 
 struct HeartbeatResponse {

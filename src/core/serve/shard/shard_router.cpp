@@ -29,6 +29,7 @@ struct RemoteTicketState {
   std::condition_variable cv;
   bool done = false;             // guarded by mutex
   img::ImageU8 plane;            // guarded by mutex
+  bool plane_degraded = false;   // guarded by mutex
   std::exception_ptr error;      // guarded by mutex
 
   [[nodiscard]] bool cancelled() const noexcept {
@@ -36,11 +37,12 @@ struct RemoteTicketState {
            cancellation.cancelled();
   }
 
-  void resolve_value(img::ImageU8 result) {
+  void resolve_value(img::ImageU8 result, bool degraded) {
     {
       const std::scoped_lock lock(mutex);
       if (done) return;
       plane = std::move(result);
+      plane_degraded = degraded;
       done = true;
     }
     cv.notify_all();
@@ -89,6 +91,15 @@ img::ImageU8 ShardTicket::get() const {
   return state_->plane;
 }
 
+bool ShardTicket::degraded() const {
+  if (!state_) {
+    throw std::logic_error("ShardTicket::degraded on empty ticket");
+  }
+  std::unique_lock lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->plane_degraded;
+}
+
 void ShardTicket::cancel() const {
   if (!state_) throw std::logic_error("ShardTicket::cancel on empty ticket");
   state_->cancel_requested.store(true, std::memory_order_relaxed);
@@ -120,6 +131,13 @@ void ShardRouterConfig::validate() const {
   }
   if (request_timeout.count() <= 0) {
     throw std::invalid_argument("ShardRouterConfig: request_timeout <= 0");
+  }
+  if (redial_base.count() <= 0) {
+    throw std::invalid_argument("ShardRouterConfig: redial_base <= 0");
+  }
+  if (redial_cap < redial_base) {
+    throw std::invalid_argument(
+        "ShardRouterConfig: redial_cap < redial_base");
   }
 }
 
@@ -258,6 +276,7 @@ ShardRouterStats ShardRouter::stats() const {
     state.dispatched = shard->dispatched;
     state.heartbeats_ok = shard->heartbeats_ok;
     state.heartbeats_failed = shard->heartbeats_failed;
+    state.redial_attempts = shard->redial_attempts;
     state.stats = shard->last_stats;
     out.shards.push_back(std::move(state));
   }
@@ -417,8 +436,9 @@ void ShardRouter::dispatch(
         {
           const std::scoped_lock lock(stats_mutex_);
           ++counters_.completed;
+          if (response.degraded) ++counters_.degraded;
         }
-        ticket->resolve_value(std::move(response.plane));
+        ticket->resolve_value(std::move(response.plane), response.degraded);
         return;
       }
       case Outcome::kRejected: {
@@ -529,23 +549,46 @@ SubmitResponse ShardRouter::round_trip(
 // ---------------------------------------------------------------------------
 
 void ShardRouter::heartbeat_loop() {
-  // First probe round runs immediately so wait_for_healthy() resolves as
-  // soon as workers bind, then rounds repeat on the period. Sleeps are
-  // real-time ticks with a stop check — probe deadlines ride the injected
-  // clock, the cadence does not need to.
+  // Every tick, probe exactly the shards whose next_probe_at has arrived
+  // on the injected clock. Healthy shards are due every heartbeat_period;
+  // a quarantined shard's probes space out under capped exponential
+  // backoff (probe() schedules it), so a dead TCP endpoint is re-dialed a
+  // handful of times per redial_cap, not once per tick. Default
+  // next_probe_at is the epoch, so the first round still probes everything
+  // immediately and wait_for_healthy() resolves as soon as workers bind.
+  // Sleeps are real-time ticks with a stop check — due-ness rides the
+  // injected clock, the polling cadence does not need to.
+  constexpr std::chrono::milliseconds kTick{10};
   while (!shut_down_.load(std::memory_order_acquire)) {
     for (const auto& shard : shards_) {
       if (shut_down_.load(std::memory_order_acquire)) return;
-      probe(*shard);
+      bool due;
+      {
+        const std::scoped_lock lock(shard->mutex);
+        due = clock_->now() >= shard->next_probe_at;
+      }
+      if (due) probe(*shard);
     }
-    auto remaining = config_.heartbeat_period;
-    while (remaining.count() > 0 &&
-           !shut_down_.load(std::memory_order_acquire)) {
-      const auto tick = std::min(remaining, std::chrono::milliseconds(10));
-      std::this_thread::sleep_for(tick);
-      remaining -= tick;
-    }
+    std::this_thread::sleep_for(
+        std::min<std::chrono::milliseconds>(kTick, config_.heartbeat_period));
   }
+}
+
+std::chrono::milliseconds ShardRouter::redial_delay(const Shard& shard,
+                                                    int attempt) const {
+  // Capped exponential: base * 2^(attempt-1), <= cap ...
+  const int shift = std::min(attempt - 1, 20);
+  const auto backoff = std::min<std::chrono::milliseconds>(
+      config_.redial_base * (1LL << shift), config_.redial_cap);
+  // ... plus deterministic jitter (<= 25% of the delay) derived from the
+  // shard identity and the attempt number: reproducible in tests, yet
+  // different shards (and successive attempts) desynchronize instead of
+  // re-dialing a rebooting worker in lockstep.
+  util::Fnv128 hash;
+  hash.update_le(shard.id_hash);
+  hash.update_le(static_cast<std::uint64_t>(attempt));
+  const auto span = static_cast<std::uint64_t>(backoff.count()) / 4 + 1;
+  return backoff + std::chrono::milliseconds(hash.lo % span);
 }
 
 void ShardRouter::probe(Shard& shard) {
@@ -572,6 +615,8 @@ void ShardRouter::probe(Shard& shard) {
       shard.accepting = heartbeat.accepting;
       shard.last_stats = heartbeat.stats;
       ++shard.heartbeats_ok;
+      shard.redial_attempts = 0;
+      shard.next_probe_at = clock_->now() + config_.heartbeat_period;
     }
     record_success(shard);
   } catch (const net::TransportError&) {
@@ -580,13 +625,30 @@ void ShardRouter::probe(Shard& shard) {
       ++shard.heartbeats_failed;
     }
     record_failure(shard);
+    schedule_reprobe(shard);
   } catch (const net::WireError&) {
     {
       const std::scoped_lock lock(shard.mutex);
       ++shard.heartbeats_failed;
     }
     record_failure(shard);
+    schedule_reprobe(shard);
   }
+}
+
+void ShardRouter::schedule_reprobe(Shard& shard) {
+  // After record_failure() so the quarantine transition (if this probe
+  // tripped it) is already visible: a still-healthy shard keeps the plain
+  // heartbeat cadence; a quarantined one backs off exponentially.
+  const std::scoped_lock lock(shard.mutex);
+  if (shard.healthy) {
+    shard.redial_attempts = 0;
+    shard.next_probe_at = clock_->now() + config_.heartbeat_period;
+    return;
+  }
+  ++shard.redial_attempts;
+  shard.next_probe_at =
+      clock_->now() + redial_delay(shard, shard.redial_attempts);
 }
 
 void ShardRouter::record_success(Shard& shard) {

@@ -72,6 +72,14 @@ struct ShardRouterConfig {
   // shedding disabled). Compared against the depth in the latest
   // heartbeat.
   std::size_t shed_queue_depth = 0;
+  // Quarantined-shard re-dial backoff: after quarantine, probe attempts
+  // are spaced redial_base * 2^(attempt-1) apart, capped at redial_cap,
+  // plus a deterministic per-shard jitter (<= 25% of the delay) so a fleet
+  // of routers does not re-dial a rebooting worker in lockstep. A healthy
+  // shard keeps the plain heartbeat_period cadence; the first successful
+  // probe resets the backoff.
+  std::chrono::milliseconds redial_base{200};
+  std::chrono::milliseconds redial_cap{5000};
   // Deadline for one dispatch round trip (connect + send + full scene
   // inference + response). Generous by design: this is a liveness bound
   // for crashed workers, not an SLO (deadlines ride SubmitOptions).
@@ -93,6 +101,7 @@ struct ShardState {
   std::size_t dispatched = 0;     // requests sent here
   std::size_t heartbeats_ok = 0;
   std::size_t heartbeats_failed = 0;
+  int redial_attempts = 0;        // failed probes since quarantine
   SceneServerStats stats;         // latest heartbeat's server snapshot
 };
 
@@ -105,6 +114,7 @@ struct ShardRouterStats {
   std::size_t shed = 0;            // worker answered DeadlineExceeded
   std::size_t cancelled = 0;
   std::size_t failed = 0;          // resolved with any other error
+  std::size_t degraded = 0;        // planes returned brownout-degraded
   std::size_t failovers = 0;       // re-dispatches after a shard failure
   std::size_t dispatch_errors = 0; // transport/wire failures observed
   std::size_t quarantines = 0;     // healthy -> quarantined transitions
@@ -132,6 +142,10 @@ class ShardTicket {
   /// rethrows the failure (AdmissionRejected / DeadlineExceeded /
   /// par::OperationCancelled / std::runtime_error with the worker's text).
   [[nodiscard]] img::ImageU8 get() const;
+
+  /// Blocks until resolved; true when the worker answered with a
+  /// brownout-degraded plane (mirrors SceneTicket::degraded()).
+  [[nodiscard]] bool degraded() const;
 
   /// Requests cancellation: honoured before dispatch (and re-checked
   /// between failover attempts); a request already on the wire completes
@@ -194,6 +208,13 @@ class ShardRouter {
   void heartbeat_loop();
   void probe(Shard& shard);
 
+  /// Schedules the next probe of a shard whose probe just failed: plain
+  /// heartbeat cadence while healthy, capped exponential backoff with
+  /// deterministic jitter once quarantined.
+  void schedule_reprobe(Shard& shard);
+  [[nodiscard]] std::chrono::milliseconds redial_delay(const Shard& shard,
+                                                       int attempt) const;
+
   /// One dispatch attempt chain with failover; resolves the ticket.
   void dispatch(const std::shared_ptr<detail::RemoteTicketState>& ticket);
 
@@ -220,6 +241,10 @@ class ShardRouter {
     std::size_t dispatched = 0;
     std::size_t heartbeats_ok = 0;
     std::size_t heartbeats_failed = 0;
+    // Re-dial pacing (prober only). Default epoch = due immediately, so
+    // the first round still probes every shard at startup.
+    util::Clock::time_point next_probe_at{};
+    int redial_attempts = 0;  // failed probes since quarantine
     SceneServerStats last_stats;
     std::vector<net::Connection> idle;  // pooled connections
     net::Connection heartbeat;          // the prober's own connection

@@ -17,7 +17,11 @@ ShardWorker::ShardWorker(nn::UNet& model, ShardWorkerConfig config,
   config_.validate();
   server_ = std::make_unique<SceneServer>(model, config_.server,
                                           std::move(ctx));
-  listener_ = net::Listener::bind(config_.listen, config_.server.clock);
+  // The listener deliberately stays on the real clock even when the server
+  // runs on an injected one: the accept timeout is flow control (it paces
+  // stop-flag checks), and stop() liveness must not depend on virtual time
+  // advancing — a frozen test clock would pin serve() in accept() forever.
+  listener_ = net::Listener::bind(config_.listen);
   listener_endpoint_ = listener_.endpoint();
 }
 
@@ -107,6 +111,11 @@ void ShardWorker::handle_connection(net::Connection connection) {
       while (!connection.wait_readable(kIdleTick)) {
         if (stopping_.load(std::memory_order_acquire)) return;
       }
+      // Re-check after a readable wakeup too: a chatty peer (the router
+      // probes every heartbeat_period) can keep the socket readable on
+      // every tick, and a handler that only checks stopping_ on idle
+      // ticks would answer that peer forever and deadlock stop()'s join.
+      if (stopping_.load(std::memory_order_acquire)) return;
       frame = connection.read_frame();
     } catch (const net::TransportError&) {
       return;  // peer closed (or listener shut down); normal end of stream
@@ -173,6 +182,7 @@ SubmitResponse ShardWorker::serve_submit(SubmitRequest request) {
     SceneTicket ticket =
         server_->submit(std::move(request.scene), request.options);
     response.plane = ticket.get();  // blocks this connection thread only
+    response.degraded = ticket.degraded();  // already resolved: no wait
     response.outcome = Outcome::kOk;
   } catch (const AdmissionRejected& error) {
     response.outcome = Outcome::kRejected;

@@ -329,6 +329,14 @@ void put_stats(WireWriter& writer,
   writer.put_u64(stats.cache_hits);
   writer.put_u64(stats.cache_misses);
   writer.put_u64(stats.cache_evictions);
+  writer.put_u64(stats.cache_warmed);
+  writer.put_u64(stats.warm_hits);
+  writer.put_u64(stats.cache_persisted);
+  writer.put_u64(stats.cache_corrupt);
+  writer.put_u64(stats.cache_stale);
+  writer.put_u64(stats.degraded);
+  writer.put_u64(stats.brownouts);
+  writer.put_u8(stats.brownout_active ? 1 : 0);
   writer.put_u64(stats.coalesced);
   writer.put_u64(stats.batches);
   writer.put_u64(stats.cross_scene_batches);
@@ -359,6 +367,16 @@ core::serve::SceneServerStats get_stats(WireReader& reader) {
   stats.cache_hits = reader.get_u64();
   stats.cache_misses = reader.get_u64();
   stats.cache_evictions = reader.get_u64();
+  stats.cache_warmed = reader.get_u64();
+  stats.warm_hits = reader.get_u64();
+  stats.cache_persisted = reader.get_u64();
+  stats.cache_corrupt = reader.get_u64();
+  stats.cache_stale = reader.get_u64();
+  stats.degraded = reader.get_u64();
+  stats.brownouts = reader.get_u64();
+  const std::uint8_t brownout_active = reader.get_u8();
+  if (brownout_active > 1) throw WireError("bad brownout flag");
+  stats.brownout_active = brownout_active == 1;
   stats.coalesced = reader.get_u64();
   stats.batches = reader.get_u64();
   stats.cross_scene_batches = reader.get_u64();

@@ -56,7 +56,10 @@ class WireChecksumError : public WireError {
 };
 
 inline constexpr std::uint32_t kWireMagic = 0x45434950;  // 'PICE' LE
-inline constexpr std::uint16_t kWireVersion = 1;
+// v2: SubmitResponse gained a degraded flag; SceneServerStats gained the
+// persistence and brownout counters. Mixed-version fleets fail loudly at
+// the frame header instead of misdecoding.
+inline constexpr std::uint16_t kWireVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 32;
 /// Ceiling on one frame's payload — large enough for any realistic scene
 /// (a 16k x 16k RGB scene is 768 MB > cap on purpose: such scenes must be

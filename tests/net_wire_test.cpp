@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/serve/scene_server.h"
+#include "core/serve/shard/protocol.h"
 #include "img/image.h"
 #include "net/wire.h"
 
@@ -120,6 +121,14 @@ TEST(NetWire, StatsRoundTrip) {
   stats.shed = 4;
   stats.rejected = 7;
   stats.cache_hits = 33;
+  stats.cache_warmed = 12;
+  stats.warm_hits = 11;
+  stats.cache_persisted = 29;
+  stats.cache_corrupt = 2;
+  stats.cache_stale = 1;
+  stats.degraded = 5;
+  stats.brownouts = 3;
+  stats.brownout_active = true;
   stats.session.scenes = 90;
   stats.session.tiles = 1440;
   stats.session.busy_seconds = 1.25;
@@ -135,10 +144,38 @@ TEST(NetWire, StatsRoundTrip) {
   EXPECT_EQ(back.shed, 4u);
   EXPECT_EQ(back.rejected, 7u);
   EXPECT_EQ(back.cache_hits, 33u);
+  EXPECT_EQ(back.cache_warmed, 12u);
+  EXPECT_EQ(back.warm_hits, 11u);
+  EXPECT_EQ(back.cache_persisted, 29u);
+  EXPECT_EQ(back.cache_corrupt, 2u);
+  EXPECT_EQ(back.cache_stale, 1u);
+  EXPECT_EQ(back.degraded, 5u);
+  EXPECT_EQ(back.brownouts, 3u);
+  EXPECT_TRUE(back.brownout_active);
   EXPECT_EQ(back.session.scenes, 90u);
   EXPECT_EQ(back.session.tiles, 1440u);
   EXPECT_DOUBLE_EQ(back.session.busy_seconds, 1.25);
   EXPECT_EQ(back.session.peak_leases, 3u);
+}
+
+// The v2 wire additions: SubmitResponse's degraded flag round-trips, and a
+// decoder rejects out-of-range flag bytes instead of inventing state.
+TEST(NetWire, SubmitResponseDegradedFlagRoundTrip) {
+  namespace shard = polarice::core::serve::shard;
+  shard::SubmitResponse response;
+  response.request_id = 77;
+  response.outcome = shard::Outcome::kOk;
+  response.plane = pattern_scene(6, 4, 1);
+  response.degraded = true;
+
+  const auto back = shard::decode_submit_response(encode(response));
+  EXPECT_EQ(back.request_id, 77u);
+  EXPECT_EQ(back.outcome, shard::Outcome::kOk);
+  EXPECT_TRUE(back.degraded);
+  EXPECT_EQ(back.plane, response.plane);
+
+  response.degraded = false;
+  EXPECT_FALSE(shard::decode_submit_response(encode(response)).degraded);
 }
 
 TEST(NetWire, FrameRoundTrip) {

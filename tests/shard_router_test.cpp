@@ -34,6 +34,7 @@
 #include "nn/unet.h"
 #include "par/context.h"
 #include "s2/scene.h"
+#include "util/virtual_clock.h"
 
 namespace {
 
@@ -504,6 +505,200 @@ TEST(ShardRouter, CancelledMidFlightResolvesCancelledNotOk) {
   const auto stats = router.stats();
   EXPECT_EQ(stats.cancelled, 1u);
   EXPECT_EQ(stats.completed, 0u);
+}
+
+// Re-dial backoff regression, on a frozen VirtualClock: a quarantined
+// shard's probes are spaced exponentially (base, 2x, 4x... capped), each
+// probe fires only when the router's clock reaches its scheduled time, and
+// probes stop entirely while virtual time stands still — real time passing
+// must never leak into the cadence.
+TEST(ShardRouter, QuarantineRedialBacksOffExponentiallyOnVirtualTime) {
+  polarice::util::VirtualClock clock;
+  shard::ShardRouterConfig cfg;
+  // Nothing listens here: every probe fails with a connect error.
+  cfg.shards = {net::Endpoint::parse("unix:/tmp/polarice-no-such-shard-" +
+                                     std::to_string(::getpid()) + ".sock")};
+  cfg.heartbeat_period = std::chrono::milliseconds(10);
+  cfg.quarantine_failures = 1;
+  cfg.redial_base = std::chrono::milliseconds(100);
+  cfg.redial_cap = std::chrono::milliseconds(400);
+  cfg.clock = &clock;
+  shard::ShardRouter router(cfg);
+
+  auto failures = [&] { return router.stats().shards.at(0).heartbeats_failed; };
+  auto wait_for_failures = [&](std::size_t want) {
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (failures() < want && std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return failures();
+  };
+
+  // Startup probe is due immediately; its failure quarantines the shard.
+  ASSERT_EQ(wait_for_failures(1), 1u);
+  {
+    const auto state = router.stats().shards.at(0);
+    EXPECT_FALSE(state.healthy);
+    EXPECT_EQ(state.redial_attempts, 1);
+  }
+  // Frozen clock: plenty of real time, zero virtual time — no re-dial.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(failures(), 1u);
+
+  // Attempt 1 delay = base + jitter (jitter <= 25%): 150ms covers it.
+  clock.advance(std::chrono::milliseconds(150));
+  ASSERT_EQ(wait_for_failures(2), 2u);
+  EXPECT_EQ(router.stats().shards.at(0).redial_attempts, 2);
+
+  // Attempt 2 delay = 2*base (+ <=25% jitter): 150ms is NOT enough...
+  clock.advance(std::chrono::milliseconds(150));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(failures(), 2u);
+  // ...another 150ms (300 total > 250 worst case) is.
+  clock.advance(std::chrono::milliseconds(150));
+  ASSERT_EQ(wait_for_failures(3), 3u);
+
+  // From attempt 3 on the delay is capped at redial_cap: 500ms per step
+  // (cap + max jitter) keeps yielding exactly one probe each, where an
+  // uncapped schedule (800ms, 1600ms...) would have gone silent.
+  for (std::size_t want = 4; want <= 6; ++want) {
+    clock.advance(std::chrono::milliseconds(500));
+    ASSERT_EQ(wait_for_failures(want), want) << "probe " << want;
+  }
+  EXPECT_EQ(router.stats().shards.at(0).redial_attempts, 6);
+}
+
+// Restart/rejoin: a quarantined shard whose endpoint comes back (a new
+// worker process bound on the same socket path) is re-dialed, marked
+// healthy, has its backoff reset, and serves again.
+TEST(ShardRouter, QuarantinedShardRejoinsAfterWorkerRestart) {
+  auto model_cfg = test_model_config();
+  core::serve::SceneServerConfig server_cfg;
+  server_cfg.tile_size = 32;
+  const std::string sock = "/tmp/polarice-rejoin-" +
+                           std::to_string(::getpid()) + ".sock";
+  const auto scenes = test_scenes(1, 48);
+  nn::UNet oracle_model(model_cfg);
+  const img::ImageU8 reference =
+      core::serve::SceneServer(oracle_model, server_cfg)
+          .submit(scenes[0].clone())
+          .get();
+  shard::ShardWorkerConfig worker_cfg;
+  worker_cfg.listen = net::Endpoint::parse("unix:" + sock);
+  worker_cfg.server = server_cfg;
+
+  shard::ShardRouterConfig router_cfg;
+  router_cfg.shards = {worker_cfg.listen};
+  router_cfg.heartbeat_period = std::chrono::milliseconds(20);
+  router_cfg.quarantine_failures = 1;
+  router_cfg.redial_base = std::chrono::milliseconds(20);
+  router_cfg.redial_cap = std::chrono::milliseconds(80);
+
+  nn::UNet model_a(model_cfg);
+  auto worker_a = std::make_unique<shard::ShardWorker>(model_a, worker_cfg);
+  std::jthread thread_a([&] { worker_a->serve(); });
+  shard::ShardRouter router(router_cfg);
+  ASSERT_TRUE(router.wait_for_healthy(1, std::chrono::milliseconds(5000)));
+
+  // Kill the worker; probes must quarantine the shard.
+  worker_a->stop();
+  thread_a = {};
+  worker_a.reset();
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (router.stats().shards.at(0).healthy &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_FALSE(router.stats().shards.at(0).healthy);
+  EXPECT_GE(router.stats().quarantines, 1u);
+
+  // Restart: a fresh worker (same deterministic model) on the same path.
+  nn::UNet model_b(model_cfg);
+  shard::ShardWorker worker_b(model_b, worker_cfg);
+  std::jthread thread_b([&] { worker_b.serve(); });
+  const auto rejoin_give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!router.stats().shards.at(0).healthy &&
+         std::chrono::steady_clock::now() < rejoin_give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto state = router.stats().shards.at(0);
+  ASSERT_TRUE(state.healthy) << "shard never rejoined";
+  EXPECT_EQ(state.redial_attempts, 0);  // first success resets the backoff
+  EXPECT_GE(router.stats().recoveries, 1u);
+
+  // The rejoined shard serves, bit-identically.
+  EXPECT_EQ(router.submit(scenes[0].clone()).get(), reference);
+  router.shutdown();
+  worker_b.stop();
+}
+
+// The wire carries brownout degradation end to end: a worker browned out
+// (instant-enter policy on a frozen VirtualClock) answers kBatch scenes
+// with degraded planes, and the router surfaces that on the ticket and in
+// its counters; kNormal traffic stays full quality.
+TEST(ShardRouter, DegradedFlagPropagatesOverTheWire) {
+  polarice::util::VirtualClock clock;
+  core::serve::SceneServerConfig server_cfg;
+  server_cfg.tile_size = 32;
+  server_cfg.clock = &clock;
+  server_cfg.brownout.enabled = true;
+  server_cfg.brownout.enter_queue_depth = 1;
+  server_cfg.brownout.exit_queue_depth = 0;
+  server_cfg.brownout.enter_hold = std::chrono::milliseconds(0);
+  server_cfg.brownout.exit_hold = std::chrono::milliseconds(1000);
+  Fleet fleet(1, server_cfg);
+
+  shard::ShardRouterConfig router_cfg;
+  router_cfg.shards = fleet.endpoints();
+  router_cfg.heartbeat_period = std::chrono::milliseconds(10000);
+  shard::ShardRouter router(router_cfg);
+
+  // Brownout entry races the worker's scheduler pop (a depth sample must
+  // land while scenes are backed up), so burst unique kBatch scenes at it
+  // until one comes back degraded; the frozen clock then pins the mode.
+  core::serve::SubmitOptions batch;
+  batch.priority = core::serve::Priority::kBatch;
+  std::size_t degraded_tickets = 0;
+  std::size_t submitted = 0;
+  for (int round = 0; round < 10 && degraded_tickets == 0; ++round) {
+    std::vector<img::ImageU8> scenes;
+    for (int i = 0; i < 16; ++i) {
+      s2::SceneConfig sc;
+      sc.width = sc.height = 48;
+      sc.seed = 7000 + static_cast<std::uint64_t>(round * 16 + i);
+      scenes.push_back(s2::SceneGenerator(sc).generate().rgb);
+    }
+    std::vector<shard::ShardTicket> tickets;
+    tickets.reserve(scenes.size());
+    for (const auto& scene : scenes) {
+      tickets.push_back(router.submit(scene.clone(), batch));
+    }
+    submitted += tickets.size();
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const auto plane = tickets[i].get();
+      if (!tickets[i].degraded()) continue;
+      if (degraded_tickets == 0) {
+        EXPECT_EQ(plane.width(), scenes[i].width());
+        EXPECT_EQ(plane.height(), scenes[i].height());
+      }
+      ++degraded_tickets;
+    }
+  }
+  ASSERT_GT(degraded_tickets, 0u) << "brownout never entered on the worker";
+
+  auto full_ticket =
+      router.submit(test_scenes(1, 48)[0].clone());  // kNormal default
+  (void)full_ticket.get();
+  EXPECT_FALSE(full_ticket.degraded());
+
+  const auto stats = router.stats();
+  // Counter consistency across the wire: the router's degraded count is
+  // exactly the number of tickets that reported degraded().
+  EXPECT_EQ(stats.degraded, degraded_tickets);
+  EXPECT_EQ(stats.completed, submitted + 1);
 }
 
 TEST(ShardRouter, HeartbeatCarriesWorkerStats) {

@@ -22,6 +22,20 @@
 //   --max_replicas N     scale-up ceiling       (default 2)
 //   --cache_mb N         result-cache budget    (default 64)
 //   --queue_capacity N   admission queue bound  (default server default)
+//   --cache_dir PATH     persistent cache dir   (default off). The server
+//                        warms its cache from it at startup and flushes to
+//                        it on the SIGTERM drain; a dir locked by another
+//                        live worker exits 2. The segment fingerprint is
+//                        derived from the model/tile flags, so planes from
+//                        a differently-configured worker are discarded as
+//                        stale rather than served.
+//   --cache_flush_kb N   flush threshold        (default 4096)
+//   --brownout_depth N   brownout enter watermark on queue depth
+//                        (default 0 = brownout off); exit = N/4,
+//                        degraded stride from --brownout_stride
+//   --brownout_stride N  degraded downscale     (default 2)
+//   --brownout_enter_ms / --brownout_exit_ms   hysteresis holds
+//                        (defaults 200 / 500)
 
 #include <atomic>
 #include <csignal>
@@ -29,10 +43,12 @@
 #include <exception>
 #include <thread>
 
+#include "core/serve/cache_store.h"
 #include "core/serve/shard/shard_worker.h"
 #include "net/transport.h"
 #include "nn/unet.h"
 #include "util/args.h"
+#include "util/hash.h"
 
 namespace {
 
@@ -79,6 +95,34 @@ int main(int argc, char** argv) {
       config.server.admission.capacity = static_cast<std::size_t>(
           args.get_int_in("queue_capacity", 64, 1, 1 << 20));
     }
+    if (args.has("cache_dir")) {
+      config.server.cache_dir = args.require_string("cache_dir");
+      config.server.cache_flush_bytes =
+          static_cast<std::size_t>(
+              args.get_int_in("cache_flush_kb", 4096, 1, 1 << 20))
+          << 10;
+      // Cached planes are only valid under the exact serving configuration
+      // that computed them; fingerprint the knobs that change the output.
+      polarice::util::Fnv128 fingerprint;
+      fingerprint.update_le(model_cfg.depth);
+      fingerprint.update_le(model_cfg.base_channels);
+      fingerprint.update_le(model_cfg.seed);
+      fingerprint.update_le(config.server.tile_size);
+      config.server.cache_fingerprint = fingerprint.lo;
+    }
+    const auto brownout_depth = static_cast<std::size_t>(
+        args.get_int_in("brownout_depth", 0, 0, 1 << 20));
+    if (brownout_depth > 0) {
+      config.server.brownout.enabled = true;
+      config.server.brownout.enter_queue_depth = brownout_depth;
+      config.server.brownout.exit_queue_depth = brownout_depth / 4;
+      config.server.brownout.enter_hold = std::chrono::milliseconds(
+          args.get_int_in("brownout_enter_ms", 200, 0, 1 << 20));
+      config.server.brownout.exit_hold = std::chrono::milliseconds(
+          args.get_int_in("brownout_exit_ms", 500, 0, 1 << 20));
+      config.server.brownout.degrade_stride =
+          static_cast<int>(args.get_int_in("brownout_stride", 2, 2, 64));
+    }
 
     nn::UNet model(model_cfg);
     shard::ShardWorker worker(model, config);
@@ -111,6 +155,11 @@ int main(int argc, char** argv) {
                  stats.connections, stats.requests, stats.heartbeats,
                  stats.wire_errors);
     return 0;
+  } catch (const core::serve::CacheStoreLocked& error) {
+    // Another live worker owns the cache directory; sharing it would let
+    // the two corrupt each other's segments. Refuse to start.
+    std::fprintf(stderr, "polarice_worker: %s\n", error.what());
+    return 2;
   } catch (const std::invalid_argument& error) {
     std::fprintf(stderr, "polarice_worker: %s\n", error.what());
     return 2;
