@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "serve_load.h"
 #include "shard_load.h"
 #include "support.h"
@@ -84,6 +85,12 @@ void print_report(const pb::ServeLoadReport& report) {
   table.add_row({"p50 ms", Table::num(report.p50_ms, 2)});
   table.add_row({"p99 ms", Table::num(report.p99_ms, 2)});
   table.add_row({"max ms", Table::num(report.max_ms, 2)});
+  if (report.percentiles_cross_checked) {
+    // Same population through the server's own serve_e2e_seconds
+    // instrument; run_serve_load already asserted bucket-level agreement.
+    table.add_row({"registry p50 ms", Table::num(report.registry_p50_ms, 2)});
+    table.add_row({"registry p99 ms", Table::num(report.registry_p99_ms, 2)});
+  }
   table.add_row({"shed rate", Table::num(100.0 * report.shed_rate(), 2) + "%"});
   table.add_row({"reject rate",
              Table::num(100.0 * report.reject_rate(), 2) + "%"});
@@ -119,6 +126,8 @@ pb::ShardLoadConfig shard_config_from(const polarice::util::Args& args) {
   cfg.shed_queue_depth =
       static_cast<std::size_t>(args.get_int("shed_depth", 0));
   cfg.worker_bin = args.get_string("worker_bin", "");
+  cfg.stat_bin = args.get_string("stat_bin", "");
+  cfg.scrape_after_fraction = args.get_double("scrape_after", 0.5);
   if (args.has("connect")) {
     // Endpoint-list parsing raises on any malformed element — a typo'd
     // fleet spec must fail loudly, not fall back to spawning workers.
@@ -149,6 +158,13 @@ void print_shard_report(const pb::ShardLoadReport& report) {
   table.add_row({"max ms", Table::num(report.max_ms, 2)});
   if (report.restarted_shard >= 0) {
     table.add_row({"restarted shard", std::to_string(report.restarted_shard)});
+  }
+  if (report.scrape_exit >= 0) {
+    table.add_row({"mid-run scrape",
+                   report.scrape_exit == 0
+                       ? std::string("ok")
+                       : "FAILED (exit " + std::to_string(report.scrape_exit) +
+                             ")"});
   }
   if (report.cache_persisted > 0 || report.cache_warmed > 0 ||
       report.warm_hits > 0 || report.cache_corrupt > 0) {
@@ -219,6 +235,15 @@ int run_sharded(const polarice::util::Args& args, bool smoke) {
                    "smoke: killed a worker but recorded no failovers\n");
       return EXIT_FAILURE;
     }
+    if (!cfg.stat_bin.empty() && report.scrape_exit != 0) {
+      // The scrape gate: every live worker answered both exchanges
+      // mid-run, the fleet shows non-zero forward-pass histogram counts,
+      // and no worker completed scenes without recording forward passes.
+      std::fprintf(stderr, "smoke: mid-run polarice_stat scrape failed "
+                           "(exit %d)\n",
+                   report.scrape_exit);
+      return EXIT_FAILURE;
+    }
     if (cfg.restart_drill) {
       // The full crash/recover story: the corpse was re-exec'd
       // (restarted_shard), the router readmitted it (recoveries), it
@@ -278,6 +303,26 @@ int main(int argc, char** argv) {
              ")");
   const auto report = pb::run_serve_load(cfg);
   print_report(report);
+
+  if (args.get_bool("dump_metrics", false)) {
+    // Everything the process-global registry accumulated over the run, in
+    // the same exposition format a worker serves on kMetricsRequest. The
+    // harness-vs-registry percentile agreement was already asserted inside
+    // run_serve_load; here we just publish both sides for eyeballing.
+    std::printf("\n# registry exposition (full process history)\n%s",
+                polarice::obs::render_text(polarice::obs::registry().snapshot())
+                    .c_str());
+    if (report.percentiles_cross_checked) {
+      std::printf(
+          "# percentile cross-check: harness p50=%.2fms p99=%.2fms vs "
+          "registry p50=%.2fms p99=%.2fms (agree within one bucket)\n",
+          report.p50_ms, report.p99_ms, report.registry_p50_ms,
+          report.registry_p99_ms);
+    } else {
+      std::printf("# percentile cross-check: skipped (no registry "
+                  "observations — metrics compiled out?)\n");
+    }
+  }
 
   if (smoke) {
     if (report.completed == 0) {

@@ -28,6 +28,8 @@
 #include "core/workflow.h"
 #include "img/image.h"
 #include "nn/unet.h"
+#include "obs/instruments.h"
+#include "obs/metrics.h"
 #include "s2/scene.h"
 
 namespace polarice::bench {
@@ -77,9 +79,23 @@ struct ServeLoadReport {
   double wall_seconds = 0.0;  // submission window + drain
   double achieved_qps = 0.0;  // completed / wall
   double p50_ms = 0.0;        // completed-request latency percentiles
-  double p99_ms = 0.0;
+  double p99_ms = 0.0;        // (from client_e2e, the harness histogram)
   double max_ms = 0.0;
   core::serve::SceneServerStats server;  // post-drain server counters
+
+  // Both sides of the latency story: what the clients measured
+  // wall-to-wall (binned with plain code), and what the server's own
+  // serve_e2e_seconds instrument recorded, scoped to this run via
+  // histogram_delta. Same bucket ladder, so their percentiles are
+  // comparable bucket-for-bucket.
+  obs::HistogramSample client_e2e;    // harness-observed, seconds
+  obs::HistogramSample registry_e2e;  // serve_e2e_seconds delta
+  double registry_p50_ms = 0.0;
+  double registry_p99_ms = 0.0;
+  // True when the registry side had observations (instrumentation compiled
+  // in) and its p50/p99 landed within one bucket of the harness's — checked
+  // by run_serve_load, which throws on disagreement.
+  bool percentiles_cross_checked = false;
 
   [[nodiscard]] double shed_rate() const {
     return submitted > 0 ? static_cast<double>(shed) / submitted : 0.0;
@@ -92,11 +108,14 @@ struct ServeLoadReport {
 
 namespace detail {
 
-inline double percentile_ms(std::vector<double>& sorted_ms, double q) {
-  if (sorted_ms.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
-  return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
+/// True when two percentile estimates land in the same or adjacent buckets
+/// of `sample`'s ladder — the agreement tolerance two estimators reading
+/// the same latency population through the same buckets must meet.
+inline bool within_one_bucket(const obs::HistogramSample& sample, double a_s,
+                              double b_s) {
+  const auto ia = sample.bucket_index(a_s);
+  const auto ib = sample.bucket_index(b_s);
+  return (ia > ib ? ia - ib : ib - ia) <= 1;
 }
 
 }  // namespace detail
@@ -146,6 +165,12 @@ inline ServeLoadReport run_serve_load(const ServeLoadConfig& cfg) {
   }
 
   ServeLoadReport report;
+  // The registry is process-global and the bench loop re-enters this
+  // function, so the server-side histogram is read as a delta against a
+  // snapshot taken before the server exists. Intern the instruments first
+  // so the "before" snapshot has rows to subtract.
+  (void)obs::ServeInstruments::get();
+  const obs::Snapshot before = obs::registry().snapshot();
   const auto harness_start = std::chrono::steady_clock::now();
   {
     pv::SceneServer server(model, server_cfg);
@@ -227,15 +252,56 @@ inline ServeLoadReport run_serve_load(const ServeLoadConfig& cfg) {
     report.corrupt = corrupt.load();
     report.server = server.stats();
 
-    std::vector<double> all_ms;
+    // Harness-side histogram built with plain code on the registry's
+    // bucket ladder — the percentile path stays comparable bucket-for-
+    // bucket with serve_e2e_seconds AND keeps working in a
+    // POLARICE_METRICS=OFF build, where Histogram::observe is a no-op
+    // (that build is exactly the baseline the overhead measurement in
+    // docs/PERF.md runs against).
+    obs::HistogramSample client_e2e;
+    client_e2e.name = "bench_client_e2e_seconds";
+    client_e2e.bounds = obs::latency_buckets_seconds();
+    client_e2e.counts.assign(client_e2e.bounds.size() + 1, 0);
+    double max_ms = 0.0;
     for (const auto& per_client : latencies) {
-      all_ms.insert(all_ms.end(), per_client.begin(), per_client.end());
+      for (const double ms : per_client) {
+        const double seconds = ms / 1e3;
+        ++client_e2e.counts[client_e2e.bucket_index(seconds)];
+        ++client_e2e.count;
+        client_e2e.sum += seconds;
+        max_ms = std::max(max_ms, ms);
+      }
     }
-    std::sort(all_ms.begin(), all_ms.end());
-    report.completed = all_ms.size();
-    report.p50_ms = detail::percentile_ms(all_ms, 0.50);
-    report.p99_ms = detail::percentile_ms(all_ms, 0.99);
-    report.max_ms = all_ms.empty() ? 0.0 : all_ms.back();
+    report.completed = client_e2e.count;
+    report.max_ms = max_ms;
+    report.client_e2e = std::move(client_e2e);
+  }
+  const obs::Snapshot after = obs::registry().snapshot();
+  report.registry_e2e =
+      obs::histogram_delta(*after.find_histogram("serve_e2e_seconds"),
+                           *before.find_histogram("serve_e2e_seconds"));
+  report.p50_ms = report.client_e2e.percentile(0.50) * 1e3;
+  report.p99_ms = report.client_e2e.percentile(0.99) * 1e3;
+  if (report.registry_e2e.count > 0 && report.client_e2e.count > 0) {
+    report.registry_p50_ms = report.registry_e2e.percentile(0.50) * 1e3;
+    report.registry_p99_ms = report.registry_e2e.percentile(0.99) * 1e3;
+    // Two estimators over one latency population through one bucket
+    // ladder: anything beyond a one-bucket gap means an instrument is
+    // mis-seamed (e.g. e2e observed for shed work), so fail the run.
+    if (!detail::within_one_bucket(report.client_e2e,
+                                   report.p50_ms / 1e3,
+                                   report.registry_p50_ms / 1e3) ||
+        !detail::within_one_bucket(report.client_e2e,
+                                   report.p99_ms / 1e3,
+                                   report.registry_p99_ms / 1e3)) {
+      throw std::runtime_error(
+          "serve_load: harness and registry percentiles disagree by more "
+          "than one bucket (harness p50/p99 " +
+          std::to_string(report.p50_ms) + "/" + std::to_string(report.p99_ms) +
+          " ms, registry " + std::to_string(report.registry_p50_ms) + "/" +
+          std::to_string(report.registry_p99_ms) + " ms)");
+    }
+    report.percentiles_cross_checked = true;
   }
   report.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - harness_start)

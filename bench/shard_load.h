@@ -39,6 +39,7 @@
 #include "core/workflow.h"
 #include "img/image.h"
 #include "nn/unet.h"
+#include "obs/metrics.h"
 #include "s2/scene.h"
 #include "serve_load.h"
 
@@ -96,6 +97,14 @@ struct ShardLoadConfig {
   std::size_t shed_queue_depth = 0;  // 0 = shedding off
   int max_failovers = 2;
 
+  // Observability drill: when non-empty, fork/exec this polarice_stat
+  // binary midway through the submission window with --connect <fleet>
+  // --expect_forward — a live scrape of every worker while traffic is in
+  // flight. The exit code lands in the report (0 = every worker answered
+  // both exchanges and had non-zero forward-pass counts).
+  std::string stat_bin;
+  double scrape_after_fraction = 0.5;
+
   // Path to polarice_worker; empty = discovered next to this binary
   // (<exe_dir>/../tools/polarice_worker).
   std::string worker_bin;
@@ -147,6 +156,9 @@ struct ShardLoadConfig {
     if (cache_flush_kb < 1) {
       throw std::invalid_argument("ShardLoadConfig: cache_flush_kb < 1");
     }
+    if (scrape_after_fraction < 0.0 || scrape_after_fraction > 1.0) {
+      throw std::invalid_argument("ShardLoadConfig: bad scrape_after_fraction");
+    }
   }
 };
 
@@ -171,6 +183,9 @@ struct ShardLoadReport {
   std::size_t warm_hits = 0;
   std::size_t cache_corrupt = 0;
   int restarted_shard = -1;  // restart drill: which worker was re-exec'd
+  // Mid-run polarice_stat scrape (stat_bin): process exit code, or -1 when
+  // the drill was not configured / never fired.
+  int scrape_exit = -1;
 };
 
 namespace detail {
@@ -428,6 +443,41 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
       });
     }
 
+    // The scraper: run polarice_stat against the live fleet mid-window,
+    // while forward passes are actually in flight — the end-to-end proof
+    // that the metrics path works on a hot fleet, not just at rest.
+    std::atomic<int> scrape_exit{-1};
+    std::jthread scraper;
+    if (!cfg.stat_bin.empty()) {
+      scraper = std::jthread([&] {
+        const auto when =
+            start +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(cfg.seconds *
+                                              cfg.scrape_after_fraction));
+        std::this_thread::sleep_until(when);
+        std::string connect;
+        for (const auto& endpoint : endpoints) {
+          if (!connect.empty()) connect += ',';
+          connect += endpoint.to_string();
+        }
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+          ::execl(cfg.stat_bin.c_str(), cfg.stat_bin.c_str(), "--connect",
+                  connect.c_str(), "--expect_forward",
+                  static_cast<char*>(nullptr));
+          ::_exit(127);
+        }
+        if (pid < 0) {
+          scrape_exit.store(126);
+          return;
+        }
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        scrape_exit.store(WIFEXITED(status) ? WEXITSTATUS(status) : 125);
+      });
+    }
+
     std::vector<std::jthread> fleet;
     for (int c = 0; c < cfg.clients; ++c) {
       fleet.emplace_back([&, c] {
@@ -486,6 +536,8 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
       assassin.request_stop();
       assassin.join();
     }
+    if (scraper.joinable()) scraper.join();  // fires within the window
+    report.scrape_exit = scrape_exit.load();
 
     report.submitted = submitted.load();
     report.rejected = rejected.load();
@@ -507,15 +559,25 @@ inline ShardLoadReport run_shard_load(const ShardLoadConfig& cfg) {
     }
     router.shutdown();
 
-    std::vector<double> all_ms;
+    // Percentiles via the shared obs histogram helpers — the same
+    // estimator the registry and polarice_stat use, so numbers line up
+    // across the whole toolchain.
+    obs::HistogramSample sample;
+    sample.bounds = obs::latency_buckets_seconds();
+    sample.counts.assign(sample.bounds.size() + 1, 0);
+    double max_ms = 0.0;
     for (const auto& per_client : latencies) {
-      all_ms.insert(all_ms.end(), per_client.begin(), per_client.end());
+      for (const double ms : per_client) {
+        ++sample.counts[sample.bucket_index(ms / 1e3)];
+        ++sample.count;
+        sample.sum += ms / 1e3;
+        max_ms = std::max(max_ms, ms);
+      }
     }
-    std::sort(all_ms.begin(), all_ms.end());
-    report.completed = all_ms.size();
-    report.p50_ms = detail::percentile_ms(all_ms, 0.50);
-    report.p99_ms = detail::percentile_ms(all_ms, 0.99);
-    report.max_ms = all_ms.empty() ? 0.0 : all_ms.back();
+    report.completed = sample.count;
+    report.p50_ms = sample.percentile(0.50) * 1e3;
+    report.p99_ms = sample.percentile(0.99) * 1e3;
+    report.max_ms = max_ms;
   }
   // Workers wind down via their destructors (SIGTERM + reap). A SIGKILLed
   // worker never unlinks its socket, so sweep the paths before the rmdir.

@@ -37,6 +37,11 @@ struct TicketState {
   util::Clock::time_point submitted_at;   // latency telemetry
   int retries = 0;  // retry events so far; guarded by the server tile_mutex_
 
+  // Request trace: spans appended by whichever thread runs each stage
+  // (internally synchronized). Created at submit, handed to the SLO-breach
+  // sampler at resolution.
+  std::shared_ptr<obs::TraceContext> trace;
+
   [[nodiscard]] bool cancelled() const noexcept {
     return ctx.cancelled() || own_cancel.cancelled();
   }
@@ -226,7 +231,9 @@ SceneServer::SceneServer(nn::UNet& model, SceneServerConfig config,
       pool_(model, config.min_replicas, config.max_replicas, clock_),
       cache_(config.cache_bytes),
       brownout_(config.brownout, clock_),
-      queue_(config.admission, clock_) {
+      queue_(config.admission, clock_),
+      obs_(obs::ServeInstruments::get()),
+      tracer_(config.trace_capacity) {
   // Warm from the persistent tier before any server thread exists, so the
   // warmed_ set is published to the scheduler by the thread starts below.
   // A locked or unusable directory throws out of the constructor — a
@@ -246,6 +253,30 @@ SceneServer::SceneServer(nn::UNet& model, SceneServerConfig config,
     counters_.cache_corrupt = disk.corrupt;
     counters_.cache_stale = disk.stale;
   }
+  // Component gauges, sampled at registry-snapshot (scrape) time. The
+  // handles unregister in ~SceneServer before the sampled components die.
+  auto& registry = obs::registry();
+  gauges_.push_back(registry.register_gauge("serve_inflight_scenes", [this] {
+    return static_cast<double>(pending_scenes_.load(std::memory_order_relaxed));
+  }));
+  gauges_.push_back(registry.register_gauge(
+      "serve_replicas", [this] { return static_cast<double>(pool_.size()); }));
+  gauges_.push_back(registry.register_gauge("serve_replica_leases", [this] {
+    return static_cast<double>(pool_.leases());
+  }));
+  gauges_.push_back(registry.register_gauge("serve_cache_resident_bytes", [this] {
+    return static_cast<double>(cache_.stats().bytes);
+  }));
+  gauges_.push_back(registry.register_gauge("serve_brownout_active", [this] {
+    return brownout_.active() ? 1.0 : 0.0;
+  }));
+  if (store_ != nullptr) {
+    gauges_.push_back(
+        registry.register_gauge("serve_cache_store_pending_bytes", [this] {
+          return static_cast<double>(store_->pending_bytes());
+        }));
+  }
+
   scheduler_ = std::jthread([this] { scheduler_loop(); });
   workers_.reserve(static_cast<std::size_t>(config_.max_replicas));
   for (int i = 0; i < config_.max_replicas; ++i) {
@@ -332,6 +363,9 @@ SceneTicket SceneServer::submit(img::ImageU8 scene,
   state->retry_budget = options.max_retries >= 0 ? options.max_retries
                                                  : config_.retry.max_retries;
   state->seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  state->trace = std::make_shared<obs::TraceContext>(
+      options.trace_id != 0 ? options.trace_id : obs::TraceContext::next_id(),
+      clock_);
 
   // Both counts must cover the request before it is poppable: a worker
   // topping up a batch must never conclude "nothing can arrive" while this
@@ -363,6 +397,7 @@ SceneTicket SceneServer::submit(img::ImageU8 scene,
     retire_pending();
     throw;
   }
+  obs_.admitted->add();
   // Sample after the push so a submission flood is visible to the
   // controller immediately, not only once the scheduler catches up.
   sample_brownout();
@@ -426,6 +461,13 @@ void SceneServer::scheduler_loop() {
 
 void SceneServer::prepare(const std::shared_ptr<TicketState>& ticket) {
   TicketState& t = *ticket;
+  // Queue wait: admission to scheduler pickup. Observed for every ticket —
+  // the queue-wait distribution of shed work is exactly what an overload
+  // post-mortem needs.
+  const auto picked_up = clock_->now();
+  obs_.queue_wait->observe(
+      std::chrono::duration<double>(picked_up - t.submitted_at).count());
+  if (t.trace != nullptr) t.trace->add_span("queue", t.submitted_at, picked_up);
   if (t.cancelled()) {
     resolve_error(ticket, std::make_exception_ptr(par::OperationCancelled(
                               "SceneServer::prepare")));
@@ -469,6 +511,7 @@ void SceneServer::prepare(const std::shared_ptr<TicketState>& ticket) {
           ++counters_.cache_misses;
         }
       }
+      (hit ? obs_.cache_hits : obs_.cache_misses)->add();
       if (hit) {
         if (t.claim()) {
           // Counters first: a caller returning from get() must already see
@@ -477,6 +520,13 @@ void SceneServer::prepare(const std::shared_ptr<TicketState>& ticket) {
             const std::scoped_lock lock(stats_mutex_);
             ++counters_.completed;
           }
+          obs_.completed->add();
+          const auto resolved_at = clock_->now();
+          obs_.e2e->observe(
+              std::chrono::duration<double>(resolved_at - t.submitted_at)
+                  .count());
+          if (t.trace != nullptr) t.trace->add_span("cache", picked_up, resolved_at);
+          record_trace(t, "completed");
           t.publish(std::move(*hit), nullptr);
         }
         retire_pending();
@@ -698,6 +748,14 @@ std::vector<SceneServer::TileWork> SceneServer::gather() {
   std::vector<std::shared_ptr<TicketState>> expired;
   std::unique_lock lock(tile_mutex_);
   std::optional<util::Clock::time_point> flush_at;
+  // Batch-fill latency: first tile popped -> batch handed to the worker.
+  std::optional<util::Clock::time_point> fill_start;
+  const auto observe_fill = [&](util::Clock::time_point end) {
+    if (fill_start) {
+      obs_.batch_fill->observe(
+          std::chrono::duration<double>(end - *fill_start).count());
+    }
+  };
 
   for (;;) {
     const auto now = clock_->now();
@@ -715,6 +773,7 @@ std::vector<SceneServer::TileWork> SceneServer::gather() {
         continue;
       }
       batch.push_back(std::move(work));
+      if (!fill_start) fill_start = now;
     }
     if (!expired.empty()) {
       // Resolve outside the lock (a shed single-flight leader promotes a
@@ -725,7 +784,10 @@ std::vector<SceneServer::TileWork> SceneServer::gather() {
       lock.lock();
       continue;
     }
-    if (static_cast<int>(batch.size()) >= config_.batch_tiles) return batch;
+    if (static_cast<int>(batch.size()) >= config_.batch_tiles) {
+      observe_fill(now);
+      return batch;
+    }
 
     if (!batch.empty()) {
       // Dynamic batching: top the partial batch up, waiting at most
@@ -735,6 +797,7 @@ std::vector<SceneServer::TileWork> SceneServer::gather() {
       if (tiles_stopping_ ||
           pending_scenes_.load(std::memory_order_acquire) == 0 ||
           now >= *flush_at) {
+        observe_fill(now);
         return batch;
       }
       tile_cv_.wait_for(lock, kTick, [&] {
@@ -799,6 +862,7 @@ void SceneServer::worker_loop() {
     try {
       const int n = static_cast<int>(live.size());
       bool poison = false;
+      util::Clock::time_point fw_begin{}, fw_end{};
       {
         // Lease scope covers only the work that needs the replica; the
         // argmax indices are fully copied into `pred`, so stitching,
@@ -822,10 +886,12 @@ void SceneServer::worker_loop() {
             poison = config_.fault_injector->on_pass(FaultSite::kForward);
           }
 #endif
+          fw_begin = clock_->now();
           model.forward(x, logits, /*training=*/false);
           tensor::softmax_channel(logits, probs);
           pred.resize(static_cast<std::size_t>(n) * plane);
           tensor::argmax_channel(probs, pred.data());
+          fw_end = clock_->now();
         } catch (...) {
           // The replica may have been interrupted mid-write of its internal
           // caches; its outputs can no longer be trusted. Quarantine it —
@@ -844,6 +910,8 @@ void SceneServer::worker_loop() {
       // Batch counters before delivery: delivering the last tile resolves
       // its ticket, and a caller returning from get() must already see this
       // batch's work in stats().
+      obs_.forward->observe(
+          std::chrono::duration<double>(fw_end - fw_begin).count());
       std::size_t scenes_in_batch = 0;
       {
         // Count distinct owning tickets (n is at most batch_tiles — tiny).
@@ -855,6 +923,11 @@ void SceneServer::worker_loop() {
           }
         }
         scenes_in_batch = seen.size();
+        // Each owning ticket gets one forward span per batch it rode in —
+        // a multi-batch scene renders each pass separately.
+        for (const TicketState* p : seen) {
+          if (p->trace != nullptr) p->trace->add_span("forward", fw_begin, fw_end);
+        }
       }
       {
         const std::scoped_lock lock(stats_mutex_);
@@ -968,6 +1041,7 @@ void SceneServer::finalize(const std::shared_ptr<TicketState>& ticket) {
       (void)config_.fault_injector->on_pass(FaultSite::kStitch);
     }
 #endif
+    const auto stitch_begin = clock_->now();
     img::ImageU8 labels = s2::stitch_labels(t.planes, t.tiles_x, t.tiles_y);
     if (labels.width() != t.scaled_w || labels.height() != t.scaled_h) {
       labels = img::crop(labels, 0, 0, t.scaled_w, t.scaled_h);
@@ -976,10 +1050,15 @@ void SceneServer::finalize(const std::shared_ptr<TicketState>& ticket) {
       // Back to scene geometry; nearest keeps class ids intact.
       labels = img::resize_nearest(labels, t.orig_w, t.orig_h);
     }
+    const auto stitch_end = clock_->now();
+    obs_.stitch->observe(
+        std::chrono::duration<double>(stitch_end - stitch_begin).count());
+    if (t.trace != nullptr) t.trace->add_span("stitch", stitch_begin, stitch_end);
     std::size_t evicted = 0;
     if (t.cacheable) {
       evicted = cache_.insert(t.key, labels);
       persist(t.key, labels);
+      obs_.cache_stores->add();
     }
     const double latency =
         std::chrono::duration<double>(clock_->now() - t.submitted_at).count();
@@ -991,6 +1070,9 @@ void SceneServer::finalize(const std::shared_ptr<TicketState>& ticket) {
       ++counters_.session.scenes;
       counters_.session.busy_seconds += latency;
     }
+    obs_.completed->add();
+    obs_.e2e->observe(latency);
+    record_trace(t, "completed");
 
     // Single-flight: this leader's plane resolves every attached follower
     // (each spent zero forward passes). A follower cancelled while it
@@ -1009,6 +1091,11 @@ void SceneServer::finalize(const std::shared_ptr<TicketState>& ticket) {
         const std::scoped_lock lock(stats_mutex_);
         ++counters_.completed;
       }
+      obs_.completed->add();
+      obs_.e2e->observe(std::chrono::duration<double>(clock_->now() -
+                                                      follower->submitted_at)
+                            .count());
+      record_trace(*follower, "completed");
       // A follower's own sink never saw prepare/tile ticks (the leader did
       // the work); one completion tick keeps progress-driven callers
       // moving.
@@ -1025,6 +1112,8 @@ void SceneServer::finalize(const std::shared_ptr<TicketState>& ticket) {
       const std::scoped_lock lock(stats_mutex_);
       ++counters_.failed;
     }
+    obs_.failed->add();
+    record_trace(t, "failed");
     t.publish(img::ImageU8(), std::current_exception());
     auto followers = take_followers(ticket);
     if (!followers.empty()) promote(std::move(followers));
@@ -1100,6 +1189,15 @@ void SceneServer::resolve_error(const std::shared_ptr<TicketState>& ticket,
       ++counters_.failed;
     }
   }
+  if (outcome == kCancelled) {
+    record_trace(t, "cancelled");
+  } else if (outcome == kShed) {
+    obs_.shed->add();
+    record_trace(t, "shed");
+  } else {
+    obs_.failed->add();
+    record_trace(t, "failed");
+  }
   t.publish(img::ImageU8(), std::move(error));
 
   // A failed/cancelled/shed leader must not take its followers down with
@@ -1107,6 +1205,17 @@ void SceneServer::resolve_error(const std::shared_ptr<TicketState>& ticket,
   // deadline).
   auto followers = take_followers(ticket);
   if (!followers.empty()) promote(std::move(followers));
+}
+
+void SceneServer::record_trace(TicketState& t, const char* outcome) {
+  if (t.trace == nullptr) return;
+  obs::TraceRecord rec;
+  rec.id = t.trace->id();
+  rec.outcome = outcome;
+  rec.degraded = t.degrade;
+  rec.total_s = t.trace->elapsed_s();
+  rec.spans = t.trace->spans();
+  tracer_.record(std::move(rec));
 }
 
 // ---------------------------------------------------------------------------

@@ -83,6 +83,9 @@
 #include "core/serve/result_cache.h"
 #include "img/image.h"
 #include "nn/unet.h"
+#include "obs/instruments.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "par/context.h"
 #include "util/virtual_clock.h"
 
@@ -108,6 +111,10 @@ struct SubmitOptions {
   /// Per-scene replica-failure retry budget; -1 = the server's
   /// RetryPolicy::max_retries default.
   int max_retries = -1;
+  /// Request-trace identity. 0 = mint a fresh id at submit; non-zero ids
+  /// are propagated (the shard router stamps its fleet-wide id here so a
+  /// worker-side trace is correlatable with the router's dispatch).
+  std::uint64_t trace_id = 0;
 };
 
 /// Replica-failure retry discipline: a failed batch's tiles are re-queued
@@ -158,6 +165,10 @@ struct SceneServerConfig {
   // either feature is on).
   bool single_flight = true;
   RetryPolicy retry;  // replica-failure retry discipline
+  // SLO-breach trace retention: the sampler keeps this many slowest
+  // completed traces plus this many shed/failed/cancelled ones
+  // (slow_traces()). 0 keeps one of each.
+  std::size_t trace_capacity = 16;
   // Time source for deadlines, backoff, batching, and expiry; nullptr =
   // the process steady clock. Tests inject a util::VirtualClock. Must
   // outlive the server.
@@ -299,6 +310,13 @@ class SceneServer {
   /// a shard reports in its heartbeat (overload watermark input).
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
 
+  /// SLO-breach trace sampler contents: the N slowest completed requests
+  /// plus the most recent shed/failed/cancelled ones, each with per-span
+  /// timings (render with obs::render). N = config().trace_capacity.
+  [[nodiscard]] std::vector<obs::TraceRecord> slow_traces() const {
+    return tracer_.snapshot();
+  }
+
   [[nodiscard]] const SceneServerConfig& config() const noexcept {
     return config_;
   }
@@ -392,6 +410,9 @@ class SceneServer {
   /// a disk did.
   void persist(const SceneKey& key, const img::ImageU8& plane);
 
+  /// Hands a resolved ticket's trace to the SLO-breach sampler.
+  void record_trace(detail::TicketState& t, const char* outcome);
+
   SceneServerConfig config_;
   par::ExecutionContext server_ctx_;
   const util::Clock* clock_;  // config_.clock or the process clock
@@ -433,6 +454,15 @@ class SceneServer {
   // Server-level counters (queue/cache/pool keep their own).
   mutable std::mutex stats_mutex_;
   SceneServerStats counters_;  // only the fields not derived elsewhere
+
+  // Observability: process-interned instruments (no registry lock on the
+  // hot path) and the per-server SLO-breach trace sampler.
+  obs::ServeInstruments& obs_;
+  obs::TraceSampler tracer_;
+  // Component gauges published into obs::registry() for the server's
+  // lifetime. Declared last so they unregister before the components they
+  // sample are torn down.
+  std::vector<obs::GaugeHandle> gauges_;
 
   std::atomic<bool> shut_down_{false};
   std::jthread scheduler_;

@@ -76,6 +76,8 @@ std::vector<std::uint8_t> encode(const HeartbeatResponse& response) {
   net::WireWriter writer;
   writer.put_u64(response.queue_depth);
   writer.put_u8(response.accepting ? 1 : 0);
+  writer.put_f64(response.uptime_seconds);
+  writer.put_u8(response.brownout_active ? 1 : 0);
   net::put_stats(writer, response.stats);
   return writer.take();
 }
@@ -88,7 +90,34 @@ HeartbeatResponse decode_heartbeat_response(
   const std::uint8_t accepting = reader.get_u8();
   if (accepting > 1) throw net::WireError("bad accepting flag");
   response.accepting = accepting == 1;
+  response.uptime_seconds = reader.get_f64();
+  if (!(response.uptime_seconds >= 0.0)) {  // rejects NaN too
+    throw net::WireError("negative uptime");
+  }
+  const std::uint8_t brownout = reader.get_u8();
+  if (brownout > 1) throw net::WireError("bad brownout flag");
+  response.brownout_active = brownout == 1;
   response.stats = net::get_stats(reader);
+  reader.expect_end();
+  return response;
+}
+
+std::vector<std::uint8_t> encode(const MetricsResponse& response) {
+  net::WireWriter writer;
+  writer.put_f64(response.uptime_seconds);
+  writer.put_string(response.text);
+  return writer.take();
+}
+
+MetricsResponse decode_metrics_response(
+    const std::vector<std::uint8_t>& payload) {
+  net::WireReader reader(payload);
+  MetricsResponse response;
+  response.uptime_seconds = reader.get_f64();
+  if (!(response.uptime_seconds >= 0.0)) {
+    throw net::WireError("negative uptime");
+  }
+  response.text = reader.get_string();
   reader.expect_end();
   return response;
 }

@@ -12,8 +12,10 @@
 //   kSubmitRequest    { request_id, SubmitOptions, scene plane }
 //   kSubmitResponse   { request_id, Outcome, error text | result plane }
 //   kHeartbeatRequest {}
-//   kHeartbeatResponse{ queue_depth, accepting flag, SceneServerStats }
+//   kHeartbeatResponse{ queue_depth, accepting flag, uptime, brownout flag,
+//                       SceneServerStats }
 //   kShutdownRequest  {} -> kShutdownResponse {}
+//   kMetricsRequest   {} -> kMetricsResponse { uptime, text exposition }
 //
 // Outcome mirrors the ticket resolutions of the local SceneServer so the
 // router can rethrow the same exception types callers already handle
@@ -58,7 +60,21 @@ struct SubmitResponse {
 struct HeartbeatResponse {
   std::uint64_t queue_depth = 0;  // scenes awaiting the scheduler
   bool accepting = true;          // false once shutdown began
+  // Seconds since this worker process constructed its ShardWorker, on its
+  // monotonic clock. A rejoining shard whose uptime went *backwards* was
+  // restarted (fresh process), not merely recovered — the router's
+  // quarantine-exit log line and polarice_stat both lean on this.
+  double uptime_seconds = 0.0;
+  bool brownout_active = false;  // degraded-mode flag at probe time
   SceneServerStats stats;
+};
+
+/// The metrics scrape's cargo: the worker's whole obs registry rendered in
+/// the text exposition format (obs::render_text), plus enough identity to
+/// label a fleet table without a second round-trip.
+struct MetricsResponse {
+  double uptime_seconds = 0.0;
+  std::string text;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode(const SubmitRequest& request);
@@ -72,6 +88,10 @@ struct HeartbeatResponse {
 [[nodiscard]] std::vector<std::uint8_t> encode(
     const HeartbeatResponse& response);
 [[nodiscard]] HeartbeatResponse decode_heartbeat_response(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const MetricsResponse& response);
+[[nodiscard]] MetricsResponse decode_metrics_response(
     const std::vector<std::uint8_t>& payload);
 
 }  // namespace polarice::core::serve::shard

@@ -5,7 +5,10 @@
 #include <utility>
 
 #include "core/serve/request_queue.h"
+#include "obs/instruments.h"
+#include "obs/trace.h"
 #include "util/hash.h"
+#include "util/log.h"
 
 namespace polarice::core::serve::shard {
 
@@ -144,7 +147,8 @@ void ShardRouterConfig::validate() const {
 ShardRouter::ShardRouter(ShardRouterConfig config)
     : config_(std::move(config)),
       clock_(config_.clock != nullptr ? config_.clock
-                                      : &util::system_clock()) {
+                                      : &util::system_clock()),
+      obs_(obs::RouterInstruments::get()) {
   config_.validate();
   shards_.reserve(config_.shards.size());
   for (const auto& endpoint : config_.shards) {
@@ -201,6 +205,11 @@ ShardTicket ShardRouter::submit(img::ImageU8 scene,
   state->request_id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
   state->options = options;
+  if (state->options.trace_id == 0) {
+    // Fleet-wide trace identity: the worker's trace reuses this id, so one
+    // number finds a slow request on both tiers.
+    state->options.trace_id = obs::TraceContext::next_id();
+  }
   state->key = hash_scene(scene);
   state->scene = std::move(scene);
   state->cancellation = ctx.cancellation();
@@ -277,6 +286,8 @@ ShardRouterStats ShardRouter::stats() const {
     state.heartbeats_ok = shard->heartbeats_ok;
     state.heartbeats_failed = shard->heartbeats_failed;
     state.redial_attempts = shard->redial_attempts;
+    state.uptime_seconds = shard->last_uptime;
+    state.brownout_active = shard->brownout_active;
     state.stats = shard->last_stats;
     out.shards.push_back(std::move(state));
   }
@@ -309,6 +320,32 @@ std::vector<int> ShardRouter::placement(const SceneKey& key) const {
   order.reserve(scored.size());
   for (const auto& s : scored) order.push_back(s.index);
   return order;
+}
+
+std::vector<std::optional<MetricsResponse>> ShardRouter::scrape_metrics() {
+  // A scrape is rare and tolerant, so it always dials fresh instead of
+  // borrowing pooled dispatch connections; a failed shard yields nullopt
+  // (callers render a hole in the fleet table, they do not throw).
+  std::vector<std::optional<MetricsResponse>> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const auto deadline = clock_->now() + config_.heartbeat_timeout;
+    try {
+      net::Connection connection =
+          net::connect(shard->endpoint, clock_, deadline);
+      connection.write_frame(net::MsgType::kMetricsRequest, {}, deadline);
+      net::Frame frame = connection.read_frame(deadline);
+      if (frame.type != net::MsgType::kMetricsResponse) {
+        throw net::WireError("unexpected frame type in metrics response");
+      }
+      out.emplace_back(decode_metrics_response(frame.payload));
+    } catch (const net::TransportError&) {
+      out.emplace_back(std::nullopt);
+    } catch (const net::WireError&) {
+      out.emplace_back(std::nullopt);
+    }
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -352,6 +389,17 @@ void ShardRouter::dispatcher_loop() {
 
 void ShardRouter::dispatch(
     const std::shared_ptr<detail::RemoteTicketState>& ticket) {
+  // Placement -> final outcome, failovers included: observed on every exit
+  // path, so the histogram's count matches dispatch attempts 1:1.
+  struct ObserveDispatch {
+    const util::Clock* clock;
+    util::Clock::time_point begin;
+    obs::Histogram* histogram;
+    ~ObserveDispatch() {
+      histogram->observe(
+          std::chrono::duration<double>(clock->now() - begin).count());
+    }
+  } observe_dispatch{clock_, clock_->now(), obs_.dispatch};
   const std::vector<int> order = placement(ticket->key);
 
   // Candidate pass 1: healthy, accepting, under the overload watermark.
@@ -389,8 +437,16 @@ void ShardRouter::dispatch(
     Shard& shard = *shards_[static_cast<std::size_t>(
         candidates[static_cast<std::size_t>(attempt)])];
     if (attempt > 0) {
-      const std::scoped_lock lock(stats_mutex_);
-      ++counters_.failovers;
+      {
+        const std::scoped_lock lock(stats_mutex_);
+        ++counters_.failovers;
+      }
+      obs_.failovers->add();
+      LOG_WARN_C("router") << "failover " << attempt << "/"
+                           << (budget - 1) << " for request "
+                           << ticket->request_id << " -> "
+                           << shard.endpoint.to_string() << " (last: "
+                           << last_error << ")";
     }
     SubmitResponse response;
     try {
@@ -521,14 +577,18 @@ SubmitResponse ShardRouter::round_trip(
   request.request_id = ticket->request_id;
   request.options = ticket->options;
   request.scene = ticket->scene;
+  const auto wire_begin = clock_->now();
   connection.write_frame(net::MsgType::kSubmitRequest, encode(request),
                          deadline);
   {
     const std::scoped_lock lock(shard.mutex);
     ++shard.dispatched;
   }
+  obs_.dispatched->add();
 
   net::Frame frame = connection.read_frame(deadline);
+  obs_.wire_roundtrip->observe(
+      std::chrono::duration<double>(clock_->now() - wire_begin).count());
   if (frame.type != net::MsgType::kSubmitResponse) {
     throw net::WireError("unexpected frame type in submit response");
   }
@@ -608,17 +668,33 @@ void ShardRouter::probe(Shard& shard) {
       throw net::WireError("unexpected frame type in heartbeat response");
     }
     HeartbeatResponse heartbeat = decode_heartbeat_response(frame.payload);
+    bool restarted = false;
     {
       const std::scoped_lock lock(shard.mutex);
       shard.heartbeat = std::move(connection);
       shard.queue_depth = heartbeat.queue_depth;
       shard.accepting = heartbeat.accepting;
       shard.last_stats = heartbeat.stats;
+      // Uptime running backwards = a different process answered: the
+      // worker restarted (cold cache, zeroed counters), it did not merely
+      // recover from a network blip.
+      restarted = shard.last_uptime >= 0.0 &&
+                  heartbeat.uptime_seconds < shard.last_uptime;
+      shard.last_uptime = heartbeat.uptime_seconds;
+      shard.brownout_active = heartbeat.brownout_active;
       ++shard.heartbeats_ok;
       shard.redial_attempts = 0;
       shard.next_probe_at = clock_->now() + config_.heartbeat_period;
     }
-    record_success(shard);
+    const bool rejoined = record_success(shard);
+    if (rejoined || restarted) {
+      LOG_WARN_C("router")
+          << "shard " << shard.endpoint.to_string()
+          << (restarted ? " RESTARTED (uptime reset, caches cold)"
+                        : " recovered (same process, caches warm)")
+          << (rejoined ? ", leaving quarantine" : "")
+          << (heartbeat.brownout_active ? ", brownout active" : "");
+    }
   } catch (const net::TransportError&) {
     {
       const std::scoped_lock lock(shard.mutex);
@@ -651,7 +727,7 @@ void ShardRouter::schedule_reprobe(Shard& shard) {
       clock_->now() + redial_delay(shard, shard.redial_attempts);
 }
 
-void ShardRouter::record_success(Shard& shard) {
+bool ShardRouter::record_success(Shard& shard) {
   bool recovered = false;
   {
     const std::scoped_lock lock(shard.mutex);
@@ -665,6 +741,7 @@ void ShardRouter::record_success(Shard& shard) {
     const std::scoped_lock lock(stats_mutex_);
     ++counters_.recoveries;
   }
+  return recovered;
 }
 
 void ShardRouter::record_failure(Shard& shard) {
@@ -684,8 +761,14 @@ void ShardRouter::record_failure(Shard& shard) {
     }
   }
   if (quarantined) {
-    const std::scoped_lock lock(stats_mutex_);
-    ++counters_.quarantines;
+    {
+      const std::scoped_lock lock(stats_mutex_);
+      ++counters_.quarantines;
+    }
+    LOG_WARN_C("router") << "shard " << shard.endpoint.to_string()
+                         << " quarantined after "
+                         << config_.quarantine_failures
+                         << " consecutive failures";
   }
 }
 

@@ -47,6 +47,7 @@
 #include "core/serve/shard/protocol.h"
 #include "img/image.h"
 #include "net/transport.h"
+#include "obs/instruments.h"
 #include "par/context.h"
 #include "util/virtual_clock.h"
 
@@ -102,6 +103,8 @@ struct ShardState {
   std::size_t heartbeats_ok = 0;
   std::size_t heartbeats_failed = 0;
   int redial_attempts = 0;        // failed probes since quarantine
+  double uptime_seconds = -1.0;   // from the latest heartbeat; -1 = never
+  bool brownout_active = false;   // worker reported brownout degradation
   SceneServerStats stats;         // latest heartbeat's server snapshot
 };
 
@@ -201,6 +204,11 @@ class ShardRouter {
   /// for tests and capacity tooling.
   [[nodiscard]] std::vector<int> placement(const SceneKey& key) const;
 
+  /// Scrapes every shard's metrics registry over the wire
+  /// (kMetricsRequest). One entry per configured shard, in shard order;
+  /// nullopt where the worker was unreachable or answered garbage.
+  [[nodiscard]] std::vector<std::optional<MetricsResponse>> scrape_metrics();
+
  private:
   struct Shard;
 
@@ -223,11 +231,13 @@ class ShardRouter {
   [[nodiscard]] SubmitResponse round_trip(
       Shard& shard, const std::shared_ptr<detail::RemoteTicketState>& ticket);
 
-  void record_success(Shard& shard);
+  /// Returns true when the success flipped a quarantined shard healthy.
+  bool record_success(Shard& shard);
   void record_failure(Shard& shard);
 
   ShardRouterConfig config_;
   const util::Clock* clock_;
+  obs::RouterInstruments& obs_;
 
   struct Shard {
     net::Endpoint endpoint;
@@ -245,6 +255,11 @@ class ShardRouter {
     // the first round still probes every shard at startup.
     util::Clock::time_point next_probe_at{};
     int redial_attempts = 0;  // failed probes since quarantine
+    // Last heartbeat's worker-reported uptime (-1 = never heard). An
+    // uptime that goes BACKWARDS means a new process answered — the
+    // worker restarted (cold cache, reset counters) rather than recovered.
+    double last_uptime = -1.0;
+    bool brownout_active = false;
     SceneServerStats last_stats;
     std::vector<net::Connection> idle;  // pooled connections
     net::Connection heartbeat;          // the prober's own connection

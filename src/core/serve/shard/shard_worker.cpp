@@ -2,6 +2,10 @@
 
 #include <utility>
 
+#include "obs/instruments.h"
+#include "obs/metrics.h"
+#include "util/log.h"
+
 namespace polarice::core::serve::shard {
 
 void ShardWorkerConfig::validate() const {
@@ -23,6 +27,10 @@ ShardWorker::ShardWorker(nn::UNet& model, ShardWorkerConfig config,
   // advancing — a frozen test clock would pin serve() in accept() forever.
   listener_ = net::Listener::bind(config_.listen);
   listener_endpoint_ = listener_.endpoint();
+  clock_ = config_.server.clock != nullptr ? config_.server.clock
+                                           : &util::system_clock();
+  started_at_ = clock_->now();
+  LOG_INFO_C("worker") << "listening on " << listener_endpoint_.to_string();
 }
 
 ShardWorker::~ShardWorker() { stop(); }
@@ -86,6 +94,9 @@ void ShardWorker::stop() {
   for (auto& handler : handlers) {
     if (handler.thread.joinable()) handler.thread.join();
   }
+  LOG_INFO_C("worker") << "stopped after "
+                       << static_cast<std::uint64_t>(uptime_seconds())
+                       << "s uptime";
 }
 
 void ShardWorker::reap_finished_handlers_locked() {
@@ -122,11 +133,13 @@ void ShardWorker::handle_connection(net::Connection connection) {
     } catch (const net::WireError&) {
       const std::scoped_lock lock(stats_mutex_);
       ++stats_.wire_errors;
+      obs::WorkerInstruments::get().wire_errors->add();
       return;  // corrupted stream: drop the connection, never the process
     } catch (...) {
       // e.g. bad_alloc sizing the payload buffer: same discipline.
       const std::scoped_lock lock(stats_mutex_);
       ++stats_.wire_errors;
+      obs::WorkerInstruments::get().wire_errors->add();
       return;
     }
     try {
@@ -143,6 +156,11 @@ void ShardWorker::handle_connection(net::Connection connection) {
                                  encode(serve_heartbeat()));
           break;
         }
+        case net::MsgType::kMetricsRequest: {
+          connection.write_frame(net::MsgType::kMetricsResponse,
+                                 encode(serve_metrics()));
+          break;
+        }
         case net::MsgType::kShutdownRequest: {
           connection.write_frame(net::MsgType::kShutdownResponse, {});
           // Only flag the stop here: the accept loop exits on its next
@@ -154,12 +172,18 @@ void ShardWorker::handle_connection(net::Connection connection) {
         default: {
           const std::scoped_lock lock(stats_mutex_);
           ++stats_.wire_errors;
+          obs::WorkerInstruments::get().wire_errors->add();
+          LOG_WARN_C("worker") << "inbound protocol violation (type "
+                               << net::to_string(frame.type)
+                               << "); dropping connection";
+      obs::WorkerInstruments::get().wire_errors->add();
           return;  // a response type inbound is a protocol violation
         }
       }
     } catch (const net::WireError&) {
       const std::scoped_lock lock(stats_mutex_);
       ++stats_.wire_errors;
+      obs::WorkerInstruments::get().wire_errors->add();
       return;
     } catch (const net::TransportError&) {
       return;  // peer vanished mid-response
@@ -170,6 +194,7 @@ void ShardWorker::handle_connection(net::Connection connection) {
       // connection, never the process.
       const std::scoped_lock lock(stats_mutex_);
       ++stats_.wire_errors;
+      obs::WorkerInstruments::get().wire_errors->add();
       return;
     }
   }
@@ -204,6 +229,7 @@ SubmitResponse ShardWorker::serve_submit(SubmitRequest request) {
     const std::scoped_lock lock(stats_mutex_);
     ++stats_.requests;
   }
+  obs::WorkerInstruments::get().requests->add();
   return response;
 }
 
@@ -212,11 +238,35 @@ HeartbeatResponse ShardWorker::serve_heartbeat() {
   response.queue_depth = server_->queue_depth();
   response.accepting = !stopping_.load(std::memory_order_acquire);
   response.stats = server_->snapshot();
+  response.uptime_seconds = uptime_seconds();
+  response.brownout_active = response.stats.brownout_active;
   {
     const std::scoped_lock lock(stats_mutex_);
     ++stats_.heartbeats;
   }
+  obs::WorkerInstruments::get().requests->add();
   return response;
+}
+
+MetricsResponse ShardWorker::serve_metrics() {
+  // The scrape itself counts first, so a scraper always sees its own
+  // request reflected (non-zero worker_metrics_scrapes_total proves the
+  // path end to end).
+  {
+    const std::scoped_lock lock(stats_mutex_);
+    ++stats_.metrics_scrapes;
+  }
+  auto& instruments = obs::WorkerInstruments::get();
+  instruments.requests->add();
+  instruments.metrics_scrapes->add();
+  MetricsResponse response;
+  response.uptime_seconds = uptime_seconds();
+  response.text = obs::render_text(obs::registry().snapshot());
+  return response;
+}
+
+double ShardWorker::uptime_seconds() const {
+  return std::chrono::duration<double>(clock_->now() - started_at_).count();
 }
 
 ShardWorkerStats ShardWorker::stats() const {

@@ -48,10 +48,11 @@ struct ShardWorkerConfig {
 };
 
 struct ShardWorkerStats {
-  std::size_t connections = 0;  // accepted over the worker's lifetime
-  std::size_t requests = 0;     // submit frames served
-  std::size_t heartbeats = 0;   // heartbeat frames served
-  std::size_t wire_errors = 0;  // connections dropped on bad frames
+  std::size_t connections = 0;      // accepted over the worker's lifetime
+  std::size_t requests = 0;         // submit frames served
+  std::size_t heartbeats = 0;       // heartbeat frames served
+  std::size_t metrics_scrapes = 0;  // metrics frames served
+  std::size_t wire_errors = 0;      // connections dropped on bad frames
 };
 
 class ShardWorker {
@@ -97,11 +98,18 @@ class ShardWorker {
   void reap_finished_handlers_locked();
   [[nodiscard]] SubmitResponse serve_submit(SubmitRequest request);
   [[nodiscard]] HeartbeatResponse serve_heartbeat();
+  [[nodiscard]] MetricsResponse serve_metrics();
+  [[nodiscard]] double uptime_seconds() const;
 
   ShardWorkerConfig config_;
   std::unique_ptr<SceneServer> server_;
   net::Listener listener_;
   net::Endpoint listener_endpoint_;
+  // Uptime runs on the embedded server's clock (virtual in tests): the
+  // router reads a backwards jump as "this is a NEW process", so it must
+  // track the same time the rest of the worker state does.
+  const util::Clock* clock_ = nullptr;
+  util::Clock::time_point started_at_{};
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> serving_{false};  // serve() is inside its accept loop

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "par/task_group.h"
 
 namespace polarice::core {
@@ -22,11 +23,23 @@ std::vector<LabeledTile> StreamingExecutor::run(
     StreamingStats* stats) const {
   std::vector<std::vector<LabeledTile>> per_scene(num_scenes);
   std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> in_flight{0};
+  // Live residency gauge for the duration of this run; the handle
+  // unregisters before in_flight goes out of scope.
+  obs::GaugeHandle gauge = obs::registry().register_gauge(
+      "streaming_in_flight_scenes", [&in_flight] {
+        return static_cast<double>(in_flight.load(std::memory_order_relaxed));
+      });
 
   // One scene's whole stage chain, inside one slot. The slot (and with it
   // every scene-level plane) dies before the ticket is released, so the
   // window bounds plane residency, not just task concurrency.
   const auto run_one = [&](std::size_t index) {
+    in_flight.fetch_add(1, std::memory_order_relaxed);
+    struct InFlight {
+      std::atomic<std::size_t>* n;
+      ~InFlight() { n->fetch_sub(1, std::memory_order_relaxed); }
+    } resident{&in_flight};
     SceneSlot slot;
     slot.index = index;
     for (const auto& stage : stages) {

@@ -19,6 +19,10 @@ const char* to_string(MsgType type) noexcept {
       return "shutdown_request";
     case MsgType::kShutdownResponse:
       return "shutdown_response";
+    case MsgType::kMetricsRequest:
+      return "metrics_request";
+    case MsgType::kMetricsResponse:
+      return "metrics_response";
   }
   return "?";
 }
@@ -123,6 +127,8 @@ FrameHeader decode_header(const std::uint8_t* bytes, std::size_t n) {
     case MsgType::kHeartbeatResponse:
     case MsgType::kShutdownRequest:
     case MsgType::kShutdownResponse:
+    case MsgType::kMetricsRequest:
+    case MsgType::kMetricsResponse:
       header.type = static_cast<MsgType>(type);
       break;
     default:
@@ -284,6 +290,8 @@ void put_submit_options(WireWriter& writer,
   writer.put_u8(options.deadline.has_value() ? 1 : 0);
   writer.put_i64(options.deadline ? options.deadline->count() : 0);
   writer.put_i32(options.max_retries);
+  // v3: the fleet-wide trace id. 0 = unassigned (the receiver mints one).
+  writer.put_u64(options.trace_id);
 }
 
 core::serve::SubmitOptions get_submit_options(WireReader& reader) {
@@ -311,6 +319,7 @@ core::serve::SubmitOptions get_submit_options(WireReader& reader) {
   }
   options.max_retries = reader.get_i32();
   if (options.max_retries < -1) throw WireError("max_retries < -1");
+  options.trace_id = reader.get_u64();
   return options;
 }
 

@@ -57,9 +57,12 @@ class WireChecksumError : public WireError {
 
 inline constexpr std::uint32_t kWireMagic = 0x45434950;  // 'PICE' LE
 // v2: SubmitResponse gained a degraded flag; SceneServerStats gained the
-// persistence and brownout counters. Mixed-version fleets fail loudly at
-// the frame header instead of misdecoding.
-inline constexpr std::uint16_t kWireVersion = 2;
+// persistence and brownout counters.
+// v3: SubmitOptions carries a trace id, HeartbeatResponse carries worker
+// uptime + a brownout flag, and the metrics scrape messages
+// (kMetricsRequest/kMetricsResponse) joined the vocabulary. Mixed-version
+// fleets fail loudly at the frame header instead of misdecoding.
+inline constexpr std::uint16_t kWireVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 32;
 /// Ceiling on one frame's payload — large enough for any realistic scene
 /// (a 16k x 16k RGB scene is 768 MB > cap on purpose: such scenes must be
@@ -75,6 +78,8 @@ enum class MsgType : std::uint16_t {
   kHeartbeatResponse = 4,  // worker -> router: queue depth + stats
   kShutdownRequest = 5,    // orchestration: stop serving
   kShutdownResponse = 6,
+  kMetricsRequest = 7,   // scrape: dump the worker's obs registry
+  kMetricsResponse = 8,  // worker -> scraper: text exposition + identity
 };
 
 [[nodiscard]] const char* to_string(MsgType type) noexcept;

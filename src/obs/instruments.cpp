@@ -1,0 +1,51 @@
+#include "obs/instruments.h"
+
+namespace polarice::obs {
+
+ServeInstruments& ServeInstruments::get() {
+  static ServeInstruments* instance = [] {
+    Registry& r = registry();
+    auto* i = new ServeInstruments();
+    i->admitted = &r.counter("serve_admitted_total");
+    i->completed = &r.counter("serve_completed_total");
+    i->shed = &r.counter("serve_shed_total");
+    i->failed = &r.counter("serve_failed_total");
+    i->cache_hits = &r.counter("serve_cache_hits_total");
+    i->cache_misses = &r.counter("serve_cache_misses_total");
+    i->cache_stores = &r.counter("serve_cache_stores_total");
+    i->queue_wait = &r.histogram("serve_queue_wait_seconds");
+    i->batch_fill = &r.histogram("serve_batch_fill_seconds");
+    i->forward = &r.histogram("serve_forward_seconds");
+    i->stitch = &r.histogram("serve_stitch_seconds");
+    i->e2e = &r.histogram("serve_e2e_seconds");
+    return i;
+  }();
+  return *instance;
+}
+
+RouterInstruments& RouterInstruments::get() {
+  static RouterInstruments* instance = [] {
+    Registry& r = registry();
+    auto* i = new RouterInstruments();
+    i->dispatched = &r.counter("router_dispatched_total");
+    i->failovers = &r.counter("router_failovers_total");
+    i->wire_roundtrip = &r.histogram("router_wire_roundtrip_seconds");
+    i->dispatch = &r.histogram("router_dispatch_seconds");
+    return i;
+  }();
+  return *instance;
+}
+
+WorkerInstruments& WorkerInstruments::get() {
+  static WorkerInstruments* instance = [] {
+    Registry& r = registry();
+    auto* i = new WorkerInstruments();
+    i->requests = &r.counter("worker_requests_total");
+    i->wire_errors = &r.counter("worker_wire_errors_total");
+    i->metrics_scrapes = &r.counter("worker_metrics_scrapes_total");
+    return i;
+  }();
+  return *instance;
+}
+
+}  // namespace polarice::obs

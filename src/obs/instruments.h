@@ -1,0 +1,52 @@
+#pragma once
+// The serving tier's named instruments, interned once per process in the
+// default obs::registry(). Call sites hold the returned struct of pointers
+// so the hot path never touches the registry lock.
+//
+// Naming: <component>_<quantity>[_seconds|_total|_bytes]. Histogram names
+// end in _seconds and use the shared latency ladder so percentiles from
+// different components are comparable bucket-for-bucket.
+
+#include "obs/metrics.h"
+
+namespace polarice::obs {
+
+/// SceneServer seams. One instance per process (servers share instruments;
+/// counters are monotonic so tests diff snapshots).
+struct ServeInstruments {
+  Counter* admitted;        // tickets past admission control
+  Counter* completed;       // tickets resolved with a plane
+  Counter* shed;            // deadline shed (any stage)
+  Counter* failed;          // resolved with an error
+  Counter* cache_hits;      // ResultCache / CacheStore warm hits
+  Counter* cache_misses;
+  Counter* cache_stores;    // planes inserted into the result cache
+  Histogram* queue_wait;    // submit -> scheduler pickup
+  Histogram* batch_fill;    // one EDF batch-fill pass
+  Histogram* forward;       // one model forward pass (per batch)
+  Histogram* stitch;        // tile planes -> scene plane
+  Histogram* e2e;           // submit -> resolution (completed only)
+
+  [[nodiscard]] static ServeInstruments& get();
+};
+
+/// ShardRouter seams.
+struct RouterInstruments {
+  Counter* dispatched;      // scenes sent to a shard (incl. re-dispatch)
+  Counter* failovers;       // re-dispatches after a shard failure
+  Histogram* wire_roundtrip;  // one request/response frame exchange
+  Histogram* dispatch;        // placement -> final outcome (incl. failover)
+
+  [[nodiscard]] static RouterInstruments& get();
+};
+
+/// ShardWorker seams (the socket-facing wrapper around a SceneServer).
+struct WorkerInstruments {
+  Counter* requests;        // frames served (any type)
+  Counter* wire_errors;     // malformed/corrupt frames rejected
+  Counter* metrics_scrapes; // kMetricsRequest served
+
+  [[nodiscard]] static WorkerInstruments& get();
+};
+
+}  // namespace polarice::obs

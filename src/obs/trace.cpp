@@ -1,0 +1,122 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+
+namespace polarice::obs {
+
+namespace {
+
+double seconds_between(util::Clock::time_point a,
+                       util::Clock::time_point b) noexcept {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::string ms(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3fms", seconds * 1e3);
+  return buf;
+}
+
+}  // namespace
+
+TraceContext::TraceContext(std::uint64_t id, const util::Clock* clock)
+    : id_(id), clock_(clock), start_(clock->now()) {}
+
+void TraceContext::add_span(const std::string& name,
+                            util::Clock::time_point begin,
+                            util::Clock::time_point end) {
+  TraceSpan span;
+  span.name = name;
+  span.start_s = seconds_between(start_, begin);
+  span.dur_s = std::max(0.0, seconds_between(begin, end));
+  const std::scoped_lock lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+void TraceContext::add_span_ending_now(const std::string& name, double dur_s) {
+  const double end = seconds_between(start_, clock_->now());
+  TraceSpan span;
+  span.name = name;
+  span.dur_s = std::max(0.0, dur_s);
+  span.start_s = std::max(0.0, end - span.dur_s);
+  const std::scoped_lock lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> TraceContext::spans() const {
+  const std::scoped_lock lock(mutex_);
+  return spans_;
+}
+
+double TraceContext::elapsed_s() const {
+  return seconds_between(start_, clock_->now());
+}
+
+std::uint64_t TraceContext::next_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string render(const TraceRecord& record) {
+  std::ostringstream out;
+  out << "trace " << record.id << " [" << record.outcome << "]";
+  if (record.degraded) out << " (degraded)";
+  out << " total " << ms(record.total_s) << '\n';
+  std::vector<TraceSpan> spans = record.spans;
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.start_s < b.start_s;
+                   });
+  double attributed = 0.0;
+  for (const auto& span : spans) {
+    attributed += span.dur_s;
+    const double share =
+        record.total_s > 0.0 ? 100.0 * span.dur_s / record.total_s : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof line, "  %-12s +%-10s %-10s %5.1f%%\n",
+                  span.name.c_str(), ms(span.start_s).c_str(),
+                  ms(span.dur_s).c_str(), share);
+    out << line;
+  }
+  const double other = record.total_s - attributed;
+  if (!spans.empty() && other > 1e-9) {
+    char line[160];
+    std::snprintf(line, sizeof line, "  %-12s %-11s %-10s %5.1f%%\n", "(other)",
+                  "", ms(other).c_str(),
+                  record.total_s > 0.0 ? 100.0 * other / record.total_s : 0.0);
+    out << line;
+  }
+  return out.str();
+}
+
+TraceSampler::TraceSampler(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceSampler::record(TraceRecord record) {
+  const std::scoped_lock lock(mutex_);
+  if (record.outcome != "completed") {
+    breaches_.push_back(std::move(record));
+    if (breaches_.size() > capacity_) {
+      breaches_.erase(breaches_.begin());  // drop the oldest breach
+    }
+    return;
+  }
+  slowest_.push_back(std::move(record));
+  std::sort(slowest_.begin(), slowest_.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.total_s > b.total_s;
+            });
+  if (slowest_.size() > capacity_) slowest_.resize(capacity_);
+}
+
+std::vector<TraceRecord> TraceSampler::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<TraceRecord> out = breaches_;
+  out.insert(out.end(), slowest_.begin(), slowest_.end());
+  return out;
+}
+
+}  // namespace polarice::obs

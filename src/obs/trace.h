@@ -1,0 +1,102 @@
+#pragma once
+// Per-request tracing for the serving tier.
+//
+// Every ticket carries a TraceContext: a 64-bit id (minted locally or
+// propagated over the wire by the router, so a worker-side trace shares the
+// fleet-wide id) plus named spans stamped on the injectable util::Clock —
+// virtual-clock tests get deterministic span math for free.
+//
+// Spans are appended by whichever thread runs the stage (scheduler, batch
+// worker, finalizer); a tiny per-trace mutex serializes them. This is a
+// per-scene cost (a handful of lock/unlock pairs per request), not a
+// per-tile hot-path cost — the hot path publishes to obs::Histogram shards
+// instead.
+//
+// The TraceSampler is the SLO-breach keeper: it retains the N slowest
+// completed requests plus up to N shed/failed ones, so "why was this
+// request slow" is answerable from a live server without logging every
+// request. render() turns one record into a per-span breakdown.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/virtual_clock.h"
+
+namespace polarice::obs {
+
+/// One named interval inside a trace, relative to the trace's start.
+struct TraceSpan {
+  std::string name;
+  double start_s = 0.0;  // offset from trace start
+  double dur_s = 0.0;
+};
+
+class TraceContext {
+ public:
+  TraceContext(std::uint64_t id, const util::Clock* clock);
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] util::Clock::time_point start() const noexcept {
+    return start_;
+  }
+
+  /// Records [begin, end) as a span named `name`.
+  void add_span(const std::string& name, util::Clock::time_point begin,
+                util::Clock::time_point end);
+  /// Records a span ending now whose duration was accumulated elsewhere
+  /// (e.g. per-tile forward time summed across batches).
+  void add_span_ending_now(const std::string& name, double dur_s);
+
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+  /// Seconds from trace start to now.
+  [[nodiscard]] double elapsed_s() const;
+
+  /// Mints a process-unique trace id (never 0; 0 on the wire means "assign
+  /// one").
+  [[nodiscard]] static std::uint64_t next_id() noexcept;
+
+ private:
+  const std::uint64_t id_;
+  const util::Clock* clock_;
+  util::Clock::time_point start_;
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// A finished trace as retained by the sampler.
+struct TraceRecord {
+  std::uint64_t id = 0;
+  std::string outcome;  // "completed" | "shed" | "failed" | ...
+  bool degraded = false;
+  double total_s = 0.0;
+  std::vector<TraceSpan> spans;
+};
+
+/// Per-span breakdown, one line per span plus unattributed remainder:
+///   trace 42 [shed] total 18.3ms
+///     queue      +0.0ms    17.1ms  93.4%
+///     ...
+[[nodiscard]] std::string render(const TraceRecord& record);
+
+/// Retains the N slowest completed traces plus the N most recent
+/// SLO-breaching (shed/failed) ones. Thread-safe.
+class TraceSampler {
+ public:
+  explicit TraceSampler(std::size_t capacity);
+
+  void record(TraceRecord record);
+
+  /// All retained records, breaches first, then slowest-first completions.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceRecord> breaches_;  // ring, newest kept
+  std::vector<TraceRecord> slowest_;   // kept sorted, slowest first
+};
+
+}  // namespace polarice::obs

@@ -1,13 +1,35 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+
+#ifdef _WIN32
+#include <process.h>
+#define POLARICE_GETPID _getpid
+#else
+#include <unistd.h>
+#define POLARICE_GETPID ::getpid
+#endif
 
 namespace polarice::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+LogLevel level_from_env() noexcept {
+  const char* env = std::getenv("POLARICE_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  return parse_log_level(env, LogLevel::kInfo);
+}
+
+std::atomic<LogLevel>& level_atomic() noexcept {
+  // First touch reads POLARICE_LOG; set_log_level overwrites.
+  static std::atomic<LogLevel> level{level_from_env()};
+  return level;
+}
+
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) noexcept {
@@ -19,15 +41,43 @@ const char* level_name(LogLevel level) noexcept {
     default: return "?????";
   }
 }
+
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(level); }
-LogLevel log_level() noexcept { return g_level.load(); }
+void set_log_level(LogLevel level) noexcept { level_atomic().store(level); }
+LogLevel log_level() noexcept { return level_atomic().load(); }
+
+LogLevel parse_log_level(const std::string& name, LogLevel fallback) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
 
 void log_message(LogLevel level, const std::string& message) {
+  log_message(level, "", message);
+}
+
+void log_message(LogLevel level, const char* component,
+                 const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const long pid = static_cast<long>(POLARICE_GETPID());
   const std::scoped_lock lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  if (component != nullptr && component[0] != '\0') {
+    std::fprintf(stderr, "[%ld/%s %s] %s\n", pid, component, level_name(level),
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%ld %s] %s\n", pid, level_name(level),
+                 message.c_str());
+  }
 }
 
 }  // namespace polarice::util

@@ -4,6 +4,12 @@
 // The library itself logs sparingly (workflow milestones, warnings); benches
 // and examples use it for progress lines. Output goes to stderr so bench
 // tables on stdout stay clean.
+//
+// Every line carries a `[pid/component LEVEL]` prefix so the multi-process
+// shard drills produce attributable, interleaving-safe output. The minimum
+// level defaults to kInfo and can be overridden without a rebuild via the
+// POLARICE_LOG environment variable (debug | info | warn | error | off),
+// read once on first use; set_log_level() still wins if called.
 
 #include <sstream>
 #include <string>
@@ -12,20 +18,31 @@ namespace polarice::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets the global minimum level (default: kInfo).
+/// Sets the global minimum level (default: kInfo, or POLARICE_LOG's value
+/// when the variable is set).
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emits one line (thread-safe; a single OS write per message).
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive). Returns
+/// `fallback` on anything else.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name,
+                                       LogLevel fallback) noexcept;
+
+/// Emits one line (thread-safe; a single OS write per message). The
+/// component tags the subsystem ("router", "worker", ...); empty omits the
+/// slash.
 void log_message(LogLevel level, const std::string& message);
+void log_message(LogLevel level, const char* component,
+                 const std::string& message);
 
 namespace detail {
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
+  explicit LogLine(LogLevel level, const char* component = "")
+      : level_(level), component_(component) {}
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
-  ~LogLine() { log_message(level_, stream_.str()); }
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
 
   template <typename T>
   LogLine& operator<<(const T& value) {
@@ -35,20 +52,33 @@ class LogLine {
 
  private:
   LogLevel level_;
+  const char* component_;
   std::ostringstream stream_;
 };
 }  // namespace detail
 
 /// Usage: LOG_INFO() << "trained " << n << " batches";
+///        LOG_WARN_C("router") << "shard " << i << " quarantined";
 #define POLARICE_LOG(level)                                  \
   if (static_cast<int>(level) <                              \
       static_cast<int>(::polarice::util::log_level())) {     \
   } else                                                     \
     ::polarice::util::detail::LogLine(level)
 
+#define POLARICE_LOG_C(level, component)                     \
+  if (static_cast<int>(level) <                              \
+      static_cast<int>(::polarice::util::log_level())) {     \
+  } else                                                     \
+    ::polarice::util::detail::LogLine(level, component)
+
 #define LOG_DEBUG() POLARICE_LOG(::polarice::util::LogLevel::kDebug)
 #define LOG_INFO() POLARICE_LOG(::polarice::util::LogLevel::kInfo)
 #define LOG_WARN() POLARICE_LOG(::polarice::util::LogLevel::kWarn)
 #define LOG_ERROR() POLARICE_LOG(::polarice::util::LogLevel::kError)
+
+#define LOG_DEBUG_C(c) POLARICE_LOG_C(::polarice::util::LogLevel::kDebug, c)
+#define LOG_INFO_C(c) POLARICE_LOG_C(::polarice::util::LogLevel::kInfo, c)
+#define LOG_WARN_C(c) POLARICE_LOG_C(::polarice::util::LogLevel::kWarn, c)
+#define LOG_ERROR_C(c) POLARICE_LOG_C(::polarice::util::LogLevel::kError, c)
 
 }  // namespace polarice::util

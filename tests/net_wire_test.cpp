@@ -350,4 +350,85 @@ TEST(NetWire, ChecksumMismatchIsTyped) {
   EXPECT_THROW((void)decode_frame(bytes), WireChecksumError);
 }
 
+// ---- v3 wire additions: tracing and the metrics scrape path ----
+
+TEST(NetWire, SubmitOptionsTraceIdRoundTrip) {
+  core::serve::SubmitOptions options;
+  options.trace_id = 0x0123456789ABCDEFull;
+  WireWriter writer;
+  put_submit_options(writer, options);
+  WireReader reader(writer.bytes());
+  EXPECT_EQ(get_submit_options(reader).trace_id, 0x0123456789ABCDEFull);
+  reader.expect_end();
+
+  // 0 is the "unassigned, mint me one" sentinel and must survive as-is.
+  core::serve::SubmitOptions unassigned;
+  WireWriter writer2;
+  put_submit_options(writer2, unassigned);
+  WireReader reader2(writer2.bytes());
+  EXPECT_EQ(get_submit_options(reader2).trace_id, 0u);
+}
+
+TEST(NetWire, HeartbeatResponseUptimeAndBrownoutRoundTrip) {
+  namespace shard = polarice::core::serve::shard;
+  shard::HeartbeatResponse response;
+  response.queue_depth = 9;
+  response.accepting = true;
+  response.uptime_seconds = 123.5;
+  response.brownout_active = true;
+  response.stats.completed = 40;
+
+  const auto back = shard::decode_heartbeat_response(encode(response));
+  EXPECT_EQ(back.queue_depth, 9u);
+  EXPECT_TRUE(back.accepting);
+  EXPECT_DOUBLE_EQ(back.uptime_seconds, 123.5);
+  EXPECT_TRUE(back.brownout_active);
+  EXPECT_EQ(back.stats.completed, 40u);
+
+  response.brownout_active = false;
+  response.uptime_seconds = 0.0;  // a just-born worker is legal
+  const auto young = shard::decode_heartbeat_response(encode(response));
+  EXPECT_FALSE(young.brownout_active);
+  EXPECT_DOUBLE_EQ(young.uptime_seconds, 0.0);
+}
+
+TEST(NetWire, HeartbeatResponseRejectsNegativeOrNaNUptime) {
+  namespace shard = polarice::core::serve::shard;
+  shard::HeartbeatResponse response;
+  response.uptime_seconds = -1.0;
+  EXPECT_THROW((void)shard::decode_heartbeat_response(encode(response)),
+               WireError);
+  response.uptime_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)shard::decode_heartbeat_response(encode(response)),
+               WireError);
+}
+
+TEST(NetWire, MetricsResponseRoundTrip) {
+  namespace shard = polarice::core::serve::shard;
+  shard::MetricsResponse response;
+  response.uptime_seconds = 42.25;
+  response.text =
+      "serve_completed_total 7\nserve_e2e_seconds_bucket{le=\"+Inf\"} 7\n";
+
+  const auto back = shard::decode_metrics_response(encode(response));
+  EXPECT_DOUBLE_EQ(back.uptime_seconds, 42.25);
+  EXPECT_EQ(back.text, response.text);
+
+  response.uptime_seconds = -0.5;
+  EXPECT_THROW((void)shard::decode_metrics_response(encode(response)),
+               WireError);
+}
+
+// Explicit cross-version guard beyond the generic bit-flip test: a frame
+// stamped with the previous wire version (v2, which predates trace ids and
+// the metrics vocabulary) must be rejected at the header, not misdecoded.
+TEST(NetWire, PreviousWireVersionIsRejected) {
+  auto frame = encode_frame(MsgType::kHeartbeatRequest, {});
+  frame[4] = kWireVersion - 1;  // version u16 LE at offset 4
+  frame[5] = 0;
+  EXPECT_THROW((void)decode_header(frame.data(), kFrameHeaderBytes),
+               WireError);
+  EXPECT_THROW((void)decode_frame(frame), WireError);
+}
+
 }  // namespace

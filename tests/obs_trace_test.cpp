@@ -1,0 +1,239 @@
+// obs/trace.h — per-request tracing, plus its integration with SceneServer.
+//
+// TraceContext span math runs on an injected VirtualClock so every offset
+// and duration below is exact, not approximate. The sampler's retention
+// policy (N slowest completions + N most recent breaches) and render()'s
+// per-span breakdown are both part of the operator-facing contract: "why
+// was this request slow" must be answerable from slow_traces() alone.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <semaphore>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serve/scene_server.h"
+#include "img/image.h"
+#include "nn/unet.h"
+#include "obs/trace.h"
+#include "par/context.h"
+#include "s2/scene.h"
+#include "util/virtual_clock.h"
+
+namespace pv = polarice::core::serve;
+namespace pp = polarice::par;
+namespace ps = polarice::s2;
+namespace pn = polarice::nn;
+namespace pi = polarice::img;
+namespace pu = polarice::util;
+namespace po = polarice::obs;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+pn::UNet make_model() {
+  pn::UNetConfig cfg;
+  cfg.depth = 2;
+  cfg.base_channels = 6;
+  cfg.use_dropout = false;
+  cfg.seed = 88;
+  return pn::UNet(cfg);
+}
+
+pi::ImageU8 make_scene(std::uint64_t seed, int size = 128) {
+  ps::SceneConfig sc;
+  sc.width = sc.height = size;
+  sc.seed = seed;
+  sc.cloudy = true;
+  return ps::SceneGenerator(sc).generate().rgb;
+}
+
+const po::TraceSpan* find_span(const std::vector<po::TraceSpan>& spans,
+                               const std::string& name) {
+  for (const auto& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+po::TraceRecord record_with(std::uint64_t id, const std::string& outcome,
+                            double total_s) {
+  po::TraceRecord r;
+  r.id = id;
+  r.outcome = outcome;
+  r.total_s = total_s;
+  return r;
+}
+
+}  // namespace
+
+TEST(ObsTrace, SpansAreExactOnAVirtualClock) {
+  pu::VirtualClock clock;
+  po::TraceContext trace(42, &clock);
+  EXPECT_EQ(trace.id(), 42u);
+
+  const auto t0 = clock.now();
+  clock.advance(5ms);
+  const auto t1 = clock.now();
+  trace.add_span("queue", t0, t1);
+  clock.advance(20ms);
+  trace.add_span("forward", t1, clock.now());
+  clock.advance(3ms);
+  trace.add_span_ending_now("stitch", 0.002);
+
+  EXPECT_DOUBLE_EQ(trace.elapsed_s(), 0.028);
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 3u);
+
+  const auto* queue = find_span(spans, "queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_DOUBLE_EQ(queue->start_s, 0.0);
+  EXPECT_DOUBLE_EQ(queue->dur_s, 0.005);
+
+  const auto* forward = find_span(spans, "forward");
+  ASSERT_NE(forward, nullptr);
+  EXPECT_DOUBLE_EQ(forward->start_s, 0.005);
+  EXPECT_DOUBLE_EQ(forward->dur_s, 0.020);
+
+  // add_span_ending_now: duration was accumulated elsewhere, the interval
+  // is anchored so it *ends* at the current clock reading.
+  const auto* stitch = find_span(spans, "stitch");
+  ASSERT_NE(stitch, nullptr);
+  EXPECT_DOUBLE_EQ(stitch->dur_s, 0.002);
+  EXPECT_DOUBLE_EQ(stitch->start_s, 0.026);
+}
+
+TEST(ObsTrace, MintedIdsAreUniqueAndNeverZero) {
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const auto id = po::TraceContext::next_id();
+    EXPECT_NE(id, 0u);
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 1000u);  // 0 on the wire means "assign one"
+}
+
+TEST(ObsTrace, RenderShowsOutcomeAndPerSpanBreakdown) {
+  po::TraceRecord record;
+  record.id = 7;
+  record.outcome = "shed";
+  record.degraded = true;
+  record.total_s = 0.0183;
+  record.spans.push_back({"queue", 0.0, 0.0171});
+
+  const std::string text = po::render(record);
+  EXPECT_NE(text.find("trace 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("[shed]"), std::string::npos) << text;
+  EXPECT_NE(text.find("degraded"), std::string::npos) << text;
+  EXPECT_NE(text.find("queue"), std::string::npos) << text;
+  // 1.2ms of the 18.3ms total is unattributed to any span.
+  EXPECT_NE(text.find("other"), std::string::npos) << text;
+}
+
+TEST(ObsTrace, SamplerKeepsSlowestCompletionsAndRecentBreaches) {
+  po::TraceSampler sampler(3);
+  for (int i = 1; i <= 10; ++i) {
+    sampler.record(record_with(static_cast<std::uint64_t>(i), "completed",
+                               0.001 * i));
+  }
+  for (int i = 100; i < 105; ++i) {
+    sampler.record(record_with(static_cast<std::uint64_t>(i), "shed", 0.0));
+  }
+
+  const auto kept = sampler.snapshot();
+  ASSERT_EQ(kept.size(), 6u);  // 3 breaches + 3 slowest completions
+  // Breaches first, most recent 3 of the 5 recorded.
+  EXPECT_EQ(kept[0].outcome, "shed");
+  EXPECT_EQ(kept[1].outcome, "shed");
+  EXPECT_EQ(kept[2].outcome, "shed");
+  std::set<std::uint64_t> breach_ids{kept[0].id, kept[1].id, kept[2].id};
+  EXPECT_EQ(breach_ids, (std::set<std::uint64_t>{102, 103, 104}));
+  // Then completions, slowest first.
+  EXPECT_EQ(kept[3].id, 10u);
+  EXPECT_EQ(kept[4].id, 9u);
+  EXPECT_EQ(kept[5].id, 8u);
+}
+
+// End to end: a served scene's trace reaches slow_traces() with the
+// pipeline's stage spans, and a caller-supplied trace id is honoured.
+TEST(ObsTrace, SceneServerTracesCompletedRequests) {
+  pn::UNet model = make_model();
+  pv::SceneServerConfig cfg;
+  cfg.tile_size = 64;
+  cfg.min_replicas = cfg.max_replicas = 1;
+  cfg.cache_bytes = 0;
+  pv::SceneServer server(model, cfg);
+
+  pv::SubmitOptions options;
+  options.trace_id = 777;
+  auto ticket = server.submit(make_scene(21), options);
+  (void)ticket.get();
+
+  const auto traces = server.slow_traces();
+  ASSERT_FALSE(traces.empty());
+  const po::TraceRecord* ours = nullptr;
+  for (const auto& t : traces) {
+    if (t.id == 777) ours = &t;
+  }
+  ASSERT_NE(ours, nullptr);
+  EXPECT_EQ(ours->outcome, "completed");
+  EXPECT_GT(ours->total_s, 0.0);
+  EXPECT_NE(find_span(ours->spans, "queue"), nullptr);
+  EXPECT_NE(find_span(ours->spans, "forward"), nullptr);
+  EXPECT_NE(find_span(ours->spans, "stitch"), nullptr);
+  // The record renders into the operator-facing breakdown.
+  const std::string text = po::render(*ours);
+  EXPECT_NE(text.find("trace 777"), std::string::npos) << text;
+  EXPECT_NE(text.find("forward"), std::string::npos) << text;
+}
+
+// A shed request's trace lands in the breach set with its queue span — the
+// evidence that it died waiting, not computing.
+TEST(ObsTrace, SceneServerTracesShedRequests) {
+  pn::UNet model = make_model();
+  pu::VirtualClock clock;
+  pv::SceneServerConfig cfg;
+  cfg.tile_size = 64;
+  cfg.batch_tiles = 1;
+  cfg.min_replicas = cfg.max_replicas = 1;
+  cfg.max_batch_wait = 0ms;
+  cfg.cache_bytes = 0;
+  cfg.clock = &clock;
+  pv::SceneServer server(model, cfg);
+
+  // Park the scheduler inside scene A's prepare so scene B is provably
+  // still queued when its deadline expires (same gate as the SLO tests).
+  std::binary_semaphore entered{0}, release{0};
+  const pp::ExecutionContext gated;
+  gated.set_progress_sink([&](const pp::ProgressEvent& event) {
+    if (std::string(event.stage) == "serve.prepare" && event.completed == 0) {
+      entered.release();
+      release.acquire();
+    }
+  });
+
+  auto a = server.submit(make_scene(31), gated);
+  entered.acquire();
+  pv::SubmitOptions options;
+  options.deadline = 10ms;
+  options.trace_id = 888;
+  auto b = server.submit(make_scene(32), options);
+  clock.advance(11ms);
+  release.release();
+
+  EXPECT_THROW((void)b.get(), pv::DeadlineExceeded);
+  EXPECT_NO_THROW((void)a.get());
+
+  const auto traces = server.slow_traces();
+  const po::TraceRecord* shed = nullptr;
+  for (const auto& t : traces) {
+    if (t.id == 888) shed = &t;
+  }
+  ASSERT_NE(shed, nullptr);
+  EXPECT_EQ(shed->outcome, "shed");
+  EXPECT_NE(find_span(shed->spans, "queue"), nullptr);
+}

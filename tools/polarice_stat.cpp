@@ -1,0 +1,191 @@
+// polarice_stat — scrape a live serving fleet and render it as one table.
+//
+// For every endpoint named by --connect, the tool performs two exchanges on
+// one short-lived connection each: a heartbeat (identity: uptime, queue
+// depth, accepting/brownout flags) and a metrics scrape (kMetricsRequest →
+// the worker's full obs::registry() rendered as text). The scraped
+// exposition is parsed back into a snapshot locally, so the percentile
+// columns below are computed from the very same histogram buckets a
+// Prometheus-style collector would ingest.
+//
+// Usage:
+//   polarice_stat --connect unix:/tmp/polarice/shard-0.sock,tcp:host:7400
+//   polarice_stat --connect ... --raw          # dump raw exposition too
+//   polarice_stat --connect ... --expect_forward
+//
+// Flags:
+//   --connect EP[,EP...]  required; endpoints to scrape ("unix:<path>" or
+//                         "tcp:<host>:<port>")
+//   --timeout_ms N        per-exchange deadline        (default 2000)
+//   --raw                 print each worker's raw text exposition after
+//                         the fleet table
+//   --expect_forward      exit 1 unless every worker scraped cleanly, the
+//                         fleet as a whole reports a non-zero
+//                         serve_forward_seconds count, and every worker
+//                         that completed scenes also shows forward-pass
+//                         observations — the CI smoke gate that proves the
+//                         fleet actually ran forward passes while being
+//                         observable. (Rendezvous routing may legitimately
+//                         starve a shard of traffic, so an idle worker with
+//                         zero completions is not a failure.)
+//
+// Exit codes: 0 ok; 1 scrape failure (or --expect_forward unmet); 2 usage.
+
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/serve/shard/protocol.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "util/virtual_clock.h"
+
+namespace {
+
+using namespace polarice;
+namespace shard = core::serve::shard;
+
+/// Everything learned about one worker; nullopt fields = that exchange
+/// failed (the row still renders, with holes).
+struct WorkerScrape {
+  net::Endpoint endpoint;
+  std::optional<shard::HeartbeatResponse> heartbeat;
+  std::optional<shard::MetricsResponse> metrics;
+  std::optional<obs::Snapshot> snapshot;  // parsed from metrics->text
+  std::string error;                      // first failure's reason
+};
+
+WorkerScrape scrape(const net::Endpoint& endpoint,
+                    std::chrono::milliseconds timeout) {
+  WorkerScrape out;
+  out.endpoint = endpoint;
+  const util::Clock& clock = util::system_clock();
+  try {
+    net::Connection connection =
+        net::connect(endpoint, &clock, clock.now() + timeout);
+
+    connection.write_frame(net::MsgType::kHeartbeatRequest, {},
+                           clock.now() + timeout);
+    net::Frame frame = connection.read_frame(clock.now() + timeout);
+    if (frame.type != net::MsgType::kHeartbeatResponse) {
+      throw net::WireError("unexpected frame type in heartbeat response");
+    }
+    out.heartbeat = shard::decode_heartbeat_response(frame.payload);
+
+    connection.write_frame(net::MsgType::kMetricsRequest, {},
+                           clock.now() + timeout);
+    frame = connection.read_frame(clock.now() + timeout);
+    if (frame.type != net::MsgType::kMetricsResponse) {
+      throw net::WireError("unexpected frame type in metrics response");
+    }
+    out.metrics = shard::decode_metrics_response(frame.payload);
+    out.snapshot = obs::parse_text(out.metrics->text);
+  } catch (const std::exception& error) {
+    out.error = error.what();
+  }
+  return out;
+}
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+std::string fmt_count(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args(argc, argv);
+    const auto endpoints =
+        net::parse_endpoint_list(args.require_string("connect"));
+    const std::chrono::milliseconds timeout(
+        args.get_int_in("timeout_ms", 2000, 1, 600000));
+    const bool raw = args.get_bool("raw", false);
+    const bool expect_forward = args.get_bool("expect_forward", false);
+
+    std::vector<WorkerScrape> scrapes;
+    scrapes.reserve(endpoints.size());
+    for (const auto& endpoint : endpoints) {
+      scrapes.push_back(scrape(endpoint, timeout));
+    }
+
+    util::Table table({"shard", "up_s", "accepting", "brownout", "queue",
+                       "completed", "forward_n", "e2e_p50_ms", "e2e_p99_ms",
+                       "scrape"});
+    bool all_ok = true;
+    bool any_forward = false;
+    bool forward_consistent = true;
+    for (const auto& s : scrapes) {
+      std::vector<std::string> row;
+      row.push_back(s.endpoint.to_string());
+      if (s.heartbeat) {
+        row.push_back(fmt("%.1f", s.heartbeat->uptime_seconds));
+        row.push_back(s.heartbeat->accepting ? "yes" : "no");
+        row.push_back(s.heartbeat->brownout_active ? "ACTIVE" : "-");
+        row.push_back(fmt_count(s.heartbeat->queue_depth));
+      } else {
+        row.insert(row.end(), {"-", "-", "-", "-"});
+      }
+      std::uint64_t forward_n = 0;
+      std::uint64_t completed_n = 0;
+      if (s.snapshot) {
+        const auto* completed = s.snapshot->find_counter("serve_completed_total");
+        const auto* forward = s.snapshot->find_histogram("serve_forward_seconds");
+        const auto* e2e = s.snapshot->find_histogram("serve_e2e_seconds");
+        forward_n = forward != nullptr ? forward->count : 0;
+        completed_n = completed != nullptr ? completed->value : 0;
+        row.push_back(fmt_count(completed_n));
+        row.push_back(fmt_count(forward_n));
+        row.push_back(e2e != nullptr && e2e->count > 0
+                          ? fmt("%.2f", e2e->percentile(0.50) * 1e3)
+                          : "-");
+        row.push_back(e2e != nullptr && e2e->count > 0
+                          ? fmt("%.2f", e2e->percentile(0.99) * 1e3)
+                          : "-");
+      } else {
+        row.insert(row.end(), {"-", "-", "-", "-"});
+      }
+      row.push_back(s.error.empty() ? "ok" : "FAIL: " + s.error);
+      table.add_row(std::move(row));
+      if (!s.error.empty() || !s.snapshot) all_ok = false;
+      if (forward_n > 0) any_forward = true;
+      if (completed_n > 0 && forward_n == 0) forward_consistent = false;
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+
+    if (raw) {
+      for (const auto& s : scrapes) {
+        if (!s.metrics) continue;
+        std::printf("\n# %s\n%s", s.endpoint.to_string().c_str(),
+                    s.metrics->text.c_str());
+      }
+    }
+
+    if (!all_ok) return 1;
+    if (expect_forward && (!any_forward || !forward_consistent)) {
+      std::fprintf(stderr,
+                   !any_forward
+                       ? "polarice_stat: --expect_forward unmet: no worker "
+                         "reports forward-pass observations\n"
+                       : "polarice_stat: --expect_forward unmet: a worker "
+                         "completed scenes but reports zero forward-pass "
+                         "observations\n");
+      return 1;
+    }
+    return 0;
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "polarice_stat: %s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "polarice_stat: fatal: %s\n", error.what());
+    return 1;
+  }
+}

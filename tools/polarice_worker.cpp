@@ -49,6 +49,7 @@
 #include "nn/unet.h"
 #include "util/args.h"
 #include "util/hash.h"
+#include "util/log.h"
 
 namespace {
 
@@ -142,29 +143,28 @@ int main(int argc, char** argv) {
       }
     });
 
-    std::fprintf(stderr, "polarice_worker: serving on %s\n",
-                 worker.endpoint().to_string().c_str());
+    LOG_INFO_C("worker") << "serving on " << worker.endpoint().to_string();
     worker.serve();
     worker.stop();  // also covers the inbound-shutdown-frame path
     g_worker.store(nullptr);
 
     const auto stats = worker.stats();
-    std::fprintf(stderr,
-                 "polarice_worker: done (connections=%zu requests=%zu "
-                 "heartbeats=%zu wire_errors=%zu)\n",
-                 stats.connections, stats.requests, stats.heartbeats,
-                 stats.wire_errors);
+    LOG_INFO_C("worker") << "done (connections=" << stats.connections
+                         << " requests=" << stats.requests
+                         << " heartbeats=" << stats.heartbeats
+                         << " metrics_scrapes=" << stats.metrics_scrapes
+                         << " wire_errors=" << stats.wire_errors << ")";
     return 0;
   } catch (const core::serve::CacheStoreLocked& error) {
     // Another live worker owns the cache directory; sharing it would let
     // the two corrupt each other's segments. Refuse to start.
-    std::fprintf(stderr, "polarice_worker: %s\n", error.what());
+    LOG_ERROR_C("worker") << error.what();
     return 2;
   } catch (const std::invalid_argument& error) {
-    std::fprintf(stderr, "polarice_worker: %s\n", error.what());
+    LOG_ERROR_C("worker") << error.what();
     return 2;
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "polarice_worker: fatal: %s\n", error.what());
+    LOG_ERROR_C("worker") << "fatal: " << error.what();
     return 1;
   }
 }
