@@ -21,7 +21,9 @@
 #include "core/cloud_filter.h"
 #include "core/corpus.h"
 #include "core/serve/scene_server.h"
+#include "ddp/checkpoint.h"
 #include "ddp/communicator.h"
+#include "ddp/fleet_trainer.h"
 #include "serve_load.h"
 #include "shard_load.h"
 #include "img/color.h"
@@ -599,7 +601,7 @@ static void BM_RingAllreduce(benchmark::State& state) {
     std::vector<std::jthread> threads;
     for (int r = 0; r < world_size; ++r) {
       threads.emplace_back([&, r] {
-        ddp::Communicator comm(world, r);
+        ddp::ThreadCommunicator comm(world, r);
         comm.ring_allreduce_average(buffers[r].data(), count);
       });
     }
@@ -610,6 +612,91 @@ static void BM_RingAllreduce(benchmark::State& state) {
                           static_cast<std::int64_t>(count) * 4 * world_size);
 }
 BENCHMARK(BM_RingAllreduce)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_TreeAllreduce(benchmark::State& state) {
+  // The canonical-order halving-doubling reduce the training fleet uses;
+  // compare against BM_RingAllreduce at the same world sizes.
+  const int world_size = static_cast<int>(state.range(0));
+  const std::size_t count = 1 << 20;  // 4 MiB of gradients
+  for (auto _ : state) {
+    auto world = std::make_shared<ddp::World>(world_size);
+    std::vector<std::vector<float>> buffers(world_size);
+    for (auto& b : buffers) b.assign(count, 1.0f);
+    std::vector<std::jthread> threads;
+    for (int r = 0; r < world_size; ++r) {
+      threads.emplace_back([&, r] {
+        ddp::ThreadCommunicator comm(world, r);
+        comm.tree_allreduce_sum(buffers[r].data(), count);
+      });
+    }
+    threads.clear();
+    benchmark::DoNotOptimize(buffers[0].data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count) * 4 * world_size);
+}
+BENCHMARK(BM_TreeAllreduce)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_TrainFleetThreads(benchmark::State& state) {
+  // One epoch of the synchronous training fleet (thread transport, no
+  // checkpointing) at a fixed global batch: the scaling story across
+  // world sizes 1/2/4 with bit-identical results by construction.
+  const int world_size = static_cast<int>(state.range(0));
+  ddp::FleetTrainConfig config;
+  config.model.in_channels = 3;
+  config.model.num_classes = 2;
+  config.model.depth = 1;
+  config.model.base_channels = 4;
+  config.model.use_dropout = false;
+  config.model.seed = 5;
+  config.world_size = world_size;
+  config.batch_per_device = 4 / world_size;  // global batch fixed at 4
+  config.epochs = 1;
+  config.seed = 7;
+  const nn::SegDataset data =
+      ddp::make_synthetic_dataset(16, 3, 16, 16, 2, 11);
+  std::int64_t images = 0;
+  for (auto _ : state) {
+    nn::UNet model(config.model);
+    const auto stats = ddp::train_fleet(model, data, config);
+    benchmark::DoNotOptimize(stats.final_loss);
+    images += stats.global_step * config.global_batch();
+  }
+  state.SetItemsProcessed(images);  // images trained
+}
+BENCHMARK(BM_TrainFleetThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_TrainFleetCheckpointRoundtrip(benchmark::State& state) {
+  // Durable write + validated load of a full fleet checkpoint — the cost a
+  // crashed fleet pays (beyond replay) to come back.
+  const std::size_t params = 1 << 16;  // 64k params + both Adam moments
+  ddp::TrainCheckpoint ck;
+  ck.epoch = 1;
+  ck.step = 2;
+  ck.global_step = 10;
+  ck.adam_t = 10;
+  ck.params.assign(params, 0.5f);
+  ck.adam_m.assign(params, 0.25f);
+  ck.adam_v.assign(params, 0.125f);
+  const std::string dir =
+      "/tmp/polarice-bench-ckpt-" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  ddp::CheckpointStore store({dir, /*fingerprint=*/99, /*retain=*/2});
+  for (auto _ : state) {
+    ck.global_step += 1;
+    store.write(ck);
+    auto loaded = store.load_latest();
+    benchmark::DoNotOptimize(loaded->global_step);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(params) * 3 * 4);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_TrainFleetCheckpointRoundtrip)->Unit(benchmark::kMillisecond);
 
 static void BM_ThreadPoolDispatch(benchmark::State& state) {
   par::ThreadPool pool(4);

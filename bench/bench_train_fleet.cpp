@@ -1,0 +1,358 @@
+// Closed-loop drill harness for the fault-tolerant training fleet.
+//
+// Spawns --world real `polarice_trainer` processes (one rank each) over a
+// unix-socket mesh, waits for the run, parses each rank's TRAINFLEET
+// summary line, and byte-compares the parameter files every rank saves —
+// the fleet must agree bitwise, not approximately.
+//
+// --kill_drill is the crash-recovery rehearsal: once rank 0 has a durable
+// checkpoint past the initial one, the harness SIGKILLs one rank
+// mid-epoch, re-execs it with identical flags after a short gap, and
+// requires the fleet to finish anyway. The gates are the ISSUE's:
+//   - the relaunched rank resumed from a checkpoint (resumed_from > 0),
+//   - at least one survivor went through a rejoin cycle (rejoins > 0),
+//   - zero corrupt checkpoints were accepted (corrupt == 0), and
+//   - the final parameters are byte-identical to an uninterrupted
+//     same-seed reference fleet run first in a sibling directory.
+//
+// --smoke exits nonzero unless every gate holds — the ctest hook.
+//
+// Flags: --world N --epochs N --batch N --samples N --checkpoint_every N
+//        --collective_ms N --seed N --kill_drill --kill_rank N
+//        --respawn_delay S --trainer_bin PATH --dir PATH --keep --smoke
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "process.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace pb = polarice::bench;
+
+struct FleetDrillConfig {
+  int world = 2;
+  int epochs = 8;
+  int batch = 2;  // per rank
+  int samples = 64;
+  int checkpoint_every = 8;
+  int collective_ms = 30000;  // per-collective deadline in the trainers
+  std::uint64_t seed = 7;
+  bool kill_drill = false;
+  int kill_rank = -1;  // default: world - 1
+  double respawn_delay_s = 0.3;
+  std::string trainer_bin;
+  std::string dir;
+  bool keep = false;
+};
+
+/// One rank's parsed TRAINFLEET line plus its process exit code.
+struct RankSummary {
+  int exit_code = -1;
+  bool parsed = false;
+  int rank = -1;
+  long long steps = 0, global_step = 0, rejoins = 0, resumed_from = 0;
+  long long checkpoints = 0, corrupt = 0, stale = 0;
+  int stopped = 0;
+  double loss = 0.0;
+};
+
+struct FleetRunReport {
+  std::vector<RankSummary> ranks;
+  std::vector<std::string> param_files;  // --out path per rank
+  double wall_seconds = 0.0;
+  bool killed = false;      // drill actually fired
+  int killed_rank = -1;
+};
+
+/// <this executable's dir>/../tools/polarice_trainer — the in-tree layout.
+std::string default_trainer_bin() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) return "polarice_trainer";
+  buffer[n] = '\0';
+  std::string path(buffer);
+  const auto slash = path.rfind('/');
+  if (slash == std::string::npos) return "polarice_trainer";
+  return path.substr(0, slash) + "/../tools/polarice_trainer";
+}
+
+RankSummary parse_summary(const std::string& stdout_path) {
+  RankSummary s;
+  std::ifstream in(stdout_path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("TRAINFLEET ", 0) != 0) continue;
+    if (std::sscanf(line.c_str(),
+                    "TRAINFLEET rank=%d steps=%lld global_step=%lld "
+                    "rejoins=%lld resumed_from=%lld checkpoints=%lld "
+                    "corrupt=%lld stale=%lld stopped=%d loss=%lf",
+                    &s.rank, &s.steps, &s.global_step, &s.rejoins,
+                    &s.resumed_from, &s.checkpoints, &s.corrupt, &s.stale,
+                    &s.stopped, &s.loss) == 10) {
+      s.parsed = true;
+    }
+  }
+  return s;
+}
+
+/// Highest checkpoint sequence present in `dir` (-1 when none).
+long long latest_checkpoint_seq(const std::string& dir) {
+  long long best = -1;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) != 0 || name.size() < 10) continue;
+    if (entry.path().extension() != ".ice") continue;
+    best = std::max(best, std::atoll(name.c_str() + 5));
+  }
+  return best;
+}
+
+bool files_byte_identical(const std::string& a, const std::string& b) {
+  std::ifstream fa(a, std::ios::binary), fb(b, std::ios::binary);
+  if (!fa || !fb) return false;
+  std::ostringstream sa, sb;
+  sa << fa.rdbuf();
+  sb << fb.rdbuf();
+  return sa.str() == sb.str() && !sa.str().empty();
+}
+
+/// Launches one fleet under `run_dir`, optionally runs the kill drill, and
+/// waits for every rank. Throws only on harness-level failures (bad
+/// binary); rank failures land in the report's exit codes.
+FleetRunReport run_fleet(const FleetDrillConfig& cfg,
+                         const std::string& run_dir, bool kill) {
+  const std::string socket_dir = run_dir + "/sock";
+  const std::string ckpt_dir = run_dir + "/ckpt";
+  fs::create_directories(socket_dir);
+  // The trainers create ckpt_dir themselves (one level); pre-creating the
+  // parent is enough.
+
+  FleetRunReport report;
+  std::vector<pb::ChildProcess> ranks;
+  for (int r = 0; r < cfg.world; ++r) {
+    const std::string out = run_dir + "/params-rank" + std::to_string(r) +
+                            ".bin";
+    report.param_files.push_back(out);
+    std::vector<std::string> flags{
+        "--rank", std::to_string(r),
+        "--world", std::to_string(cfg.world),
+        "--socket_dir", socket_dir,
+        "--checkpoint_dir", ckpt_dir,
+        "--epochs", std::to_string(cfg.epochs),
+        "--batch", std::to_string(cfg.batch),
+        "--samples", std::to_string(cfg.samples),
+        "--checkpoint_every", std::to_string(cfg.checkpoint_every),
+        "--collective_ms", std::to_string(cfg.collective_ms),
+        "--seed", std::to_string(cfg.seed),
+        "--out", out,
+    };
+    ranks.emplace_back(cfg.trainer_bin, flags,
+                       run_dir + "/rank-" + std::to_string(r) + ".out");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  if (kill) {
+    // Arm the drill only after a durable checkpoint beyond the initial
+    // step-0 one exists — otherwise there is nothing to resume from and
+    // the "recovery" would just be a fresh start.
+    const int victim = cfg.kill_rank >= 0 ? cfg.kill_rank : cfg.world - 1;
+    const auto arm_deadline = start + std::chrono::seconds(60);
+    bool armed = false;
+    while (std::chrono::steady_clock::now() < arm_deadline) {
+      if (latest_checkpoint_seq(ckpt_dir) >=
+          static_cast<long long>(cfg.checkpoint_every)) {
+        armed = true;
+        break;
+      }
+      bool any_running = false;
+      for (auto& rank : ranks) any_running |= !rank.try_wait().has_value();
+      if (!any_running) break;  // fleet finished before the drill could arm
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (armed && ranks[static_cast<std::size_t>(victim)].running()) {
+      ranks[static_cast<std::size_t>(victim)].kill_hard();
+      report.killed = true;
+      report.killed_rank = victim;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          cfg.respawn_delay_s));
+      ranks[static_cast<std::size_t>(victim)].spawn();
+    }
+  }
+
+  for (auto& rank : ranks) {
+    if (!rank.wait_for(std::chrono::seconds(120))) rank.kill_hard();
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (int r = 0; r < cfg.world; ++r) {
+    auto& rank = ranks[static_cast<std::size_t>(r)];
+    RankSummary s = parse_summary(rank.stdout_path());
+    s.exit_code = rank.exit_code().value_or(-1);
+    report.ranks.push_back(s);
+  }
+  return report;
+}
+
+void print_report(const char* title, const FleetRunReport& report) {
+  using polarice::util::Table;
+  std::printf("%s (wall %.2fs%s)\n", title, report.wall_seconds,
+              report.killed ? ", drill fired" : "");
+  Table table({"rank", "exit", "steps", "global_step", "rejoins",
+               "resumed_from", "ckpts", "corrupt", "loss"});
+  for (const auto& s : report.ranks) {
+    table.add_row({std::to_string(s.rank), std::to_string(s.exit_code),
+                   std::to_string(s.steps), std::to_string(s.global_step),
+                   std::to_string(s.rejoins), std::to_string(s.resumed_from),
+                   std::to_string(s.checkpoints), std::to_string(s.corrupt),
+                   Table::num(s.loss, 6)});
+  }
+  table.print();
+}
+
+/// Shared gates: every rank exited 0 with a parsed summary, made progress,
+/// and accepted zero corrupt checkpoints. Returns false with a message on
+/// stderr.
+bool gate_common(const char* which, const FleetRunReport& report) {
+  for (const auto& s : report.ranks) {
+    if (s.exit_code != 0 || !s.parsed) {
+      std::fprintf(stderr, "%s: rank exited %d (summary %s)\n", which,
+                   s.exit_code, s.parsed ? "parsed" : "missing");
+      return false;
+    }
+    if (s.steps <= 0) {
+      std::fprintf(stderr, "%s: rank %d made no steps\n", which, s.rank);
+      return false;
+    }
+    if (s.corrupt != 0) {
+      std::fprintf(stderr, "%s: rank %d accepted %lld corrupt checkpoints\n",
+                   which, s.rank, s.corrupt);
+      return false;
+    }
+  }
+  for (std::size_t r = 1; r < report.param_files.size(); ++r) {
+    if (!files_byte_identical(report.param_files[0], report.param_files[r])) {
+      std::fprintf(stderr, "%s: rank %zu parameters differ from rank 0\n",
+                   which, r);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const polarice::util::Args args(argc, argv);
+    FleetDrillConfig cfg;
+    cfg.world = static_cast<int>(args.get_int_in("world", 2, 1, 64));
+    cfg.epochs = static_cast<int>(args.get_int_in("epochs", 8, 1, 1000));
+    cfg.batch = static_cast<int>(args.get_int_in("batch", 2, 1, 256));
+    cfg.samples = static_cast<int>(args.get_int_in("samples", 64, 1, 1 << 20));
+    cfg.checkpoint_every = static_cast<int>(
+        args.get_int_in("checkpoint_every", 8, 1, 1 << 20));
+    cfg.kill_drill = args.get_bool("kill_drill", false);
+    cfg.collective_ms = static_cast<int>(args.get_int_in(
+        "collective_ms", cfg.kill_drill ? 1500 : 30000, 1, 1 << 22));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    cfg.kill_rank = static_cast<int>(
+        args.get_int_in("kill_rank", -1, -1, cfg.world - 1));
+    cfg.respawn_delay_s = args.get_double("respawn_delay", 0.3);
+    cfg.trainer_bin = args.get_string("trainer_bin", default_trainer_bin());
+    cfg.dir = args.get_string("dir", "");
+    cfg.keep = args.get_bool("keep", false);
+    const bool smoke = args.get_bool("smoke", false);
+    if (cfg.kill_drill && cfg.world < 2) {
+      std::fprintf(stderr, "kill_drill needs world >= 2\n");
+      return 2;
+    }
+
+    std::string root = cfg.dir;
+    if (root.empty()) {
+      root = "/tmp/polarice-fleet-" + std::to_string(::getpid());
+    }
+    fs::create_directories(root);
+
+    bool ok = true;
+    if (cfg.kill_drill) {
+      // Uninterrupted reference first: the drill's determinism gate is
+      // byte-equality against this run, not just internal agreement.
+      FleetDrillConfig ref_cfg = cfg;
+      ref_cfg.collective_ms = 30000;
+      const FleetRunReport ref = run_fleet(ref_cfg, root + "/ref", false);
+      print_report("reference fleet", ref);
+      ok = gate_common("reference", ref);
+
+      FleetRunReport drill;
+      if (ok) {
+        drill = run_fleet(cfg, root + "/drill", true);
+        print_report("kill drill fleet", drill);
+        ok = gate_common("drill", drill);
+      }
+      if (ok && !drill.killed) {
+        std::fprintf(stderr,
+                     "drill: fleet finished before a post-initial checkpoint "
+                     "appeared; raise --epochs/--samples\n");
+        ok = false;
+      }
+      if (ok) {
+        const auto& victim =
+            drill.ranks[static_cast<std::size_t>(drill.killed_rank)];
+        long long survivor_rejoins = 0;
+        for (const auto& s : drill.ranks) {
+          if (s.rank != drill.killed_rank) survivor_rejoins += s.rejoins;
+        }
+        if (victim.resumed_from <= 0) {
+          std::fprintf(stderr,
+                       "drill: relaunched rank %d did not resume from a "
+                       "checkpoint (resumed_from=%lld)\n",
+                       drill.killed_rank, victim.resumed_from);
+          ok = false;
+        } else if (survivor_rejoins <= 0) {
+          std::fprintf(stderr, "drill: no survivor recorded a rejoin\n");
+          ok = false;
+        } else if (!files_byte_identical(ref.param_files[0],
+                                         drill.param_files[0])) {
+          std::fprintf(stderr,
+                       "drill: final parameters differ from the "
+                       "uninterrupted reference run\n");
+          ok = false;
+        }
+      }
+    } else {
+      const FleetRunReport report = run_fleet(cfg, root + "/run", false);
+      print_report("training fleet", report);
+      ok = gate_common("fleet", report);
+    }
+
+    if (!cfg.keep) {
+      std::error_code ec;
+      fs::remove_all(root, ec);
+    }
+    (void)smoke;  // the gates run either way; --smoke just names the intent
+    return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fatal: %s\n", error.what());
+    return 1;
+  }
+}

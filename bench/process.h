@@ -1,0 +1,169 @@
+#pragma once
+// Reusable child-process handle for the multi-process drill harnesses.
+//
+// A ChildProcess remembers its full argv so a crashed process can be
+// re-exec'd verbatim — the respawn half of every kill-and-resume drill.
+// Optionally redirects the child's stdout to a file, which is how the
+// harnesses read the machine-parsable summary lines (TRAINFLEET, ...) a
+// tool prints on exit: capture to a path, reap, then read the file.
+//
+// kill_hard() is the crash simulation (SIGKILL, no chance to flush or say
+// goodbye); terminate() is the orderly SIGTERM used on teardown. Both reap
+// the corpse but keep the stored argv, so spawn() afterwards is a restart.
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace polarice::bench {
+
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+
+  /// Stores the launch recipe and spawns immediately. `stdout_path`
+  /// non-empty redirects the child's stdout there (truncating on each
+  /// spawn, so a respawn's summary replaces the corpse's).
+  ChildProcess(std::string binary, std::vector<std::string> args,
+               std::string stdout_path = {})
+      : binary_(std::move(binary)),
+        args_(std::move(args)),
+        stdout_path_(std::move(stdout_path)) {
+    spawn();
+  }
+
+  ChildProcess(ChildProcess&& other) noexcept { *this = std::move(other); }
+  ChildProcess& operator=(ChildProcess&& other) noexcept {
+    if (this != &other) {
+      terminate();
+      binary_ = std::move(other.binary_);
+      args_ = std::move(other.args_);
+      stdout_path_ = std::move(other.stdout_path_);
+      pid_ = other.pid_;
+      exit_code_ = other.exit_code_;
+      other.pid_ = -1;
+    }
+    return *this;
+  }
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+  ~ChildProcess() { terminate(); }
+
+  /// (Re)exec the stored argv. Throws if a previous incarnation is still
+  /// running (kill or wait first) or fork fails.
+  void spawn() {
+    if (pid_ > 0) throw std::runtime_error("ChildProcess: already running");
+    std::vector<std::string> storage;
+    storage.push_back(binary_);
+    storage.insert(storage.end(), args_.begin(), args_.end());
+    std::vector<char*> argv;
+    argv.reserve(storage.size() + 1);
+    for (auto& arg : storage) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    exit_code_.reset();
+    pid_ = ::fork();
+    if (pid_ < 0) throw std::runtime_error("ChildProcess: fork failed");
+    if (pid_ == 0) {
+      if (!stdout_path_.empty()) {
+        const int fd = ::open(stdout_path_.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC, 0600);
+        if (fd >= 0) {
+          ::dup2(fd, STDOUT_FILENO);
+          ::close(fd);
+        }
+      }
+      ::execv(binary_.c_str(), argv.data());
+      std::fprintf(stderr, "execv %s failed: %s\n", binary_.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+  }
+
+  [[nodiscard]] bool running() const noexcept { return pid_ > 0; }
+  [[nodiscard]] pid_t pid() const noexcept { return pid_; }
+  [[nodiscard]] const std::string& stdout_path() const noexcept {
+    return stdout_path_;
+  }
+  /// Exit code of the last reaped incarnation (128+signal for a signal
+  /// death); empty while running or never spawned.
+  [[nodiscard]] std::optional<int> exit_code() const noexcept {
+    return exit_code_;
+  }
+
+  /// SIGKILL + reap — the crash. argv is kept; spawn() respawns.
+  void kill_hard() noexcept {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGKILL);
+    reap(/*block=*/true);
+  }
+
+  /// Orderly SIGTERM + reap.
+  void terminate() noexcept {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGTERM);
+    reap(/*block=*/true);
+  }
+
+  /// Blocks until exit; returns the exit code (128+signal on signal death).
+  int wait() noexcept {
+    reap(/*block=*/true);
+    return exit_code_.value_or(-1);
+  }
+
+  /// Non-blocking poll: exit code if the child has exited, else empty.
+  std::optional<int> try_wait() noexcept {
+    reap(/*block=*/false);
+    return pid_ > 0 ? std::nullopt : exit_code_;
+  }
+
+  /// Polls until exit or the budget elapses; empty on timeout (child still
+  /// running).
+  std::optional<int> wait_for(std::chrono::milliseconds budget) noexcept {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (auto code = try_wait()) return code;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return try_wait();
+  }
+
+ private:
+  void reap(bool block) noexcept {
+    if (pid_ <= 0) return;
+    int status = 0;
+    const pid_t got = ::waitpid(pid_, &status, block ? 0 : WNOHANG);
+    if (got == 0) return;  // WNOHANG: still running
+    if (got == pid_) {
+      if (WIFEXITED(status)) {
+        exit_code_ = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        exit_code_ = 128 + WTERMSIG(status);
+      } else {
+        exit_code_ = -1;
+      }
+    }
+    pid_ = -1;
+  }
+
+  std::string binary_;
+  std::vector<std::string> args_;
+  std::string stdout_path_;
+  pid_t pid_ = -1;
+  std::optional<int> exit_code_;
+};
+
+}  // namespace polarice::bench

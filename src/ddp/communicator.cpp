@@ -2,8 +2,20 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace polarice::ddp {
+
+namespace {
+// Real-time re-check tick for condvar waits: short enough that a test
+// advancing a VirtualClock past a deadline is observed promptly, long
+// enough not to burn a core.
+constexpr std::chrono::milliseconds kWaitTick{1};
+
+[[nodiscard]] bool is_power_of_two(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+}  // namespace
 
 void Channel::send(std::vector<float> message) {
   {
@@ -13,15 +25,27 @@ void Channel::send(std::vector<float> message) {
   cv_.notify_one();
 }
 
-std::vector<float> Channel::recv() {
+std::vector<float> Channel::recv(
+    std::optional<util::Clock::time_point> deadline,
+    const util::Clock* clock) {
+  const util::Clock& clk = clock != nullptr ? *clock : util::system_clock();
   std::unique_lock lock(mutex_);
-  cv_.wait(lock, [this] { return !queue_.empty(); });
+  while (queue_.empty()) {
+    if (deadline && clk.now() >= *deadline) {
+      throw CollectiveTimeout("Channel::recv");
+    }
+    // Tick-wait: the deadline verdict belongs to the injectable clock, the
+    // condvar only naps between re-checks.
+    cv_.wait_for(lock, kWaitTick);
+  }
   std::vector<float> message = std::move(queue_.front());
   queue_.pop_front();
   return message;
 }
 
-World::World(int size) : size_(size) {
+World::World(int size, const util::Clock* clock)
+    : size_(size),
+      clock_(clock != nullptr ? clock : &util::system_clock()) {
   if (size < 1) throw std::invalid_argument("World: size must be >= 1");
   channels_.resize(static_cast<std::size_t>(size) * size);
   for (auto& ch : channels_) ch = std::make_unique<Channel>();
@@ -34,7 +58,7 @@ Channel& World::channel(int from, int to) {
   return *channels_[static_cast<std::size_t>(from) * size_ + to];
 }
 
-void World::barrier() {
+void World::barrier(std::optional<util::Clock::time_point> deadline) {
   std::unique_lock lock(barrier_mutex_);
   const std::uint64_t generation = barrier_generation_;
   if (++barrier_count_ == size_) {
@@ -43,30 +67,28 @@ void World::barrier() {
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock,
-                   [&] { return barrier_generation_ != generation; });
-}
-
-Communicator::Communicator(std::shared_ptr<World> world, int rank)
-    : world_(std::move(world)), rank_(rank) {
-  if (rank < 0 || rank >= world_->size()) {
-    throw std::out_of_range("Communicator: bad rank");
+  while (barrier_generation_ == generation) {
+    if (deadline && clock_->now() >= *deadline) {
+      // Withdraw this rank's arrival so a later, complete barrier round
+      // still needs all `size` ranks.
+      --barrier_count_;
+      throw CollectiveTimeout("World::barrier");
+    }
+    barrier_cv_.wait_for(lock, kWaitTick);
   }
 }
 
-void Communicator::send(int to, std::vector<float> message) {
-  world_->channel(rank_, to).send(std::move(message));
-}
-
-std::vector<float> Communicator::recv(int from) {
-  return world_->channel(from, rank_).recv();
-}
+// ---------------------------------------------------------------------------
+// Collectives (transport-agnostic; summation order fixed by construction)
+// ---------------------------------------------------------------------------
 
 void Communicator::ring_allreduce_sum(float* data, std::size_t count) {
   const int n = world_size();
   if (n == 1 || count == 0) return;
-  const int right = (rank_ + 1) % n;
-  const int left = (rank_ - 1 + n) % n;
+  const int self = rank();
+  const int right = (self + 1) % n;
+  const int left = (self - 1 + n) % n;
+  const auto deadline = collective_deadline();
 
   // Chunk boundaries: chunk c covers [offset(c), offset(c+1)).
   const auto offset = [&](int c) {
@@ -80,15 +102,15 @@ void Communicator::ring_allreduce_sum(float* data, std::size_t count) {
   // Phase 1: scatter-reduce. After N-1 steps rank r holds the fully reduced
   // chunk (r+1) mod N.
   for (int step = 0; step < n - 1; ++step) {
-    const int send_chunk = ((rank_ - step) % n + n) % n;
-    const int recv_chunk = ((rank_ - step - 1) % n + n) % n;
+    const int send_chunk = ((self - step) % n + n) % n;
+    const int recv_chunk = ((self - step - 1) % n + n) % n;
     const auto [send_lo, send_len] = chunk_span(send_chunk);
     std::vector<float> outgoing(data + send_lo, data + send_lo + send_len);
-    send(right, std::move(outgoing));
-    const std::vector<float> incoming = recv(left);
+    send(right, std::move(outgoing), deadline);
+    const std::vector<float> incoming = recv(left, deadline);
     const auto [recv_lo, recv_len] = chunk_span(recv_chunk);
     if (incoming.size() != recv_len) {
-      throw std::runtime_error("ring_allreduce: chunk size mismatch");
+      throw PeerLost("ring_allreduce: chunk size mismatch");
     }
     for (std::size_t i = 0; i < recv_len; ++i) data[recv_lo + i] += incoming[i];
   }
@@ -96,15 +118,15 @@ void Communicator::ring_allreduce_sum(float* data, std::size_t count) {
   // Phase 2: allgather. Each rank forwards the reduced chunks around the
   // ring, overwriting local data.
   for (int step = 0; step < n - 1; ++step) {
-    const int send_chunk = ((rank_ - step + 1) % n + n) % n;
-    const int recv_chunk = ((rank_ - step) % n + n) % n;
+    const int send_chunk = ((self - step + 1) % n + n) % n;
+    const int recv_chunk = ((self - step) % n + n) % n;
     const auto [send_lo, send_len] = chunk_span(send_chunk);
     std::vector<float> outgoing(data + send_lo, data + send_lo + send_len);
-    send(right, std::move(outgoing));
-    const std::vector<float> incoming = recv(left);
+    send(right, std::move(outgoing), deadline);
+    const std::vector<float> incoming = recv(left, deadline);
     const auto [recv_lo, recv_len] = chunk_span(recv_chunk);
     if (incoming.size() != recv_len) {
-      throw std::runtime_error("ring_allreduce: chunk size mismatch");
+      throw PeerLost("ring_allreduce: chunk size mismatch");
     }
     std::memcpy(data + recv_lo, incoming.data(), recv_len * sizeof(float));
   }
@@ -116,25 +138,119 @@ void Communicator::ring_allreduce_average(float* data, std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) data[i] *= inv;
 }
 
+void Communicator::tree_allreduce_sum(float* data, std::size_t count) {
+  const int n = world_size();
+  if (!is_power_of_two(static_cast<std::size_t>(n))) {
+    throw std::invalid_argument(
+        "tree_allreduce_sum: world size must be a power of two, got " +
+        std::to_string(n));
+  }
+  if (n == 1 || count == 0) return;
+  const int self = rank();
+  const auto deadline = collective_deadline();
+
+  // Level l pairs rank r with r ^ 2^l; after the exchange both hold the
+  // reduced subtree of the 2^(l+1) ranks sharing their high bits. The sum
+  // is always lower-subtree + upper-subtree, so every rank applies the
+  // identical canonical tree: ((r0+r1)+(r2+r3))... regardless of which
+  // rank evaluates it.
+  std::vector<float> incoming;
+  for (int bit = 1; bit < n; bit <<= 1) {
+    const int partner = self ^ bit;
+    // The lower rank of the pair sends first; the upper receives first —
+    // full-buffer exchanges can never deadlock on transport backpressure.
+    if (self < partner) {
+      send(partner, std::vector<float>(data, data + count), deadline);
+      incoming = recv(partner, deadline);
+    } else {
+      incoming = recv(partner, deadline);
+      send(partner, std::vector<float>(data, data + count), deadline);
+    }
+    if (incoming.size() != count) {
+      throw PeerLost("tree_allreduce: buffer size mismatch");
+    }
+    if (self < partner) {
+      // data holds the lower subtree: lower + upper.
+      for (std::size_t i = 0; i < count; ++i) data[i] += incoming[i];
+    } else {
+      // data holds the upper subtree: keep the same operand order.
+      for (std::size_t i = 0; i < count; ++i) data[i] = incoming[i] + data[i];
+    }
+  }
+}
+
 void Communicator::broadcast(float* data, std::size_t count, int root) {
   const int n = world_size();
   if (n == 1 || count == 0) return;
   if (root < 0 || root >= n) {
     throw std::out_of_range("broadcast: bad root");
   }
+  const int self = rank();
+  const int right = (self + 1) % n;
+  const int left = (self - 1 + n) % n;
+  const auto deadline = collective_deadline();
   // Ring pipeline: root sends to its right neighbour; everyone except the
   // rank left of root forwards.
-  const int right = (rank_ + 1) % n;
-  const int left = (rank_ - 1 + n) % n;
-  if (rank_ == root) {
-    send(right, std::vector<float>(data, data + count));
+  if (self == root) {
+    send(right, std::vector<float>(data, data + count), deadline);
   } else {
-    std::vector<float> incoming = recv(left);
+    std::vector<float> incoming = recv(left, deadline);
     if (incoming.size() != count) {
-      throw std::runtime_error("broadcast: size mismatch");
+      throw PeerLost("broadcast: size mismatch");
     }
     std::memcpy(data, incoming.data(), count * sizeof(float));
-    if (right != root) send(right, std::move(incoming));
+    if (right != root) send(right, std::move(incoming), deadline);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread path
+// ---------------------------------------------------------------------------
+
+ThreadCommunicator::ThreadCommunicator(std::shared_ptr<World> world, int rank,
+                                       CollectiveOptions options)
+    : Communicator(options), world_(std::move(world)), rank_(rank) {
+  if (rank < 0 || rank >= world_->size()) {
+    throw std::out_of_range("ThreadCommunicator: bad rank");
+  }
+}
+
+void ThreadCommunicator::send(int to, std::vector<float> message,
+                              util::Clock::time_point /*deadline*/) {
+  // Mailboxes are unbounded; send never blocks on the thread path.
+  world_->channel(rank_, to).send(std::move(message));
+}
+
+std::vector<float> ThreadCommunicator::recv(int from,
+                                            util::Clock::time_point deadline) {
+  return world_->channel(from, rank_).recv(deadline, &clock());
+}
+
+void ThreadCommunicator::barrier(util::Clock::time_point deadline) {
+  world_->barrier(deadline);
+}
+
+void tree_fold(std::vector<std::vector<float>>& buffers) {
+  if (!is_power_of_two(buffers.size())) {
+    throw std::invalid_argument(
+        "tree_fold: buffer count must be a power of two, got " +
+        std::to_string(buffers.size()));
+  }
+  const std::size_t count = buffers[0].size();
+  for (const auto& b : buffers) {
+    if (b.size() != count) {
+      throw std::invalid_argument("tree_fold: ragged buffers");
+    }
+  }
+  // Fold pairs at stride 1, 2, 4...: after the last level buffers[0] holds
+  // the canonical balanced-tree sum, the exact shape tree_allreduce_sum
+  // continues across ranks.
+  for (std::size_t stride = 1; stride < buffers.size(); stride <<= 1) {
+    for (std::size_t lo = 0; lo + stride < buffers.size(); lo += 2 * stride) {
+      float* left = buffers[lo].data();
+      const float* right = buffers[lo + stride].data();
+      for (std::size_t i = 0; i < count; ++i) left[i] += right[i];
+    }
   }
 }
 

@@ -63,7 +63,7 @@ DistributedTrainStats train_distributed(nn::UNet& model,
   auto rank_body = [&](int rank, nn::UNet& replica) {
     // One rank == one GPU: all layer math stays on this thread.
     replica.set_pool(nullptr);
-    Communicator comm(world, rank);
+    ThreadCommunicator comm(world, rank);
     DistributedOptimizer optimizer(
         std::make_unique<nn::Adam>(replica.params(), config.learning_rate),
         &comm);

@@ -23,6 +23,12 @@ const char* to_string(MsgType type) noexcept {
       return "metrics_request";
     case MsgType::kMetricsResponse:
       return "metrics_response";
+    case MsgType::kTrainHello:
+      return "train_hello";
+    case MsgType::kTrainChunk:
+      return "train_chunk";
+    case MsgType::kTrainBarrier:
+      return "train_barrier";
   }
   return "?";
 }
@@ -129,6 +135,9 @@ FrameHeader decode_header(const std::uint8_t* bytes, std::size_t n) {
     case MsgType::kShutdownResponse:
     case MsgType::kMetricsRequest:
     case MsgType::kMetricsResponse:
+    case MsgType::kTrainHello:
+    case MsgType::kTrainChunk:
+    case MsgType::kTrainBarrier:
       header.type = static_cast<MsgType>(type);
       break;
     default:

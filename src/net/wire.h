@@ -62,7 +62,9 @@ inline constexpr std::uint32_t kWireMagic = 0x45434950;  // 'PICE' LE
 // uptime + a brownout flag, and the metrics scrape messages
 // (kMetricsRequest/kMetricsResponse) joined the vocabulary. Mixed-version
 // fleets fail loudly at the frame header instead of misdecoding.
-inline constexpr std::uint16_t kWireVersion = 3;
+// v4: the distributed-training messages (kTrainHello/kTrainChunk/
+// kTrainBarrier) joined the vocabulary for the ddp socket communicator.
+inline constexpr std::uint16_t kWireVersion = 4;
 inline constexpr std::size_t kFrameHeaderBytes = 32;
 /// Ceiling on one frame's payload — large enough for any realistic scene
 /// (a 16k x 16k RGB scene is 768 MB > cap on purpose: such scenes must be
@@ -80,6 +82,12 @@ enum class MsgType : std::uint16_t {
   kShutdownResponse = 6,
   kMetricsRequest = 7,   // scrape: dump the worker's obs registry
   kMetricsResponse = 8,  // worker -> scraper: text exposition + identity
+  // Distributed training (ddp/socket_communicator.h). Rendezvous first
+  // (kTrainHello both ways), then every collective moves float chunks and
+  // barrier tokens as sequence-numbered kTrainChunk/kTrainBarrier frames.
+  kTrainHello = 9,    // rank identity + world size + config fingerprint
+  kTrainChunk = 10,   // one float buffer of a collective (seq + rank + data)
+  kTrainBarrier = 11  // barrier arrival/release token (seq + rank + phase)
 };
 
 [[nodiscard]] const char* to_string(MsgType type) noexcept;

@@ -54,6 +54,19 @@ class Adam final : public Optimizer {
   void set_lr(float lr) noexcept { lr_ = lr; }
   [[nodiscard]] long step_count() const noexcept { return t_; }
 
+  /// Full optimizer state, exposed for the ddp checkpoint/broadcast path:
+  /// a resumed or rejoined rank restores the moment estimates and step
+  /// counter exactly so training continues bit-identically.
+  [[nodiscard]] std::vector<tensor::Tensor>& moment1() noexcept { return m_; }
+  [[nodiscard]] std::vector<tensor::Tensor>& moment2() noexcept { return v_; }
+  [[nodiscard]] const std::vector<tensor::Tensor>& moment1() const noexcept {
+    return m_;
+  }
+  [[nodiscard]] const std::vector<tensor::Tensor>& moment2() const noexcept {
+    return v_;
+  }
+  void set_step_count(long t) noexcept { t_ = t; }
+
  private:
   float lr_, beta1_, beta2_, eps_;
   long t_ = 0;

@@ -48,4 +48,23 @@ WorkerInstruments& WorkerInstruments::get() {
   return *instance;
 }
 
+TrainInstruments& TrainInstruments::get() {
+  static TrainInstruments* instance = [] {
+    Registry& r = registry();
+    auto* i = new TrainInstruments();
+    i->steps = &r.counter("ddp_steps_total");
+    i->bytes_reduced = &r.counter("ddp_allreduce_bytes_total");
+    i->resumes = &r.counter("ddp_resumes_total");
+    i->collective_errors = &r.counter("ddp_collective_errors_total");
+    i->checkpoints = &r.counter("ddp_checkpoints_total");
+    i->checkpoint_corrupt = &r.counter("ddp_checkpoint_corrupt_total");
+    i->world_live = &r.gauge("ddp_world_live");
+    i->step_time = &r.histogram("ddp_step_seconds");
+    i->allreduce_time = &r.histogram("ddp_allreduce_seconds");
+    i->checkpoint_write = &r.histogram("ddp_checkpoint_write_seconds");
+    return i;
+  }();
+  return *instance;
+}
+
 }  // namespace polarice::obs

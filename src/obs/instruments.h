@@ -49,4 +49,21 @@ struct WorkerInstruments {
   [[nodiscard]] static WorkerInstruments& get();
 };
 
+/// ddp fleet-trainer seams (one rank == one process; each rank exposes its
+/// own view through its registry scrape).
+struct TrainInstruments {
+  Counter* steps;              // optimizer steps applied
+  Counter* bytes_reduced;      // float bytes through gradient allreduce
+  Counter* resumes;            // rejoin / rollback cycles entered
+  Counter* collective_errors;  // typed CollectiveError caught
+  Counter* checkpoints;        // durable checkpoint writes (rank 0)
+  Counter* checkpoint_corrupt; // corrupt checkpoint files rejected on load
+  Gauge* world_live;           // world size while the mesh is up, else 0
+  Histogram* step_time;        // one train step end to end
+  Histogram* allreduce_time;   // the gradient collective alone
+  Histogram* checkpoint_write; // one durable checkpoint write
+
+  [[nodiscard]] static TrainInstruments& get();
+};
+
 }  // namespace polarice::obs

@@ -1,9 +1,13 @@
 // Distributed-training substrate tests: channels, ring allreduce
-// correctness for all world sizes, broadcast, distributed optimizer
-// equivalence with single-device training, and the DGX device model.
+// correctness for all world sizes, broadcast, collective deadline
+// enforcement on a VirtualClock, tree-allreduce world-size invariance,
+// distributed optimizer equivalence with single-device training, and the
+// DGX device model.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <thread>
@@ -14,10 +18,12 @@
 #include "ddp/distributed_trainer.h"
 #include "nn/trainer.h"
 #include "util/rng.h"
+#include "util/virtual_clock.h"
 
 namespace pd = polarice::ddp;
 namespace pn = polarice::nn;
 namespace pt = polarice::tensor;
+using namespace std::chrono_literals;
 
 namespace {
 /// Runs `body(rank, comm)` on `n` rank threads and joins.
@@ -27,7 +33,7 @@ void run_world(int n, Body&& body) {
   std::vector<std::jthread> threads;
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([&, r] {
-      pd::Communicator comm(world, r);
+      pd::ThreadCommunicator comm(world, r);
       body(r, comm);
     });
   }
@@ -63,6 +69,76 @@ TEST(World, BarrierSynchronizesAllRanks) {
     }
   });
   EXPECT_FALSE(violated.load());
+}
+
+// Regression (ISSUE 10 satellite): no in-process collective path may block
+// forever. The waits below sit on a FROZEN VirtualClock — only an explicit
+// advance past the deadline may release them, proving the timeout verdict
+// is taken on the injectable clock, not on wall time.
+TEST(Channel, RecvTimesOutTypedOnVirtualClock) {
+  polarice::util::VirtualClock clock;
+  pd::Channel ch;
+  std::atomic<bool> timed_out{false};
+  std::atomic<bool> returned{false};
+  std::jthread waiter([&] {
+    try {
+      (void)ch.recv(clock.now() + 50ms, &clock);
+    } catch (const pd::CollectiveTimeout&) {
+      timed_out = true;
+    }
+    returned = true;
+  });
+  // Clock frozen short of the deadline: the waiter must still be blocked
+  // no matter how much real time passes.
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(returned.load());
+  clock.advance(100ms);
+  waiter.join();
+  EXPECT_TRUE(timed_out.load());
+}
+
+TEST(World, BarrierTimesOutTypedWhenARankNeverArrives) {
+  polarice::util::VirtualClock clock;
+  pd::World world(2, &clock);  // rank 1 never shows up
+  std::atomic<bool> timed_out{false};
+  std::jthread waiter([&] {
+    try {
+      world.barrier(clock.now() + 10ms);
+    } catch (const pd::CollectiveTimeout&) {
+      timed_out = true;
+    }
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(timed_out.load());
+  clock.advance(50ms);
+  waiter.join();
+  EXPECT_TRUE(timed_out.load());
+
+  // The timed-out arrival was withdrawn: a later, complete round still
+  // needs both ranks and still succeeds.
+  std::jthread a([&] { world.barrier(clock.now() + 10ms); });
+  std::jthread b([&] { world.barrier(clock.now() + 10ms); });
+}
+
+TEST(ThreadCommunicator, RecvSurfacesCollectiveTimeoutFromOptions) {
+  polarice::util::VirtualClock clock;
+  auto world = std::make_shared<pd::World>(2, &clock);
+  pd::CollectiveOptions options;
+  options.clock = &clock;
+  options.timeout = 20ms;
+  pd::ThreadCommunicator comm(world, 0, options);
+  std::jthread advancer([&] {
+    std::this_thread::sleep_for(20ms);
+    clock.advance(100ms);
+  });
+  EXPECT_THROW((void)comm.recv(1), pd::CollectiveTimeout);
+}
+
+TEST(Communicator, ErrorTypesAreOrdered) {
+  // PeerLost and CollectiveTimeout must both be catchable as
+  // CollectiveError — the rejoin trigger catches the base.
+  EXPECT_THROW(throw pd::CollectiveTimeout("x"), pd::CollectiveError);
+  EXPECT_THROW(throw pd::PeerLost("x"), pd::CollectiveError);
 }
 
 TEST(Communicator, SendRecvPointToPoint) {
@@ -150,6 +226,59 @@ TEST(Broadcast, CopiesRootToAllRanks) {
   }
 }
 
+// The fleet trainer's determinism rests on this: the halving-doubling tree
+// allreduce applies the identical canonical summation tree at every
+// power-of-two world size, provided each rank pre-folds its contiguous
+// block with tree_fold. 8 contributions reduced by 1, 2, 4, or 8 ranks
+// must agree BITWISE.
+TEST(TreeAllreduce, BitIdenticalAcrossWorldSizes) {
+  const int contributions = 8, count = 257;
+  std::vector<std::vector<float>> source(contributions);
+  polarice::util::Rng rng(42);
+  for (auto& b : source) {
+    b.resize(count);
+    for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  }
+
+  std::vector<std::vector<float>> results;  // one per world size
+  for (const int world_size : {1, 2, 4, 8}) {
+    const int per_rank = contributions / world_size;
+    std::vector<std::vector<float>> local(world_size);
+    for (int r = 0; r < world_size; ++r) {
+      // Each rank folds its contiguous block along the canonical tree...
+      std::vector<std::vector<float>> block(
+          source.begin() + r * per_rank,
+          source.begin() + (r + 1) * per_rank);
+      pd::tree_fold(block);
+      local[r] = block[0];
+    }
+    // ...and the cross-rank reduce continues the same tree upward.
+    run_world(world_size, [&](int rank, pd::Communicator& comm) {
+      comm.tree_allreduce_sum(local[rank].data(), local[rank].size());
+    });
+    for (int r = 1; r < world_size; ++r) EXPECT_EQ(local[r], local[0]);
+    results.push_back(local[0]);
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], results[0]) << "world size index " << i;
+  }
+}
+
+TEST(TreeAllreduce, RejectsNonPowerOfTwoWorlds) {
+  run_world(3, [](int, pd::Communicator& comm) {
+    std::vector<float> buf(4, 1.0f);
+    EXPECT_THROW(comm.tree_allreduce_sum(buf.data(), buf.size()),
+                 std::invalid_argument);
+  });
+}
+
+TEST(TreeFold, ValidatesShape) {
+  std::vector<std::vector<float>> three(3, std::vector<float>(2, 1.0f));
+  EXPECT_THROW(pd::tree_fold(three), std::invalid_argument);
+  std::vector<std::vector<float>> ragged{{1.0f, 2.0f}, {3.0f}};
+  EXPECT_THROW(pd::tree_fold(ragged), std::invalid_argument);
+}
+
 TEST(DeviceModel, ReproducesTable3Shape) {
   pd::DeviceModelConfig cfg;  // defaults = fit to the paper
   const auto t1 = pd::simulate_training(cfg, 1);
@@ -214,7 +343,7 @@ pn::SegDataset striped_dataset(int n_samples, int size, std::uint64_t seed) {
 
 TEST(DistributedOptimizer, GuardsNulls) {
   auto world = std::make_shared<pd::World>(1);
-  pd::Communicator comm(world, 0);
+  pd::ThreadCommunicator comm(world, 0);
   EXPECT_THROW(pd::DistributedOptimizer(nullptr, &comm),
                std::invalid_argument);
   pt::Tensor v({2}), g({2});
